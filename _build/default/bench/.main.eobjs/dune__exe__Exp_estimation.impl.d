@@ -1,0 +1,1 @@
+bench/exp_estimation.ml: Array Bits Format Hlp_fsm Hlp_isa Hlp_logic Hlp_power Hlp_sim Hlp_util List Netlist Printf Prng Stats Table

@@ -1,0 +1,1 @@
+bench/exp_figures.ml: Array Hlp_fsm Hlp_isa Hlp_logic Hlp_optlogic Hlp_pm Hlp_rtl Hlp_util List Option Printf Prng String Table

@@ -1,0 +1,1 @@
+bench/exp_synthesis.ml: Array Hlp_bus Hlp_fsm Hlp_isa Hlp_logic Hlp_optlogic Hlp_power Hlp_rtl Hlp_sim Hlp_util List Printf Prng String Table

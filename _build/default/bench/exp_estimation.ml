@@ -1,0 +1,502 @@
+(* Experiments E10-E16 and E21: the modeling/estimation claims of
+   Section II. *)
+
+open Hlp_util
+
+let fmt = Table.fmt_float
+
+(* E10: instruction-level model + profile-driven program synthesis. *)
+let e10_software () =
+  (* Tiwari model: train on synthetic profile sweeps, test on applications *)
+  let rng = Prng.create 51 in
+  let training =
+    List.init 24 (fun i ->
+        let m = 0.1 +. Prng.float rng 0.3 in
+        let mul = Prng.float rng 0.2 in
+        let br = 0.05 +. Prng.float rng 0.15 in
+        let profile =
+          {
+            Hlp_isa.Profile.mix =
+              [ (Hlp_isa.Isa.Alu, max 0.0 (1.0 -. m -. mul -. br));
+                (Hlp_isa.Isa.Mulc, mul); (Hlp_isa.Isa.Mem, m);
+                (Hlp_isa.Isa.Branch, br); (Hlp_isa.Isa.Other, 0.0) ];
+            icache_miss_rate = 0.01;
+            dcache_miss_rate = Prng.float rng 0.8;
+            branch_taken_rate = Prng.float rng 1.0;
+            stall_rate = Prng.float rng 0.2;
+            energy_per_cycle = 0.0;
+            instructions = 0;
+          }
+        in
+        Hlp_isa.Profile.synthesize ~seed:(1000 + i) profile)
+  in
+  (* leave-one-out over the applications: each program is predicted by a
+     model characterized on the synthetic sweeps plus the other programs *)
+  let apps = Hlp_isa.Programs.all () in
+  let rows =
+    List.map
+      (fun (name, (prog, mem)) ->
+        let others =
+          List.filter_map (fun (n, p) -> if n = name then None else Some p) apps
+        in
+        let model = Hlp_isa.Tiwari.fit (training @ others) in
+        let r = Hlp_isa.Machine.run ~mem_init:mem prog in
+        let predicted = Hlp_isa.Tiwari.predict model r.Hlp_isa.Machine.counters in
+        [ name;
+          fmt r.Hlp_isa.Machine.energy;
+          fmt predicted;
+          Table.fmt_pct
+            (Stats.relative_error ~actual:r.Hlp_isa.Machine.energy ~estimate:predicted) ])
+      apps
+  in
+  Table.print
+    ~title:"E10a: Tiwari instruction-level model (leave-one-out over applications)"
+    ~align:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+    ~header:[ "program"; "measured energy"; "predicted"; "error" ]
+    rows;
+  (* profile-driven synthesis *)
+  let rows2 =
+    List.map
+      (fun (name, (prog, mem)) ->
+        let r = Hlp_isa.Machine.run ~mem_init:mem prog in
+        let v = Hlp_isa.Profile.validate r () in
+        [ name;
+          string_of_int v.Hlp_isa.Profile.original.Hlp_isa.Profile.instructions;
+          string_of_int v.Hlp_isa.Profile.synthetic.Hlp_isa.Profile.instructions;
+          Printf.sprintf "%.0fx" v.Hlp_isa.Profile.trace_reduction;
+          Table.fmt_pct v.Hlp_isa.Profile.energy_error ])
+      [ ("matmul n=24", Hlp_isa.Programs.matmul ~n:24);
+        ("fir 16x4096", Hlp_isa.Programs.fir ~taps:16 ~samples:4096);
+        ("bubble sort n=384", Hlp_isa.Programs.bubble_sort ~n:384) ]
+  in
+  Table.print
+    ~title:"E10b: profile-driven program synthesis (paper: 3-5 orders shorter, negligible error)"
+    ~align:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+    ~header:[ "trace"; "original instrs"; "synthetic instrs"; "reduction"; "power error" ]
+    rows2
+
+(* E11: entropy models vs measured average activity. *)
+let e11_entropy () =
+  let rng = Prng.create 61 in
+  let rows =
+    List.map
+      (fun (label, net) ->
+        let nin = Array.length net.Hlp_logic.Netlist.inputs in
+        let trace = Hlp_sim.Streams.uniform rng ~width:nin ~n:2000 in
+        let sim = Hlp_sim.Funcsim.create net in
+        Hlp_sim.Funcsim.run sim
+          (fun i -> Array.init nin (fun b -> Bits.bit trace.(i) b))
+          2000;
+        let actual = Hlp_sim.Funcsim.average_activity sim in
+        let em =
+          Hlp_power.Entropy.estimate_netlist ~model:Hlp_power.Entropy.Marculescu net
+            ~input_trace:trace
+        in
+        let en =
+          Hlp_power.Entropy.estimate_netlist ~model:Hlp_power.Entropy.Nemani_najm net
+            ~input_trace:trace
+        in
+        [ label; fmt ~digits:3 actual;
+          fmt ~digits:3 em.Hlp_power.Entropy.e_avg;
+          fmt ~digits:3 en.Hlp_power.Entropy.e_avg ])
+      [
+        ("adder 8", Hlp_logic.Generators.adder_circuit 8);
+        ("adder 16", Hlp_logic.Generators.adder_circuit 16);
+        ("max 8", Hlp_logic.Generators.max_circuit 8);
+        ("alu 6", Hlp_logic.Generators.alu_circuit 6);
+        ("parity 12", Hlp_logic.Generators.parity_circuit 12);
+        ("multiplier 6", Hlp_logic.Generators.multiplier_circuit 6);
+      ]
+  in
+  Table.print
+    ~title:"E11: entropy-based average activity (E <= h/2 bound; white-noise inputs)"
+    ~align:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+    ~header:[ "circuit"; "measured E_avg"; "Marculescu h_avg/2"; "Nemani-Najm h_avg/2" ]
+    rows
+
+(* E12: total-capacitance models. *)
+let e12_captot () =
+  let family =
+    [
+      ("adder 4", Hlp_logic.Generators.adder_circuit 4);
+      ("adder 8", Hlp_logic.Generators.adder_circuit 8);
+      ("adder 12", Hlp_logic.Generators.adder_circuit 12);
+      ("comparator 8", Hlp_logic.Generators.comparator_circuit 8);
+      ("max 6", Hlp_logic.Generators.max_circuit 6);
+      ("max 10", Hlp_logic.Generators.max_circuit 10);
+      ("parity 10", Hlp_logic.Generators.parity_circuit 10);
+      ("alu 4", Hlp_logic.Generators.alu_circuit 4);
+    ]
+  in
+  let population = List.map (fun (_, n) -> (n, Hlp_logic.Netlist.total_capacitance n)) family in
+  let fit = Hlp_power.Captot.fit_ferrandi population in
+  let rows =
+    List.map
+      (fun (label, net) ->
+        let open Hlp_logic in
+        let n = Array.length net.Netlist.inputs in
+        let m = Array.length net.Netlist.outputs in
+        let h_out = Hlp_power.Captot.h_out_white_noise net in
+        let nodes = Hlp_power.Captot.bdd_nodes_of_netlist net in
+        let actual = Netlist.total_capacitance net in
+        let cheng = Hlp_power.Captot.cheng_agrawal ~n ~m ~h_out in
+        let ferr = Hlp_power.Captot.ferrandi_predict fit ~n ~m ~bdd_nodes:nodes ~h_out in
+        [ label; fmt actual; fmt cheng; fmt ferr ])
+      family
+  in
+  Table.print
+    ~title:"E12: C_tot models (paper: Cheng-Agrawal 'too pessimistic when n is large')"
+    ~align:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+    ~header:[ "circuit"; "actual C_tot"; "Cheng-Agrawal"; "Ferrandi (BDD regression)" ]
+    rows
+
+(* E13: Tyagi entropic lower bound. *)
+let e13_tyagi () =
+  let rows =
+    List.map
+      (fun stg ->
+        let dist = Hlp_fsm.Markov.analyze stg in
+        let r = Hlp_fsm.Tyagi.report stg dist in
+        let nat = Hlp_fsm.Encode.natural stg in
+        let actual =
+          Hlp_fsm.Markov.expected_hamming stg dist ~code:(fun s ->
+              nat.Hlp_fsm.Encode.code.(s))
+        in
+        [ stg.Hlp_fsm.Stg.name;
+          string_of_int r.Hlp_fsm.Tyagi.states;
+          string_of_int r.Hlp_fsm.Tyagi.transitions;
+          (if r.Hlp_fsm.Tyagi.sparse then "yes" else "no");
+          fmt r.Hlp_fsm.Tyagi.entropy;
+          fmt r.Hlp_fsm.Tyagi.lower_bound;
+          fmt actual ])
+      (Hlp_fsm.Stg.zoo_extended ())
+  in
+  Table.print ~title:"E13: Tyagi entropic lower bound on state-register switching"
+    ~align:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+    ~header:[ "machine"; "T"; "t"; "sparse"; "h(p_ij)"; "lower bound"; "actual (natural enc)" ]
+    rows
+
+(* E14: complexity-based models. *)
+let e14_complexity () =
+  (* area regression *)
+  let rng = Prng.create 71 in
+  let nvars = 6 in
+  let population =
+    List.filter_map
+      (fun i ->
+        let density = 0.1 +. (0.03 *. float_of_int i) in
+        let on_set =
+          List.filter (fun _ -> Prng.bernoulli rng density)
+            (List.init (1 lsl nvars) (fun m -> m))
+        in
+        if on_set = [] then None
+        else Some (on_set, Hlp_power.Complexity.actual_area ~nvars ~on_set))
+      (List.init 25 (fun i -> i))
+  in
+  let reg = Hlp_power.Complexity.fit_area_regression ~nvars population in
+  Printf.printf
+    "== E14a: Nemani-Najm area regression ==\n\
+     %d random 6-input functions: area ~ %.1f * C(f) + %.1f, r^2 = %.2f\n\n"
+    (List.length population) reg.Stats.slope reg.Stats.intercept reg.Stats.r2;
+  (* controller model *)
+  let samples = List.map Hlp_power.Complexity.controller_sample (Hlp_fsm.Stg.zoo_extended ()) in
+  let cfit = Hlp_power.Complexity.fit_controller samples in
+  let rows =
+    List.map2
+      (fun stg s ->
+        [ stg.Hlp_fsm.Stg.name;
+          string_of_int s.Hlp_power.Complexity.n_i;
+          string_of_int s.Hlp_power.Complexity.n_o;
+          string_of_int s.Hlp_power.Complexity.n_m;
+          fmt s.Hlp_power.Complexity.cap_per_cycle;
+          fmt (Hlp_power.Complexity.controller_predict cfit s) ])
+      (Hlp_fsm.Stg.zoo_extended ()) samples
+  in
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "E14b: Landman-Rabaey controller model (C_I=%.3f, C_O=%.3f, r^2=%.2f)"
+         cfit.Hlp_power.Complexity.c_i cfit.Hlp_power.Complexity.c_o
+         cfit.Hlp_power.Complexity.r2)
+    ~align:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+    ~header:[ "machine"; "N_I"; "N_O"; "N_M"; "measured cap"; "model" ]
+    rows;
+  (* CES sanity *)
+  let nets =
+    [ ("adder 8", Hlp_logic.Generators.adder_circuit 8);
+      ("multiplier 8", Hlp_logic.Generators.multiplier_circuit 8) ]
+  in
+  let rows =
+    List.map
+      (fun (label, net) ->
+        let est =
+          Hlp_power.Complexity.ces_switched_capacitance_estimate
+            Hlp_power.Complexity.ces_default net
+        in
+        let rng = Prng.create 3 in
+        let sim = Hlp_sim.Funcsim.create net in
+        let nin = Array.length net.Hlp_logic.Netlist.inputs in
+        Hlp_sim.Funcsim.run sim (fun _ -> Array.init nin (fun _ -> Prng.bool rng)) 500;
+        let actual = Hlp_sim.Funcsim.switched_capacitance sim /. 500.0 in
+        [ label; fmt actual; fmt est ])
+      nets
+  in
+  Table.print ~title:"E14c: Chip Estimation System (gate-equivalent) estimate"
+    ~align:[ Table.Left; Table.Right; Table.Right ]
+    ~header:[ "module"; "simulated cap/cycle"; "CES estimate" ]
+    rows
+
+(* E15: the macro-model accuracy ladder. *)
+let e15_macromodel () =
+  let duts =
+    [ ("adder 8", { Hlp_power.Macromodel.net = Hlp_logic.Generators.adder_circuit 8; widths = [ 8; 8 ] });
+      ("multiplier 8", { Hlp_power.Macromodel.net = Hlp_logic.Generators.multiplier_circuit 8; widths = [ 8; 8 ] }) ]
+  in
+  List.iter
+    (fun (label, dut) ->
+      let training =
+        List.map (Hlp_power.Macromodel.observe dut)
+          (Hlp_power.Macromodel.training_streams dut)
+      in
+      let rng = Prng.create 999 in
+      let mk s = s () in
+      let test_obs =
+        List.map
+          (fun s -> Hlp_power.Macromodel.observe dut (mk s))
+          [
+            (fun () ->
+              [ Hlp_sim.Streams.gaussian_walk rng ~width:8 ~sigma:5.0 ~n:400;
+                Hlp_sim.Streams.gaussian_walk rng ~width:8 ~sigma:60.0 ~n:400 ]);
+            (fun () ->
+              [ Hlp_sim.Streams.correlated_bits rng ~width:8 ~p:0.4 ~rho:0.7 ~n:400;
+                Hlp_sim.Streams.biased_bits rng ~width:8 ~p:0.6 ~n:400 ]);
+            (fun () ->
+              [ Hlp_sim.Streams.biased_bits rng ~width:8 ~p:0.25 ~n:400;
+                Hlp_sim.Streams.correlated_bits rng ~width:8 ~p:0.5 ~rho:0.4 ~n:400 ]);
+          ]
+      in
+      let table = Hlp_power.Macromodel.fit_table training in
+      let rows =
+        List.map
+          (fun kind ->
+            let m = Hlp_power.Macromodel.fit kind dut training in
+            [ Hlp_power.Macromodel.kind_name kind;
+              Table.fmt_pct
+                (Hlp_power.Macromodel.evaluate
+                   ~predict:(Hlp_power.Macromodel.predict m) training);
+              Table.fmt_pct
+                (Hlp_power.Macromodel.evaluate
+                   ~predict:(Hlp_power.Macromodel.predict m) test_obs) ])
+          [ Hlp_power.Macromodel.Pfa; Hlp_power.Macromodel.Dual_bit;
+            Hlp_power.Macromodel.Bitwise; Hlp_power.Macromodel.Input_output ]
+        @ [ [ "3d table (Gupta-Najm)";
+              Table.fmt_pct
+                (Hlp_power.Macromodel.evaluate
+                   ~predict:(Hlp_power.Macromodel.predict_table table) training);
+              Table.fmt_pct
+                (Hlp_power.Macromodel.evaluate
+                   ~predict:(Hlp_power.Macromodel.predict_table table) test_obs) ] ]
+      in
+      Table.print
+        ~title:(Printf.sprintf "E15: macro-model ladder on %s (paper: 5-10%% typical)" label)
+        ~align:[ Table.Left; Table.Right; Table.Right ]
+        ~header:[ "macro-model"; "training error"; "unseen-stream error" ]
+        rows)
+    duts
+
+(* E16: census vs sampler vs adaptive. *)
+let e16_sampling () =
+  let dut =
+    { Hlp_power.Macromodel.net = Hlp_logic.Generators.multiplier_circuit 8; widths = [ 8; 8 ] }
+  in
+  let rng = Prng.create 55 in
+  let n = 10_000 in
+  (* macro-model trained on white noise only (the biased-training setup) *)
+  let training =
+    [ [ Hlp_sim.Streams.uniform rng ~width:8 ~n:400;
+        Hlp_sim.Streams.uniform rng ~width:8 ~n:400 ] ]
+  in
+  let obs = List.map (Hlp_power.Macromodel.observe dut) training in
+  let model = Hlp_power.Macromodel.fit Hlp_power.Macromodel.Bitwise dut obs in
+  let scenario label traces =
+    let t = Hlp_power.Sampling.prepare model dut traces in
+    let actual = Hlp_power.Sampling.gate_reference t in
+    let census = Hlp_power.Sampling.census t in
+    let sampler = Hlp_power.Sampling.sampler ~seed:77 t in
+    let adaptive = Hlp_power.Sampling.adaptive ~seed:99 t in
+    Printf.printf "-- %s (gate-level reference %.1f cap/cycle)\n" label actual;
+    let row name (e : Hlp_power.Sampling.estimate) =
+      [ name; fmt e.Hlp_power.Sampling.value;
+        Table.fmt_pct (Stats.relative_error ~actual ~estimate:e.Hlp_power.Sampling.value);
+        string_of_int e.Hlp_power.Sampling.macro_evaluations;
+        string_of_int e.Hlp_power.Sampling.gate_cycles ]
+    in
+    Table.print ~title:(label ^ ": estimators")
+      ~align:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+      ~header:[ "estimator"; "estimate"; "error vs gate"; "macro evals"; "gate cycles" ]
+      [ row "census" census; row "sampler" sampler; row "adaptive" adaptive ];
+    Printf.printf "sampler efficiency vs census: %.0fx fewer evaluations\n\n"
+      (float_of_int census.Hlp_power.Sampling.macro_evaluations
+      /. float_of_int sampler.Hlp_power.Sampling.macro_evaluations)
+  in
+  scenario "E16a: in-distribution stream (white noise)"
+    [ Hlp_sim.Streams.uniform rng ~width:8 ~n;
+      Hlp_sim.Streams.uniform rng ~width:8 ~n ];
+  scenario "E16b: out-of-distribution stream (correlated walk; census is biased)"
+    [ Hlp_sim.Streams.gaussian_walk rng ~width:8 ~sigma:2.0 ~n;
+      Hlp_sim.Streams.gaussian_walk rng ~width:8 ~sigma:2.0 ~n ]
+
+(* E21: Liu-Svensson memory model. *)
+let e21_memory_model () =
+  let n = 14 in
+  let rows =
+    List.map
+      (fun k ->
+        let s = Hlp_power.Memory_model.default_sram ~n ~k in
+        [ Printf.sprintf "%d x %d" (1 lsl (n - k)) (1 lsl k);
+          fmt (Hlp_power.Memory_model.cell_array_energy s);
+          fmt (Hlp_power.Memory_model.row_decoder_energy s);
+          fmt (Hlp_power.Memory_model.word_line_energy s);
+          fmt (Hlp_power.Memory_model.column_select_energy s);
+          fmt (Hlp_power.Memory_model.sense_amp_energy s);
+          fmt (Hlp_power.Memory_model.read_energy s) ])
+      [ 2; 4; 6; 7; 8; 10; 12 ]
+  in
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "E21: Liu-Svensson SRAM read energy, 16K words (optimal organization: 2^%d columns)"
+         (Hlp_power.Memory_model.optimal_k ~n))
+    ~align:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+    ~header:[ "rows x cols"; "cells"; "row dec"; "word line"; "col sel"; "sense"; "total" ]
+    rows
+
+(* E28: cycle-accurate macro-models (Qiu et al. vs Mehta clustering). *)
+let e28_cycle_models () =
+  let rows =
+    List.concat_map
+      (fun (label, dut) ->
+        let rng = Prng.create 42 in
+        let widths = dut.Hlp_power.Macromodel.widths in
+        let mk n =
+          List.map
+            (fun w -> Hlp_sim.Streams.gaussian_walk rng ~width:w ~sigma:15.0 ~n)
+            widths
+        in
+        let train = Hlp_power.Cyclemodel.collect dut (mk 2000) in
+        let test = Hlp_power.Cyclemodel.collect dut (mk 1500) in
+        let qiu = Hlp_power.Cyclemodel.fit_qiu train in
+        let clus = Hlp_power.Cyclemodel.fit_clusters train in
+        let acc pred =
+          Hlp_power.Cyclemodel.accuracy ~predicted:pred
+            ~actual:(Hlp_power.Cyclemodel.reference test)
+        in
+        let aq = acc (Hlp_power.Cyclemodel.predict_qiu qiu test) in
+        let ac = acc (Hlp_power.Cyclemodel.predict_clusters clus test) in
+        [
+          [ label ^ " / Qiu regression";
+            string_of_int (Hlp_power.Cyclemodel.qiu_variables qiu);
+            Table.fmt_pct aq.Hlp_power.Cyclemodel.average_error;
+            Table.fmt_pct aq.Hlp_power.Cyclemodel.cycle_error ];
+          [ label ^ " / Mehta clustering"; "64 clusters";
+            Table.fmt_pct ac.Hlp_power.Cyclemodel.average_error;
+            Table.fmt_pct ac.Hlp_power.Cyclemodel.cycle_error ];
+        ])
+      [
+        ("adder 8",
+         { Hlp_power.Macromodel.net = Hlp_logic.Generators.adder_circuit 8; widths = [ 8; 8 ] });
+        ("multiplier 6",
+         { Hlp_power.Macromodel.net = Hlp_logic.Generators.multiplier_circuit 6; widths = [ 6; 6 ] });
+      ]
+  in
+  Table.print
+    ~title:
+      "E28: cycle-accurate macro-models (paper: ~8 variables, 5-10% average, 10-20% cycle error)"
+    ~align:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+    ~header:[ "module / model"; "variables"; "avg error"; "cycle error" ]
+    rows
+
+(* E30: probabilistic estimation and Monte Carlo stopping for random logic
+   (the RT-level flow's step 4). *)
+let e30_probabilistic () =
+  let rows =
+    List.map
+      (fun (label, net) ->
+        let stats = Hlp_power.Probprop.propagate net in
+        let prop = Hlp_power.Probprop.estimate_capacitance net stats in
+        let mc = Hlp_power.Probprop.monte_carlo ~relative_precision:0.03 net in
+        let sim = Hlp_sim.Funcsim.create net in
+        let rng = Prng.create 9 in
+        let nin = Array.length net.Hlp_logic.Netlist.inputs in
+        Hlp_sim.Funcsim.run sim (fun _ -> Array.init nin (fun _ -> Prng.bool rng)) 20_000;
+        let reference = Hlp_sim.Funcsim.switched_capacitance sim /. 20_000.0 in
+        [ label; fmt reference; fmt prop;
+          Table.fmt_pct (Stats.relative_error ~actual:reference ~estimate:prop);
+          fmt mc.Hlp_power.Probprop.estimate;
+          string_of_int mc.Hlp_power.Probprop.cycles_used ])
+      [
+        ("adder 8", Hlp_logic.Generators.adder_circuit 8);
+        ("multiplier 6", Hlp_logic.Generators.multiplier_circuit 6);
+        ("alu 6", Hlp_logic.Generators.alu_circuit 6);
+        ("random logic 8x4x120",
+         Hlp_logic.Generators.random_logic (Prng.create 77) ~inputs:8 ~outputs:4 ~gates:120);
+      ]
+  in
+  Table.print
+    ~title:
+      "E30: random-logic estimation — propagation (no simulation) vs Monte Carlo stopping (Burch) vs 20k-cycle reference"
+    ~align:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+    ~header:[ "circuit"; "reference cap"; "propagated"; "prop error"; "monte carlo"; "MC cycles" ]
+    rows
+
+(* E32: the Fig. 1 design-improvement loop — one-pass level-by-level
+   estimate of a mixed design vs full gate-level simulation. *)
+let e32_flow () =
+  let rng = Prng.create 12 in
+  let components =
+    [
+      Hlp_power.Flow.Datapath
+        {
+          name = "mac multiplier";
+          dut =
+            { Hlp_power.Macromodel.net = Hlp_logic.Generators.multiplier_circuit 8;
+              widths = [ 8; 8 ] };
+          traces =
+            [ Hlp_sim.Streams.gaussian_walk rng ~width:8 ~sigma:20.0 ~n:2000;
+              Hlp_sim.Streams.uniform rng ~width:8 ~n:2000 ];
+        };
+      Hlp_power.Flow.Datapath
+        {
+          name = "accumulator";
+          dut =
+            { Hlp_power.Macromodel.net = Hlp_logic.Generators.adder_circuit 12;
+              widths = [ 12; 12 ] };
+          traces =
+            [ Hlp_sim.Streams.gaussian_walk rng ~width:12 ~sigma:60.0 ~n:2000;
+              Hlp_sim.Streams.correlated_bits rng ~width:12 ~p:0.5 ~rho:0.5 ~n:2000 ];
+        };
+      Hlp_power.Flow.Controller { name = "sequencer"; stg = Hlp_fsm.Stg.memory_controller () };
+      Hlp_power.Flow.Glue
+        { name = "steering glue";
+          net = Hlp_logic.Generators.random_logic (Prng.create 31) ~inputs:8 ~outputs:4 ~gates:90 };
+    ]
+  in
+  let report = Hlp_power.Flow.estimate components in
+  print_endline "== E32: Fig. 1 design-improvement loop (level-by-level estimate vs gate level) ==";
+  Format.printf "%a@." Hlp_power.Flow.pp_report report;
+  Printf.printf
+    "the level-by-level feedback the paper's flow depends on: each component\n\
+     is priced by its own model class without a full-chip gate-level run.\n\n"
+
+let all () =
+  e10_software ();
+  e11_entropy ();
+  e12_captot ();
+  e13_tyagi ();
+  e14_complexity ();
+  e15_macromodel ();
+  e16_sampling ();
+  e21_memory_model ();
+  e28_cycle_models ();
+  e30_probabilistic ();
+  e32_flow ()

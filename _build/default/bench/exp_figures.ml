@@ -1,0 +1,240 @@
+(* Experiments E1-E9: the paper's table and figures. Each function prints
+   the reproduced artifact; EXPERIMENTS.md records paper-vs-measured. *)
+
+open Hlp_util
+
+let fmt = Table.fmt_float
+
+(* E1 / Table I: FIR switched capacitance by category, before and after
+   constant-multiplication conversion. *)
+let table1_fir () =
+  let width = 12 in
+  let before = Hlp_rtl.Fir.build ~width ~constant_mult:false () in
+  let after = Hlp_rtl.Fir.build ~width ~constant_mult:true () in
+  let tb = Hlp_rtl.Fir.measure ~cycles:300 before in
+  let ta = Hlp_rtl.Fir.measure ~cycles:300 after in
+  let row cat =
+    let get t = List.find (fun r -> r.Hlp_rtl.Fir.category = cat) t.Hlp_rtl.Fir.rows in
+    let b = get tb and a = get ta in
+    [ Hlp_rtl.Fir.category_name cat;
+      fmt b.Hlp_rtl.Fir.switched; Table.fmt_pct b.Hlp_rtl.Fir.share;
+      fmt a.Hlp_rtl.Fir.switched; Table.fmt_pct a.Hlp_rtl.Fir.share ]
+  in
+  Table.print ~title:"E1 / Table I: 11-tap FIR capacitance (cap units/cycle)"
+    ~align:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+    ~header:[ "Component"; "before"; "% of total"; "after"; "% of total" ]
+    (List.map row
+       [ Hlp_rtl.Fir.Exec_units; Hlp_rtl.Fir.Registers_clock;
+         Hlp_rtl.Fir.Control_logic; Hlp_rtl.Fir.Interconnect ]
+    @ [ [ "Total"; fmt tb.Hlp_rtl.Fir.total; "100.0%"; fmt ta.Hlp_rtl.Fir.total; "100.0%" ] ]);
+  Printf.printf "total reduction: %.2fx (paper: 2.65x; exec units %.1fx, paper 7.9x)\n\n"
+    (tb.Hlp_rtl.Fir.total /. ta.Hlp_rtl.Fir.total)
+    ((List.find (fun r -> r.Hlp_rtl.Fir.category = Hlp_rtl.Fir.Exec_units) tb.Hlp_rtl.Fir.rows)
+       .Hlp_rtl.Fir.switched
+    /. (List.find (fun r -> r.Hlp_rtl.Fir.category = Hlp_rtl.Fir.Exec_units) ta.Hlp_rtl.Fir.rows)
+         .Hlp_rtl.Fir.switched)
+
+(* E2 / Fig. 2: memory-access minimization. *)
+let fig2_memory () =
+  let n = 256 in
+  let run (prog, mem) = Hlp_isa.Machine.run ~mem_init:mem prog in
+  let rm = run (Hlp_isa.Programs.fig2_memory ~n) in
+  let rr = run (Hlp_isa.Programs.fig2_register ~n) in
+  assert (rm.Hlp_isa.Machine.regs.(7) = rr.Hlp_isa.Machine.regs.(7));
+  let row name (r : Hlp_isa.Machine.result) =
+    let c = r.Hlp_isa.Machine.counters in
+    [ name;
+      string_of_int (c.Hlp_isa.Machine.mem_reads + c.Hlp_isa.Machine.mem_writes);
+      string_of_int c.Hlp_isa.Machine.cycles;
+      fmt r.Hlp_isa.Machine.energy ]
+  in
+  Table.print ~title:"E2 / Fig. 2: memory-access minimization (n=256, same result)"
+    ~align:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+    ~header:[ "version"; "memory accesses"; "cycles"; "energy" ]
+    [ row "intermediate array in memory" rm; row "kept in register" rr ];
+  Printf.printf "energy saving: %.1f%% (paper: eliminates 2n of 3n accesses)\n\n"
+    (100.0 *. (1.0 -. (rr.Hlp_isa.Machine.energy /. rm.Hlp_isa.Machine.energy)))
+
+(* E3 / Fig. 3 + Section III-B claims. *)
+let fig3_shutdown () =
+  let device = Hlp_pm.Policy.default_device in
+  let sessions = Hlp_pm.Policy.workload ~sessions:20_000 (Prng.create 42) in
+  let row p =
+    let s = Hlp_pm.Policy.simulate device p sessions in
+    [ Hlp_pm.Policy.policy_name p;
+      Printf.sprintf "%.2fx" s.Hlp_pm.Policy.improvement;
+      Table.fmt_pct s.Hlp_pm.Policy.delay_penalty;
+      string_of_int s.Hlp_pm.Policy.shutdowns ]
+  in
+  Table.print ~title:"E3 / Fig. 3: shutdown policies (paper: predictive up to 38x, ~3% delay)"
+    ~align:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+    ~header:[ "policy"; "power improvement"; "delay penalty"; "shutdowns" ]
+    (List.map row
+       [ Hlp_pm.Policy.Always_on; Hlp_pm.Policy.Timeout 20.0; Hlp_pm.Policy.Timeout 5.0;
+         Hlp_pm.Policy.Threshold 1.0; Hlp_pm.Policy.Regression;
+         Hlp_pm.Policy.Exp_average { alpha = 0.3; prewake = false };
+         Hlp_pm.Policy.Exp_average { alpha = 0.3; prewake = true };
+         Hlp_pm.Policy.Oracle ])
+
+(* E31 (extension of E3): multi-depth shutdown — doze vs power-off. *)
+let e31_multistate () =
+  let d = Hlp_pm.Multistate.default_device in
+  let sessions = Hlp_pm.Policy.workload ~sessions:20_000 (Prng.create 42) in
+  let row p =
+    let s = Hlp_pm.Multistate.simulate d p sessions in
+    [ Hlp_pm.Multistate.policy_name p;
+      Printf.sprintf "%.2fx" s.Hlp_pm.Multistate.improvement;
+      Table.fmt_pct s.Hlp_pm.Multistate.delay_penalty;
+      String.concat " "
+        (List.map
+           (fun (l, c) -> Printf.sprintf "%s:%d" l c)
+           s.Hlp_pm.Multistate.depth_histogram) ]
+  in
+  Table.print
+    ~title:"E31: multi-depth shutdown (doze 0.3/cheap-wake vs off 0.02/costly-wake)"
+    ~align:[ Table.Left; Table.Right; Table.Right; Table.Left ]
+    ~header:[ "policy"; "improvement"; "delay"; "sleeps by depth" ]
+    (List.map row
+       [ Hlp_pm.Multistate.Deepest_only; Hlp_pm.Multistate.Predictive_depth 0.3;
+         Hlp_pm.Multistate.Oracle_depth ])
+
+(* E4/E5 / Figs. 4-5: polynomial restructuring; the last column is the
+   quick-synthesis (Section II-B3) gate-level confirmation. *)
+let poly_figures () =
+  let row name g =
+    let sched = Hlp_rtl.Schedule.asap g in
+    let usage = Hlp_rtl.Schedule.resource_usage g sched in
+    let get r = Option.value ~default:0 (List.assoc_opt r usage) in
+    assert (Hlp_rtl.Quicksynth.functional_check g);
+    [ name;
+      string_of_int (Hlp_rtl.Transform.mul_count g);
+      string_of_int (Hlp_rtl.Transform.add_sub_count g);
+      string_of_int (Hlp_rtl.Cdfg.critical_path_ops g);
+      string_of_int (get Hlp_rtl.Module_energy.Multiplier);
+      string_of_int (get Hlp_rtl.Module_energy.Adder);
+      fmt (Hlp_rtl.Schedule.energy g);
+      fmt (Hlp_rtl.Quicksynth.simulate_capacitance ~cycles:400 g) ]
+  in
+  assert (Hlp_rtl.Transform.equivalent (Hlp_rtl.Cdfg.poly2_direct ()) (Hlp_rtl.Cdfg.poly2_horner ()));
+  assert (Hlp_rtl.Transform.equivalent (Hlp_rtl.Cdfg.poly3_direct ()) (Hlp_rtl.Cdfg.poly3_horner ()));
+  Table.print
+    ~title:"E4-E5 / Figs. 4-5: polynomial evaluation restructuring (behaviour-preserving)"
+    ~align:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+    ~header:[ "implementation"; "mul ops"; "add ops"; "critical path"; "mult units"; "add units"; "table energy"; "quick-synth cap" ]
+    [
+      row "2nd order, direct" (Hlp_rtl.Cdfg.poly2_direct ());
+      row "2nd order, factored" (Hlp_rtl.Cdfg.poly2_horner ());
+      row "3rd order, direct" (Hlp_rtl.Cdfg.poly3_direct ());
+      row "3rd order, factored" (Hlp_rtl.Cdfg.poly3_horner ());
+    ];
+  Printf.printf "paper: 2nd order 2A+2M/cp3 -> 2A+1M/cp3 (win); 3rd order 3A+4M/cp4 -> 3A+2M/cp5 (op/speed tradeoff)\n\n"
+
+(* E6 / Fig. 6: precomputation. *)
+let fig6_precompute () =
+  let rows =
+    List.map
+      (fun n ->
+        let net = Hlp_logic.Generators.comparator_circuit n in
+        let plan =
+          Hlp_optlogic.Precompute.analyze net ~output:"lt"
+            ~subset:[ n - 1; (2 * n) - 1 ]
+        in
+        let ev = Hlp_optlogic.Precompute.evaluate ~cycles:1500 net ~output:"lt" plan in
+        [ Printf.sprintf "%d-bit comparator, MSB pair" n;
+          Table.fmt_pct plan.Hlp_optlogic.Precompute.shutdown_prob;
+          string_of_int plan.Hlp_optlogic.Precompute.predictor_nodes;
+          fmt ev.Hlp_optlogic.Precompute.baseline_cap;
+          fmt ev.Hlp_optlogic.Precompute.managed_cap;
+          Table.fmt_pct ev.Hlp_optlogic.Precompute.saving ])
+      [ 6; 8; 10; 12 ]
+  in
+  Table.print ~title:"E6 / Fig. 6: precomputation (predict from the operand MSBs)"
+    ~align:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+    ~header:[ "block"; "shutdown prob"; "predictor nodes"; "base cap"; "managed cap"; "saving" ]
+    rows
+
+(* E7 / Fig. 7: gated clocks. *)
+let fig7_gated_clock () =
+  let rows =
+    List.map
+      (fun (label, stg, p) ->
+        let ev = Hlp_optlogic.Gated_clock.evaluate ~input_one_prob:p stg in
+        [ label;
+          Table.fmt_pct ev.Hlp_optlogic.Gated_clock.idle_fraction;
+          fmt ev.Hlp_optlogic.Gated_clock.normal_cap;
+          fmt ev.Hlp_optlogic.Gated_clock.gated_cap;
+          Table.fmt_pct ev.Hlp_optlogic.Gated_clock.saving ])
+      [
+        ("reactive 6+4, 3% requests", Hlp_fsm.Stg.reactive ~wait_states:6 ~burst_states:4, 0.03);
+        ("reactive 6+4, 20% requests", Hlp_fsm.Stg.reactive ~wait_states:6 ~burst_states:4, 0.2);
+        ("reactive 6+4, 50% requests", Hlp_fsm.Stg.reactive ~wait_states:6 ~burst_states:4, 0.5);
+        ("counter, always enabled", Hlp_fsm.Stg.counter_fsm ~bits:4, 1.0);
+      ]
+  in
+  Table.print ~title:"E7 / Fig. 7: gated clocks (saving tracks idleness)"
+    ~align:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+    ~header:[ "controller"; "idle cycles"; "normal cap"; "gated cap"; "saving" ]
+    rows
+
+(* E8 / Fig. 8: guarded evaluation. *)
+let fig8_guard () =
+  let rows =
+    List.concat_map
+      (fun n ->
+        let net = Hlp_optlogic.Guard.demo_circuit n in
+        match Hlp_optlogic.Guard.find_candidates net with
+        | [] -> [ [ Printf.sprintf "%d-bit" n; "-"; "-"; "-"; "-" ] ]
+        | best :: _ ->
+            let ev = Hlp_optlogic.Guard.evaluate ~cycles:1500 net best in
+            [ [ Printf.sprintf "%d-bit shared add/and datapath" n;
+                Table.fmt_pct ev.Hlp_optlogic.Guard.frozen_fraction;
+                fmt ev.Hlp_optlogic.Guard.baseline_cap;
+                fmt ev.Hlp_optlogic.Guard.guarded_cap;
+                Table.fmt_pct ev.Hlp_optlogic.Guard.saving ] ])
+      [ 6; 8; 12; 16 ]
+  in
+  Table.print ~title:"E8 / Fig. 8: guarded evaluation (existing mux select as guard)"
+    ~align:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+    ~header:[ "circuit"; "frozen cycles"; "base cap"; "guarded cap"; "saving" ]
+    rows
+
+(* E9 / Fig. 9: low-power retiming. *)
+let fig9_retime () =
+  let net = Hlp_logic.Generators.multiplier_circuit 6 in
+  let cuts = Hlp_optlogic.Retime.best_cut ~cycles:300 net ~max_depth:(Hlp_logic.Netlist.logic_depth net) in
+  (* show a representative sweep *)
+  let depth = Hlp_logic.Netlist.logic_depth net in
+  let picks = [ 0; depth / 4; depth / 2; (3 * depth) / 4; depth ] in
+  let rows =
+    List.map
+      (fun d ->
+        let e = List.find (fun e -> e.Hlp_optlogic.Retime.depth = d) cuts in
+        [ string_of_int e.Hlp_optlogic.Retime.depth;
+          string_of_int e.Hlp_optlogic.Retime.registers;
+          fmt e.Hlp_optlogic.Retime.total_cap;
+          fmt e.Hlp_optlogic.Retime.glitch_cap ])
+      (List.sort_uniq compare picks)
+  in
+  let best =
+    List.fold_left
+      (fun acc e ->
+        if e.Hlp_optlogic.Retime.total_cap < acc.Hlp_optlogic.Retime.total_cap then e else acc)
+      (List.hd cuts) cuts
+  in
+  Table.print ~title:"E9 / Fig. 9: pipeline register placement vs glitch power (6x6 multiplier)"
+    ~align:[ Table.Right; Table.Right; Table.Right; Table.Right ]
+    ~header:[ "cut depth"; "registers"; "total cap/cycle"; "glitch cap/cycle" ]
+    rows;
+  Printf.printf "best cut: depth %d (registers placed after the glitchy array rows)\n\n"
+    best.Hlp_optlogic.Retime.depth
+
+let all () =
+  table1_fir ();
+  fig2_memory ();
+  fig3_shutdown ();
+  e31_multistate ();
+  poly_figures ();
+  fig6_precompute ();
+  fig7_gated_clock ();
+  fig8_guard ();
+  fig9_retime ()

@@ -1,0 +1,416 @@
+(* Experiments E17-E20: the synthesis/optimization claims of Section III. *)
+
+open Hlp_util
+
+let fmt = Table.fmt_float
+
+(* E17: bus encodings across stream classes. *)
+let e17_bus () =
+  let width = 16 in
+  let rng = Prng.create 7 in
+  let train = Hlp_bus.Traces.loop_kernel rng ~body:12 ~iterations:80 ~width in
+  let beach = Hlp_bus.Encoding.train_beach ~width train in
+  let schemes =
+    [ Hlp_bus.Encoding.Binary; Hlp_bus.Encoding.Gray_code; Hlp_bus.Encoding.Bus_invert;
+      Hlp_bus.Encoding.T0; Hlp_bus.Encoding.T0_bus_invert;
+      Hlp_bus.Encoding.Working_zone { zones = 4; offset_bits = 4 }; beach ]
+  in
+  let streams =
+    [
+      ("sequential", Hlp_bus.Traces.sequential () ~width ~n:6000);
+      ("seq + 5% jumps", Hlp_bus.Traces.sequential_with_jumps rng ~jump_prob:0.05 ~width ~n:6000);
+      ("interleaved arrays",
+       Hlp_bus.Traces.interleaved_arrays rng ~bases:[ 0x0100; 0x4200; 0x8000; 0xC000 ]
+         ~stride:1 ~width ~n:6000);
+      ("loop kernel", Hlp_bus.Traces.loop_kernel rng ~body:12 ~iterations:80 ~width);
+      ("random data", Hlp_bus.Traces.random_data rng ~width ~n:6000);
+    ]
+  in
+  let rows =
+    List.map
+      (fun scheme ->
+        Hlp_bus.Encoding.scheme_name scheme
+        :: List.map
+             (fun (_, s) ->
+               assert (Hlp_bus.Encoding.roundtrip scheme ~width s);
+               fmt ~digits:3 (Hlp_bus.Encoding.evaluate scheme ~width s).Hlp_bus.Encoding.per_word)
+             streams)
+      schemes
+  in
+  Table.print
+    ~title:"E17: bus-line transitions per word, 16-bit bus (paper: Gray ~1, T0 -> 0 on sequential)"
+    ~align:(Table.Left :: List.map (fun _ -> Table.Right) streams)
+    ~header:("scheme" :: List.map fst streams)
+    rows
+
+(* E18: power-management scheduling + low-power allocation. *)
+let e18_hls () =
+  (* scheduling with shutdown of mutually exclusive mux arms *)
+  let g = Hlp_rtl.Cdfg.branchy () in
+  let asap = Hlp_rtl.Schedule.asap g in
+  let rows =
+    List.map
+      (fun slack ->
+        let latency = asap.Hlp_rtl.Schedule.latency + slack in
+        let pm = Hlp_rtl.Schedule.power_managed g ~latency in
+        let base = Hlp_rtl.Schedule.energy g in
+        let managed = Hlp_rtl.Schedule.pm_energy g pm ~sel_prob:(fun _ -> 0.5) in
+        [ string_of_int latency;
+          string_of_int (List.length pm.Hlp_rtl.Schedule.manageable);
+          fmt base; fmt managed;
+          Table.fmt_pct (1.0 -. (managed /. base)) ])
+      [ 0; 1; 2; 4 ]
+  in
+  Table.print
+    ~title:"E18a: Monteiro power-managed scheduling (paper [65] reports 5-33% savings)"
+    ~align:[ Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+    ~header:[ "latency"; "manageable muxes"; "base energy"; "managed energy"; "saving" ]
+    rows;
+  (* allocation: area-driven vs switching-aware binding *)
+  let rows =
+    List.map
+      (fun (name, g, resources) ->
+        let sched = Hlp_rtl.Schedule.list_schedule g ~resources in
+        let prof = Hlp_rtl.Allocate.profile ~samples:150 g in
+        let area = Hlp_rtl.Allocate.bind_greedy_area g sched in
+        let lp = Hlp_rtl.Allocate.bind_low_power g sched prof in
+        let ca = Hlp_rtl.Allocate.switched_capacitance g sched area prof in
+        let cl = Hlp_rtl.Allocate.switched_capacitance g sched lp prof in
+        [ name; fmt ca; fmt cl; Table.fmt_pct (1.0 -. (cl /. ca));
+          string_of_int (Hlp_rtl.Allocate.register_count g sched) ])
+      [
+        ("diffeq", Hlp_rtl.Cdfg.diffeq (),
+         [ (Hlp_rtl.Module_energy.Multiplier, 2); (Hlp_rtl.Module_energy.Adder, 2) ]);
+        ("fir 8-tap", Hlp_rtl.Cdfg.fir ~coeffs:[ 1; 2; 4; 8; 8; 4; 2; 1 ],
+         [ (Hlp_rtl.Module_energy.Multiplier, 3); (Hlp_rtl.Module_energy.Adder, 2) ]);
+        ("poly3 + poly2 pair",
+         (let b = Hlp_rtl.Cdfg.Build.create () in
+          let x = Hlp_rtl.Cdfg.Build.input b "x" and y = Hlp_rtl.Cdfg.Build.input b "y" in
+          let a = Hlp_rtl.Cdfg.Build.input b "a" and c = Hlp_rtl.Cdfg.Build.input b "c" in
+          let x2 = Hlp_rtl.Cdfg.Build.mul b x x in
+          let y2 = Hlp_rtl.Cdfg.Build.mul b y y in
+          let t1 = Hlp_rtl.Cdfg.Build.mul b a x2 in
+          let t2 = Hlp_rtl.Cdfg.Build.mul b c y2 in
+          let s1 = Hlp_rtl.Cdfg.Build.add b t1 y in
+          let s2 = Hlp_rtl.Cdfg.Build.add b t2 x in
+          let r = Hlp_rtl.Cdfg.Build.add b s1 s2 in
+          Hlp_rtl.Cdfg.Build.finish b ~outputs:[ r ]),
+         [ (Hlp_rtl.Module_energy.Multiplier, 2); (Hlp_rtl.Module_energy.Adder, 2) ]);
+      ]
+  in
+  Table.print ~title:"E18b: low-power allocation vs area-driven binding"
+    ~align:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+    ~header:[ "design"; "area binding cap"; "low-power binding cap"; "saving"; "registers" ]
+    rows;
+  (* register binding (Chang-Pedram) *)
+  let rows =
+    List.map
+      (fun (name, g) ->
+        let sched =
+          Hlp_rtl.Schedule.list_schedule g ~resources:[ (Hlp_rtl.Module_energy.Multiplier, 2) ]
+        in
+        let prof = Hlp_rtl.Allocate.profile ~samples:150 g in
+        let area = Hlp_rtl.Allocate.bind_registers_area g sched in
+        let lp = Hlp_rtl.Allocate.bind_registers_low_power g sched prof in
+        let ca = Hlp_rtl.Allocate.register_switched_capacitance g sched area prof in
+        let cl = Hlp_rtl.Allocate.register_switched_capacitance g sched lp prof in
+        [ name;
+          string_of_int area.Hlp_rtl.Allocate.num_regs;
+          string_of_int lp.Hlp_rtl.Allocate.num_regs;
+          fmt ca; fmt cl; Table.fmt_pct (1.0 -. (cl /. ca)) ])
+      [ ("diffeq", Hlp_rtl.Cdfg.diffeq ());
+        ("fir 8-tap", Hlp_rtl.Cdfg.fir ~coeffs:[ 1; 2; 4; 8; 8; 4; 2; 1 ]) ]
+  in
+  Table.print
+    ~title:"E18c: register binding (Chang-Pedram [64]): value similarity drives the packing"
+    ~align:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+    ~header:[ "design"; "regs (area)"; "regs (lp)"; "area binding cap"; "lp binding cap"; "saving" ]
+    rows
+
+(* E19: multiple supply-voltage scheduling. *)
+let e19_voltage () =
+  let g = Hlp_rtl.Cdfg.diffeq () in
+  let base = Hlp_rtl.Voltage.single_voltage g in
+  let rows =
+    List.filter_map
+      (fun stretch ->
+        let deadline = base.Hlp_rtl.Voltage.total_delay *. stretch in
+        match Hlp_rtl.Voltage.schedule g ~deadline with
+        | None -> None
+        | Some asg ->
+            Hlp_rtl.Voltage.verify g asg;
+            Some
+              [ Printf.sprintf "%.2fx" stretch;
+                fmt asg.Hlp_rtl.Voltage.total_delay;
+                fmt asg.Hlp_rtl.Voltage.total_energy;
+                string_of_int asg.Hlp_rtl.Voltage.num_shifters;
+                Table.fmt_pct
+                  (1.0 -. (asg.Hlp_rtl.Voltage.total_energy /. base.Hlp_rtl.Voltage.total_energy)) ])
+      [ 1.0; 1.25; 1.5; 2.0; 3.0; 4.0 ]
+  in
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "E19: Chang-Pedram multi-voltage scheduling on diffeq (5.0/3.3/2.4V; single-Vdd energy %.0f)"
+         base.Hlp_rtl.Voltage.total_energy)
+    ~align:[ Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+    ~header:[ "deadline"; "delay"; "energy"; "level shifters"; "energy saving" ]
+    rows
+
+(* E20: FSM encoding for low power. *)
+let e20_fsm_encode () =
+  let rng = Prng.create 5 in
+  let rows =
+    List.map
+      (fun stg ->
+        let dist = Hlp_fsm.Markov.analyze stg in
+        let cost enc = Hlp_fsm.Encode.cost stg dist enc in
+        let cap enc = Hlp_fsm.Synth.switched_capacitance_per_cycle ~encoding:enc ~cycles:1500 stg in
+        let annealed = Hlp_fsm.Encode.anneal ~iterations:15_000 rng stg dist in
+        let nat = Hlp_fsm.Encode.natural stg in
+        [ stg.Hlp_fsm.Stg.name;
+          fmt ~digits:3 (cost nat); fmt (cap nat);
+          fmt ~digits:3 (cost (Hlp_fsm.Encode.gray stg));
+          fmt ~digits:3 (cost (Hlp_fsm.Encode.one_hot stg));
+          fmt ~digits:3 (cost annealed); fmt (cap annealed) ])
+      (Hlp_fsm.Stg.zoo_extended ())
+  in
+  Table.print
+    ~title:"E20: state encoding (E[Hamming]/cycle proxy and synthesized cap/cycle)"
+    ~align:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+    ~header:[ "machine"; "natural"; "nat cap"; "gray"; "one-hot"; "annealed"; "ann cap" ]
+    rows
+
+(* E22: cold scheduling (Su et al., Section III-A). *)
+let e22_coldsched () =
+  let rows =
+    List.map
+      (fun (name, (prog, mem)) ->
+        let e = Hlp_isa.Coldsched.measure ~mem_init:mem prog in
+        [ name;
+          fmt ~digits:2 e.Hlp_isa.Coldsched.original_toggles;
+          fmt ~digits:2 e.Hlp_isa.Coldsched.scheduled_toggles;
+          Table.fmt_pct e.Hlp_isa.Coldsched.saving ])
+      (Hlp_isa.Programs.all ())
+  in
+  Table.print
+    ~title:"E22: cold scheduling (instruction-bus toggles/instr; needs ILP to act)"
+    ~align:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+    ~header:[ "program"; "original"; "cold-scheduled"; "saving" ]
+    rows
+
+(* E23: F-test stepwise macro-model construction (Wu et al.). *)
+let e23_stepwise () =
+  let dut =
+    { Hlp_power.Macromodel.net = Hlp_logic.Generators.adder_circuit 8; widths = [ 8; 8 ] }
+  in
+  let obs =
+    List.map (Hlp_power.Macromodel.observe dut) (Hlp_power.Macromodel.training_streams dut)
+  in
+  let features =
+    Array.of_list
+      (List.map
+         (fun o ->
+           Array.concat
+             (List.map
+                (fun a -> a.Hlp_sim.Activity.activity)
+                o.Hlp_power.Macromodel.stats.Hlp_power.Macromodel.in_acts))
+         obs)
+  in
+  let response = Array.of_list (List.map (fun o -> o.Hlp_power.Macromodel.cap) obs) in
+  let m = Hlp_power.Stepwise.fit ~features ~response () in
+  let r2 = Hlp_power.Stepwise.r_squared m ~features ~response in
+  let sample = features.(0) in
+  let lo, hi = Hlp_power.Stepwise.confidence_interval m sample in
+  Printf.printf
+    "== E23: F-test stepwise macro-model (Wu et al.) ==\n\
+     candidate pool: 16 per-pin activities; selected %d variables %s\n\
+     r^2 = %.3f; sample prediction %.1f with 95%% interval [%.1f, %.1f]\n\
+     (paper: ~8 selected variables, 5-10%% average error)\n\n"
+    (List.length m.Hlp_power.Stepwise.selected)
+    (String.concat "," (List.map string_of_int m.Hlp_power.Stepwise.selected))
+    r2
+    (Hlp_power.Stepwise.predict m sample)
+    lo hi
+
+(* E24: FSM decomposition with submachine shutdown. *)
+let e24_decompose () =
+  let rows =
+    List.map
+      (fun (label, stg, p_req) ->
+        let dist =
+          Hlp_fsm.Markov.analyze
+            ~input_prob:(fun i -> if i = 1 then p_req else 1.0 -. p_req)
+            stg
+        in
+        let part = Hlp_fsm.Decompose.balanced_min_cut (Hlp_util.Prng.create 3) stg dist in
+        let d = Hlp_fsm.Decompose.decompose stg dist part in
+        let ev = Hlp_fsm.Decompose.evaluate stg d in
+        [ label;
+          Table.fmt_pct d.Hlp_fsm.Decompose.crossing;
+          fmt ev.Hlp_fsm.Decompose.monolithic_cap;
+          fmt ev.Hlp_fsm.Decompose.decomposed_cap;
+          Table.fmt_pct ev.Hlp_fsm.Decompose.saving ])
+      [
+        ("reactive 6+6, 5% requests", Hlp_fsm.Stg.reactive ~wait_states:6 ~burst_states:6, 0.05);
+        ("reactive 8+8, 10% requests", Hlp_fsm.Stg.reactive ~wait_states:8 ~burst_states:8, 0.1);
+      ]
+  in
+  Table.print
+    ~title:"E24: FSM decomposition + idle-half shutdown (Section III-H)"
+    ~align:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+    ~header:[ "machine"; "crossing prob"; "monolithic cap"; "decomposed cap"; "saving" ]
+    rows
+
+(* E25: Panda-Dutt memory mapping. *)
+let e25_memmap () =
+  let width = 12 in
+  let arrays = [ ("a", 100); ("b", 100); ("c", 60); ("d", 200) ] in
+  let acc = Hlp_bus.Memmap.interleaved_workload (Hlp_util.Prng.create 5) arrays ~n:6000 in
+  let t bases = Hlp_bus.Memmap.transitions ~width ~bases acc in
+  let naive = t (Hlp_bus.Memmap.naive_bases arrays) in
+  let aligned = t (Hlp_bus.Memmap.aligned_bases arrays) in
+  let opt = t (Hlp_bus.Memmap.optimize (Hlp_util.Prng.create 7) ~width arrays acc) in
+  Table.print
+    ~title:"E25: memory mapping for address-bus power (Panda-Dutt, Section III-A)"
+    ~align:[ Table.Left; Table.Right; Table.Right ]
+    ~header:[ "placement"; "bus transitions"; "vs naive" ]
+    [
+      [ "declaration-order packing"; string_of_int naive; "-" ];
+      [ "power-of-two aligned"; string_of_int aligned;
+        Table.fmt_pct (1.0 -. (float_of_int aligned /. float_of_int naive)) ];
+      [ "annealed placement"; string_of_int opt;
+        Table.fmt_pct (1.0 -. (float_of_int opt /. float_of_int naive)) ];
+    ]
+
+(* E26: internal organization as a macro-model parameter. *)
+let e26_architectures () =
+  let n = 8 in
+  let build_adder f =
+    let module B = Hlp_logic.Netlist.Builder in
+    let b = B.create () in
+    let x = B.inputs ~prefix:"a" b n and y = B.inputs ~prefix:"b" b n in
+    let sum, _ = f b x y in
+    Array.iteri (fun i w -> B.output b (Printf.sprintf "s%d" i) w) sum;
+    B.finish b
+  in
+  let build_mult f =
+    let module B = Hlp_logic.Netlist.Builder in
+    let b = B.create () in
+    let x = B.inputs ~prefix:"a" b n and y = B.inputs ~prefix:"b" b n in
+    let p = f b x y in
+    Array.iteri (fun i w -> B.output b (Printf.sprintf "p%d" i) w) p;
+    B.finish b
+  in
+  let designs =
+    [
+      ("ripple adder", build_adder (fun b x y -> Hlp_logic.Generators.ripple_adder b x y));
+      ("carry-select adder",
+       build_adder (fun b x y -> Hlp_logic.Generators.carry_select_adder b ~block:4 x y));
+      ("array multiplier", build_mult Hlp_logic.Generators.array_multiplier);
+      ("wallace multiplier", build_mult Hlp_logic.Generators.wallace_multiplier);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (label, net) ->
+        let sim = Hlp_sim.Eventsim.create net in
+        let rng = Prng.create 3 in
+        Hlp_sim.Eventsim.run sim (fun _ -> Array.init (2 * n) (fun _ -> Prng.bool rng)) 400;
+        [ label;
+          fmt (Hlp_logic.Netlist.critical_path net);
+          fmt (Hlp_logic.Netlist.total_capacitance net);
+          fmt (Hlp_sim.Eventsim.functional_switched_capacitance sim /. 400.0);
+          fmt (Hlp_sim.Eventsim.glitch_capacitance sim /. 400.0) ])
+      designs
+  in
+  Table.print
+    ~title:
+      "E26: internal organization (same function, different power/delay — the macro-model parameterization axis)"
+    ~align:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+    ~header:[ "organization"; "critical path"; "C_tot"; "functional cap/cyc"; "glitch cap/cyc" ]
+    rows
+
+(* E27: glitch reduction by delay balancing (Raghunathan et al. [109]). *)
+let e27_balancing () =
+  let rows =
+    List.map
+      (fun (label, net) ->
+        let gb, ga, tb, ta = Hlp_optlogic.Retime.balancing_evaluation ~cycles:300 net in
+        [ label; fmt gb; fmt ga; Table.fmt_pct (1.0 -. (ga /. gb)); fmt tb; fmt ta ])
+      [
+        ("array multiplier 6x6", Hlp_logic.Generators.multiplier_circuit 6);
+        ("8-operand adder chain",
+         (let module B = Hlp_logic.Netlist.Builder in
+          let b = B.create () in
+          let words = List.init 8 (fun k -> B.inputs ~prefix:(Printf.sprintf "w%d" k) b 8) in
+          let sum =
+            List.fold_left
+              (fun acc w ->
+                match acc with
+                | None -> Some w
+                | Some s -> Some (fst (Hlp_logic.Generators.ripple_adder b s w)))
+              None words
+          in
+          (match sum with
+          | Some s -> Array.iteri (fun i w -> B.output b (Printf.sprintf "s%d" i) w) s
+          | None -> ());
+          B.finish b));
+      ]
+  in
+  Table.print
+    ~title:
+      "E27: glitch reduction by path balancing (glitches drop; buffer overhead can exceed the gain — the overhead tension of Section III-I)"
+    ~align:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+    ~header:[ "circuit"; "glitch before"; "glitch after"; "glitch saving"; "total before"; "total after" ]
+    rows
+
+(* E29: bus encodings on real program streams (cross-subsystem integration:
+   the ISA machine's fetch/data buses feed the Section III-G codes). *)
+let e29_bus_on_traces () =
+  let width = 16 in
+  let programs =
+    [ ("matmul n=10", Hlp_isa.Programs.matmul ~n:10);
+      ("fir 8x256", Hlp_isa.Programs.fir ~taps:8 ~samples:256);
+      ("bubble sort n=48", Hlp_isa.Programs.bubble_sort ~n:48) ]
+  in
+  let schemes =
+    [ Hlp_bus.Encoding.Binary; Hlp_bus.Encoding.Gray_code; Hlp_bus.Encoding.T0;
+      Hlp_bus.Encoding.Working_zone { zones = 4; offset_bits = 4 };
+      Hlp_bus.Encoding.Bus_invert ]
+  in
+  let rows =
+    List.concat_map
+      (fun (name, (prog, mem)) ->
+        let _, traces = Hlp_isa.Machine.run_traced ~mem_init:mem prog in
+        List.map
+          (fun (bus, stream) ->
+            (Printf.sprintf "%s / %s" name bus)
+            :: List.map
+                 (fun s ->
+                   assert (Hlp_bus.Encoding.roundtrip s ~width stream);
+                   fmt ~digits:3
+                     (Hlp_bus.Encoding.evaluate s ~width stream).Hlp_bus.Encoding.per_word)
+                 schemes)
+          [ ("fetch", traces.Hlp_isa.Machine.pcs);
+            ("data", traces.Hlp_isa.Machine.data_addrs) ])
+      programs
+  in
+  Table.print
+    ~title:"E29: bus encodings on real program address streams (transitions/word)"
+    ~align:(Table.Left :: List.map (fun _ -> Table.Right) schemes)
+    ~header:("program / bus" :: List.map Hlp_bus.Encoding.scheme_name schemes)
+    rows
+
+let all () =
+  e17_bus ();
+  e18_hls ();
+  e19_voltage ();
+  e20_fsm_encode ();
+  e22_coldsched ();
+  e23_stepwise ();
+  e24_decompose ();
+  e25_memmap ();
+  e26_architectures ();
+  e27_balancing ();
+  e29_bus_on_traces ()

@@ -1,0 +1,232 @@
+(* hlpower: command-line front end to the toolkit.
+
+   Subcommands:
+     estimate    power-estimate a generated RT module three ways
+     bus-encode  compare bus encodings on a generated address/data trace
+     pm-sim      simulate system-level shutdown policies
+     fsm-encode  low-power state encoding of a benchmark machine
+     info        inventory of the library *)
+
+open Cmdliner
+
+let circuit_of_name name width =
+  match name with
+  | "adder" -> Hlp_logic.Generators.adder_circuit width
+  | "multiplier" -> Hlp_logic.Generators.multiplier_circuit width
+  | "max" -> Hlp_logic.Generators.max_circuit width
+  | "alu" -> Hlp_logic.Generators.alu_circuit width
+  | "comparator" -> Hlp_logic.Generators.comparator_circuit width
+  | "parity" -> Hlp_logic.Generators.parity_circuit width
+  | _ -> failwith ("unknown circuit: " ^ name)
+
+let stream_of_name rng name width n =
+  match name with
+  | "uniform" -> Hlp_sim.Streams.uniform rng ~width ~n
+  | "walk" -> Hlp_sim.Streams.gaussian_walk rng ~width ~sigma:20.0 ~n
+  | "correlated" -> Hlp_sim.Streams.correlated_bits rng ~width ~p:0.5 ~rho:0.7 ~n
+  | "biased" -> Hlp_sim.Streams.biased_bits rng ~width ~p:0.25 ~n
+  | _ -> failwith ("unknown stream: " ^ name)
+
+(* --- estimate --- *)
+
+let estimate circuit width cycles stream seed =
+  let net = circuit_of_name circuit width in
+  Printf.printf "circuit: %s\n" (Hlp_logic.Netlist.stats_string net);
+  let nin = Array.length net.Hlp_logic.Netlist.inputs in
+  let rng = Hlp_util.Prng.create seed in
+  let trace = stream_of_name rng stream nin cycles in
+  let sim = Hlp_sim.Funcsim.create net in
+  Hlp_sim.Funcsim.run sim
+    (fun i -> Array.init nin (fun b -> Hlp_util.Bits.bit trace.(i) b))
+    cycles;
+  let reference = Hlp_sim.Funcsim.switched_capacitance sim /. float_of_int cycles in
+  Printf.printf "gate-level reference:   %10.1f cap units/cycle\n" reference;
+  List.iter
+    (fun (name, model) ->
+      let est = Hlp_power.Entropy.estimate_netlist ~model net ~input_trace:trace in
+      Printf.printf "%-22s %10.1f cap units/cycle\n" name
+        (est.Hlp_power.Entropy.c_tot *. est.Hlp_power.Entropy.e_avg))
+    [ ("entropy (Marculescu):", Hlp_power.Entropy.Marculescu);
+      ("entropy (Nemani-Najm):", Hlp_power.Entropy.Nemani_najm) ];
+  let ces =
+    Hlp_power.Complexity.ces_switched_capacitance_estimate Hlp_power.Complexity.ces_default net
+  in
+  Printf.printf "%-22s %10.1f cap units/cycle\n" "gate-equivalents (CES):" ces;
+  0
+
+let estimate_cmd =
+  let circuit =
+    Arg.(value & opt string "multiplier"
+         & info [ "circuit" ] ~doc:"adder|multiplier|max|alu|comparator|parity")
+  in
+  let width = Arg.(value & opt int 8 & info [ "width" ] ~doc:"operand bit width") in
+  let cycles = Arg.(value & opt int 2000 & info [ "cycles" ] ~doc:"simulation cycles") in
+  let stream =
+    Arg.(value & opt string "uniform" & info [ "stream" ] ~doc:"uniform|walk|correlated|biased")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed") in
+  Cmd.v (Cmd.info "estimate" ~doc:"Power-estimate a generated RT module")
+    Term.(const estimate $ circuit $ width $ cycles $ stream $ seed)
+
+(* --- bus-encode --- *)
+
+let bus_encode trace width n seed =
+  let rng = Hlp_util.Prng.create seed in
+  let stream =
+    match trace with
+    | "sequential" -> Hlp_bus.Traces.sequential () ~width ~n
+    | "jumps" -> Hlp_bus.Traces.sequential_with_jumps rng ~jump_prob:0.05 ~width ~n
+    | "interleaved" ->
+        Hlp_bus.Traces.interleaved_arrays rng ~bases:[ 0x100; 0x4200; 0x8000 ]
+          ~stride:1 ~width ~n
+    | "loop" -> Hlp_bus.Traces.loop_kernel rng ~body:12 ~iterations:(n / 15) ~width
+    | "random" -> Hlp_bus.Traces.random_data rng ~width ~n
+    | _ -> failwith ("unknown trace: " ^ trace)
+  in
+  let train = Hlp_bus.Traces.loop_kernel rng ~body:12 ~iterations:60 ~width in
+  let beach = Hlp_bus.Encoding.train_beach ~width train in
+  Printf.printf "%-14s %12s %6s\n" "scheme" "trans/word" "lines";
+  List.iter
+    (fun scheme ->
+      assert (Hlp_bus.Encoding.roundtrip scheme ~width stream);
+      let r = Hlp_bus.Encoding.evaluate scheme ~width stream in
+      Printf.printf "%-14s %12.3f %6d\n"
+        (Hlp_bus.Encoding.scheme_name scheme)
+        r.Hlp_bus.Encoding.per_word r.Hlp_bus.Encoding.lines)
+    [ Hlp_bus.Encoding.Binary; Hlp_bus.Encoding.Gray_code; Hlp_bus.Encoding.Bus_invert;
+      Hlp_bus.Encoding.T0; Hlp_bus.Encoding.T0_bus_invert;
+      Hlp_bus.Encoding.Working_zone { zones = 4; offset_bits = 4 }; beach ];
+  0
+
+let bus_cmd =
+  let trace =
+    Arg.(value & opt string "sequential"
+         & info [ "trace" ] ~doc:"sequential|jumps|interleaved|loop|random")
+  in
+  let width = Arg.(value & opt int 16 & info [ "width" ] ~doc:"bus width") in
+  let n = Arg.(value & opt int 4000 & info [ "words" ] ~doc:"trace length") in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"PRNG seed") in
+  Cmd.v (Cmd.info "bus-encode" ~doc:"Compare bus encodings on a generated trace")
+    Term.(const bus_encode $ trace $ width $ n $ seed)
+
+(* --- pm-sim --- *)
+
+let pm_sim sessions seed =
+  let device = Hlp_pm.Policy.default_device in
+  let w = Hlp_pm.Policy.workload ~sessions (Hlp_util.Prng.create seed) in
+  Printf.printf "%-24s %12s %8s %10s\n" "policy" "improvement" "delay" "shutdowns";
+  List.iter
+    (fun p ->
+      let s = Hlp_pm.Policy.simulate device p w in
+      Printf.printf "%-24s %11.2fx %7.2f%% %10d\n" (Hlp_pm.Policy.policy_name p)
+        s.Hlp_pm.Policy.improvement
+        (100.0 *. s.Hlp_pm.Policy.delay_penalty)
+        s.Hlp_pm.Policy.shutdowns)
+    [ Hlp_pm.Policy.Always_on; Hlp_pm.Policy.Timeout 5.0; Hlp_pm.Policy.Threshold 1.0;
+      Hlp_pm.Policy.Regression; Hlp_pm.Policy.Exp_average { alpha = 0.3; prewake = false };
+      Hlp_pm.Policy.Oracle ];
+  0
+
+let pm_cmd =
+  let sessions = Arg.(value & opt int 10_000 & info [ "sessions" ] ~doc:"workload size") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed") in
+  Cmd.v (Cmd.info "pm-sim" ~doc:"Simulate system-level shutdown policies")
+    Term.(const pm_sim $ sessions $ seed)
+
+(* --- fsm-encode --- *)
+
+let fsm_encode machine iterations seed =
+  let stg =
+    match machine with
+    | "counter" -> Hlp_fsm.Stg.counter_fsm ~bits:4
+    | "updown" -> Hlp_fsm.Stg.updown ~bits:4
+    | "reactive" -> Hlp_fsm.Stg.reactive ~wait_states:4 ~burst_states:4
+    | "seqdet" -> Hlp_fsm.Stg.sequence_detector ~pattern:[ true; false; true; true ]
+    | "random" ->
+        Hlp_fsm.Stg.random_fsm (Hlp_util.Prng.create seed) ~states:12 ~input_bits:2
+          ~output_bits:3
+    | _ -> failwith ("unknown machine: " ^ machine)
+  in
+  let dist = Hlp_fsm.Markov.analyze stg in
+  let rng = Hlp_util.Prng.create seed in
+  Printf.printf "%-10s %16s %18s\n" "encoding" "E[Hamming]/cycle" "synth cap/cycle";
+  List.iter
+    (fun (name, enc) ->
+      Printf.printf "%-10s %16.3f %18.1f\n" name
+        (Hlp_fsm.Encode.cost stg dist enc)
+        (Hlp_fsm.Synth.switched_capacitance_per_cycle ~encoding:enc stg))
+    [
+      ("natural", Hlp_fsm.Encode.natural stg);
+      ("gray", Hlp_fsm.Encode.gray stg);
+      ("one-hot", Hlp_fsm.Encode.one_hot stg);
+      ("annealed", Hlp_fsm.Encode.anneal ~iterations rng stg dist);
+    ];
+  0
+
+let fsm_cmd =
+  let machine =
+    Arg.(value & opt string "random"
+         & info [ "machine" ] ~doc:"counter|updown|reactive|seqdet|random")
+  in
+  let iterations =
+    Arg.(value & opt int 20_000 & info [ "iterations" ] ~doc:"annealing iterations")
+  in
+  let seed = Arg.(value & opt int 11 & info [ "seed" ] ~doc:"PRNG seed") in
+  Cmd.v (Cmd.info "fsm-encode" ~doc:"Low-power state encoding of a benchmark machine")
+    Term.(const fsm_encode $ machine $ iterations $ seed)
+
+(* --- export --- *)
+
+let export circuit width format =
+  let net = circuit_of_name circuit width in
+  (match format with
+  | "verilog" -> print_string (Hlp_logic.Export.to_verilog ~module_name:circuit net)
+  | "dot" -> print_string (Hlp_logic.Export.to_dot ~max_nodes:2000 net)
+  | _ -> failwith ("unknown format: " ^ format));
+  0
+
+let export_cmd =
+  let circuit =
+    Arg.(value & opt string "adder"
+         & info [ "circuit" ] ~doc:"adder|multiplier|max|alu|comparator|parity")
+  in
+  let width = Arg.(value & opt int 8 & info [ "width" ] ~doc:"operand bit width") in
+  let format = Arg.(value & opt string "verilog" & info [ "format" ] ~doc:"verilog|dot") in
+  Cmd.v (Cmd.info "export" ~doc:"Emit a generated circuit as Verilog or dot")
+    Term.(const export $ circuit $ width $ format)
+
+(* --- info --- *)
+
+let show_info () =
+  print_endline "hlpower: high-level power modeling, estimation, and optimization";
+  print_endline "reproduction of Macii/Pedram/Somenzi (DAC'97 / IEEE TCAD'98)";
+  print_endline "";
+  print_endline "libraries:";
+  List.iter
+    (fun (name, what) -> Printf.printf "  %-14s %s\n" name what)
+    [
+      ("hlp_util", "PRNG, statistics, least squares, bit utilities");
+      ("hlp_logic", "gate library, netlists, datapath generators");
+      ("hlp_bdd", "hash-consed ROBDDs (ite, quantify, compose, probability)");
+      ("hlp_sim", "zero-delay and event-driven (glitch) simulation, streams");
+      ("hlp_fsm", "STGs, Markov analysis, encodings, controller synthesis");
+      ("hlp_rtl", "CDFGs, scheduling, allocation, multi-Vdd, Table I FIR");
+      ("hlp_isa", "RISC ISA, cycle/energy machine, Tiwari model, Hsieh synthesis");
+      ("hlp_power", "entropy/complexity models, macro-models, sampling, SRAM");
+      ("hlp_bus", "Bus-Invert, Gray, T0, Working-Zone, Beach encodings");
+      ("hlp_pm", "shutdown policies: timeout, threshold, regression, Hwang-Wu");
+      ("hlp_optlogic", "precomputation, gated clocks, guarded evaluation, retiming");
+    ];
+  print_endline "";
+  print_endline "run `dune exec bench/main.exe` for the full experiment reproduction.";
+  0
+
+let info_cmd =
+  Cmd.v (Cmd.info "info" ~doc:"Library inventory") Term.(const show_info $ const ())
+
+let () =
+  let doc = "high-level power modeling, estimation, and optimization toolkit" in
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "hlpower" ~version:"1.0.0" ~doc)
+          [ estimate_cmd; bus_cmd; pm_cmd; fsm_cmd; export_cmd; info_cmd ]))

@@ -1,0 +1,1 @@
+examples/bus_encoding.ml: Array Encoding Hlp_bus Hlp_util List Printf Traces

@@ -1,0 +1,1 @@
+examples/fir_filter.ml: Array Hlp_logic Hlp_rtl Hlp_sim Hlp_util List Printf

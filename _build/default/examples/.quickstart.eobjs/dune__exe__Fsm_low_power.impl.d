@@ -1,0 +1,1 @@
+examples/fsm_low_power.ml: Encode Hlp_fsm Hlp_optlogic Hlp_util List Markov Printf Stg Synth Tyagi

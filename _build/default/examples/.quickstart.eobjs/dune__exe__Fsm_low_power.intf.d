@@ -1,0 +1,1 @@
+examples/fsm_low_power.mli:

@@ -1,0 +1,1 @@
+examples/predictive_shutdown.ml: Array Hlp_pm Hlp_util List Policy Printf

@@ -1,0 +1,1 @@
+examples/predictive_shutdown.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Hlp_logic Hlp_power Hlp_sim Hlp_util List Printf

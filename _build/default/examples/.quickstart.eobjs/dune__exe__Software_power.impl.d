@@ -1,0 +1,1 @@
+examples/software_power.ml: Array Coldsched Hlp_isa Hlp_util List Machine Printf Profile Programs Tiwari

@@ -1,0 +1,61 @@
+(* Software-level power (Section II-A + III-A end to end): run an
+   application on the RISC machine, fit and apply the Tiwari
+   instruction-level model, synthesize a short profile-matched program, and
+   cold-schedule the code for a cooler instruction bus.
+
+   Run with: dune exec examples/software_power.exe *)
+
+open Hlp_isa
+
+let () =
+  let prog, mem = Programs.matmul ~n:12 in
+  let r = Machine.run ~mem_init:mem prog in
+  let c = r.Machine.counters in
+  Printf.printf "matmul n=12 on the hlp_isa machine:\n";
+  Printf.printf "  %d instructions, %d cycles, energy %.0f (%.2f/cycle)\n"
+    c.Machine.instructions c.Machine.cycles r.Machine.energy
+    (Machine.energy_per_cycle r);
+  Printf.printf "  i$ misses %d, d$ misses %d, stalls %d, flushes %d\n\n"
+    c.Machine.icache_misses c.Machine.dcache_misses c.Machine.load_use_stalls
+    c.Machine.branch_flushes;
+
+  (* Tiwari model fitted on the other applications *)
+  let others = List.filter (fun (n, _) -> n <> "matmul") (Programs.all ()) in
+  let model = Tiwari.fit (List.map snd others) in
+  let predicted = Tiwari.predict model c in
+  Printf.printf "Tiwari instruction-level prediction: %.0f (%.1f%% error)\n"
+    predicted
+    (100.0 *. Hlp_util.Stats.relative_error ~actual:r.Machine.energy ~estimate:predicted);
+  List.iter
+    (fun (name, v) -> if v > 0.01 then Printf.printf "    %-14s %8.2f\n" name v)
+    (Tiwari.coefficients model);
+  print_newline ();
+
+  (* profile-driven program synthesis *)
+  let v = Profile.validate r () in
+  Printf.printf
+    "Hsieh profile-driven synthesis: %d -> %d instructions (%.0fx shorter),\n\
+    \  power per cycle within %.1f%% of the original trace\n\n"
+    v.Profile.original.Profile.instructions v.Profile.synthetic.Profile.instructions
+    v.Profile.trace_reduction
+    (100.0 *. v.Profile.energy_error);
+
+  (* cold scheduling *)
+  Printf.printf "Cold scheduling (Su et al.):\n";
+  List.iter
+    (fun (name, (p, m)) ->
+      let e = Coldsched.measure ~mem_init:m p in
+      Printf.printf "  %-14s ibus %.2f -> %.2f toggles/instr (%.1f%% saving)\n" name
+        e.Coldsched.original_toggles e.Coldsched.scheduled_toggles
+        (100.0 *. e.Coldsched.saving))
+    [ ("vector_kernel", Programs.vector_kernel ~n:128); ("fir", Programs.fir ~taps:8 ~samples:256) ];
+
+  (* Fig. 2 *)
+  let rm = Machine.run ~mem_init:(snd (Programs.fig2_memory ~n:256)) (fst (Programs.fig2_memory ~n:256)) in
+  let rr = Machine.run ~mem_init:(snd (Programs.fig2_register ~n:256)) (fst (Programs.fig2_register ~n:256)) in
+  assert (rm.Machine.regs.(7) = rr.Machine.regs.(7));
+  Printf.printf
+    "\nFig. 2 memory-access minimization: %.0f -> %.0f energy (same result), %d -> %d accesses\n"
+    rm.Machine.energy rr.Machine.energy
+    (rm.Machine.counters.Machine.mem_reads + rm.Machine.counters.Machine.mem_writes)
+    (rr.Machine.counters.Machine.mem_reads + rr.Machine.counters.Machine.mem_writes)

@@ -1,0 +1,1 @@
+lib/bdd/bdd.ml: Array Gate Hashtbl Hlp_logic List Netlist

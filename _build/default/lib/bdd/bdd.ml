@@ -1,0 +1,297 @@
+type t =
+  | Leaf of bool
+  | Node of { id : int; var : int; low : t; high : t }
+
+let ident = function Leaf false -> 0 | Leaf true -> 1 | Node { id; _ } -> id
+
+type man = {
+  unique : (int * int * int, t) Hashtbl.t;  (* (var, low id, high id) *)
+  ite_cache : (int * int * int, t) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let manager ?(cache_size = 1 lsl 14) () =
+  { unique = Hashtbl.create cache_size;
+    ite_cache = Hashtbl.create cache_size;
+    next_id = 2 }
+
+let zero _ = Leaf false
+let one _ = Leaf true
+
+let top_var = function
+  | Leaf _ -> max_int
+  | Node { var; _ } -> var
+
+let mk m var low high =
+  if ident low = ident high then low
+  else begin
+    let key = (var, ident low, ident high) in
+    match Hashtbl.find_opt m.unique key with
+    | Some n -> n
+    | None ->
+        let n = Node { id = m.next_id; var; low; high } in
+        m.next_id <- m.next_id + 1;
+        Hashtbl.add m.unique key n;
+        n
+  end
+
+let var m i =
+  assert (i >= 0);
+  mk m i (Leaf false) (Leaf true)
+
+let nvar m i =
+  assert (i >= 0);
+  mk m i (Leaf true) (Leaf false)
+
+let cof v node =
+  match node with
+  | Node { var; low; high; _ } when var = v -> (low, high)
+  | _ -> (node, node)
+
+let rec ite m f g h =
+  match f with
+  | Leaf true -> g
+  | Leaf false -> h
+  | Node _ ->
+      if ident g = ident h then g
+      else if ident g = 1 && ident h = 0 then f
+      else begin
+        let key = (ident f, ident g, ident h) in
+        match Hashtbl.find_opt m.ite_cache key with
+        | Some r -> r
+        | None ->
+            let v = min (top_var f) (min (top_var g) (top_var h)) in
+            let f0, f1 = cof v f and g0, g1 = cof v g and h0, h1 = cof v h in
+            let low = ite m f0 g0 h0 and high = ite m f1 g1 h1 in
+            let r = mk m v low high in
+            Hashtbl.add m.ite_cache key r;
+            r
+      end
+
+let not_ m f = ite m f (Leaf false) (Leaf true)
+let and_ m f g = ite m f g (Leaf false)
+let or_ m f g = ite m f (Leaf true) g
+let xor_ m f g = ite m f (not_ m g) g
+let xnor_ m f g = ite m f g (not_ m g)
+let imp m f g = ite m f g (Leaf true)
+
+let conj m = List.fold_left (and_ m) (Leaf true)
+let disj m = List.fold_left (or_ m) (Leaf false)
+
+let equal a b = ident a = ident b
+let is_zero f = ident f = 0
+let is_one f = ident f = 1
+
+let rec cofactor m f ~var:v value =
+  match f with
+  | Leaf _ -> f
+  | Node { var; low; high; _ } ->
+      if var > v then f
+      else if var = v then if value then high else low
+      else
+        let l = cofactor m low ~var:v value
+        and h = cofactor m high ~var:v value in
+        mk m var l h
+
+let quantify combine m vars f =
+  let vars = List.sort_uniq compare vars in
+  List.fold_left
+    (fun acc v ->
+      let l = cofactor m acc ~var:v false and h = cofactor m acc ~var:v true in
+      combine m l h)
+    f vars
+
+let exists m vars f = quantify or_ m vars f
+let forall m vars f = quantify and_ m vars f
+
+(* Substitution must rebuild with ite on the branch variable because [g] may
+   contain variables ordered above the branch point. *)
+let rec compose m f ~var:v g =
+  match f with
+  | Leaf _ -> f
+  | Node { var = fv; low; high; _ } ->
+      if fv > v then f
+      else if fv = v then ite m g high low
+      else
+        let l = compose m low ~var:v g and h = compose m high ~var:v g in
+        ite m (var m fv) h l
+
+let rename m map f =
+  let memo = Hashtbl.create 64 in
+  let rec go f =
+    match f with
+    | Leaf _ -> f
+    | Node { id; var; low; high } -> (
+        match Hashtbl.find_opt memo id with
+        | Some r -> r
+        | None ->
+            let v' = map var in
+            let l = go low and h = go high in
+            (match l, h with
+            | Node { var = lv; _ }, _ when lv <= v' ->
+                invalid_arg "Bdd.rename: map is not monotone"
+            | _, Node { var = hv; _ } when hv <= v' ->
+                invalid_arg "Bdd.rename: map is not monotone"
+            | _ -> ());
+            let r = mk m v' l h in
+            Hashtbl.add memo id r;
+            r)
+  in
+  go f
+
+let support f =
+  let seen = Hashtbl.create 64 in
+  let vars = Hashtbl.create 16 in
+  let rec go = function
+    | Leaf _ -> ()
+    | Node { id; var; low; high } ->
+        if not (Hashtbl.mem seen id) then begin
+          Hashtbl.add seen id ();
+          Hashtbl.replace vars var ();
+          go low;
+          go high
+        end
+  in
+  go f;
+  List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) vars [])
+
+let fold f ~leaf ~node =
+  let memo = Hashtbl.create 64 in
+  let rec go = function
+    | Leaf b -> leaf b
+    | Node { id; var; low; high } -> (
+        match Hashtbl.find_opt memo id with
+        | Some r -> r
+        | None ->
+            let r = node var (go low) (go high) in
+            Hashtbl.add memo id r;
+            r)
+  in
+  go f
+
+let size_shared roots =
+  let seen = Hashtbl.create 64 in
+  let count = ref 0 in
+  let rec go = function
+    | Leaf _ -> ()
+    | Node { id; low; high; _ } ->
+        if not (Hashtbl.mem seen id) then begin
+          Hashtbl.add seen id ();
+          incr count;
+          go low;
+          go high
+        end
+  in
+  List.iter go roots;
+  !count
+
+let size f = size_shared [ f ]
+
+let probability _m ~p f =
+  let memo = Hashtbl.create 64 in
+  let rec go = function
+    | Leaf false -> 0.0
+    | Leaf true -> 1.0
+    | Node { id; var; low; high } -> (
+        match Hashtbl.find_opt memo id with
+        | Some x -> x
+        | None ->
+            let pv = p var in
+            let x = ((1.0 -. pv) *. go low) +. (pv *. go high) in
+            Hashtbl.add memo id x;
+            x)
+  in
+  go f
+
+let count_sat ~nvars f =
+  probability (manager ()) ~p:(fun _ -> 0.5) f *. (2.0 ** float_of_int nvars)
+
+let rec eval f assign =
+  match f with
+  | Leaf b -> b
+  | Node { var; low; high; _ } -> eval (if assign var then high else low) assign
+
+let pick_sat f =
+  let rec go acc = function
+    | Leaf true -> Some (List.rev acc)
+    | Leaf false -> None
+    | Node { var; low; high; _ } -> (
+        match go ((var, false) :: acc) low with
+        | Some r -> Some r
+        | None -> go ((var, true) :: acc) high)
+  in
+  go [] f
+
+let node_count m = Hashtbl.length m.unique
+
+let of_netlist_all ?(order = fun k -> k) ?override m (net : Hlp_logic.Netlist.t) =
+  let open Hlp_logic in
+  let n = Netlist.num_nodes net in
+  let funcs = Array.make n (Leaf false) in
+  let apply_override i f =
+    match override with
+    | Some (w, g) when w = i -> g f
+    | _ -> f
+  in
+  (* primary input k -> variable (order k); dff j -> variable (#inputs + j) *)
+  Array.iteri (fun k w -> funcs.(w) <- apply_override w (var m (order k))) net.Netlist.inputs;
+  let base = Array.length net.Netlist.inputs in
+  Array.iteri (fun j w -> funcs.(w) <- var m (base + j)) net.Netlist.dffs;
+  Array.iteri
+    (fun i (node : Netlist.node) ->
+      (match node.Netlist.kind with
+      | Gate.Input | Gate.Dff -> ()
+      | Gate.Const b -> funcs.(i) <- Leaf b
+      | Gate.Buf -> funcs.(i) <- funcs.(node.Netlist.fanin.(0))
+      | Gate.Not -> funcs.(i) <- not_ m funcs.(node.Netlist.fanin.(0))
+      | Gate.And _ ->
+          funcs.(i) <- conj m (Array.to_list (Array.map (fun w -> funcs.(w)) node.Netlist.fanin))
+      | Gate.Or _ ->
+          funcs.(i) <- disj m (Array.to_list (Array.map (fun w -> funcs.(w)) node.Netlist.fanin))
+      | Gate.Nand _ ->
+          funcs.(i) <-
+            not_ m (conj m (Array.to_list (Array.map (fun w -> funcs.(w)) node.Netlist.fanin)))
+      | Gate.Nor _ ->
+          funcs.(i) <-
+            not_ m (disj m (Array.to_list (Array.map (fun w -> funcs.(w)) node.Netlist.fanin)))
+      | Gate.Xor ->
+          funcs.(i) <- xor_ m funcs.(node.Netlist.fanin.(0)) funcs.(node.Netlist.fanin.(1))
+      | Gate.Xnor ->
+          funcs.(i) <- xnor_ m funcs.(node.Netlist.fanin.(0)) funcs.(node.Netlist.fanin.(1))
+      | Gate.Mux ->
+          funcs.(i) <-
+            ite m
+              funcs.(node.Netlist.fanin.(0))
+              funcs.(node.Netlist.fanin.(2))
+              funcs.(node.Netlist.fanin.(1)));
+      match node.Netlist.kind with
+      | Gate.Input -> ()
+      | Gate.Const _ | Gate.Buf | Gate.Not | Gate.And _ | Gate.Or _ | Gate.Nand _
+      | Gate.Nor _ | Gate.Xor | Gate.Xnor | Gate.Mux | Gate.Dff ->
+          funcs.(i) <- apply_override i funcs.(i))
+    net.Netlist.nodes;
+  funcs
+
+let of_netlist ?order m net =
+  let funcs = of_netlist_all ?order m net in
+  Array.to_list
+    (Array.map (fun (name, w) -> (name, funcs.(w))) net.Hlp_logic.Netlist.outputs)
+
+let first_use_order (net : Hlp_logic.Netlist.t) =
+  let open Hlp_logic in
+  let n = Netlist.num_nodes net in
+  let first_use = Array.make n max_int in
+  Array.iteri
+    (fun i (node : Netlist.node) ->
+      Array.iter
+        (fun w -> if first_use.(w) = max_int then first_use.(w) <- i)
+        node.Netlist.fanin)
+    net.Netlist.nodes;
+  let ranked =
+    Array.mapi (fun k w -> (first_use.(w), k)) net.Netlist.inputs
+  in
+  Array.sort compare ranked;
+  let var_of = Array.make (Array.length net.Netlist.inputs) 0 in
+  Array.iteri (fun rank (_, k) -> var_of.(k) <- rank) ranked;
+  fun k -> var_of.(k)
+

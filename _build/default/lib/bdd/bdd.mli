@@ -1,0 +1,124 @@
+(** Reduced ordered binary decision diagrams (Bryant 1986), hash-consed.
+
+    This is the symbolic substrate the survey leans on for: the Ferrandi
+    et al. total-capacitance model (node count of the circuit's BDD),
+    observability don't-care computation for guarded evaluation,
+    predictor-function synthesis for precomputation, and signal-probability
+    evaluation for probabilistic power estimation.
+
+    Nodes are managed by an explicit manager; all operands of a binary
+    operation must come from the same manager. Variable order is the
+    integer order of variable indices. *)
+
+type man
+(** BDD manager: unique table and operation caches. *)
+
+type t
+(** A BDD node (immutable, hash-consed). *)
+
+val manager : ?cache_size:int -> unit -> man
+
+val zero : man -> t
+val one : man -> t
+val var : man -> int -> t
+(** [var m i] is the function of variable [i]. Requires [i >= 0]. *)
+
+val nvar : man -> int -> t
+(** Complement of [var]. *)
+
+val ite : man -> t -> t -> t -> t
+(** If-then-else: [ite m f g h = f*g + f'*h]. All other connectives reduce
+    to it. *)
+
+val not_ : man -> t -> t
+val and_ : man -> t -> t -> t
+val or_ : man -> t -> t -> t
+val xor_ : man -> t -> t -> t
+val xnor_ : man -> t -> t -> t
+val imp : man -> t -> t -> t
+val conj : man -> t list -> t
+val disj : man -> t list -> t
+
+val equal : t -> t -> bool
+(** Constant-time function equality (hash-consing canonicity). *)
+
+val is_zero : t -> bool
+val is_one : t -> bool
+
+val cofactor : man -> t -> var:int -> bool -> t
+(** Restrict a variable to a constant. *)
+
+val exists : man -> int list -> t -> t
+(** Existential quantification over a set of variables. *)
+
+val forall : man -> int list -> t -> t
+(** Universal quantification. *)
+
+val compose : man -> t -> var:int -> t -> t
+(** [compose m f ~var g] substitutes function [g] for variable [var] in [f]. *)
+
+val rename : man -> (int -> int) -> t -> t
+(** Variable renaming. The map must be strictly monotone on the function's
+    support (it preserves the variable order), which makes renaming a
+    linear-time relabeling — the standard next-state-to-present-state swap
+    of symbolic reachability. *)
+
+val support : t -> int list
+(** Variables the function actually depends on, ascending. *)
+
+val fold : t -> leaf:(bool -> 'a) -> node:(int -> 'a -> 'a -> 'a) -> 'a
+(** Memoized bottom-up fold: [node var low_result high_result] is applied
+    once per distinct internal node. The basis of structural consumers
+    (mux-network synthesis, dot export) that must not re-expand shared
+    subgraphs. *)
+
+val size : t -> int
+(** Number of distinct internal nodes reachable from this root (the [N] of
+    the Ferrandi capacitance model, for a single output). *)
+
+val size_shared : t list -> int
+(** Distinct internal nodes across several roots (multi-output [N]). *)
+
+val count_sat : nvars:int -> t -> float
+(** Number of satisfying assignments over a space of [nvars] variables. *)
+
+val probability : man -> p:(int -> float) -> t -> float
+(** Satisfaction probability when variable [i] is true independently with
+    probability [p i]: the signal-probability evaluation used by the
+    probabilistic estimation techniques of Section II-C. *)
+
+val eval : t -> (int -> bool) -> bool
+(** Evaluate under a complete assignment. *)
+
+val pick_sat : t -> (int * bool) list option
+(** A partial assignment (variable, value) satisfying the function, or
+    [None] if unsatisfiable. *)
+
+val node_count : man -> int
+(** Total live unique-table entries, for diagnostics. *)
+
+(** {1 Circuits to BDDs} *)
+
+val of_netlist : ?order:(int -> int) -> man -> Hlp_logic.Netlist.t -> (string * t) list
+(** Build the global function of every primary output, with input [k] of the
+    netlist mapped to BDD variable [order k] (default: identity). Flip-flop
+    outputs are treated as free pseudo-inputs numbered after the primary
+    inputs. Exponential in the worst case; intended for the module-sized
+    circuits of the experiments. *)
+
+val of_netlist_all :
+  ?order:(int -> int) ->
+  ?override:(int * (t -> t)) ->
+  man ->
+  Hlp_logic.Netlist.t ->
+  t array
+(** Per-node global functions for the entire netlist (same variable
+    convention); index [i] is the function of node [i]. [override] rewrites
+    the function of one node after it is computed ([(wire, transform)]) —
+    the cut-point mechanism used for observability don't-care analysis. *)
+
+val first_use_order : Hlp_logic.Netlist.t -> int -> int
+(** Static variable-ordering heuristic: inputs are ranked by the id of the
+    first gate consuming them, which interleaves the operand words of
+    datapath blocks (ripple adders, comparators) and keeps their BDDs
+    small — the standard trick BDD-based estimators depend on. *)

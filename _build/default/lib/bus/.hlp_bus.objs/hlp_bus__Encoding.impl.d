@@ -1,0 +1,1 @@
+lib/bus/encoding.ml: Array Bits Hashtbl Hlp_util List Option Prng

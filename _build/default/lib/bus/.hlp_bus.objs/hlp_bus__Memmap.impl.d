@@ -1,0 +1,1 @@
+lib/bus/memmap.ml: Array Hlp_util List

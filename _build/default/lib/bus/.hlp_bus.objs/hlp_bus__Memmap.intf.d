@@ -1,0 +1,1 @@
+lib/bus/memmap.mli: Hlp_util

@@ -1,0 +1,1 @@
+lib/bus/traces.ml: Array Bits Hlp_util Int64 List Prng

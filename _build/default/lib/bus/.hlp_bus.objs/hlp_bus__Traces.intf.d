@@ -1,0 +1,1 @@
+lib/bus/traces.mli: Hlp_util

@@ -1,0 +1,110 @@
+type arrays = (string * int) list
+
+type access = { array_id : int; element : int }
+
+let address_trace ~bases accesses =
+  Array.map (fun a -> bases.(a.array_id) + a.element) accesses
+
+let transitions ~width ~bases accesses =
+  Hlp_util.Bits.transitions ~width (address_trace ~bases accesses)
+
+let pack ?(align = fun _ -> false) arrays order =
+  let n = List.length arrays in
+  let sizes = Array.of_list (List.map snd arrays) in
+  let bases = Array.make n 0 in
+  let cursor = ref 0 in
+  List.iter
+    (fun idx ->
+      let base =
+        if align idx then begin
+          let rec up a = if a >= sizes.(idx) then a else up (2 * a) in
+          let alignment = up 1 in
+          (!cursor + alignment - 1) / alignment * alignment
+        end
+        else !cursor
+      in
+      bases.(idx) <- base;
+      cursor := base + sizes.(idx))
+    order;
+  bases
+
+let naive_bases arrays = pack arrays (List.init (List.length arrays) (fun i -> i))
+
+let aligned_bases arrays =
+  pack ~align:(fun _ -> true) arrays (List.init (List.length arrays) (fun i -> i))
+
+let optimize ?(iterations = 3000) rng ~width arrays accesses =
+  let n = List.length arrays in
+  let order = Array.init n (fun i -> i) in
+  let aligned = Array.make n true in
+  let current_bases () =
+    pack ~align:(fun i -> aligned.(i)) arrays (Array.to_list order)
+  in
+  let cost () = transitions ~width ~bases:(current_bases ()) accesses in
+  let best_bases = ref (current_bases ()) in
+  let best = ref (cost ()) in
+  (* seed with the two reference placements *)
+  List.iter
+    (fun bases ->
+      let c = transitions ~width ~bases accesses in
+      if c < !best then begin
+        best := c;
+        best_bases := bases
+      end)
+    [ naive_bases arrays; aligned_bases arrays ];
+  let current = ref (cost ()) in
+  for k = 0 to iterations - 1 do
+    let undo =
+      if Hlp_util.Prng.bool rng && n >= 2 then begin
+        let i = Hlp_util.Prng.int rng n and j = Hlp_util.Prng.int rng n in
+        let t = order.(i) in
+        order.(i) <- order.(j);
+        order.(j) <- t;
+        fun () ->
+          let t = order.(i) in
+          order.(i) <- order.(j);
+          order.(j) <- t
+      end
+      else begin
+        let i = Hlp_util.Prng.int rng n in
+        aligned.(i) <- not aligned.(i);
+        fun () -> aligned.(i) <- not aligned.(i)
+      end
+    in
+    let c' = cost () in
+    let temperature =
+      float_of_int (max 1 !current) *. 0.02
+      *. exp (-6.0 *. float_of_int k /. float_of_int iterations)
+    in
+    if
+      c' <= !current
+      || Hlp_util.Prng.float rng 1.0 < exp (-.float_of_int (c' - !current) /. temperature)
+    then begin
+      current := c';
+      if c' < !best then begin
+        best := c';
+        best_bases := current_bases ()
+      end
+    end
+    else undo ()
+  done;
+  !best_bases
+
+let interleaved_workload rng arrays ~n =
+  (* lock-step interleaving — `for i { .. a[i] .. b[i] .. c[i] .. }` — with
+     a sprinkling of random accesses; this is the access structure whose
+     bus cost the placement controls *)
+  let k = List.length arrays in
+  let sizes = Array.of_list (List.map snd arrays) in
+  let index = ref 0 and turn = ref 0 in
+  Array.init n (fun _ ->
+      if Hlp_util.Prng.bernoulli rng 0.1 then begin
+        let a = Hlp_util.Prng.int rng k in
+        { array_id = a; element = Hlp_util.Prng.int rng sizes.(a) }
+      end
+      else begin
+        let a = !turn in
+        turn := (!turn + 1) mod k;
+        if !turn = 0 then incr index;
+        { array_id = a; element = !index mod sizes.(a) }
+      end)

@@ -1,0 +1,43 @@
+(** Low-power memory mapping (Panda-Dutt [53][54], Section III-A).
+
+    The power of off-chip drivers and memory decoding tracks address-bus
+    transitions, and those depend on {e where} the compiler places each
+    array: two arrays accessed in an interleaved fashion should sit at
+    bases that differ in few bits at matching offsets. Given the arrays and
+    an access pattern extracted at compile time, this module searches the
+    placement space for the bus-cheapest layout. *)
+
+type arrays = (string * int) list
+(** Declared arrays: (name, element count). *)
+
+type access = { array_id : int; element : int }
+
+val address_trace : bases:int array -> access array -> int array
+(** Concrete bus addresses for the access sequence under a placement. *)
+
+val transitions : width:int -> bases:int array -> access array -> int
+(** Total address-bus toggles of the access sequence. *)
+
+val naive_bases : arrays -> int array
+(** Declaration-order packing (what a naive allocator does). *)
+
+val aligned_bases : arrays -> int array
+(** Packing with each base rounded up to the array's power-of-two size —
+    keeps high-order bits stable within an array. *)
+
+val optimize :
+  ?iterations:int ->
+  Hlp_util.Prng.t ->
+  width:int ->
+  arrays ->
+  access array ->
+  int array
+(** Annealed placement search: permutes the packing order and toggles
+    per-array power-of-two alignment to minimize {!transitions}. Always at
+    least as good as the better of {!naive_bases}/{!aligned_bases} on the
+    given trace (both are in the search space and seed the search). *)
+
+val interleaved_workload :
+  Hlp_util.Prng.t -> arrays -> n:int -> access array
+(** Round-robin sequential walks over all arrays with occasional restarts:
+    the Panda-Dutt motivating pattern. *)

@@ -1,0 +1,45 @@
+open Hlp_util
+
+let sequential ?(start = 0) () ~width ~n =
+  Array.init n (fun i -> (start + i) land Bits.mask width)
+
+let sequential_with_jumps rng ~jump_prob ~width ~n =
+  let mask = Bits.mask width in
+  let addr = ref 0 in
+  Array.init n (fun _ ->
+      if Prng.bernoulli rng jump_prob then
+        addr := Int64.to_int (Int64.shift_right_logical (Prng.bits64 rng) 8) land mask
+      else addr := (!addr + 1) land mask;
+      !addr)
+
+let interleaved_arrays rng ~bases ~stride ~width ~n =
+  assert (bases <> []);
+  let mask = Bits.mask width in
+  let arr = Array.of_list bases in
+  let cursors = Array.map (fun b -> b) arr in
+  let k = Array.length arr in
+  Array.init n (fun _ ->
+      let z = Prng.int rng k in
+      let a = cursors.(z) land mask in
+      cursors.(z) <- cursors.(z) + stride;
+      a)
+
+let loop_kernel rng ~body ~iterations ~width =
+  let mask = Bits.mask width in
+  let base = 0x40 in
+  let data_base = 1 lsl (width - 2) in
+  let out = ref [] in
+  for it = 0 to iterations - 1 do
+    for pc = 0 to body - 1 do
+      out := ((base + pc) land mask) :: !out;
+      (* sporadic data access inside the loop body *)
+      if pc mod 5 = 3 then
+        out := ((data_base + (it mod 64) + (Prng.int rng 4)) land mask) :: !out
+    done
+  done;
+  Array.of_list (List.rev !out)
+
+let random_data rng ~width ~n =
+  let mask = Bits.mask width in
+  Array.init n (fun _ ->
+      Int64.to_int (Int64.shift_right_logical (Prng.bits64 rng) 8) land mask)

@@ -1,0 +1,27 @@
+(** Address/data trace generators for the bus-encoding experiments.
+
+    The relative merit of the Section III-G codes depends entirely on the
+    stream class: Gray/T0 shine on in-sequence instruction addresses,
+    Working-Zone on interleaved array accesses, Beach on repetitive
+    embedded-code traces, Bus-Invert on uncorrelated data. *)
+
+val sequential : ?start:int -> unit -> width:int -> n:int -> int array
+(** Pure in-sequence addresses (instruction fetch without branches). *)
+
+val sequential_with_jumps :
+  Hlp_util.Prng.t -> jump_prob:float -> width:int -> n:int -> int array
+(** In-sequence runs broken by random jumps (realistic instruction flow). *)
+
+val interleaved_arrays :
+  Hlp_util.Prng.t -> bases:int list -> stride:int -> width:int -> n:int -> int array
+(** Round-robin walks over several array regions — the working-zone
+    workload: each access is sequential {e within} its zone but the zones
+    interleave, destroying global sequentiality. *)
+
+val loop_kernel :
+  Hlp_util.Prng.t -> body:int -> iterations:int -> width:int -> int array
+(** An embedded loop: the same short address sequence repeated (with the
+    occasional data access inside), the Beach-code workload. *)
+
+val random_data : Hlp_util.Prng.t -> width:int -> n:int -> int array
+(** Uncorrelated data words (the Bus-Invert workload). *)

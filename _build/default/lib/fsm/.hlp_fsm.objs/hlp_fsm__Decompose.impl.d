@@ -1,0 +1,1 @@
+lib/fsm/decompose.ml: Array Hashtbl Hlp_util List Markov Stg Synth

@@ -1,0 +1,1 @@
+lib/fsm/decompose.mli: Hlp_util Markov Stg

@@ -1,0 +1,1 @@
+lib/fsm/encode.ml: Array Hashtbl Hlp_util Markov Stg

@@ -1,0 +1,1 @@
+lib/fsm/encode.mli: Hlp_util Markov Stg

@@ -1,0 +1,1 @@
+lib/fsm/markov.ml: Array Hlp_util Stg

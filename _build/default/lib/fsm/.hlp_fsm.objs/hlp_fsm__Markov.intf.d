@@ -1,0 +1,1 @@
+lib/fsm/markov.mli: Stg

@@ -1,0 +1,1 @@
+lib/fsm/minimize.ml: Array Encode Hashtbl Hlp_util List Option Stg

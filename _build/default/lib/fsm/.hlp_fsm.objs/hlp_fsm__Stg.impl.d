@@ -1,0 +1,1 @@
+lib/fsm/stg.ml: Array Buffer Hashtbl Hlp_util List Printf String

@@ -1,0 +1,1 @@
+lib/fsm/stg.mli: Hlp_util

@@ -1,0 +1,1 @@
+lib/fsm/symbolic.ml: Array Encode Float Hlp_bdd Hlp_util List Stg

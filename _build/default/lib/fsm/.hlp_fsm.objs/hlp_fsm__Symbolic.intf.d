@@ -1,0 +1,1 @@
+lib/fsm/symbolic.mli: Encode Hlp_bdd Stg

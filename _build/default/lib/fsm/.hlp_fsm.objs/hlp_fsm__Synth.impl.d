@@ -1,0 +1,1 @@
+lib/fsm/synth.ml: Array Encode Hlp_logic Hlp_sim Hlp_util List Netlist Printf Stg

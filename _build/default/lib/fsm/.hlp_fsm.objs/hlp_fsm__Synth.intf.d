@@ -1,0 +1,1 @@
+lib/fsm/synth.mli: Encode Hlp_logic Stg

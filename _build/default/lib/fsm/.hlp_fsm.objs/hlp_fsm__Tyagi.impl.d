@@ -1,0 +1,1 @@
+lib/fsm/tyagi.ml: Array Markov Stg

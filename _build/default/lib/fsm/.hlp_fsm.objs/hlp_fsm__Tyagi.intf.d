@@ -1,0 +1,1 @@
+lib/fsm/tyagi.mli: Markov Stg

@@ -1,0 +1,106 @@
+type partition = bool array
+
+let crossing_probability (stg : Stg.t) (dist : Markov.dist) part =
+  let acc = ref 0.0 in
+  for s = 0 to stg.Stg.num_states - 1 do
+    for s' = 0 to stg.Stg.num_states - 1 do
+      if part.(s) <> part.(s') then acc := !acc +. dist.Markov.trans_prob.(s).(s')
+    done
+  done;
+  !acc
+
+let mass_b (dist : Markov.dist) part =
+  let acc = ref 0.0 in
+  Array.iteri (fun s p -> if part.(s) then acc := !acc +. p) dist.Markov.state_prob;
+  !acc
+
+let balanced_min_cut ?(iterations = 10_000) rng (stg : Stg.t) dist =
+  let n = stg.Stg.num_states in
+  assert (n >= 4);
+  let part = Array.init n (fun s -> s mod 2 = 1) in
+  let cost p =
+    let cross = crossing_probability stg dist p in
+    let m = mass_b dist p in
+    let balance = max 0.0 (0.15 -. min m (1.0 -. m)) in
+    cross +. (10.0 *. balance)
+  in
+  let current = ref (cost part) in
+  for k = 0 to iterations - 1 do
+    let s = Hlp_util.Prng.int rng n in
+    part.(s) <- not part.(s);
+    let c' = cost part in
+    let temperature = 0.3 *. exp (-6.0 *. float_of_int k /. float_of_int iterations) in
+    if c' <= !current || Hlp_util.Prng.float rng 1.0 < exp (-.(c' -. !current) /. temperature)
+    then current := c'
+    else part.(s) <- not part.(s)
+  done;
+  part
+
+type decomposition = {
+  partition : partition;
+  sub_a : Stg.t;
+  sub_b : Stg.t;
+  crossing : float;
+  resident_a : float;
+}
+
+(* Build the submachine holding the states where [keep s] is true; local
+   state ids follow original order, plus one trailing wait state. *)
+let submachine (stg : Stg.t) ~keep ~name =
+  let locals =
+    List.filter keep (List.init stg.Stg.num_states (fun s -> s))
+  in
+  let local_of = Hashtbl.create 16 in
+  List.iteri (fun l s -> Hashtbl.add local_of s l) locals;
+  let k = List.length locals in
+  let wait = k in
+  let orig = Array.of_list locals in
+  let ni = Stg.num_inputs stg in
+  let next l i =
+    if l = wait then wait
+    else begin
+      let s' = stg.Stg.next.(orig.(l)).(i) in
+      match Hashtbl.find_opt local_of s' with Some l' -> l' | None -> wait
+    end
+  in
+  let output l i = if l = wait then 0 else stg.Stg.output.(orig.(l)).(i) in
+  let reset =
+    match Hashtbl.find_opt local_of stg.Stg.reset with Some l -> l | None -> wait
+  in
+  ignore ni;
+  Stg.create ~name ~input_bits:stg.Stg.input_bits ~output_bits:stg.Stg.output_bits
+    ~num_states:(k + 1) ~reset ~next ~output ()
+
+let decompose (stg : Stg.t) dist part =
+  let sub_a = submachine stg ~keep:(fun s -> not part.(s)) ~name:(stg.Stg.name ^ "_a") in
+  let sub_b = submachine stg ~keep:(fun s -> part.(s)) ~name:(stg.Stg.name ^ "_b") in
+  {
+    partition = part;
+    sub_a;
+    sub_b;
+    crossing = crossing_probability stg dist part;
+    resident_a = 1.0 -. mass_b dist part;
+  }
+
+type evaluation = {
+  monolithic_cap : float;
+  decomposed_cap : float;
+  saving : float;
+}
+
+let evaluate ?(cycles = 2000) ?(seed = 13) (stg : Stg.t) d =
+  let mono = Synth.switched_capacitance_per_cycle ~cycles ~seed stg in
+  let cap_a = Synth.switched_capacitance_per_cycle ~cycles ~seed d.sub_a in
+  let cap_b = Synth.switched_capacitance_per_cycle ~cycles ~seed d.sub_b in
+  (* each half pays the crossing hand-off: both state registers load, and
+     the interconnect lines toggle *)
+  let ra = Synth.synthesize d.sub_a and rb = Synth.synthesize d.sub_b in
+  let width r = Array.length r.Synth.state_wires in
+  let handoff = 3.0 *. float_of_int (width ra + width rb) in
+  let decomposed =
+    (d.resident_a *. cap_a)
+    +. ((1.0 -. d.resident_a) *. cap_b)
+    +. (d.crossing *. handoff)
+  in
+  { monolithic_cap = mono; decomposed_cap = decomposed;
+    saving = 1.0 -. (decomposed /. mono) }

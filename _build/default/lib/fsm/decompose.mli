@@ -1,0 +1,48 @@
+(** FSM decomposition for selective shutdown (Section III-H, [86]-[87]).
+
+    A machine is split into two interacting submachines by partitioning its
+    state set; each submachine gets a {e wait} state it parks in while the
+    other is active, so at any time exactly one submachine computes and the
+    idle one can be clock-gated. A good partition minimizes the probability
+    of crossing between the halves (the interconnect lines "tend to drive
+    heavier loads"), keeping each half resident for long stretches. *)
+
+type partition = bool array
+(** [partition.(s)] is [true] when state [s] belongs to submachine B. *)
+
+val crossing_probability : Stg.t -> Markov.dist -> partition -> float
+(** Steady-state probability that a cycle moves between the halves. *)
+
+val balanced_min_cut :
+  ?iterations:int -> Hlp_util.Prng.t -> Stg.t -> Markov.dist -> partition
+(** Annealed two-way partition minimizing {!crossing_probability} with a
+    balance penalty (both halves must hold a nontrivial share of the
+    steady-state mass, otherwise "shutdown" is vacuous). *)
+
+type decomposition = {
+  partition : partition;
+  sub_a : Stg.t;  (** half A plus one wait state (the last state) *)
+  sub_b : Stg.t;
+  crossing : float;
+  resident_a : float;  (** steady-state share of half A *)
+}
+
+val decompose : Stg.t -> Markov.dist -> partition -> decomposition
+(** Build the two submachines. Each keeps its own states plus a single
+    wait state; transitions that leave the half send the machine to its
+    wait state, where it self-loops until the matching re-entry. The
+    product of the two submachines is behaviourally checked against the
+    original in the test suite. *)
+
+type evaluation = {
+  monolithic_cap : float;  (** synthesized switched capacitance per cycle *)
+  decomposed_cap : float;
+      (** active submachine capacitance + gated clock residue of the idle
+          one, per cycle *)
+  saving : float;
+}
+
+val evaluate : ?cycles:int -> ?seed:int -> Stg.t -> decomposition -> evaluation
+(** Simulate the original machine, attribute each cycle to the active
+    half, and charge only that half's synthesized logic (plus the idle
+    half's clock-gated residue). *)

@@ -1,0 +1,101 @@
+type t = {
+  width : int;
+  code : int array;
+}
+
+let min_width states =
+  let rec go w = if 1 lsl w >= states then w else go (w + 1) in
+  go 1
+
+let natural (stg : Stg.t) =
+  { width = min_width stg.Stg.num_states;
+    code = Array.init stg.Stg.num_states (fun s -> s) }
+
+let gray (stg : Stg.t) =
+  { width = min_width stg.Stg.num_states;
+    code = Array.init stg.Stg.num_states Hlp_util.Bits.to_gray }
+
+let one_hot (stg : Stg.t) =
+  { width = stg.Stg.num_states;
+    code = Array.init stg.Stg.num_states (fun s -> 1 lsl s) }
+
+let random rng (stg : Stg.t) =
+  let w = min_width stg.Stg.num_states in
+  let codes = Array.init (1 lsl w) (fun i -> i) in
+  Hlp_util.Prng.shuffle rng codes;
+  { width = w; code = Array.sub codes 0 stg.Stg.num_states }
+
+let cost stg dist enc = Markov.expected_hamming stg dist ~code:(fun s -> enc.code.(s))
+
+let anneal_from ?(iterations = 20_000) rng stg dist start =
+  let n = stg.Stg.num_states in
+  let width = start.width in
+  let space = 1 lsl width in
+  assert (space >= n);
+  (* occupancy map: codes currently in use, plus free codes *)
+  let code = Array.copy start.code in
+  let current = ref (cost stg dist { width; code }) in
+  let eval () = cost stg dist { width; code } in
+  let temperature k =
+    let frac = float_of_int k /. float_of_int iterations in
+    0.5 *. exp (-4.0 *. frac)
+  in
+  let owner = Array.make space (-1) in
+  Array.iteri (fun s c -> owner.(c) <- s) code;
+  for k = 0 to iterations - 1 do
+    (* move: either swap two states' codes, or move a state to a free code *)
+    let s = Hlp_util.Prng.int rng n in
+    let target = Hlp_util.Prng.int rng space in
+    let old_code = code.(s) in
+    if target <> old_code then begin
+      let other = owner.(target) in
+      code.(s) <- target;
+      owner.(target) <- s;
+      owner.(old_code) <- -1;
+      (match other with
+      | -1 -> ()
+      | o ->
+          code.(o) <- old_code;
+          owner.(old_code) <- o);
+      let cost' = eval () in
+      let dE = cost' -. !current in
+      let accept =
+        dE <= 0.0
+        || Hlp_util.Prng.float rng 1.0 < exp (-.dE /. max 1e-9 (temperature k))
+      in
+      if accept then current := cost'
+      else begin
+        (* undo *)
+        (match other with
+        | -1 -> owner.(target) <- -1
+        | o ->
+            code.(o) <- target;
+            owner.(target) <- o);
+        code.(s) <- old_code;
+        owner.(old_code) <- s
+      end
+    end
+  done;
+  { width; code }
+
+let anneal ?width ?iterations rng stg dist =
+  let w = match width with Some w -> w | None -> min_width stg.Stg.num_states in
+  let nat = natural stg in
+  let start =
+    if w = nat.width then nat
+    else { width = w; code = Array.copy nat.code }
+  in
+  anneal_from ?iterations rng stg dist start
+
+let reencode ?iterations rng stg dist start = anneal_from ?iterations rng stg dist start
+
+let is_injective enc =
+  let seen = Hashtbl.create 16 in
+  Array.for_all
+    (fun c ->
+      if Hashtbl.mem seen c then false
+      else begin
+        Hashtbl.add seen c ();
+        true
+      end)
+    enc.code

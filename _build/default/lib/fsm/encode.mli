@@ -1,0 +1,45 @@
+(** State encoding for low power (Section III-H).
+
+    An encoding embeds the STG into a hypercube so that high-probability
+    transitions connect codes at small Hamming distance. The annealing
+    encoder implements the cost model common to the encoding literature the
+    paper cites ([90]-[94]); re-encoding starts from an existing code. *)
+
+type t = {
+  width : int;  (** code width in bits *)
+  code : int array;  (** state -> code word; injective *)
+}
+
+val natural : Stg.t -> t
+(** Binary encoding of the state index, [ceil(log2 S)] bits. *)
+
+val gray : Stg.t -> t
+(** Binary-reflected Gray code of the state index. *)
+
+val one_hot : Stg.t -> t
+
+val random : Hlp_util.Prng.t -> Stg.t -> t
+(** Random injective minimum-width encoding. *)
+
+val cost : Stg.t -> Markov.dist -> t -> float
+(** Expected state-register Hamming distance per cycle under the encoding:
+    the switching-activity proxy minimized by low-power assignment. *)
+
+val anneal :
+  ?width:int ->
+  ?iterations:int ->
+  Hlp_util.Prng.t ->
+  Stg.t ->
+  Markov.dist ->
+  t
+(** Simulated-annealing embedding: starts from the natural encoding and
+    swaps/moves codes to minimize {!cost}. [width] defaults to minimum
+    width; one spare bit often helps. *)
+
+val reencode :
+  ?iterations:int -> Hlp_util.Prng.t -> Stg.t -> Markov.dist -> t -> t
+(** Re-encoding: anneal starting from an existing (e.g. manual) encoding,
+    as in Hachtel et al. [95]. *)
+
+val is_injective : t -> bool
+(** Sanity predicate used by the property tests. *)

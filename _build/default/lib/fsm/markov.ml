@@ -1,0 +1,71 @@
+type dist = {
+  state_prob : float array;
+  trans_prob : float array array;
+}
+
+let analyze ?input_prob (stg : Stg.t) =
+  let ni = Stg.num_inputs stg in
+  let ip =
+    match input_prob with
+    | Some f -> f
+    | None -> fun _ -> 1.0 /. float_of_int ni
+  in
+  let n = stg.Stg.num_states in
+  (* transition matrix p.(s).(s') *)
+  let p = Array.init n (fun _ -> Array.make n 0.0) in
+  for s = 0 to n - 1 do
+    for i = 0 to ni - 1 do
+      let s' = stg.Stg.next.(s).(i) in
+      p.(s).(s') <- p.(s).(s') +. ip i
+    done
+  done;
+  (* power iteration from the reset state *)
+  let pi = Array.make n 0.0 in
+  pi.(stg.Stg.reset) <- 1.0;
+  let tmp = Array.make n 0.0 in
+  let rec iterate k =
+    Array.fill tmp 0 n 0.0;
+    for s = 0 to n - 1 do
+      if pi.(s) > 0.0 then
+        for s' = 0 to n - 1 do
+          if p.(s).(s') > 0.0 then tmp.(s') <- tmp.(s') +. (pi.(s) *. p.(s).(s'))
+        done
+    done;
+    let delta = ref 0.0 in
+    for s = 0 to n - 1 do
+      delta := !delta +. abs_float (tmp.(s) -. pi.(s));
+      (* damping avoids oscillation on periodic chains *)
+      pi.(s) <- (0.5 *. pi.(s)) +. (0.5 *. tmp.(s))
+    done;
+    if !delta > 1e-12 && k < 100_000 then iterate (k + 1)
+  in
+  iterate 0;
+  let total = Array.fold_left ( +. ) 0.0 pi in
+  Array.iteri (fun s v -> pi.(s) <- v /. total) pi;
+  let trans = Array.init n (fun s -> Array.map (fun q -> pi.(s) *. q) p.(s)) in
+  { state_prob = pi; trans_prob = trans }
+
+let expected_hamming (stg : Stg.t) dist ~code =
+  let n = stg.Stg.num_states in
+  let acc = ref 0.0 in
+  for s = 0 to n - 1 do
+    for s' = 0 to n - 1 do
+      let p = dist.trans_prob.(s).(s') in
+      if p > 0.0 then
+        acc := !acc +. (p *. float_of_int (Hlp_util.Bits.hamming (code s) (code s')))
+    done
+  done;
+  !acc
+
+let transition_entropy dist =
+  Array.fold_left
+    (fun acc row ->
+      Array.fold_left
+        (fun acc p -> if p > 0.0 then acc -. (p *. (log p /. log 2.0)) else acc)
+        acc row)
+    0.0 dist.trans_prob
+
+let self_loop_probability dist =
+  let acc = ref 0.0 in
+  Array.iteri (fun s row -> acc := !acc +. row.(s)) dist.trans_prob;
+  !acc

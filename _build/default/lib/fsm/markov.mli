@@ -1,0 +1,31 @@
+(** Markov-chain analysis of state machines.
+
+    Computing exact state and transition probabilities of the STG under an
+    input distribution is the quantitative engine behind low-power state
+    encoding (Section III-H, "use the transition probability of a given arc
+    as a measure of its cost") and the Tyagi entropic bounds. *)
+
+type dist = {
+  state_prob : float array;  (** steady-state occupancy per state *)
+  trans_prob : float array array;
+  (** [trans_prob.(s).(s')]: steady-state probability that a clock cycle
+      takes the machine from [s] to [s'] (sums to 1 over all pairs). *)
+}
+
+val analyze : ?input_prob:(int -> float) -> Stg.t -> dist
+(** Steady-state analysis by power iteration. [input_prob] gives the
+    probability of each input word (default uniform); it must sum to 1 over
+    the alphabet. Unreachable states get zero probability. *)
+
+val expected_hamming : Stg.t -> dist -> code:(int -> int) -> float
+(** Expected Hamming distance per cycle of the state register under the
+    encoding [code] — the objective minimized by low-power state
+    assignment. *)
+
+val transition_entropy : dist -> float
+(** Entropy (bits) of the steady-state transition distribution [p_ij] —
+    the [h(p_ij)] of Tyagi's bound. *)
+
+val self_loop_probability : dist -> float
+(** Probability that a cycle leaves the state unchanged: the idleness that
+    clock gating converts into power savings. *)

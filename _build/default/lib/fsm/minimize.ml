@@ -1,0 +1,99 @@
+let equivalence_classes (stg : Stg.t) =
+  let n = stg.Stg.num_states in
+  let ni = Stg.num_inputs stg in
+  (* initial partition: states with identical output rows *)
+  let cls = Array.make n 0 in
+  let by_output = Hashtbl.create 16 in
+  Array.iteri
+    (fun s row ->
+      let key = Array.to_list row in
+      let id =
+        match Hashtbl.find_opt by_output key with
+        | Some id -> id
+        | None ->
+            let id = Hashtbl.length by_output in
+            Hashtbl.add by_output key id;
+            id
+      in
+      cls.(s) <- id)
+    stg.Stg.output;
+  (* refine: split classes by the class vector of their successors *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let by_sig = Hashtbl.create 16 in
+    let fresh = Array.make n 0 in
+    for s = 0 to n - 1 do
+      let signature =
+        (cls.(s), List.init ni (fun i -> cls.(stg.Stg.next.(s).(i))))
+      in
+      let id =
+        match Hashtbl.find_opt by_sig signature with
+        | Some id -> id
+        | None ->
+            let id = Hashtbl.length by_sig in
+            Hashtbl.add by_sig signature id;
+            id
+      in
+      fresh.(s) <- id
+    done;
+    if fresh <> cls then begin
+      Array.blit fresh 0 cls 0 n;
+      changed := true
+    end
+  done;
+  cls
+
+let minimize (stg : Stg.t) =
+  let cls = equivalence_classes stg in
+  (* compact class ids to 0..k-1 in order of appearance *)
+  let remap = Hashtbl.create 16 in
+  let order = ref [] in
+  Array.iter
+    (fun c ->
+      if not (Hashtbl.mem remap c) then begin
+        Hashtbl.add remap c (Hashtbl.length remap);
+        order := c :: !order
+      end)
+    cls;
+  let mapping = Array.map (fun c -> Hashtbl.find remap c) cls in
+  let k = Hashtbl.length remap in
+  (* a representative old state for each new state *)
+  let rep = Array.make k (-1) in
+  Array.iteri (fun s m -> if rep.(m) < 0 then rep.(m) <- s) mapping;
+  let ni = Stg.num_inputs stg in
+  let next =
+    Array.init k (fun m -> Array.init ni (fun i -> mapping.(stg.Stg.next.(rep.(m)).(i))))
+  in
+  let output =
+    Array.init k (fun m -> Array.init ni (fun i -> stg.Stg.output.(rep.(m)).(i)))
+  in
+  ( { stg with
+      Stg.name = stg.Stg.name ^ "_min";
+      num_states = k;
+      next;
+      output;
+      reset = mapping.(stg.Stg.reset) },
+    mapping )
+
+let dc_retarget (stg : Stg.t) (enc : Encode.t) =
+  let cls = equivalence_classes stg in
+  let n = stg.Stg.num_states in
+  let members = Hashtbl.create 16 in
+  Array.iteri
+    (fun s c ->
+      Hashtbl.replace members c (s :: Option.value ~default:[] (Hashtbl.find_opt members c)))
+    cls;
+  let ni = Stg.num_inputs stg in
+  let next =
+    Array.init n (fun s ->
+        Array.init ni (fun i ->
+            let target = stg.Stg.next.(s).(i) in
+            let candidates = Hashtbl.find members cls.(target) in
+            List.fold_left
+              (fun best cand ->
+                let d c = Hlp_util.Bits.hamming enc.Encode.code.(s) enc.Encode.code.(c) in
+                if d cand < d best then cand else best)
+              target candidates))
+  in
+  { stg with Stg.name = stg.Stg.name ^ "_dc"; next }

@@ -1,0 +1,21 @@
+(** State minimization of completely specified machines by partition
+    refinement — the "restructuring" transformation of Section III-H, whose
+    equivalence classes also expose the don't-care conditions the paper
+    recommends exploiting. *)
+
+val equivalence_classes : Stg.t -> int array
+(** [equivalence_classes stg] maps each state to a class id such that two
+    states share an id iff they are behaviourally equivalent. *)
+
+val minimize : Stg.t -> Stg.t * int array
+(** Minimized machine plus the old-state -> new-state mapping. Outputs and
+    behaviour are preserved (see tests). *)
+
+val dc_retarget : Stg.t -> Encode.t -> Stg.t
+(** Exploit equivalence classes as don't-cares without collapsing states
+    (the paper's recommendation over plain state minimization [89]): every
+    transition may land on {e any} state equivalent to its original target,
+    so each is re-pointed at the class member whose code is closest (in
+    Hamming distance) to the current state's code. Observational behaviour
+    is unchanged; state-register switching can only decrease under the
+    given encoding. *)

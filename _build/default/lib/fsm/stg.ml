@@ -1,0 +1,281 @@
+type t = {
+  name : string;
+  input_bits : int;
+  output_bits : int;
+  num_states : int;
+  next : int array array;
+  output : int array array;
+  reset : int;
+}
+
+let num_inputs t = 1 lsl t.input_bits
+
+let create ~name ~input_bits ~output_bits ~num_states ?(reset = 0) ~next ~output () =
+  assert (num_states > 0 && input_bits >= 0 && output_bits >= 0);
+  let ni = 1 lsl input_bits in
+  let tab f = Array.init num_states (fun s -> Array.init ni (fun i -> f s i)) in
+  { name; input_bits; output_bits; num_states; reset;
+    next = tab next; output = tab output }
+
+let validate t =
+  let ni = num_inputs t in
+  if Array.length t.next <> t.num_states || Array.length t.output <> t.num_states then
+    failwith "Stg.validate: table height mismatch";
+  if t.reset < 0 || t.reset >= t.num_states then failwith "Stg.validate: reset out of range";
+  Array.iteri
+    (fun s row ->
+      if Array.length row <> ni then failwith "Stg.validate: next row width";
+      Array.iter
+        (fun ns ->
+          if ns < 0 || ns >= t.num_states then
+            failwith (Printf.sprintf "Stg.validate: next state out of range at %d" s))
+        row)
+    t.next;
+  Array.iter
+    (fun row ->
+      if Array.length row <> ni then failwith "Stg.validate: output row width";
+      Array.iter
+        (fun o ->
+          if o < 0 || o >= 1 lsl t.output_bits then
+            failwith "Stg.validate: output out of range")
+        row)
+    t.output
+
+let transition_count t =
+  let pairs = Hashtbl.create 64 in
+  Array.iteri
+    (fun s row -> Array.iter (fun ns -> Hashtbl.replace pairs (s, ns) ()) row)
+    t.next;
+  Hashtbl.length pairs
+
+let simulate t inputs =
+  let state = ref t.reset in
+  let outs =
+    List.map
+      (fun i ->
+        let o = t.output.(!state).(i) in
+        state := t.next.(!state).(i);
+        o)
+      inputs
+  in
+  (!state, outs)
+
+let reachable t =
+  let seen = Array.make t.num_states false in
+  let rec go s =
+    if not seen.(s) then begin
+      seen.(s) <- true;
+      Array.iter go t.next.(s)
+    end
+  in
+  go t.reset;
+  seen
+
+(* --- KISS2 --- *)
+
+let to_kiss t =
+  let buf = Buffer.create 1024 in
+  let ni = num_inputs t in
+  Buffer.add_string buf (Printf.sprintf ".i %d\n.o %d\n.s %d\n.p %d\n.r s%d\n"
+                           t.input_bits t.output_bits t.num_states
+                           (t.num_states * ni) t.reset);
+  for s = 0 to t.num_states - 1 do
+    for i = 0 to ni - 1 do
+      let bits w n =
+        String.init n (fun k -> if Hlp_util.Bits.bit w (n - 1 - k) then '1' else '0')
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s s%d s%d %s\n" (bits i t.input_bits) s t.next.(s).(i)
+           (bits t.output.(s).(i) t.output_bits))
+    done
+  done;
+  Buffer.contents buf
+
+let of_kiss text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  let input_bits = ref (-1) and output_bits = ref (-1) and reset_name = ref None in
+  let rows = ref [] in
+  List.iter
+    (fun line ->
+      let fields =
+        String.split_on_char ' ' line |> List.filter (fun f -> f <> "")
+      in
+      match fields with
+      | ".i" :: v :: _ -> input_bits := int_of_string v
+      | ".o" :: v :: _ -> output_bits := int_of_string v
+      | ".s" :: _ | ".p" :: _ | ".e" :: _ | ".end" :: _ -> ()
+      | ".r" :: v :: _ -> reset_name := Some v
+      | [ cube; from_s; to_s; out ] -> rows := (cube, from_s, to_s, out) :: !rows
+      | _ -> failwith ("Stg.of_kiss: malformed line: " ^ line))
+    lines;
+  if !input_bits < 0 || !output_bits < 0 then failwith "Stg.of_kiss: missing .i/.o";
+  let rows = List.rev !rows in
+  (* state name table, in order of first appearance (reset first if given) *)
+  let names = Hashtbl.create 16 in
+  let order = ref [] in
+  let intern n =
+    match Hashtbl.find_opt names n with
+    | Some i -> i
+    | None ->
+        let i = Hashtbl.length names in
+        Hashtbl.add names n i;
+        order := n :: !order;
+        i
+  in
+  (match !reset_name with Some r -> ignore (intern r) | None -> ());
+  List.iter (fun (_, f, t', _) -> ignore (intern f); ignore (intern t')) rows;
+  let num_states = Hashtbl.length names in
+  let ni = 1 lsl !input_bits in
+  let next = Array.init num_states (fun s -> Array.init ni (fun _ -> s)) in
+  let output = Array.init num_states (fun _ -> Array.make ni 0) in
+  let parse_word str =
+    let n = String.length str in
+    let v = ref 0 in
+    String.iteri
+      (fun k c ->
+        match c with
+        | '1' -> v := !v lor (1 lsl (n - 1 - k))
+        | '0' -> ()
+        | _ -> failwith "Stg.of_kiss: bad output bit")
+      str;
+    !v
+  in
+  (* expand '-' don't-cares in the input cube to the covered input words *)
+  let rec cube_values cube pos acc =
+    if pos = String.length cube then [ acc ]
+    else
+      match cube.[pos] with
+      | '0' -> cube_values cube (pos + 1) (acc lsl 1)
+      | '1' -> cube_values cube (pos + 1) ((acc lsl 1) lor 1)
+      | '-' ->
+          cube_values cube (pos + 1) (acc lsl 1)
+          @ cube_values cube (pos + 1) ((acc lsl 1) lor 1)
+      | _ -> failwith "Stg.of_kiss: bad input bit"
+  in
+  List.iter
+    (fun (cube, from_s, to_s, out) ->
+      if String.length cube <> !input_bits then failwith "Stg.of_kiss: cube width";
+      let f = intern from_s and t' = intern to_s and o = parse_word out in
+      List.iter
+        (fun i ->
+          next.(f).(i) <- t';
+          output.(f).(i) <- o)
+        (cube_values cube 0 0))
+    rows;
+  let reset = match !reset_name with Some r -> intern r | None -> 0 in
+  { name = "kiss"; input_bits = !input_bits; output_bits = !output_bits;
+    num_states; next; output; reset }
+
+(* --- zoo --- *)
+
+let counter_fsm ~bits =
+  let n = 1 lsl bits in
+  create ~name:(Printf.sprintf "counter%d" bits) ~input_bits:1 ~output_bits:bits
+    ~num_states:n
+    ~next:(fun s i -> if i = 1 then (s + 1) mod n else s)
+    ~output:(fun s _ -> s)
+    ()
+
+let sequence_detector ~pattern =
+  let pat = Array.of_list pattern in
+  let len = Array.length pat in
+  assert (len > 0);
+  (* state s = length of the longest prefix of [pat] matching the suffix of
+     the input seen so far; classic KMP automaton *)
+  let failure = Array.make len 0 in
+  for i = 1 to len - 1 do
+    let rec fall k =
+      if k > 0 && pat.(i) <> pat.(k) then fall failure.(k - 1) else k
+    in
+    let k = fall failure.(i - 1) in
+    failure.(i) <- if pat.(i) = pat.(k) then k + 1 else k
+  done;
+  let step s bit =
+    let rec fall k =
+      if k > 0 && pat.(k) <> bit then fall failure.(k - 1) else k
+    in
+    let k = fall s in
+    if pat.(k) = bit then k + 1 else k
+  in
+  create ~name:"seqdet" ~input_bits:1 ~output_bits:1 ~num_states:len
+    ~next:(fun s i ->
+      let s' = step s (i = 1) in
+      if s' = len then failure.(len - 1) else s')
+    ~output:(fun s i -> if step s (i = 1) = len then 1 else 0)
+    ()
+
+let reactive ~wait_states ~burst_states =
+  assert (wait_states >= 1 && burst_states >= 1);
+  let n = wait_states + burst_states in
+  create ~name:"reactive" ~input_bits:1 ~output_bits:1 ~num_states:n
+    ~next:(fun s i ->
+      if s < wait_states then
+        if i land 1 = 1 then wait_states  (* request: enter the burst *)
+        else s  (* idle self-loop *)
+      else if s + 1 < n then s + 1
+      else 0)
+    ~output:(fun s _ -> if s >= wait_states then 1 else 0)
+    ()
+
+let updown ~bits =
+  let n = 1 lsl bits in
+  create ~name:(Printf.sprintf "updown%d" bits) ~input_bits:1 ~output_bits:bits
+    ~num_states:n
+    ~next:(fun s i -> if i = 1 then (s + 1) mod n else (s + n - 1) mod n)
+    ~output:(fun s _ -> s)
+    ()
+
+let random_fsm rng ~states ~input_bits ~output_bits =
+  create ~name:"random" ~input_bits ~output_bits ~num_states:states
+    ~next:(fun _ _ -> Hlp_util.Prng.int rng states)
+    ~output:(fun _ _ -> Hlp_util.Prng.int rng (1 lsl output_bits))
+    ()
+
+let zoo () =
+  [
+    counter_fsm ~bits:4;
+    updown ~bits:4;
+    sequence_detector ~pattern:[ true; false; true; true ];
+    reactive ~wait_states:4 ~burst_states:4;
+    random_fsm (Hlp_util.Prng.create 2024) ~states:12 ~input_bits:2 ~output_bits:3;
+  ]
+
+(* Textbook controllers written in KISS2, exercising the parser and adding
+   realistic machines to the zoo. *)
+
+let traffic_light_kiss = "\
+.i 2\n\
+.o 3\n\
+.s 4\n\
+.r GREEN\n\
+-0 GREEN  GREEN  001\n\
+-1 GREEN  YELLOW 001\n\
+-- YELLOW RED    010\n\
+0- RED    RED    100\n\
+1- RED    REDY   100\n\
+-- REDY   GREEN  110\n"
+
+let memctrl_kiss = "\
+.i 2\n\
+.o 2\n\
+.s 5\n\
+.r IDLE\n\
+00 IDLE  IDLE  00\n\
+01 IDLE  READ  01\n\
+10 IDLE  WRITE 10\n\
+11 IDLE  READ  01\n\
+-- READ  WAIT  01\n\
+-- WRITE WAIT  10\n\
+0- WAIT  DONE  00\n\
+1- WAIT  WAIT  00\n\
+-- DONE  IDLE  11\n"
+
+let traffic_light () = { (of_kiss traffic_light_kiss) with name = "traffic" }
+
+let memory_controller () = { (of_kiss memctrl_kiss) with name = "memctrl" }
+
+let zoo_extended () = zoo () @ [ traffic_light (); memory_controller () ]

@@ -1,0 +1,93 @@
+(** State transition graphs (completely specified Mealy machines).
+
+    The controller substrate for Sections II-B (Tyagi entropic bounds,
+    Landman-Rabaey controller models), III-H (encoding/re-encoding for low
+    power) and III-I (gated clocks). States are dense integers; the input
+    alphabet is the [2^input_bits] binary input words; every (state, input)
+    pair has exactly one next state and output word. *)
+
+type t = {
+  name : string;
+  input_bits : int;
+  output_bits : int;
+  num_states : int;
+  next : int array array;  (** [next.(s).(i)] with [i] an input word *)
+  output : int array array;  (** [output.(s).(i)] an output word *)
+  reset : int;  (** initial state *)
+}
+
+val create :
+  name:string ->
+  input_bits:int ->
+  output_bits:int ->
+  num_states:int ->
+  ?reset:int ->
+  next:(int -> int -> int) ->
+  output:(int -> int -> int) ->
+  unit ->
+  t
+(** Tabulate a machine from its transition and output functions. *)
+
+val validate : t -> unit
+(** Checks table shapes and range of every entry; raises [Failure]. *)
+
+val num_inputs : t -> int
+(** Size of the input alphabet, [2^input_bits]. *)
+
+val transition_count : t -> int
+(** Number of distinct (state, next-state) pairs with at least one input —
+    the [t] of Tyagi's sparsity condition. *)
+
+val simulate : t -> int list -> int * int list
+(** Run from reset over a list of input words; returns the final state and
+    the output word sequence. *)
+
+val reachable : t -> bool array
+(** States reachable from reset. *)
+
+(** {1 KISS2 interchange} *)
+
+val to_kiss : t -> string
+(** Serialize in the KISS2 STG format used by classic sequential synthesis
+    tools (one line per (input cube, state, next state, output)). *)
+
+val of_kiss : string -> t
+(** Parse a KISS2 description. Input cubes may contain ['-'] don't-cares
+    (expanded); unspecified (state, input) pairs default to a self-loop
+    with all-zero output. Raises [Failure] on malformed input. *)
+
+(** {1 Benchmark zoo} *)
+
+val counter_fsm : bits:int -> t
+(** Modulo counter with an enable input. *)
+
+val sequence_detector : pattern:bool list -> t
+(** Mealy detector that raises its output on each occurrence of the
+    pattern (overlapping). *)
+
+val reactive : wait_states:int -> burst_states:int -> t
+(** A controller that idles in a wait state until a request arrives
+    (input bit 0), then runs a burst. The extra wait codes beyond the
+    first are spare (unreachable) — which the symbolic reachability
+    analysis detects; what matters for the shutdown experiments is that
+    the machine self-loops most of the time under rare requests. *)
+
+val updown : bits:int -> t
+(** Up/down counter: input bit selects direction. *)
+
+val random_fsm :
+  Hlp_util.Prng.t -> states:int -> input_bits:int -> output_bits:int -> t
+
+val zoo : unit -> t list
+(** A representative set of machines used across the experiments. *)
+
+val traffic_light : unit -> t
+(** A four-phase traffic-light controller, defined in KISS2 text and run
+    through {!of_kiss} (sensor input bit 1 requests the cross direction). *)
+
+val memory_controller : unit -> t
+(** A five-state read/write handshake controller, also sourced from its
+    KISS2 description. *)
+
+val zoo_extended : unit -> t list
+(** {!zoo} plus the KISS-sourced controllers. *)

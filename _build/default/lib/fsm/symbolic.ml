@@ -1,0 +1,88 @@
+type t = {
+  man : Hlp_bdd.Bdd.man;
+  stg : Stg.t;
+  encoding : Encode.t;
+  relation : Hlp_bdd.Bdd.t;
+  input_vars : int list;
+  present_vars : int list;
+  next_vars : int list;
+}
+
+let build ?encoding (stg : Stg.t) =
+  let enc = match encoding with Some e -> e | None -> Encode.natural stg in
+  let man = Hlp_bdd.Bdd.manager () in
+  let k = stg.Stg.input_bits in
+  let w = enc.Encode.width in
+  let input_vars = List.init k (fun b -> b) in
+  let present_vars = List.init w (fun b -> k + (2 * b)) in
+  let next_vars = List.init w (fun b -> k + (2 * b) + 1) in
+  let lit v set = if set then Hlp_bdd.Bdd.var man v else Hlp_bdd.Bdd.nvar man v in
+  let cube vars word =
+    Hlp_bdd.Bdd.conj man
+      (List.mapi (fun b v -> lit v (Hlp_util.Bits.bit word b)) vars)
+  in
+  let relation = ref (Hlp_bdd.Bdd.zero man) in
+  for s = 0 to stg.Stg.num_states - 1 do
+    for i = 0 to Stg.num_inputs stg - 1 do
+      let term =
+        Hlp_bdd.Bdd.conj man
+          [
+            cube input_vars i;
+            cube present_vars enc.Encode.code.(s);
+            cube next_vars enc.Encode.code.(stg.Stg.next.(s).(i));
+          ]
+      in
+      relation := Hlp_bdd.Bdd.or_ man !relation term
+    done
+  done;
+  { man; stg; encoding = enc; relation = !relation; input_vars; present_vars; next_vars }
+
+let state_cube t s =
+  let lit v set = if set then Hlp_bdd.Bdd.var t.man v else Hlp_bdd.Bdd.nvar t.man v in
+  Hlp_bdd.Bdd.conj t.man
+    (List.mapi
+       (fun b v -> lit v (Hlp_util.Bits.bit t.encoding.Encode.code.(s) b))
+       t.present_vars)
+
+let image t set =
+  let step = Hlp_bdd.Bdd.and_ t.man t.relation set in
+  let over_next = Hlp_bdd.Bdd.exists t.man (t.input_vars @ t.present_vars) step in
+  (* rename next-state variables back onto the present-state rail *)
+  Hlp_bdd.Bdd.rename t.man (fun v -> v - 1) over_next
+
+let reachable t =
+  let rec fixpoint current =
+    let bigger = Hlp_bdd.Bdd.or_ t.man current (image t current) in
+    if Hlp_bdd.Bdd.equal bigger current then current else fixpoint bigger
+  in
+  fixpoint (state_cube t t.stg.Stg.reset)
+
+let reachable_states t =
+  let reach = reachable t in
+  Array.init t.stg.Stg.num_states (fun s ->
+      not (Hlp_bdd.Bdd.is_zero (Hlp_bdd.Bdd.and_ t.man reach (state_cube t s))))
+
+let count_reachable t =
+  let reach = reachable t in
+  let w = List.length t.present_vars in
+  int_of_float
+    (Float.round
+       (Hlp_bdd.Bdd.probability t.man ~p:(fun _ -> 0.5) reach *. (2.0 ** float_of_int w)))
+
+let self_loop_set t =
+  (* constrain next = present bitwise, then drop the next variables *)
+  let eqs =
+    List.map2
+      (fun pv nv ->
+        Hlp_bdd.Bdd.xnor_ t.man (Hlp_bdd.Bdd.var t.man pv) (Hlp_bdd.Bdd.var t.man nv))
+      t.present_vars t.next_vars
+  in
+  let self = Hlp_bdd.Bdd.and_ t.man t.relation (Hlp_bdd.Bdd.conj t.man eqs) in
+  Hlp_bdd.Bdd.exists t.man t.next_vars self
+
+let self_loop_probability t =
+  let reach = reachable t in
+  let selfs = Hlp_bdd.Bdd.and_ t.man (self_loop_set t) reach in
+  let p f = Hlp_bdd.Bdd.probability t.man ~p:(fun _ -> 0.5) f in
+  let p_reach = p reach in
+  if p_reach = 0.0 then 0.0 else p selfs /. p_reach

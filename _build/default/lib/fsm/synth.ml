@@ -1,0 +1,104 @@
+open Hlp_logic
+
+type result = {
+  net : Netlist.t;
+  encoding : Encode.t;
+  num_minterms : int;
+  state_wires : Netlist.wire array;
+}
+
+let synthesize ?encoding (stg : Stg.t) =
+  let enc = match encoding with Some e -> e | None -> Encode.natural stg in
+  assert (Array.length enc.Encode.code = stg.Stg.num_states);
+  let module B = Netlist.Builder in
+  let b = B.create () in
+  let ins = B.inputs ~prefix:"in" b stg.Stg.input_bits in
+  let ins_n = Array.map (B.not_ b) ins in
+  let width = enc.Encode.width in
+  let ni = Stg.num_inputs stg in
+  let reset_code = enc.Encode.code.(stg.Stg.reset) in
+  (* create the state registers up front so the next-state logic can read
+     them; connect their data pins at the end *)
+  let q = Array.make width (-1) in
+  let d = Array.make width (-1) in
+  let minterms = ref 0 in
+  let qn = Array.make width (-1) in
+  let build_body () =
+    (* state recognizers *)
+    let match_state s =
+      let c = enc.Encode.code.(s) in
+      let lits =
+        List.init width (fun bit ->
+            if Hlp_util.Bits.bit c bit then q.(bit) else qn.(bit))
+      in
+      B.and_ b lits
+    in
+    let match_input i =
+      let lits =
+        List.init stg.Stg.input_bits (fun bit ->
+            if Hlp_util.Bits.bit i bit then ins.(bit) else ins_n.(bit))
+      in
+      B.and_ b lits
+    in
+    let state_match = Array.init stg.Stg.num_states match_state in
+    let input_match = Array.init ni match_input in
+    (* group transitions: only build an AND term when it feeds some OR *)
+    let next_terms = Array.make width [] in
+    let out_terms = Array.make stg.Stg.output_bits [] in
+    let reach = Stg.reachable stg in
+    for s = 0 to stg.Stg.num_states - 1 do
+      if reach.(s) then
+        for i = 0 to ni - 1 do
+          let ns_code = enc.Encode.code.(stg.Stg.next.(s).(i)) in
+          let out = stg.Stg.output.(s).(i) in
+          if ns_code <> 0 || out <> 0 then begin
+            let term = B.and_ b [ state_match.(s); input_match.(i) ] in
+            incr minterms;
+            for bit = 0 to width - 1 do
+              if Hlp_util.Bits.bit ns_code bit then
+                next_terms.(bit) <- term :: next_terms.(bit)
+            done;
+            for bit = 0 to stg.Stg.output_bits - 1 do
+              if Hlp_util.Bits.bit out bit then
+                out_terms.(bit) <- term :: out_terms.(bit)
+            done
+          end
+        done
+    done;
+    for bit = 0 to width - 1 do
+      d.(bit) <- B.or_ b next_terms.(bit)
+    done;
+    Array.map (fun terms -> B.or_ b terms) out_terms
+  in
+  (* allocate registers with feedback *)
+  let created = ref 0 in
+  let outs = ref [||] in
+  let rec alloc bit =
+    if bit = width then outs := build_body ()
+    else begin
+      let _ =
+        B.dff_feedback ~init:(Hlp_util.Bits.bit reset_code bit) b (fun qw ->
+            q.(bit) <- qw;
+            qn.(bit) <- B.not_ b qw;
+            incr created;
+            alloc (bit + 1);
+            d.(bit))
+      in
+      ()
+    end
+  in
+  alloc 0;
+  Array.iteri (fun i w -> B.output b (Printf.sprintf "o%d" i) w) !outs;
+  let net = B.finish b in
+  Netlist.validate net;
+  { net; encoding = enc; num_minterms = !minterms; state_wires = Array.copy q }
+
+let switched_capacitance_per_cycle ?(cycles = 2000) ?(seed = 7) ?encoding stg =
+  let r = synthesize ?encoding stg in
+  let rng = Hlp_util.Prng.create seed in
+  let sim = Hlp_sim.Funcsim.create r.net in
+  let nin = Array.length r.net.Netlist.inputs in
+  Hlp_sim.Funcsim.run sim
+    (fun _ -> Array.init nin (fun _ -> Hlp_util.Prng.bool rng))
+    cycles;
+  Hlp_sim.Funcsim.switched_capacitance sim /. float_of_int cycles

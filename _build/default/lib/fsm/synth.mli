@@ -1,0 +1,26 @@
+(** Controller synthesis: STG + encoding -> gate-level netlist.
+
+    Produces the two-level (AND-OR) next-state and output logic the paper's
+    Section III-H assumes as the direct translation of an encoded STG, so
+    that encodings can be compared by *simulated switched capacitance*
+    rather than just by the Hamming-distance proxy. *)
+
+type result = {
+  net : Hlp_logic.Netlist.t;
+  encoding : Encode.t;
+  num_minterms : int;
+  (** AND terms actually instantiated — the [N_M] cover-size parameter of
+      the Landman-Rabaey controller power model. *)
+  state_wires : Hlp_logic.Netlist.wire array;
+  (** the state-register outputs, LSB first *)
+}
+
+val synthesize : ?encoding:Encode.t -> Stg.t -> result
+(** Netlist inputs are the STG input bits (LSB first, named [in*]); outputs
+    are the Mealy outputs ([o*]). Default encoding: {!Encode.natural}. *)
+
+val switched_capacitance_per_cycle :
+  ?cycles:int -> ?seed:int -> ?encoding:Encode.t -> Stg.t -> float
+(** Synthesize and simulate under uniform random inputs; returns average
+    switched capacitance per cycle — the end-to-end figure of merit for the
+    encoding experiments. *)

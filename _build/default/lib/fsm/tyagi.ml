@@ -1,0 +1,32 @@
+type report = {
+  states : int;
+  transitions : int;
+  sparse : bool;
+  entropy : float;
+  lower_bound : float;
+}
+
+let log2 x = log x /. log 2.0
+
+let report (stg : Stg.t) dist =
+  let states = stg.Stg.num_states in
+  let transitions = ref 0 in
+  Array.iter
+    (Array.iter (fun p -> if p > 0.0 then incr transitions))
+    dist.Markov.trans_prob;
+  let t = float_of_int !transitions and big_t = float_of_int states in
+  let sparse =
+    big_t > 1.0 && t <= 2.23 *. (big_t ** 1.72) /. sqrt (log2 big_t)
+  in
+  let entropy = Markov.transition_entropy dist in
+  let lower_bound =
+    if states <= 2 then 0.0
+    else
+      entropy -. (1.52 *. log2 big_t) -. 2.16 +. (0.5 *. log2 (log2 big_t))
+  in
+  { states; transitions = !transitions; sparse; entropy; lower_bound }
+
+let holds stg dist ~code =
+  let r = report stg dist in
+  let actual = Markov.expected_hamming stg dist ~code in
+  actual >= r.lower_bound -. 1e-9

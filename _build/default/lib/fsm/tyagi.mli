@@ -1,0 +1,25 @@
+(** Tyagi's entropic lower bounds on FSM switching (Section II-B1, [13]).
+
+    For a machine with [T] states whose steady-state transition distribution
+    has entropy [h(p_ij)], the expected Hamming distance of the state
+    register per cycle is bounded below — regardless of encoding — by
+
+    [h(p_ij) - 1.52 log2 T - 2.16 + 0.5 log2 (log2 T)]
+
+    provided the machine is sparse:
+    [t <= 2.23 T^1.72 / sqrt(log2 T)] with [t] the number of transitions of
+    nonzero probability. *)
+
+type report = {
+  states : int;
+  transitions : int;  (** nonzero-probability (state, next) pairs *)
+  sparse : bool;  (** whether the sparsity premise holds *)
+  entropy : float;  (** [h(p_ij)] in bits *)
+  lower_bound : float;  (** the bound above (may be negative = vacuous) *)
+}
+
+val report : Stg.t -> Markov.dist -> report
+
+val holds : Stg.t -> Markov.dist -> code:(int -> int) -> bool
+(** Checks the bound against the actual expected Hamming distance of an
+    encoding (trivially true when the bound is vacuous). *)

@@ -1,0 +1,1 @@
+lib/isa/coldsched.ml: Array Hlp_util Isa List Machine

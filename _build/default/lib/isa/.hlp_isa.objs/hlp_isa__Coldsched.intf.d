@@ -1,0 +1,1 @@
+lib/isa/coldsched.mli: Isa

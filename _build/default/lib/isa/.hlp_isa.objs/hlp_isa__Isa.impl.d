@@ -1,0 +1,1 @@
+lib/isa/isa.ml: Array Printf

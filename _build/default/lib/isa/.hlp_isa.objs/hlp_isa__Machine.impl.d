@@ -1,0 +1,1 @@
+lib/isa/machine.ml: Array Hashtbl Hlp_util Isa List Option

@@ -1,0 +1,1 @@
+lib/isa/profile.ml: Array Asm Float Hlp_util Isa List Machine Option

@@ -1,0 +1,1 @@
+lib/isa/profile.mli: Isa Machine

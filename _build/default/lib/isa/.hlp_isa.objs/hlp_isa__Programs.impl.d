@@ -1,0 +1,1 @@
+lib/isa/programs.ml: Asm Hlp_util Isa List

@@ -1,0 +1,1 @@
+lib/isa/tiwari.ml: Array Hlp_util Isa List Machine Option

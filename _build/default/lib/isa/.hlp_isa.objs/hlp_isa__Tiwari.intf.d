@@ -1,0 +1,1 @@
+lib/isa/tiwari.mli: Isa Machine

@@ -1,0 +1,40 @@
+type item =
+  | Ins of Isa.instr
+  | Label of string
+  | Beq_l of Isa.reg * Isa.reg * string
+  | Bne_l of Isa.reg * Isa.reg * string
+  | Blt_l of Isa.reg * Isa.reg * string
+  | Jmp_l of string
+
+let assemble items =
+  let targets = Hashtbl.create 16 in
+  let pc = ref 0 in
+  List.iter
+    (function
+      | Label name -> Hashtbl.replace targets name !pc
+      | Ins _ | Beq_l _ | Bne_l _ | Blt_l _ | Jmp_l _ -> incr pc)
+    items;
+  let resolve name =
+    match Hashtbl.find_opt targets name with
+    | Some t -> t
+    | None -> failwith ("assemble: unknown label " ^ name)
+  in
+  let out = ref [] in
+  pc := 0;
+  List.iter
+    (fun item ->
+      let emit i =
+        out := i :: !out;
+        incr pc
+      in
+      match item with
+      | Label _ -> ()
+      | Ins i -> emit i
+      | Beq_l (a, b, l) -> emit (Isa.Beq (a, b, resolve l - (!pc + 1)))
+      | Bne_l (a, b, l) -> emit (Isa.Bne (a, b, resolve l - (!pc + 1)))
+      | Blt_l (a, b, l) -> emit (Isa.Blt (a, b, resolve l - (!pc + 1)))
+      | Jmp_l l -> emit (Isa.Jmp (resolve l)))
+    items;
+  let prog = Array.of_list (List.rev !out) in
+  Isa.validate_program prog;
+  prog

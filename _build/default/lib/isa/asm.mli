@@ -1,0 +1,14 @@
+(** Two-pass mini assembler with symbolic branch labels, shared by the
+    benchmark programs and the profile-driven program synthesizer. *)
+
+type item =
+  | Ins of Isa.instr
+  | Label of string
+  | Beq_l of Isa.reg * Isa.reg * string
+  | Bne_l of Isa.reg * Isa.reg * string
+  | Blt_l of Isa.reg * Isa.reg * string
+  | Jmp_l of string
+
+val assemble : item list -> Isa.instr array
+(** Resolves labels to pc-relative offsets and validates the result;
+    raises [Failure] on undefined labels or out-of-range targets. *)

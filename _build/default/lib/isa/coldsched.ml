@@ -1,0 +1,142 @@
+let is_control = function
+  | Isa.Beq _ | Isa.Bne _ | Isa.Blt _ | Isa.Jmp _ | Isa.Halt -> true
+  | Isa.Add _ | Isa.Sub _ | Isa.Mul _ | Isa.And_ _ | Isa.Or_ _ | Isa.Xor_ _
+  | Isa.Addi _ | Isa.Shli _ | Isa.Ld _ | Isa.St _ | Isa.Nop -> false
+
+let is_mem = function
+  | Isa.Ld _ | Isa.St _ -> true
+  | _ -> false
+
+let is_store = function Isa.St _ -> true | _ -> false
+
+(* register defined (r0 is a sink, never really written) *)
+let def = function
+  | Isa.Add (d, _, _) | Isa.Sub (d, _, _) | Isa.Mul (d, _, _)
+  | Isa.And_ (d, _, _) | Isa.Or_ (d, _, _) | Isa.Xor_ (d, _, _)
+  | Isa.Addi (d, _, _) | Isa.Shli (d, _, _) | Isa.Ld (d, _, _) ->
+      if d = 0 then None else Some d
+  | Isa.St _ | Isa.Beq _ | Isa.Bne _ | Isa.Blt _ | Isa.Jmp _ | Isa.Nop | Isa.Halt ->
+      None
+
+let uses = function
+  | Isa.Add (_, a, b) | Isa.Sub (_, a, b) | Isa.Mul (_, a, b)
+  | Isa.And_ (_, a, b) | Isa.Or_ (_, a, b) | Isa.Xor_ (_, a, b)
+  | Isa.Beq (a, b, _) | Isa.Bne (a, b, _) | Isa.Blt (a, b, _) -> [ a; b ]
+  | Isa.Addi (_, a, _) | Isa.Shli (_, a, _) | Isa.Ld (_, a, _) -> [ a ]
+  | Isa.St (s, a, _) -> [ s; a ]
+  | Isa.Jmp _ | Isa.Nop | Isa.Halt -> []
+
+let depends i j =
+  (* must i stay before j? *)
+  is_control i || is_control j
+  || (is_mem i && is_mem j && (is_store i || is_store j))
+  || (match def i with
+     | Some d -> List.mem d (uses j) || def j = Some d  (* RAW / WAW *)
+     | None -> false)
+  || (match def j with
+     | Some d -> List.mem d (uses i)  (* WAR *)
+     | None -> false)
+
+let basic_blocks prog =
+  let n = Array.length prog in
+  let leader = Array.make (n + 1) false in
+  leader.(0) <- true;
+  leader.(n) <- true;
+  Array.iteri
+    (fun pc i ->
+      match i with
+      | Isa.Beq (_, _, off) | Isa.Bne (_, _, off) | Isa.Blt (_, _, off) ->
+          if pc + 1 <= n then leader.(pc + 1) <- true;
+          let t = pc + 1 + off in
+          if t >= 0 && t <= n then leader.(t) <- true
+      | Isa.Jmp t ->
+          if pc + 1 <= n then leader.(pc + 1) <- true;
+          if t >= 0 && t <= n then leader.(t) <- true
+      | Isa.Halt -> if pc + 1 <= n then leader.(pc + 1) <- true
+      | _ -> ())
+    prog;
+  let rec collect start pc acc =
+    if pc > n then List.rev acc
+    else if pc = n then List.rev ((start, n) :: acc)
+    else if leader.(pc) && pc > start then collect pc pc ((start, pc) :: acc)
+    else collect start (pc + 1) acc
+  in
+  match collect 0 1 [] with
+  | blocks -> List.filter (fun (a, b) -> b > a) blocks
+
+(* Greedy cold list scheduling of one block: repeatedly emit the ready
+   instruction whose encoding is closest (Hamming) to the previous one. *)
+let schedule_block prev_enc instrs =
+  let n = Array.length instrs in
+  let emitted = Array.make n false in
+  let out = ref [] in
+  let prev = ref prev_enc in
+  for _ = 1 to n do
+    (* ready = not emitted and no un-emitted earlier instruction depends-before it *)
+    let ready =
+      List.filter
+        (fun j ->
+          (not emitted.(j))
+          && (let ok = ref true in
+              for k = 0 to j - 1 do
+                if (not emitted.(k)) && depends instrs.(k) instrs.(j) then ok := false
+              done;
+              !ok))
+        (List.init n (fun j -> j))
+    in
+    let best =
+      List.fold_left
+        (fun acc j ->
+          let cost = Hlp_util.Bits.hamming (Isa.encode instrs.(j)) !prev in
+          match acc with
+          | Some (_, c) when c <= cost -> acc
+          | _ -> Some (j, cost))
+        None ready
+    in
+    match best with
+    | None -> failwith "Coldsched: no ready instruction (cyclic dependence?)"
+    | Some (j, _) ->
+        emitted.(j) <- true;
+        prev := Isa.encode instrs.(j);
+        out := instrs.(j) :: !out
+  done;
+  Array.of_list (List.rev !out)
+
+let reorder prog =
+  let out = Array.copy prog in
+  let prev_enc = ref 0 in
+  List.iter
+    (fun (start, stop) ->
+      let block = Array.sub prog start (stop - start) in
+      let scheduled = schedule_block !prev_enc block in
+      Array.blit scheduled 0 out start (stop - start);
+      prev_enc := (if stop > start then Isa.encode scheduled.(stop - start - 1) else !prev_enc))
+    (basic_blocks prog);
+  Isa.validate_program out;
+  out
+
+type evaluation = {
+  original_toggles : float;
+  scheduled_toggles : float;
+  saving : float;
+  energy_original : float;
+  energy_scheduled : float;
+}
+
+let measure ?(mem_init = []) prog =
+  let r1 = Machine.run ~mem_init prog in
+  let r2 = Machine.run ~mem_init (reorder prog) in
+  if r1.Machine.regs <> r2.Machine.regs then
+    failwith "Coldsched.measure: reordering changed the result";
+  let per_instr (r : Machine.result) =
+    float_of_int r.Machine.counters.Machine.ibus_toggles
+    /. float_of_int (max 1 r.Machine.counters.Machine.instructions)
+  in
+  let o = per_instr r1 and s = per_instr r2 in
+  {
+    original_toggles = o;
+    scheduled_toggles = s;
+    saving = (if o > 0.0 then 1.0 -. (s /. o) else 0.0);
+    energy_original = r1.Machine.energy;
+    energy_scheduled = r2.Machine.energy;
+  }

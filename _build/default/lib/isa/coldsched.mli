@@ -1,0 +1,35 @@
+(** Cold scheduling (Su, Tsui, Despain [6], Section III-A).
+
+    Instruction scheduling that minimizes instruction-bus switching: within
+    a basic block, data-ready instructions are emitted in the order that
+    minimizes the Hamming distance between consecutive instruction
+    encodings (a list scheduler whose priority is the "power cost" of the
+    bus transition, exactly as the paper describes). Control flow and data
+    dependencies are preserved, so the program computes the same thing. *)
+
+val basic_blocks : Isa.instr array -> (int * int) list
+(** Maximal single-entry single-exit straight-line regions as
+    [(start, stop)) index ranges: boundaries at branches, jumps, halts, and
+    branch targets. *)
+
+val depends : Isa.instr -> Isa.instr -> bool
+(** Conservative dependence test (RAW/WAR/WAW on registers, any pair of
+    memory operations, any control transfer). *)
+
+val reorder : Isa.instr array -> Isa.instr array
+(** Cold-schedule every basic block. The result executes identically
+    (same final registers/memory) but with fewer instruction-bus
+    transitions. *)
+
+type evaluation = {
+  original_toggles : float;  (** ibus toggles per instruction, original *)
+  scheduled_toggles : float;  (** after cold scheduling *)
+  saving : float;
+  energy_original : float;
+  energy_scheduled : float;
+}
+
+val measure :
+  ?mem_init:(int * int) list -> Isa.instr array -> evaluation
+(** Run both versions on {!Machine}, check the final register files agree,
+    and compare dynamic instruction-bus activity and total energy. *)

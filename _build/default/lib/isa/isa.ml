@@ -1,0 +1,96 @@
+type reg = int
+
+type instr =
+  | Add of reg * reg * reg
+  | Sub of reg * reg * reg
+  | Mul of reg * reg * reg
+  | And_ of reg * reg * reg
+  | Or_ of reg * reg * reg
+  | Xor_ of reg * reg * reg
+  | Addi of reg * reg * int
+  | Shli of reg * reg * int
+  | Ld of reg * reg * int
+  | St of reg * reg * int
+  | Beq of reg * reg * int
+  | Bne of reg * reg * int
+  | Blt of reg * reg * int
+  | Jmp of int
+  | Nop
+  | Halt
+
+type cls = Alu | Mulc | Mem | Branch | Other
+
+let classify = function
+  | Add _ | Sub _ | And_ _ | Or_ _ | Xor_ _ | Addi _ | Shli _ -> Alu
+  | Mul _ -> Mulc
+  | Ld _ | St _ -> Mem
+  | Beq _ | Bne _ | Blt _ | Jmp _ -> Branch
+  | Nop | Halt -> Other
+
+let cls_name = function
+  | Alu -> "alu"
+  | Mulc -> "mul"
+  | Mem -> "mem"
+  | Branch -> "branch"
+  | Other -> "other"
+
+let all_classes = [ Alu; Mulc; Mem; Branch; Other ]
+
+let imm16 v = v land 0xFFFF
+
+let encode = function
+  | Add (d, a, b) -> (0x01 lsl 24) lor (d lsl 20) lor (a lsl 16) lor (b lsl 12)
+  | Sub (d, a, b) -> (0x02 lsl 24) lor (d lsl 20) lor (a lsl 16) lor (b lsl 12)
+  | Mul (d, a, b) -> (0x03 lsl 24) lor (d lsl 20) lor (a lsl 16) lor (b lsl 12)
+  | And_ (d, a, b) -> (0x04 lsl 24) lor (d lsl 20) lor (a lsl 16) lor (b lsl 12)
+  | Or_ (d, a, b) -> (0x05 lsl 24) lor (d lsl 20) lor (a lsl 16) lor (b lsl 12)
+  | Xor_ (d, a, b) -> (0x06 lsl 24) lor (d lsl 20) lor (a lsl 16) lor (b lsl 12)
+  | Addi (d, a, imm) -> (0x07 lsl 24) lor (d lsl 20) lor (a lsl 16) lor imm16 imm
+  | Shli (d, a, imm) -> (0x08 lsl 24) lor (d lsl 20) lor (a lsl 16) lor imm16 imm
+  | Ld (d, a, off) -> (0x09 lsl 24) lor (d lsl 20) lor (a lsl 16) lor imm16 off
+  | St (s, a, off) -> (0x0A lsl 24) lor (s lsl 20) lor (a lsl 16) lor imm16 off
+  | Beq (a, b, off) -> (0x0B lsl 24) lor (a lsl 20) lor (b lsl 16) lor imm16 off
+  | Bne (a, b, off) -> (0x0C lsl 24) lor (a lsl 20) lor (b lsl 16) lor imm16 off
+  | Blt (a, b, off) -> (0x0D lsl 24) lor (a lsl 20) lor (b lsl 16) lor imm16 off
+  | Jmp target -> (0x0E lsl 24) lor imm16 target
+  | Nop -> 0x0F lsl 24
+  | Halt -> 0x10 lsl 24
+
+let pp = function
+  | Add (d, a, b) -> Printf.sprintf "add r%d, r%d, r%d" d a b
+  | Sub (d, a, b) -> Printf.sprintf "sub r%d, r%d, r%d" d a b
+  | Mul (d, a, b) -> Printf.sprintf "mul r%d, r%d, r%d" d a b
+  | And_ (d, a, b) -> Printf.sprintf "and r%d, r%d, r%d" d a b
+  | Or_ (d, a, b) -> Printf.sprintf "or r%d, r%d, r%d" d a b
+  | Xor_ (d, a, b) -> Printf.sprintf "xor r%d, r%d, r%d" d a b
+  | Addi (d, a, imm) -> Printf.sprintf "addi r%d, r%d, %d" d a imm
+  | Shli (d, a, imm) -> Printf.sprintf "shli r%d, r%d, %d" d a imm
+  | Ld (d, a, off) -> Printf.sprintf "ld r%d, %d(r%d)" d off a
+  | St (s, a, off) -> Printf.sprintf "st r%d, %d(r%d)" s off a
+  | Beq (a, b, off) -> Printf.sprintf "beq r%d, r%d, %+d" a b off
+  | Bne (a, b, off) -> Printf.sprintf "bne r%d, r%d, %+d" a b off
+  | Blt (a, b, off) -> Printf.sprintf "blt r%d, r%d, %+d" a b off
+  | Jmp t -> Printf.sprintf "jmp %d" t
+  | Nop -> "nop"
+  | Halt -> "halt"
+
+let validate_program prog =
+  let n = Array.length prog in
+  let check_reg r = if r < 0 || r > 7 then failwith "Isa: bad register" in
+  Array.iteri
+    (fun pc i ->
+      let branch off =
+        let t = pc + 1 + off in
+        if t < 0 || t > n then failwith "Isa: branch out of range"
+      in
+      match i with
+      | Add (d, a, b) | Sub (d, a, b) | Mul (d, a, b) | And_ (d, a, b)
+      | Or_ (d, a, b) | Xor_ (d, a, b) ->
+          check_reg d; check_reg a; check_reg b
+      | Addi (d, a, _) | Shli (d, a, _) | Ld (d, a, _) | St (d, a, _) ->
+          check_reg d; check_reg a
+      | Beq (a, b, off) | Bne (a, b, off) | Blt (a, b, off) ->
+          check_reg a; check_reg b; branch off
+      | Jmp t -> if t < 0 || t > n then failwith "Isa: jump out of range"
+      | Nop | Halt -> ())
+    prog

@@ -1,0 +1,46 @@
+(** A small load/store RISC instruction set.
+
+    The software-level power estimation techniques of Section II-A need a
+    processor to measure: this ISA plus the cycle simulator in {!Machine}
+    plays the role of the paper's embedded CPU. Eight general registers
+    ([r0] reads as zero), word-addressed memory, and a compact 32-bit
+    encoding whose bit patterns drive the instruction-bus activity
+    accounting. *)
+
+type reg = int
+(** Register index 0..7; writes to register 0 are discarded. *)
+
+type instr =
+  | Add of reg * reg * reg
+  | Sub of reg * reg * reg
+  | Mul of reg * reg * reg
+  | And_ of reg * reg * reg
+  | Or_ of reg * reg * reg
+  | Xor_ of reg * reg * reg
+  | Addi of reg * reg * int
+  | Shli of reg * reg * int
+  | Ld of reg * reg * int  (** [Ld (rd, ra, off)]: rd <- mem[ra + off] *)
+  | St of reg * reg * int  (** [St (rs, ra, off)]: mem[ra + off] <- rs *)
+  | Beq of reg * reg * int  (** pc-relative branch offset *)
+  | Bne of reg * reg * int
+  | Blt of reg * reg * int
+  | Jmp of int  (** absolute target *)
+  | Nop
+  | Halt
+
+type cls = Alu | Mulc | Mem | Branch | Other
+(** Instruction classes, the granularity of the circuit-state overhead
+    table in the Tiwari model. *)
+
+val classify : instr -> cls
+val cls_name : cls -> string
+val all_classes : cls list
+
+val encode : instr -> int
+(** 32-bit binary encoding; consecutive fetches switch the instruction bus
+    by the Hamming distance of these words. *)
+
+val pp : instr -> string
+
+val validate_program : instr array -> unit
+(** Checks register indices and branch targets; raises [Failure]. *)

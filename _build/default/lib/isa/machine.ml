@@ -1,0 +1,245 @@
+type counters = {
+  cycles : int;
+  instructions : int;
+  class_counts : (Isa.cls * int) list;
+  pair_counts : ((Isa.cls * Isa.cls) * int) list;
+  icache_misses : int;
+  dcache_misses : int;
+  branch_flushes : int;
+  load_use_stalls : int;
+  mem_reads : int;
+  mem_writes : int;
+  ibus_toggles : int;
+}
+
+type result = {
+  energy : float;
+  counters : counters;
+  halted : bool;
+  regs : int array;
+}
+
+(* Energy constants, arbitrary units; ratios follow the usual embedded-CPU
+   folklore: multiplies and cache misses dominate, bus activity is
+   data-dependent. *)
+let e_cycle_base = 1.0
+let e_fetch = 4.0
+let e_ibus_per_toggle = 0.12
+let e_decode = 2.0
+let e_opbus_per_toggle = 0.06
+let e_alu = 3.0
+let e_alu_per_toggle = 0.10
+let e_mul = 22.0
+let e_mul_per_toggle = 0.30
+let e_branch_unit = 2.5
+let e_agen = 3.0
+let e_dcache_hit = 6.0
+let e_dcache_miss = 30.0
+let e_icache_miss = 25.0
+let e_stall_cycle = 1.5
+let e_flush = 3.0
+
+let icache_miss_penalty = 4
+let dcache_miss_penalty = 8
+let flush_penalty = 2
+
+let cache_lines = 64
+let line_words = 4
+
+type cache = { tags : int array }
+
+let cache_create () = { tags = Array.make cache_lines (-1) }
+
+let cache_access c addr =
+  let block = addr / line_words in
+  let line = block mod cache_lines in
+  if c.tags.(line) = block then true
+  else begin
+    c.tags.(line) <- block;
+    false
+  end
+
+let word16 v = v land 0xFFFF
+let toggles a b = Hlp_util.Bits.popcount ((a lxor b) land 0xFFFFFFFF)
+
+let nop_hook = fun (_ : int) -> ()
+
+let run_with_memory ?(max_instructions = 2_000_000) ?(mem_init = [])
+    ?(on_fetch = nop_hook) ?(on_mem = nop_hook) prog =
+  Isa.validate_program prog;
+  let n = Array.length prog in
+  let regs = Array.make 8 0 in
+  let mem = Hashtbl.create 1024 in
+  List.iter (fun (a, v) -> Hashtbl.replace mem (word16 a) v) mem_init;
+  let read_mem a = Option.value ~default:0 (Hashtbl.find_opt mem (word16 a)) in
+  let write_mem a v = Hashtbl.replace mem (word16 a) v in
+  let icache = cache_create () and dcache = cache_create () in
+  let pc = ref 0 in
+  let energy = ref 0.0 and cycles = ref 0 and instructions = ref 0 in
+  let icache_misses = ref 0 and dcache_misses = ref 0 in
+  let branch_flushes = ref 0 and load_use_stalls = ref 0 in
+  let mem_reads = ref 0 and mem_writes = ref 0 in
+  let ibus_toggles = ref 0 in
+  let class_counts = Hashtbl.create 8 and pair_counts = Hashtbl.create 16 in
+  let bump tbl k =
+    Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+  in
+  let prev_encoding = ref 0 in
+  let prev_class = ref None in
+  let prev_dest = ref (-1) in  (* register written by the previous load *)
+  let halted = ref false in
+  let spend c e =
+    cycles := !cycles + c;
+    energy := !energy +. e +. (float_of_int c *. e_cycle_base)
+  in
+  let get r = if r = 0 then 0 else regs.(r) in
+  let set r v = if r <> 0 then regs.(r) <- v in
+  (try
+     while (not !halted) && !pc < n && !instructions < max_instructions do
+       let i = prog.(!pc) in
+       on_fetch !pc;
+       incr instructions;
+       let cls = Isa.classify i in
+       bump class_counts cls;
+       (match !prev_class with
+       | Some p -> bump pair_counts (p, cls)
+       | None -> ());
+       prev_class := Some cls;
+       (* fetch *)
+       let enc = Isa.encode i in
+       let tog = toggles enc !prev_encoding in
+       ibus_toggles := !ibus_toggles + tog;
+       spend 1 (e_fetch +. (float_of_int tog *. e_ibus_per_toggle));
+       prev_encoding := enc;
+       if not (cache_access icache !pc) then begin
+         incr icache_misses;
+         spend icache_miss_penalty e_icache_miss
+       end;
+       (* load-use interlock *)
+       let uses =
+         match i with
+         | Isa.Add (_, a, b) | Isa.Sub (_, a, b) | Isa.Mul (_, a, b)
+         | Isa.And_ (_, a, b) | Isa.Or_ (_, a, b) | Isa.Xor_ (_, a, b)
+         | Isa.Beq (a, b, _) | Isa.Bne (a, b, _) | Isa.Blt (a, b, _) -> [ a; b ]
+         | Isa.Addi (_, a, _) | Isa.Shli (_, a, _) | Isa.Ld (_, a, _) -> [ a ]
+         | Isa.St (s, a, _) -> [ s; a ]
+         | Isa.Jmp _ | Isa.Nop | Isa.Halt -> []
+       in
+       if !prev_dest >= 0 && List.mem !prev_dest uses then begin
+         incr load_use_stalls;
+         spend 1 e_stall_cycle
+       end;
+       prev_dest := -1;
+       (* decode + register read: operand bus activity *)
+       let opvals = List.map get uses in
+       let opact =
+         List.fold_left (fun acc v -> acc + Hlp_util.Bits.popcount (v land 0xFFFF)) 0 opvals
+       in
+       spend 0 (e_decode +. (float_of_int opact *. e_opbus_per_toggle));
+       let next = ref (!pc + 1) in
+       (match i with
+       | Isa.Add (d, a, b) -> spend 0 (e_alu +. (float_of_int (toggles (get a) (get b)) *. e_alu_per_toggle)); set d (get a + get b)
+       | Isa.Sub (d, a, b) -> spend 0 (e_alu +. (float_of_int (toggles (get a) (get b)) *. e_alu_per_toggle)); set d (get a - get b)
+       | Isa.And_ (d, a, b) -> spend 0 e_alu; set d (get a land get b)
+       | Isa.Or_ (d, a, b) -> spend 0 e_alu; set d (get a lor get b)
+       | Isa.Xor_ (d, a, b) -> spend 0 e_alu; set d (get a lxor get b)
+       | Isa.Addi (d, a, imm) -> spend 0 e_alu; set d (get a + imm)
+       | Isa.Shli (d, a, imm) -> spend 0 e_alu; set d (get a lsl imm)
+       | Isa.Mul (d, a, b) ->
+           spend 2 (e_mul +. (float_of_int (toggles (get a) (get b)) *. e_mul_per_toggle));
+           set d (get a * get b)
+       | Isa.Ld (d, a, off) ->
+           incr mem_reads;
+           let addr = get a + off in
+           on_mem (word16 addr);
+           spend 0 e_agen;
+           if cache_access dcache addr then spend 1 e_dcache_hit
+           else begin
+             incr dcache_misses;
+             spend dcache_miss_penalty e_dcache_miss
+           end;
+           set d (read_mem addr);
+           prev_dest := d
+       | Isa.St (s, a, off) ->
+           incr mem_writes;
+           let addr = get a + off in
+           on_mem (word16 addr);
+           spend 0 e_agen;
+           if cache_access dcache addr then spend 1 e_dcache_hit
+           else begin
+             incr dcache_misses;
+             spend dcache_miss_penalty e_dcache_miss
+           end;
+           write_mem addr (get s)
+       | Isa.Beq (a, b, off) ->
+           spend 0 e_branch_unit;
+           if get a = get b then begin
+             next := !pc + 1 + off;
+             incr branch_flushes;
+             spend flush_penalty e_flush
+           end
+       | Isa.Bne (a, b, off) ->
+           spend 0 e_branch_unit;
+           if get a <> get b then begin
+             next := !pc + 1 + off;
+             incr branch_flushes;
+             spend flush_penalty e_flush
+           end
+       | Isa.Blt (a, b, off) ->
+           spend 0 e_branch_unit;
+           if get a < get b then begin
+             next := !pc + 1 + off;
+             incr branch_flushes;
+             spend flush_penalty e_flush
+           end
+       | Isa.Jmp t ->
+           spend 0 e_branch_unit;
+           next := t;
+           incr branch_flushes;
+           spend flush_penalty e_flush
+       | Isa.Nop -> ()
+       | Isa.Halt -> halted := true);
+       pc := !next
+     done
+   with Invalid_argument _ -> halted := false);
+  let to_list tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+  ( {
+      energy = !energy;
+      counters =
+        {
+          cycles = !cycles;
+          instructions = !instructions;
+          class_counts = List.sort compare (to_list class_counts);
+          pair_counts = List.sort compare (to_list pair_counts);
+          icache_misses = !icache_misses;
+          dcache_misses = !dcache_misses;
+          branch_flushes = !branch_flushes;
+          load_use_stalls = !load_use_stalls;
+          mem_reads = !mem_reads;
+          mem_writes = !mem_writes;
+          ibus_toggles = !ibus_toggles;
+        };
+      halted = !halted;
+      regs = Array.copy regs;
+    },
+    read_mem )
+
+let run ?max_instructions ?mem_init prog =
+  fst (run_with_memory ?max_instructions ?mem_init prog)
+
+type traces = { pcs : int array; data_addrs : int array }
+
+let run_traced ?max_instructions ?mem_init prog =
+  let pcs = ref [] and addrs = ref [] in
+  let r, _ =
+    run_with_memory ?max_instructions ?mem_init
+      ~on_fetch:(fun pc -> pcs := pc :: !pcs)
+      ~on_mem:(fun a -> addrs := a :: !addrs)
+      prog
+  in
+  ( r,
+    { pcs = Array.of_list (List.rev !pcs);
+      data_addrs = Array.of_list (List.rev !addrs) } )
+
+let energy_per_cycle r =
+  if r.counters.cycles = 0 then 0.0 else r.energy /. float_of_int r.counters.cycles

@@ -1,0 +1,64 @@
+(** Cycle simulator with microarchitectural energy accounting.
+
+    This is the "actual current measurement" stand-in of the Tiwari et al.
+    methodology: it executes programs on the {!Isa} processor with an
+    instruction cache, a data cache, a load-use interlock and a
+    predict-not-taken front end, charging energy for every
+    microarchitectural event (bus toggles weighted by Hamming distance,
+    ALU/multiplier operand activity, cache hits and misses, stall and flush
+    cycles). The instruction-level macro-model of {!Tiwari} is fitted
+    against the numbers this machine produces. *)
+
+type counters = {
+  cycles : int;
+  instructions : int;
+  class_counts : (Isa.cls * int) list;
+  pair_counts : ((Isa.cls * Isa.cls) * int) list;
+      (** consecutive retired classes — circuit-state pairs *)
+  icache_misses : int;
+  dcache_misses : int;
+  branch_flushes : int;
+  load_use_stalls : int;
+  mem_reads : int;
+  mem_writes : int;
+  ibus_toggles : int;
+      (** instruction-bus bit transitions between consecutive fetches *)
+}
+
+type result = {
+  energy : float;
+  counters : counters;
+  halted : bool;
+  regs : int array;  (** final register file *)
+}
+
+val run :
+  ?max_instructions:int ->
+  ?mem_init:(int * int) list ->
+  Isa.instr array ->
+  result
+(** Execute from pc 0 until [Halt] or the instruction budget (default
+    2_000_000). [mem_init] preloads data memory. *)
+
+val energy_per_cycle : result -> float
+
+val run_with_memory :
+  ?max_instructions:int ->
+  ?mem_init:(int * int) list ->
+  ?on_fetch:(int -> unit) ->
+  ?on_mem:(int -> unit) ->
+  Isa.instr array ->
+  result * (int -> int)
+(** Like {!run} but also returns a reader over the final data memory, for
+    functional checks. [on_fetch] fires with every executed pc; [on_mem]
+    with every data-memory address touched. *)
+
+type traces = { pcs : int array; data_addrs : int array }
+
+val run_traced :
+  ?max_instructions:int ->
+  ?mem_init:(int * int) list ->
+  Isa.instr array ->
+  result * traces
+(** Run and collect the program-counter and data-address sequences — the
+    real bus streams the Section III-G encodings operate on. *)

@@ -1,0 +1,148 @@
+type t = {
+  mix : (Isa.cls * float) list;
+  icache_miss_rate : float;
+  dcache_miss_rate : float;
+  branch_taken_rate : float;
+  stall_rate : float;
+  energy_per_cycle : float;
+  instructions : int;
+}
+
+let extract (r : Machine.result) =
+  let c = r.Machine.counters in
+  let total = float_of_int (max 1 c.Machine.instructions) in
+  let count cls =
+    float_of_int (Option.value ~default:0 (List.assoc_opt cls c.Machine.class_counts))
+  in
+  let mem_ops = count Isa.Mem in
+  let branches = count Isa.Branch in
+  {
+    mix = List.map (fun cls -> (cls, count cls /. total)) Isa.all_classes;
+    icache_miss_rate = float_of_int c.Machine.icache_misses /. total;
+    dcache_miss_rate =
+      (if mem_ops > 0.0 then float_of_int c.Machine.dcache_misses /. mem_ops else 0.0);
+    branch_taken_rate =
+      (if branches > 0.0 then float_of_int c.Machine.branch_flushes /. branches else 0.0);
+    stall_rate = float_of_int c.Machine.load_use_stalls /. total;
+    energy_per_cycle = Machine.energy_per_cycle r;
+    instructions = c.Machine.instructions;
+  }
+
+let distance a b =
+  let mix_dist =
+    List.fold_left2
+      (fun acc (_, pa) (_, pb) -> acc +. abs_float (pa -. pb))
+      0.0 a.mix b.mix
+  in
+  mix_dist
+  +. abs_float (a.icache_miss_rate -. b.icache_miss_rate)
+  +. abs_float (a.dcache_miss_rate -. b.dcache_miss_rate)
+  +. (0.5 *. abs_float (a.branch_taken_rate -. b.branch_taken_rate))
+  +. abs_float (a.stall_rate -. b.stall_rate)
+
+let synthesize ?(seed = 97) ?(body_instructions = 150) ?(iterations = 10) profile =
+  let rng = Hlp_util.Prng.create seed in
+  let frac cls = Option.value ~default:0.0 (List.assoc_opt cls profile.mix) in
+  let quota cls =
+    int_of_float (Float.round (frac cls *. float_of_int body_instructions))
+  in
+  (* register plan: r1 loop counter, r6 memory pointer, r2-r5 scratch, r7 acc *)
+  let n_mem = quota Isa.Mem and n_mul = quota Isa.Mulc in
+  let n_branch = max 1 (quota Isa.Branch) in
+  let n_alu = max 0 (body_instructions - n_mem - n_mul - n_branch) in
+  (* memory stride mixing reproduces the d-cache miss rate: stride 4 always
+     misses (new line), stride 1 misses a quarter of the time *)
+  let p_big_stride = max 0.0 (min 1.0 ((4.0 *. profile.dcache_miss_rate -. 1.0) /. 3.0)) in
+  let ops = ref [] in
+  let emit x = ops := x :: !ops in
+  for _ = 1 to n_mem do
+    let stride = if Hlp_util.Prng.bernoulli rng p_big_stride then 4 else 1 in
+    if Hlp_util.Prng.bool rng then emit (`Mem_load stride) else emit (`Mem_store stride)
+  done;
+  for _ = 1 to n_mul do
+    emit `Mul
+  done;
+  for _ = 1 to n_branch - 1 do
+    (* the loop back-edge provides one taken branch per iteration *)
+    emit (`Branch (Hlp_util.Prng.bernoulli rng profile.branch_taken_rate))
+  done;
+  for _ = 1 to n_alu do
+    emit `Alu
+  done;
+  let body = Array.of_list !ops in
+  Hlp_util.Prng.shuffle rng body;
+  (* place load-use pairs to reproduce the stall rate: after a load, with
+     the right probability the next op consumes r2 *)
+  let want_stalls = profile.stall_rate *. float_of_int body_instructions in
+  let items = ref [] in
+  let add i = items := i :: !items in
+  let stalls_placed = ref 0.0 in
+  Array.iter
+    (fun op ->
+      match op with
+      | `Mem_load stride ->
+          add (Asm.Ins (Isa.Ld (2, 6, 0)));
+          if !stalls_placed < want_stalls then begin
+            (* immediate consumer of the loaded value: a load-use stall *)
+            add (Asm.Ins (Isa.Add (7, 7, 2)));
+            stalls_placed := !stalls_placed +. 1.0
+          end;
+          add (Asm.Ins (Isa.Addi (6, 6, stride)))
+      | `Mem_store stride ->
+          add (Asm.Ins (Isa.St (7, 6, 0)));
+          add (Asm.Ins (Isa.Addi (6, 6, stride)))
+      | `Mul -> add (Asm.Ins (Isa.Mul (3, 3, 4)))
+      | `Alu ->
+          add
+            (Asm.Ins
+               (match Hlp_util.Prng.int rng 3 with
+               | 0 -> Isa.Add (4, 4, 5)
+               | 1 -> Isa.Xor_ (5, 5, 3)
+               | _ -> Isa.Addi (4, 4, 1)))
+      | `Branch taken ->
+          if taken then add (Asm.Ins (Isa.Beq (0, 0, 0)))
+          else add (Asm.Ins (Isa.Bne (0, 0, 0))))
+    body;
+  let body_items = List.rev !items in
+  let program =
+    Asm.assemble
+      ([
+         Asm.Ins (Isa.Addi (1, 0, iterations));
+         Asm.Ins (Isa.Addi (3, 0, 7));
+         Asm.Ins (Isa.Addi (4, 0, 13));
+         Asm.Ins (Isa.Addi (5, 0, 29));
+         Asm.Ins (Isa.Addi (6, 0, 0));
+         Asm.Label "top";
+       ]
+      @ body_items
+      @ [
+          Asm.Ins (Isa.Addi (1, 1, -1));
+          Asm.Bne_l (1, 0, "top");
+          Asm.Ins Isa.Halt;
+        ])
+  in
+  let rng2 = Hlp_util.Prng.create (seed + 1) in
+  let mem = List.init 512 (fun k -> (k, Hlp_util.Prng.int rng2 100)) in
+  (program, mem)
+
+type validation = {
+  original : t;
+  synthetic : t;
+  energy_error : float;
+  trace_reduction : float;
+}
+
+let validate result ?seed () =
+  let original = extract result in
+  let prog, mem = synthesize ?seed original in
+  let r = Machine.run ~mem_init:mem prog in
+  let synthetic = extract r in
+  {
+    original;
+    synthetic;
+    energy_error =
+      Hlp_util.Stats.relative_error ~actual:original.energy_per_cycle
+        ~estimate:synthetic.energy_per_cycle;
+    trace_reduction =
+      float_of_int original.instructions /. float_of_int (max 1 synthetic.instructions);
+  }

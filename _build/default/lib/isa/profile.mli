@@ -1,0 +1,42 @@
+(** Profile-driven program synthesis (Hsieh et al. [8], Section II-A).
+
+    Long application traces are too slow to simulate at low level; instead,
+    extract a characteristic profile (instruction mix, cache miss rates,
+    branch and stall statistics) from a fast architectural run and
+    synthesize a much shorter program whose profile — and therefore whose
+    power per cycle — matches the original. The short program is then the
+    workload for slow detailed simulation. *)
+
+type t = {
+  mix : (Isa.cls * float) list;  (** instruction-class fractions *)
+  icache_miss_rate : float;  (** per instruction *)
+  dcache_miss_rate : float;  (** per memory access *)
+  branch_taken_rate : float;  (** flushes per branch *)
+  stall_rate : float;  (** load-use stalls per instruction *)
+  energy_per_cycle : float;  (** of the original run, for reference *)
+  instructions : int;
+}
+
+val extract : Machine.result -> t
+
+val distance : t -> t -> float
+(** Profile dissimilarity (weighted L1 over the mix and the rates), for
+    tests and for the synthesis loop. *)
+
+val synthesize :
+  ?seed:int -> ?body_instructions:int -> ?iterations:int -> t -> Isa.instr array * (int * int) list
+(** Generate a short synthetic program matching the profile: a loop whose
+    body reproduces the instruction mix, whose memory accesses walk a
+    footprint sized to reproduce the d-cache miss rate, and whose branches
+    are taken with the right frequency. Default: ~200-instruction body,
+    30 iterations — orders of magnitude shorter than real traces. *)
+
+type validation = {
+  original : t;
+  synthetic : t;
+  energy_error : float;  (** relative error in energy per cycle *)
+  trace_reduction : float;  (** original instructions / synthetic *)
+}
+
+val validate : Machine.result -> ?seed:int -> unit -> validation
+(** Extract, synthesize, re-measure, compare. *)

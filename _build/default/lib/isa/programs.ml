@@ -1,0 +1,227 @@
+open Asm
+
+let matmul ~n =
+  let bbase = n * n and cbase = 2 * n * n in
+  let prog =
+    assemble
+      [
+        Ins (Isa.Addi (6, 0, n));
+        Ins (Isa.Addi (1, 0, 0));
+        Label "i";
+        Ins (Isa.Addi (2, 0, 0));
+        Label "j";
+        Ins (Isa.Addi (3, 0, 0));
+        Ins (Isa.Addi (7, 0, 0));
+        Label "k";
+        Ins (Isa.Mul (4, 1, 6));
+        Ins (Isa.Add (4, 4, 3));
+        Ins (Isa.Ld (5, 4, 0));
+        Ins (Isa.Mul (4, 3, 6));
+        Ins (Isa.Add (4, 4, 2));
+        Ins (Isa.Ld (4, 4, bbase));
+        Ins (Isa.Mul (5, 5, 4));
+        Ins (Isa.Add (7, 7, 5));
+        Ins (Isa.Addi (3, 3, 1));
+        Blt_l (3, 6, "k");
+        Ins (Isa.Mul (4, 1, 6));
+        Ins (Isa.Add (4, 4, 2));
+        Ins (Isa.St (7, 4, cbase));
+        Ins (Isa.Addi (2, 2, 1));
+        Blt_l (2, 6, "j");
+        Ins (Isa.Addi (1, 1, 1));
+        Blt_l (1, 6, "i");
+        Ins Isa.Halt;
+      ]
+  in
+  let rng = Hlp_util.Prng.create 7 in
+  let mem =
+    List.init (2 * n * n) (fun k -> (k, Hlp_util.Prng.int rng 100))
+  in
+  (prog, mem)
+
+let fir ~taps ~samples =
+  let sample_base = 64 and out_base = 4096 in
+  let prog =
+    assemble
+      [
+        Ins (Isa.Addi (6, 0, taps));
+        Ins (Isa.Addi (1, 0, 0));  (* r1 = output index *)
+        Label "outer";
+        Ins (Isa.Addi (2, 0, 0));  (* r2 = tap *)
+        Ins (Isa.Addi (7, 0, 0));  (* acc *)
+        Label "inner";
+        Ins (Isa.Ld (3, 2, 0));  (* coeff[tap] *)
+        Ins (Isa.Add (4, 1, 2));
+        Ins (Isa.Ld (4, 4, sample_base));  (* sample[i + tap] *)
+        Ins (Isa.Mul (3, 3, 4));
+        Ins (Isa.Add (7, 7, 3));
+        Ins (Isa.Addi (2, 2, 1));
+        Blt_l (2, 6, "inner");
+        Ins (Isa.St (7, 1, out_base));
+        Ins (Isa.Addi (1, 1, 1));
+        Ins (Isa.Addi (5, 0, samples - taps));
+        Blt_l (1, 5, "outer");
+        Ins Isa.Halt;
+      ]
+  in
+  let rng = Hlp_util.Prng.create 11 in
+  let mem =
+    List.init taps (fun k -> (k, 1 + Hlp_util.Prng.int rng 15))
+    @ List.init samples (fun k -> (sample_base + k, Hlp_util.Prng.int rng 256))
+  in
+  (prog, mem)
+
+let bubble_sort ~n =
+  let prog =
+    assemble
+      [
+        Ins (Isa.Addi (6, 0, (n - 1)));
+        Ins (Isa.Addi (1, 0, 0));  (* r1 = pass *)
+        Label "pass";
+        Ins (Isa.Addi (2, 0, 0));  (* r2 = index *)
+        Label "scan";
+        Ins (Isa.Ld (3, 2, 0));
+        Ins (Isa.Ld (4, 2, 1));
+        Blt_l (3, 4, "inorder");
+        Ins (Isa.St (4, 2, 0));
+        Ins (Isa.St (3, 2, 1));
+        Label "inorder";
+        Ins (Isa.Addi (2, 2, 1));
+        Blt_l (2, 6, "scan");
+        Ins (Isa.Addi (1, 1, 1));
+        Blt_l (1, 6, "pass");
+        Ins Isa.Halt;
+      ]
+  in
+  let rng = Hlp_util.Prng.create 13 in
+  let mem = List.init n (fun k -> (k, Hlp_util.Prng.int rng 1000)) in
+  (prog, mem)
+
+let string_search ~hay =
+  let needle_base = 8192 and needle_len = 4 in
+  let prog =
+    assemble
+      [
+        Ins (Isa.Addi (6, 0, (hay - needle_len)));
+        Ins (Isa.Addi (5, 0, needle_len));
+        Ins (Isa.Addi (1, 0, 0));  (* position *)
+        Ins (Isa.Addi (7, 0, 0));  (* match count *)
+        Label "pos";
+        Ins (Isa.Addi (2, 0, 0));  (* offset within needle *)
+        Label "cmp";
+        Ins (Isa.Add (3, 1, 2));
+        Ins (Isa.Ld (3, 3, 0));
+        Ins (Isa.Ld (4, 2, needle_base));
+        Bne_l (3, 4, "miss");
+        Ins (Isa.Addi (2, 2, 1));
+        Blt_l (2, 5, "cmp");
+        Ins (Isa.Addi (7, 7, 1));
+        Label "miss";
+        Ins (Isa.Addi (1, 1, 1));
+        Blt_l (1, 6, "pos");
+        Ins Isa.Halt;
+      ]
+  in
+  let rng = Hlp_util.Prng.create 17 in
+  let mem =
+    List.init hay (fun k -> (k, Hlp_util.Prng.int rng 4))
+    @ List.init needle_len (fun k -> (needle_base + k, Hlp_util.Prng.int rng 4))
+  in
+  (prog, mem)
+
+let fig2_common_mem n =
+  let rng = Hlp_util.Prng.create 19 in
+  List.init n (fun k -> (k, Hlp_util.Prng.int rng 50))
+
+let fig2_memory ~n =
+  (* b[i] = a[i] * c in one loop (b spilled to memory), sum b[i] in a
+     second loop: the 2n extra accesses of Fig. 2's left side *)
+  let bbase = n in
+  let prog =
+    assemble
+      [
+        Ins (Isa.Addi (6, 0, n));
+        Ins (Isa.Addi (5, 0, 3));  (* c = 3 *)
+        Ins (Isa.Addi (1, 0, 0));
+        Label "produce";
+        Ins (Isa.Ld (2, 1, 0));
+        Ins (Isa.Mul (2, 2, 5));
+        Ins (Isa.St (2, 1, bbase));
+        Ins (Isa.Addi (1, 1, 1));
+        Blt_l (1, 6, "produce");
+        Ins (Isa.Addi (1, 0, 0));
+        Ins (Isa.Addi (7, 0, 0));
+        Label "consume";
+        Ins (Isa.Ld (2, 1, bbase));
+        Ins (Isa.Add (7, 7, 2));
+        Ins (Isa.Addi (1, 1, 1));
+        Blt_l (1, 6, "consume");
+        Ins Isa.Halt;
+      ]
+  in
+  (prog, fig2_common_mem n)
+
+let fig2_register ~n =
+  let prog =
+    assemble
+      [
+        Ins (Isa.Addi (6, 0, n));
+        Ins (Isa.Addi (5, 0, 3));
+        Ins (Isa.Addi (1, 0, 0));
+        Ins (Isa.Addi (7, 0, 0));
+        Label "fused";
+        Ins (Isa.Ld (2, 1, 0));
+        Ins (Isa.Mul (2, 2, 5));
+        Ins (Isa.Add (7, 7, 2));
+        Ins (Isa.Addi (1, 1, 1));
+        Blt_l (1, 6, "fused");
+        Ins Isa.Halt;
+      ]
+  in
+  (prog, fig2_common_mem n)
+
+let vector_kernel ~n =
+  (* unrolled multiply-accumulate over four independent lanes: the kind of
+     block with enough instruction-level freedom for cold scheduling to
+     reorder (each lane uses its own registers; loads do not alias) *)
+  let prog =
+    assemble
+      [
+        Ins (Isa.Addi (6, 0, n));
+        Ins (Isa.Addi (1, 0, 0));
+        Label "loop";
+        Ins (Isa.Ld (2, 1, 0));
+        Ins (Isa.Ld (3, 1, 1024));
+        Ins (Isa.Ld (4, 1, 2048));
+        Ins (Isa.Ld (5, 1, 3072));
+        Ins (Isa.Mul (2, 2, 2));
+        Ins (Isa.Xor_ (3, 3, 2));
+        Ins (Isa.Mul (4, 4, 4));
+        Ins (Isa.And_ (5, 5, 4));
+        Ins (Isa.Add (7, 7, 2));
+        Ins (Isa.Add (7, 7, 3));
+        Ins (Isa.Add (7, 7, 4));
+        Ins (Isa.Add (7, 7, 5));
+        Ins (Isa.Addi (1, 1, 1));
+        Blt_l (1, 6, "loop");
+        Ins Isa.Halt;
+      ]
+  in
+  let rng = Hlp_util.Prng.create 23 in
+  let mem =
+    List.concat_map
+      (fun base -> List.init n (fun k -> (base + k, Hlp_util.Prng.int rng 200)))
+      [ 0; 1024; 2048; 3072 ]
+  in
+  (prog, mem)
+
+let all () =
+  [
+    ("matmul", matmul ~n:10);
+    ("fir", fir ~taps:8 ~samples:256);
+    ("bubble_sort", bubble_sort ~n:48);
+    ("string_search", string_search ~hay:512);
+    ("fig2_memory", fig2_memory ~n:256);
+    ("fig2_register", fig2_register ~n:256);
+    ("vector_kernel", vector_kernel ~n:128);
+  ]

@@ -1,0 +1,36 @@
+(** Application programs for the software-power experiments, written
+    directly in the {!Isa} assembly.
+
+    Includes the Fig. 2 pair: the same reduction computed with an
+    intermediate array spilled to memory versus kept in a register — the
+    memory-access-minimization transformation. *)
+
+val matmul : n:int -> Isa.instr array * (int * int) list
+(** [n x n] integer matrix multiply; returns (program, initial memory).
+    A at 0, B at n^2, C at 2 n^2. *)
+
+val fir : taps:int -> samples:int -> Isa.instr array * (int * int) list
+(** FIR filter over a sample buffer; coefficients at 0, samples at 64,
+    outputs at 4096. *)
+
+val bubble_sort : n:int -> Isa.instr array * (int * int) list
+(** In-place sort of an array at address 0. *)
+
+val string_search : hay:int -> Isa.instr array * (int * int) list
+(** Naive substring search over a [hay]-byte text. *)
+
+val fig2_memory : n:int -> Isa.instr array * (int * int) list
+(** Fig. 2 left: [b[i] = a[i] * c] into a memory-resident temporary array,
+    then a second loop sums [b[i]] — 2n extra memory accesses. Result in
+    r7. *)
+
+val fig2_register : n:int -> Isa.instr array * (int * int) list
+(** Fig. 2 right: fused loop keeping the product in a register. Result in
+    r7; identical to {!fig2_memory}'s. *)
+
+val vector_kernel : n:int -> Isa.instr array * (int * int) list
+(** Unrolled four-lane multiply-accumulate: a block with real
+    instruction-level freedom, the cold-scheduling showcase. *)
+
+val all : unit -> (string * (Isa.instr array * (int * int) list)) list
+(** The benchmark set used for macro-model training/validation. *)

@@ -1,0 +1,63 @@
+type model = { coeffs : float array }
+
+let class_count counters cls =
+  Option.value ~default:0 (List.assoc_opt cls counters.Machine.class_counts)
+
+let pair_bucket (a, b) = if a = b then `Same else `Switch
+
+let feature_names =
+  List.map (fun c -> "base_" ^ Isa.cls_name c) Isa.all_classes
+  @ [ "state_same"; "state_switch"; "oc_stall"; "oc_imiss"; "oc_dmiss"; "oc_flush" ]
+
+let features (c : Machine.counters) =
+  let base =
+    List.map (fun cls -> float_of_int (class_count c cls)) Isa.all_classes
+  in
+  let same = ref 0 and switch = ref 0 in
+  List.iter
+    (fun (pair, n) ->
+      match pair_bucket pair with
+      | `Same -> same := !same + n
+      | `Switch -> switch := !switch + n)
+    c.Machine.pair_counts;
+  Array.of_list
+    (base
+    @ [
+        float_of_int !same;
+        float_of_int !switch;
+        float_of_int c.Machine.load_use_stalls;
+        float_of_int c.Machine.icache_misses;
+        float_of_int c.Machine.dcache_misses;
+        float_of_int c.Machine.branch_flushes;
+      ])
+
+let fit programs =
+  assert (List.length programs >= 2);
+  (* rows are normalized per instruction so that short and long programs
+     weigh equally in the least-squares fit (otherwise the big traces
+     dominate and small programs predict poorly) *)
+  let rows =
+    List.map
+      (fun (prog, mem_init) ->
+        let r = Machine.run ~mem_init prog in
+        let scale = 1.0 /. float_of_int (max 1 r.Machine.counters.Machine.instructions) in
+        ( Array.map (fun f -> f *. scale) (features r.Machine.counters),
+          r.Machine.energy *. scale ))
+      programs
+  in
+  let x = Array.of_list (List.map fst rows) in
+  let y = Array.of_list (List.map snd rows) in
+  { coeffs = Hlp_util.Linalg.least_squares_nonneg x y }
+
+let predict m counters = Hlp_util.Linalg.vec_dot m.coeffs (features counters)
+
+let evaluate m programs =
+  Hlp_util.Stats.mean_list
+    (List.map
+       (fun (prog, mem_init) ->
+         let r = Machine.run ~mem_init prog in
+         Hlp_util.Stats.relative_error ~actual:r.Machine.energy
+           ~estimate:(predict m r.Machine.counters))
+       programs)
+
+let coefficients m = List.combine feature_names (Array.to_list m.coeffs)

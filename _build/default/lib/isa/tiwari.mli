@@ -1,0 +1,30 @@
+(** Instruction-level power macro-model (Tiwari et al. [7], Section II-A).
+
+    [Energy = sum_i BC_i N_i + sum_ij SC_ij N_ij + sum_k OC_k]: per-class
+    base costs, circuit-state overheads for consecutive class pairs, and
+    "other" costs for stalls and cache misses. Coefficients are fitted by
+    least squares against the microarchitectural machine's measured energy
+    over a training set of programs — the role played by physical current
+    measurements in the paper. *)
+
+type model
+
+val feature_names : string list
+
+val features : Machine.counters -> float array
+(** The predictor vector: class counts, class-pair counts (collapsed to
+    same/different class transitions to keep the model small), stalls,
+    i-cache misses, d-cache misses, branch flushes. *)
+
+val fit : (Isa.instr array * (int * int) list) list -> model
+(** Train on (program, initial memory) pairs by running each and solving
+    the regression. *)
+
+val predict : model -> Machine.counters -> float
+(** Estimated energy from counters alone (no per-cycle energy
+    accounting). *)
+
+val evaluate : model -> (Isa.instr array * (int * int) list) list -> float
+(** Mean relative energy-prediction error over programs. *)
+
+val coefficients : model -> (string * float) list

@@ -1,0 +1,1 @@
+lib/logic/export.ml: Array Buffer Gate List Netlist Printf String

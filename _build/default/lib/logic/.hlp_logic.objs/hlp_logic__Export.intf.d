@@ -1,0 +1,1 @@
+lib/logic/export.mli: Netlist

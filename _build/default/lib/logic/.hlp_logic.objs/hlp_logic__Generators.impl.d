@@ -1,0 +1,1 @@
+lib/logic/generators.ml: Array Builder Gate Hlp_util List Netlist Printf

@@ -1,0 +1,1 @@
+lib/logic/generators.mli: Builder Hlp_util Netlist

@@ -1,0 +1,1 @@
+lib/logic/netlist.ml: Array Gate Hashtbl List Printf

@@ -1,0 +1,17 @@
+(** Netlist export: structural Verilog and Graphviz dot.
+
+    The toolkit builds netlists through its own API (parsing HDL is out of
+    scope, see DESIGN.md), but results should leave the sandbox: the
+    Verilog writer emits a flat gate-level module that any simulator or
+    synthesis tool can consume, and the dot writer draws small circuits for
+    documentation. *)
+
+val to_verilog : ?module_name:string -> Netlist.t -> string
+(** Flat structural Verilog-2001: one `wire` per node, primitive gate
+    instantiations (`and`, `or`, `not`, `xor`, ...), `assign`-based mux and
+    xnor, and always-block flip-flops with an asynchronous reset to the
+    declared initial state. Output names are sanitized to identifiers. *)
+
+val to_dot : ?max_nodes:int -> Netlist.t -> string
+(** Graphviz digraph of the netlist (refuses circuits above [max_nodes],
+    default 400 — bigger graphs are unreadable anyway). *)

@@ -1,0 +1,53 @@
+(** Gate library: primitive cell kinds, their logic functions, and their
+    capacitance/delay characterization.
+
+    The library plays the role of the technology library the paper's
+    estimation techniques assume: every cell carries an intrinsic output
+    capacitance, a per-pin input capacitance, and a propagation delay, so a
+    netlist has a well-defined total capacitance and a well-defined switched
+    capacitance under simulation. Values are in arbitrary-but-consistent
+    capacitance units (1.0 = one minimum inverter input); only ratios matter
+    for the reproduced experiments. *)
+
+type kind =
+  | Input  (** primary input pseudo-gate *)
+  | Const of bool  (** constant driver *)
+  | Buf
+  | Not
+  | And of int  (** [And n]: n-input AND, n >= 2 *)
+  | Or of int
+  | Nand of int
+  | Nor of int
+  | Xor  (** 2-input *)
+  | Xnor  (** 2-input *)
+  | Mux  (** 3 pins: select, data0, data1; output = select ? data1 : data0 *)
+  | Dff  (** 1 pin: data; output is the registered value *)
+
+val arity : kind -> int
+(** Number of fanin pins. *)
+
+val eval : kind -> bool array -> bool
+(** Combinational function of the cell. For [Dff] this is the identity on
+    its single pin (the simulator decides when to latch it); [Input] and
+    [Const] take no pins. *)
+
+val name : kind -> string
+(** Short cell name, e.g. ["nand3"]. *)
+
+val input_capacitance : kind -> float
+(** Capacitance presented by one input pin of the cell. *)
+
+val intrinsic_capacitance : kind -> float
+(** Parasitic capacitance at the cell output (drain junctions etc.). *)
+
+val delay : kind -> float
+(** Nominal propagation delay in normalized gate-delay units; used by the
+    event-driven simulator, so unequal path delays create glitches exactly
+    as in the paper's discussion of spurious transitions. *)
+
+val gate_equivalents : kind -> float
+(** Size of the cell in 2-input-NAND equivalents, the unit used by the
+    Chip Estimation System complexity model (Section II-B2). *)
+
+val all_combinational : kind list
+(** Every combinational kind at representative arities, for tests. *)

@@ -1,0 +1,303 @@
+open Netlist
+
+type word = wire array
+
+module B = Builder
+
+let constant_word b ~width v =
+  Array.init width (fun i -> B.const_ b (Hlp_util.Bits.bit v i))
+
+let zero_extend b w width =
+  if Array.length w >= width then Array.sub w 0 width
+  else begin
+    let zero = B.const_ b false in
+    Array.init width (fun i -> if i < Array.length w then w.(i) else zero)
+  end
+
+let half_adder b x y =
+  let sum = B.xor_ b x y in
+  let carry = B.and_ b [ x; y ] in
+  (sum, carry)
+
+let full_adder b x y cin =
+  let t = B.xor_ b x y in
+  let sum = B.xor_ b t cin in
+  let carry = B.or_ b [ B.and_ b [ x; y ]; B.and_ b [ t; cin ] ] in
+  (sum, carry)
+
+let ripple_adder b ?cin x y =
+  assert (Array.length x = Array.length y);
+  let n = Array.length x in
+  let carry = ref (match cin with Some c -> c | None -> B.const_ b false) in
+  let sum =
+    Array.init n (fun i ->
+        let s, c = full_adder b x.(i) y.(i) !carry in
+        carry := c;
+        s)
+  in
+  (sum, !carry)
+
+let negate b w =
+  let inverted = Array.map (B.not_ b) w in
+  let one = B.const_ b true in
+  let zero = Array.map (fun _ -> B.const_ b false) w in
+  let sum, _ = ripple_adder b ~cin:one inverted zero in
+  sum
+
+let subtractor b x y =
+  let ynot = Array.map (B.not_ b) y in
+  let one = B.const_ b true in
+  ripple_adder b ~cin:one x ynot
+
+let equal b x y =
+  assert (Array.length x = Array.length y);
+  let eqs = Array.to_list (Array.mapi (fun i xi -> B.xnor_ b xi y.(i)) x) in
+  B.and_ b eqs
+
+let less_than b x y =
+  (* a < b iff a - b borrows, i.e. carry-out of a + ~b + 1 is 0 *)
+  let _, carry = subtractor b x y in
+  B.not_ b carry
+
+let mux_word b ~sel ~a0 ~a1 =
+  assert (Array.length a0 = Array.length a1);
+  Array.init (Array.length a0) (fun i -> B.mux b ~sel ~a0:a0.(i) ~a1:a1.(i))
+
+let and_word b x y =
+  assert (Array.length x = Array.length y);
+  Array.mapi (fun i xi -> B.and_ b [ xi; y.(i) ]) x
+
+let xor_word b x y =
+  assert (Array.length x = Array.length y);
+  Array.mapi (fun i xi -> B.xor_ b xi y.(i)) x
+
+let shift_left_const b w k ~width =
+  let zero = B.const_ b false in
+  Array.init width (fun i ->
+      if i < k then zero
+      else if i - k < Array.length w then w.(i - k)
+      else zero)
+
+let carry_select_adder b ?(block = 4) x y =
+  assert (Array.length x = Array.length y);
+  let n = Array.length x in
+  let zero = B.const_ b false and one = B.const_ b true in
+  let rec blocks lo carry acc =
+    if lo >= n then (Array.concat (List.rev acc), carry)
+    else begin
+      let len = min block (n - lo) in
+      let xs = Array.sub x lo len and ys = Array.sub y lo len in
+      (* both hypotheses computed speculatively *)
+      let s0, c0 = ripple_adder b ~cin:zero xs ys in
+      let s1, c1 = ripple_adder b ~cin:one xs ys in
+      let sum = Array.init len (fun i -> B.mux b ~sel:carry ~a0:s0.(i) ~a1:s1.(i)) in
+      let cout = B.mux b ~sel:carry ~a0:c0 ~a1:c1 in
+      blocks (lo + len) cout (sum :: acc)
+    end
+  in
+  blocks 0 zero []
+
+let array_multiplier b x y =
+  let wa = Array.length x and wb = Array.length y in
+  let width = wa + wb in
+  let zero = B.const_ b false in
+  let row j =
+    (* partial product x * y_j shifted left by j *)
+    Array.init width (fun i ->
+        if i < j || i - j >= wa then zero else B.and_ b [ x.(i - j); y.(j) ])
+  in
+  let acc = ref (row 0) in
+  for j = 1 to wb - 1 do
+    let sum, _ = ripple_adder b !acc (row j) in
+    acc := sum
+  done;
+  !acc
+
+(* carry-save addition: three words in, (sum, carry) out, no propagation *)
+let carry_save b x y z =
+  let n = Array.length x in
+  assert (Array.length y = n && Array.length z = n);
+  let zero = B.const_ b false in
+  let sum = Array.init n (fun i -> B.xor_ b (B.xor_ b x.(i) y.(i)) z.(i)) in
+  let carry =
+    Array.init n (fun i ->
+        if i = 0 then zero
+        else
+          let j = i - 1 in
+          B.or_ b
+            [ B.and_ b [ x.(j); y.(j) ]; B.and_ b [ x.(j); z.(j) ];
+              B.and_ b [ y.(j); z.(j) ] ])
+  in
+  (sum, carry)
+
+let wallace_multiplier b x y =
+  let wa = Array.length x and wb = Array.length y in
+  let width = wa + wb in
+  let zero = B.const_ b false in
+  let row j =
+    Array.init width (fun i ->
+        if i < j || i - j >= wa then zero else B.and_ b [ x.(i - j); y.(j) ])
+  in
+  let rec reduce rows =
+    match rows with
+    | [] -> Array.make width zero
+    | [ only ] -> only
+    | [ a; c ] ->
+        let s, _ = ripple_adder b a c in
+        s
+    | a :: c :: d :: rest ->
+        let s, carry = carry_save b a c d in
+        reduce (rest @ [ s; carry ])
+  in
+  reduce (List.init wb row)
+
+let csd_digits c =
+  assert (c >= 0);
+  (* canonical signed digit recoding: no two adjacent nonzero digits *)
+  let rec go c =
+    if c = 0 then []
+    else if c land 1 = 0 then 0 :: go (c lsr 1)
+    else
+      let rem = c mod 4 in
+      if rem = 3 then -1 :: go ((c + 1) lsr 1) else 1 :: go (c lsr 1)
+  in
+  go c
+
+let constant_multiplier b w c ~width =
+  let digits = csd_digits c in
+  let zero_word = Array.init width (fun _ -> B.const_ b false) in
+  let acc = ref zero_word and any = ref false in
+  List.iteri
+    (fun k d ->
+      if d <> 0 then begin
+        let shifted = shift_left_const b w k ~width in
+        let term = if d = 1 then shifted else negate b shifted in
+        if not !any then begin acc := term; any := true end
+        else begin
+          let sum, _ = ripple_adder b !acc term in
+          acc := sum
+        end
+      end)
+    digits;
+  !acc
+
+let register_word ?(init = 0) b w =
+  Array.mapi (fun i d -> B.dff ~init:(Hlp_util.Bits.bit init i) b d) w
+
+let alu b ~sel x y =
+  assert (Array.length sel = 2);
+  let a = and_word b x y in
+  let o = Array.mapi (fun i xi -> B.or_ b [ xi; y.(i) ]) x in
+  let xo = xor_word b x y in
+  let sum, _ = ripple_adder b x y in
+  let lo = mux_word b ~sel:sel.(0) ~a0:a ~a1:o in
+  let hi = mux_word b ~sel:sel.(0) ~a0:xo ~a1:sum in
+  mux_word b ~sel:sel.(1) ~a0:lo ~a1:hi
+
+let finish_with_outputs b prefix word =
+  Array.iteri (fun i w -> B.output b (Printf.sprintf "%s%d" prefix i) w) word;
+  B.finish b
+
+let adder_circuit n =
+  let b = B.create () in
+  let x = B.inputs ~prefix:"a" b n and y = B.inputs ~prefix:"b" b n in
+  let sum, carry = ripple_adder b x y in
+  Array.iteri (fun i w -> B.output b (Printf.sprintf "s%d" i) w) sum;
+  B.output b "cout" carry;
+  B.finish b
+
+let multiplier_circuit n =
+  let b = B.create () in
+  let x = B.inputs ~prefix:"a" b n and y = B.inputs ~prefix:"b" b n in
+  let p = array_multiplier b x y in
+  finish_with_outputs b "p" p
+
+let comparator_circuit n =
+  let b = B.create () in
+  let x = B.inputs ~prefix:"a" b n and y = B.inputs ~prefix:"b" b n in
+  B.output b "lt" (less_than b x y);
+  B.output b "eq" (equal b x y);
+  B.finish b
+
+let max_circuit n =
+  let b = B.create () in
+  let x = B.inputs ~prefix:"a" b n and y = B.inputs ~prefix:"b" b n in
+  let lt = less_than b x y in
+  let m = mux_word b ~sel:lt ~a0:x ~a1:y in
+  finish_with_outputs b "m" m
+
+let alu_circuit n =
+  let b = B.create () in
+  let sel = B.inputs ~prefix:"op" b 2 in
+  let x = B.inputs ~prefix:"a" b n and y = B.inputs ~prefix:"b" b n in
+  let r = alu b ~sel x y in
+  finish_with_outputs b "r" r
+
+let parity_circuit n =
+  let b = B.create () in
+  let x = B.inputs ~prefix:"a" b n in
+  let rec tree = function
+    | [] -> B.const_ b false
+    | [ w ] -> w
+    | ws ->
+        let rec pair = function
+          | [] -> []
+          | [ w ] -> [ w ]
+          | a :: c :: rest -> B.xor_ b a c :: pair rest
+        in
+        tree (pair ws)
+  in
+  B.output b "parity" (tree (Array.to_list x));
+  B.finish b
+
+let random_logic rng ~inputs ~outputs ~gates =
+  let b = B.create () in
+  let ins = B.inputs b inputs in
+  ignore ins;
+  let kinds =
+    [| Gate.And 2; Gate.Or 2; Gate.Nand 2; Gate.Nor 2; Gate.Xor; Gate.Xnor;
+       Gate.Not; Gate.And 3; Gate.Or 3; Gate.Mux |]
+  in
+  let count = ref inputs in
+  (* pick fanins biased toward recent nodes so the DAG gains depth *)
+  let pick () =
+    let n = !count in
+    let r = Hlp_util.Prng.float rng 1.0 in
+    let idx =
+      if r < 0.5 then n - 1 - Hlp_util.Prng.int rng (max 1 (n / 4))
+      else Hlp_util.Prng.int rng n
+    in
+    max 0 (min (n - 1) idx)
+  in
+  let last = ref 0 in
+  for _ = 1 to gates do
+    let kind = Hlp_util.Prng.choose rng kinds in
+    let fanin = Array.init (Gate.arity kind) (fun _ -> pick ()) in
+    last := B.gate b kind fanin;
+    incr count
+  done;
+  (* outputs: the last [outputs] created gates (or fewer) *)
+  let total = !count in
+  for i = 0 to outputs - 1 do
+    let w = max 0 (total - 1 - i) in
+    B.output b (Printf.sprintf "o%d" i) w
+  done;
+  B.finish b
+
+let random_function_circuit rng ~inputs ~minterm_prob =
+  assert (inputs <= 12);
+  let b = B.create () in
+  let ins = B.inputs b inputs in
+  let neg = Array.map (B.not_ b) ins in
+  let products = ref [] in
+  for m = 0 to (1 lsl inputs) - 1 do
+    if Hlp_util.Prng.bernoulli rng minterm_prob then begin
+      let lits =
+        List.init inputs (fun i ->
+            if Hlp_util.Bits.bit m i then ins.(i) else neg.(i))
+      in
+      products := B.and_ b lits :: !products
+    end
+  done;
+  B.output b "f" (B.or_ b !products);
+  B.finish b

@@ -1,0 +1,109 @@
+(** Word-level circuit generators.
+
+    These constructors play the role of the RT-level module library that the
+    paper's macro-modeling flow characterizes: adders, multipliers,
+    comparators, ALUs, shifters, register words, plus random logic for the
+    regression experiments. All datapath words are LSB-first wire arrays.
+
+    Functions beginning with a builder argument compose inside a larger
+    design; the [*_circuit] functions at the bottom produce complete
+    stand-alone netlists with named inputs/outputs. *)
+
+open Netlist
+
+type word = wire array
+(** LSB-first bundle of wires. *)
+
+val constant_word : Builder.b -> width:int -> int -> word
+(** Constant driver word for the low [width] bits of the integer. *)
+
+val zero_extend : Builder.b -> word -> int -> word
+val half_adder : Builder.b -> wire -> wire -> wire * wire
+(** [(sum, carry)]. *)
+
+val full_adder : Builder.b -> wire -> wire -> wire -> wire * wire
+(** [(sum, carry)]. *)
+
+val ripple_adder : Builder.b -> ?cin:wire -> word -> word -> word * wire
+(** Equal-width ripple-carry addition; returns [(sum, carry_out)]. *)
+
+val subtractor : Builder.b -> word -> word -> word * wire
+(** Two's-complement [a - b]; the extra wire is the borrow-free flag
+    (carry out, i.e. [a >= b] for unsigned operands). *)
+
+val negate : Builder.b -> word -> word
+(** Two's-complement negation. *)
+
+val equal : Builder.b -> word -> word -> wire
+val less_than : Builder.b -> word -> word -> wire
+(** Unsigned comparison [a < b]. *)
+
+val mux_word : Builder.b -> sel:wire -> a0:word -> a1:word -> word
+val and_word : Builder.b -> word -> word -> word
+val xor_word : Builder.b -> word -> word -> word
+
+val shift_left_const : Builder.b -> word -> int -> width:int -> word
+(** Logical shift by a constant, truncated/zero-filled to [width]. *)
+
+val carry_select_adder : Builder.b -> ?block:int -> word -> word -> word * wire
+(** Carry-select organization: the word is split into blocks; each block
+    computes both carry-in hypotheses in parallel and a mux picks the
+    real one — faster and hungrier than ripple (the "internal
+    organization/architecture" axis the macro-models are parameterized
+    by). Functionally identical to {!ripple_adder}. *)
+
+val array_multiplier : Builder.b -> word -> word -> word
+(** Unsigned array multiplier; the product has [wa + wb] bits. This is the
+    deep-logic-nesting module the paper singles out as hard for pure-input
+    macro-models, and the main glitch producer for the retiming experiment. *)
+
+val wallace_multiplier : Builder.b -> word -> word -> word
+(** Carry-save (Wallace-style) reduction of the partial products followed
+    by one final ripple adder: shallower than the array multiplier, fewer
+    glitches, same function. *)
+
+val constant_multiplier : Builder.b -> word -> int -> width:int -> word
+(** Multiply by a non-negative constant using canonical-signed-digit
+    recoding into shift-and-add/subtract — the strength-reduction
+    transformation behind Table I. *)
+
+val csd_digits : int -> int list
+(** Canonical-signed-digit recoding, least-significant first, digits in
+    [{-1, 0, 1}]; exposed for testing. *)
+
+val register_word : ?init:int -> Builder.b -> word -> word
+(** One flip-flop per bit. *)
+
+val alu : Builder.b -> sel:word -> word -> word -> word
+(** Four-function ALU ([00]=and, [01]=or, [10]=xor, [11]=add) on a 2-bit
+    select word, used by the guarded-evaluation experiment. *)
+
+(** {1 Complete circuits} *)
+
+val adder_circuit : int -> t
+(** [adder_circuit n]: n-bit adder with carry out. *)
+
+val multiplier_circuit : int -> t
+(** [multiplier_circuit n]: n x n unsigned array multiplier. *)
+
+val comparator_circuit : int -> t
+(** Outputs [lt] and [eq]. *)
+
+val max_circuit : int -> t
+(** [max(a, b)] via comparator and mux — the classic precomputation target:
+    the MSB comparison usually decides the answer. *)
+
+val alu_circuit : int -> t
+val parity_circuit : int -> t
+
+val random_logic :
+  Hlp_util.Prng.t -> inputs:int -> outputs:int -> gates:int -> t
+(** Random combinational DAG: each gate picks a random kind and random
+    earlier fanins (biased toward recent nodes so depth grows). Used by the
+    regression-based complexity/capacitance experiments, which need a large
+    population of synthesized circuits. *)
+
+val random_function_circuit : Hlp_util.Prng.t -> inputs:int -> minterm_prob:float -> t
+(** Single-output circuit computing a random boolean function with the given
+    on-set density, built as a two-level AND-OR cover of its minterms (then
+    usable for area-complexity regression). Inputs must be small (<= 12). *)

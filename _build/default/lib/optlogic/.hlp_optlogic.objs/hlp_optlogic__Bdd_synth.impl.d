@@ -1,0 +1,1 @@
+lib/optlogic/bdd_synth.ml: Array Hlp_bdd Hlp_logic Hlp_sim Hlp_util List Netlist Printf

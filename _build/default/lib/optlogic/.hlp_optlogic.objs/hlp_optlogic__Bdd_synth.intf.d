@@ -1,0 +1,1 @@
+lib/optlogic/bdd_synth.mli: Hlp_bdd Hlp_logic

@@ -1,0 +1,1 @@
+lib/optlogic/gated_clock.ml: Array Hlp_fsm Hlp_logic Hlp_sim Hlp_util Stg Synth

@@ -1,0 +1,1 @@
+lib/optlogic/gated_clock.mli: Hlp_fsm

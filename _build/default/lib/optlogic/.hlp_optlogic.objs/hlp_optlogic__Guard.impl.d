@@ -1,0 +1,1 @@
+lib/optlogic/guard.ml: Array Hashtbl Hlp_bdd Hlp_logic Hlp_sim Hlp_util List Netlist Option Printf

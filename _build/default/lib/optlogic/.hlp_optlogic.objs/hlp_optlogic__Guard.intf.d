@@ -1,0 +1,1 @@
+lib/optlogic/guard.mli: Hlp_bdd Hlp_logic

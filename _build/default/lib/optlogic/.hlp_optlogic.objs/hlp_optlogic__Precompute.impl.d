@@ -1,0 +1,1 @@
+lib/optlogic/precompute.ml: Array Bdd_synth Hlp_bdd Hlp_logic Hlp_sim Hlp_util List Netlist

@@ -1,0 +1,1 @@
+lib/optlogic/precompute.mli: Hlp_logic

@@ -1,0 +1,1 @@
+lib/optlogic/retime.ml: Array Gate Hlp_logic Hlp_sim Hlp_util List Netlist

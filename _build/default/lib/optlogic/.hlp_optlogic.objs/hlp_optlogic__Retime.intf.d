@@ -1,0 +1,1 @@
+lib/optlogic/retime.mli: Hlp_logic

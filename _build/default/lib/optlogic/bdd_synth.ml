@@ -1,0 +1,35 @@
+open Hlp_logic
+
+let netlist_of_bdds ~nvars roots =
+  let module B = Netlist.Builder in
+  let b = B.create () in
+  let inputs = B.inputs b nvars in
+  let zero = B.const_ b false and one = B.const_ b true in
+  let wire_of root =
+    Hlp_bdd.Bdd.fold root
+      ~leaf:(fun v -> if v then one else zero)
+      ~node:(fun var low high ->
+        assert (var < nvars);
+        B.mux b ~sel:inputs.(var) ~a0:low ~a1:high)
+  in
+  List.iteri (fun k root -> B.output b (Printf.sprintf "o%d" k) (wire_of root)) roots;
+  let net = B.finish b in
+  Netlist.validate net;
+  net
+
+let check_equivalence ~nvars roots net =
+  assert (nvars <= 16);
+  let sim = Hlp_sim.Funcsim.create net in
+  let ok = ref true in
+  for word = 0 to (1 lsl nvars) - 1 do
+    let vec = Array.init nvars (fun i -> Hlp_util.Bits.bit word i) in
+    Hlp_sim.Funcsim.step sim vec;
+    let outs = Hlp_sim.Funcsim.outputs sim in
+    List.iteri
+      (fun k root ->
+        let expect = Hlp_bdd.Bdd.eval root (fun v -> vec.(v)) in
+        let got = List.assoc (Printf.sprintf "o%d" k) (Array.to_list outs) in
+        if got <> expect then ok := false)
+      roots
+  done;
+  !ok

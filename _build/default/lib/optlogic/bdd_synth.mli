@@ -1,0 +1,19 @@
+(** BDD-to-netlist synthesis (Section III-H, Lavagno et al. [97] lineage).
+
+    The "obvious mapping of each BDD node to a multiplexor" the paper
+    discusses: every distinct node becomes one 2:1 mux selected by its
+    variable, sharing preserved by construction. Deep and mux-heavy — the
+    paper's caveat — but exactly what precomputation needs to price its
+    predictor functions with real simulated switching instead of an
+    estimate. *)
+
+val netlist_of_bdds :
+  nvars:int -> Hlp_bdd.Bdd.t list -> Hlp_logic.Netlist.t
+(** Build a netlist with [nvars] primary inputs (BDD variable [i] = input
+    [i]) and one output [o<k>] per root, each realized as the mux network
+    of its BDD. Roots must only mention variables below [nvars]. *)
+
+val check_equivalence :
+  nvars:int -> Hlp_bdd.Bdd.t list -> Hlp_logic.Netlist.t -> bool
+(** Exhaustively compare the netlist against the BDDs (requires
+    [nvars <= 16]); used by the tests. *)

@@ -1,0 +1,64 @@
+let clock_pin_cap = Hlp_logic.Gate.input_capacitance Hlp_logic.Gate.Dff
+
+type evaluation = {
+  normal_cap : float;
+  gated_cap : float;
+  saving : float;
+  idle_fraction : float;
+}
+
+(* F_a is an equality comparator between the state register outputs and the
+   next-state lines: width XNOR gates and an AND tree, plus the glitch
+   filter latch of Fig. 7. Charged per cycle in proportion to how often its
+   inputs move. *)
+let fa_overhead_per_cycle ~width ~state_activity =
+  let xnor = Hlp_logic.Gate.intrinsic_capacitance Hlp_logic.Gate.Xnor in
+  float_of_int width *. (xnor +. 2.0) *. state_activity
+  +. 3.0 (* AND tree root + latch *) *. state_activity
+
+let evaluate ?(cycles = 4000) ?(seed = 29) ?(input_one_prob = 0.5) stg =
+  let open Hlp_fsm in
+  let r = Synth.synthesize stg in
+  let rng = Hlp_util.Prng.create seed in
+  let sim = Hlp_sim.Funcsim.create r.Synth.net in
+  let nin = stg.Stg.input_bits in
+  let width = Array.length r.Synth.state_wires in
+  let idle = ref 0 in
+  let prev_state = ref (-1) in
+  let state_changes = ref 0 in
+  for _ = 1 to cycles do
+    let vec = Array.init nin (fun _ -> Hlp_util.Prng.bernoulli rng input_one_prob) in
+    Hlp_sim.Funcsim.step sim vec;
+    let state =
+      Array.fold_left
+        (fun acc w -> (acc lsl 1) lor (if Hlp_sim.Funcsim.value sim w then 1 else 0))
+        0 r.Synth.state_wires
+    in
+    (* self-loop detection: the next-state lines equal the current state *)
+    let next =
+      Array.fold_left
+        (fun acc w ->
+          let d = r.Synth.net.Hlp_logic.Netlist.nodes.(w).Hlp_logic.Netlist.fanin.(0) in
+          (acc lsl 1) lor (if Hlp_sim.Funcsim.value sim d then 1 else 0))
+        0 r.Synth.net.Hlp_logic.Netlist.dffs
+    in
+    let state_reg =
+      Array.fold_left
+        (fun acc w -> (acc lsl 1) lor (if Hlp_sim.Funcsim.value sim w then 1 else 0))
+        0 r.Synth.net.Hlp_logic.Netlist.dffs
+    in
+    if next = state_reg then incr idle;
+    if state <> !prev_state then incr state_changes;
+    prev_state := state
+  done;
+  let logic_cap = Hlp_sim.Funcsim.switched_capacitance sim /. float_of_int cycles in
+  let ndffs = float_of_int (Hlp_logic.Netlist.num_dffs r.Synth.net) in
+  let idle_fraction = float_of_int !idle /. float_of_int cycles in
+  let state_activity = float_of_int !state_changes /. float_of_int cycles in
+  let normal_cap = logic_cap +. (ndffs *. clock_pin_cap) in
+  let gated_cap =
+    logic_cap
+    +. (ndffs *. clock_pin_cap *. (1.0 -. idle_fraction))
+    +. fa_overhead_per_cycle ~width ~state_activity
+  in
+  { normal_cap; gated_cap; saving = 1.0 -. (gated_cap /. normal_cap); idle_fraction }

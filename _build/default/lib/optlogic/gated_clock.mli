@@ -1,0 +1,33 @@
+(** Gated clocks for reactive controllers (Section III-I, Fig. 7).
+
+    The activation function [F_a] detects cycles in which neither the state
+    nor the (registered) outputs would change and stops the local clock.
+    Here [F_a] is the self-loop condition of the STG, realized as an
+    equality comparator between the present-state and next-state vectors.
+    Clock power is modeled explicitly: every flip-flop charges its clock
+    pin each ungated cycle — the power clock gating actually removes (a
+    self-looping register's output never toggles, so output-switching
+    accounting alone cannot see the saving, as the paper's discussion of
+    redundant clocking implies). *)
+
+type evaluation = {
+  normal_cap : float;  (** per cycle: logic + clock, no gating *)
+  gated_cap : float;  (** per cycle: logic + gated clock + F_a overhead *)
+  saving : float;
+  idle_fraction : float;  (** cycles in which the clock was stopped *)
+}
+
+val clock_pin_cap : float
+(** Clock-pin capacitance charged per flip-flop per ungated cycle. *)
+
+val evaluate :
+  ?cycles:int ->
+  ?seed:int ->
+  ?input_one_prob:float ->
+  Hlp_fsm.Stg.t ->
+  evaluation
+(** Synthesize the machine, drive it with inputs whose bits are one with
+    probability [input_one_prob] (default 0.5; low values keep reactive
+    machines in their wait states), and compare the normal and gated
+    designs. Functional behaviour is identical by construction: gating only
+    fires on self-loops. *)

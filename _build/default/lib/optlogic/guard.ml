@@ -1,0 +1,226 @@
+open Hlp_logic
+
+let odc net ~wire man =
+  let normal = Hlp_bdd.Bdd.of_netlist_all man net in
+  let flipped =
+    Hlp_bdd.Bdd.of_netlist_all ~override:(wire, Hlp_bdd.Bdd.not_ man) man net
+  in
+  Array.fold_left
+    (fun acc (_, o) -> Hlp_bdd.Bdd.and_ man acc (Hlp_bdd.Bdd.xnor_ man normal.(o) flipped.(o)))
+    (Hlp_bdd.Bdd.one man)
+    net.Netlist.outputs
+
+type candidate = {
+  guard : Netlist.wire;
+  targets : Netlist.wire list;
+  cone : bool array;
+  guard_prob : float;
+}
+
+let is_source (net : Netlist.t) i =
+  match net.Netlist.nodes.(i).Netlist.kind with
+  | Hlp_logic.Gate.Input | Hlp_logic.Gate.Const _ | Hlp_logic.Gate.Dff -> true
+  | _ -> false
+
+(* Exclusive cone of a wire set: gates in the transitive fanin of the set,
+   all of whose output paths pass through the set (the set itself is
+   included). *)
+let exclusive_cone net ~targets =
+  let n = Netlist.num_nodes net in
+  let is_target = Array.make n false in
+  List.iter (fun t -> is_target.(t) <- true) targets;
+  let tfi = Array.make n false in
+  let rec mark i =
+    if not tfi.(i) then begin
+      tfi.(i) <- true;
+      if not (is_source net i) then Array.iter mark net.Netlist.nodes.(i).Netlist.fanin
+    end
+  in
+  List.iter mark targets;
+  (* backward reachability from the outputs, never entering a target *)
+  let escapes = Array.make n false in
+  let rec back i =
+    if (not is_target.(i)) && not escapes.(i) then begin
+      escapes.(i) <- true;
+      if not (is_source net i) then
+        Array.iter back net.Netlist.nodes.(i).Netlist.fanin
+    end
+  in
+  Array.iter (fun (_, o) -> back o) net.Netlist.outputs;
+  Array.init n (fun i -> tfi.(i) && (not escapes.(i)) && not (is_source net i))
+
+let cone_boundary net cone =
+  let inputs = ref [] in
+  Array.iteri
+    (fun i (node : Netlist.node) ->
+      if cone.(i) then
+        Array.iter (fun w -> if not cone.(w) then inputs := w :: !inputs) node.Netlist.fanin)
+    net.Netlist.nodes;
+  List.sort_uniq compare !inputs
+
+(* Candidate guards come from the steering structure: a mux whose select is
+   [s] ignores its a0 pin when [s] is high, so [s] implies the ODC of every
+   a0 pin it selects away — and symmetrically an existing inverter of [s]
+   guards the a1 cones. *)
+let find_candidates net =
+  let man = Hlp_bdd.Bdd.manager () in
+  let funcs = Hlp_bdd.Bdd.of_netlist_all man net in
+  let levels = Netlist.levels net in
+  let caps = Netlist.node_capacitance net in
+  let n = Netlist.num_nodes net in
+  (* group mux data pins by select wire *)
+  let arm0 = Hashtbl.create 8 and arm1 = Hashtbl.create 8 in
+  Array.iter
+    (fun (node : Netlist.node) ->
+      match node.Netlist.kind with
+      | Hlp_logic.Gate.Mux ->
+          let sel = node.Netlist.fanin.(0) in
+          Hashtbl.replace arm0 sel (node.Netlist.fanin.(1) :: Option.value ~default:[] (Hashtbl.find_opt arm0 sel));
+          Hashtbl.replace arm1 sel (node.Netlist.fanin.(2) :: Option.value ~default:[] (Hashtbl.find_opt arm1 sel))
+      | _ -> ())
+    net.Netlist.nodes;
+  (* inverters available in the original circuit *)
+  let inverter_of = Hashtbl.create 8 in
+  Array.iteri
+    (fun i (node : Netlist.node) ->
+      match node.Netlist.kind with
+      | Hlp_logic.Gate.Not -> Hashtbl.replace inverter_of node.Netlist.fanin.(0) i
+      | _ -> ())
+    net.Netlist.nodes;
+  let results = ref [] in
+  let consider guard targets =
+    let targets = List.sort_uniq compare (List.filter (fun t -> not (is_source net t)) targets) in
+    if targets <> [] then begin
+      let cone = exclusive_cone net ~targets in
+      (* the guard must live outside the frozen cone *)
+      if not cone.(guard) then begin
+        let cone_size = Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 cone in
+        if cone_size >= 4 then begin
+          (* timing: the guard settles before any boundary data changes
+             propagate into the cone *)
+          let boundary = cone_boundary net cone in
+          let t_early =
+            List.fold_left (fun acc w -> min acc levels.(w)) infinity boundary
+          in
+          if levels.(guard) <= t_early then begin
+            (* semantic check: guard implies the ODC of every target *)
+            let ok =
+              List.for_all
+                (fun z ->
+                  let odc_z = odc net ~wire:z man in
+                  Hlp_bdd.Bdd.is_zero
+                    (Hlp_bdd.Bdd.and_ man funcs.(guard) (Hlp_bdd.Bdd.not_ man odc_z)))
+                targets
+            in
+            if ok then begin
+              let p = Hlp_bdd.Bdd.probability man ~p:(fun _ -> 0.5) funcs.(guard) in
+              if p > 0.05 then begin
+                let cone_cap = ref 0.0 in
+                Array.iteri (fun i c -> if c then cone_cap := !cone_cap +. caps.(i)) cone;
+                results :=
+                  (p *. !cone_cap, { guard; targets; cone; guard_prob = p }) :: !results
+              end
+            end
+          end
+        end
+      end
+    end
+  in
+  Hashtbl.iter (fun sel pins -> consider sel pins) arm0;
+  Hashtbl.iter
+    (fun sel pins ->
+      match Hashtbl.find_opt inverter_of sel with
+      | Some inv -> consider inv pins
+      | None -> ())
+    arm1;
+  ignore n;
+  List.sort (fun (a, _) (b, _) -> compare b a) !results |> List.map snd
+
+type evaluation = {
+  baseline_cap : float;
+  guarded_cap : float;
+  saving : float;
+  frozen_fraction : float;
+}
+
+let evaluate ?(cycles = 2000) ?(seed = 31) net cand =
+  let n = Netlist.num_nodes net in
+  let caps = Netlist.node_capacitance net in
+  let rng = Hlp_util.Prng.create seed in
+  let nin = Array.length net.Netlist.inputs in
+  let vectors =
+    Array.init cycles (fun _ -> Array.init nin (fun _ -> Hlp_util.Prng.bool rng))
+  in
+  let ref_sim = Hlp_sim.Funcsim.create net in
+  let ref_outputs = Array.make cycles [] in
+  Array.iteri
+    (fun t vec ->
+      Hlp_sim.Funcsim.step ref_sim vec;
+      ref_outputs.(t) <-
+        Array.to_list
+          (Array.map (fun (_, o) -> Hlp_sim.Funcsim.value ref_sim o) net.Netlist.outputs))
+    vectors;
+  let baseline_cap = Hlp_sim.Funcsim.switched_capacitance ref_sim /. float_of_int cycles in
+  (* guarded run with freeze semantics *)
+  let values = Array.make n false in
+  let switched = ref 0.0 in
+  let frozen = ref 0 in
+  let set i v =
+    if values.(i) <> v then begin
+      values.(i) <- v;
+      switched := !switched +. caps.(i)
+    end
+  in
+  let eval_node i =
+    let node = net.Netlist.nodes.(i) in
+    match node.Netlist.kind with
+    | Hlp_logic.Gate.Input | Hlp_logic.Gate.Dff -> ()
+    | Hlp_logic.Gate.Const b -> set i b
+    | kind ->
+        set i (Hlp_logic.Gate.eval kind (Array.map (fun w -> values.(w)) node.Netlist.fanin))
+  in
+  Array.iteri
+    (fun t vec ->
+      Array.iteri (fun k w -> set w vec.(k)) net.Netlist.inputs;
+      for i = 0 to n - 1 do
+        if not cand.cone.(i) then eval_node i
+      done;
+      let hold = values.(cand.guard) in
+      if hold then incr frozen
+      else
+        for i = 0 to n - 1 do
+          if cand.cone.(i) then eval_node i
+        done;
+      for i = 0 to n - 1 do
+        if not cand.cone.(i) then eval_node i
+      done;
+      let outs =
+        Array.to_list (Array.map (fun (_, o) -> values.(o)) net.Netlist.outputs)
+      in
+      if outs <> ref_outputs.(t) then failwith "Guard.evaluate: output mismatch")
+    vectors;
+  let guarded_cap = !switched /. float_of_int cycles in
+  {
+    baseline_cap;
+    guarded_cap;
+    saving = 1.0 -. (guarded_cap /. baseline_cap);
+    frozen_fraction = float_of_int !frozen /. float_of_int cycles;
+  }
+
+let demo_circuit n =
+  let module B = Netlist.Builder in
+  let b = B.create () in
+  let s = B.input ~name:"s" b in
+  let a = B.inputs ~prefix:"a" b n in
+  let bw = B.inputs ~prefix:"b" b n in
+  (* the guard is inverted once so both arms have an existing guard signal;
+     the operands are re-buffered so even the inverted guard settles before
+     the data reaches either block (the t_l(s) <= t_e(Y) condition) *)
+  let _s_n = B.not_ b s in
+  let a = Array.map (fun w -> B.buf b (B.buf b w)) a in
+  let bw = Array.map (fun w -> B.buf b (B.buf b w)) bw in
+  let sum, _ = Hlp_logic.Generators.ripple_adder b a bw in
+  let conj = Hlp_logic.Generators.and_word b a bw in
+  let out = Array.init n (fun i -> B.mux b ~sel:s ~a0:sum.(i) ~a1:conj.(i)) in
+  Array.iteri (fun i w -> B.output b (Printf.sprintf "o%d" i) w) out;
+  B.finish b

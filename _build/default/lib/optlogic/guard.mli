@@ -1,0 +1,46 @@
+(** Guarded evaluation (Section III-I, Fig. 8; Tiwari et al. [105]).
+
+    Pure guarded evaluation finds an {e existing} signal [s] that implies
+    the observability don't-care set of a block's boundary signals; when
+    [s] is high the block cannot affect any primary output, so transparent
+    latches at its inputs freeze it — no new logic is synthesized.
+    Candidates come from the steering structure (a mux select implies the
+    ODC of the data pins it routes away), and each one is verified
+    semantically with BDD-computed ODCs and structurally with the timing
+    condition [t_l(s) <= t_e(Y)]. *)
+
+val odc :
+  Hlp_logic.Netlist.t -> wire:Hlp_logic.Netlist.wire -> Hlp_bdd.Bdd.man -> Hlp_bdd.Bdd.t
+(** Observability don't-care set of a node w.r.t. all primary outputs, as a
+    function of the primary inputs: assignments under which flipping the
+    node's value changes no output. Combinational netlists only. *)
+
+type candidate = {
+  guard : Hlp_logic.Netlist.wire;  (** the existing signal used as guard *)
+  targets : Hlp_logic.Netlist.wire list;
+      (** boundary wires of the frozen block (e.g. the mux data pins) *)
+  cone : bool array;  (** the frozen gates: exclusive fanin of the targets *)
+  guard_prob : float;  (** [P(guard = 1)] under uniform inputs *)
+}
+
+val find_candidates : Hlp_logic.Netlist.t -> candidate list
+(** Guarded-evaluation opportunities, sorted by expected savings
+    (cone capacitance x guard probability). *)
+
+type evaluation = {
+  baseline_cap : float;
+  guarded_cap : float;
+  saving : float;
+  frozen_fraction : float;  (** cycles in which the latches held *)
+}
+
+val evaluate :
+  ?cycles:int -> ?seed:int -> Hlp_logic.Netlist.t -> candidate -> evaluation
+(** Simulate with freeze semantics — when the guard evaluates to 1, every
+    node in the cone keeps its previous value — and check that all primary
+    outputs match the unguarded circuit cycle by cycle. *)
+
+val demo_circuit : int -> Hlp_logic.Netlist.t
+(** The paper's shared-datapath situation: [out = s ? (a & b) : (a + b)]
+    bitwise-muxed, so the adder cone is unobservable when [s] is high (and
+    the AND plane when it is low, via the existing inverter of [s]). *)

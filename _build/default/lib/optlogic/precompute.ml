@@ -1,0 +1,123 @@
+open Hlp_logic
+
+type plan = {
+  subset : int list;
+  shutdown_prob : float;
+  predictor_nodes : int;
+}
+
+let output_bdd man net ~output =
+  let outs = Hlp_bdd.Bdd.of_netlist man net in
+  match List.assoc_opt output outs with
+  | Some f -> f
+  | None -> invalid_arg ("Precompute: no output named " ^ output)
+
+let predictors man net ~output ~subset =
+  let n = Array.length net.Netlist.inputs in
+  let others =
+    List.filter (fun v -> not (List.mem v subset)) (List.init n (fun v -> v))
+  in
+  let f = output_bdd man net ~output in
+  let g1 = Hlp_bdd.Bdd.forall man others f in
+  let g0 = Hlp_bdd.Bdd.forall man others (Hlp_bdd.Bdd.not_ man f) in
+  (f, g1, g0)
+
+let analyze net ~output ~subset =
+  let man = Hlp_bdd.Bdd.manager () in
+  let _, g1, g0 = predictors man net ~output ~subset in
+  let cover = Hlp_bdd.Bdd.or_ man g1 g0 in
+  {
+    subset;
+    shutdown_prob = Hlp_bdd.Bdd.probability man ~p:(fun _ -> 0.5) cover;
+    predictor_nodes = Hlp_bdd.Bdd.size_shared [ g1; g0 ];
+  }
+
+let rec subsets_of_size k = function
+  | [] -> if k = 0 then [ [] ] else []
+  | x :: rest ->
+      if k = 0 then [ [] ]
+      else
+        List.map (fun s -> x :: s) (subsets_of_size (k - 1) rest)
+        @ subsets_of_size k rest
+
+let best_subset net ~output ~size =
+  let n = Array.length net.Netlist.inputs in
+  assert (n <= 20);
+  let candidates = subsets_of_size size (List.init n (fun v -> v)) in
+  let plans = List.map (fun subset -> analyze net ~output ~subset) candidates in
+  match
+    List.sort
+      (fun a b ->
+        match compare b.shutdown_prob a.shutdown_prob with
+        | 0 -> compare a.predictor_nodes b.predictor_nodes
+        | c -> c)
+      plans
+  with
+  | best :: _ -> best
+  | [] -> invalid_arg "Precompute.best_subset: no candidate subsets"
+
+type evaluation = {
+  baseline_cap : float;
+  managed_cap : float;
+  saving : float;
+  observed_shutdown : float;
+}
+
+let evaluate ?(cycles = 2000) ?(seed = 23) net ~output plan =
+  let man = Hlp_bdd.Bdd.manager () in
+  let f, g1, g0 = predictors man net ~output ~subset:plan.subset in
+  let n = Array.length net.Netlist.inputs in
+  (* the predictor logic is synthesized for real (one mux per BDD node,
+     Section III-H style) and simulated alongside the block, so its
+     overhead is measured, not estimated *)
+  let predictor_net = Bdd_synth.netlist_of_bdds ~nvars:n [ g1; g0 ] in
+  let predictor_sim = Hlp_sim.Funcsim.create predictor_net in
+  let rng = Hlp_util.Prng.create seed in
+  let fresh () = Array.init n (fun _ -> Hlp_util.Prng.bool rng) in
+  let vectors = Array.init cycles (fun _ -> fresh ()) in
+  (* baseline *)
+  let base_sim = Hlp_sim.Funcsim.create net in
+  Array.iter (Hlp_sim.Funcsim.step base_sim) vectors;
+  let baseline_cap = Hlp_sim.Funcsim.switched_capacitance base_sim /. float_of_int cycles in
+  (* managed: the block sees held inputs on predictor hits *)
+  let sim = Hlp_sim.Funcsim.create net in
+  let held = ref vectors.(0) in
+  let hits = ref 0 in
+  Array.iter
+    (fun vec ->
+      let assign v = vec.(v) in
+      Hlp_sim.Funcsim.step predictor_sim vec;
+      let hit1 = Hlp_bdd.Bdd.eval g1 assign in
+      let hit0 = Hlp_bdd.Bdd.eval g0 assign in
+      (* the synthesized predictors must agree with their BDDs *)
+      let outs = Array.to_list (Hlp_sim.Funcsim.outputs predictor_sim) in
+      if List.assoc "o0" outs <> hit1 || List.assoc "o1" outs <> hit0 then
+        failwith "Precompute.evaluate: synthesized predictor mismatch";
+      let expected = Hlp_bdd.Bdd.eval f assign in
+      if hit1 || hit0 then begin
+        incr hits;
+        Hlp_sim.Funcsim.step sim !held;
+        (* the registered predictor supplies the output on a hit *)
+        let out = if hit1 then true else false in
+        if out <> expected then failwith "Precompute.evaluate: predictor disagrees"
+      end
+      else begin
+        held := vec;
+        Hlp_sim.Funcsim.step sim vec;
+        let got =
+          List.assoc output (Array.to_list (Hlp_sim.Funcsim.outputs sim))
+        in
+        if got <> expected then failwith "Precompute.evaluate: functional mismatch"
+      end)
+    vectors;
+  let managed_cap =
+    (Hlp_sim.Funcsim.switched_capacitance sim
+    +. Hlp_sim.Funcsim.switched_capacitance predictor_sim)
+    /. float_of_int cycles
+  in
+  {
+    baseline_cap;
+    managed_cap;
+    saving = 1.0 -. (managed_cap /. baseline_cap);
+    observed_shutdown = float_of_int !hits /. float_of_int cycles;
+  }

@@ -1,0 +1,41 @@
+(** Precomputation-based shutdown (Section III-I, Fig. 6; Alidina et al.).
+
+    For a single-output block [f(X)] and a chosen predictor subset [S] of
+    its inputs, the predictor functions are the universal quantifications
+
+    [g1 = forall (X \ S). f] and [g0 = forall (X \ S). not f]:
+
+    when either holds, the output of [f] is already decided by [S] alone,
+    the load-enable of the input register is dropped, and the block sees no
+    transitions next cycle. The quality of a subset is the probability
+    [P(g1 + g0)]; the cost is the predictor logic itself. *)
+
+type plan = {
+  subset : int list;  (** predictor input indices (netlist input positions) *)
+  shutdown_prob : float;  (** [P(g1 or g0)] under uniform inputs *)
+  predictor_nodes : int;  (** shared BDD size of [g1], [g0] — logic cost *)
+}
+
+val analyze :
+  Hlp_logic.Netlist.t -> output:string -> subset:int list -> plan
+(** Compute the predictors for one output and report their coverage.
+    Requires a combinational netlist. *)
+
+val best_subset :
+  Hlp_logic.Netlist.t -> output:string -> size:int -> plan
+(** Exhaustively try all input subsets of the given size (small inputs
+    only) and return the best plan by shutdown probability. *)
+
+type evaluation = {
+  baseline_cap : float;  (** switched capacitance/cycle, unmanaged *)
+  managed_cap : float;  (** with input-register gating + predictor cost *)
+  saving : float;  (** [1 - managed/baseline] *)
+  observed_shutdown : float;  (** fraction of cycles actually gated *)
+}
+
+val evaluate :
+  ?cycles:int -> ?seed:int -> Hlp_logic.Netlist.t -> output:string -> plan -> evaluation
+(** Simulate the precomputation architecture: each cycle the predictors are
+    evaluated on the incoming vector; on a hit the block's inputs are held
+    (no switching inside the block) and only the predictor logic switches.
+    Functional equivalence of the gated output is asserted during the run. *)

@@ -1,0 +1,160 @@
+open Hlp_logic
+
+let glitch_profile ?(cycles = 500) ?(seed = 37) net =
+  let sim = Hlp_sim.Eventsim.create net in
+  let rng = Hlp_util.Prng.create seed in
+  let nin = Array.length net.Netlist.inputs in
+  Hlp_sim.Eventsim.run sim (fun _ -> Array.init nin (fun _ -> Hlp_util.Prng.bool rng)) cycles;
+  let caps = Netlist.node_capacitance net in
+  Array.mapi
+    (fun i g -> float_of_int g *. caps.(i) /. float_of_int cycles)
+    (Hlp_sim.Eventsim.glitch_counts sim)
+
+(* depth in gate counts, as in Netlist.logic_depth *)
+let node_depths net =
+  let n = Netlist.num_nodes net in
+  let d = Array.make n 0 in
+  Array.iteri
+    (fun i (node : Netlist.node) ->
+      match node.Netlist.kind with
+      | Gate.Input | Gate.Const _ | Gate.Dff -> d.(i) <- 0
+      | _ ->
+          d.(i) <-
+            1 + Array.fold_left (fun acc w -> max acc d.(w)) 0 node.Netlist.fanin)
+    net.Netlist.nodes;
+  d
+
+let pipeline_at_depth net ~depth =
+  assert (Netlist.num_dffs net = 0);
+  let module B = Netlist.Builder in
+  let depths = node_depths net in
+  let b = B.create () in
+  let n = Netlist.num_nodes net in
+  (* shallow copies of nodes with depth <= depth, registered versions of
+     the wires crossing the cut, deep copies above it *)
+  let shallow = Array.make n (-1) in
+  let registered = Array.make n (-1) in
+  let deep = Array.make n (-1) in
+  let reg_count = ref 0 in
+  let get_registered w =
+    if registered.(w) < 0 then begin
+      registered.(w) <- B.dff b shallow.(w);
+      incr reg_count
+    end;
+    registered.(w)
+  in
+  (* first pass: rebuild the shallow region (including inputs/constants) *)
+  Array.iteri
+    (fun i (node : Netlist.node) ->
+      match node.Netlist.kind with
+      | Gate.Input -> shallow.(i) <- B.input ~name:net.Netlist.input_names.(
+          (* index of this input among inputs *)
+          let rec find k = if net.Netlist.inputs.(k) = i then k else find (k + 1) in
+          find 0) b
+      | Gate.Const v -> shallow.(i) <- B.const_ b v
+      | Gate.Dff -> assert false
+      | kind ->
+          if depths.(i) <= depth then
+            shallow.(i) <- B.gate b kind (Array.map (fun w -> shallow.(w)) node.Netlist.fanin))
+    net.Netlist.nodes;
+  (* second pass: rebuild the deep region on top of registered cut wires *)
+  Array.iteri
+    (fun i (node : Netlist.node) ->
+      match node.Netlist.kind with
+      | Gate.Input | Gate.Const _ | Gate.Dff -> ()
+      | kind ->
+          if depths.(i) > depth then begin
+            let pin w =
+              if depths.(w) <= depth then get_registered w else deep.(w)
+            in
+            deep.(i) <- B.gate b kind (Array.map pin node.Netlist.fanin)
+          end)
+    net.Netlist.nodes;
+  Array.iter
+    (fun (name, o) ->
+      let w = if depths.(o) <= depth then get_registered o else deep.(o) in
+      B.output b name w)
+    net.Netlist.outputs;
+  let out = B.finish b in
+  Netlist.validate out;
+  out
+
+type evaluation = {
+  depth : int;
+  total_cap : float;
+  glitch_cap : float;
+  registers : int;
+}
+
+let evaluate_cut ?(cycles = 500) ?(seed = 41) net ~depth =
+  let pipelined = pipeline_at_depth net ~depth in
+  let sim = Hlp_sim.Eventsim.create pipelined in
+  let rng = Hlp_util.Prng.create seed in
+  let nin = Array.length pipelined.Netlist.inputs in
+  Hlp_sim.Eventsim.run sim (fun _ -> Array.init nin (fun _ -> Hlp_util.Prng.bool rng)) cycles;
+  {
+    depth;
+    total_cap = Hlp_sim.Eventsim.switched_capacitance sim /. float_of_int cycles;
+    glitch_cap = Hlp_sim.Eventsim.glitch_capacitance sim /. float_of_int cycles;
+    registers = Netlist.num_dffs pipelined;
+  }
+
+let best_cut ?cycles ?seed net ~max_depth =
+  List.init (max_depth + 1) (fun depth -> evaluate_cut ?cycles ?seed net ~depth)
+
+let balance_paths ?(slack = 1.5) net =
+  assert (Netlist.num_dffs net = 0);
+  let module B = Netlist.Builder in
+  let b = B.create () in
+  let n = Netlist.num_nodes net in
+  let mapped = Array.make n (-1) in
+  let arrival = Array.make n 0.0 in
+  let buf_delay = Gate.delay Gate.Buf in
+  Array.iteri
+    (fun i (node : Netlist.node) ->
+      match node.Netlist.kind with
+      | Gate.Input ->
+          let rec idx k = if net.Netlist.inputs.(k) = i then k else idx (k + 1) in
+          mapped.(i) <- B.input ~name:net.Netlist.input_names.(idx 0) b;
+          arrival.(i) <- 0.0
+      | Gate.Const v ->
+          mapped.(i) <- B.const_ b v;
+          arrival.(i) <- 0.0
+      | Gate.Dff -> assert false
+      | kind ->
+          let arr = Array.map (fun w -> arrival.(w)) node.Netlist.fanin in
+          let latest = Array.fold_left max 0.0 arr in
+          let fanin =
+            Array.mapi
+              (fun k w ->
+                let gap = latest -. arr.(k) in
+                if gap > slack then begin
+                  (* pad the early input with at most 6 buffers *)
+                  let count = min 6 (int_of_float (gap /. buf_delay)) in
+                  let rec pad wire j = if j = 0 then wire else pad (B.buf b wire) (j - 1) in
+                  pad mapped.(w) count
+                end
+                else mapped.(w))
+              node.Netlist.fanin
+          in
+          mapped.(i) <- B.gate b kind fanin;
+          arrival.(i) <- latest +. Gate.delay kind)
+    net.Netlist.nodes;
+  Array.iter (fun (name, o) -> B.output b name mapped.(o)) net.Netlist.outputs;
+  let out = B.finish b in
+  Netlist.validate out;
+  out
+
+let balancing_evaluation ?(cycles = 400) ?(seed = 43) ?slack net =
+  let balanced = balance_paths ?slack net in
+  let run m =
+    let sim = Hlp_sim.Eventsim.create m in
+    let rng = Hlp_util.Prng.create seed in
+    let nin = Array.length m.Netlist.inputs in
+    Hlp_sim.Eventsim.run sim (fun _ -> Array.init nin (fun _ -> Hlp_util.Prng.bool rng)) cycles;
+    ( Hlp_sim.Eventsim.glitch_capacitance sim /. float_of_int cycles,
+      Hlp_sim.Eventsim.switched_capacitance sim /. float_of_int cycles )
+  in
+  let gb, tb = run net in
+  let ga, ta = run balanced in
+  (gb, ga, tb, ta)

@@ -1,0 +1,52 @@
+(** Low-power retiming (Section III-J, Fig. 9; Monteiro et al. [111]).
+
+    Registers filter glitches: a flip-flop output makes at most one
+    transition per cycle no matter how much its data pin glitched. Moving
+    the register boundary of a pipeline to sit just after the gates with
+    the worst glitching therefore reduces total switched capacitance even
+    though the logic is unchanged. This module pipelines a combinational
+    netlist by cutting it at a chosen depth and provides the glitch
+    profiling that drives the choice of cut (the Monteiro heuristic:
+    candidate gates are those with high glitch activity whose spurious
+    transitions would otherwise propagate onward). *)
+
+val glitch_profile :
+  ?cycles:int -> ?seed:int -> Hlp_logic.Netlist.t -> float array
+(** Per-node glitch capacitance per cycle under uniform random inputs
+    (event-driven simulation with library delays). *)
+
+val pipeline_at_depth : Hlp_logic.Netlist.t -> depth:int -> Hlp_logic.Netlist.t
+(** Insert one pipeline stage: every wire crossing from logic depth
+    [<= depth] to logic depth [> depth] (and every primary input feeding
+    the deep region) goes through a flip-flop. The resulting circuit
+    computes the same function with one cycle of extra latency. *)
+
+type evaluation = {
+  depth : int;
+  total_cap : float;  (** switched capacitance per cycle, glitches included *)
+  glitch_cap : float;
+  registers : int;  (** flip-flops inserted by the cut *)
+}
+
+val evaluate_cut :
+  ?cycles:int -> ?seed:int -> Hlp_logic.Netlist.t -> depth:int -> evaluation
+(** Pipeline at the given depth and measure (depth 0 = register the raw
+    inputs — effectively the unpipelined glitching baseline downstream). *)
+
+val best_cut :
+  ?cycles:int -> ?seed:int -> Hlp_logic.Netlist.t -> max_depth:int -> evaluation list
+(** Sweep cut depths [0 .. max_depth] and return the evaluations sorted as
+    swept; the minimum-capacitance entry is the low-power retiming. *)
+
+val balance_paths : ?slack:float -> Hlp_logic.Netlist.t -> Hlp_logic.Netlist.t
+(** Glitch reduction by delay balancing (Raghunathan, Dey, Jha [109]):
+    buffer chains are inserted on gate inputs that arrive more than
+    [slack] delay units before their latest sibling, so reconvergent
+    paths arrive together and spurious transitions die out. Function
+    preserved; area and capacitance grow, glitch capacitance drops. *)
+
+val balancing_evaluation :
+  ?cycles:int -> ?seed:int -> ?slack:float -> Hlp_logic.Netlist.t ->
+  float * float * float * float
+(** [(glitch_before, glitch_after, total_before, total_after)] switched
+    capacitance per cycle under uniform inputs. *)

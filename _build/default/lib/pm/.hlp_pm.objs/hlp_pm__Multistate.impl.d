@@ -1,0 +1,1 @@
+lib/pm/multistate.ml: Array Hashtbl List Option Policy Printf

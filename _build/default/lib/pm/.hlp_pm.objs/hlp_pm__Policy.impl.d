@@ -1,0 +1,1 @@
+lib/pm/policy.ml: Array Hlp_util List Printf

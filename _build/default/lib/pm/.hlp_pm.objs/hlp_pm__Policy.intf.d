@@ -1,0 +1,1 @@
+lib/pm/policy.mli: Hlp_util

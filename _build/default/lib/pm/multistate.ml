@@ -1,0 +1,116 @@
+type sleep_state = {
+  label : string;
+  power : float;
+  t_wake : float;
+  e_wake : float;
+}
+
+type device = {
+  p_active : float;
+  p_idle : float;
+  sleep_states : sleep_state list;
+}
+
+let default_device =
+  {
+    p_active = 1.0;
+    p_idle = 0.9;
+    sleep_states =
+      [
+        { label = "doze"; power = 0.3; t_wake = 0.2; e_wake = 0.4 };
+        { label = "off"; power = 0.02; t_wake = 2.0; e_wake = 3.0 };
+      ];
+  }
+
+let breakeven d s = s.e_wake /. (d.p_idle -. s.power)
+
+(* energy of spending an idle period of length t in state s (enter at 0,
+   wake on demand) vs staying idle *)
+let idle_energy d t = d.p_idle *. t
+
+let sleep_energy s t = (s.power *. t) +. s.e_wake
+
+type choice = Stay_idle | Sleep of sleep_state
+
+let best_state_for d t =
+  let best =
+    List.fold_left
+      (fun acc s ->
+        let e = sleep_energy s t in
+        match acc with
+        | Some (_, be) when be <= e -> acc
+        | _ -> if e < idle_energy d t then Some (s, e) else acc)
+      None d.sleep_states
+  in
+  Option.map fst best
+
+type policy =
+  | Deepest_only
+  | Oracle_depth
+  | Predictive_depth of float
+
+let policy_name = function
+  | Deepest_only -> "deepest-only"
+  | Oracle_depth -> "oracle-depth"
+  | Predictive_depth a -> Printf.sprintf "predictive-depth(%.1f)" a
+
+type stats = {
+  energy : float;
+  always_on_energy : float;
+  improvement : float;
+  delay_penalty : float;
+  depth_histogram : (string * int) list;
+}
+
+let simulate d policy sessions =
+  let energy = ref 0.0 and always_on = ref 0.0 in
+  let penalty = ref 0.0 and total_time = ref 0.0 in
+  let histogram = Hashtbl.create 4 in
+  let bump label =
+    Hashtbl.replace histogram label
+      (1 + Option.value ~default:0 (Hashtbl.find_opt histogram label))
+  in
+  let deepest =
+    match List.rev d.sleep_states with
+    | s :: _ -> s
+    | [] -> invalid_arg "Multistate.simulate: no sleep states"
+  in
+  (* two idle-length predictors, one per session class (think-time sessions
+     open with a short activity burst — the Policy threshold heuristic) *)
+  let think_session active = active < 1.5 in
+  let pred_long = ref (4.0 *. breakeven d deepest) in
+  let pred_short = ref (breakeven d deepest /. 2.0) in
+  Array.iter
+    (fun { Policy.active; idle } ->
+      total_time := !total_time +. active +. idle;
+      always_on := !always_on +. (d.p_active *. active) +. (d.p_idle *. idle);
+      energy := !energy +. (d.p_active *. active);
+      let choice =
+        match policy with
+        | Deepest_only -> Sleep deepest
+        | Oracle_depth -> (
+            match best_state_for d idle with Some s -> Sleep s | None -> Stay_idle)
+        | Predictive_depth _ -> (
+            let predicted = if think_session active then !pred_long else !pred_short in
+            match best_state_for d predicted with Some s -> Sleep s | None -> Stay_idle)
+      in
+      (match choice with
+      | Stay_idle -> energy := !energy +. idle_energy d idle
+      | Sleep s ->
+          bump s.label;
+          energy := !energy +. sleep_energy s idle;
+          penalty := !penalty +. s.t_wake);
+      (match policy with
+      | Predictive_depth alpha ->
+          let p = if think_session active then pred_long else pred_short in
+          p := (alpha *. idle) +. ((1.0 -. alpha) *. !p)
+      | Deepest_only | Oracle_depth -> ()))
+    sessions;
+  {
+    energy = !energy;
+    always_on_energy = !always_on;
+    improvement = (if !energy > 0.0 then !always_on /. !energy else infinity);
+    delay_penalty = (if !total_time > 0.0 then !penalty /. !total_time else 0.0);
+    depth_histogram =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) histogram []);
+  }

@@ -1,0 +1,55 @@
+(** Multi-depth shutdown (extension of Section III-B).
+
+    The paper notes a device can be shut down "by lowering its power supply
+    or by turning off its clock" — mechanisms with very different restart
+    costs. This module generalizes {!Policy} to a menu of sleep states
+    (e.g. clock-gated doze: cheap to enter/leave, modest savings; supply
+    cut: deep savings, expensive wakeup) and lets the predictor choose a
+    depth per idle period: predicted short idles doze, predicted long idles
+    power off. *)
+
+type sleep_state = {
+  label : string;
+  power : float;  (** draw while in this state *)
+  t_wake : float;
+  e_wake : float;
+}
+
+type device = {
+  p_active : float;
+  p_idle : float;
+  sleep_states : sleep_state list;  (** ordered from shallow to deep *)
+}
+
+val default_device : device
+(** Idle 0.9, doze 0.3 (cheap wake), off 0.02 (expensive wake). *)
+
+val breakeven : device -> sleep_state -> float
+(** Idle length above which entering the state beats staying idle. *)
+
+val best_state_for : device -> float -> sleep_state option
+(** The energy-optimal depth for a known idle length ([None] = stay idle);
+    the clairvoyant decision rule. *)
+
+type choice = Stay_idle | Sleep of sleep_state
+
+type policy =
+  | Deepest_only  (** classic single-state shutdown (always power off) *)
+  | Oracle_depth  (** clairvoyant depth per idle period *)
+  | Predictive_depth of float
+      (** exponential-average idle prediction (the given alpha) feeding
+          {!best_state_for} *)
+
+val policy_name : policy -> string
+
+type stats = {
+  energy : float;
+  always_on_energy : float;
+  improvement : float;
+  delay_penalty : float;
+  depth_histogram : (string * int) list;  (** sleeps entered per state *)
+}
+
+val simulate : device -> policy -> Policy.session array -> stats
+(** Same session workloads as {!Policy.workload}. Wakeups are on demand
+    (latency charged per sleep whose state has [t_wake > 0]). *)

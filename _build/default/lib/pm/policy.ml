@@ -1,0 +1,175 @@
+type device = {
+  p_active : float;
+  p_idle : float;
+  p_off : float;
+  t_wakeup : float;
+  e_wakeup : float;
+}
+
+let default_device =
+  { p_active = 1.0; p_idle = 0.9; p_off = 0.02; t_wakeup = 2.0; e_wakeup = 3.0 }
+
+let breakeven d =
+  (* p_idle * t = p_off * t + e_wakeup  =>  t = e_wakeup / (p_idle - p_off) *)
+  d.e_wakeup /. (d.p_idle -. d.p_off)
+
+type policy =
+  | Always_on
+  | Oracle
+  | Timeout of float
+  | Threshold of float
+  | Regression
+  | Exp_average of { alpha : float; prewake : bool }
+
+let policy_name = function
+  | Always_on -> "always-on"
+  | Oracle -> "oracle"
+  | Timeout t -> Printf.sprintf "timeout(%.0f)" t
+  | Threshold t -> Printf.sprintf "threshold(%.1f)" t
+  | Regression -> "regression"
+  | Exp_average { alpha; prewake } ->
+      Printf.sprintf "exp-average(%.1f%s)" alpha (if prewake then "+prewake" else "")
+
+type session = { active : float; idle : float }
+
+let workload ?(sessions = 2000) ?(mean_active = 3.0) ?(short_idle = 4.0)
+    ?(long_idle = 120.0) ?(long_prob = 0.35) rng =
+  (* consecutive think-time pauses are correlated (the user keeps doing the
+     same kind of thing), which is what history-based predictors exploit *)
+  let last_long = ref long_idle in
+  Array.init sessions (fun _ ->
+      if Hlp_util.Prng.bernoulli rng long_prob then begin
+        let fresh = Hlp_util.Prng.pareto rng ~shape:1.8 ~scale:long_idle in
+        let idle = (0.7 *. !last_long) +. (0.3 *. fresh) in
+        last_long := idle;
+        (* think-time sessions start with a very short burst of activity *)
+        { active = Hlp_util.Prng.exponential rng ~mean:(0.1 *. mean_active); idle }
+      end
+      else
+        { active = Hlp_util.Prng.exponential rng ~mean:mean_active;
+          idle = Hlp_util.Prng.exponential rng ~mean:short_idle })
+
+type stats = {
+  energy : float;
+  always_on_energy : float;
+  oracle_energy : float;
+  improvement : float;
+  delay_penalty : float;
+  shutdowns : int;
+}
+
+(* Per-idle-period decision: time at which to power down (or None), and a
+   predicted wake-up time for prewaking policies. *)
+type decision = { shutdown_at : float option; prewake_at : float option }
+
+let simulate d policy sessions_arr =
+  let be = breakeven d in
+  let energy = ref 0.0 and penalty = ref 0.0 and shutdowns = ref 0 in
+  let always_on = ref 0.0 and oracle = ref 0.0 and total_time = ref 0.0 in
+  (* policy state *)
+  let history = ref [] in  (* (active, idle) most recent first *)
+  (* Hwang-Wu-style predictor: think-time sessions are recognized by their
+     short activity burst and get their own exponentially-weighted idle
+     predictor, so interactive gaps do not pollute it *)
+  let exp_pred = ref (4.0 *. be) in
+  let think_session active = active < 1.5 in
+  let regression_predict active =
+    (* quadratic fit idle ~ c0 + c1 a + c2 a^2 over a sliding window *)
+    let window = 60 in
+    let h = !history in
+    if List.length h < 10 then be
+    else begin
+      let recent = List.filteri (fun i _ -> i < window) h in
+      let x =
+        Array.of_list (List.map (fun (a, _) -> [| 1.0; a; a *. a |]) recent)
+      in
+      let y = Array.of_list (List.map snd recent) in
+      match Hlp_util.Linalg.least_squares x y with
+      | beta -> max 0.0 (beta.(0) +. (beta.(1) *. active) +. (beta.(2) *. active *. active))
+      | exception Failure _ -> be
+    end
+  in
+  let decide active =
+    match policy with
+    | Always_on -> { shutdown_at = None; prewake_at = None }
+    | Oracle -> { shutdown_at = None; prewake_at = None }  (* handled separately *)
+    | Timeout t -> { shutdown_at = Some t; prewake_at = None }
+    | Threshold a_th ->
+        if active < a_th then { shutdown_at = Some 0.0; prewake_at = None }
+        else { shutdown_at = None; prewake_at = None }
+    | Regression ->
+        let pred = regression_predict active in
+        if pred > be then { shutdown_at = Some 0.0; prewake_at = None }
+        else { shutdown_at = None; prewake_at = None }
+    | Exp_average { alpha = _; prewake } ->
+        if think_session active then begin
+          let pred = !exp_pred in
+          if pred > be then
+            { shutdown_at = Some 0.0;
+              prewake_at = (if prewake then Some (max 0.5 (pred -. d.t_wakeup)) else None) }
+          else { shutdown_at = None; prewake_at = None }
+        end
+        else { shutdown_at = None; prewake_at = None }
+  in
+  Array.iter
+    (fun { active; idle } ->
+      total_time := !total_time +. active +. idle;
+      always_on := !always_on +. (d.p_active *. active) +. (d.p_idle *. idle);
+      oracle :=
+        !oracle +. (d.p_active *. active)
+        +. min (d.p_idle *. idle) ((d.p_off *. idle) +. d.e_wakeup);
+      energy := !energy +. (d.p_active *. active);
+      (match policy with
+      | Oracle ->
+          energy :=
+            !energy +. min (d.p_idle *. idle) ((d.p_off *. idle) +. d.e_wakeup)
+      | _ -> (
+          let dec = decide active in
+          match dec.shutdown_at with
+          | None -> energy := !energy +. (d.p_idle *. idle)
+          | Some s when s >= idle -> energy := !energy +. (d.p_idle *. idle)
+          | Some s ->
+              incr shutdowns;
+              let wake =
+                match dec.prewake_at with
+                | Some w when w > s && w < idle -> Some w
+                | _ -> None
+              in
+              (match wake with
+              | Some w ->
+                  (* prewake with misprediction correction: stay up for one
+                     break-even window after the predicted wake; if the idle
+                     period outlives it, go back to sleep and wake on demand *)
+                  energy :=
+                    !energy +. (d.p_idle *. s) +. (d.p_off *. (w -. s)) +. d.e_wakeup;
+                  if idle -. w <= be then
+                    (* hit: the request arrives while the device is up *)
+                    energy := !energy +. (d.p_idle *. (idle -. w))
+                  else begin
+                    energy :=
+                      !energy +. (d.p_idle *. be)
+                      +. (d.p_off *. (idle -. w -. be))
+                      +. d.e_wakeup;
+                    penalty := !penalty +. d.t_wakeup
+                  end
+              | None ->
+                  (* wake on demand: pay the restart latency *)
+                  energy :=
+                    !energy +. (d.p_idle *. s) +. (d.p_off *. (idle -. s)) +. d.e_wakeup;
+                  penalty := !penalty +. d.t_wakeup)));
+      (* update predictors *)
+      (match policy with
+      | Exp_average { alpha; _ } ->
+          if think_session active then
+            exp_pred := (alpha *. idle) +. ((1.0 -. alpha) *. !exp_pred)
+      | _ -> ());
+      history := (active, idle) :: !history)
+    sessions_arr;
+  {
+    energy = !energy;
+    always_on_energy = !always_on;
+    oracle_energy = !oracle;
+    improvement = (if !energy > 0.0 then !always_on /. !energy else infinity);
+    delay_penalty = (if !total_time > 0.0 then !penalty /. !total_time else 0.0);
+    shutdowns = !shutdowns;
+  }

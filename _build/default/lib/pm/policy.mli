@@ -1,0 +1,72 @@
+(** System-level power management (Section III-B).
+
+    An event-driven device alternates Active and Idle periods. A shutdown
+    policy decides, at the start of each idle period (and knowing only the
+    past), when to power the device down; waking it back up costs time
+    [t_wakeup] and energy [e_wakeup]. Policies reproduced:
+
+    - always-on (no management);
+    - static timeout after [T] (Fig. 3 and its three documented flaws);
+    - Srivastava's threshold rule: a short preceding active burst predicts
+      a long idle period — shut down immediately;
+    - Srivastava's regression rule: predict the idle length as a quadratic
+      function of the previous active/idle durations; shut down now if the
+      prediction exceeds the break-even time;
+    - Hwang-Wu: exponentially-weighted prediction with misprediction
+      correction and pre-wakeup (hides the restart latency);
+    - the clairvoyant oracle (lower bound on energy). *)
+
+type device = {
+  p_active : float;  (** power while computing *)
+  p_idle : float;  (** power while on but idle *)
+  p_off : float;  (** power while shut down *)
+  t_wakeup : float;  (** time to come back up *)
+  e_wakeup : float;  (** energy of one restart *)
+}
+
+val default_device : device
+(** X-server-class numbers: idle power close to active power (the display
+    chain burns power even when nothing happens), cheap sleep state. *)
+
+val breakeven : device -> float
+(** Minimum idle length for which shutting down immediately saves energy. *)
+
+type policy =
+  | Always_on
+  | Oracle
+  | Timeout of float
+  | Threshold of float
+      (** shut down immediately iff the preceding active period was shorter
+          than the given value *)
+  | Regression
+  | Exp_average of { alpha : float; prewake : bool }
+
+val policy_name : policy -> string
+
+type session = { active : float; idle : float }
+
+val workload :
+  ?sessions:int ->
+  ?mean_active:float ->
+  ?short_idle:float ->
+  ?long_idle:float ->
+  ?long_prob:float ->
+  Hlp_util.Prng.t ->
+  session array
+(** Event-driven workload: exponential active bursts; idle periods are a
+    mixture of short interactive gaps and heavy-tailed think-time pauses —
+    the distribution shape that makes naive timeouts waste power. A short
+    active burst precedes long idles with high probability (the structure
+    Srivastava's threshold rule exploits). *)
+
+type stats = {
+  energy : float;
+  always_on_energy : float;
+  oracle_energy : float;
+  improvement : float;  (** [always_on_energy / energy] *)
+  delay_penalty : float;  (** added wakeup latency, fraction of total time *)
+  shutdowns : int;
+}
+
+val simulate : device -> policy -> session array -> stats
+(** Run the policy over the workload and account energy and latency. *)

@@ -1,0 +1,1 @@
+lib/power/captot.mli: Hlp_logic

@@ -1,0 +1,1 @@
+lib/power/complexity.ml: Array Encode Hashtbl Hlp_fsm Hlp_logic Hlp_sim Hlp_util List Markov Option Primes Stg Synth

@@ -1,0 +1,1 @@
+lib/power/complexity.mli: Hlp_fsm Hlp_logic Hlp_util

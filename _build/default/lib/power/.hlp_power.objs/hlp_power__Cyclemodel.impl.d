@@ -1,0 +1,1 @@
+lib/power/cyclemodel.ml: Array Hlp_sim Hlp_util List Macromodel Stepwise

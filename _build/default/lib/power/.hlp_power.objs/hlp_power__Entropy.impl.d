@@ -1,0 +1,1 @@
+lib/power/entropy.ml: Array Hlp_logic Hlp_sim Hlp_util Netlist

@@ -1,0 +1,1 @@
+lib/power/entropy.mli: Hlp_logic

@@ -1,0 +1,1 @@
+lib/power/flow.ml: Array Complexity Format Hlp_fsm Hlp_logic Hlp_sim Hlp_util Lazy List Macromodel Probprop

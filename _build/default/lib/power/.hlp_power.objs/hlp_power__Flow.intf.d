@@ -1,0 +1,1 @@
+lib/power/flow.mli: Format Hlp_fsm Hlp_logic Macromodel

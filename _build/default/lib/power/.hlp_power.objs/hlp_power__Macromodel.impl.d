@@ -1,0 +1,1 @@
+lib/power/macromodel.ml: Array Hashtbl Hlp_logic Hlp_sim Hlp_util List Option

@@ -1,0 +1,1 @@
+lib/power/macromodel.mli: Hlp_logic Hlp_sim

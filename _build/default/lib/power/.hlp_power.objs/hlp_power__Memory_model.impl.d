@@ -1,0 +1,1 @@
+lib/power/memory_model.ml:

@@ -1,0 +1,1 @@
+lib/power/primes.ml: Array Hashtbl Hlp_util List Set

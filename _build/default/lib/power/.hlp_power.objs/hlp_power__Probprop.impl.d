@@ -1,0 +1,1 @@
+lib/power/probprop.ml: Array Gate Hlp_logic Hlp_sim Hlp_util Netlist

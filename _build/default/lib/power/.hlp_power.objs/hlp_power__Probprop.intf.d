@@ -1,0 +1,1 @@
+lib/power/probprop.mli: Hlp_logic

@@ -1,0 +1,1 @@
+lib/power/sampling.ml: Array Hlp_logic Hlp_sim Hlp_util List Macromodel

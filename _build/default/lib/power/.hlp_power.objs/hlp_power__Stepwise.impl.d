@@ -1,0 +1,1 @@
+lib/power/stepwise.ml: Array Hlp_util List

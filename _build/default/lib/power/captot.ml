@@ -1,0 +1,49 @@
+let cheng_agrawal ~n ~m ~h_out =
+  assert (n > 0 && m > 0);
+  float_of_int m /. float_of_int n *. (2.0 ** float_of_int n) *. h_out
+
+type ferrandi = { alpha : float; beta : float }
+
+let ferrandi_predict { alpha; beta } ~n ~m ~bdd_nodes ~h_out =
+  (alpha *. (float_of_int m /. float_of_int n) *. float_of_int bdd_nodes *. h_out)
+  +. beta
+
+let bdd_nodes_of_netlist net =
+  let man = Hlp_bdd.Bdd.manager () in
+  let order = Hlp_bdd.Bdd.first_use_order net in
+  let outs = Hlp_bdd.Bdd.of_netlist ~order man net in
+  Hlp_bdd.Bdd.size_shared (List.map snd outs)
+
+let h_out_white_noise net =
+  let man = Hlp_bdd.Bdd.manager () in
+  let order = Hlp_bdd.Bdd.first_use_order net in
+  let outs = Hlp_bdd.Bdd.of_netlist ~order man net in
+  match outs with
+  | [] -> 0.0
+  | _ ->
+      let entropies =
+        List.map
+          (fun (_, f) ->
+            let p = Hlp_bdd.Bdd.probability man ~p:(fun _ -> 0.5) f in
+            Hlp_sim.Activity.bit_entropy ~p)
+          outs
+      in
+      Hlp_util.Stats.mean_list entropies
+
+let fit_ferrandi population =
+  assert (population <> []);
+  let rows =
+    List.map
+      (fun (net, _) ->
+        let open Hlp_logic in
+        let n = Array.length net.Netlist.inputs in
+        let m = Array.length net.Netlist.outputs in
+        let nodes = bdd_nodes_of_netlist net in
+        let h_out = h_out_white_noise net in
+        [| float_of_int m /. float_of_int n *. float_of_int nodes *. h_out; 1.0 |])
+      population
+  in
+  let x = Array.of_list rows in
+  let y = Array.of_list (List.map snd population) in
+  let beta = Hlp_util.Linalg.least_squares x y in
+  { alpha = beta.(0); beta = beta.(1) }

@@ -1,0 +1,31 @@
+(** Total-capacitance models for behavioral-level estimation
+    (Section II-B1): when no netlist exists yet, [C_tot] itself must be
+    predicted from boundary information.
+
+    Two surveyed models: Cheng-Agrawal's entropic gate-count estimate
+    (exponential in the input count — "too pessimistic when n is large")
+    and Ferrandi et al.'s regression on the BDD node count of the
+    function. *)
+
+val cheng_agrawal : n:int -> m:int -> h_out:float -> float
+(** [C_tot = (m/n) 2^n h_out]. *)
+
+type ferrandi = { alpha : float; beta : float }
+
+val ferrandi_predict : ferrandi -> n:int -> m:int -> bdd_nodes:int -> h_out:float -> float
+(** [C_tot = alpha (m/n) N h_out + beta]. *)
+
+val bdd_nodes_of_netlist : Hlp_logic.Netlist.t -> int
+(** Shared node count of the output BDDs — the [N] of the model. *)
+
+val fit_ferrandi :
+  (Hlp_logic.Netlist.t * float) list -> ferrandi
+(** Least-squares fit of [(alpha, beta)] over a population of synthesized
+    circuits with known actual capacitances (the paper's "linear regression
+    analysis on the total capacitance values for a large number of
+    synthesized circuits"). Output entropies are taken under white-noise
+    inputs via BDD signal probabilities. *)
+
+val h_out_white_noise : Hlp_logic.Netlist.t -> float
+(** Mean output bit entropy under independent equiprobable inputs,
+    computed exactly from the output BDDs. *)

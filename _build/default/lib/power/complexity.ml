@@ -1,0 +1,153 @@
+type ces = {
+  energy_gate : float;
+  c_load : float;
+  e_gate : float;
+}
+
+let ces_default = { energy_gate = 1.2; c_load = 3.0; e_gate = 0.25 }
+
+let ces_power ces ~gate_equivalents ~vdd ~freq =
+  freq *. gate_equivalents
+  *. (ces.energy_gate +. (0.5 *. vdd *. vdd *. ces.c_load))
+  *. ces.e_gate
+
+let ces_switched_capacitance_estimate ces net =
+  (* express the per-cycle energy as an equivalent switched capacitance at
+     the reference supply so it can be compared with simulation *)
+  let vdd = 5.0 in
+  let n = Hlp_logic.Netlist.gate_equivalents net in
+  ces_power ces ~gate_equivalents:n ~vdd ~freq:1.0 /. (0.5 *. vdd *. vdd)
+
+type area_complexity = {
+  c_on : float;
+  c_off : float;
+  c_avg : float;
+}
+
+let side_measure ~nvars minterms =
+  if minterms = [] then 0.0
+  else begin
+    let total = 1 lsl nvars in
+    let ess = Primes.essential_primes ~nvars minterms in
+    (* bucket by literal count; a minterm belongs to the bucket of the
+       *largest* essential prime covering it (fewest literals), so each
+       p_i is the mass covered at size c_i but not by any larger prime *)
+    let buckets = Hashtbl.create 8 in
+    List.iter
+      (fun m ->
+        let covering = List.filter (fun c -> Primes.cube_covers c m) ess in
+        match covering with
+        | [] -> ()
+        | _ ->
+            let best =
+              List.fold_left
+                (fun acc c -> min acc (Primes.cube_literals ~nvars c))
+                max_int covering
+            in
+            Hashtbl.replace buckets best
+              (1 + Option.value ~default:0 (Hashtbl.find_opt buckets best)))
+      minterms;
+    Hashtbl.fold
+      (fun lits count acc ->
+        acc +. (float_of_int lits *. (float_of_int count /. float_of_int total)))
+      buckets 0.0
+  end
+
+let linear_measure ~nvars ~on_set =
+  let all = List.init (1 lsl nvars) (fun i -> i) in
+  let on_tbl = Hashtbl.create 64 in
+  List.iter (fun m -> Hashtbl.replace on_tbl m ()) on_set;
+  let off_set = List.filter (fun m -> not (Hashtbl.mem on_tbl m)) all in
+  let c_on = side_measure ~nvars on_set in
+  let c_off = side_measure ~nvars off_set in
+  { c_on; c_off; c_avg = (c_on +. c_off) /. 2.0 }
+
+let actual_area ~nvars ~on_set = Primes.cover_literals ~nvars on_set
+
+let fit_area_regression ~nvars population =
+  let x =
+    Array.of_list
+      (List.map (fun (on_set, _) -> (linear_measure ~nvars ~on_set).c_avg) population)
+  in
+  let y = Array.of_list (List.map (fun (_, a) -> float_of_int a) population) in
+  Hlp_util.Stats.linear_regression ~x ~y
+
+type controller_fit = {
+  c_i : float;
+  c_o : float;
+  r2 : float;
+}
+
+type controller_sample = {
+  n_i : int;
+  n_o : int;
+  e_i : float;
+  e_o : float;
+  n_m : int;
+  cap_per_cycle : float;
+}
+
+let controller_sample (stg : Hlp_fsm.Stg.t) =
+  let open Hlp_fsm in
+  let r = Synth.synthesize stg in
+  let enc = r.Synth.encoding in
+  let state_bits = enc.Encode.width in
+  let dist = Markov.analyze stg in
+  let state_activity =
+    Markov.expected_hamming stg dist ~code:(fun s -> enc.Encode.code.(s))
+    /. float_of_int state_bits
+  in
+  let n_i = stg.Stg.input_bits + state_bits in
+  let n_o = stg.Stg.output_bits + state_bits in
+  (* external inputs are driven uniformly at random: activity 0.5 *)
+  let e_i =
+    ((0.5 *. float_of_int stg.Stg.input_bits)
+    +. (state_activity *. float_of_int state_bits))
+    /. float_of_int n_i
+  in
+  (* output activity: measure from a quick STG simulation *)
+  let rng = Hlp_util.Prng.create 19 in
+  let ni = Stg.num_inputs stg in
+  let inputs = List.init 2000 (fun _ -> Hlp_util.Prng.int rng ni) in
+  let _, outs = Stg.simulate stg inputs in
+  let out_trace = Array.of_list outs in
+  let out_act =
+    if stg.Stg.output_bits = 0 then 0.0
+    else
+      Hlp_sim.Activity.mean_activity
+        (Hlp_sim.Activity.of_trace ~width:stg.Stg.output_bits out_trace)
+  in
+  let e_o =
+    ((out_act *. float_of_int stg.Stg.output_bits)
+    +. (state_activity *. float_of_int state_bits))
+    /. float_of_int n_o
+  in
+  {
+    n_i;
+    n_o;
+    e_i;
+    e_o;
+    n_m = r.Synth.num_minterms;
+    cap_per_cycle = Synth.switched_capacitance_per_cycle stg;
+  }
+
+let fit_controller samples =
+  assert (List.length samples >= 2);
+  let x =
+    Array.of_list
+      (List.map
+         (fun s ->
+           [|
+             float_of_int s.n_i *. s.e_i *. float_of_int s.n_m;
+             float_of_int s.n_o *. s.e_o *. float_of_int s.n_m;
+           |])
+         samples)
+  in
+  let y = Array.of_list (List.map (fun s -> s.cap_per_cycle) samples) in
+  let beta = Hlp_util.Linalg.least_squares_nonneg x y in
+  let r2 = Hlp_util.Linalg.r_squared x y beta in
+  { c_i = beta.(0); c_o = beta.(1); r2 }
+
+let controller_predict fit s =
+  (float_of_int s.n_i *. fit.c_i *. s.e_i *. float_of_int s.n_m)
+  +. (float_of_int s.n_o *. fit.c_o *. s.e_o *. float_of_int s.n_m)

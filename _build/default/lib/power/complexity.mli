@@ -1,0 +1,74 @@
+(** Complexity-based power models (Section II-B2): predict power from a
+    notion of circuit complexity when neither a netlist nor a simulation is
+    available. *)
+
+(** {1 Chip Estimation System (Muller-Glaser et al. [14])} *)
+
+type ces = {
+  energy_gate : float;  (** internal energy per equivalent-gate transition *)
+  c_load : float;  (** average load capacitance per equivalent gate *)
+  e_gate : float;  (** average output activity per gate per cycle *)
+}
+
+val ces_default : ces
+(** Library defaults calibrated against the {!Hlp_logic.Gate} library. *)
+
+val ces_power :
+  ces -> gate_equivalents:float -> vdd:float -> freq:float -> float
+(** [P = f N (E_gate_internal + 0.5 V^2 C_load) E_gate]. *)
+
+val ces_switched_capacitance_estimate : ces -> Hlp_logic.Netlist.t -> float
+(** Equivalent switched capacitance per cycle predicted for a netlist from
+    its gate-equivalent count alone (implementation- and data-independent,
+    as the paper stresses). *)
+
+(** {1 Nemani-Najm area complexity ([15])} *)
+
+type area_complexity = {
+  c_on : float;  (** linear measure of the on-set *)
+  c_off : float;  (** linear measure of the off-set *)
+  c_avg : float;  (** [(c_on + c_off) / 2] *)
+}
+
+val linear_measure : nvars:int -> on_set:int list -> area_complexity
+(** The linear measure: on-set essential primes are bucketed by literal
+    count [c_i]; each bucket weighs its exclusive minterm probability
+    [p_i]; the measure is [sum c_i p_i] (and symmetrically for the
+    off-set). Uniform minterm probabilities are assumed, as in the paper's
+    random-logic experiments. *)
+
+val actual_area : nvars:int -> on_set:int list -> int
+(** Reference "optimized area": literal count of a greedy irredundant
+    two-level cover, standing in for the SIS-optimized gate count the
+    paper regresses against. *)
+
+val fit_area_regression :
+  nvars:int -> (int list * int) list -> Hlp_util.Stats.linreg
+(** Regression of actual area on the linear measure across a function
+    population: the paper's family of regression curves. *)
+
+(** {1 Landman-Rabaey controller model ([17])} *)
+
+type controller_fit = {
+  c_i : float;  (** regression capacitance per input-plus-state line *)
+  c_o : float;  (** per output-plus-state line *)
+  r2 : float;
+}
+
+type controller_sample = {
+  n_i : int;  (** external inputs + state lines *)
+  n_o : int;  (** external outputs + state lines *)
+  e_i : float;  (** mean activity on input + state lines *)
+  e_o : float;
+  n_m : int;  (** minterms in the implemented cover *)
+  cap_per_cycle : float;  (** measured switched capacitance *)
+}
+
+val controller_sample : Hlp_fsm.Stg.t -> controller_sample
+(** Synthesize the machine, measure its switched capacitance per cycle
+    under uniform inputs, and collect the model's predictor variables. *)
+
+val fit_controller : controller_sample list -> controller_fit
+(** Least-squares fit of [cap = (N_I C_I E_I + N_O C_O E_O) N_M]. *)
+
+val controller_predict : controller_fit -> controller_sample -> float

@@ -1,0 +1,118 @@
+type dut = Macromodel.dut
+
+type trace_data = {
+  features : float array array;  (** per transition *)
+  powers : float array;
+  nbits : int;  (** input bits (toggle-vector length) *)
+}
+
+(* Variable pool layout for a module with [nbits] input bits:
+   [0 .. nbits-1]          per-bit toggle this cycle
+   [nbits .. 2 nbits-1]    per-bit toggle previous cycle (temporal, lag 1)
+   [2 nbits ..]            pairwise products of adjacent-bit toggles
+                           (spatial correlation, order 2, locality-limited
+                           to keep the pool linear in nbits) *)
+let pool_size nbits = (2 * nbits) + (nbits - 1)
+
+let features_of ~nbits ~prev_toggles ~toggles =
+  let f = Array.make (pool_size nbits) 0.0 in
+  for b = 0 to nbits - 1 do
+    f.(b) <- (if toggles.(b) then 1.0 else 0.0);
+    f.(nbits + b) <- (if prev_toggles.(b) then 1.0 else 0.0)
+  done;
+  for b = 0 to nbits - 2 do
+    f.((2 * nbits) + b) <- (if toggles.(b) && toggles.(b + 1) then 1.0 else 0.0)
+  done;
+  f
+
+let collect (dut : dut) traces =
+  let widths = dut.Macromodel.widths in
+  let nbits = List.fold_left ( + ) 0 widths in
+  let n =
+    match traces with [] -> invalid_arg "collect: no traces" | t :: _ -> Array.length t
+  in
+  assert (n >= 3);
+  let sim = Hlp_sim.Funcsim.create dut.Macromodel.net in
+  let vec i = Hlp_sim.Streams.pack ~widths traces i in
+  let gate_cum = Array.make n 0.0 in
+  let vecs = Array.init n vec in
+  Array.iteri
+    (fun i v ->
+      Hlp_sim.Funcsim.step sim v;
+      gate_cum.(i) <- Hlp_sim.Funcsim.switched_capacitance sim)
+    vecs;
+  let toggles i =
+    Array.init nbits (fun b -> vecs.(i).(b) <> vecs.(i + 1).(b))
+  in
+  let features =
+    Array.init (n - 2) (fun i ->
+        features_of ~nbits ~prev_toggles:(toggles i) ~toggles:(toggles (i + 1)))
+  in
+  let powers = Array.init (n - 2) (fun i -> gate_cum.(i + 2) -. gate_cum.(i + 1)) in
+  { features; powers; nbits }
+
+let num_cycles t = Array.length t.powers
+
+let reference t = t.powers
+
+type qiu = Stepwise.t
+
+let fit_qiu ?f_enter t =
+  Stepwise.fit ?f_enter ~features:t.features ~response:t.powers ()
+
+let predict_qiu m t = Array.map (Stepwise.predict m) t.features
+
+let qiu_variables (m : qiu) = List.length m.Stepwise.selected
+
+type clusters = {
+  bits : int;
+  table : float array;  (** mean power per cluster *)
+  fallback : float;  (** global mean for empty clusters *)
+}
+
+(* Cluster key: a [bits]-bit hash of the toggle pattern (which bits of the
+   feature vector's current-toggle section are set). *)
+let cluster_of ~bits ~nbits feat =
+  let h = ref 0 in
+  for b = 0 to nbits - 1 do
+    if feat.(b) > 0.5 then h := (!h * 31) + b + 1
+  done;
+  !h land ((1 lsl bits) - 1)
+
+let fit_clusters ?(bits = 6) t =
+  let size = 1 lsl bits in
+  let sum = Array.make size 0.0 and count = Array.make size 0 in
+  Array.iteri
+    (fun i feat ->
+      let c = cluster_of ~bits ~nbits:t.nbits feat in
+      sum.(c) <- sum.(c) +. t.powers.(i);
+      count.(c) <- count.(c) + 1)
+    t.features;
+  let fallback = Hlp_util.Stats.mean t.powers in
+  {
+    bits;
+    table =
+      Array.init size (fun c ->
+          if count.(c) = 0 then fallback else sum.(c) /. float_of_int count.(c));
+    fallback;
+  }
+
+let predict_clusters m t =
+  Array.map (fun feat -> m.table.(cluster_of ~bits:m.bits ~nbits:t.nbits feat)) t.features
+
+type accuracy = {
+  average_error : float;
+  cycle_error : float;
+}
+
+let accuracy ~predicted ~actual =
+  assert (Array.length predicted = Array.length actual && Array.length actual > 0);
+  let avg_p = Hlp_util.Stats.mean predicted and avg_a = Hlp_util.Stats.mean actual in
+  (* per-cycle relative error, normalized by the mean power (per-cycle
+     actuals can be near zero, which would blow up a pointwise ratio) *)
+  let cyc = ref 0.0 in
+  Array.iteri (fun i p -> cyc := !cyc +. abs_float (p -. actual.(i))) predicted;
+  {
+    average_error = Hlp_util.Stats.relative_error ~actual:avg_a ~estimate:avg_p;
+    cycle_error = !cyc /. float_of_int (Array.length actual) /. max 1e-9 avg_a;
+  }

@@ -1,0 +1,68 @@
+(** Cycle-accurate power macro-models (Section II-C1).
+
+    Average-power models are not enough for reliability and noise analysis;
+    the paper reviews two cycle-accurate approaches, both reproduced here:
+
+    - Mehta-Owens-Irwin clustering [43]: input transitions are hashed into
+      a small number of clusters and the per-cluster mean power is looked
+      up — weak when "mode-changing bits" make nearby patterns behave
+      differently;
+    - Wu/Qiu et al. [44][45]: regression on per-cycle variables with
+      F-test selection, extended with first-order temporal and
+      pairwise spatial correlation terms. The paper's accuracy claim —
+      macro-models with a handful of variables predict ~5-10% average and
+      10-20% cycle power error — is the E28 reproduction target.
+
+    Cycle power is switched capacitance per clock cycle; the reference
+    comes from gate-level simulation of the module. *)
+
+type dut = Macromodel.dut
+
+type trace_data
+(** Per-cycle features and reference powers for one stream. *)
+
+val collect : dut -> int array list -> trace_data
+(** Simulate the module over the streams (one per input word) and record,
+    per transition: the per-bit input toggle vector, lag-1 toggle history,
+    selected pairwise (spatial) toggle products, and the gate-level cycle
+    capacitance. *)
+
+val num_cycles : trace_data -> int
+
+val reference : trace_data -> float array
+(** Per-cycle gate-level capacitances. *)
+
+(** {1 Qiu-style regression model} *)
+
+type qiu
+
+val fit_qiu : ?f_enter:float -> trace_data -> qiu
+(** F-test stepwise selection over the per-cycle variable pool (per-bit
+    toggles, lag-1 temporal terms, pairwise spatial terms). *)
+
+val predict_qiu : qiu -> trace_data -> float array
+(** Per-cycle predictions on (possibly different) trace data from the same
+    module. *)
+
+val qiu_variables : qiu -> int
+(** Number of selected variables (the paper quotes ~8). *)
+
+(** {1 Mehta-style clustering model} *)
+
+type clusters
+
+val fit_clusters : ?bits:int -> trace_data -> clusters
+(** Hash each cycle's toggle pattern to a [2^bits]-entry table (default 64
+    clusters, "relatively small ... for efficiency reasons") and store the
+    mean power per cluster. *)
+
+val predict_clusters : clusters -> trace_data -> float array
+
+(** {1 Evaluation} *)
+
+type accuracy = {
+  average_error : float;  (** relative error of the mean power *)
+  cycle_error : float;  (** mean relative error per cycle *)
+}
+
+val accuracy : predicted:float array -> actual:float array -> accuracy

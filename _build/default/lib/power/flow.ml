@@ -1,0 +1,89 @@
+type component =
+  | Datapath of {
+      name : string;
+      dut : Macromodel.dut;
+      traces : int array list;
+    }
+  | Controller of { name : string; stg : Hlp_fsm.Stg.t }
+  | Glue of { name : string; net : Hlp_logic.Netlist.t }
+
+type line = {
+  component : string;
+  method_ : string;
+  estimate : float;
+  reference : float;
+  error : float;
+}
+
+type report = {
+  lines : line list;
+  total_estimate : float;
+  total_reference : float;
+  total_error : float;
+}
+
+let datapath_line ~name dut traces =
+  (* characterize once, then predict from the stream statistics; the
+     reference observation also yields the measured capacitance *)
+  let training =
+    List.map (Macromodel.observe dut) (Macromodel.training_streams dut)
+  in
+  let model = Macromodel.fit Macromodel.Input_output dut training in
+  let obs = Macromodel.observe dut traces in
+  let estimate = Macromodel.predict model obs.Macromodel.stats in
+  { component = name; method_ = "io macro-model"; estimate;
+    reference = obs.Macromodel.cap;
+    error = Hlp_util.Stats.relative_error ~actual:obs.Macromodel.cap ~estimate }
+
+(* The controller model is fitted once per process on the benchmark zoo —
+   the "previously designed standard cell controllers" of the paper. *)
+let controller_fit =
+  lazy (Complexity.fit_controller (List.map Complexity.controller_sample (Hlp_fsm.Stg.zoo ())))
+
+let controller_line ~name stg =
+  let sample = Complexity.controller_sample stg in
+  let estimate = Complexity.controller_predict (Lazy.force controller_fit) sample in
+  let reference = sample.Complexity.cap_per_cycle in
+  { component = name; method_ = "Landman-Rabaey"; estimate; reference;
+    error = Hlp_util.Stats.relative_error ~actual:reference ~estimate }
+
+let glue_line ~seed ~name net =
+  let estimate = Probprop.estimate_capacitance net (Probprop.propagate net) in
+  let sim = Hlp_sim.Funcsim.create net in
+  let rng = Hlp_util.Prng.create seed in
+  let nin = Array.length net.Hlp_logic.Netlist.inputs in
+  let cycles = 4000 in
+  Hlp_sim.Funcsim.run sim (fun _ -> Array.init nin (fun _ -> Hlp_util.Prng.bool rng)) cycles;
+  let reference = Hlp_sim.Funcsim.switched_capacitance sim /. float_of_int cycles in
+  { component = name; method_ = "probabilistic"; estimate; reference;
+    error = Hlp_util.Stats.relative_error ~actual:reference ~estimate }
+
+let estimate ?(seed = 17) components =
+  let lines =
+    List.map
+      (function
+        | Datapath { name; dut; traces } -> datapath_line ~name dut traces
+        | Controller { name; stg } -> controller_line ~name stg
+        | Glue { name; net } -> glue_line ~seed ~name net)
+      components
+  in
+  let total_estimate = List.fold_left (fun acc l -> acc +. l.estimate) 0.0 lines in
+  let total_reference = List.fold_left (fun acc l -> acc +. l.reference) 0.0 lines in
+  {
+    lines;
+    total_estimate;
+    total_reference;
+    total_error =
+      Hlp_util.Stats.relative_error ~actual:total_reference ~estimate:total_estimate;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt "%-16s %-16s %10s %10s %8s@." "component" "method" "estimate"
+    "reference" "error";
+  List.iter
+    (fun l ->
+      Format.fprintf fmt "%-16s %-16s %10.1f %10.1f %7.1f%%@." l.component l.method_
+        l.estimate l.reference (100.0 *. l.error))
+    r.lines;
+  Format.fprintf fmt "%-16s %-16s %10.1f %10.1f %7.1f%%@." "TOTAL" "" r.total_estimate
+    r.total_reference (100.0 *. r.total_error)

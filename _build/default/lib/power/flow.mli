@@ -1,0 +1,47 @@
+(** The Fig. 1 estimation flow: level-by-level power feedback for a mixed
+    design.
+
+    The paper's central pitch is that a design made of datapath macros, a
+    controller, and random glue logic can be power-estimated {e without}
+    fully simulating it at the gate level: macro-model equations for the
+    library datapath components, a complexity model for the controller, and
+    probabilistic propagation for the glue. This module packages that loop:
+    describe the design, get a per-component estimate, and (for validation)
+    the full gate-level reference next to it. *)
+
+type component =
+  | Datapath of {
+      name : string;
+      dut : Macromodel.dut;
+      traces : int array list;  (** the operand streams it will see *)
+    }
+  | Controller of { name : string; stg : Hlp_fsm.Stg.t }
+  | Glue of { name : string; net : Hlp_logic.Netlist.t }
+
+type line = {
+  component : string;
+  method_ : string;  (** which estimator priced it *)
+  estimate : float;  (** switched capacitance per cycle *)
+  reference : float;  (** gate-level simulation of the same component *)
+  error : float;
+}
+
+type report = {
+  lines : line list;
+  total_estimate : float;
+  total_reference : float;
+  total_error : float;
+}
+
+val estimate : ?seed:int -> component list -> report
+(** Price every component with its level-appropriate model:
+    - datapath: an input-output macro-model characterized once on the
+      standard training streams, then evaluated on the component's actual
+      stream statistics;
+    - controller: the Landman-Rabaey regression fitted on the benchmark
+      zoo, applied to the machine's [N_I], [N_O], [N_M] and activities;
+    - glue: probabilistic propagation (no simulation).
+    The reference column is full gate-level simulation of each component
+    under the same stimuli. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,164 @@
+type dut = {
+  net : Hlp_logic.Netlist.t;
+  widths : int list;
+}
+
+type stream_stats = {
+  in_acts : Hlp_sim.Activity.t list;
+  out_act : Hlp_sim.Activity.t;
+  sign_probs : float array list;
+  breakpoints : int list;
+}
+
+type observation = {
+  stats : stream_stats;
+  cap : float;
+}
+
+let observe dut traces =
+  assert (List.length traces = List.length dut.widths);
+  let n =
+    match traces with [] -> invalid_arg "observe: no traces" | t :: _ -> Array.length t
+  in
+  List.iter (fun t -> assert (Array.length t = n)) traces;
+  let sim = Hlp_sim.Funcsim.create dut.net in
+  let outs = dut.net.Hlp_logic.Netlist.outputs in
+  let m = Array.length outs in
+  let out_trace = Array.make n 0 in
+  for i = 0 to n - 1 do
+    Hlp_sim.Funcsim.step sim (Hlp_sim.Streams.pack ~widths:dut.widths traces i);
+    let v = ref 0 in
+    Array.iteri
+      (fun k (_, wire) -> if Hlp_sim.Funcsim.value sim wire then v := !v lor (1 lsl k))
+      outs;
+    out_trace.(i) <- !v
+  done;
+  let cap = Hlp_sim.Funcsim.switched_capacitance sim /. float_of_int n in
+  let in_acts =
+    List.map2 (fun w t -> Hlp_sim.Activity.of_trace ~width:w t) dut.widths traces
+  in
+  let out_act = Hlp_sim.Activity.of_trace ~width:(max m 1) out_trace in
+  let sign_probs =
+    List.map2 (fun w t -> Hlp_sim.Activity.sign_transition_probs ~width:w t) dut.widths traces
+  in
+  let breakpoints = List.map Hlp_sim.Activity.breakpoint in_acts in
+  { stats = { in_acts; out_act; sign_probs; breakpoints }; cap }
+
+let training_streams ?(seed = 1234) ?(n = 400) dut =
+  let rng = Hlp_util.Prng.create seed in
+  let per_word f = List.map (fun w -> f w) dut.widths in
+  let white p = per_word (fun w -> Hlp_sim.Streams.biased_bits rng ~width:w ~p ~n) in
+  let corr p rho =
+    per_word (fun w -> Hlp_sim.Streams.correlated_bits rng ~width:w ~p ~rho ~n)
+  in
+  let walk sigma = per_word (fun w -> Hlp_sim.Streams.gaussian_walk rng ~width:w ~sigma ~n) in
+  [
+    white 0.5; white 0.3; white 0.7; white 0.15; white 0.85;
+    corr 0.5 0.3; corr 0.5 0.6; corr 0.5 0.85; corr 0.3 0.5; corr 0.7 0.5;
+    walk 2.0; walk 8.0; walk 32.0; walk 128.0;
+  ]
+
+type kind = Pfa | Dual_bit | Bitwise | Input_output
+
+let kind_name = function
+  | Pfa -> "power-factor approx"
+  | Dual_bit -> "dual-bit type"
+  | Bitwise -> "bitwise"
+  | Input_output -> "input-output"
+
+let mean_in_activity stats =
+  Hlp_util.Stats.mean_list (List.map Hlp_sim.Activity.mean_activity stats.in_acts)
+
+let mean_in_signal_prob stats =
+  Hlp_util.Stats.mean_list (List.map Hlp_sim.Activity.mean_signal_prob stats.in_acts)
+
+let features kind stats =
+  match kind with
+  | Pfa -> [| 1.0 |]
+  | Input_output ->
+      [| mean_in_activity stats; Hlp_sim.Activity.mean_activity stats.out_act |]
+  | Bitwise ->
+      Array.concat (List.map (fun a -> a.Hlp_sim.Activity.activity) stats.in_acts)
+  | Dual_bit ->
+      (* per module: unsigned-region activity mass + the four sign
+         transition masses, aggregated over input words *)
+      let nu_eu = ref 0.0 in
+      let signs = Array.make 4 0.0 in
+      List.iteri
+        (fun word_idx act ->
+          let bp = List.nth stats.breakpoints word_idx in
+          let w = act.Hlp_sim.Activity.width in
+          for b = 0 to bp - 1 do
+            nu_eu := !nu_eu +. act.Hlp_sim.Activity.activity.(b)
+          done;
+          let ns = float_of_int (w - bp) in
+          let sp = List.nth stats.sign_probs word_idx in
+          Array.iteri (fun k p -> signs.(k) <- signs.(k) +. (ns *. p)) sp)
+        stats.in_acts;
+      Array.append [| !nu_eu |] signs
+
+type model = {
+  kind : kind;
+  coeffs : float array;
+}
+
+let fit kind _dut observations =
+  assert (observations <> []);
+  let x = Array.of_list (List.map (fun o -> features kind o.stats) observations) in
+  let y = Array.of_list (List.map (fun o -> o.cap) observations) in
+  { kind; coeffs = Hlp_util.Linalg.least_squares_nonneg x y }
+
+let predict model stats = Hlp_util.Linalg.vec_dot model.coeffs (features model.kind stats)
+
+let model_kind m = m.kind
+
+(* --- 3D table --- *)
+
+type table3d = {
+  bins : int;
+  cells : (int * int * int, float * int) Hashtbl.t;  (* sum, count *)
+}
+
+let coords bins stats =
+  let clamp x = max 0 (min (bins - 1) x) in
+  let bin x = clamp (int_of_float (x *. float_of_int bins)) in
+  ( bin (mean_in_signal_prob stats),
+    bin (mean_in_activity stats),
+    bin (Hlp_sim.Activity.mean_activity stats.out_act) )
+
+let fit_table ?(bins = 5) observations =
+  let cells = Hashtbl.create 64 in
+  List.iter
+    (fun o ->
+      let key = coords bins o.stats in
+      let sum, count = Option.value ~default:(0.0, 0) (Hashtbl.find_opt cells key) in
+      Hashtbl.replace cells key (sum +. o.cap, count + 1))
+    observations;
+  { bins; cells }
+
+let predict_table t stats =
+  let x, y, z = coords t.bins stats in
+  match Hashtbl.find_opt t.cells (x, y, z) with
+  | Some (sum, count) -> sum /. float_of_int count
+  | None ->
+      (* inverse-distance interpolation over filled cells *)
+      let num = ref 0.0 and den = ref 0.0 in
+      Hashtbl.iter
+        (fun (cx, cy, cz) (sum, count) ->
+          let d2 =
+            float_of_int (((cx - x) * (cx - x)) + ((cy - y) * (cy - y)) + ((cz - z) * (cz - z)))
+          in
+          let w = 1.0 /. (d2 +. 0.25) in
+          num := !num +. (w *. sum /. float_of_int count);
+          den := !den +. w)
+        t.cells;
+      if !den = 0.0 then 0.0 else !num /. !den
+
+let relative_error ~actual ~predicted =
+  Hlp_util.Stats.relative_error ~actual ~estimate:predicted
+
+let evaluate ~predict observations =
+  Hlp_util.Stats.mean_list
+    (List.map
+       (fun o -> relative_error ~actual:o.cap ~predicted:(predict o.stats))
+       observations)

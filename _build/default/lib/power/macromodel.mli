@@ -1,0 +1,75 @@
+(** Regression-based power macro-models (Section II-C1).
+
+    The flow is the paper's, end to end: characterize an RT-level module by
+    simulating it under training streams and least-squares fitting a
+    macro-model equation to the measured switched capacitance; then predict
+    the power of unseen streams from their statistics alone. The model
+    ladder reproduced here, in increasing accuracy and cost:
+
+    - power-factor approximation (constant per activation) [39]
+    - dual-bit-type model (uniform + sign regions) [40]
+    - bitwise model (one coefficient per input pin)
+    - input-output model (adds the output activity term)
+    - 3-dimensional table (P_in, D_in, D_out) with interpolation [41] *)
+
+type dut = {
+  net : Hlp_logic.Netlist.t;
+  widths : int list;  (** input word partition, LSB-first, in input order *)
+}
+
+type stream_stats = {
+  in_acts : Hlp_sim.Activity.t list;  (** per input word *)
+  out_act : Hlp_sim.Activity.t;  (** module outputs under zero-delay sim *)
+  sign_probs : float array list;  (** per word: [++ +- -+ --] probabilities *)
+  breakpoints : int list;  (** per word: dual-bit-type boundary *)
+}
+
+type observation = {
+  stats : stream_stats;
+  cap : float;  (** measured switched capacitance per cycle *)
+}
+
+val observe : dut -> int array list -> observation
+(** Simulate the module under one stream per input word (all the same
+    length) and collect statistics plus the reference capacitance. *)
+
+val training_streams :
+  ?seed:int -> ?n:int -> dut -> int array list list
+(** The characterization suite: white noise at several signal probabilities
+    and correlations, plus sign-correlated Gaussian walks — the
+    "pseudorandom data" plus stressors of macro-model step 1. *)
+
+type kind = Pfa | Dual_bit | Bitwise | Input_output
+
+val kind_name : kind -> string
+
+type model
+
+val fit : kind -> dut -> observation list -> model
+(** Least-mean-square-error fit of the macro-model equation (coefficients
+    are clamped nonnegative: they are capacitances). *)
+
+val predict : model -> stream_stats -> float
+(** Evaluate the macro-model equation on a stream's statistics. *)
+
+val model_kind : model -> kind
+
+(** {1 3D-table macro-model (Gupta-Najm [41])} *)
+
+type table3d
+
+val fit_table : ?bins:int -> observation list -> table3d
+(** Bin observations by (mean input signal probability, mean input
+    activity, mean output activity) and average within cells. *)
+
+val predict_table : table3d -> stream_stats -> float
+(** Inverse-distance-weighted lookup over the filled cells (the paper's
+    "table lookup with necessary interpolation equations"). *)
+
+(** {1 Evaluation} *)
+
+val relative_error : actual:float -> predicted:float -> float
+
+val evaluate :
+  predict:(stream_stats -> float) -> observation list -> float
+(** Mean relative error of a predictor over labeled observations. *)

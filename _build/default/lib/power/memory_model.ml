@@ -1,0 +1,66 @@
+type sram = {
+  n : int;
+  k : int;
+  word_bits : int;
+  vdd : float;
+  v_swing : float;
+  c_int : float;
+  c_tr : float;
+}
+
+let default_sram ~n ~k =
+  assert (k >= 0 && k <= n);
+  { n; k; word_bits = 8; vdd = 5.0; v_swing = 0.5; c_int = 0.9; c_tr = 0.25 }
+
+let pow2 e = 2.0 ** float_of_int e
+
+let cell_array_energy s =
+  0.5 *. s.vdd *. s.v_swing *. pow2 s.k *. (s.c_int +. (pow2 (s.n - s.k) *. s.c_tr))
+
+let row_decoder_energy s =
+  (* a decoder over n-k address bits: a few predecode lines switch per
+     access, but the decoder's output wiring and the unselected word-line
+     stubs it drives scale with the row count 2^(n-k) — this is the term
+     that penalizes tall-narrow organizations *)
+  let rows_bits = float_of_int (s.n - s.k) in
+  0.5 *. s.vdd *. s.vdd *. (4.0 +. (2.5 *. rows_bits) +. (0.05 *. pow2 (s.n - s.k)))
+
+let word_line_energy s =
+  (* driving the selected row: gate capacitance of 2^k cells *)
+  0.5 *. s.vdd *. s.vdd *. pow2 s.k *. 0.35
+
+let column_select_energy s =
+  let cols_bits = float_of_int s.k in
+  0.5 *. s.vdd *. s.vdd *. (2.0 +. (2.0 *. cols_bits) +. (0.1 *. pow2 s.k))
+
+let sense_amp_energy s =
+  0.5 *. s.vdd *. s.v_swing *. (6.0 *. float_of_int s.word_bits)
+
+let read_energy s =
+  cell_array_energy s +. row_decoder_energy s +. word_line_energy s
+  +. column_select_energy s +. sense_amp_energy s
+
+let optimal_k ~n =
+  let best = ref 0 and best_e = ref infinity in
+  for k = 0 to n do
+    let e = read_energy (default_sram ~n ~k) in
+    if e < !best_e then begin
+      best := k;
+      best_e := e
+    end
+  done;
+  !best
+
+let htree_clock_capacitance ~levels ~c_wire_root =
+  (* level l has 2^l branches of length root/2^(l/2): capacitance per level
+     c_root * 2^l / 2^(l/2) = c_root * 2^(l/2) *)
+  let acc = ref 0.0 in
+  for l = 0 to levels - 1 do
+    acc := !acc +. (c_wire_root *. (2.0 ** (float_of_int l /. 2.0)))
+  done;
+  !acc
+
+let interconnect_energy ~length_mm ~c_per_mm ~vdd ~activity =
+  0.5 *. vdd *. vdd *. length_mm *. c_per_mm *. activity
+
+let off_chip_driver_energy ~c_pad ~vdd ~activity = 0.5 *. vdd *. vdd *. c_pad *. activity

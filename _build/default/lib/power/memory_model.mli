@@ -1,0 +1,51 @@
+(** Parametric power models for memories and chip-level components
+    (Liu-Svensson [42], Section II-C1).
+
+    A six-transistor SRAM of [2^n] words organized as [2^(n-k)] rows by
+    [2^k] columns dissipates in four places per access: the cell array
+    (bit-line swings), the row decoder, the selected word line, and the
+    column-select/sense path. The organization parameter [k] trades row
+    energy against column energy, so the model exposes the classic
+    optimal-aspect-ratio exploration. Capacitances are in the same
+    arbitrary units as the gate library; voltages in volts. *)
+
+type sram = {
+  n : int;  (** total address bits: the array stores [2^n] words *)
+  k : int;  (** column bits: [2^k] columns of [2^(n-k)] rows *)
+  word_bits : int;  (** bits per word read out by the sense amps *)
+  vdd : float;
+  v_swing : float;  (** bit-line swing (read) *)
+  c_int : float;  (** wiring capacitance per cell along a row *)
+  c_tr : float;  (** drain capacitance per cell on a bit line *)
+}
+
+val default_sram : n:int -> k:int -> sram
+(** 0.8um-flavoured constants; [word_bits = 8]. *)
+
+val cell_array_energy : sram -> float
+(** Paper expression: [0.5 V Vswing 2^k (C_int + 2^(n-k) C_tr)] — every
+    cell on the selected row drives bit or not-bit during a read. *)
+
+val row_decoder_energy : sram -> float
+val word_line_energy : sram -> float
+val column_select_energy : sram -> float
+val sense_amp_energy : sram -> float
+
+val read_energy : sram -> float
+(** Sum of the five components for one read access. *)
+
+val optimal_k : n:int -> int
+(** The column-bit count minimizing {!read_energy} for a [2^n]-word array
+    (with {!default_sram} constants). *)
+
+(** {1 Chip-level components} *)
+
+val htree_clock_capacitance : levels:int -> c_wire_root:float -> float
+(** Total capacitance of an H-tree clock net: each level halves the wire
+    length but doubles the branch count, giving the geometric series the
+    paper's processor model sums. *)
+
+val interconnect_energy :
+  length_mm:float -> c_per_mm:float -> vdd:float -> activity:float -> float
+
+val off_chip_driver_energy : c_pad:float -> vdd:float -> activity:float -> float

@@ -1,0 +1,96 @@
+type cube = { value : int; dc : int }
+
+let cube_covers c m = m land lnot c.dc = c.value land lnot c.dc
+
+let cube_literals ~nvars c = nvars - Hlp_util.Bits.popcount c.dc
+
+let cube_size c = 1 lsl Hlp_util.Bits.popcount c.dc
+
+let normalize c = { c with value = c.value land lnot c.dc }
+
+(* Quine-McCluskey: repeatedly merge pairs of cubes identical except in one
+   specified variable; cubes never merged into anything are prime. *)
+let primes ~nvars on_set =
+  assert (nvars >= 1 && nvars <= 14);
+  let module S = Set.Make (struct
+    type t = cube
+
+    let compare = compare
+  end) in
+  let initial = List.map (fun m -> normalize { value = m; dc = 0 }) on_set in
+  let rec rounds current acc_primes =
+    if S.is_empty current then acc_primes
+    else begin
+      let merged = ref S.empty in
+      let used = Hashtbl.create 64 in
+      let arr = Array.of_list (S.elements current) in
+      let n = Array.length arr in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          let a = arr.(i) and b = arr.(j) in
+          if a.dc = b.dc then begin
+            let diff = a.value lxor b.value in
+            if Hlp_util.Bits.popcount diff = 1 then begin
+              merged := S.add (normalize { value = a.value; dc = a.dc lor diff }) !merged;
+              Hashtbl.replace used a ();
+              Hashtbl.replace used b ()
+            end
+          end
+        done
+      done;
+      let primes_here =
+        S.filter (fun c -> not (Hashtbl.mem used c)) current
+      in
+      rounds !merged (S.union acc_primes primes_here)
+    end
+  in
+  S.elements (rounds (S.of_list initial) S.empty)
+
+let essential_primes ~nvars on_set =
+  let ps = primes ~nvars on_set in
+  let essential = Hashtbl.create 16 in
+  List.iter
+    (fun m ->
+      match List.filter (fun c -> cube_covers c m) ps with
+      | [ only ] -> Hashtbl.replace essential only ()
+      | _ -> ())
+    on_set;
+  List.filter (Hashtbl.mem essential) ps
+
+let cover ~nvars on_set =
+  if on_set = [] then []
+  else begin
+    let ps = primes ~nvars on_set in
+    let ess = essential_primes ~nvars on_set in
+    let covered = Hashtbl.create 64 in
+    let mark c = List.iter (fun m -> if cube_covers c m then Hashtbl.replace covered m ()) on_set in
+    List.iter mark ess;
+    let chosen = ref (List.rev ess) in
+    let remaining () = List.filter (fun m -> not (Hashtbl.mem covered m)) on_set in
+    let rec greedy () =
+      match remaining () with
+      | [] -> ()
+      | rem ->
+          let best =
+            List.fold_left
+              (fun best c ->
+                let gain = List.length (List.filter (cube_covers c) rem) in
+                match best with
+                | Some (_, g) when g >= gain -> best
+                | _ when gain = 0 -> best
+                | _ -> Some (c, gain))
+              None ps
+          in
+          (match best with
+          | None -> failwith "Primes.cover: uncoverable minterm"
+          | Some (c, _) ->
+              chosen := c :: !chosen;
+              mark c;
+              greedy ())
+    in
+    greedy ();
+    List.rev !chosen
+  end
+
+let cover_literals ~nvars on_set =
+  List.fold_left (fun acc c -> acc + cube_literals ~nvars c) 0 (cover ~nvars on_set)

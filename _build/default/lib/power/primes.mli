@@ -1,0 +1,35 @@
+(** Prime-implicant analysis (Quine-McCluskey) on small truth tables.
+
+    The Nemani-Najm area-complexity model (Section II-B2) is defined in
+    terms of the essential prime implicants of a function's on-set and
+    off-set; this module computes them exactly for functions of up to ~12
+    variables given as minterm sets. *)
+
+type cube = { value : int; dc : int }
+(** Positional cube: bit [i] of [dc] set means variable [i] is absent from
+    the product term; otherwise bit [i] of [value] gives its literal
+    polarity. *)
+
+val cube_covers : cube -> int -> bool
+(** Does the cube contain the minterm? *)
+
+val cube_literals : nvars:int -> cube -> int
+(** Number of literals in the product term, [nvars - popcount dc]. *)
+
+val cube_size : cube -> int
+(** Number of minterms covered, [2^popcount dc]. *)
+
+val primes : nvars:int -> int list -> cube list
+(** All prime implicants of the function whose on-set is the given minterm
+    list. *)
+
+val essential_primes : nvars:int -> int list -> cube list
+(** Primes that are the unique cover of at least one on-set minterm. *)
+
+val cover : nvars:int -> int list -> cube list
+(** A small (greedy) irredundant cover: essential primes first, then greedy
+    set covering — the "minimum sum-of-products" proxy used by the
+    complexity-based models. *)
+
+val cover_literals : nvars:int -> int list -> int
+(** Total literal count of {!cover} — the classic two-level area metric. *)

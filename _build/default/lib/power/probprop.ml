@@ -1,0 +1,104 @@
+open Hlp_logic
+
+type node_stats = {
+  prob : float array;
+  activity : float array;
+}
+
+(* Under independence, a gate's output probability is a polynomial in its
+   input probabilities; the output activity is approximated by the total
+   derivative (Najm's transition density):
+     D(y) = sum_i |dP(y)/dP(x_i)| * D(x_i)
+   where the Boolean difference probability is evaluated numerically by
+   flipping one input's probability between 0 and 1. *)
+let gate_prob kind pins =
+  let conj () = Array.fold_left (fun acc p -> acc *. p) 1.0 pins in
+  let disj () = 1.0 -. Array.fold_left (fun acc p -> acc *. (1.0 -. p)) 1.0 pins in
+  match kind with
+  | Gate.Input -> invalid_arg "gate_prob: input"
+  | Gate.Const b -> if b then 1.0 else 0.0
+  | Gate.Buf | Gate.Dff -> pins.(0)
+  | Gate.Not -> 1.0 -. pins.(0)
+  | Gate.And _ -> conj ()
+  | Gate.Or _ -> disj ()
+  | Gate.Nand _ -> 1.0 -. conj ()
+  | Gate.Nor _ -> 1.0 -. disj ()
+  | Gate.Xor -> (pins.(0) *. (1.0 -. pins.(1))) +. (pins.(1) *. (1.0 -. pins.(0)))
+  | Gate.Xnor ->
+      1.0 -. ((pins.(0) *. (1.0 -. pins.(1))) +. (pins.(1) *. (1.0 -. pins.(0))))
+  | Gate.Mux -> ((1.0 -. pins.(0)) *. pins.(1)) +. (pins.(0) *. pins.(2))
+
+let propagate ?(input_prob = fun _ -> 0.5) ?(input_activity = fun _ -> 0.5) net =
+  assert (Netlist.num_dffs net = 0);
+  let n = Netlist.num_nodes net in
+  let prob = Array.make n 0.0 and activity = Array.make n 0.0 in
+  Array.iteri
+    (fun k w ->
+      prob.(w) <- input_prob k;
+      activity.(w) <- input_activity k)
+    net.Netlist.inputs;
+  Array.iteri
+    (fun i (node : Netlist.node) ->
+      match node.Netlist.kind with
+      | Gate.Input -> ()
+      | Gate.Const b ->
+          prob.(i) <- (if b then 1.0 else 0.0);
+          activity.(i) <- 0.0
+      | kind ->
+          let pins = Array.map (fun w -> prob.(w)) node.Netlist.fanin in
+          prob.(i) <- gate_prob kind pins;
+          let acc = ref 0.0 in
+          Array.iteri
+            (fun k w ->
+              let hi = Array.copy pins and lo = Array.copy pins in
+              hi.(k) <- 1.0;
+              lo.(k) <- 0.0;
+              let sensitivity = abs_float (gate_prob kind hi -. gate_prob kind lo) in
+              acc := !acc +. (sensitivity *. activity.(w)))
+            node.Netlist.fanin;
+          activity.(i) <- min 1.0 !acc)
+    net.Netlist.nodes;
+  { prob; activity }
+
+let estimate_capacitance net stats =
+  let caps = Netlist.node_capacitance net in
+  let total = ref 0.0 in
+  Array.iteri (fun i c -> total := !total +. (c *. stats.activity.(i))) caps;
+  !total
+
+type monte_carlo = {
+  estimate : float;
+  half_interval : float;
+  cycles_used : int;
+  batches : int;
+}
+
+let monte_carlo ?(batch = 30) ?(relative_precision = 0.05) ?(max_cycles = 100_000)
+    ?(seed = 47) net =
+  assert (batch >= 2);
+  let rng = Hlp_util.Prng.create seed in
+  let sim = Hlp_sim.Funcsim.create net in
+  let nin = Array.length net.Netlist.inputs in
+  let batch_means = ref [] in
+  let cycles = ref 0 in
+  let prev_cap = ref 0.0 in
+  let rec go k =
+    for _ = 1 to batch do
+      Hlp_sim.Funcsim.step sim (Array.init nin (fun _ -> Hlp_util.Prng.bool rng))
+    done;
+    cycles := !cycles + batch;
+    let cap = Hlp_sim.Funcsim.switched_capacitance sim in
+    batch_means := ((cap -. !prev_cap) /. float_of_int batch) :: !batch_means;
+    prev_cap := cap;
+    let means = Array.of_list !batch_means in
+    if Array.length means >= 3 then begin
+      let m = Hlp_util.Stats.mean means in
+      let lo, hi = Hlp_util.Stats.confidence_interval_95 means in
+      let half = (hi -. lo) /. 2.0 in
+      if (m > 0.0 && half /. m <= relative_precision) || !cycles >= max_cycles then
+        { estimate = m; half_interval = half; cycles_used = !cycles; batches = k }
+      else go (k + 1)
+    end
+    else go (k + 1)
+  in
+  go 1

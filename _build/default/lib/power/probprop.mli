@@ -1,0 +1,50 @@
+(** Probabilistic power estimation for random logic (the paper's RT-level
+    flow, step 4: glue/interface circuitry is estimated "by performing
+    probabilistic power estimation [27]-[31]" instead of simulation, and
+    low-level simulation is "sped up by the application of statistical
+    sampling techniques [32]-[35]").
+
+    Two engines:
+    - propagation: push per-input signal probabilities and transition
+      densities through the netlist gate by gate under the independence
+      assumption (Najm's transition-density style) — zero simulation;
+    - Monte Carlo: simulate in batches until the estimate's confidence
+      interval is tight enough (Burch et al.), reporting how many cycles
+      the stopping rule needed. *)
+
+type node_stats = {
+  prob : float array;  (** per node: probability of being 1 *)
+  activity : float array;  (** per node: expected toggles per cycle *)
+}
+
+val propagate :
+  ?input_prob:(int -> float) ->
+  ?input_activity:(int -> float) ->
+  Hlp_logic.Netlist.t ->
+  node_stats
+(** Closed-form propagation assuming spatial independence of gate inputs
+    (the classic source of optimism on reconvergent logic, quantified in
+    the tests). Defaults: inputs at probability 0.5, activity 0.5.
+    Combinational netlists only. *)
+
+val estimate_capacitance : Hlp_logic.Netlist.t -> node_stats -> float
+(** Switched capacitance per cycle implied by the propagated activities. *)
+
+type monte_carlo = {
+  estimate : float;  (** mean switched capacitance per cycle *)
+  half_interval : float;  (** 95% confidence half-width *)
+  cycles_used : int;
+  batches : int;
+}
+
+val monte_carlo :
+  ?batch:int ->
+  ?relative_precision:float ->
+  ?max_cycles:int ->
+  ?seed:int ->
+  Hlp_logic.Netlist.t ->
+  monte_carlo
+(** Simulate under uniform inputs in batches (default 30 cycles each, the
+    normality minimum) until the 95% CI of the per-cycle capacitance is
+    within [relative_precision] (default 5%) of the mean — the
+    Burch-et-al. stopping criterion. *)

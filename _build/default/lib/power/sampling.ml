@@ -1,0 +1,93 @@
+type t = {
+  macro_values : float array;  (** per transition (cycle pairs), length n-1 *)
+  gate_values : float array;  (** per transition, gate-level capacitance *)
+}
+
+let prepare model dut traces =
+  let n =
+    match traces with [] -> invalid_arg "prepare: no traces" | t :: _ -> Array.length t
+  in
+  assert (n >= 2);
+  let widths = dut.Macromodel.widths in
+  let sim = Hlp_sim.Funcsim.create dut.Macromodel.net in
+  let outs = dut.Macromodel.net.Hlp_logic.Netlist.outputs in
+  let m = Array.length outs in
+  let out_words = Array.make n 0 in
+  let gate_cum = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    Hlp_sim.Funcsim.step sim (Hlp_sim.Streams.pack ~widths traces i);
+    let v = ref 0 in
+    Array.iteri
+      (fun k (_, wire) -> if Hlp_sim.Funcsim.value sim wire then v := !v lor (1 lsl k))
+      outs;
+    out_words.(i) <- !v;
+    gate_cum.(i) <- Hlp_sim.Funcsim.switched_capacitance sim
+  done;
+  let gate_values =
+    Array.init (n - 1) (fun i -> gate_cum.(i + 1) -. gate_cum.(i))
+  in
+  (* per-transition macro-model evaluation on a two-word window *)
+  let window i =
+    let in_acts, sign_probs =
+      List.split
+        (List.map2
+           (fun w tr ->
+             let pair = [| tr.(i); tr.(i + 1) |] in
+             ( Hlp_sim.Activity.of_trace ~width:w pair,
+               Hlp_sim.Activity.sign_transition_probs ~width:w pair ))
+           widths traces)
+    in
+    let out_pair = [| out_words.(i); out_words.(i + 1) |] in
+    {
+      Macromodel.in_acts;
+      out_act = Hlp_sim.Activity.of_trace ~width:(max m 1) out_pair;
+      sign_probs;
+      breakpoints = List.map Hlp_sim.Activity.breakpoint in_acts;
+    }
+  in
+  let macro_values = Array.init (n - 1) (fun i -> Macromodel.predict model (window i)) in
+  { macro_values; gate_values }
+
+let cycles t = Array.length t.macro_values
+
+let gate_reference t = Hlp_util.Stats.mean t.gate_values
+
+type estimate = {
+  value : float;
+  macro_evaluations : int;
+  gate_cycles : int;
+}
+
+let census t =
+  { value = Hlp_util.Stats.mean t.macro_values;
+    macro_evaluations = Array.length t.macro_values;
+    gate_cycles = 0 }
+
+let sampler ?(num_samples = 5) ?(sample_size = 40) ~seed t =
+  assert (sample_size >= 30);
+  let rng = Hlp_util.Prng.create seed in
+  let n = Array.length t.macro_values in
+  let sample_mean () =
+    let acc = ref 0.0 in
+    for _ = 1 to sample_size do
+      acc := !acc +. t.macro_values.(Hlp_util.Prng.int rng n)
+    done;
+    !acc /. float_of_int sample_size
+  in
+  let means = Array.init num_samples (fun _ -> sample_mean ()) in
+  { value = Hlp_util.Stats.mean means;
+    macro_evaluations = num_samples * sample_size;
+    gate_cycles = 0 }
+
+let adaptive ?(sample_size = 40) ~seed t =
+  let rng = Hlp_util.Prng.create seed in
+  let n = Array.length t.macro_values in
+  let idx = Array.init sample_size (fun _ -> Hlp_util.Prng.int rng n) in
+  let gate_sample = Array.map (fun i -> t.gate_values.(i)) idx in
+  let macro_sample = Array.map (fun i -> t.macro_values.(i)) idx in
+  let census_macro = Hlp_util.Stats.mean t.macro_values in
+  let value =
+    Hlp_util.Stats.ratio_estimator ~y:gate_sample ~x:macro_sample
+      ~population_x:census_macro
+  in
+  { value; macro_evaluations = n; gate_cycles = sample_size }

@@ -1,0 +1,100 @@
+type t = {
+  selected : int list;
+  coeffs : float array;
+  sigma2 : float;
+  dof : int;
+}
+
+let design features selected =
+  Array.map
+    (fun row -> Array.of_list (List.map (fun j -> row.(j)) selected @ [ 1.0 ]))
+    features
+
+let rss features response selected =
+  let x = design features selected in
+  let beta = Hlp_util.Linalg.least_squares x response in
+  let pred = Hlp_util.Linalg.mat_vec x beta in
+  let ss = ref 0.0 in
+  Array.iteri (fun i y -> let d = y -. pred.(i) in ss := !ss +. (d *. d)) response;
+  (!ss, beta)
+
+let fit ?(f_enter = 4.0) ?(f_remove = 3.9) ~features ~response () =
+  assert (f_remove < f_enter);
+  let n = Array.length response in
+  let p = if n = 0 then 0 else Array.length features.(0) in
+  assert (Array.length features = n && n > 3);
+  let selected = ref [] in
+  let continue = ref true in
+  while !continue do
+    continue := false;
+    let k = List.length !selected in
+    let rss_cur, _ = rss features response !selected in
+    (* forward step: best variable to add *)
+    if n - k - 2 > 0 then begin
+      let best = ref None in
+      for j = 0 to p - 1 do
+        if not (List.mem j !selected) then begin
+          let rss_new, _ = rss features response (j :: !selected) in
+          let dof = n - k - 2 in
+          if rss_new < rss_cur then begin
+            let f = (rss_cur -. rss_new) /. (rss_new /. float_of_int dof) in
+            match !best with
+            | Some (_, bf) when bf >= f -> ()
+            | _ -> best := Some (j, f)
+          end
+        end
+      done;
+      match !best with
+      | Some (j, f) when f > f_enter ->
+          selected := j :: !selected;
+          continue := true
+      | _ -> ()
+    end;
+    (* backward step: weakest variable to drop *)
+    let k = List.length !selected in
+    if k > 0 && n - k - 1 > 0 then begin
+      let rss_cur, _ = rss features response !selected in
+      let weakest = ref None in
+      List.iter
+        (fun j ->
+          let without = List.filter (fun x -> x <> j) !selected in
+          let rss_new, _ = rss features response without in
+          let dof = n - k - 1 in
+          let f = (rss_new -. rss_cur) /. (rss_cur /. float_of_int (max 1 dof)) in
+          match !weakest with
+          | Some (_, wf) when wf <= f -> ()
+          | _ -> weakest := Some (j, f))
+        !selected;
+      match !weakest with
+      | Some (j, f) when f < f_remove ->
+          selected := List.filter (fun x -> x <> j) !selected;
+          continue := true
+      | _ -> ()
+    end
+  done;
+  let selected = List.sort compare !selected in
+  let rss_final, beta = rss features response selected in
+  let dof = max 1 (n - List.length selected - 1) in
+  { selected; coeffs = beta; sigma2 = rss_final /. float_of_int dof; dof }
+
+let predict t row =
+  let x = Array.of_list (List.map (fun j -> row.(j)) t.selected @ [ 1.0 ]) in
+  Hlp_util.Linalg.vec_dot t.coeffs x
+
+let confidence_interval t row =
+  let center = predict t row in
+  (* prediction interval ignoring parameter covariance: +- 1.96 sigma *)
+  let half = 1.96 *. sqrt t.sigma2 in
+  (center -. half, center +. half)
+
+let r_squared t ~features ~response =
+  let pred = Array.map (predict t) features in
+  let my = Hlp_util.Stats.mean response in
+  let ss_res = ref 0.0 and ss_tot = ref 0.0 in
+  Array.iteri
+    (fun i y ->
+      let dr = y -. pred.(i) and dt = y -. my in
+      ss_res := !ss_res +. (dr *. dr);
+      ss_tot := !ss_tot +. (dt *. dt))
+    response;
+  if !ss_tot = 0.0 then 1.0 else 1.0 -. (!ss_res /. !ss_tot)

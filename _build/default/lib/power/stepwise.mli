@@ -1,0 +1,35 @@
+(** Statistical macro-model construction with F-test variable selection
+    (Wu, Ding, Hsieh, Pedram [44], Section II-C1).
+
+    Instead of fixing the macro-model equation form, start from a candidate
+    variable pool and add (remove) the most (least) power-critical variable
+    by a partial F-test at each step, so each module type ends up with its
+    own equation — plus a confidence interval on predictions, which is what
+    the statistical framework buys. *)
+
+type t = {
+  selected : int list;  (** indices into the candidate feature vector *)
+  coeffs : float array;  (** parallel to [selected], plus intercept last *)
+  sigma2 : float;  (** residual variance of the final fit *)
+  dof : int;  (** residual degrees of freedom *)
+}
+
+val fit :
+  ?f_enter:float ->
+  ?f_remove:float ->
+  features:float array array ->
+  response:float array ->
+  unit ->
+  t
+(** Forward-backward stepwise regression. A variable enters when its
+    partial F statistic exceeds [f_enter] (default 4.0, ~5% significance)
+    and leaves when it drops below [f_remove] (default 3.9 < f_enter so
+    the loop terminates). An intercept is always included. *)
+
+val predict : t -> float array -> float
+
+val confidence_interval : t -> float array -> float * float
+(** 95% prediction interval (normal approximation) — "the confidence level
+    for the predicted power value" of the paper. *)
+
+val r_squared : t -> features:float array array -> response:float array -> float

@@ -1,0 +1,1 @@
+lib/rtl/allocate.ml: Array Cdfg Hashtbl Hlp_util List Module_energy Option Schedule

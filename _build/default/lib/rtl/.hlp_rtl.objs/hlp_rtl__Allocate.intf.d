@@ -1,0 +1,1 @@
+lib/rtl/allocate.mli: Cdfg Module_energy Schedule

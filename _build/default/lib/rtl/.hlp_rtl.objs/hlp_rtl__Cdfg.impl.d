@@ -1,0 +1,1 @@
+lib/rtl/cdfg.ml: Array Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/rtl/fir.ml: Array Generators Hlp_logic Hlp_sim Hlp_util List Netlist Printf

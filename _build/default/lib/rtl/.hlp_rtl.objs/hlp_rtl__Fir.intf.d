@@ -1,0 +1,1 @@
+lib/rtl/fir.mli: Hlp_logic

@@ -1,0 +1,1 @@
+lib/rtl/module_energy.mli: Cdfg

@@ -1,0 +1,1 @@
+lib/rtl/quicksynth.ml: Array Cdfg Generators Hashtbl Hlp_logic Hlp_sim Hlp_util List Netlist Option Printf String

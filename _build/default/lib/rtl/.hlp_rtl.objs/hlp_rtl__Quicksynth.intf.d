@@ -1,0 +1,1 @@
+lib/rtl/quicksynth.mli: Cdfg Hlp_logic

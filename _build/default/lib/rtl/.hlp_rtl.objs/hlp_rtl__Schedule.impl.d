@@ -1,0 +1,1 @@
+lib/rtl/schedule.ml: Array Cdfg Hashtbl List Module_energy Option Printf

@@ -1,0 +1,1 @@
+lib/rtl/schedule.mli: Cdfg Module_energy

@@ -1,0 +1,1 @@
+lib/rtl/transform.ml: Array Cdfg Hashtbl Hlp_logic Hlp_util List

@@ -1,0 +1,1 @@
+lib/rtl/voltage.ml: Array Cdfg List Module_energy

@@ -1,0 +1,411 @@
+type binding = {
+  unit_of : int array;
+  num_units : (Module_energy.resource * int) list;
+}
+
+type profile = int array array
+
+let profile ?(samples = 200) ?(seed = 42) ?(range = 1 lsl 12) (g : Cdfg.t) =
+  let rng = Hlp_util.Prng.create seed in
+  (* inputs carry different dynamic ranges (a dx is small, a coordinate is
+     wide) — the magnitude diversity the switching-aware binder exploits *)
+  let range_of name = max 16 (range lsr (Hashtbl.hash name mod 6)) in
+  Array.init samples (fun _ ->
+      let tbl = Hashtbl.create 8 in
+      let env name =
+        match Hashtbl.find_opt tbl name with
+        | Some v -> v
+        | None ->
+            let v = Hlp_util.Prng.int rng (range_of name) in
+            Hashtbl.add tbl name v;
+            v
+      in
+      Cdfg.evaluate g ~env)
+
+let resource_nodes (g : Cdfg.t) =
+  Array.to_list g.Cdfg.nodes
+  |> List.filter_map (fun (n : Cdfg.node) ->
+         match Module_energy.resource_of_op n.Cdfg.op with
+         | Some r -> Some (r, n.Cdfg.id)
+         | None -> None)
+
+let overlap ?initiation_interval (g : Cdfg.t) (sched : Schedule.t) i j =
+  let si = sched.Schedule.steps.(i) and sj = sched.Schedule.steps.(j) in
+  let li = Schedule.op_latency g.Cdfg.nodes.(i).Cdfg.op in
+  let lj = Schedule.op_latency g.Cdfg.nodes.(j).Cdfg.op in
+  match initiation_interval with
+  | None -> not (si + li <= sj || sj + lj <= si)
+  | Some ii ->
+      (* under functional pipelining a unit is busy in every residue class
+         its operation's occupied steps cover *)
+      assert (ii >= 1);
+      let residues s l =
+        List.init (min l ii) (fun k -> (s + k) mod ii)
+      in
+      List.exists (fun r -> List.mem r (residues sj lj)) (residues si li)
+
+let group_by_resource (g : Cdfg.t) =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (r, i) ->
+      Hashtbl.replace tbl r (i :: Option.value ~default:[] (Hashtbl.find_opt tbl r)))
+    (resource_nodes g);
+  Hashtbl.fold (fun r l acc -> (r, List.rev l) :: acc) tbl []
+
+let bind_greedy_area (g : Cdfg.t) sched =
+  let unit_of = Array.make (Array.length g.Cdfg.nodes) (-1) in
+  let num_units = ref [] in
+  let next_unit = ref 0 in
+  List.iter
+    (fun (r, nodes) ->
+      (* left-edge: sort by start step, place on the first unit whose last
+         op does not overlap *)
+      let nodes =
+        List.sort (fun a b -> compare sched.Schedule.steps.(a) sched.Schedule.steps.(b)) nodes
+      in
+      let units = ref [] in  (* (unit id, members rev) *)
+      List.iter
+        (fun i ->
+          let rec place = function
+            | [] ->
+                let u = !next_unit in
+                incr next_unit;
+                units := !units @ [ (u, ref [ i ]) ];
+                unit_of.(i) <- u
+            | (u, members) :: rest ->
+                if List.exists (fun j -> overlap g sched i j) !members then place rest
+                else begin
+                  members := i :: !members;
+                  unit_of.(i) <- u
+                end
+          in
+          place !units)
+        nodes;
+      num_units := (r, List.length !units) :: !num_units)
+    (group_by_resource g);
+  { unit_of; num_units = List.sort compare !num_units }
+
+let mean_hamming ?(width = 16) (prof : profile) i j =
+  let mask = Hlp_util.Bits.mask width in
+  let total = ref 0 in
+  Array.iter
+    (fun row ->
+      total := !total + Hlp_util.Bits.hamming (row.(i) land mask) (row.(j) land mask))
+    prof;
+  float_of_int !total /. float_of_int (Array.length prof) /. float_of_int width
+
+(* Switching seen at the *inputs* of a shared unit when operation [j]
+   executes after operation [i]: the mean Hamming distance between their
+   operand tuples. Commutative operations may swap operands (the
+   Musoll-Cortadella operand-reordering transformation), so the cheaper
+   of the two pairings counts. *)
+let operand_hamming ?(width = 16) (g : Cdfg.t) (prof : profile) i j =
+  let mask = Hlp_util.Bits.mask width in
+  let args k = g.Cdfg.nodes.(k).Cdfg.args in
+  let commutative k =
+    match g.Cdfg.nodes.(k).Cdfg.op with
+    | Cdfg.Add | Cdfg.Mul -> true
+    | Cdfg.Sub | Cdfg.Cmp | Cdfg.Mux | Cdfg.MulConst _ | Cdfg.Shl _
+    | Cdfg.Input _ | Cdfg.Const _ -> false
+  in
+  match args i, args j with
+  | [ a1; a2 ], [ b1; b2 ] ->
+      let dist row x y = Hlp_util.Bits.hamming (row.(x) land mask) (row.(y) land mask) in
+      let total = ref 0 in
+      Array.iter
+        (fun row ->
+          let straight = dist row a1 b1 + dist row a2 b2 in
+          let swapped =
+            if commutative j then dist row a1 b2 + dist row a2 b1 else max_int
+          in
+          total := !total + min straight swapped)
+        prof;
+      float_of_int !total
+      /. float_of_int (Array.length prof)
+      /. (2.0 *. float_of_int width)
+  | [ a ], [ b ] -> mean_hamming ~width prof a b
+  | _ -> mean_hamming ~width prof i j
+
+let bind_low_power ?(width = 16) ?initiation_interval (g : Cdfg.t) sched prof =
+  let unit_of = Array.make (Array.length g.Cdfg.nodes) (-1) in
+  let next_unit = ref 0 in
+  let num_units = ref [] in
+  List.iter
+    (fun (r, nodes) ->
+      (* union-find style clusters, merged by descending W = Wc (1 - Ws) *)
+      let cluster = Hashtbl.create 8 in
+      List.iter (fun i -> Hashtbl.replace cluster i [ i ]) nodes;
+      let head = Hashtbl.create 8 in
+      List.iter (fun i -> Hashtbl.replace head i i) nodes;
+      let compatible_clusters ci cj =
+        List.for_all
+          (fun i ->
+            List.for_all (fun j -> not (overlap ?initiation_interval g sched i j)) cj)
+          ci
+      in
+      let wc = Module_energy.switched_capacitance r ~width ~activity:0.5 in
+      let edges = ref [] in
+      let rec pairs = function
+        | [] -> ()
+        | i :: rest ->
+            List.iter
+              (fun j ->
+                if not (overlap ?initiation_interval g sched i j) then begin
+                  let ws = operand_hamming ~width g prof i j in
+                  edges := (wc *. (1.0 -. ws), i, j) :: !edges
+                end)
+              rest;
+            pairs rest
+      in
+      pairs nodes;
+      let edges = List.sort (fun (a, _, _) (b, _, _) -> compare b a) !edges in
+      let try_merge i j =
+        let hi = Hashtbl.find head i and hj = Hashtbl.find head j in
+        if hi <> hj then begin
+          let ci = Hashtbl.find cluster hi and cj = Hashtbl.find cluster hj in
+          if compatible_clusters ci cj then begin
+            let merged = ci @ cj in
+            Hashtbl.replace cluster hi merged;
+            Hashtbl.remove cluster hj;
+            List.iter (fun k -> Hashtbl.replace head k hi) merged
+          end
+        end
+      in
+      List.iter (fun (_, i, j) -> try_merge i j) edges;
+      (* compaction: merge any remaining compatible clusters so the result
+         never uses more units than the area-driven baseline *)
+      let rec pairs = function
+        | [] -> ()
+        | i :: rest ->
+            List.iter (fun j -> try_merge i j) rest;
+            pairs rest
+      in
+      pairs nodes;
+      let count = ref 0 in
+      Hashtbl.iter
+        (fun _ members ->
+          let u = !next_unit in
+          incr next_unit;
+          incr count;
+          List.iter (fun i -> unit_of.(i) <- u) members)
+        cluster;
+      num_units := (r, !count) :: !num_units)
+    (group_by_resource g);
+  { unit_of; num_units = List.sort compare !num_units }
+
+let switched_capacitance ?(width = 16) (g : Cdfg.t) sched binding prof =
+  (* group ops per unit, order by control step; consecutive executions on a
+     unit charge its capacitance proportionally to operand Hamming activity *)
+  let by_unit = Hashtbl.create 16 in
+  Array.iteri
+    (fun i u ->
+      if u >= 0 then
+        Hashtbl.replace by_unit u (i :: Option.value ~default:[] (Hashtbl.find_opt by_unit u)))
+    binding.unit_of;
+  let total = ref 0.0 in
+  Hashtbl.iter
+    (fun _ members ->
+      let members =
+        List.sort
+          (fun a b -> compare sched.Schedule.steps.(a) sched.Schedule.steps.(b))
+          members
+      in
+      match members with
+      | [] -> ()
+      | first :: _ ->
+          let r =
+            match Module_energy.resource_of_op g.Cdfg.nodes.(first).Cdfg.op with
+            | Some r -> r
+            | None -> assert false
+          in
+          (* first execution of the cycle charges white-noise activity
+             (values arrive on a quiet unit); subsequent ones charge the
+             measured inter-operation activity *)
+          let rec charge = function
+            | [] -> ()
+            | [ _last ] -> ()
+            | a :: b :: rest ->
+                let ws = operand_hamming ~width g prof a b in
+                total :=
+                  !total +. Module_energy.switched_capacitance r ~width ~activity:ws;
+                charge (b :: rest)
+          in
+          total := !total +. Module_energy.switched_capacitance r ~width ~activity:0.5;
+          charge members)
+    by_unit;
+  !total
+
+let register_count (g : Cdfg.t) sched =
+  (* variable lifetime: from producing step (finish) to last consuming step *)
+  let n = Array.length g.Cdfg.nodes in
+  let last_use = Array.make n (-1) in
+  Array.iter
+    (fun (node : Cdfg.node) ->
+      List.iter
+        (fun a -> last_use.(a) <- max last_use.(a) sched.Schedule.steps.(node.Cdfg.id))
+        node.Cdfg.args)
+    g.Cdfg.nodes;
+  List.iter (fun o -> last_use.(o) <- max last_use.(o) sched.Schedule.latency) g.Cdfg.outputs;
+  (* peak number of simultaneously live values *)
+  let peak = ref 0 in
+  for step = 0 to sched.Schedule.latency do
+    let live = ref 0 in
+    Array.iteri
+      (fun i node ->
+        let birth =
+          sched.Schedule.steps.(i) + Schedule.op_latency node.Cdfg.op
+        in
+        if last_use.(i) >= 0 && birth <= step && step <= last_use.(i) then incr live)
+      g.Cdfg.nodes;
+    peak := max !peak !live
+  done;
+  !peak
+
+(* --- register allocation --- *)
+
+type reg_binding = {
+  reg_of : int array;
+  num_regs : int;
+}
+
+(* A value needs a register when it is alive past the step it was produced
+   in: from (finish step) to the last consuming step. *)
+let lifetimes (g : Cdfg.t) (sched : Schedule.t) =
+  let n = Array.length g.Cdfg.nodes in
+  let last_use = Array.make n (-1) in
+  Array.iter
+    (fun (node : Cdfg.node) ->
+      List.iter
+        (fun a -> last_use.(a) <- max last_use.(a) sched.Schedule.steps.(node.Cdfg.id))
+        node.Cdfg.args)
+    g.Cdfg.nodes;
+  List.iter (fun o -> last_use.(o) <- max last_use.(o) sched.Schedule.latency) g.Cdfg.outputs;
+  Array.init n (fun i ->
+      let birth = sched.Schedule.steps.(i) + Schedule.op_latency g.Cdfg.nodes.(i).Cdfg.op in
+      if last_use.(i) > birth then Some (birth, last_use.(i)) else None)
+
+let lives_overlap (b1, d1) (b2, d2) = not (d1 <= b2 || d2 <= b1)
+
+let bind_registers_area (g : Cdfg.t) sched =
+  let lt = lifetimes g sched in
+  let n = Array.length lt in
+  let reg_of = Array.make n (-1) in
+  let order =
+    List.sort
+      (fun a b -> compare (fst (Option.get lt.(a))) (fst (Option.get lt.(b))))
+      (List.filter (fun i -> lt.(i) <> None) (List.init n (fun i -> i)))
+  in
+  let regs = ref [] in  (* (reg id, members) *)
+  let next = ref 0 in
+  List.iter
+    (fun i ->
+      let li = Option.get lt.(i) in
+      let rec place = function
+        | [] ->
+            let r = !next in
+            incr next;
+            regs := !regs @ [ (r, ref [ i ]) ];
+            reg_of.(i) <- r
+        | (r, members) :: rest ->
+            if List.exists (fun j -> lives_overlap li (Option.get lt.(j))) !members then
+              place rest
+            else begin
+              members := i :: !members;
+              reg_of.(i) <- r
+            end
+      in
+      place !regs)
+    order;
+  { reg_of; num_regs = !next }
+
+let bind_registers_low_power ?(width = 16) (g : Cdfg.t) sched prof =
+  let lt = lifetimes g sched in
+  let n = Array.length lt in
+  let stored = List.filter (fun i -> lt.(i) <> None) (List.init n (fun i -> i)) in
+  let cluster = Hashtbl.create 8 and head = Hashtbl.create 8 in
+  List.iter (fun i -> Hashtbl.replace cluster i [ i ]; Hashtbl.replace head i i) stored;
+  let compatible ci cj =
+    List.for_all
+      (fun i ->
+        List.for_all (fun j -> not (lives_overlap (Option.get lt.(i)) (Option.get lt.(j)))) cj)
+      ci
+  in
+  let try_merge i j =
+    let hi = Hashtbl.find head i and hj = Hashtbl.find head j in
+    if hi <> hj then begin
+      let ci = Hashtbl.find cluster hi and cj = Hashtbl.find cluster hj in
+      if compatible ci cj then begin
+        let merged = ci @ cj in
+        Hashtbl.replace cluster hi merged;
+        Hashtbl.remove cluster hj;
+        List.iter (fun k -> Hashtbl.replace head k hi) merged
+      end
+    end
+  in
+  (* heaviest edges first: similar values share a register *)
+  let edges = ref [] in
+  let rec pairs = function
+    | [] -> ()
+    | i :: rest ->
+        List.iter
+          (fun j ->
+            if not (lives_overlap (Option.get lt.(i)) (Option.get lt.(j))) then
+              edges := (1.0 -. mean_hamming ~width prof i j, i, j) :: !edges)
+          rest;
+        pairs rest
+  in
+  pairs stored;
+  List.iter
+    (fun (_, i, j) -> try_merge i j)
+    (List.sort (fun (a, _, _) (b, _, _) -> compare b a) !edges);
+  let rec compact = function
+    | [] -> ()
+    | i :: rest ->
+        List.iter (fun j -> try_merge i j) rest;
+        compact rest
+  in
+  compact stored;
+  let reg_of = Array.make n (-1) in
+  let count = ref 0 in
+  Hashtbl.iter
+    (fun _ members ->
+      let r = !count in
+      incr count;
+      List.iter (fun i -> reg_of.(i) <- r) members)
+    cluster;
+  { reg_of; num_regs = !count }
+
+let register_switched_capacitance ?(width = 16) (_g : Cdfg.t) sched binding prof =
+  let by_reg = Hashtbl.create 16 in
+  Array.iteri
+    (fun i r ->
+      if r >= 0 then
+        Hashtbl.replace by_reg r (i :: Option.value ~default:[] (Hashtbl.find_opt by_reg r)))
+    binding.reg_of;
+  let total = ref 0.0 in
+  Hashtbl.iter
+    (fun _ members ->
+      let members =
+        List.sort
+          (fun a b -> compare sched.Schedule.steps.(a) sched.Schedule.steps.(b))
+          members
+      in
+      (* first write charges white-noise activity; subsequent writes charge
+         the measured hamming between consecutive stored values *)
+      let rec charge = function
+        | [] -> ()
+        | [ _ ] -> ()
+        | a :: b :: rest ->
+            let ws = mean_hamming ~width prof a b in
+            total :=
+              !total
+              +. Module_energy.switched_capacitance Module_energy.Register ~width
+                   ~activity:ws;
+            charge (b :: rest)
+      in
+      total :=
+        !total
+        +. Module_energy.switched_capacitance Module_energy.Register ~width ~activity:0.5;
+      charge members)
+    by_reg;
+  !total

@@ -1,0 +1,73 @@
+(** Resource allocation and binding (Section III-E).
+
+    Operations scheduled in disjoint control steps and implementable on the
+    same functional-unit class are *compatible*; binding compatible
+    operations to the same unit saves area but makes the unit's inputs see
+    the concatenation of both operand streams, so the binding choice changes
+    switching activity. Following Raghunathan-Jha [65], edges of the
+    compatibility graph carry a weight [W = Wc * (1 - Ws)] combining the
+    capacitance saving with the measured inter-operation switching, and the
+    allocator greedily merges the heaviest edges.
+
+    Switching statistics come from profiling the CDFG interpreter over a
+    stream of random input environments, mirroring the "high-level
+    simulation of the CDFG" in the paper. *)
+
+type binding = {
+  unit_of : int array;  (** node id -> functional unit id (-1 for none) *)
+  num_units : (Module_energy.resource * int) list;  (** units per class *)
+}
+
+type profile = int array array
+(** [profile.(sample).(node)]: node values over profiling samples. *)
+
+val profile : ?samples:int -> ?seed:int -> ?range:int -> Cdfg.t -> profile
+(** Evaluate the graph under random input environments. *)
+
+val bind_greedy_area : Cdfg.t -> Schedule.t -> binding
+(** Area-driven baseline: left-edge style packing that minimizes unit count
+    and ignores switching (the "serial allocation" strawman). *)
+
+val bind_low_power :
+  ?width:int -> ?initiation_interval:int -> Cdfg.t -> Schedule.t -> profile -> binding
+(** Raghunathan-Jha-style weighted merging. Uses no more units than exist
+    operations; in practice lands at (or near) the area-minimal count.
+    With [initiation_interval] set, operations also conflict when their
+    occupation intervals collide modulo the interval — the functionally
+    pipelined module assignment of Chang-Pedram [19]: a new graph
+    evaluation starts every II steps, so a unit is busy in every residue
+    its operation covers. *)
+
+val switched_capacitance :
+  ?width:int -> Cdfg.t -> Schedule.t -> binding -> profile -> float
+(** Total switched capacitance per graph evaluation implied by a binding:
+    for each unit, operations execute in control-step order and each
+    consecutive pair charges the unit's capacitance scaled by the measured
+    Hamming activity between their operand tuples (commutative operations
+    may reorder operands — the Musoll-Cortadella transformation). *)
+
+val register_count : Cdfg.t -> Schedule.t -> int
+(** Minimum registers for the schedule by lifetime analysis (left-edge). *)
+
+(** {1 Register allocation and binding (Chang-Pedram [64])} *)
+
+type reg_binding = {
+  reg_of : int array;  (** node id -> register id; [-1] for unstored values *)
+  num_regs : int;
+}
+
+val bind_registers_area : Cdfg.t -> Schedule.t -> reg_binding
+(** Left-edge register packing over value lifetimes (area-minimal). *)
+
+val bind_registers_low_power :
+  ?width:int -> Cdfg.t -> Schedule.t -> profile -> reg_binding
+(** Lifetime-compatible values are merged onto registers by descending
+    value similarity (low Hamming distance between the values a register
+    holds in sequence), the probability-driven register binding of
+    Chang-Pedram; compacted to the area-minimal register count. *)
+
+val register_switched_capacitance :
+  ?width:int -> Cdfg.t -> Schedule.t -> reg_binding -> profile -> float
+(** Capacitance switched at register inputs per graph evaluation: each
+    register charges its per-bit write activity over the sequence of values
+    it stores. *)

@@ -1,0 +1,245 @@
+type op =
+  | Input of string
+  | Const of int
+  | Add
+  | Sub
+  | Mul
+  | MulConst of int
+  | Shl of int
+  | Mux
+  | Cmp
+
+type node = { id : int; op : op; args : int list }
+
+type t = {
+  nodes : node array;
+  outputs : int list;
+}
+
+let arity = function
+  | Input _ | Const _ -> 0
+  | Add | Sub | Mul | Cmp -> 2
+  | MulConst _ | Shl _ -> 1
+  | Mux -> 3
+
+let validate t =
+  Array.iteri
+    (fun i n ->
+      if n.id <> i then failwith "Cdfg.validate: non-dense ids";
+      if List.length n.args <> arity n.op then failwith "Cdfg.validate: arity";
+      List.iter
+        (fun a ->
+          if a < 0 || a >= i then failwith "Cdfg.validate: argument not earlier")
+        n.args)
+    t.nodes;
+  List.iter
+    (fun o ->
+      if o < 0 || o >= Array.length t.nodes then failwith "Cdfg.validate: output range")
+    t.outputs
+
+module Build = struct
+  type b = { mutable rev : node list; mutable count : int }
+
+  let create () = { rev = []; count = 0 }
+
+  let push b op args =
+    List.iter (fun a -> assert (a >= 0 && a < b.count)) args;
+    let id = b.count in
+    b.rev <- { id; op; args } :: b.rev;
+    b.count <- id + 1;
+    id
+
+  let input b name = push b (Input name) []
+  let const b v = push b (Const v) []
+  let add b x y = push b Add [ x; y ]
+  let sub b x y = push b Sub [ x; y ]
+  let mul b x y = push b Mul [ x; y ]
+  let mul_const b c x = push b (MulConst c) [ x ]
+  let shl b k x = push b (Shl k) [ x ]
+  let mux b ~sel ~a0 ~a1 = push b Mux [ sel; a0; a1 ]
+  let cmp b x y = push b Cmp [ x; y ]
+
+  let finish b ~outputs =
+    let t = { nodes = Array.of_list (List.rev b.rev); outputs } in
+    validate t;
+    t
+end
+
+let mnemonic = function
+  | Input _ -> "input"
+  | Const _ -> "const"
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | MulConst _ -> "mul_const"
+  | Shl _ -> "shl"
+  | Mux -> "mux"
+  | Cmp -> "cmp"
+
+let is_computational = function Input _ | Const _ -> false | _ -> true
+
+let op_counts t =
+  let tbl = Hashtbl.create 8 in
+  Array.iter
+    (fun n ->
+      if is_computational n.op then begin
+        let k = mnemonic n.op in
+        Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+      end)
+    t.nodes;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort compare
+
+let count t pred =
+  Array.fold_left (fun acc n -> if pred n.op then acc + 1 else acc) 0 t.nodes
+
+let depths t =
+  let d = Array.make (Array.length t.nodes) 0 in
+  Array.iter
+    (fun n ->
+      let deepest = List.fold_left (fun acc a -> max acc d.(a)) 0 n.args in
+      d.(n.id) <- (if is_computational n.op then deepest + 1 else deepest))
+    t.nodes;
+  d
+
+let critical_path_ops t =
+  let d = depths t in
+  List.fold_left (fun acc o -> max acc d.(o)) 0 t.outputs
+
+let evaluate t ~env =
+  let v = Array.make (Array.length t.nodes) 0 in
+  Array.iter
+    (fun n ->
+      let a i = v.(List.nth n.args i) in
+      v.(n.id) <-
+        (match n.op with
+        | Input name -> env name
+        | Const c -> c
+        | Add -> a 0 + a 1
+        | Sub -> a 0 - a 1
+        | Mul -> a 0 * a 1
+        | MulConst c -> c * a 0
+        | Shl k -> a 0 lsl k
+        | Mux -> if a 0 <> 0 then a 2 else a 1
+        | Cmp -> if a 0 < a 1 then 1 else 0))
+    t.nodes;
+  v
+
+let inputs t =
+  Array.to_list t.nodes
+  |> List.filter_map (fun n -> match n.op with Input s -> Some s | _ -> None)
+
+let transitive_fanin t root =
+  let seen = Array.make (Array.length t.nodes) false in
+  let rec go i =
+    if not seen.(i) then begin
+      seen.(i) <- true;
+      List.iter go t.nodes.(i).args
+    end
+  in
+  go root;
+  seen
+
+(* --- examples --- *)
+
+(* Figs. 4 and 5 evaluate the monic polynomials x^2 + Bx + A and
+   x^3 + Cx^2 + Bx + A; with a leading coefficient of 1 the op counts and
+   critical paths of the paper hold exactly:
+   Fig. 4: direct 2 mul / 2 add / cp 3, factored 1 mul / 2 add / cp 3;
+   Fig. 5: direct 4 mul / 3 add / cp 4, factored 2 mul / 3 add / cp 5. *)
+
+let poly2_direct () =
+  let b = Build.create () in
+  let x = Build.input b "x" in
+  let aa = Build.input b "a" and bb = Build.input b "b" in
+  let x2 = Build.mul b x x in
+  let bx = Build.mul b bb x in
+  let s = Build.add b aa bx in
+  let r = Build.add b s x2 in
+  Build.finish b ~outputs:[ r ]
+
+let poly2_horner () =
+  let b = Build.create () in
+  let x = Build.input b "x" in
+  let aa = Build.input b "a" and bb = Build.input b "b" in
+  let t1 = Build.add b bb x in
+  let t2 = Build.mul b t1 x in
+  let r = Build.add b aa t2 in
+  Build.finish b ~outputs:[ r ]
+
+let poly3_direct () =
+  let b = Build.create () in
+  let x = Build.input b "x" in
+  let aa = Build.input b "a" and bb = Build.input b "b" and cc = Build.input b "c" in
+  let x2 = Build.mul b x x in
+  let x3 = Build.mul b x2 x in
+  let bx = Build.mul b bb x in
+  let cx2 = Build.mul b cc x2 in
+  let s1 = Build.add b aa bx in
+  let s2 = Build.add b s1 cx2 in
+  let r = Build.add b s2 x3 in
+  Build.finish b ~outputs:[ r ]
+
+let poly3_horner () =
+  let b = Build.create () in
+  let x = Build.input b "x" in
+  let aa = Build.input b "a" and bb = Build.input b "b" and cc = Build.input b "c" in
+  let t1 = Build.add b cc x in
+  let t2 = Build.mul b t1 x in
+  let t3 = Build.add b bb t2 in
+  let t4 = Build.mul b t3 x in
+  let r = Build.add b aa t4 in
+  Build.finish b ~outputs:[ r ]
+
+let fir ~coeffs =
+  let b = Build.create () in
+  let xs =
+    List.mapi (fun i _ -> Build.input b (Printf.sprintf "x%d" i)) coeffs
+  in
+  let terms =
+    List.map2 (fun c x -> Build.mul b (Build.const b c) x) coeffs xs
+  in
+  let rec sum = function
+    | [] -> Build.const b 0
+    | [ t ] -> t
+    | a :: rest -> Build.add b a (sum rest)
+  in
+  let r = sum terms in
+  Build.finish b ~outputs:[ r ]
+
+let branchy () =
+  let b = Build.create () in
+  let x = Build.input b "x" and y = Build.input b "y" and z = Build.input b "z" in
+  let sel = Build.cmp b x y in
+  (* arm 0: cheap; arm 1: expensive multiply chain; mutually exclusive *)
+  let arm0 = Build.add b x z in
+  let m1 = Build.mul b x y in
+  let m2 = Build.mul b m1 z in
+  let arm1 = Build.add b m2 y in
+  let r1 = Build.mux b ~sel ~a0:arm0 ~a1:arm1 in
+  (* a second independent conditional *)
+  let sel2 = Build.cmp b z y in
+  let a0 = Build.sub b y z in
+  let t = Build.mul b z z in
+  let a1 = Build.add b t x in
+  let r2 = Build.mux b ~sel:sel2 ~a0 ~a1 in
+  let out = Build.add b r1 r2 in
+  Build.finish b ~outputs:[ out ]
+
+let diffeq () =
+  (* one iteration of the HLS diffeq benchmark:
+     x' = x + dx; u' = u - 3*x*u*dx - 3*y*dx; y' = y + u*dx *)
+  let b = Build.create () in
+  let x = Build.input b "x" and y = Build.input b "y" and u = Build.input b "u" in
+  let dx = Build.input b "dx" in
+  let three = Build.const b 3 in
+  let x' = Build.add b x dx in
+  let t1 = Build.mul b three x in
+  let t2 = Build.mul b u dx in
+  let t3 = Build.mul b t1 t2 in
+  let t4 = Build.mul b three y in
+  let t5 = Build.mul b t4 dx in
+  let t6 = Build.sub b u t3 in
+  let u' = Build.sub b t6 t5 in
+  let y' = Build.add b y t2 in
+  Build.finish b ~outputs:[ x'; u'; y' ]

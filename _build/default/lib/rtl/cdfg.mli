@@ -1,0 +1,104 @@
+(** Control-data-flow graphs: the behavioral-level design representation of
+    Section III (transformations, scheduling, allocation, multi-voltage
+    assignment all operate on it).
+
+    A CDFG here is a DAG of word-level operations. Node ids are dense and
+    topologically ordered (every argument precedes its user). Conditionals
+    are expressed with [Mux] nodes, whose transitive fanins drive the
+    power-management scheduling of Monteiro et al. *)
+
+type op =
+  | Input of string
+  | Const of int
+  | Add
+  | Sub
+  | Mul
+  | MulConst of int  (** multiplication by a compile-time constant *)
+  | Shl of int  (** left shift by a constant *)
+  | Mux  (** args: [sel; a0; a1]; [sel <> 0] picks [a1] *)
+  | Cmp  (** args: [a; b]; yields [1] when [a < b] *)
+
+type node = { id : int; op : op; args : int list }
+
+type t = {
+  nodes : node array;
+  outputs : int list;  (** node ids of the results *)
+}
+
+val validate : t -> unit
+(** Raises [Failure] if ids are not dense/topological or arities are off. *)
+
+val arity : op -> int
+(** Expected argument count; [-1] is never returned (inputs/consts are 0). *)
+
+(** {1 Construction} *)
+
+module Build : sig
+  type b
+
+  val create : unit -> b
+  val input : b -> string -> int
+  val const : b -> int -> int
+  val add : b -> int -> int -> int
+  val sub : b -> int -> int -> int
+  val mul : b -> int -> int -> int
+  val mul_const : b -> int -> int -> int
+  (** [mul_const b c x] multiplies node [x] by constant [c]. *)
+
+  val shl : b -> int -> int -> int
+  (** [shl b k x]. *)
+
+  val mux : b -> sel:int -> a0:int -> a1:int -> int
+  val cmp : b -> int -> int -> int
+  val finish : b -> outputs:int list -> t
+end
+
+(** {1 Analysis} *)
+
+val op_counts : t -> (string * int) list
+(** Operation histogram by mnemonic (inputs/consts excluded). *)
+
+val count : t -> (op -> bool) -> int
+
+val critical_path_ops : t -> int
+(** Longest path counting every computational op as one step — the
+    "critical path of length three" metric of Figs. 4 and 5. *)
+
+val depths : t -> int array
+
+val evaluate : t -> env:(string -> int) -> int array
+(** Reference interpreter over OCaml ints (no overflow wrapping): node
+    values under the given input environment, used to prove
+    transformations preserve behaviour. *)
+
+val inputs : t -> string list
+
+val transitive_fanin : t -> int -> bool array
+(** Set of node ids feeding (transitively) the given node, inclusive. *)
+
+(** {1 Ready-made behavioral examples} *)
+
+val poly2_direct : unit -> t
+(** Fig. 4 left: [a x^2 + b x + c] computed directly (2 adds, 2 muls). *)
+
+val poly2_horner : unit -> t
+(** Fig. 4 right: [(a x + b) x + c] (2 adds, 1 mul). *)
+
+val poly3_direct : unit -> t
+(** Fig. 5 left: [a x^3 + b x^2 + c x + d] directly (3 adds, 4 muls,
+    critical path 4). *)
+
+val poly3_horner : unit -> t
+(** Fig. 5 right: [((a x + b) x + c) x + d] (3 adds, 2 muls, critical
+    path 5 — the speed/operation-count tradeoff of the paper). *)
+
+val fir : coeffs:int list -> t
+(** Direct-form FIR over inputs [x0 .. x(n-1)] with constant
+    coefficients: [sum c_i * x_i] using general multiplications. *)
+
+val branchy : unit -> t
+(** A mux-heavy dataflow with mutually exclusive arms, the target of the
+    power-management scheduling experiment (E18). *)
+
+val diffeq : unit -> t
+(** The classic HLS differential-equation benchmark body. *)

@@ -1,0 +1,201 @@
+open Hlp_logic
+
+type category = Exec_units | Registers_clock | Control_logic | Interconnect
+
+let category_name = function
+  | Exec_units -> "Execution units"
+  | Registers_clock -> "Registers/clock"
+  | Control_logic -> "Control logic"
+  | Interconnect -> "Interconnect"
+
+type design = {
+  net : Netlist.t;
+  category_of : category option array;
+  taps : int array;
+  width : int;
+  sum_width : int;
+}
+
+let default_taps = [ 1; 2; 4; 8; 16; 31; 16; 8; 4; 2; 1 ]
+
+let clog2 n =
+  let rec go w = if 1 lsl w >= n then w else go (w + 1) in
+  go 1
+
+let build ?(taps = default_taps) ~width ~constant_mult () =
+  let module B = Netlist.Builder in
+  let b = B.create () in
+  let tags = ref [] in
+  let tagged cat f =
+    let start = B.count b in
+    let r = f () in
+    tags := (start, B.count b, cat) :: !tags;
+    r
+  in
+  let ntaps = List.length taps in
+  let coeff_width = clog2 (1 + List.fold_left max 1 taps) in
+  let sum_width = width + coeff_width + clog2 ntaps in
+  (* input sample *)
+  let x = B.inputs ~prefix:"x" b width in
+  (* tap delay line *)
+  let tap_words =
+    tagged Registers_clock (fun () ->
+        let rec chain prev i acc =
+          if i = ntaps then List.rev acc
+          else
+            let t = Generators.register_word b prev in
+            chain t (i + 1) (t :: acc)
+        in
+        chain x 0 [])
+  in
+  (* control: a free-running phase counter plus a one-hot decoder; the
+     constant-mult variant needs a longer schedule, hence a wider counter
+     and more decode terms (this is why Table I's control row grows) *)
+  let control_bits = if constant_mult then 4 else 3 in
+  let phase =
+    tagged Control_logic (fun () ->
+        let q = Array.make control_bits 0 in
+        let rec build_bit i carry =
+          if i = control_bits then ()
+          else begin
+            let _ =
+              B.dff_feedback b (fun qw ->
+                  q.(i) <- qw;
+                  B.xor_ b qw carry)
+            in
+            let c = B.and_ b [ q.(i); carry ] in
+            build_bit (i + 1) c
+          end
+        in
+        build_bit 0 (B.const_ b true);
+        let qn = Array.map (B.not_ b) q in
+        let decode v =
+          B.and_ b
+            (List.init control_bits (fun k ->
+                 if Hlp_util.Bits.bit v k then q.(k) else qn.(k)))
+        in
+        let lines = List.init (1 lsl control_bits) decode in
+        (* the OR of a full one-hot decode is logically constant 1, so the
+           steering muxes below stay transparent while the control fabric
+           switches every cycle *)
+        B.or_ b lines)
+  in
+  (* interconnect: steering from each tap toward its execution unit *)
+  let routed =
+    tagged Interconnect (fun () ->
+        List.map
+          (fun t ->
+            let buffered = Array.map (fun w -> B.buf b w) t in
+            if constant_mult then buffered
+            else
+              (* the general-multiplier datapath needs a coefficient-select
+                 mux layer on the operand bus *)
+              Array.map (fun w -> B.mux b ~sel:phase ~a0:w ~a1:w) buffered)
+          tap_words)
+  in
+  (* execution units *)
+  let products =
+    tagged Exec_units (fun () ->
+        List.map2
+          (fun c t ->
+            if constant_mult then begin
+              (* CSD shift-add at the narrowest sufficient width; c * x
+                 fits in width + coeff_width bits *)
+              let p = Generators.constant_multiplier b t c ~width:(width + coeff_width) in
+              Generators.zero_extend b p sum_width
+            end
+            else begin
+              (* a general-purpose multiplier is sized for arbitrary
+                 coefficients: full data width on both operands *)
+              let cword =
+                Generators.zero_extend b
+                  (Generators.constant_word b ~width:coeff_width c)
+                  width
+              in
+              let p = Generators.array_multiplier b t cword in
+              Generators.zero_extend b p sum_width
+            end)
+          taps routed)
+  in
+  (* accumulation chain with every stage sized to its value bound (a real
+     datapath does not carry a 20-bit adder where 14 bits suffice) *)
+  let xmax = (1 lsl width) - 1 in
+  let bounds = List.map (fun c -> c * xmax) taps in
+  let total =
+    tagged Exec_units (fun () ->
+        let acc =
+          List.fold_left2
+            (fun acc p bound ->
+              match acc with
+              | None -> Some (p, bound)
+              | Some (s, b_acc) ->
+                  let nb = b_acc + bound in
+                  let w = clog2 (nb + 1) in
+                  let s' , _ =
+                    Generators.ripple_adder b
+                      (Generators.zero_extend b s w)
+                      (Generators.zero_extend b p w)
+                  in
+                  Some (s', nb))
+            None products bounds
+        in
+        match acc with Some (s, _) -> s | None -> assert false)
+  in
+  let total = Generators.zero_extend b total sum_width in
+  (* output register *)
+  let y = tagged Registers_clock (fun () -> Generators.register_word b total) in
+  Array.iteri (fun i w -> B.output b (Printf.sprintf "y%d" i) w) y;
+  let net = B.finish b in
+  Netlist.validate net;
+  let category_of = Array.make (Netlist.num_nodes net) None in
+  List.iter
+    (fun (start, stop, cat) ->
+      for i = start to stop - 1 do
+        category_of.(i) <- Some cat
+      done)
+    !tags;
+  { net; category_of; taps = Array.of_list taps; width; sum_width }
+
+let mask design cat =
+  Array.map (fun c -> c = Some cat) design.category_of
+
+type row = { category : category; switched : float; share : float }
+
+type table = { rows : row list; total : float }
+
+let measure ?(cycles = 400) ?(seed = 11) design =
+  let sim = Hlp_sim.Funcsim.create design.net in
+  let rng = Hlp_util.Prng.create seed in
+  let width = Array.length design.net.Netlist.inputs in
+  let trace = Hlp_sim.Streams.gaussian_walk rng ~width ~sigma:40.0 ~n:cycles in
+  Hlp_sim.Funcsim.run sim (Hlp_sim.Streams.pack_fn ~widths:[ width ] [ trace ]) cycles;
+  let per_cycle v = v /. float_of_int cycles in
+  let categories = [ Exec_units; Registers_clock; Control_logic; Interconnect ] in
+  let switched =
+    List.map
+      (fun cat ->
+        (cat, per_cycle (Hlp_sim.Funcsim.switched_capacitance_of sim ~mask:(mask design cat))))
+      categories
+  in
+  let total = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 switched in
+  {
+    rows =
+      List.map
+        (fun (category, v) ->
+          { category; switched = v; share = (if total > 0.0 then v /. total else 0.0) })
+        switched;
+    total;
+  }
+
+(* Timing model matching the simulator: during cycle k (1-indexed) tap i of
+   the delay line holds sample x_(k-1-i) and the output register holds the
+   sum computed one cycle earlier, i.e. y_k = sum_i c_i * x_(k-2-i) with
+   out-of-range samples reading as zero, truncated to [sum_width] bits. *)
+let output_reference design trace =
+  let sample j = if j >= 1 && j <= Array.length trace then trace.(j - 1) else 0 in
+  let mask = Hlp_util.Bits.mask design.sum_width in
+  Array.init (Array.length trace) (fun k0 ->
+      let k = k0 + 1 in
+      let acc = ref 0 in
+      Array.iteri (fun i c -> acc := !acc + (c * sample (k - 2 - i))) design.taps;
+      !acc land mask)

@@ -1,0 +1,45 @@
+(** Gate-level FIR filter datapaths with capacitance accounting by component
+    category — the substrate of Table I.
+
+    The paper's Table I reports the switched capacitance of a Tap FIR filter
+    split into execution units / registers+clock / control logic /
+    interconnect, before and after converting the coefficient
+    multiplications into shift-add networks. We build both datapaths down to
+    gates, tag every node with its category, simulate them on the same input
+    stream, and read the four rows off the simulator. *)
+
+type category = Exec_units | Registers_clock | Control_logic | Interconnect
+
+val category_name : category -> string
+
+type design = {
+  net : Hlp_logic.Netlist.t;
+  category_of : category option array;  (** per node; [None] for inputs *)
+  taps : int array;  (** coefficients, in tap order *)
+  width : int;  (** input sample width *)
+  sum_width : int;  (** accumulator/output width *)
+}
+
+val build : ?taps:int list -> width:int -> constant_mult:bool -> unit -> design
+(** Direct-form FIR with the given coefficient taps (default: a symmetric
+    11-tap low-pass). [constant_mult:false] uses general array multipliers
+    fed by constant coefficient words through a coefficient-select mux layer
+    (the "before" column); [constant_mult:true] uses CSD shift-add networks
+    (the "after" column) and a slightly larger sequencing controller, as in
+    the paper where control capacitance grows after the transformation. *)
+
+val mask : design -> category -> bool array
+(** Node mask selecting a category, for
+    {!Hlp_sim.Funcsim.switched_capacitance_of}. *)
+
+type row = { category : category; switched : float; share : float }
+
+type table = { rows : row list; total : float }
+
+val measure : ?cycles:int -> ?seed:int -> design -> table
+(** Simulate under a random sample stream and split the switched
+    capacitance per cycle by category. *)
+
+val output_reference : design -> int array -> int array
+(** Bit-exact expected filter outputs for an input sample trace, for
+    functional verification of both datapaths. *)

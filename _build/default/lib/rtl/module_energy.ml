@@ -1,0 +1,61 @@
+type resource = Adder | Multiplier | Subtractor | Shifter | Comparator | MuxUnit | Register
+
+let resource_of_op = function
+  | Cdfg.Input _ | Cdfg.Const _ -> None
+  | Cdfg.Add -> Some Adder
+  | Cdfg.Sub -> Some Subtractor
+  | Cdfg.Mul -> Some Multiplier
+  | Cdfg.MulConst _ -> Some Multiplier
+  | Cdfg.Shl _ -> Some Shifter
+  | Cdfg.Mux -> Some MuxUnit
+  | Cdfg.Cmp -> Some Comparator
+
+(* Per-bit switched-capacitance coefficients calibrated against the gate
+   library generators (see test_rtl: an 8-bit ripple adder's simulated
+   switched capacitance per random operation is within 2x of this model). *)
+let switched_capacitance res ~width ~activity =
+  let w = float_of_int width in
+  let base =
+    match res with
+    | Adder | Subtractor -> 14.0 *. w
+    | Multiplier -> 11.0 *. w *. w
+    | Shifter -> 3.0 *. w
+    | Comparator -> 7.0 *. w
+    | MuxUnit -> 4.0 *. w
+    | Register -> 6.0 *. w
+  in
+  base *. (activity /. 0.5)
+
+let energy res ~width ~vdd ~activity =
+  0.5 *. switched_capacitance res ~width ~activity *. vdd *. vdd
+
+let vdd_reference = 5.0
+let v_threshold = 0.8
+let alpha = 1.3
+
+let base_delay res ~width =
+  let w = float_of_int width in
+  match res with
+  | Adder | Subtractor -> 2.0 *. w
+  | Multiplier -> 3.5 *. w
+  | Shifter -> 1.0
+  | Comparator -> 1.8 *. w
+  | MuxUnit -> 2.0
+  | Register -> 2.0
+
+let voltage_factor vdd =
+  let ref_f = vdd_reference /. ((vdd_reference -. v_threshold) ** alpha) in
+  let f = vdd /. ((vdd -. v_threshold) ** alpha) in
+  f /. ref_f
+
+let delay res ~width ~vdd =
+  assert (vdd > v_threshold);
+  base_delay res ~width *. voltage_factor vdd
+
+let latency_cycles = function
+  | Adder | Subtractor | Comparator -> 1
+  | Multiplier -> 2
+  | Shifter | MuxUnit | Register -> 1
+
+let level_shifter_energy ~width = 2.0 *. float_of_int width
+let level_shifter_delay = 1.5

@@ -1,0 +1,42 @@
+(** RT-level module characterization: energy and delay per operation as a
+    function of bit width, supply voltage, and operand activity.
+
+    This is the precharacterized high-level design library the paper's
+    macro-modeling flow assumes (Section II-C): high-level synthesis
+    (scheduling, allocation, voltage assignment) prices candidate designs
+    with these numbers rather than with a gate-level netlist. The values are
+    derived from the gate library of {!Hlp_logic.Gate}: an n-bit ripple
+    adder's capacitance grows linearly in n, an n x n array multiplier's
+    quadratically, etc. Energies are in capacitance-units x V^2 (arbitrary
+    but consistent); delays in normalized gate delays. *)
+
+type resource = Adder | Multiplier | Subtractor | Shifter | Comparator | MuxUnit | Register
+
+val resource_of_op : Cdfg.op -> resource option
+(** Functional unit class implementing a CDFG op ([None] for inputs and
+    constants; constant multiplies map to [Shifter] after strength
+    reduction, [Multiplier] before). *)
+
+val switched_capacitance : resource -> width:int -> activity:float -> float
+(** Average capacitance switched per operation, scaled by the mean operand
+    switching activity (activity 0.5 = white noise). *)
+
+val energy : resource -> width:int -> vdd:float -> activity:float -> float
+(** [0.5 * C_sw * Vdd^2]. *)
+
+val delay : resource -> width:int -> vdd:float -> float
+(** Propagation delay with the alpha-power supply-voltage model
+    [d(V) = d0 * V / (V - Vt)^alpha], [Vt = 0.8], [alpha = 1.3]: lowering
+    the supply saves quadratically on energy and costs delay — the engine
+    of multiple-voltage scheduling (Section III-F). *)
+
+val latency_cycles : resource -> int
+(** Control steps a unit occupies at the reference voltage (adder 1,
+    multiplier 2, ...). *)
+
+val vdd_reference : float
+(** Nominal supply (5.0 V, the paper's era). *)
+
+val level_shifter_energy : width:int -> float
+val level_shifter_delay : float
+(** Cost of crossing voltage islands (Section III-F). *)

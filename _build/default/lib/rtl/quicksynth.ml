@@ -1,0 +1,104 @@
+open Hlp_logic
+
+let netlist ?(width = 8) (g : Cdfg.t) =
+  let module B = Netlist.Builder in
+  let b = B.create () in
+  let n = Array.length g.Cdfg.nodes in
+  let words : Netlist.wire array array = Array.make n [||] in
+  Array.iteri
+    (fun i (node : Cdfg.node) ->
+      let arg k = words.(List.nth node.Cdfg.args k) in
+      let word =
+        match node.Cdfg.op with
+        | Cdfg.Input name ->
+            let raw = B.inputs ~prefix:(name ^ "_") b width in
+            Generators.register_word b raw
+        | Cdfg.Const c -> Generators.constant_word b ~width c
+        | Cdfg.Add -> fst (Generators.ripple_adder b (arg 0) (arg 1))
+        | Cdfg.Sub -> fst (Generators.subtractor b (arg 0) (arg 1))
+        | Cdfg.Mul ->
+            Array.sub (Generators.array_multiplier b (arg 0) (arg 1)) 0 width
+        | Cdfg.MulConst c ->
+            Generators.constant_multiplier b (arg 0) (c land Hlp_util.Bits.mask width) ~width
+        | Cdfg.Shl k -> Generators.shift_left_const b (arg 0) k ~width
+        | Cdfg.Cmp ->
+            let lt = Generators.less_than b (arg 0) (arg 1) in
+            Generators.zero_extend b [| lt |] width
+        | Cdfg.Mux ->
+            let sel = B.or_ b (Array.to_list (arg 0)) in
+            Generators.mux_word b ~sel ~a0:(arg 1) ~a1:(arg 2)
+      in
+      words.(i) <- word)
+    g.Cdfg.nodes;
+  List.iteri
+    (fun k o ->
+      let registered = Generators.register_word b words.(o) in
+      Array.iteri
+        (fun bit w -> B.output b (Printf.sprintf "out%d_%d" k bit) w)
+        registered)
+    g.Cdfg.outputs;
+  let net = B.finish b in
+  Netlist.validate net;
+  net
+
+let simulate_capacitance ?(width = 8) ?(cycles = 1000) ?(seed = 19) g =
+  let net = netlist ~width g in
+  let sim = Hlp_sim.Funcsim.create net in
+  let rng = Hlp_util.Prng.create seed in
+  let nin = Array.length net.Netlist.inputs in
+  Hlp_sim.Funcsim.run sim (fun _ -> Array.init nin (fun _ -> Hlp_util.Prng.bool rng)) cycles;
+  Hlp_sim.Funcsim.switched_capacitance sim /. float_of_int cycles
+
+let functional_check ?(width = 8) ?(samples = 60) ?(seed = 23) g =
+  let net = netlist ~width g in
+  let sim = Hlp_sim.Funcsim.create net in
+  let rng = Hlp_util.Prng.create seed in
+  let input_names = Cdfg.inputs g in
+  let mask = Hlp_util.Bits.mask width in
+  let ok = ref true in
+  (* the inputs register at the boundary adds one cycle of latency, so we
+     feed each environment twice and read after the second step *)
+  let read_output k =
+    let v = ref 0 in
+    Array.iter
+      (fun (name, w) ->
+        let prefix = Printf.sprintf "out%d_" k in
+        let pl = String.length prefix in
+        if String.length name > pl && String.sub name 0 pl = prefix then begin
+          let bit = int_of_string (String.sub name pl (String.length name - pl)) in
+          if Hlp_sim.Funcsim.value sim w then v := !v lor (1 lsl bit)
+        end)
+      net.Netlist.outputs;
+    !v
+  in
+  for _ = 1 to samples do
+    (* small nonnegative operands keep signed and unsigned semantics equal *)
+    let env_tbl = Hashtbl.create 8 in
+    List.iter
+      (fun name -> Hashtbl.replace env_tbl name (Hlp_util.Prng.int rng (1 lsl (width - 2))))
+      input_names;
+    let nin = Array.length net.Netlist.inputs in
+    let bitvec = Array.make nin false in
+    Array.iteri
+      (fun idx name ->
+        (* names look like "<input>_<bit>" *)
+        match String.rindex_opt name '_' with
+        | None -> ()
+        | Some cut ->
+            let base = String.sub name 0 cut in
+            let bit = int_of_string (String.sub name (cut + 1) (String.length name - cut - 1)) in
+            let v = Option.value ~default:0 (Hashtbl.find_opt env_tbl base) in
+            bitvec.(idx) <- Hlp_util.Bits.bit v bit)
+      net.Netlist.input_names;
+    (* two steps: input register, then output register capture *)
+    Hlp_sim.Funcsim.step sim bitvec;
+    Hlp_sim.Funcsim.step sim bitvec;
+    Hlp_sim.Funcsim.step sim bitvec;
+    let values = Cdfg.evaluate g ~env:(fun name -> Hashtbl.find env_tbl name) in
+    List.iteri
+      (fun k o ->
+        let expect = values.(o) land mask in
+        if read_output k <> expect then ok := false)
+      g.Cdfg.outputs
+  done;
+  !ok

@@ -1,0 +1,31 @@
+(** Quick synthesis for behavioral-level estimation (Section II-B3).
+
+    "One approach for behavioral-level power prediction is to assume some
+    RT-level template and produce estimates based on that assumption" — the
+    template here is the simplest defensible one: a fully parallel datapath
+    (one functional unit per operation, registered inputs and outputs, mux
+    trees for CDFG multiplexors). The synthesized netlist is then fed to
+    any of the RT/gate-level estimators, which is exactly the paper's flow:
+    quick synthesis first, Section II-C techniques after. *)
+
+val netlist : ?width:int -> Cdfg.t -> Hlp_logic.Netlist.t
+(** Map every CDFG operation to a datapath block from
+    {!Hlp_logic.Generators} at the given word width (default 8):
+    [Add]/[Sub] ripple units, [Mul] an array multiplier truncated to the
+    width, [MulConst] a CSD shift-add network, [Shl] wiring, [Cmp] an
+    unsigned comparator, [Mux] a word multiplexor steered by the OR of the
+    select word. Inputs are named after the CDFG inputs
+    ([<name>_0..<name>_w-1]); output [k] is registered and exposed as
+    [out<k>_*]. Arithmetic is two's-complement modulo [2^width], matching
+    {!Cdfg.evaluate} for in-range values (comparisons are unsigned). *)
+
+val simulate_capacitance :
+  ?width:int -> ?cycles:int -> ?seed:int -> Cdfg.t -> float
+(** Quick-synthesize and simulate under uniform random inputs: the
+    switched capacitance per evaluation that a behavioral estimator would
+    report for this CDFG, with no hand-built netlist. *)
+
+val functional_check : ?width:int -> ?samples:int -> ?seed:int -> Cdfg.t -> bool
+(** Random cross-validation of the synthesized netlist against the CDFG
+    interpreter (inputs drawn small enough to avoid the signed/unsigned
+    comparison divergence). *)

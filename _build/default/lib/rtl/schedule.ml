@@ -1,0 +1,267 @@
+type t = {
+  steps : int array;
+  latency : int;
+}
+
+let op_latency op =
+  match Module_energy.resource_of_op op with
+  | None -> 0
+  | Some r -> Module_energy.latency_cycles r
+
+let users (g : Cdfg.t) =
+  let u = Array.make (Array.length g.Cdfg.nodes) [] in
+  Array.iter
+    (fun (n : Cdfg.node) -> List.iter (fun a -> u.(a) <- n.Cdfg.id :: u.(a)) n.Cdfg.args)
+    g.Cdfg.nodes;
+  u
+
+let asap (g : Cdfg.t) =
+  let steps = Array.make (Array.length g.Cdfg.nodes) 0 in
+  let finish = Array.make (Array.length g.Cdfg.nodes) 0 in
+  Array.iter
+    (fun (n : Cdfg.node) ->
+      let ready = List.fold_left (fun acc a -> max acc finish.(a)) 0 n.Cdfg.args in
+      steps.(n.Cdfg.id) <- ready;
+      finish.(n.Cdfg.id) <- ready + op_latency n.Cdfg.op)
+    g.Cdfg.nodes;
+  let latency = Array.fold_left max 0 finish in
+  { steps; latency }
+
+let alap (g : Cdfg.t) ~latency =
+  let min_latency = (asap g).latency in
+  if latency < min_latency then
+    invalid_arg
+      (Printf.sprintf "Schedule.alap: latency %d below minimum %d" latency min_latency);
+  let n = Array.length g.Cdfg.nodes in
+  let u = users g in
+  let steps = Array.make n 0 in
+  for i = n - 1 downto 0 do
+    let node = g.Cdfg.nodes.(i) in
+    let lat = op_latency node.Cdfg.op in
+    let deadline =
+      List.fold_left (fun acc user -> min acc steps.(user)) latency u.(i)
+    in
+    steps.(i) <- deadline - lat
+  done;
+  { steps; latency }
+
+let list_schedule (g : Cdfg.t) ~resources =
+  let n = Array.length g.Cdfg.nodes in
+  let urgency = (alap g ~latency:(asap g).latency).steps in
+  let cap r = List.assoc_opt r resources in
+  let steps = Array.make n (-1) in
+  let finish = Array.make n 0 in
+  let scheduled = Array.make n false in
+  (* inputs/constants are implicitly done *)
+  Array.iter
+    (fun (node : Cdfg.node) ->
+      if op_latency node.Cdfg.op = 0 && node.Cdfg.args = [] then begin
+        steps.(node.Cdfg.id) <- 0;
+        scheduled.(node.Cdfg.id) <- true
+      end)
+    g.Cdfg.nodes;
+  let busy_until : (Module_energy.resource, int array) Hashtbl.t = Hashtbl.create 8 in
+  let unit_pool r =
+    match Hashtbl.find_opt busy_until r with
+    | Some a -> Some a
+    | None -> (
+        match cap r with
+        | None -> None  (* unconstrained *)
+        | Some k ->
+            let a = Array.make k 0 in
+            Hashtbl.add busy_until r a;
+            Some a)
+  in
+  let remaining = ref (Array.fold_left (fun acc s -> if s then acc else acc + 1) 0 scheduled) in
+  ignore remaining;
+  let todo = ref (List.filter (fun i -> not scheduled.(i)) (List.init n (fun i -> i))) in
+  let step = ref 0 in
+  while !todo <> [] do
+    (* ready ops whose args have all finished by this step *)
+    let ready =
+      List.filter
+        (fun i ->
+          List.for_all
+            (fun a -> scheduled.(a) && finish.(a) <= !step)
+            g.Cdfg.nodes.(i).Cdfg.args)
+        !todo
+    in
+    let ready = List.sort (fun a b -> compare urgency.(a) urgency.(b)) ready in
+    List.iter
+      (fun i ->
+        let node = g.Cdfg.nodes.(i) in
+        let lat = op_latency node.Cdfg.op in
+        let can =
+          match Module_energy.resource_of_op node.Cdfg.op with
+          | None -> true
+          | Some r -> (
+              match unit_pool r with
+              | None -> true
+              | Some pool ->
+                  (* find a unit free at this step *)
+                  let rec find k =
+                    if k = Array.length pool then None
+                    else if pool.(k) <= !step then Some k
+                    else find (k + 1)
+                  in
+                  (match find 0 with
+                  | None -> false
+                  | Some k ->
+                      pool.(k) <- !step + lat;
+                      true))
+        in
+        if can then begin
+          steps.(i) <- !step;
+          finish.(i) <- !step + lat;
+          scheduled.(i) <- true
+        end)
+      ready;
+    todo := List.filter (fun i -> not scheduled.(i)) !todo;
+    incr step;
+    if !step > 10_000 then failwith "Schedule.list_schedule: no progress"
+  done;
+  { steps; latency = Array.fold_left max 0 finish }
+
+let resource_usage (g : Cdfg.t) sched =
+  let tally = Hashtbl.create 8 in
+  for step = 0 to sched.latency - 1 do
+    let busy = Hashtbl.create 8 in
+    Array.iter
+      (fun (node : Cdfg.node) ->
+        match Module_energy.resource_of_op node.Cdfg.op with
+        | None -> ()
+        | Some r ->
+            let s = sched.steps.(node.Cdfg.id) in
+            let lat = op_latency node.Cdfg.op in
+            if step >= s && step < s + lat then
+              Hashtbl.replace busy r (1 + Option.value ~default:0 (Hashtbl.find_opt busy r)))
+      g.Cdfg.nodes;
+    Hashtbl.iter
+      (fun r c ->
+        let cur = Option.value ~default:0 (Hashtbl.find_opt tally r) in
+        Hashtbl.replace tally r (max cur c))
+      busy
+  done;
+  Hashtbl.fold (fun r c acc -> (r, c) :: acc) tally []
+  |> List.sort compare
+
+let verify (g : Cdfg.t) sched =
+  Array.iter
+    (fun (node : Cdfg.node) ->
+      let s = sched.steps.(node.Cdfg.id) in
+      if s < 0 then failwith "Schedule.verify: unscheduled node";
+      List.iter
+        (fun a ->
+          let af = sched.steps.(a) + op_latency g.Cdfg.nodes.(a).Cdfg.op in
+          if af > s then failwith "Schedule.verify: dependency violated")
+        node.Cdfg.args;
+      if s + op_latency node.Cdfg.op > sched.latency then
+        failwith "Schedule.verify: exceeds latency")
+    g.Cdfg.nodes
+
+(* --- power-management scheduling --- *)
+
+type pm = {
+  schedule : t;
+  manageable : int list;
+  guarded : (int * int list) list;
+  arm0 : (int * int list) list;
+  arm1 : (int * int list) list;
+}
+
+let cone_sets (g : Cdfg.t) mux =
+  match g.Cdfg.nodes.(mux).Cdfg.op, g.Cdfg.nodes.(mux).Cdfg.args with
+  | Cdfg.Mux, [ sel; a0; a1 ] ->
+      let nc = Cdfg.transitive_fanin g sel in
+      let f0 = Cdfg.transitive_fanin g a0 in
+      let f1 = Cdfg.transitive_fanin g a1 in
+      let n = Array.length g.Cdfg.nodes in
+      let collect pred = List.filter pred (List.init n (fun i -> i)) in
+      let computational i =
+        match g.Cdfg.nodes.(i).Cdfg.op with
+        | Cdfg.Input _ | Cdfg.Const _ -> false
+        | _ -> true
+      in
+      (* nodes in exactly one data cone and not needed by the control *)
+      let n0 = collect (fun i -> computational i && f0.(i) && not f1.(i) && not nc.(i)) in
+      let n1 = collect (fun i -> computational i && f1.(i) && not f0.(i) && not nc.(i)) in
+      let ncl = collect (fun i -> computational i && nc.(i)) in
+      Some (ncl, n0, n1)
+  | _ -> None
+
+let power_managed (g : Cdfg.t) ~latency =
+  let a = asap g in
+  let l = alap g ~latency in
+  let muxes =
+    Array.to_list g.Cdfg.nodes
+    |> List.filter_map (fun (n : Cdfg.node) ->
+           match n.Cdfg.op with Cdfg.Mux -> Some n.Cdfg.id | _ -> None)
+    |> List.rev  (* bottom-most first, as the paper prescribes *)
+  in
+  let manageable = ref [] and arm0 = ref [] and arm1 = ref [] and guarded = ref [] in
+  List.iter
+    (fun mux ->
+      match cone_sets g mux with
+      | None -> ()
+      | Some (nc, n0, n1) ->
+          if n0 <> [] || n1 <> [] then begin
+            (* control must be able to finish before any exclusive data op
+               needs to start *)
+            let control_done =
+              List.fold_left
+                (fun acc i -> max acc (a.steps.(i) + op_latency g.Cdfg.nodes.(i).Cdfg.op))
+                0 nc
+            in
+            let data_deadline =
+              List.fold_left (fun acc i -> min acc l.steps.(i)) max_int (n0 @ n1)
+            in
+            if control_done <= data_deadline then begin
+              manageable := mux :: !manageable;
+              arm0 := (mux, n0) :: !arm0;
+              arm1 := (mux, n1) :: !arm1;
+              guarded := (mux, n0 @ n1) :: !guarded
+            end
+          end)
+    muxes;
+  { schedule = l; manageable = List.rev !manageable;
+    guarded = List.rev !guarded; arm0 = List.rev !arm0; arm1 = List.rev !arm1 }
+
+let node_energy ?(width = 16) ?(vdd = Module_energy.vdd_reference) ?(activity = 0.5)
+    (node : Cdfg.node) =
+  match Module_energy.resource_of_op node.Cdfg.op with
+  | None -> 0.0
+  | Some r -> Module_energy.energy r ~width ~vdd ~activity
+
+let energy ?width ?vdd ?activity (g : Cdfg.t) =
+  Array.fold_left
+    (fun acc node -> acc +. node_energy ?width ?vdd ?activity node)
+    0.0 g.Cdfg.nodes
+
+let pm_energy ?width ?vdd ?activity (g : Cdfg.t) pm ~sel_prob =
+  let total = energy ?width ?vdd ?activity g in
+  (* subtract the expected energy of the disabled arms; a node guarded by
+     several muxes is only credited once (first mux claiming it wins) *)
+  let claimed = Array.make (Array.length g.Cdfg.nodes) false in
+  let credit = ref 0.0 in
+  List.iter
+    (fun mux ->
+      let p1 = sel_prob mux in
+      let n0 = List.assoc mux pm.arm0 and n1 = List.assoc mux pm.arm1 in
+      List.iter
+        (fun i ->
+          if not claimed.(i) then begin
+            claimed.(i) <- true;
+            (* arm0 ops are idle when the mux selects arm 1 *)
+            credit := !credit +. (p1 *. node_energy ?width ?vdd ?activity g.Cdfg.nodes.(i))
+          end)
+        n0;
+      List.iter
+        (fun i ->
+          if not claimed.(i) then begin
+            claimed.(i) <- true;
+            credit :=
+              !credit +. ((1.0 -. p1) *. node_energy ?width ?vdd ?activity g.Cdfg.nodes.(i))
+          end)
+        n1)
+    pm.manageable;
+  total -. !credit

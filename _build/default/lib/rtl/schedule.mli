@@ -1,0 +1,67 @@
+(** Operation scheduling (Section III-D).
+
+    Control steps are integers from 0; an operation scheduled at step [s]
+    with latency [l] occupies steps [s .. s+l-1] and its results become
+    available at [s+l]. Inputs and constants are available at step 0. *)
+
+type t = {
+  steps : int array;  (** per node: start step (0 for inputs/constants) *)
+  latency : int;  (** number of control steps used by the whole graph *)
+}
+
+val op_latency : Cdfg.op -> int
+(** Latency in control steps (from {!Module_energy.latency_cycles}). *)
+
+val asap : Cdfg.t -> t
+(** As-soon-as-possible schedule; its latency is the minimum feasible. *)
+
+val alap : Cdfg.t -> latency:int -> t
+(** As-late-as-possible schedule meeting the given latency. Raises
+    [Invalid_argument] if the latency is below the ASAP minimum. *)
+
+val list_schedule :
+  Cdfg.t -> resources:(Module_energy.resource * int) list -> t
+(** Resource-constrained list scheduling with ALAP-urgency priority.
+    Unlisted resource classes are unconstrained. *)
+
+val resource_usage : Cdfg.t -> t -> (Module_energy.resource * int) list
+(** Peak number of simultaneously busy units per class — the hardware cost
+    of a schedule (the "two adders and one multiplier" of Fig. 4). *)
+
+val verify : Cdfg.t -> t -> unit
+(** Checks data dependencies are respected; raises [Failure]. *)
+
+(** {1 Power-management scheduling (Monteiro et al. [63])} *)
+
+type pm = {
+  schedule : t;
+  manageable : int list;  (** mux node ids that admit shutdown *)
+  guarded : (int * int list) list;
+  (** for each manageable mux: the node ids in its exclusive false-arm and
+      true-arm cones ([N0] and [N1] with the shared part removed),
+      concatenated — the operations that can be disabled on one side *)
+  arm0 : (int * int list) list;  (** mux -> exclusive false-arm cone *)
+  arm1 : (int * int list) list;  (** mux -> exclusive true-arm cone *)
+}
+
+val power_managed : Cdfg.t -> latency:int -> pm
+(** Identifies the muxes whose control cone [N_C] can be scheduled (ALAP)
+    entirely before both data cones [N_0], [N_1] (ASAP) within the latency
+    bound; those muxes can disable the non-selected arm. *)
+
+val energy :
+  ?width:int -> ?vdd:float -> ?activity:float -> Cdfg.t -> float
+(** Total energy of one evaluation with every operation executed (no power
+    management), using the module library. *)
+
+val pm_energy :
+  ?width:int ->
+  ?vdd:float ->
+  ?activity:float ->
+  Cdfg.t ->
+  pm ->
+  sel_prob:(int -> float) ->
+  float
+(** Expected energy when manageable muxes shut down their non-selected arm;
+    [sel_prob mux] is the probability the mux selects arm 1 (from
+    profiling). *)

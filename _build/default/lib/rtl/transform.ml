@@ -1,0 +1,112 @@
+(* Rebuild helper: map over nodes producing possibly-multiple replacement
+   nodes, tracked through an id substitution. *)
+
+let rebuild (g : Cdfg.t) ~expand =
+  let b = Cdfg.Build.create () in
+  let subst = Array.make (Array.length g.Cdfg.nodes) (-1) in
+  Array.iter
+    (fun (node : Cdfg.node) ->
+      let args = List.map (fun a -> subst.(a)) node.Cdfg.args in
+      subst.(node.Cdfg.id) <- expand b node args)
+    g.Cdfg.nodes;
+  Cdfg.Build.finish b ~outputs:(List.map (fun o -> subst.(o)) g.Cdfg.outputs)
+
+let default_expand b (node : Cdfg.node) args =
+  let module B = Cdfg.Build in
+  match node.Cdfg.op, args with
+  | Cdfg.Input s, [] -> B.input b s
+  | Cdfg.Const c, [] -> B.const b c
+  | Cdfg.Add, [ x; y ] -> B.add b x y
+  | Cdfg.Sub, [ x; y ] -> B.sub b x y
+  | Cdfg.Mul, [ x; y ] -> B.mul b x y
+  | Cdfg.MulConst c, [ x ] -> B.mul_const b c x
+  | Cdfg.Shl k, [ x ] -> B.shl b k x
+  | Cdfg.Mux, [ sel; a0; a1 ] -> B.mux b ~sel ~a0 ~a1
+  | Cdfg.Cmp, [ x; y ] -> B.cmp b x y
+  | _ -> failwith "Transform: arity mismatch"
+
+let recognize_const_mults (g : Cdfg.t) =
+  rebuild g ~expand:(fun b node args ->
+      match node.Cdfg.op, args with
+      | Cdfg.Mul, [ x; y ] -> (
+          let const_of a =
+            match g.Cdfg.nodes.(a).Cdfg.op with Cdfg.Const c -> Some c | _ -> None
+          in
+          let xa = List.nth node.Cdfg.args 0 and ya = List.nth node.Cdfg.args 1 in
+          match const_of xa, const_of ya with
+          | Some c, _ -> Cdfg.Build.mul_const b c y
+          | _, Some c -> Cdfg.Build.mul_const b c x
+          | None, None -> Cdfg.Build.mul b x y)
+      | _ -> default_expand b node args)
+
+let strength_reduce (g : Cdfg.t) =
+  rebuild g ~expand:(fun b node args ->
+      match node.Cdfg.op, args with
+      | Cdfg.MulConst c, [ x ] ->
+          if c = 0 then Cdfg.Build.const b 0
+          else begin
+            let digits = Hlp_logic.Generators.csd_digits c in
+            let acc = ref None in
+            List.iteri
+              (fun k d ->
+                if d <> 0 then begin
+                  let term = if k = 0 then x else Cdfg.Build.shl b k x in
+                  acc :=
+                    Some
+                      (match !acc with
+                      | None ->
+                          if d = 1 then term
+                          else Cdfg.Build.sub b (Cdfg.Build.const b 0) term
+                      | Some so_far ->
+                          if d = 1 then Cdfg.Build.add b so_far term
+                          else Cdfg.Build.sub b so_far term)
+                end)
+              digits;
+            match !acc with Some v -> v | None -> Cdfg.Build.const b 0
+          end
+      | _ -> default_expand b node args)
+
+let eliminate_dead (g : Cdfg.t) =
+  let n = Array.length g.Cdfg.nodes in
+  let live = Array.make n false in
+  let rec mark i =
+    if not live.(i) then begin
+      live.(i) <- true;
+      List.iter mark g.Cdfg.nodes.(i).Cdfg.args
+    end
+  in
+  List.iter mark g.Cdfg.outputs;
+  let b = Cdfg.Build.create () in
+  let subst = Array.make n (-1) in
+  Array.iter
+    (fun (node : Cdfg.node) ->
+      if live.(node.Cdfg.id) then begin
+        let args = List.map (fun a -> subst.(a)) node.Cdfg.args in
+        subst.(node.Cdfg.id) <- default_expand b node args
+      end)
+    g.Cdfg.nodes;
+  Cdfg.Build.finish b ~outputs:(List.map (fun o -> subst.(o)) g.Cdfg.outputs)
+
+let equivalent ?(samples = 100) ?(seed = 9) g1 g2 =
+  let ins1 = List.sort_uniq compare (Cdfg.inputs g1) in
+  let ins2 = List.sort_uniq compare (Cdfg.inputs g2) in
+  ins1 = ins2
+  &&
+  let rng = Hlp_util.Prng.create seed in
+  let ok = ref true in
+  for _ = 1 to samples do
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun name -> Hashtbl.replace tbl name (Hlp_util.Prng.int rng 10_000 - 5_000))
+      ins1;
+    let env name = Hashtbl.find tbl name in
+    let v1 = Cdfg.evaluate g1 ~env and v2 = Cdfg.evaluate g2 ~env in
+    let o1 = List.map (fun o -> v1.(o)) g1.Cdfg.outputs in
+    let o2 = List.map (fun o -> v2.(o)) g2.Cdfg.outputs in
+    if o1 <> o2 then ok := false
+  done;
+  !ok
+
+let mul_count g = Cdfg.count g (function Cdfg.Mul | Cdfg.MulConst _ -> true | _ -> false)
+
+let add_sub_count g = Cdfg.count g (function Cdfg.Add | Cdfg.Sub -> true | _ -> false)

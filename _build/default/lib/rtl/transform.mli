@@ -1,0 +1,31 @@
+(** Behavioral transformations (Section III-C).
+
+    These rewrites change the computational structure of a CDFG while
+    preserving its input/output behaviour: constant-multiplication
+    strength reduction (the Table I transformation), recognition of
+    multiplications by constants, and dead-node elimination. Polynomial
+    restructuring examples (Figs. 4/5) live in {!Cdfg} as paired
+    constructors. *)
+
+val recognize_const_mults : Cdfg.t -> Cdfg.t
+(** Replace [Mul(Const c, x)] / [Mul(x, Const c)] by [MulConst c] nodes. *)
+
+val strength_reduce : Cdfg.t -> Cdfg.t
+(** Expand every [MulConst c] into a canonical-signed-digit shift-and-
+    add/subtract network, eliminating general multiplications by constants
+    entirely — more adders, no multipliers. *)
+
+val eliminate_dead : Cdfg.t -> Cdfg.t
+(** Drop nodes not reachable from the outputs (keeping ids dense and
+    topological). *)
+
+val equivalent : ?samples:int -> ?seed:int -> Cdfg.t -> Cdfg.t -> bool
+(** Randomized behavioural equivalence check: both graphs must name the
+    same inputs and produce identical output vectors on random
+    environments. *)
+
+val mul_count : Cdfg.t -> int
+(** General multiplications (the expensive ops strength reduction
+    removes). *)
+
+val add_sub_count : Cdfg.t -> int

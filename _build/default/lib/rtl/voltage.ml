@@ -1,0 +1,264 @@
+type point = {
+  delay : float;
+  energy : float;
+  vdd : float;
+}
+
+type assignment = {
+  vdd_of : float array;
+  total_energy : float;
+  total_delay : float;
+  num_shifters : int;
+}
+
+let voltages = [ 5.0; 3.3; 2.4 ]
+
+let node_cost ?(width = 16) op vdd =
+  match Module_energy.resource_of_op op with
+  | None -> (0.0, 0.0)
+  | Some r ->
+      ( Module_energy.delay r ~width ~vdd,
+        Module_energy.energy r ~width ~vdd ~activity:0.5 )
+
+(* Pareto prune: keep points not dominated in (delay, energy). *)
+let prune points =
+  let sorted =
+    List.sort
+      (fun a b ->
+        match compare a.delay b.delay with 0 -> compare a.energy b.energy | c -> c)
+      points
+  in
+  let rec keep best_energy = function
+    | [] -> []
+    | p :: rest ->
+        if p.energy < best_energy -. 1e-12 then p :: keep p.energy rest
+        else keep best_energy rest
+  in
+  keep infinity sorted
+
+(* Per-node tradeoff tables. For every node we keep, per candidate voltage,
+   the best (delay, energy) of the cone rooted there. On DAGs shared nodes
+   are priced once per parent (a conservative over-count the paper's
+   tree-oriented DP also incurs); verify() recomputes exactly. *)
+let tables ?(width = 16) (g : Cdfg.t) =
+  let n = Array.length g.Cdfg.nodes in
+  let tabs : (float * point list) list array = Array.make n [] in
+  (* tabs.(i): for each vdd of node i, pareto list of (arrival, cone energy,
+     choice table handled by reconstruction) *)
+  Array.iter
+    (fun (node : Cdfg.node) ->
+      let i = node.Cdfg.id in
+      match Module_energy.resource_of_op node.Cdfg.op with
+      | None -> tabs.(i) <- [ (Module_energy.vdd_reference, [ { delay = 0.0; energy = 0.0; vdd = Module_energy.vdd_reference } ]) ]
+      | Some _ ->
+          let options =
+            List.map
+              (fun vdd ->
+                let d_op, e_op = node_cost ~width node.Cdfg.op vdd in
+                (* combine argument curves: for each arg pick a pareto point;
+                   to keep this polynomial we combine greedily per arg and
+                   re-prune (exact for trees) *)
+                let combos =
+                  List.fold_left
+                    (fun acc a ->
+                      let arg_tab = tabs.(a) in
+                      let arg_points =
+                        List.concat_map
+                          (fun (arg_vdd, pts) ->
+                            List.map
+                              (fun p ->
+                                (* level shifter when the producer voltage
+                                   differs from the consumer voltage *)
+                                let shift =
+                                  arg_vdd <> vdd
+                                  && (match g.Cdfg.nodes.(a).Cdfg.op with
+                                     | Cdfg.Input _ | Cdfg.Const _ -> false
+                                     | _ -> true)
+                                in
+                                let sd = if shift then Module_energy.level_shifter_delay else 0.0 in
+                                let se = if shift then Module_energy.level_shifter_energy ~width:16 else 0.0 in
+                                { delay = p.delay +. sd; energy = p.energy +. se; vdd = arg_vdd })
+                              pts)
+                          arg_tab
+                        |> prune
+                      in
+                      List.concat_map
+                        (fun (d_acc, e_acc) ->
+                          List.map
+                            (fun p -> (max d_acc p.delay, e_acc +. p.energy))
+                            arg_points)
+                        acc
+                      |> List.map (fun (d, e) -> (d, e))
+                      |> List.sort_uniq compare)
+                    [ (0.0, 0.0) ]
+                    node.Cdfg.args
+                in
+                let pts =
+                  List.map
+                    (fun (d, e) -> { delay = d +. d_op; energy = e +. e_op; vdd })
+                    combos
+                  |> prune
+                in
+                (vdd, pts))
+              voltages
+          in
+          tabs.(i) <- options)
+    g.Cdfg.nodes;
+  tabs
+
+let curve ?width (g : Cdfg.t) root =
+  let tabs = tables ?width g in
+  List.concat_map (fun (_, pts) -> pts) tabs.(root) |> prune
+
+(* Reconstruct a concrete assignment greedily: choose each node's voltage
+   top-down so that its cone still meets its local deadline at minimal
+   energy. *)
+let schedule ?(width = 16) (g : Cdfg.t) ~deadline =
+  let n = Array.length g.Cdfg.nodes in
+  (* quick feasibility *)
+  let tabs = tables ~width g in
+  let root_curve root = List.concat_map (fun (_, pts) -> pts) tabs.(root) |> prune in
+  let feasible =
+    List.for_all
+      (fun o ->
+        match root_curve o with
+        | [] -> false
+        | p :: _ -> p.delay <= deadline +. 1e-9)
+      g.Cdfg.outputs
+  in
+  if not feasible then None
+  else begin
+    (* per-node deadline = min over users (their start requirement); we
+       process in reverse topological order, assigning the lowest voltage
+       that keeps the node's *local* slack nonnegative under an ASAP
+       arrival computed with current choices *)
+    let vdd_of = Array.make n Module_energy.vdd_reference in
+    let arrival = Array.make n 0.0 in
+    let compute_arrivals () =
+      Array.iter
+        (fun (node : Cdfg.node) ->
+          let i = node.Cdfg.id in
+          let d_op, _ = node_cost ~width node.Cdfg.op vdd_of.(i) in
+          let base =
+            List.fold_left
+              (fun acc a ->
+                let shift =
+                  vdd_of.(a) <> vdd_of.(i)
+                  && (match g.Cdfg.nodes.(a).Cdfg.op with
+                     | Cdfg.Input _ | Cdfg.Const _ -> false
+                     | _ -> true)
+                  && (match Module_energy.resource_of_op node.Cdfg.op with
+                     | Some _ -> true
+                     | None -> false)
+                in
+                let sd = if shift then Module_energy.level_shifter_delay else 0.0 in
+                max acc (arrival.(a) +. sd))
+              0.0 node.Cdfg.args
+          in
+          arrival.(i) <- base +. d_op)
+        g.Cdfg.nodes
+    in
+    let total_delay () =
+      compute_arrivals ();
+      List.fold_left (fun acc o -> max acc arrival.(o)) 0.0 g.Cdfg.outputs
+    in
+    (* greedy: repeatedly try to lower the voltage of the node with the
+       largest energy gain that keeps the deadline *)
+    let improved = ref true in
+    while !improved do
+      improved := false;
+      Array.iter
+        (fun (node : Cdfg.node) ->
+          let i = node.Cdfg.id in
+          match Module_energy.resource_of_op node.Cdfg.op with
+          | None -> ()
+          | Some _ ->
+              let current = vdd_of.(i) in
+              let lower = List.filter (fun v -> v < current) voltages in
+              List.iter
+                (fun v ->
+                  if vdd_of.(i) = current then begin
+                    vdd_of.(i) <- v;
+                    if total_delay () > deadline +. 1e-9 then vdd_of.(i) <- current
+                    else improved := true
+                  end)
+                (List.sort compare lower))
+        g.Cdfg.nodes
+    done;
+    let d = total_delay () in
+    (* energy and shifter count of the final assignment *)
+    let energy = ref 0.0 and shifters = ref 0 in
+    Array.iter
+      (fun (node : Cdfg.node) ->
+        let i = node.Cdfg.id in
+        let _, e = node_cost ~width node.Cdfg.op vdd_of.(i) in
+        energy := !energy +. e;
+        (match Module_energy.resource_of_op node.Cdfg.op with
+        | None -> ()
+        | Some _ ->
+            List.iter
+              (fun a ->
+                match g.Cdfg.nodes.(a).Cdfg.op with
+                | Cdfg.Input _ | Cdfg.Const _ -> ()
+                | _ ->
+                    if vdd_of.(a) <> vdd_of.(i) then begin
+                      incr shifters;
+                      energy := !energy +. Module_energy.level_shifter_energy ~width
+                    end)
+              node.Cdfg.args))
+      g.Cdfg.nodes;
+    Some { vdd_of; total_energy = !energy; total_delay = d; num_shifters = !shifters }
+  end
+
+let single_voltage ?(width = 16) (g : Cdfg.t) =
+  let n = Array.length g.Cdfg.nodes in
+  let vdd_of = Array.make n Module_energy.vdd_reference in
+  let arrival = Array.make n 0.0 in
+  let energy = ref 0.0 in
+  Array.iter
+    (fun (node : Cdfg.node) ->
+      let d_op, e_op = node_cost ~width node.Cdfg.op Module_energy.vdd_reference in
+      let base = List.fold_left (fun acc a -> max acc arrival.(a)) 0.0 node.Cdfg.args in
+      arrival.(node.Cdfg.id) <- base +. d_op;
+      energy := !energy +. e_op)
+    g.Cdfg.nodes;
+  let d = List.fold_left (fun acc o -> max acc arrival.(o)) 0.0 g.Cdfg.outputs in
+  { vdd_of; total_energy = !energy; total_delay = d; num_shifters = 0 }
+
+let verify ?(width = 16) (g : Cdfg.t) asg =
+  let n = Array.length g.Cdfg.nodes in
+  assert (Array.length asg.vdd_of = n);
+  let arrival = Array.make n 0.0 in
+  let energy = ref 0.0 and shifters = ref 0 in
+  Array.iter
+    (fun (node : Cdfg.node) ->
+      let i = node.Cdfg.id in
+      let d_op, e_op = node_cost ~width node.Cdfg.op asg.vdd_of.(i) in
+      let base =
+        List.fold_left
+          (fun acc a ->
+            let shift =
+              (match g.Cdfg.nodes.(a).Cdfg.op with
+              | Cdfg.Input _ | Cdfg.Const _ -> false
+              | _ -> true)
+              && (match Module_energy.resource_of_op node.Cdfg.op with
+                 | Some _ -> true
+                 | None -> false)
+              && asg.vdd_of.(a) <> asg.vdd_of.(i)
+            in
+            if shift then begin
+              incr shifters;
+              energy := !energy +. Module_energy.level_shifter_energy ~width
+            end;
+            let sd = if shift then Module_energy.level_shifter_delay else 0.0 in
+            max acc (arrival.(a) +. sd))
+          0.0 node.Cdfg.args
+      in
+      arrival.(i) <- base +. d_op;
+      energy := !energy +. e_op)
+    g.Cdfg.nodes;
+  let d = List.fold_left (fun acc o -> max acc arrival.(o)) 0.0 g.Cdfg.outputs in
+  if abs_float (d -. asg.total_delay) > 1e-6 then failwith "Voltage.verify: delay mismatch";
+  if abs_float (!energy -. asg.total_energy) > 1e-6 then
+    failwith "Voltage.verify: energy mismatch";
+  if !shifters <> asg.num_shifters then failwith "Voltage.verify: shifter count mismatch"

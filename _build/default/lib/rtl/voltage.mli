@@ -1,0 +1,40 @@
+(** Multiple supply-voltage scheduling (Section III-F, Chang-Pedram [73]).
+
+    Each CDFG operation is assigned one of a fixed set of supply voltages.
+    Off-critical operations run at reduced supplies, saving energy
+    quadratically; level shifters are inserted (and priced) whenever a
+    lower-voltage producer feeds a higher-voltage consumer. The algorithm
+    computes a Pareto energy-delay curve per node bottom-up by dynamic
+    programming (exact on trees, heuristic merge on DAGs) and then picks the
+    cheapest root point meeting the deadline. *)
+
+type point = {
+  delay : float;  (** arrival time at this node's output *)
+  energy : float;  (** total energy of the subgraph, shifters included *)
+  vdd : float;  (** supply assigned to this node *)
+}
+
+type assignment = {
+  vdd_of : float array;  (** per node; reference voltage for inputs *)
+  total_energy : float;
+  total_delay : float;
+  num_shifters : int;
+}
+
+val voltages : float list
+(** The supply menu: 5.0, 3.3, 2.4 V (a classic mid-90s set). *)
+
+val curve : ?width:int -> Cdfg.t -> int -> point list
+(** Pareto-pruned energy-delay tradeoff curve of the cone rooted at the
+    node (ascending delay, descending energy). *)
+
+val schedule : ?width:int -> Cdfg.t -> deadline:float -> assignment option
+(** Minimum-energy voltage assignment meeting the deadline, or [None] if
+    even the all-reference-voltage design misses it. *)
+
+val single_voltage : ?width:int -> Cdfg.t -> assignment
+(** Baseline: everything at the reference supply. *)
+
+val verify : ?width:int -> Cdfg.t -> assignment -> unit
+(** Recomputes delay/energy of an assignment from scratch and checks the
+    recorded totals; raises [Failure] on mismatch. *)

@@ -1,0 +1,1 @@
+lib/sim/activity.ml: Array Bits Hashtbl Hlp_util Option Stats

@@ -1,0 +1,1 @@
+lib/sim/eventsim.ml: Array Gate Hlp_logic Hlp_util List Netlist

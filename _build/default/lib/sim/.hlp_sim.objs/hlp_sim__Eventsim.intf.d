@@ -1,0 +1,1 @@
+lib/sim/eventsim.mli: Hlp_logic

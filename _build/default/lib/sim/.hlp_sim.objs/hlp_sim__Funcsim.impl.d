@@ -1,0 +1,1 @@
+lib/sim/funcsim.ml: Array Gate Hlp_logic Netlist String

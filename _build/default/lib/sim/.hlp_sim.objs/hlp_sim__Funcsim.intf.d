@@ -1,0 +1,1 @@
+lib/sim/funcsim.mli: Hlp_logic

@@ -1,0 +1,1 @@
+lib/sim/streams.ml: Array Bits Float Hlp_util Int64 List Prng

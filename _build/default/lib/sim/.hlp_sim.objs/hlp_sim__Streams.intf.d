@@ -1,0 +1,1 @@
+lib/sim/streams.mli: Hlp_util

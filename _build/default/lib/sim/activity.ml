@@ -1,0 +1,73 @@
+open Hlp_util
+
+type t = {
+  width : int;
+  n : int;
+  signal_prob : float array;
+  activity : float array;
+}
+
+let of_trace ~width trace =
+  let n = Array.length trace in
+  assert (n >= 2);
+  let ones = Array.make width 0 and toggles = Array.make width 0 in
+  Array.iteri
+    (fun i w ->
+      for b = 0 to width - 1 do
+        if Bits.bit w b then ones.(b) <- ones.(b) + 1;
+        if i > 0 && Bits.bit w b <> Bits.bit trace.(i - 1) b then
+          toggles.(b) <- toggles.(b) + 1
+      done)
+    trace;
+  {
+    width;
+    n;
+    signal_prob = Array.map (fun c -> float_of_int c /. float_of_int n) ones;
+    activity = Array.map (fun c -> float_of_int c /. float_of_int (n - 1)) toggles;
+  }
+
+let mean_signal_prob t = Stats.mean t.signal_prob
+let mean_activity t = Stats.mean t.activity
+
+let bit_entropy ~p =
+  if p <= 0.0 || p >= 1.0 then 0.0
+  else
+    let q = 1.0 -. p in
+    -.((p *. (log p /. log 2.0)) +. (q *. (log q /. log 2.0)))
+
+let bit_entropies t = Array.map (fun p -> bit_entropy ~p) t.signal_prob
+
+let mean_bit_entropy t = Stats.mean (bit_entropies t)
+
+let word_entropy ~width trace =
+  let mask = Bits.mask width in
+  let counts = Hashtbl.create 256 in
+  Array.iter
+    (fun w ->
+      let w = w land mask in
+      Hashtbl.replace counts w (1 + Option.value ~default:0 (Hashtbl.find_opt counts w)))
+    trace;
+  let n = float_of_int (Array.length trace) in
+  Hashtbl.fold
+    (fun _ c acc ->
+      let p = float_of_int c /. n in
+      acc -. (p *. (log p /. log 2.0)))
+    counts 0.0
+
+let sign_transition_probs ~width trace =
+  let n = Array.length trace in
+  assert (n >= 2);
+  let counts = Array.make 4 0 in
+  let sign w = Bits.bit w (width - 1) in
+  for i = 1 to n - 1 do
+    let a = sign trace.(i - 1) and b = sign trace.(i) in
+    let idx = (if a then 2 else 0) + if b then 1 else 0 in
+    counts.(idx) <- counts.(idx) + 1
+  done;
+  Array.map (fun c -> float_of_int c /. float_of_int (n - 1)) counts
+
+let breakpoint t =
+  (* scan from the MSB down: the correlated region is the maximal suffix of
+     bits whose activity is below 0.35 toggles/cycle *)
+  let rec go b = if b >= 0 && t.activity.(b) < 0.35 then go (b - 1) else b + 1 in
+  go (t.width - 1)

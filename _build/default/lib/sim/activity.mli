@@ -1,0 +1,45 @@
+(** Trace statistics: the signal probabilities, switching activities, and
+    empirical entropies that the behavioral-level estimation models of
+    Section II-B consume. *)
+
+type t = {
+  width : int;
+  n : int;  (** trace length in words *)
+  signal_prob : float array;  (** per bit, fraction of cycles at 1 *)
+  activity : float array;  (** per bit, toggles per cycle *)
+}
+
+val of_trace : width:int -> int array -> t
+(** Analyze a word trace. Requires at least 2 words. *)
+
+val mean_signal_prob : t -> float
+val mean_activity : t -> float
+(** Average bit-level switching activity over the word — the [E_I]/[E_O] of
+    the macro-model equations. *)
+
+val bit_entropy : p:float -> float
+(** Binary entropy [h(p)] in bits ([0.] at [p = 0] or [1]). *)
+
+val bit_entropies : t -> float array
+(** Per-bit entropy from the signal probabilities (the
+    independence-upper-bound form used throughout Section II-B1). *)
+
+val mean_bit_entropy : t -> float
+(** Average per-bit entropy [h] — the [h_in]/[h_out] of the Marculescu
+    model. *)
+
+val word_entropy : width:int -> int array -> float
+(** Empirical word-level (sectional) entropy [-sum p_i log2 p_i] over the
+    distinct words of the trace — the [H_in]/[H_out] of the Nemani-Najm
+    model. *)
+
+val sign_transition_probs : width:int -> int array -> float array
+(** Probabilities of the four sign transitions [++ +- -+ --] between
+    consecutive words (two's-complement MSB as sign) — the [E_xy] of the
+    dual-bit-type macro-model. Order: [|p_pp; p_pm; p_mp; p_mm|]. *)
+
+val breakpoint : t -> int
+(** Dual-bit-type boundary: the lowest bit position from which the
+    measured activity stays clearly below the white-noise level (0.5
+    toggles/cycle), i.e. the start of the correlated "sign" region.
+    Equals [width] for white noise. *)

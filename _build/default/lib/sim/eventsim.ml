@@ -1,0 +1,150 @@
+open Hlp_logic
+
+type s = {
+  net : Netlist.t;
+  caps : float array;
+  values : bool array;  (* current instantaneous value *)
+  settled : bool array;  (* value at the previous cycle boundary *)
+  projected : bool array;  (* value after all pending events *)
+  fanouts : int array array;
+  toggles : int array;
+  functional : int array;
+  queue : int Hlp_util.Heap.t;  (* node to (re)evaluate; key = time *)
+  mutable switched : float;
+  mutable functional_switched : float;
+  mutable ncycles : int;
+  mutable first : bool;
+}
+
+let build_fanouts net =
+  let n = Netlist.num_nodes net in
+  let lists = Array.make n [] in
+  Array.iteri
+    (fun i (node : Netlist.node) ->
+      match node.Netlist.kind with
+      | Gate.Dff -> ()  (* dff data pins are sampled at the clock edge only *)
+      | _ -> Array.iter (fun w -> lists.(w) <- i :: lists.(w)) node.Netlist.fanin)
+    net.Netlist.nodes;
+  Array.map (fun l -> Array.of_list (List.rev l)) lists
+
+let create net =
+  let n = Netlist.num_nodes net in
+  let s =
+    {
+      net;
+      caps = Netlist.node_capacitance net;
+      values = Array.make n false;
+      settled = Array.make n false;
+      projected = Array.make n false;
+      fanouts = build_fanouts net;
+      toggles = Array.make n 0;
+      functional = Array.make n 0;
+      queue = Hlp_util.Heap.create ();
+      switched = 0.0;
+      functional_switched = 0.0;
+      ncycles = 0;
+      first = true;
+    }
+  in
+  Array.iteri
+    (fun j w -> s.values.(w) <- net.Netlist.dff_init.(j))
+    net.Netlist.dffs;
+  (* initial quiescent settle (all inputs low), not charged any energy *)
+  Array.iteri
+    (fun i (node : Netlist.node) ->
+      match node.Netlist.kind with
+      | Gate.Input | Gate.Dff -> ()
+      | Gate.Const b -> s.values.(i) <- b
+      | kind ->
+          let pins = Array.map (fun w -> s.values.(w)) node.Netlist.fanin in
+          s.values.(i) <- Gate.eval kind pins)
+    net.Netlist.nodes;
+  Array.blit s.values 0 s.settled 0 n;
+  Array.blit s.values 0 s.projected 0 n;
+  s
+
+let eval_node s i =
+  let node = s.net.Netlist.nodes.(i) in
+  let pins = Array.map (fun w -> s.values.(w)) node.Netlist.fanin in
+  Gate.eval node.Netlist.kind pins
+
+(* Commit an instantaneous change at a node and schedule re-evaluation of
+   its combinational fanouts after their propagation delays. *)
+let rec commit s time i v =
+  if s.values.(i) <> v then begin
+    s.values.(i) <- v;
+    s.toggles.(i) <- s.toggles.(i) + 1;
+    s.switched <- s.switched +. s.caps.(i);
+    Array.iter (fun g -> schedule s time g) s.fanouts.(i)
+  end
+
+and schedule s time g =
+  let v = eval_node s g in
+  if s.projected.(g) <> v then begin
+    s.projected.(g) <- v;
+    let d = Gate.delay s.net.Netlist.nodes.(g).Netlist.kind in
+    Hlp_util.Heap.push s.queue (time +. d) g
+  end
+
+let drain s =
+  let rec go () =
+    match Hlp_util.Heap.pop s.queue with
+    | None -> ()
+    | Some (t, g) ->
+        let v = eval_node s g in
+        commit s t g v;
+        go ()
+  in
+  go ()
+
+let step s inputs =
+  let net = s.net in
+  assert (Array.length inputs = Array.length net.Netlist.inputs);
+  (* clock edge at t=0: latch dffs from last settle (the first edge
+     re-captures the reset state), drive new inputs *)
+  if s.first then s.first <- false
+  else begin
+    let nexts =
+      Array.map
+        (fun w -> s.values.(net.Netlist.nodes.(w).Netlist.fanin.(0)))
+        net.Netlist.dffs
+    in
+    Array.iteri
+      (fun j w ->
+        s.projected.(w) <- nexts.(j);
+        commit s 0.0 w nexts.(j))
+      net.Netlist.dffs
+  end;
+  Array.iteri
+    (fun k w ->
+      s.projected.(w) <- inputs.(k);
+      commit s 0.0 w inputs.(k))
+    net.Netlist.inputs;
+  drain s;
+  (* functional (settled-boundary) transitions *)
+  Array.iteri
+    (fun i v ->
+      if s.settled.(i) <> v then begin
+        s.functional.(i) <- s.functional.(i) + 1;
+        s.functional_switched <- s.functional_switched +. s.caps.(i);
+        s.settled.(i) <- v
+      end)
+    s.values;
+  s.ncycles <- s.ncycles + 1
+
+let value s w = s.values.(w)
+let cycles s = s.ncycles
+let toggle_counts s = s.toggles
+let functional_toggle_counts s = s.functional
+
+let glitch_counts s =
+  Array.mapi (fun i t -> t - s.functional.(i)) s.toggles
+
+let switched_capacitance s = s.switched
+let functional_switched_capacitance s = s.functional_switched
+let glitch_capacitance s = s.switched -. s.functional_switched
+
+let run s input_at n =
+  for i = 0 to n - 1 do
+    step s (input_at i)
+  done

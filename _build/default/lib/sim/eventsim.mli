@@ -1,0 +1,39 @@
+(** Event-driven timed simulation with glitch accounting.
+
+    Uses a transport-delay model with the per-cell delays of the gate
+    library: when paths of unequal length reconverge, intermediate spurious
+    transitions (glitches) occur and are charged capacitance, exactly the
+    effect the low-power retiming technique of Section III-J exploits
+    (registers filter glitches). A zero-delay settle of the same circuit
+    gives the functional transition count; the difference is glitch power. *)
+
+type s
+
+val create : Hlp_logic.Netlist.t -> s
+
+val step : s -> bool array -> unit
+(** One clock cycle: latch flip-flops, apply the input vector, then run the
+    event queue to quiescence. *)
+
+val value : s -> Hlp_logic.Netlist.wire -> bool
+val cycles : s -> int
+
+val toggle_counts : s -> int array
+(** All transitions, including glitches. *)
+
+val functional_toggle_counts : s -> int array
+(** Transitions between settled cycle boundaries only (what a zero-delay
+    simulator would report). *)
+
+val glitch_counts : s -> int array
+(** [toggle_counts - functional_toggle_counts], per node. *)
+
+val switched_capacitance : s -> float
+(** Capacitance-weighted total including glitches. *)
+
+val functional_switched_capacitance : s -> float
+
+val glitch_capacitance : s -> float
+(** Capacitance switched by spurious transitions alone. *)
+
+val run : s -> (int -> bool array) -> int -> unit

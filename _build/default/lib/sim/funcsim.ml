@@ -1,0 +1,133 @@
+open Hlp_logic
+
+type s = {
+  net : Netlist.t;
+  caps : float array;
+  values : bool array;
+  toggles : int array;
+  highs : int array;
+  mutable switched : float;
+  mutable ncycles : int;
+  mutable counting : bool;
+  mutable first : bool;  (* reset state must survive until the first input *)
+}
+
+let create net =
+  let n = Netlist.num_nodes net in
+  let s =
+    {
+      net;
+      caps = Netlist.node_capacitance net;
+      values = Array.make n false;
+      toggles = Array.make n 0;
+      highs = Array.make n 0;
+      switched = 0.0;
+      ncycles = 0;
+      counting = true;
+      first = true;
+    }
+  in
+  (* initial state: dffs at their init value, inputs low, combinational
+     logic settled; nothing is charged for the power-up transient *)
+  Array.iteri
+    (fun j w -> s.values.(w) <- net.Netlist.dff_init.(j))
+    net.Netlist.dffs;
+  Array.iteri
+    (fun i (node : Netlist.node) ->
+      match node.Netlist.kind with
+      | Gate.Input | Gate.Dff -> ()
+      | Gate.Const b -> s.values.(i) <- b
+      | kind ->
+          let pins = Array.map (fun w -> s.values.(w)) node.Netlist.fanin in
+          s.values.(i) <- Gate.eval kind pins)
+    net.Netlist.nodes;
+  s
+
+let set s i v =
+  if s.values.(i) <> v then begin
+    s.values.(i) <- v;
+    if s.counting then begin
+      s.toggles.(i) <- s.toggles.(i) + 1;
+      s.switched <- s.switched +. s.caps.(i)
+    end
+  end
+
+let step s inputs =
+  let net = s.net in
+  assert (Array.length inputs = Array.length net.Netlist.inputs);
+  (* clock edge: latch data pins as they settled last cycle; the first edge
+     re-captures the reset state *)
+  if s.first then s.first <- false
+  else begin
+    let nexts =
+      Array.map
+        (fun w -> s.values.(net.Netlist.nodes.(w).Netlist.fanin.(0)))
+        net.Netlist.dffs
+    in
+    Array.iteri (fun j w -> set s w nexts.(j)) net.Netlist.dffs
+  end;
+  Array.iteri (fun k w -> set s w inputs.(k)) net.Netlist.inputs;
+  (* settle combinational logic in topological (id) order *)
+  Array.iteri
+    (fun i (node : Netlist.node) ->
+      match node.Netlist.kind with
+      | Gate.Input | Gate.Dff -> ()
+      | Gate.Const b -> set s i b
+      | kind ->
+          let pins = Array.map (fun w -> s.values.(w)) node.Netlist.fanin in
+          set s i (Gate.eval kind pins))
+    net.Netlist.nodes;
+  if s.counting then
+    Array.iteri (fun i v -> if v then s.highs.(i) <- s.highs.(i) + 1) s.values;
+  s.ncycles <- s.ncycles + 1
+
+let value s w = s.values.(w)
+
+let outputs s =
+  Array.map (fun (name, w) -> (name, s.values.(w))) s.net.Netlist.outputs
+
+let output_word s ~prefix =
+  let v = ref 0 in
+  Array.iter
+    (fun (name, w) ->
+      if String.length name > String.length prefix
+         && String.sub name 0 (String.length prefix) = prefix then
+        match int_of_string_opt
+                (String.sub name (String.length prefix)
+                   (String.length name - String.length prefix))
+        with
+        | Some i -> if s.values.(w) then v := !v lor (1 lsl i)
+        | None -> ())
+    s.net.Netlist.outputs;
+  !v
+
+let cycles s = s.ncycles
+let toggle_counts s = s.toggles
+let high_counts s = s.highs
+let switched_capacitance s = s.switched
+
+let switched_capacitance_of s ~mask =
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i t -> if mask.(i) then acc := !acc +. (float_of_int t *. s.caps.(i)))
+    s.toggles;
+  !acc
+
+let reset_counters s =
+  Array.fill s.toggles 0 (Array.length s.toggles) 0;
+  Array.fill s.highs 0 (Array.length s.highs) 0;
+  s.switched <- 0.0;
+  s.ncycles <- 0
+
+let run s input_at n =
+  for i = 0 to n - 1 do
+    step s (input_at i)
+  done
+
+let average_activity s =
+  if s.ncycles = 0 then 0.0
+  else
+    let total = Array.fold_left ( + ) 0 s.toggles in
+    float_of_int total
+    /. float_of_int (Array.length s.toggles)
+    /. float_of_int s.ncycles

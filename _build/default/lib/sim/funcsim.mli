@@ -1,0 +1,52 @@
+(** Zero-delay (functional) cycle simulation with switched-capacitance
+    accounting.
+
+    One [step] is one clock cycle: flip-flops latch the values their data
+    pins had after the previous settle, the new primary-input vector is
+    applied, and the combinational logic settles in topological order. Every
+    node toggle is charged its effective capacitance from
+    {!Hlp_logic.Netlist.node_capacitance}, which makes the simulator the
+    "gate-level power reference" all macro-models in the paper are compared
+    against (zero-delay, so no glitch power — the event-driven simulator in
+    {!Eventsim} adds that). *)
+
+type s
+
+val create : Hlp_logic.Netlist.t -> s
+
+val step : s -> bool array -> unit
+(** Apply one input vector (parallel to [net.inputs]). *)
+
+val value : s -> Hlp_logic.Netlist.wire -> bool
+(** Current settled value of a node. *)
+
+val outputs : s -> (string * bool) array
+val output_word : s -> prefix:string -> int
+(** Recompose outputs named [prefix0], [prefix1], ... into an integer. *)
+
+val cycles : s -> int
+val toggle_counts : s -> int array
+(** Per-node toggles since creation (inputs and flip-flops included). *)
+
+val high_counts : s -> int array
+(** Per-node count of cycles settled high, for signal probabilities. *)
+
+val switched_capacitance : s -> float
+(** Total capacitance switched so far (sum over toggles of the toggling
+    node's effective capacitance). Average power is
+    [0.5 * V^2 * f * switched_capacitance / cycles]. *)
+
+val switched_capacitance_of : s -> mask:bool array -> float
+(** Switched capacitance restricted to nodes selected by [mask] — used by
+    the Table I experiment to split capacitance into execution units,
+    registers, control, and interconnect. *)
+
+val reset_counters : s -> unit
+(** Zero the accounting without touching circuit state (for warm-up). *)
+
+val run : s -> (int -> bool array) -> int -> unit
+(** [run s input_at n] steps [n] cycles with the given vector source. *)
+
+val average_activity : s -> float
+(** Mean toggles per node per cycle over all nodes — the E_avg of the
+    entropy-based power expression. *)

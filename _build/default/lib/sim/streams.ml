@@ -1,0 +1,72 @@
+open Hlp_util
+
+let uniform rng ~width ~n =
+  Array.init n (fun _ -> Int64.to_int (Int64.shift_right_logical (Prng.bits64 rng) 2) land Bits.mask width)
+
+let biased_bits rng ~width ~p ~n =
+  Array.init n (fun _ ->
+      let w = ref 0 in
+      for i = 0 to width - 1 do
+        if Prng.bernoulli rng p then w := !w lor (1 lsl i)
+      done;
+      !w)
+
+let correlated_bits rng ~width ~p ~rho ~n =
+  assert (p > 0.0 && p < 1.0 && rho >= 0.0 && rho < 1.0);
+  (* two-state Markov chain: P(1->1) = p + rho(1-p), P(0->1) = p(1-rho) *)
+  let p11 = p +. (rho *. (1.0 -. p)) in
+  let p01 = p *. (1.0 -. rho) in
+  let state = Array.init width (fun _ -> Prng.bernoulli rng p) in
+  Array.init n (fun _ ->
+      let w = ref 0 in
+      for i = 0 to width - 1 do
+        let next = if state.(i) then Prng.bernoulli rng p11 else Prng.bernoulli rng p01 in
+        state.(i) <- next;
+        if next then w := !w lor (1 lsl i)
+      done;
+      !w)
+
+let gaussian_walk rng ~width ~sigma ~n =
+  let lo = -(1 lsl (width - 1)) and hi = (1 lsl (width - 1)) - 1 in
+  let x = ref 0 in
+  Array.init n (fun _ ->
+      let step = int_of_float (Float.round (Prng.gaussian rng ~mu:0.0 ~sigma)) in
+      let nx = !x + step in
+      let nx = if nx > hi then (2 * hi) - nx else if nx < lo then (2 * lo) - nx else nx in
+      x := max lo (min hi nx);
+      Bits.of_signed ~width !x)
+
+let counter ~start ~width ~n =
+  Array.init n (fun i -> (start + i) land Bits.mask width)
+
+let strided ~start ~stride ~width ~n =
+  Array.init n (fun i -> (start + (i * stride)) land Bits.mask width)
+
+let hold rng ~change_prob trace =
+  let prev = ref (if Array.length trace > 0 then trace.(0) else 0) in
+  Array.mapi
+    (fun i w ->
+      if i = 0 || Prng.bernoulli rng change_prob then begin
+        prev := w;
+        w
+      end
+      else !prev)
+    trace
+
+let constant ~value ~n = Array.make n value
+
+let pack ~widths traces i =
+  let total = List.fold_left ( + ) 0 widths in
+  let vec = Array.make total false in
+  let pos = ref 0 in
+  List.iter2
+    (fun width trace ->
+      let w = trace.(i) in
+      for b = 0 to width - 1 do
+        vec.(!pos + b) <- Bits.bit w b
+      done;
+      pos := !pos + width)
+    widths traces;
+  vec
+
+let pack_fn = pack

@@ -1,0 +1,52 @@
+(** Input-stream generators.
+
+    The paper's macro-modeling results hinge on the statistics of the data
+    driving a module: pseudorandom white noise for characterization,
+    temporally correlated sign-extended data (speech-like) that breaks naive
+    models, biased streams that expose training bias. Each generator
+    produces a reproducible word trace from a {!Hlp_util.Prng.t}. Words are
+    LSB-first unsigned integers of the given width. *)
+
+val uniform : Hlp_util.Prng.t -> width:int -> n:int -> int array
+(** Independent uniform words: the pseudorandom characterization data of
+    macro-model step 1. *)
+
+val biased_bits : Hlp_util.Prng.t -> width:int -> p:float -> n:int -> int array
+(** Each bit independently 1 with probability [p] each cycle. *)
+
+val correlated_bits :
+  Hlp_util.Prng.t -> width:int -> p:float -> rho:float -> n:int -> int array
+(** Per-bit two-state Markov stream with stationary one-probability [p] and
+    lag-1 correlation [rho] ([rho = 0] is white noise; [rho -> 1] freezes).
+    Transition probabilities follow from [p] and [rho]. *)
+
+val gaussian_walk :
+  Hlp_util.Prng.t -> width:int -> sigma:float -> n:int -> int array
+(** Two's-complement random-walk data (reflecting at the representable
+    range). High-order sign bits switch rarely and in a correlated way while
+    low-order bits look random — exactly the dual-bit-type regime of
+    Landman-Rabaey. *)
+
+val counter : start:int -> width:int -> n:int -> int array
+(** Consecutive addresses [start, start+1, ...] (mod 2^width). *)
+
+val strided : start:int -> stride:int -> width:int -> n:int -> int array
+
+val hold : Hlp_util.Prng.t -> change_prob:float -> int array -> int array
+(** Resample a trace so that each cycle keeps the previous word with
+    probability [1 - change_prob] (activation-frequency control for the
+    power-factor-approximation experiment). *)
+
+val constant : value:int -> n:int -> int array
+
+(** {1 Packing into circuit input vectors} *)
+
+val pack : widths:int list -> int array list -> int -> bool array
+(** [pack ~widths traces i] concatenates (LSB-first) the [i]-th word of each
+    trace into one input vector, in order; trace [k] contributes
+    [List.nth widths k] bits. Suitable as the vector source of
+    {!Funcsim.run}. *)
+
+val pack_fn : widths:int list -> int array list -> int -> bool array
+(** Alias of {!pack} with the usual partial application
+    [run sim (pack_fn ~widths traces) n]. *)

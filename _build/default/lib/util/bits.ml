@@ -1,0 +1,46 @@
+let popcount w =
+  let rec go acc w = if w = 0 then acc else go (acc + (w land 1)) (w lsr 1) in
+  go 0 w
+
+let hamming a b = popcount (a lxor b)
+
+let bit w i = (w lsr i) land 1 = 1
+
+let set_bit w i v = if v then w lor (1 lsl i) else w land lnot (1 lsl i)
+
+let mask width =
+  assert (width >= 0 && width <= 62);
+  (1 lsl width) - 1
+
+let to_gray w = w lxor (w lsr 1)
+
+let of_gray g =
+  let rec go acc g = if g = 0 then acc else go (acc lxor g) (g lsr 1) in
+  go 0 g
+
+let bits_of_int ~width w = Array.init width (fun i -> bit w i)
+
+let int_of_bits a =
+  let v = ref 0 in
+  for i = Array.length a - 1 downto 0 do
+    v := (!v lsl 1) lor (if a.(i) then 1 else 0)
+  done;
+  !v
+
+let sign_extend ~width w =
+  let w = w land mask width in
+  if bit w (width - 1) then w - (1 lsl width) else w
+
+let of_signed ~width v = v land mask width
+
+let transitions ~width words =
+  let total = ref 0 in
+  for i = 1 to Array.length words - 1 do
+    total := !total + hamming (words.(i - 1) land mask width) (words.(i) land mask width)
+  done;
+  !total
+
+let pp_binary ~width fmt w =
+  for i = width - 1 downto 0 do
+    Format.pp_print_char fmt (if bit w i then '1' else '0')
+  done

@@ -1,0 +1,45 @@
+(** Bit-level helpers shared by bus encoders, stream statistics, and state
+    encodings. Words are OCaml [int]s interpreted as unsigned bit-vectors of
+    an explicit width (at most 62 bits). *)
+
+val popcount : int -> int
+(** Number of set bits. *)
+
+val hamming : int -> int -> int
+(** Hamming distance between two words. *)
+
+val bit : int -> int -> bool
+(** [bit w i] is bit [i] (LSB = 0) of [w]. *)
+
+val set_bit : int -> int -> bool -> int
+(** [set_bit w i v] returns [w] with bit [i] forced to [v]. *)
+
+val mask : int -> int
+(** [mask width] is the all-ones word of that width. Requires
+    [0 <= width <= 62]. *)
+
+val to_gray : int -> int
+(** Binary-reflected Gray code of a word. *)
+
+val of_gray : int -> int
+(** Inverse of {!to_gray}. *)
+
+val bits_of_int : width:int -> int -> bool array
+(** LSB-first expansion to [width] booleans. *)
+
+val int_of_bits : bool array -> int
+(** LSB-first recomposition. *)
+
+val sign_extend : width:int -> int -> int
+(** Interpret the low [width] bits as two's complement and return the OCaml
+    integer value. *)
+
+val of_signed : width:int -> int -> int
+(** Truncate a (possibly negative) integer to its low [width] bits. *)
+
+val transitions : width:int -> int array -> int
+(** Total number of bit toggles along a word sequence: the quantity every
+    bus-encoding experiment counts. *)
+
+val pp_binary : width:int -> Format.formatter -> int -> unit
+(** Print as a fixed-width binary string, MSB first. *)

@@ -1,0 +1,62 @@
+type 'a t = {
+  mutable keys : float array;
+  mutable vals : 'a option array;
+  mutable len : int;
+}
+
+let create () = { keys = Array.make 16 0.0; vals = Array.make 16 None; len = 0 }
+
+let is_empty h = h.len = 0
+let size h = h.len
+
+let swap h i j =
+  let k = h.keys.(i) in
+  h.keys.(i) <- h.keys.(j);
+  h.keys.(j) <- k;
+  let v = h.vals.(i) in
+  h.vals.(i) <- h.vals.(j);
+  h.vals.(j) <- v
+
+let push h key v =
+  if h.len = Array.length h.keys then begin
+    let keys = Array.make (2 * h.len) 0.0 and vals = Array.make (2 * h.len) None in
+    Array.blit h.keys 0 keys 0 h.len;
+    Array.blit h.vals 0 vals 0 h.len;
+    h.keys <- keys;
+    h.vals <- vals
+  end;
+  h.keys.(h.len) <- key;
+  h.vals.(h.len) <- Some v;
+  h.len <- h.len + 1;
+  let i = ref (h.len - 1) in
+  while !i > 0 && h.keys.((!i - 1) / 2) > h.keys.(!i) do
+    swap h !i ((!i - 1) / 2);
+    i := (!i - 1) / 2
+  done
+
+let pop h =
+  if h.len = 0 then None
+  else begin
+    let key = h.keys.(0) in
+    let v = match h.vals.(0) with Some v -> v | None -> assert false in
+    h.len <- h.len - 1;
+    h.keys.(0) <- h.keys.(h.len);
+    h.vals.(0) <- h.vals.(h.len);
+    h.vals.(h.len) <- None;
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.len && h.keys.(l) < h.keys.(!smallest) then smallest := l;
+      if r < h.len && h.keys.(r) < h.keys.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        swap h !i !smallest;
+        i := !smallest
+      end
+      else continue := false
+    done;
+    Some (key, v)
+  end
+
+let peek_key h = if h.len = 0 then None else Some h.keys.(0)

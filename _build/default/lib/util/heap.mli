@@ -1,0 +1,13 @@
+(** Minimal binary min-heap keyed by float priorities, for the event queue
+    of the timed logic simulator. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+val push : 'a t -> float -> 'a -> unit
+val pop : 'a t -> (float * 'a) option
+(** Smallest key first; ties pop in unspecified order. *)
+
+val peek_key : 'a t -> float option

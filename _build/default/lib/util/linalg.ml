@@ -1,0 +1,116 @@
+type matrix = float array array
+
+let make rows cols v = Array.init rows (fun _ -> Array.make cols v)
+
+let identity n =
+  Array.init n (fun i -> Array.init n (fun j -> if i = j then 1.0 else 0.0))
+
+let dims m = (Array.length m, if Array.length m = 0 then 0 else Array.length m.(0))
+
+let transpose m =
+  let rows, cols = dims m in
+  Array.init cols (fun j -> Array.init rows (fun i -> m.(i).(j)))
+
+let vec_dot a b =
+  assert (Array.length a = Array.length b);
+  let s = ref 0.0 in
+  Array.iteri (fun i x -> s := !s +. (x *. b.(i))) a;
+  !s
+
+let mat_vec m v =
+  Array.map (fun row -> vec_dot row v) m
+
+let mat_mul a b =
+  let ra, ca = dims a and rb, cb = dims b in
+  assert (ca = rb);
+  let bt = transpose b in
+  Array.init ra (fun i -> Array.init cb (fun j -> vec_dot a.(i) bt.(j)))
+
+let solve a b =
+  let n = Array.length a in
+  assert (n = Array.length b);
+  let m = Array.map Array.copy a in
+  let x = Array.copy b in
+  for col = 0 to n - 1 do
+    (* partial pivoting *)
+    let pivot = ref col in
+    for r = col + 1 to n - 1 do
+      if abs_float m.(r).(col) > abs_float m.(!pivot).(col) then pivot := r
+    done;
+    if abs_float m.(!pivot).(col) < 1e-12 then failwith "Linalg.solve: singular matrix";
+    if !pivot <> col then begin
+      let tmp = m.(col) in
+      m.(col) <- m.(!pivot);
+      m.(!pivot) <- tmp;
+      let t = x.(col) in
+      x.(col) <- x.(!pivot);
+      x.(!pivot) <- t
+    end;
+    for r = col + 1 to n - 1 do
+      let factor = m.(r).(col) /. m.(col).(col) in
+      if factor <> 0.0 then begin
+        for c = col to n - 1 do
+          m.(r).(c) <- m.(r).(c) -. (factor *. m.(col).(c))
+        done;
+        x.(r) <- x.(r) -. (factor *. x.(col))
+      end
+    done
+  done;
+  for r = n - 1 downto 0 do
+    let s = ref x.(r) in
+    for c = r + 1 to n - 1 do
+      s := !s -. (m.(r).(c) *. x.(c))
+    done;
+    x.(r) <- !s /. m.(r).(r)
+  done;
+  x
+
+let least_squares x y =
+  let xt = transpose x in
+  let xtx = mat_mul xt x in
+  let n = Array.length xtx in
+  (* tiny ridge term guards against collinear design matrices *)
+  for i = 0 to n - 1 do
+    xtx.(i).(i) <- xtx.(i).(i) +. 1e-9
+  done;
+  let xty = mat_vec xt y in
+  solve xtx xty
+
+let least_squares_nonneg x y =
+  let rows, cols = dims x in
+  let active = Array.make cols true in
+  let rec fit () =
+    let idxs =
+      List.filter (fun j -> active.(j)) (List.init cols (fun j -> j))
+    in
+    if idxs = [] then Array.make cols 0.0
+    else begin
+      let xr =
+        Array.init rows (fun i -> Array.of_list (List.map (fun j -> x.(i).(j)) idxs))
+      in
+      let beta = least_squares xr y in
+      let neg = ref false in
+      List.iteri
+        (fun k j -> if beta.(k) < 0.0 then begin active.(j) <- false; neg := true end)
+        idxs;
+      if !neg then fit ()
+      else begin
+        let full = Array.make cols 0.0 in
+        List.iteri (fun k j -> full.(j) <- beta.(k)) idxs;
+        full
+      end
+    end
+  in
+  fit ()
+
+let r_squared x y beta =
+  let pred = mat_vec x beta in
+  let my = Stats.mean y in
+  let ss_res = ref 0.0 and ss_tot = ref 0.0 in
+  Array.iteri
+    (fun i yi ->
+      let dr = yi -. pred.(i) and dt = yi -. my in
+      ss_res := !ss_res +. (dr *. dr);
+      ss_tot := !ss_tot +. (dt *. dt))
+    y;
+  if !ss_tot = 0.0 then 1.0 else 1.0 -. (!ss_res /. !ss_tot)

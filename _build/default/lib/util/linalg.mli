@@ -1,0 +1,34 @@
+(** Small dense linear algebra for regression-based power macro-models.
+
+    The macro-model characterization step of the paper (Section II-C1) fits
+    multivariable regression curves by least-mean-square error; this module
+    provides the normal-equation solver used for that fit, plus the matrix
+    primitives needed by Markov steady-state analysis. *)
+
+type matrix = float array array
+(** Row-major; [m.(i).(j)] is row [i], column [j]. Rows must be rectangular. *)
+
+val make : int -> int -> float -> matrix
+val identity : int -> matrix
+val dims : matrix -> int * int
+val transpose : matrix -> matrix
+val mat_mul : matrix -> matrix -> matrix
+val mat_vec : matrix -> float array -> float array
+val vec_dot : float array -> float array -> float
+
+val solve : matrix -> float array -> float array
+(** [solve a b] solves [a x = b] by Gaussian elimination with partial
+    pivoting. Raises [Failure] on a (numerically) singular system. *)
+
+val least_squares : matrix -> float array -> float array
+(** [least_squares x y] returns coefficients [beta] minimizing
+    [||x beta - y||^2] via the normal equations [(x^T x) beta = x^T y],
+    with a tiny ridge term for robustness against collinear designs. *)
+
+val least_squares_nonneg : matrix -> float array -> float array
+(** Like {!least_squares} but clips negative coefficients to zero and
+    re-fits the remaining columns; regression capacitances are physical
+    quantities and must not be negative. *)
+
+val r_squared : matrix -> float array -> float array -> float
+(** [r_squared x y beta] is the coefficient of determination of the fit. *)

@@ -1,0 +1,53 @@
+(** Deterministic pseudo-random number generation.
+
+    All stochastic components of the toolkit draw from this splitmix64-based
+    generator so that every experiment is reproducible from a seed. The
+    global OCaml [Random] state is never used. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes an independent generator. Equal seeds give equal
+    streams. *)
+
+val split : t -> t
+(** [split t] derives a new generator whose stream is independent of the
+    subsequent outputs of [t]; both remain usable. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)]. Requires [n > 0]. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [\[0, x)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Normal deviate by Box-Muller. *)
+
+val exponential : t -> mean:float -> float
+(** Exponential deviate with the given mean. *)
+
+val pareto : t -> shape:float -> scale:float -> float
+(** Pareto deviate: heavy-tailed, used for idle-period workloads. *)
+
+val geometric : t -> p:float -> int
+(** Number of Bernoulli(p) failures before the first success. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val pick_weighted : t -> (float * 'a) list -> 'a
+(** [pick_weighted t l] samples proportionally to the (positive) weights.
+    Requires a non-empty list with positive total weight. *)

@@ -1,0 +1,106 @@
+let mean a =
+  assert (Array.length a > 0);
+  Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let mean_list l =
+  assert (l <> []);
+  List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let variance a =
+  let n = Array.length a in
+  if n <= 1 then 0.0
+  else
+    let m = mean a in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 a in
+    ss /. float_of_int (n - 1)
+
+let stddev a = sqrt (variance a)
+
+let minimum a = Array.fold_left min a.(0) a
+let maximum a = Array.fold_left max a.(0) a
+
+let sorted_copy a =
+  let b = Array.copy a in
+  Array.sort compare b;
+  b
+
+let median a =
+  assert (Array.length a > 0);
+  let b = sorted_copy a in
+  let n = Array.length b in
+  if n mod 2 = 1 then b.(n / 2) else (b.((n / 2) - 1) +. b.(n / 2)) /. 2.0
+
+let percentile a p =
+  assert (Array.length a > 0 && p >= 0.0 && p <= 100.0);
+  let b = sorted_copy a in
+  let n = Array.length b in
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+  b.(max 0 (min (n - 1) (rank - 1)))
+
+let confidence_interval_95 a =
+  let m = mean a in
+  let half = 1.96 *. stddev a /. sqrt (float_of_int (Array.length a)) in
+  (m -. half, m +. half)
+
+let relative_error ~actual ~estimate =
+  if actual = 0.0 then if estimate = 0.0 then 0.0 else infinity
+  else abs_float (estimate -. actual) /. abs_float actual
+
+let mean_relative_error ~actual ~estimate =
+  assert (Array.length actual = Array.length estimate && Array.length actual > 0);
+  let errs = Array.mapi (fun i a -> relative_error ~actual:a ~estimate:estimate.(i)) actual in
+  mean errs
+
+let rms_error ~actual ~estimate =
+  assert (Array.length actual = Array.length estimate && Array.length actual > 0);
+  let ss = ref 0.0 in
+  Array.iteri (fun i a -> let d = estimate.(i) -. a in ss := !ss +. (d *. d)) actual;
+  sqrt (!ss /. float_of_int (Array.length actual))
+
+let correlation x y =
+  assert (Array.length x = Array.length y && Array.length x > 0);
+  let mx = mean x and my = mean y in
+  let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+  Array.iteri
+    (fun i xi ->
+      let dx = xi -. mx and dy = y.(i) -. my in
+      sxy := !sxy +. (dx *. dy);
+      sxx := !sxx +. (dx *. dx);
+      syy := !syy +. (dy *. dy))
+    x;
+  if !sxx = 0.0 || !syy = 0.0 then 0.0 else !sxy /. sqrt (!sxx *. !syy)
+
+type linreg = { slope : float; intercept : float; r2 : float }
+
+let linear_regression ~x ~y =
+  assert (Array.length x = Array.length y && Array.length x > 0);
+  let mx = mean x and my = mean y in
+  let sxy = ref 0.0 and sxx = ref 0.0 in
+  Array.iteri
+    (fun i xi ->
+      let dx = xi -. mx in
+      sxy := !sxy +. (dx *. (y.(i) -. my));
+      sxx := !sxx +. (dx *. dx))
+    x;
+  let slope = if !sxx = 0.0 then 0.0 else !sxy /. !sxx in
+  let intercept = my -. (slope *. mx) in
+  let r = correlation x y in
+  { slope; intercept; r2 = r *. r }
+
+let ratio_estimator ~y ~x ~population_x =
+  assert (Array.length x = Array.length y && Array.length x > 0);
+  let sy = Array.fold_left ( +. ) 0.0 y and sx = Array.fold_left ( +. ) 0.0 x in
+  if sx = 0.0 then 0.0 else sy /. sx *. population_x
+
+let histogram ~bins a =
+  assert (bins > 0 && Array.length a > 0);
+  let lo = minimum a and hi = maximum a in
+  let width = if hi = lo then 1.0 else (hi -. lo) /. float_of_int bins in
+  let counts = Array.make bins 0 in
+  Array.iter
+    (fun x ->
+      let i = int_of_float ((x -. lo) /. width) in
+      let i = max 0 (min (bins - 1) i) in
+      counts.(i) <- counts.(i) + 1)
+    a;
+  Array.mapi (fun i c -> (lo +. (float_of_int i *. width), c)) counts

@@ -1,0 +1,57 @@
+(** Descriptive statistics and sampling-theory helpers.
+
+    Used by the sampling-based power estimators (census / sampler / adaptive
+    macro-modeling, Section II-C2 of the paper) and by every experiment that
+    reports errors and confidence intervals. *)
+
+val mean : float array -> float
+(** Arithmetic mean. Requires a non-empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance (divides by [n - 1]); [0.] for arrays of
+    length [<= 1]. *)
+
+val stddev : float array -> float
+
+val mean_list : float list -> float
+
+val minimum : float array -> float
+
+val maximum : float array -> float
+
+val median : float array -> float
+(** Median (does not mutate the input). *)
+
+val percentile : float array -> float -> float
+(** [percentile a p] with [p] in [\[0,100\]], nearest-rank convention. *)
+
+val confidence_interval_95 : float array -> float * float
+(** Normal-approximation 95% confidence interval of the mean:
+    [(mean - 1.96 s/sqrt n, mean + 1.96 s/sqrt n)]. *)
+
+val relative_error : actual:float -> estimate:float -> float
+(** [|estimate - actual| / |actual|]; [0.] when both are zero, [infinity]
+    when only [actual] is. *)
+
+val mean_relative_error : actual:float array -> estimate:float array -> float
+(** Mean of pointwise relative errors over paired samples. *)
+
+val rms_error : actual:float array -> estimate:float array -> float
+
+val correlation : float array -> float array -> float
+(** Pearson correlation coefficient; [0.] when either side is constant. *)
+
+type linreg = { slope : float; intercept : float; r2 : float }
+
+val linear_regression : x:float array -> y:float array -> linreg
+(** Ordinary least squares on paired samples. *)
+
+val ratio_estimator : y:float array -> x:float array -> population_x:float -> float
+(** Classical ratio estimator: [(sum y / sum x) * population_x]. This is the
+    statistical engine behind adaptive macro-modeling: [y] are expensive
+    gate-level measurements on a small sample, [x] the cheap macro-model
+    values on the same sample, [population_x] the macro-model total over the
+    whole stream. *)
+
+val histogram : bins:int -> float array -> (float * int) array
+(** Equal-width histogram; each entry is (bin lower edge, count). *)

@@ -1,0 +1,42 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?align ~header rows =
+  let ncols = List.length header in
+  let aligns =
+    match align with
+    | Some l ->
+        assert (List.length l = ncols);
+        Array.of_list l
+    | None -> Array.make ncols Right
+  in
+  let widths = Array.of_list (List.map String.length header) in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell ->
+          if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    rows;
+  let line cells =
+    String.concat "  "
+      (List.mapi (fun i c -> pad aligns.(i) widths.(i) c) cells)
+  in
+  let rule =
+    String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let body = List.map line rows in
+  String.concat "\n" ((line header :: rule :: body) @ [ "" ])
+
+let print ?align ~title ~header rows =
+  Printf.printf "== %s ==\n%s\n" title (render ?align ~header rows)
+
+let fmt_float ?(digits = 2) v = Printf.sprintf "%.*f" digits v
+
+let fmt_pct r = Printf.sprintf "%.1f%%" (100.0 *. r)

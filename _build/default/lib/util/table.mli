@@ -1,0 +1,18 @@
+(** Fixed-width text tables for the experiment reports printed by the bench
+    harness (one per paper table/figure). *)
+
+type align = Left | Right
+
+val render : ?align:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays the rows out under the header with column
+    widths fitted to the content, a rule under the header, and two spaces
+    between columns. [align] defaults to [Right] for every column. *)
+
+val print : ?align:align list -> title:string -> header:string list -> string list list -> unit
+(** Render to stdout under a [== title ==] banner. *)
+
+val fmt_float : ?digits:int -> float -> string
+(** Fixed-point formatting helper (default 2 digits). *)
+
+val fmt_pct : float -> string
+(** Format a ratio as a percentage with one digit, e.g. [0.123] -> ["12.3%"]. *)

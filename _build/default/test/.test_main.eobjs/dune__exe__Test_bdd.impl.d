@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Bdd Hlp_bdd Hlp_logic Hlp_util List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_bus.ml: Alcotest Array Encoding Hlp_bus Hlp_util List Printf QCheck QCheck_alcotest Traces

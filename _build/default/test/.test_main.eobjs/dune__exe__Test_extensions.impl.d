@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Coldsched Hlp_bus Hlp_fsm Hlp_isa Hlp_logic Hlp_power Hlp_rtl Hlp_sim Hlp_util Isa List Printf QCheck QCheck_alcotest

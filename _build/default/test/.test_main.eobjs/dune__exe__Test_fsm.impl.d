@@ -1,0 +1,1 @@
+test/test_fsm.ml: Alcotest Array Encode Fun Hlp_bdd Hlp_fsm Hlp_sim Hlp_util List Markov Minimize Printf QCheck QCheck_alcotest Stg Symbolic Synth Tyagi

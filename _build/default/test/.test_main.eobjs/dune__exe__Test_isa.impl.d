@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Asm Fun Hlp_isa Hlp_util Isa List Machine Printf Profile Programs QCheck QCheck_alcotest Tiwari

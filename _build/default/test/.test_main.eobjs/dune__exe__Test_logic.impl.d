@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Array Export Gate Generators Hlp_bdd Hlp_logic Hlp_util List Netlist Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_bdd Test_bus Test_extensions Test_fsm Test_isa Test_logic Test_optlogic Test_pm Test_power Test_properties Test_rtl Test_sim Test_util

@@ -1,0 +1,1 @@
+test/test_optlogic.ml: Alcotest Array Bdd_synth Gated_clock Guard Hlp_bdd Hlp_fsm Hlp_logic Hlp_optlogic Hlp_sim Hlp_util List Precompute Printf QCheck QCheck_alcotest Retime

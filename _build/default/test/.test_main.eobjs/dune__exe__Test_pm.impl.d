@@ -1,0 +1,1 @@
+test/test_pm.ml: Alcotest Array Hlp_pm Hlp_util List Multistate Policy Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Bits Hlp_bdd Hlp_fsm Hlp_logic Hlp_power Hlp_rtl Hlp_sim Hlp_util List Prng QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_rtl.ml: Alcotest Allocate Array Cdfg Fir Gen Hlp_logic Hlp_rtl Hlp_sim Hlp_util List Module_energy Option Printf QCheck QCheck_alcotest Quicksynth Schedule Transform Voltage

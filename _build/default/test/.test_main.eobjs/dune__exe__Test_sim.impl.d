@@ -1,0 +1,1 @@
+test/test_sim.ml: Activity Alcotest Array Eventsim Funcsim Generators Hlp_logic Hlp_sim Hlp_util Netlist Printf QCheck QCheck_alcotest Streams

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bits Gen Hashtbl Heap Hlp_util Linalg List Option Prng QCheck QCheck_alcotest Stats String Table

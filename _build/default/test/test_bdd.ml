@@ -1,0 +1,199 @@
+open Hlp_bdd
+
+let test_constants () =
+  let m = Bdd.manager () in
+  Alcotest.(check bool) "zero" true (Bdd.is_zero (Bdd.zero m));
+  Alcotest.(check bool) "one" true (Bdd.is_one (Bdd.one m));
+  Alcotest.(check bool) "not zero = one" true
+    (Bdd.equal (Bdd.not_ m (Bdd.zero m)) (Bdd.one m))
+
+let test_var_eval () =
+  let m = Bdd.manager () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 in
+  let f = Bdd.and_ m x (Bdd.not_ m y) in
+  Alcotest.(check bool) "10" true (Bdd.eval f (fun v -> v = 0));
+  Alcotest.(check bool) "11" false (Bdd.eval f (fun _ -> true));
+  Alcotest.(check bool) "00" false (Bdd.eval f (fun _ -> false))
+
+let test_hash_consing_canonicity () =
+  let m = Bdd.manager () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 and z = Bdd.var m 2 in
+  (* (x & y) | (x & z) == x & (y | z) *)
+  let lhs = Bdd.or_ m (Bdd.and_ m x y) (Bdd.and_ m x z) in
+  let rhs = Bdd.and_ m x (Bdd.or_ m y z) in
+  Alcotest.(check bool) "distributivity" true (Bdd.equal lhs rhs);
+  (* de morgan *)
+  let a = Bdd.not_ m (Bdd.and_ m x y) in
+  let b = Bdd.or_ m (Bdd.not_ m x) (Bdd.not_ m y) in
+  Alcotest.(check bool) "de morgan" true (Bdd.equal a b)
+
+let test_xor_identities () =
+  let m = Bdd.manager () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 in
+  Alcotest.(check bool) "x^x=0" true (Bdd.is_zero (Bdd.xor_ m x x));
+  Alcotest.(check bool) "x^0=x" true (Bdd.equal (Bdd.xor_ m x (Bdd.zero m)) x);
+  Alcotest.(check bool) "xnor = not xor" true
+    (Bdd.equal (Bdd.xnor_ m x y) (Bdd.not_ m (Bdd.xor_ m x y)))
+
+let test_cofactor () =
+  let m = Bdd.manager () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 in
+  let f = Bdd.or_ m (Bdd.and_ m x y) (Bdd.not_ m x) in
+  Alcotest.(check bool) "f|x=1 is y" true (Bdd.equal (Bdd.cofactor m f ~var:0 true) y);
+  Alcotest.(check bool) "f|x=0 is 1" true (Bdd.is_one (Bdd.cofactor m f ~var:0 false))
+
+let test_quantification () =
+  let m = Bdd.manager () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 in
+  let f = Bdd.and_ m x y in
+  Alcotest.(check bool) "exists x (x&y) = y" true (Bdd.equal (Bdd.exists m [ 0 ] f) y);
+  Alcotest.(check bool) "forall x (x&y) = 0" true (Bdd.is_zero (Bdd.forall m [ 0 ] f));
+  let g = Bdd.or_ m x y in
+  Alcotest.(check bool) "forall x (x|y) = y" true (Bdd.equal (Bdd.forall m [ 0 ] g) y);
+  Alcotest.(check bool) "exists both = 1" true (Bdd.is_one (Bdd.exists m [ 0; 1 ] g))
+
+let test_compose () =
+  let m = Bdd.manager () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 and z = Bdd.var m 2 in
+  (* substitute y := (x ^ z) into f = x & y *)
+  let f = Bdd.and_ m x y in
+  let g = Bdd.xor_ m x z in
+  let h = Bdd.compose m f ~var:1 g in
+  let expect = Bdd.and_ m x (Bdd.xor_ m x z) in
+  Alcotest.(check bool) "compose" true (Bdd.equal h expect);
+  (* substituting a variable ordered above the branch point *)
+  let f2 = Bdd.and_ m z y in
+  let h2 = Bdd.compose m f2 ~var:2 x in
+  Alcotest.(check bool) "compose upward" true (Bdd.equal h2 (Bdd.and_ m x y))
+
+let test_support () =
+  let m = Bdd.manager () in
+  let x = Bdd.var m 0 and z = Bdd.var m 5 in
+  let f = Bdd.xor_ m x z in
+  Alcotest.(check (list int)) "support" [ 0; 5 ] (Bdd.support f);
+  Alcotest.(check (list int)) "const support" [] (Bdd.support (Bdd.one m))
+
+let test_count_sat () =
+  let m = Bdd.manager () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 in
+  let f = Bdd.or_ m x y in
+  Alcotest.(check (float 1e-9)) "sat count or" 3.0 (Bdd.count_sat ~nvars:2 f);
+  Alcotest.(check (float 1e-9)) "sat count xor over 3 vars" 4.0
+    (Bdd.count_sat ~nvars:3 (Bdd.xor_ m x y))
+
+let test_probability () =
+  let m = Bdd.manager () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 in
+  let f = Bdd.and_ m x y in
+  let p = Bdd.probability m ~p:(fun i -> if i = 0 then 0.5 else 0.25) f in
+  Alcotest.(check (float 1e-9)) "weighted prob" 0.125 p;
+  let g = Bdd.or_ m x y in
+  let pg = Bdd.probability m ~p:(fun _ -> 0.5) g in
+  Alcotest.(check (float 1e-9)) "or prob" 0.75 pg
+
+let test_pick_sat () =
+  let m = Bdd.manager () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 in
+  let f = Bdd.and_ m (Bdd.not_ m x) y in
+  (match Bdd.pick_sat f with
+  | None -> Alcotest.fail "should be satisfiable"
+  | Some assign ->
+      let value v = List.assoc v assign in
+      Alcotest.(check bool) "x false" false (value 0);
+      Alcotest.(check bool) "y true" true (value 1));
+  Alcotest.(check bool) "unsat" true (Bdd.pick_sat (Bdd.zero m) = None)
+
+let test_of_netlist_adder () =
+  let m = Bdd.manager () in
+  let n = 4 in
+  let net = Hlp_logic.Generators.adder_circuit n in
+  let outs = Bdd.of_netlist m net in
+  (* check sum bit semantics against integer addition on all 256 inputs *)
+  for a = 0 to 15 do
+    for b = 0 to 15 do
+      let assign v = if v < n then Hlp_util.Bits.bit a v else Hlp_util.Bits.bit b (v - n) in
+      let s = a + b in
+      List.iter
+        (fun (name, f) ->
+          let got = Bdd.eval f assign in
+          let expect =
+            if name = "cout" then s > 15
+            else
+              let i = int_of_string (String.sub name 1 (String.length name - 1)) in
+              Hlp_util.Bits.bit s i
+          in
+          Alcotest.(check bool) name expect got)
+        outs
+    done
+  done
+
+let test_bdd_size_xor_chain () =
+  (* xor chains have linear BDDs: size should grow linearly, not blow up *)
+  let m = Bdd.manager () in
+  let chain k =
+    let f = ref (Bdd.zero m) in
+    for i = 0 to k - 1 do
+      f := Bdd.xor_ m !f (Bdd.var m i)
+    done;
+    Bdd.size !f
+  in
+  let s8 = chain 8 and s16 = chain 16 in
+  Alcotest.(check bool) "linear growth" true (s16 < 3 * s8);
+  (* without complement edges an n-variable parity BDD has 2n - 1 nodes *)
+  Alcotest.(check int) "xor chain size" 31 s16
+
+let test_size_shared () =
+  let m = Bdd.manager () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 in
+  let f = Bdd.and_ m x y and g = Bdd.or_ m x y in
+  let shared = Bdd.size_shared [ f; g ] in
+  Alcotest.(check bool) "sharing less than sum" true (shared <= Bdd.size f + Bdd.size g)
+
+let qcheck_ite_shannon =
+  QCheck.Test.make ~name:"ite satisfies the Shannon expansion semantics"
+    QCheck.(triple (int_bound 255) (int_bound 255) (int_bound 255))
+    (fun (tf, tg, th) ->
+      (* interpret 8-bit truth tables over 3 vars *)
+      let m = Bdd.manager () in
+      let of_tt tt =
+        let f = ref (Bdd.zero m) in
+        for minterm = 0 to 7 do
+          if Hlp_util.Bits.bit tt minterm then begin
+            let cube =
+              Bdd.conj m
+                (List.init 3 (fun v ->
+                     if Hlp_util.Bits.bit minterm v then Bdd.var m v
+                     else Bdd.nvar m v))
+            in
+            f := Bdd.or_ m !f cube
+          end
+        done;
+        !f
+      in
+      let f = of_tt tf and g = of_tt tg and h = of_tt th in
+      let r = Bdd.ite m f g h in
+      List.for_all
+        (fun minterm ->
+          let assign v = Hlp_util.Bits.bit minterm v in
+          Bdd.eval r assign
+          = if Bdd.eval f assign then Bdd.eval g assign else Bdd.eval h assign)
+        (List.init 8 (fun i -> i)))
+
+let suite =
+  [
+    Alcotest.test_case "constants" `Quick test_constants;
+    Alcotest.test_case "var eval" `Quick test_var_eval;
+    Alcotest.test_case "hash consing canonicity" `Quick test_hash_consing_canonicity;
+    Alcotest.test_case "xor identities" `Quick test_xor_identities;
+    Alcotest.test_case "cofactor" `Quick test_cofactor;
+    Alcotest.test_case "quantification" `Quick test_quantification;
+    Alcotest.test_case "compose" `Quick test_compose;
+    Alcotest.test_case "support" `Quick test_support;
+    Alcotest.test_case "count sat" `Quick test_count_sat;
+    Alcotest.test_case "probability" `Quick test_probability;
+    Alcotest.test_case "pick sat" `Quick test_pick_sat;
+    Alcotest.test_case "of_netlist adder" `Quick test_of_netlist_adder;
+    Alcotest.test_case "xor chain size" `Quick test_bdd_size_xor_chain;
+    Alcotest.test_case "size shared" `Quick test_size_shared;
+    QCheck_alcotest.to_alcotest qcheck_ite_shannon;
+  ]

@@ -1,0 +1,184 @@
+open Hlp_bus
+
+let all_static_schemes =
+  [ Encoding.Binary; Encoding.Gray_code; Encoding.Bus_invert; Encoding.T0;
+    Encoding.T0_bus_invert;
+    Encoding.Working_zone { zones = 4; offset_bits = 4 } ]
+
+let test_roundtrip_all_schemes () =
+  let width = 16 in
+  let rng = Hlp_util.Prng.create 1 in
+  let streams =
+    [
+      Traces.sequential () ~width ~n:500;
+      Traces.sequential_with_jumps rng ~jump_prob:0.1 ~width ~n:500;
+      Traces.interleaved_arrays rng ~bases:[ 0x100; 0x8000; 0x4200 ] ~stride:1 ~width ~n:500;
+      Traces.random_data rng ~width ~n:500;
+      Traces.loop_kernel rng ~body:12 ~iterations:20 ~width;
+    ]
+  in
+  List.iter
+    (fun scheme ->
+      List.iter
+        (fun s ->
+          Alcotest.(check bool)
+            (Encoding.scheme_name scheme ^ " roundtrip")
+            true
+            (Encoding.roundtrip scheme ~width s))
+        streams)
+    all_static_schemes
+
+let test_beach_roundtrip () =
+  let width = 16 in
+  let rng = Hlp_util.Prng.create 2 in
+  let train = Traces.loop_kernel rng ~body:12 ~iterations:40 ~width in
+  let beach = Encoding.train_beach ~width train in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "beach roundtrip" true (Encoding.roundtrip beach ~width s))
+    [ train; Traces.random_data rng ~width ~n:300 ]
+
+let test_gray_single_transition_sequential () =
+  let width = 16 in
+  let s = Traces.sequential () ~width ~n:2000 in
+  let r = Encoding.evaluate Encoding.Gray_code ~width s in
+  Alcotest.(check (float 0.001)) "exactly 1 per address" 1.0 r.Encoding.per_word
+
+let test_t0_zero_transitions_sequential () =
+  let width = 16 in
+  let s = Traces.sequential () ~width ~n:2000 in
+  let r = Encoding.evaluate Encoding.T0 ~width s in
+  (* INC rises once, then the bus is frozen: asymptotically zero *)
+  Alcotest.(check bool)
+    (Printf.sprintf "%d transitions total" r.Encoding.transitions)
+    true
+    (r.Encoding.transitions <= 2)
+
+let test_binary_sequential_average () =
+  (* counting: average transitions per increment tends to 2 *)
+  let width = 16 in
+  let s = Traces.sequential () ~width ~n:4000 in
+  let r = Encoding.evaluate Encoding.Binary ~width s in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.2f near 2" r.Encoding.per_word)
+    true
+    (abs_float (r.Encoding.per_word -. 2.0) < 0.05)
+
+let test_bus_invert_bound () =
+  (* no clock cycle may toggle more than N/2 + 1 lines (N/2 data + INV) *)
+  let width = 8 in
+  let rng = Hlp_util.Prng.create 3 in
+  let s = Traces.random_data rng ~width ~n:2000 in
+  let bus = Encoding.transmit Encoding.Bus_invert ~width s in
+  for i = 1 to Array.length bus - 1 do
+    let t = Hlp_util.Bits.hamming bus.(i - 1) bus.(i) in
+    Alcotest.(check bool)
+      (Printf.sprintf "cycle %d toggles %d" i t)
+      true
+      (t <= (width / 2) + 1)
+  done
+
+let test_bus_invert_beats_binary_on_random () =
+  let width = 16 in
+  let rng = Hlp_util.Prng.create 4 in
+  let s = Traces.random_data rng ~width ~n:5000 in
+  let b = Encoding.evaluate Encoding.Binary ~width s in
+  let bi = Encoding.evaluate Encoding.Bus_invert ~width s in
+  Alcotest.(check bool)
+    (Printf.sprintf "bi %.2f < binary %.2f" bi.Encoding.per_word b.Encoding.per_word)
+    true
+    (bi.Encoding.per_word < b.Encoding.per_word)
+
+let test_working_zone_beats_t0_on_interleaved () =
+  let width = 16 in
+  let rng = Hlp_util.Prng.create 5 in
+  let s =
+    Traces.interleaved_arrays rng ~bases:[ 0x0100; 0x8000; 0x4200; 0xC000 ]
+      ~stride:1 ~width ~n:4000
+  in
+  let t0 = Encoding.evaluate Encoding.T0 ~width s in
+  let wz =
+    Encoding.evaluate (Encoding.Working_zone { zones = 4; offset_bits = 4 }) ~width s
+  in
+  let bin = Encoding.evaluate Encoding.Binary ~width s in
+  Alcotest.(check bool)
+    (Printf.sprintf "wz %.2f < t0 %.2f" wz.Encoding.per_word t0.Encoding.per_word)
+    true
+    (wz.Encoding.per_word < t0.Encoding.per_word);
+  Alcotest.(check bool)
+    (Printf.sprintf "wz %.2f < binary %.2f" wz.Encoding.per_word bin.Encoding.per_word)
+    true
+    (wz.Encoding.per_word < bin.Encoding.per_word)
+
+let test_t0_beats_gray_on_jumpy_sequential () =
+  (* with redundancy allowed, T0 outperforms the irredundant-optimal Gray *)
+  let width = 16 in
+  let rng = Hlp_util.Prng.create 6 in
+  let s = Traces.sequential_with_jumps rng ~jump_prob:0.05 ~width ~n:5000 in
+  let gray = Encoding.evaluate Encoding.Gray_code ~width s in
+  let t0 = Encoding.evaluate Encoding.T0 ~width s in
+  Alcotest.(check bool)
+    (Printf.sprintf "t0 %.2f < gray %.2f" t0.Encoding.per_word gray.Encoding.per_word)
+    true
+    (t0.Encoding.per_word < gray.Encoding.per_word)
+
+let test_beach_beats_binary_on_loop_trace () =
+  let width = 16 in
+  let rng = Hlp_util.Prng.create 7 in
+  let train = Traces.loop_kernel rng ~body:12 ~iterations:60 ~width in
+  let test = Traces.loop_kernel rng ~body:12 ~iterations:30 ~width in
+  let beach = Encoding.train_beach ~width train in
+  let b = Encoding.evaluate Encoding.Binary ~width test in
+  let bc = Encoding.evaluate beach ~width test in
+  Alcotest.(check bool)
+    (Printf.sprintf "beach %.2f < binary %.2f" bc.Encoding.per_word b.Encoding.per_word)
+    true
+    (bc.Encoding.per_word < b.Encoding.per_word)
+
+let test_extra_lines_accounting () =
+  Alcotest.(check int) "binary" 0 (Encoding.extra_lines Encoding.Binary);
+  Alcotest.(check int) "bi" 1 (Encoding.extra_lines Encoding.Bus_invert);
+  Alcotest.(check int) "t0+bi" 2 (Encoding.extra_lines Encoding.T0_bus_invert);
+  let width = 16 in
+  let s = Traces.sequential () ~width ~n:10 in
+  let r = Encoding.evaluate Encoding.T0 ~width s in
+  Alcotest.(check int) "t0 lines" 17 r.Encoding.lines
+
+let qcheck_roundtrip_random =
+  QCheck.Test.make ~name:"all schemes decode what they encode" ~count:50
+    QCheck.(pair (int_bound 100_000) (int_range 2 200))
+    (fun (seed, n) ->
+      let width = 12 in
+      let rng = Hlp_util.Prng.create seed in
+      let s = Traces.random_data rng ~width ~n in
+      List.for_all (fun scheme -> Encoding.roundtrip scheme ~width s) all_static_schemes)
+
+let qcheck_bus_invert_never_worse =
+  QCheck.Test.make ~name:"bus-invert data lines toggle at most binary's" ~count:30
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let width = 8 in
+      let rng = Hlp_util.Prng.create seed in
+      let s = Traces.random_data rng ~width ~n:300 in
+      let bin = Encoding.evaluate Encoding.Binary ~width s in
+      let bi = Encoding.evaluate Encoding.Bus_invert ~width s in
+      (* including the INV line it can tie or lose slightly, but data-line
+         transitions alone can never exceed binary + n (INV toggles) *)
+      bi.Encoding.transitions <= bin.Encoding.transitions + 300)
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip all schemes" `Quick test_roundtrip_all_schemes;
+    Alcotest.test_case "beach roundtrip" `Quick test_beach_roundtrip;
+    Alcotest.test_case "gray 1/address sequential" `Quick test_gray_single_transition_sequential;
+    Alcotest.test_case "t0 zero transitions" `Quick test_t0_zero_transitions_sequential;
+    Alcotest.test_case "binary sequential ~2" `Quick test_binary_sequential_average;
+    Alcotest.test_case "bus-invert bound" `Quick test_bus_invert_bound;
+    Alcotest.test_case "bus-invert beats binary" `Quick test_bus_invert_beats_binary_on_random;
+    Alcotest.test_case "working-zone beats t0" `Quick test_working_zone_beats_t0_on_interleaved;
+    Alcotest.test_case "t0 beats gray with jumps" `Quick test_t0_beats_gray_on_jumpy_sequential;
+    Alcotest.test_case "beach beats binary" `Quick test_beach_beats_binary_on_loop_trace;
+    Alcotest.test_case "extra lines" `Quick test_extra_lines_accounting;
+    QCheck_alcotest.to_alcotest qcheck_roundtrip_random;
+    QCheck_alcotest.to_alcotest qcheck_bus_invert_never_worse;
+  ]

@@ -1,0 +1,415 @@
+(* Tests for the second wave of surveyed techniques: cold scheduling,
+   F-test stepwise macro-models, FSM decomposition, memory mapping. *)
+
+(* --- cold scheduling --- *)
+
+let test_coldsched_preserves_results () =
+  List.iter
+    (fun (name, (prog, mem)) ->
+      let r1 = Hlp_isa.Machine.run ~mem_init:mem prog in
+      let r2 = Hlp_isa.Machine.run ~mem_init:mem (Hlp_isa.Coldsched.reorder prog) in
+      Alcotest.(check bool) (name ^ " same registers") true
+        (r1.Hlp_isa.Machine.regs = r2.Hlp_isa.Machine.regs);
+      Alcotest.(check int) (name ^ " same instruction count")
+        r1.Hlp_isa.Machine.counters.Hlp_isa.Machine.instructions
+        r2.Hlp_isa.Machine.counters.Hlp_isa.Machine.instructions)
+    (Hlp_isa.Programs.all ())
+
+let test_coldsched_never_hurts () =
+  List.iter
+    (fun (name, (prog, mem)) ->
+      let e = Hlp_isa.Coldsched.measure ~mem_init:mem prog in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s saving %.3f >= 0" name e.Hlp_isa.Coldsched.saving)
+        true
+        (e.Hlp_isa.Coldsched.saving >= -1e-9))
+    (Hlp_isa.Programs.all ())
+
+let test_coldsched_wins_on_ilp () =
+  let prog, mem = Hlp_isa.Programs.vector_kernel ~n:64 in
+  let e = Hlp_isa.Coldsched.measure ~mem_init:mem prog in
+  Alcotest.(check bool)
+    (Printf.sprintf "saving %.3f > 5%%" e.Hlp_isa.Coldsched.saving)
+    true
+    (e.Hlp_isa.Coldsched.saving > 0.05)
+
+let test_coldsched_basic_blocks () =
+  let prog =
+    [| Hlp_isa.Isa.Addi (1, 0, 5); Hlp_isa.Isa.Add (2, 2, 1); Hlp_isa.Isa.Bne (1, 0, -2); Hlp_isa.Isa.Halt |]
+  in
+  let blocks = Hlp_isa.Coldsched.basic_blocks prog in
+  (* leaders at 0 (entry), 1 (branch target), 3 (after branch) *)
+  Alcotest.(check (list (pair int int))) "blocks" [ (0, 1); (1, 3); (3, 4) ] blocks
+
+let test_coldsched_depends () =
+  let open Hlp_isa in
+  Alcotest.(check bool) "raw" true (Coldsched.depends (Isa.Addi (1, 0, 5)) (Isa.Add (2, 1, 1)));
+  Alcotest.(check bool) "war" true (Coldsched.depends (Isa.Add (2, 1, 1)) (Isa.Addi (1, 0, 5)));
+  Alcotest.(check bool) "waw" true (Coldsched.depends (Isa.Addi (1, 0, 5)) (Isa.Addi (1, 0, 6)));
+  Alcotest.(check bool) "independent" false
+    (Coldsched.depends (Isa.Addi (1, 0, 5)) (Isa.Addi (2, 0, 6)));
+  Alcotest.(check bool) "st-ld serialize" true
+    (Coldsched.depends (Isa.St (1, 0, 5)) (Isa.Ld (2, 0, 5)));
+  Alcotest.(check bool) "ld-ld independent" false
+    (Coldsched.depends (Isa.Ld (1, 0, 5)) (Isa.Ld (2, 0, 6)));
+  Alcotest.(check bool) "control serializes" true
+    (Coldsched.depends (Isa.Beq (0, 0, 1)) (Isa.Addi (1, 0, 5)))
+
+(* --- stepwise F-test regression --- *)
+
+let make_regression_data ?(noise = 0.5) ?(n = 80) seed coefs =
+  let rng = Hlp_util.Prng.create seed in
+  let p = Array.length coefs in
+  let features = Array.init n (fun _ -> Array.init p (fun _ -> Hlp_util.Prng.float rng 10.0)) in
+  let response =
+    Array.map
+      (fun row ->
+        let v = ref (Hlp_util.Prng.gaussian rng ~mu:0.0 ~sigma:noise) in
+        Array.iteri (fun j c -> v := !v +. (c *. row.(j))) coefs;
+        !v)
+      features
+  in
+  (features, response)
+
+let test_stepwise_selects_informative () =
+  let features, response = make_regression_data 11 [| 2.0; 0.0; 0.0; 5.0; 0.0 |] in
+  let m = Hlp_power.Stepwise.fit ~features ~response () in
+  Alcotest.(check (list int)) "selects exactly the true variables" [ 0; 3 ]
+    m.Hlp_power.Stepwise.selected;
+  Alcotest.(check bool) "good fit" true
+    (Hlp_power.Stepwise.r_squared m ~features ~response > 0.98)
+
+let test_stepwise_drops_pure_noise () =
+  let rng = Hlp_util.Prng.create 13 in
+  let features = Array.init 60 (fun _ -> Array.init 4 (fun _ -> Hlp_util.Prng.float rng 1.0)) in
+  let response = Array.init 60 (fun _ -> Hlp_util.Prng.gaussian rng ~mu:5.0 ~sigma:1.0) in
+  let m = Hlp_power.Stepwise.fit ~features ~response () in
+  Alcotest.(check bool) "selects at most one spurious variable" true
+    (List.length m.Hlp_power.Stepwise.selected <= 1)
+
+let test_stepwise_prediction_and_interval () =
+  let features, response = make_regression_data ~noise:0.2 17 [| 3.0; 1.0 |] in
+  let m = Hlp_power.Stepwise.fit ~features ~response () in
+  let row = [| 2.0; 4.0 |] in
+  let expect = (3.0 *. 2.0) +. (1.0 *. 4.0) in
+  let p = Hlp_power.Stepwise.predict m row in
+  Alcotest.(check bool) "prediction close" true (abs_float (p -. expect) < 0.5);
+  let lo, hi = Hlp_power.Stepwise.confidence_interval m row in
+  Alcotest.(check bool) "interval brackets prediction" true (lo < p && p < hi);
+  Alcotest.(check bool) "interval is tight for low noise" true (hi -. lo < 2.0)
+
+let test_stepwise_on_macromodel_features () =
+  (* bitwise macro-model features of an adder: the stepwise fit should use
+     a subset of pins and still track the census fit *)
+  let dut =
+    { Hlp_power.Macromodel.net = Hlp_logic.Generators.adder_circuit 6; widths = [ 6; 6 ] }
+  in
+  let obs =
+    List.map (Hlp_power.Macromodel.observe dut) (Hlp_power.Macromodel.training_streams dut)
+  in
+  let features =
+    Array.of_list
+      (List.map
+         (fun o ->
+           Array.concat
+             (List.map
+                (fun a -> a.Hlp_sim.Activity.activity)
+                o.Hlp_power.Macromodel.stats.Hlp_power.Macromodel.in_acts))
+         obs)
+  in
+  let response = Array.of_list (List.map (fun o -> o.Hlp_power.Macromodel.cap) obs) in
+  let m = Hlp_power.Stepwise.fit ~features ~response () in
+  Alcotest.(check bool) "selected at least one pin" true
+    (m.Hlp_power.Stepwise.selected <> []);
+  Alcotest.(check bool) "explains most variance" true
+    (Hlp_power.Stepwise.r_squared m ~features ~response > 0.8)
+
+(* --- FSM decomposition --- *)
+
+let reactive_case () =
+  let stg = Hlp_fsm.Stg.reactive ~wait_states:6 ~burst_states:6 in
+  let dist =
+    Hlp_fsm.Markov.analyze ~input_prob:(fun i -> if i = 1 then 0.05 else 0.95) stg
+  in
+  (stg, dist)
+
+let test_decompose_structure () =
+  let stg, dist = reactive_case () in
+  let part = Hlp_fsm.Decompose.balanced_min_cut (Hlp_util.Prng.create 3) stg dist in
+  let d = Hlp_fsm.Decompose.decompose stg dist part in
+  Hlp_fsm.Stg.validate d.Hlp_fsm.Decompose.sub_a;
+  Hlp_fsm.Stg.validate d.Hlp_fsm.Decompose.sub_b;
+  let na = d.Hlp_fsm.Decompose.sub_a.Hlp_fsm.Stg.num_states in
+  let nb = d.Hlp_fsm.Decompose.sub_b.Hlp_fsm.Stg.num_states in
+  (* each half has its states plus one wait state *)
+  Alcotest.(check int) "states partitioned" (stg.Hlp_fsm.Stg.num_states + 2) (na + nb)
+
+let test_decompose_behaviour_preserved_within_half () =
+  let stg, dist = reactive_case () in
+  let part = Hlp_fsm.Decompose.balanced_min_cut (Hlp_util.Prng.create 3) stg dist in
+  let d = Hlp_fsm.Decompose.decompose stg dist part in
+  (* for every resident state and input whose successor stays resident, the
+     submachine must replicate transition and output *)
+  let check sub keep =
+    let locals =
+      List.filter keep (List.init stg.Hlp_fsm.Stg.num_states (fun s -> s))
+    in
+    List.iteri
+      (fun l s ->
+        for i = 0 to Hlp_fsm.Stg.num_inputs stg - 1 do
+          let s' = stg.Hlp_fsm.Stg.next.(s).(i) in
+          if keep s' then begin
+            let l' =
+              let rec find k = function
+                | [] -> Alcotest.fail "missing local"
+                | x :: rest -> if x = s' then k else find (k + 1) rest
+              in
+              find 0 locals
+            in
+            Alcotest.(check int) "next preserved" l' sub.Hlp_fsm.Stg.next.(l).(i);
+            Alcotest.(check int) "output preserved"
+              stg.Hlp_fsm.Stg.output.(s).(i)
+              sub.Hlp_fsm.Stg.output.(l).(i)
+          end
+          else
+            (* leaving the half parks in the wait state (last index) *)
+            Alcotest.(check int) "exits to wait"
+              (sub.Hlp_fsm.Stg.num_states - 1)
+              sub.Hlp_fsm.Stg.next.(l).(i)
+        done)
+      locals
+  in
+  check d.Hlp_fsm.Decompose.sub_a (fun s -> not part.(s));
+  check d.Hlp_fsm.Decompose.sub_b (fun s -> part.(s))
+
+let test_decompose_low_crossing () =
+  let stg, dist = reactive_case () in
+  let part = Hlp_fsm.Decompose.balanced_min_cut (Hlp_util.Prng.create 3) stg dist in
+  let cross = Hlp_fsm.Decompose.crossing_probability stg dist part in
+  Alcotest.(check bool) (Printf.sprintf "crossing %.3f < 0.2" cross) true (cross < 0.2);
+  (* the wait/burst split is the natural cut: both halves populated *)
+  let in_b = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 part in
+  Alcotest.(check bool) "both halves populated" true
+    (in_b >= 2 && in_b <= stg.Hlp_fsm.Stg.num_states - 2)
+
+let test_decompose_saves_power () =
+  let stg, dist = reactive_case () in
+  let part = Hlp_fsm.Decompose.balanced_min_cut (Hlp_util.Prng.create 3) stg dist in
+  let d = Hlp_fsm.Decompose.decompose stg dist part in
+  let ev = Hlp_fsm.Decompose.evaluate stg d in
+  Alcotest.(check bool)
+    (Printf.sprintf "saving %.2f positive" ev.Hlp_fsm.Decompose.saving)
+    true
+    (ev.Hlp_fsm.Decompose.saving > 0.0)
+
+(* --- memory mapping --- *)
+
+let memmap_case () =
+  let arrays = [ ("a", 100); ("b", 100); ("c", 60); ("d", 200) ] in
+  let acc = Hlp_bus.Memmap.interleaved_workload (Hlp_util.Prng.create 5) arrays ~n:3000 in
+  (arrays, acc)
+
+let test_memmap_packing_disjoint () =
+  let arrays, _ = memmap_case () in
+  List.iter
+    (fun bases ->
+      let sizes = Array.of_list (List.map snd arrays) in
+      (* arrays must not overlap *)
+      let spans =
+        List.sort compare
+          (List.init (Array.length bases) (fun i -> (bases.(i), bases.(i) + sizes.(i))))
+      in
+      let rec check = function
+        | (_, e1) :: ((s2, _) :: _ as rest) ->
+            Alcotest.(check bool) "disjoint" true (e1 <= s2);
+            check rest
+        | _ -> ()
+      in
+      check spans)
+    [ Hlp_bus.Memmap.naive_bases arrays; Hlp_bus.Memmap.aligned_bases arrays;
+      Hlp_bus.Memmap.optimize (Hlp_util.Prng.create 7) ~width:12 arrays
+        (snd (memmap_case ())) ]
+
+let test_memmap_optimize_beats_naive () =
+  let arrays, acc = memmap_case () in
+  let width = 12 in
+  let naive = Hlp_bus.Memmap.transitions ~width ~bases:(Hlp_bus.Memmap.naive_bases arrays) acc in
+  let opt_bases = Hlp_bus.Memmap.optimize (Hlp_util.Prng.create 7) ~width arrays acc in
+  let opt = Hlp_bus.Memmap.transitions ~width ~bases:opt_bases acc in
+  Alcotest.(check bool)
+    (Printf.sprintf "optimized %d <= naive %d" opt naive)
+    true (opt <= naive);
+  Alcotest.(check bool) "meaningful saving" true
+    (float_of_int opt < 0.95 *. float_of_int naive)
+
+let test_memmap_addresses_in_range () =
+  let arrays, acc = memmap_case () in
+  let bases = Hlp_bus.Memmap.optimize (Hlp_util.Prng.create 9) ~width:12 arrays acc in
+  let trace = Hlp_bus.Memmap.address_trace ~bases acc in
+  Array.iter
+    (fun a -> Alcotest.(check bool) "address fits bus" true (a >= 0 && a < 1 lsl 12))
+    trace
+
+(* --- register binding --- *)
+
+let test_register_binding_valid_and_wins () =
+  let g = Hlp_rtl.Cdfg.diffeq () in
+  let sched =
+    Hlp_rtl.Schedule.list_schedule g ~resources:[ (Hlp_rtl.Module_energy.Multiplier, 2) ]
+  in
+  let prof = Hlp_rtl.Allocate.profile ~samples:120 g in
+  let area = Hlp_rtl.Allocate.bind_registers_area g sched in
+  let lp = Hlp_rtl.Allocate.bind_registers_low_power g sched prof in
+  Alcotest.(check bool) "positive register count" true (area.Hlp_rtl.Allocate.num_regs > 0);
+  (* no two simultaneously-live values share a register (both bindings) *)
+  let check (b : Hlp_rtl.Allocate.reg_binding) =
+    Array.iteri
+      (fun i ri ->
+        if ri >= 0 then
+          Array.iteri
+            (fun j rj ->
+              if j > i && rj = ri then
+                Alcotest.(check bool) "disjoint lifetimes on shared register" false
+                  (let si = sched.Hlp_rtl.Schedule.steps.(i)
+                   and sj = sched.Hlp_rtl.Schedule.steps.(j) in
+                   si = sj))
+            b.Hlp_rtl.Allocate.reg_of)
+      b.Hlp_rtl.Allocate.reg_of
+  in
+  check area;
+  check lp;
+  let ca = Hlp_rtl.Allocate.register_switched_capacitance g sched area prof in
+  let cl = Hlp_rtl.Allocate.register_switched_capacitance g sched lp prof in
+  Alcotest.(check bool)
+    (Printf.sprintf "lp registers %.1f <= area %.1f" cl ca)
+    true (cl <= ca +. 1e-9);
+  Alcotest.(check bool) "same register count after compaction" true
+    (lp.Hlp_rtl.Allocate.num_regs <= area.Hlp_rtl.Allocate.num_regs + 1)
+
+(* --- don't-care retargeting --- *)
+
+let test_dc_retarget_preserves_behaviour () =
+  (* machine with duplicated states so equivalence classes are nontrivial *)
+  let stg =
+    Hlp_fsm.Stg.create ~name:"dup" ~input_bits:1 ~output_bits:1 ~num_states:6
+      ~next:(fun s i ->
+        match (s, i) with
+        | 0, 0 -> 1 | 0, _ -> 4
+        | 1, 0 -> 2 | 1, _ -> 5
+        | 2, _ -> 0
+        | 3, 0 -> 1 | 3, _ -> 4
+        | 4, 0 -> 5 | 4, _ -> 2
+        | _, _ -> 3)
+      ~output:(fun s _ -> s mod 2)
+      ()
+  in
+  let enc = Hlp_fsm.Encode.natural stg in
+  let retargeted = Hlp_fsm.Minimize.dc_retarget stg enc in
+  Hlp_fsm.Stg.validate retargeted;
+  let rng = Hlp_util.Prng.create 7 in
+  let seq = List.init 400 (fun _ -> Hlp_util.Prng.int rng 2) in
+  let _, o1 = Hlp_fsm.Stg.simulate stg seq in
+  let _, o2 = Hlp_fsm.Stg.simulate retargeted seq in
+  Alcotest.(check (list int)) "same observable behaviour" o1 o2
+
+let test_dc_retarget_never_increases_switching () =
+  List.iter
+    (fun stg ->
+      let dist = Hlp_fsm.Markov.analyze stg in
+      let enc = Hlp_fsm.Encode.natural stg in
+      let retargeted = Hlp_fsm.Minimize.dc_retarget stg enc in
+      let dist' = Hlp_fsm.Markov.analyze retargeted in
+      let cost m d =
+        Hlp_fsm.Markov.expected_hamming m d ~code:(fun s -> enc.Hlp_fsm.Encode.code.(s))
+      in
+      Alcotest.(check bool)
+        (stg.Hlp_fsm.Stg.name ^ " switching not increased")
+        true
+        (cost retargeted dist' <= cost stg dist +. 1e-9))
+    (Hlp_fsm.Stg.zoo_extended ())
+
+(* --- traced machine runs --- *)
+
+let test_run_traced_streams () =
+  let prog, mem = Hlp_isa.Programs.matmul ~n:6 in
+  let r, traces = Hlp_isa.Machine.run_traced ~mem_init:mem prog in
+  Alcotest.(check int) "one pc per instruction"
+    r.Hlp_isa.Machine.counters.Hlp_isa.Machine.instructions
+    (Array.length traces.Hlp_isa.Machine.pcs);
+  Alcotest.(check int) "one address per memory op"
+    (r.Hlp_isa.Machine.counters.Hlp_isa.Machine.mem_reads
+    + r.Hlp_isa.Machine.counters.Hlp_isa.Machine.mem_writes)
+    (Array.length traces.Hlp_isa.Machine.data_addrs);
+  (* pc stream is mostly sequential: binary transitions/word well below
+     random (the premise of Gray/T0 addressing) *)
+  let t =
+    Hlp_bus.Encoding.evaluate Hlp_bus.Encoding.Binary ~width:16 traces.Hlp_isa.Machine.pcs
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "pc stream structured (%.2f trans/word)" t.Hlp_bus.Encoding.per_word)
+    true
+    (t.Hlp_bus.Encoding.per_word < 4.0)
+
+let test_bus_encoding_on_real_pc_trace () =
+  let prog, mem = Hlp_isa.Programs.fir ~taps:8 ~samples:64 in
+  let _, traces = Hlp_isa.Machine.run_traced ~mem_init:mem prog in
+  let width = 16 in
+  let eval s = (Hlp_bus.Encoding.evaluate s ~width traces.Hlp_isa.Machine.pcs).Hlp_bus.Encoding.per_word in
+  let binary = eval Hlp_bus.Encoding.Binary in
+  let gray = eval Hlp_bus.Encoding.Gray_code in
+  let t0 = eval Hlp_bus.Encoding.T0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "gray %.3f < binary %.3f on fetch" gray binary)
+    true (gray < binary);
+  Alcotest.(check bool)
+    (Printf.sprintf "t0 %.3f < binary %.3f on fetch" t0 binary)
+    true (t0 < binary)
+
+let qcheck_coldsched_safe =
+  QCheck.Test.make ~name:"cold scheduling never changes program results" ~count:15
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      (* random straight-line-ish programs via the profile synthesizer *)
+      let profile =
+        {
+          Hlp_isa.Profile.mix =
+            [ (Hlp_isa.Isa.Alu, 0.55); (Hlp_isa.Isa.Mulc, 0.1); (Hlp_isa.Isa.Mem, 0.2);
+              (Hlp_isa.Isa.Branch, 0.15); (Hlp_isa.Isa.Other, 0.0) ];
+          icache_miss_rate = 0.01;
+          dcache_miss_rate = 0.2;
+          branch_taken_rate = 0.3;
+          stall_rate = 0.1;
+          energy_per_cycle = 0.0;
+          instructions = 0;
+        }
+      in
+      let prog, mem = Hlp_isa.Profile.synthesize ~seed profile in
+      let r1 = Hlp_isa.Machine.run ~mem_init:mem prog in
+      let r2 = Hlp_isa.Machine.run ~mem_init:mem (Hlp_isa.Coldsched.reorder prog) in
+      r1.Hlp_isa.Machine.regs = r2.Hlp_isa.Machine.regs)
+
+let suite =
+  [
+    Alcotest.test_case "coldsched preserves results" `Quick test_coldsched_preserves_results;
+    Alcotest.test_case "coldsched never hurts" `Quick test_coldsched_never_hurts;
+    Alcotest.test_case "coldsched wins on ilp" `Quick test_coldsched_wins_on_ilp;
+    Alcotest.test_case "coldsched basic blocks" `Quick test_coldsched_basic_blocks;
+    Alcotest.test_case "coldsched depends" `Quick test_coldsched_depends;
+    Alcotest.test_case "stepwise selects informative" `Quick test_stepwise_selects_informative;
+    Alcotest.test_case "stepwise drops noise" `Quick test_stepwise_drops_pure_noise;
+    Alcotest.test_case "stepwise interval" `Quick test_stepwise_prediction_and_interval;
+    Alcotest.test_case "stepwise on macromodel" `Quick test_stepwise_on_macromodel_features;
+    Alcotest.test_case "decompose structure" `Quick test_decompose_structure;
+    Alcotest.test_case "decompose behaviour" `Quick test_decompose_behaviour_preserved_within_half;
+    Alcotest.test_case "decompose low crossing" `Quick test_decompose_low_crossing;
+    Alcotest.test_case "decompose saves" `Quick test_decompose_saves_power;
+    Alcotest.test_case "memmap disjoint" `Quick test_memmap_packing_disjoint;
+    Alcotest.test_case "memmap beats naive" `Quick test_memmap_optimize_beats_naive;
+    Alcotest.test_case "memmap in range" `Quick test_memmap_addresses_in_range;
+    Alcotest.test_case "register binding" `Quick test_register_binding_valid_and_wins;
+    Alcotest.test_case "dc retarget behaviour" `Quick test_dc_retarget_preserves_behaviour;
+    Alcotest.test_case "dc retarget switching" `Quick test_dc_retarget_never_increases_switching;
+    Alcotest.test_case "run traced" `Quick test_run_traced_streams;
+    Alcotest.test_case "bus encoding on real traces" `Quick test_bus_encoding_on_real_pc_trace;
+    QCheck_alcotest.to_alcotest qcheck_coldsched_safe;
+  ]

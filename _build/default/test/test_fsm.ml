@@ -1,0 +1,390 @@
+open Hlp_fsm
+
+let test_counter_fsm_behaviour () =
+  let stg = Stg.counter_fsm ~bits:3 in
+  Stg.validate stg;
+  (* enable for 10 cycles: ends at 10 mod 8 = 2 *)
+  let final, outs = Stg.simulate stg (List.init 10 (fun _ -> 1)) in
+  Alcotest.(check int) "final state" 2 final;
+  Alcotest.(check int) "first output is initial state" 0 (List.hd outs);
+  (* disabled: stays at reset *)
+  let final2, _ = Stg.simulate stg (List.init 10 (fun _ -> 0)) in
+  Alcotest.(check int) "disabled stays" 0 final2
+
+let test_sequence_detector () =
+  let stg = Stg.sequence_detector ~pattern:[ true; false; true ] in
+  Stg.validate stg;
+  (* stream 1 0 1 0 1: matches at positions 2 and 4 (overlapping) *)
+  let _, outs = Stg.simulate stg [ 1; 0; 1; 0; 1 ] in
+  Alcotest.(check (list int)) "detections" [ 0; 0; 1; 0; 1 ] outs
+
+let test_reactive_idles () =
+  let stg = Stg.reactive ~wait_states:3 ~burst_states:2 in
+  Stg.validate stg;
+  let final, outs = Stg.simulate stg [ 0; 0; 0 ] in
+  Alcotest.(check int) "still waiting" 0 final;
+  Alcotest.(check (list int)) "quiet output" [ 0; 0; 0 ] outs;
+  let final2, _ = Stg.simulate stg [ 1; 0 ] in
+  Alcotest.(check bool) "entered burst" true (final2 >= 3)
+
+let test_reachable () =
+  let stg = Stg.counter_fsm ~bits:2 in
+  Alcotest.(check bool) "all reachable" true (Array.for_all Fun.id (Stg.reachable stg))
+
+let test_kiss_roundtrip () =
+  List.iter
+    (fun stg ->
+      let text = Stg.to_kiss stg in
+      let back = Stg.of_kiss text in
+      Stg.validate back;
+      Alcotest.(check int) "states" stg.Stg.num_states back.Stg.num_states;
+      Alcotest.(check int) "inputs" stg.Stg.input_bits back.Stg.input_bits;
+      (* behaviour must match on a random input sequence *)
+      let rng = Hlp_util.Prng.create 11 in
+      let seq = List.init 200 (fun _ -> Hlp_util.Prng.int rng (Stg.num_inputs stg)) in
+      let _, o1 = Stg.simulate stg seq and _, o2 = Stg.simulate back seq in
+      Alcotest.(check (list int)) "same outputs" o1 o2)
+    (Stg.zoo ())
+
+let test_kiss_dont_care () =
+  let text = ".i 2\n.o 1\n.s 2\n.r s0\n-1 s0 s1 1\n00 s0 s0 0\n10 s0 s0 0\n-- s1 s0 0\n" in
+  let stg = Stg.of_kiss text in
+  Stg.validate stg;
+  (* input word 01 (bit0=1) and 11 (bits both) go to s1 *)
+  Alcotest.(check int) "next on x1" 1 stg.Stg.next.(0).(1);
+  Alcotest.(check int) "next on 11" 1 stg.Stg.next.(0).(3);
+  Alcotest.(check int) "next on 00" 0 stg.Stg.next.(0).(0);
+  Alcotest.(check int) "s1 always back" 0 stg.Stg.next.(1).(2)
+
+let test_markov_counter_uniform () =
+  (* enabled counter with uniform enable: all states equally likely *)
+  let stg = Stg.counter_fsm ~bits:3 in
+  let dist = Markov.analyze stg in
+  Array.iter
+    (fun p -> Alcotest.(check (float 0.01)) "uniform occupancy" 0.125 p)
+    dist.Markov.state_prob;
+  (* self loop prob = P(enable=0) = 0.5 *)
+  Alcotest.(check (float 0.01)) "self loops" 0.5 (Markov.self_loop_probability dist)
+
+let test_markov_probabilities_sum () =
+  List.iter
+    (fun stg ->
+      let dist = Markov.analyze stg in
+      let total_state = Array.fold_left ( +. ) 0.0 dist.Markov.state_prob in
+      Alcotest.(check (float 1e-6)) "state probs sum to 1" 1.0 total_state;
+      let total_trans =
+        Array.fold_left
+          (fun acc row -> Array.fold_left ( +. ) acc row)
+          0.0 dist.Markov.trans_prob
+      in
+      Alcotest.(check (float 1e-6)) "transition probs sum to 1" 1.0 total_trans)
+    (Stg.zoo ())
+
+let test_markov_input_bias () =
+  (* reactive machine with rare requests spends most time idle *)
+  let stg = Stg.reactive ~wait_states:2 ~burst_states:4 in
+  let dist =
+    Markov.analyze ~input_prob:(fun i -> if i = 1 then 0.02 else 0.98) stg
+  in
+  Alcotest.(check bool) "mostly idle" true (Markov.self_loop_probability dist > 0.6)
+
+let test_expected_hamming_counter () =
+  (* always-enabled counter under natural encoding: expected hamming is
+     the average carry-chain length = sum over bits of 2^-b = 2 - 2^(1-B) *)
+  let stg = Stg.counter_fsm ~bits:3 in
+  let dist = Markov.analyze ~input_prob:(fun i -> if i = 1 then 1.0 else 0.0) stg in
+  let enc = Encode.natural stg in
+  let h = Encode.cost stg dist enc in
+  Alcotest.(check (float 0.02)) "counter hamming" 1.75 h;
+  (* gray encoding: exactly 1 bit flips per increment *)
+  let g = Encode.cost stg dist (Encode.gray stg) in
+  Alcotest.(check (float 0.02)) "gray hamming" 1.0 g
+
+let test_one_hot_two_flips () =
+  let stg = Stg.counter_fsm ~bits:3 in
+  let dist = Markov.analyze ~input_prob:(fun i -> if i = 1 then 1.0 else 0.0) stg in
+  let oh = Encode.cost stg dist (Encode.one_hot stg) in
+  Alcotest.(check (float 0.02)) "one-hot hamming" 2.0 oh
+
+let test_encodings_injective () =
+  List.iter
+    (fun stg ->
+      let rng = Hlp_util.Prng.create 3 in
+      List.iter
+        (fun enc ->
+          Alcotest.(check bool) "injective" true (Encode.is_injective enc))
+        [ Encode.natural stg; Encode.gray stg; Encode.one_hot stg;
+          Encode.random rng stg ])
+    (Stg.zoo ())
+
+let test_anneal_improves () =
+  (* annealing should not be worse than the natural encoding *)
+  let rng = Hlp_util.Prng.create 17 in
+  List.iter
+    (fun stg ->
+      let dist = Markov.analyze stg in
+      let nat = Encode.cost stg dist (Encode.natural stg) in
+      let ann = Encode.anneal ~iterations:4000 rng stg dist in
+      Alcotest.(check bool) "injective" true (Encode.is_injective ann);
+      Alcotest.(check bool) "no worse than natural" true
+        (Encode.cost stg dist ann <= nat +. 1e-9))
+    (Stg.zoo ())
+
+let test_reencode_improves () =
+  let rng = Hlp_util.Prng.create 23 in
+  let stg = Stg.random_fsm (Hlp_util.Prng.create 5) ~states:14 ~input_bits:2 ~output_bits:2 in
+  let dist = Markov.analyze stg in
+  let start = Encode.random rng stg in
+  let improved = Encode.reencode ~iterations:4000 rng stg dist start in
+  Alcotest.(check bool) "reencode no worse" true
+    (Encode.cost stg dist improved <= Encode.cost stg dist start +. 1e-9)
+
+let test_synth_counter_behaviour () =
+  (* synthesized counter netlist must count like the STG *)
+  let stg = Stg.counter_fsm ~bits:3 in
+  let r = Synth.synthesize stg in
+  let sim = Hlp_sim.Funcsim.create r.Synth.net in
+  (* Mealy reading during cycle k: state has absorbed k - 1 increments *)
+  for k = 1 to 20 do
+    Hlp_sim.Funcsim.step sim [| true |];
+    Alcotest.(check int)
+      (Printf.sprintf "output after %d" k)
+      ((k - 1) mod 8)
+      (Hlp_sim.Funcsim.output_word sim ~prefix:"o")
+  done
+
+let test_synth_matches_stg_randomly () =
+  List.iter
+    (fun stg ->
+      let r = Synth.synthesize stg in
+      let sim = Hlp_sim.Funcsim.create r.Synth.net in
+      let rng = Hlp_util.Prng.create 31 in
+      let inputs = List.init 300 (fun _ -> Hlp_util.Prng.int rng (Stg.num_inputs stg)) in
+      let _, expect = Stg.simulate stg inputs in
+      let got =
+        List.map
+          (fun i ->
+            let vec =
+              Array.init stg.Stg.input_bits (fun b -> Hlp_util.Bits.bit i b)
+            in
+            Hlp_sim.Funcsim.step sim vec;
+            Hlp_sim.Funcsim.output_word sim ~prefix:"o")
+          inputs
+      in
+      Alcotest.(check (list int)) ("synth " ^ stg.Stg.name) expect got)
+    (Stg.zoo ())
+
+let test_synth_one_hot_matches_too () =
+  let stg = Stg.sequence_detector ~pattern:[ true; true; false ] in
+  let r = Synth.synthesize ~encoding:(Encode.one_hot stg) stg in
+  let sim = Hlp_sim.Funcsim.create r.Synth.net in
+  let rng = Hlp_util.Prng.create 37 in
+  let inputs = List.init 200 (fun _ -> Hlp_util.Prng.int rng 2) in
+  let _, expect = Stg.simulate stg inputs in
+  let got =
+    List.map
+      (fun i ->
+        Hlp_sim.Funcsim.step sim [| i = 1 |];
+        Hlp_sim.Funcsim.output_word sim ~prefix:"o")
+      inputs
+  in
+  Alcotest.(check (list int)) "one-hot synth" expect got
+
+let test_minimize_redundant_machine () =
+  (* build a machine with duplicated states: a 2-state toggle duplicated *)
+  let stg =
+    Stg.create ~name:"dup" ~input_bits:0 ~output_bits:1 ~num_states:4
+      ~next:(fun s _ -> [| 1; 2; 3; 0 |].(s))
+      ~output:(fun s _ -> s mod 2)
+      ()
+  in
+  let minimized, mapping = Minimize.minimize stg in
+  Stg.validate minimized;
+  Alcotest.(check int) "collapses to 2" 2 minimized.Stg.num_states;
+  Alcotest.(check int) "even states together" mapping.(0) mapping.(2);
+  (* behaviour preserved *)
+  let seq = List.init 50 (fun _ -> 0) in
+  let _, o1 = Stg.simulate stg seq and _, o2 = Stg.simulate minimized seq in
+  Alcotest.(check (list int)) "same trace" o1 o2
+
+let test_minimize_irreducible () =
+  let stg = Stg.sequence_detector ~pattern:[ true; false; true ] in
+  let minimized, _ = Minimize.minimize stg in
+  Alcotest.(check int) "already minimal" stg.Stg.num_states minimized.Stg.num_states
+
+let test_tyagi_bound_holds () =
+  List.iter
+    (fun stg ->
+      let dist = Markov.analyze stg in
+      let r = Tyagi.report stg dist in
+      Alcotest.(check bool) "entropy nonneg" true (r.Tyagi.entropy >= 0.0);
+      List.iter
+        (fun enc ->
+          Alcotest.(check bool)
+            ("bound holds: " ^ stg.Stg.name)
+            true
+            (Tyagi.holds stg dist ~code:(fun s -> enc.Encode.code.(s))))
+        [ Encode.natural stg; Encode.gray stg; Encode.one_hot stg ])
+    (Stg.zoo ())
+
+let test_kiss_benchmark_controllers () =
+  let tl = Stg.traffic_light () in
+  Stg.validate tl;
+  Alcotest.(check int) "traffic states" 4 tl.Stg.num_states;
+  (* with no cross-traffic request the light stays green *)
+  let final, _ = Stg.simulate tl [ 0; 0; 0; 0 ] in
+  Alcotest.(check int) "stays green" tl.Stg.reset final;
+  (* a request walks GREEN -> YELLOW -> RED *)
+  let final2, outs = Stg.simulate tl [ 1; 0 ] in
+  Alcotest.(check bool) "reached red" true (final2 <> tl.Stg.reset);
+  Alcotest.(check int) "green output first" 0b001 (List.hd outs);
+  let mc = Stg.memory_controller () in
+  Stg.validate mc;
+  Alcotest.(check int) "memctrl states" 5 mc.Stg.num_states;
+  (* read request: IDLE -> READ -> WAIT -> DONE -> IDLE with done=11 *)
+  let final3, outs3 = Stg.simulate mc [ 1; 0; 0; 0 ] in
+  Alcotest.(check int) "back to idle" mc.Stg.reset final3;
+  Alcotest.(check int) "done pulse" 0b11 (List.nth outs3 3)
+
+let test_zoo_extended_all_valid () =
+  List.iter
+    (fun stg ->
+      Stg.validate stg;
+      let dist = Markov.analyze stg in
+      let total = Array.fold_left ( +. ) 0.0 dist.Markov.state_prob in
+      Alcotest.(check (float 1e-6)) (stg.Stg.name ^ " probs sum") 1.0 total)
+    (Stg.zoo_extended ())
+
+(* --- symbolic analysis --- *)
+
+let test_symbolic_reachability_matches_explicit () =
+  List.iter
+    (fun stg ->
+      let sym = Symbolic.build stg in
+      let symbolic = Symbolic.reachable_states sym in
+      let explicit = Stg.reachable stg in
+      Alcotest.(check bool)
+        (stg.Stg.name ^ " symbolic = explicit reachability")
+        true
+        (symbolic = explicit))
+    (Stg.zoo_extended ())
+
+let test_symbolic_count_reachable () =
+  (* a counter reaches all 2^bits states; a machine with unreachable states
+     must not count them *)
+  let stg = Stg.counter_fsm ~bits:3 in
+  let sym = Symbolic.build stg in
+  Alcotest.(check int) "counter reaches all" 8 (Symbolic.count_reachable sym);
+  let partial =
+    Stg.create ~name:"island" ~input_bits:1 ~output_bits:1 ~num_states:4
+      ~next:(fun s i -> if s <= 1 then (s + i) mod 2 else 3)
+      ~output:(fun s _ -> s mod 2)
+      ()
+  in
+  let sym2 = Symbolic.build partial in
+  Alcotest.(check int) "island states excluded" 2 (Symbolic.count_reachable sym2)
+
+let test_symbolic_image_step () =
+  (* one image step from reset of an always-enabled counter = {0, 1} since
+     input 0 self-loops and input 1 advances *)
+  let stg = Stg.counter_fsm ~bits:2 in
+  let sym = Symbolic.build stg in
+  let one_step = Symbolic.image sym (Symbolic.state_cube sym stg.Stg.reset) in
+  let members =
+    List.filter
+      (fun s ->
+        not (Hlp_bdd.Bdd.is_zero
+               (Hlp_bdd.Bdd.and_ sym.Symbolic.man one_step (Symbolic.state_cube sym s))))
+      [ 0; 1; 2; 3 ]
+  in
+  Alcotest.(check (list int)) "image of reset" [ 0; 1 ] members
+
+let test_symbolic_self_loops () =
+  (* reactive 6+2: only the first wait state is ever entered (the deeper
+     waits are unreachable — the symbolic analysis exposes this), so the
+     reachable set is {wait0, burst0, burst1} and exactly one of its six
+     (state, input) pairs self-loops *)
+  let stg = Stg.reactive ~wait_states:6 ~burst_states:2 in
+  let sym = Symbolic.build stg in
+  Alcotest.(check int) "three reachable states" 3 (Symbolic.count_reachable sym);
+  let p = Symbolic.self_loop_probability sym in
+  Alcotest.(check (float 0.001)) "exactly 1/6" (1.0 /. 6.0) p;
+  (* the counter with enable has self-loop probability 1/2 exactly *)
+  let c = Symbolic.build (Stg.counter_fsm ~bits:3) in
+  Alcotest.(check (float 1e-9)) "counter self-loops" 0.5
+    (Symbolic.self_loop_probability c)
+
+let test_bdd_rename () =
+  let m = Hlp_bdd.Bdd.manager () in
+  let f = Hlp_bdd.Bdd.and_ m (Hlp_bdd.Bdd.var m 1) (Hlp_bdd.Bdd.var m 3) in
+  let g = Hlp_bdd.Bdd.rename m (fun v -> v - 1) f in
+  let expect = Hlp_bdd.Bdd.and_ m (Hlp_bdd.Bdd.var m 0) (Hlp_bdd.Bdd.var m 2) in
+  Alcotest.(check bool) "renamed" true (Hlp_bdd.Bdd.equal g expect)
+
+let test_error_paths () =
+  (* malformed KISS *)
+  Alcotest.(check bool) "missing .i/.o rejected" true
+    (try ignore (Stg.of_kiss "00 a b 1\n"); false with Failure _ -> true);
+  Alcotest.(check bool) "garbage line rejected" true
+    (try ignore (Stg.of_kiss ".i 1\n.o 1\nnot a kiss line at all here\n"); false
+     with Failure _ -> true);
+  (* invalid machine tables *)
+  let bad = Stg.counter_fsm ~bits:2 in
+  let broken = { bad with Stg.reset = 99 } in
+  Alcotest.(check bool) "bad reset rejected" true
+    (try Stg.validate broken; false with Failure _ -> true)
+
+let qcheck_anneal_injective =
+  QCheck.Test.make ~name:"annealed encodings stay injective" ~count:20
+    QCheck.(int_range 3 20)
+    (fun states ->
+      let rng = Hlp_util.Prng.create states in
+      let stg = Stg.random_fsm rng ~states ~input_bits:1 ~output_bits:1 in
+      let dist = Markov.analyze stg in
+      let enc = Encode.anneal ~iterations:500 rng stg dist in
+      Encode.is_injective enc)
+
+let qcheck_minimize_preserves_behaviour =
+  QCheck.Test.make ~name:"minimization preserves io behaviour" ~count:20
+    QCheck.(pair (int_range 2 12) (int_bound 1000))
+    (fun (states, seed) ->
+      let rng = Hlp_util.Prng.create seed in
+      let stg = Stg.random_fsm rng ~states ~input_bits:1 ~output_bits:1 in
+      let minimized, _ = Minimize.minimize stg in
+      let seq = List.init 100 (fun _ -> Hlp_util.Prng.int rng 2) in
+      let _, o1 = Stg.simulate stg seq and _, o2 = Stg.simulate minimized seq in
+      o1 = o2)
+
+let suite =
+  [
+    Alcotest.test_case "counter fsm" `Quick test_counter_fsm_behaviour;
+    Alcotest.test_case "sequence detector" `Quick test_sequence_detector;
+    Alcotest.test_case "reactive idles" `Quick test_reactive_idles;
+    Alcotest.test_case "reachable" `Quick test_reachable;
+    Alcotest.test_case "kiss roundtrip" `Quick test_kiss_roundtrip;
+    Alcotest.test_case "kiss don't care" `Quick test_kiss_dont_care;
+    Alcotest.test_case "markov counter uniform" `Quick test_markov_counter_uniform;
+    Alcotest.test_case "markov sums" `Quick test_markov_probabilities_sum;
+    Alcotest.test_case "markov input bias" `Quick test_markov_input_bias;
+    Alcotest.test_case "expected hamming counter" `Quick test_expected_hamming_counter;
+    Alcotest.test_case "one-hot two flips" `Quick test_one_hot_two_flips;
+    Alcotest.test_case "encodings injective" `Quick test_encodings_injective;
+    Alcotest.test_case "anneal improves" `Quick test_anneal_improves;
+    Alcotest.test_case "reencode improves" `Quick test_reencode_improves;
+    Alcotest.test_case "synth counter" `Quick test_synth_counter_behaviour;
+    Alcotest.test_case "synth matches stg" `Quick test_synth_matches_stg_randomly;
+    Alcotest.test_case "synth one-hot" `Quick test_synth_one_hot_matches_too;
+    Alcotest.test_case "minimize redundant" `Quick test_minimize_redundant_machine;
+    Alcotest.test_case "minimize irreducible" `Quick test_minimize_irreducible;
+    Alcotest.test_case "tyagi bound holds" `Quick test_tyagi_bound_holds;
+    Alcotest.test_case "kiss benchmark controllers" `Quick test_kiss_benchmark_controllers;
+    Alcotest.test_case "zoo extended valid" `Quick test_zoo_extended_all_valid;
+    Alcotest.test_case "symbolic reachability" `Quick test_symbolic_reachability_matches_explicit;
+    Alcotest.test_case "symbolic count" `Quick test_symbolic_count_reachable;
+    Alcotest.test_case "symbolic image" `Quick test_symbolic_image_step;
+    Alcotest.test_case "symbolic self loops" `Quick test_symbolic_self_loops;
+    Alcotest.test_case "bdd rename" `Quick test_bdd_rename;
+    Alcotest.test_case "error paths" `Quick test_error_paths;
+    QCheck_alcotest.to_alcotest qcheck_anneal_injective;
+    QCheck_alcotest.to_alcotest qcheck_minimize_preserves_behaviour;
+  ]

@@ -1,0 +1,213 @@
+open Hlp_isa
+
+let run_named (prog, mem) = Machine.run ~mem_init:mem prog
+
+let test_encode_distinct () =
+  let instrs =
+    [ Isa.Add (1, 2, 3); Isa.Sub (1, 2, 3); Isa.Mul (1, 2, 3); Isa.Nop;
+      Isa.Halt; Isa.Ld (1, 2, 5); Isa.St (1, 2, 5); Isa.Beq (1, 2, 5) ]
+  in
+  let encs = List.map Isa.encode instrs in
+  Alcotest.(check int) "all distinct" (List.length instrs)
+    (List.length (List.sort_uniq compare encs))
+
+let test_validate_rejects_bad () =
+  Alcotest.(check bool) "bad register" true
+    (try Isa.validate_program [| Isa.Add (9, 0, 0) |]; false with Failure _ -> true);
+  Alcotest.(check bool) "branch out of range" true
+    (try Isa.validate_program [| Isa.Beq (0, 0, 100) |]; false with Failure _ -> true)
+
+let test_machine_arithmetic () =
+  let prog =
+    [| Isa.Addi (1, 0, 21); Isa.Addi (2, 0, 2); Isa.Mul (3, 1, 2);
+       Isa.Addi (3, 3, -2); Isa.Halt |]
+  in
+  let r = Machine.run prog in
+  Alcotest.(check bool) "halted" true r.Machine.halted;
+  Alcotest.(check int) "42 - 2" 40 r.Machine.regs.(3)
+
+let test_machine_r0_is_zero () =
+  let prog = [| Isa.Addi (0, 0, 99); Isa.Add (1, 0, 0); Isa.Halt |] in
+  let r = Machine.run prog in
+  Alcotest.(check int) "r0 write discarded" 0 r.Machine.regs.(1)
+
+let test_machine_memory () =
+  let prog =
+    [| Isa.Addi (1, 0, 7); Isa.St (1, 0, 100); Isa.Ld (2, 0, 100); Isa.Halt |]
+  in
+  let r, read = Machine.run_with_memory prog in
+  Alcotest.(check int) "store/load" 7 r.Machine.regs.(2);
+  Alcotest.(check int) "memory content" 7 (read 100)
+
+let test_machine_branches () =
+  (* count down from 5: r2 accumulates 5+4+3+2+1 = 15 *)
+  let prog =
+    Asm.assemble
+      [
+        Asm.Ins (Isa.Addi (1, 0, 5));
+        Asm.Label "loop";
+        Asm.Ins (Isa.Add (2, 2, 1));
+        Asm.Ins (Isa.Addi (1, 1, -1));
+        Asm.Bne_l (1, 0, "loop");
+        Asm.Ins Isa.Halt;
+      ]
+  in
+  let r = Machine.run prog in
+  Alcotest.(check int) "sum" 15 r.Machine.regs.(2)
+
+let test_machine_counters_consistent () =
+  let r = run_named (Programs.matmul ~n:6) in
+  let c = r.Machine.counters in
+  Alcotest.(check bool) "halted" true r.Machine.halted;
+  let class_total =
+    List.fold_left (fun acc (_, n) -> acc + n) 0 c.Machine.class_counts
+  in
+  Alcotest.(check int) "class counts sum to instructions" c.Machine.instructions class_total;
+  let pair_total = List.fold_left (fun acc (_, n) -> acc + n) 0 c.Machine.pair_counts in
+  Alcotest.(check int) "pairs are instructions - 1" (c.Machine.instructions - 1) pair_total;
+  Alcotest.(check bool) "cycles >= instructions" true (c.Machine.cycles >= c.Machine.instructions);
+  Alcotest.(check bool) "energy positive" true (r.Machine.energy > 0.0)
+
+let test_matmul_correct () =
+  let n = 4 in
+  let prog, mem = Programs.matmul ~n in
+  let r, read = Machine.run_with_memory ~mem_init:mem prog in
+  Alcotest.(check bool) "halted" true r.Machine.halted;
+  let a i j = List.assoc ((i * n) + j) mem in
+  let b i j = List.assoc ((n * n) + (i * n) + j) mem in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let expect = List.fold_left (fun acc k -> acc + (a i k * b k j)) 0 (List.init n Fun.id) in
+      Alcotest.(check int) (Printf.sprintf "C[%d][%d]" i j) expect
+        (read ((2 * n * n) + (i * n) + j))
+    done
+  done
+
+let test_bubble_sort_correct () =
+  let n = 20 in
+  let prog, mem = Programs.bubble_sort ~n in
+  let r, read = Machine.run_with_memory ~mem_init:mem prog in
+  Alcotest.(check bool) "halted" true r.Machine.halted;
+  let sorted = List.sort compare (List.map snd mem) in
+  List.iteri
+    (fun i expect -> Alcotest.(check int) (Printf.sprintf "elem %d" i) expect (read i))
+    sorted
+
+let test_fig2_same_result_less_memory () =
+  let n = 128 in
+  let r_mem = run_named (Programs.fig2_memory ~n) in
+  let r_reg = run_named (Programs.fig2_register ~n) in
+  Alcotest.(check int) "same sum" r_mem.Machine.regs.(7) r_reg.Machine.regs.(7);
+  let accesses r =
+    r.Machine.counters.Machine.mem_reads + r.Machine.counters.Machine.mem_writes
+  in
+  (* left form: 3n accesses (read a, write b, read b); right form: n *)
+  Alcotest.(check int) "memory form 3n" (3 * n) (accesses r_mem);
+  Alcotest.(check int) "register form n" n (accesses r_reg);
+  Alcotest.(check bool) "energy drops" true (r_reg.Machine.energy < r_mem.Machine.energy)
+
+let test_tiwari_generalizes () =
+  (* train on synthetic profile sweeps, test on the real applications *)
+  let rng = Hlp_util.Prng.create 51 in
+  let training =
+    List.init 24 (fun i ->
+        (* random profiles spanning the feature space *)
+        let profile =
+          {
+            Profile.mix =
+              (let m = 0.1 +. Hlp_util.Prng.float rng 0.3 in
+               let mul = Hlp_util.Prng.float rng 0.2 in
+               let br = 0.05 +. Hlp_util.Prng.float rng 0.15 in
+               let alu = max 0.0 (1.0 -. m -. mul -. br) in
+               [ (Isa.Alu, alu); (Isa.Mulc, mul); (Isa.Mem, m); (Isa.Branch, br);
+                 (Isa.Other, 0.0) ]);
+            icache_miss_rate = 0.01;
+            dcache_miss_rate = Hlp_util.Prng.float rng 0.8;
+            branch_taken_rate = Hlp_util.Prng.float rng 1.0;
+            stall_rate = Hlp_util.Prng.float rng 0.2;
+            energy_per_cycle = 0.0;
+            instructions = 0;
+          }
+        in
+        Profile.synthesize ~seed:(1000 + i) profile)
+  in
+  let model = Tiwari.fit training in
+  let apps = List.map snd (Programs.all ()) in
+  let err = Tiwari.evaluate model apps in
+  Alcotest.(check bool)
+    (Printf.sprintf "tiwari error on apps %.3f < 0.25" err)
+    true (err < 0.25);
+  (* the multiplier base cost must exceed the plain-alu base cost *)
+  let coeff name = List.assoc name (Tiwari.coefficients model) in
+  Alcotest.(check bool) "mul costs more than alu" true (coeff "base_mul" > coeff "base_alu")
+
+let test_profile_extract_sane () =
+  let r = run_named (Programs.fir ~taps:8 ~samples:128) in
+  let p = Profile.extract r in
+  let mix_total = List.fold_left (fun acc (_, f) -> acc +. f) 0.0 p.Profile.mix in
+  Alcotest.(check (float 1e-6)) "mix sums to 1" 1.0 mix_total;
+  Alcotest.(check bool) "rates in range" true
+    (p.Profile.dcache_miss_rate >= 0.0 && p.Profile.dcache_miss_rate <= 1.0
+    && p.Profile.branch_taken_rate >= 0.0
+    && p.Profile.branch_taken_rate <= 1.0)
+
+let test_profile_synthesis_matches_power () =
+  List.iter
+    (fun (name, (prog, mem)) ->
+      let r = Machine.run ~mem_init:mem prog in
+      let v = Profile.validate r () in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s energy error %.3f < 0.15" name v.Profile.energy_error)
+        true
+        (v.Profile.energy_error < 0.15))
+    [ ("matmul", Programs.matmul ~n:10); ("fir", Programs.fir ~taps:8 ~samples:256);
+      ("sort", Programs.bubble_sort ~n:48) ]
+
+let test_profile_synthesis_shortens_trace () =
+  let prog, mem = Programs.matmul ~n:16 in
+  let r = Machine.run ~mem_init:mem prog in
+  let v = Profile.validate r () in
+  Alcotest.(check bool)
+    (Printf.sprintf "reduction %.0fx > 3x" v.Profile.trace_reduction)
+    true
+    (v.Profile.trace_reduction > 3.0)
+
+let qcheck_machine_never_diverges =
+  QCheck.Test.make ~name:"synthetic programs halt within budget" ~count:15
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let profile =
+        {
+          Profile.mix =
+            [ (Isa.Alu, 0.5); (Isa.Mulc, 0.1); (Isa.Mem, 0.25); (Isa.Branch, 0.15);
+              (Isa.Other, 0.0) ];
+          icache_miss_rate = 0.01;
+          dcache_miss_rate = 0.3;
+          branch_taken_rate = 0.4;
+          stall_rate = 0.1;
+          energy_per_cycle = 0.0;
+          instructions = 0;
+        }
+      in
+      let prog, mem = Profile.synthesize ~seed profile in
+      let r = Machine.run ~mem_init:mem prog in
+      r.Machine.halted)
+
+let suite =
+  [
+    Alcotest.test_case "encode distinct" `Quick test_encode_distinct;
+    Alcotest.test_case "validate rejects bad" `Quick test_validate_rejects_bad;
+    Alcotest.test_case "machine arithmetic" `Quick test_machine_arithmetic;
+    Alcotest.test_case "machine r0" `Quick test_machine_r0_is_zero;
+    Alcotest.test_case "machine memory" `Quick test_machine_memory;
+    Alcotest.test_case "machine branches" `Quick test_machine_branches;
+    Alcotest.test_case "machine counters" `Quick test_machine_counters_consistent;
+    Alcotest.test_case "matmul correct" `Quick test_matmul_correct;
+    Alcotest.test_case "bubble sort correct" `Quick test_bubble_sort_correct;
+    Alcotest.test_case "fig2 memory vs register" `Quick test_fig2_same_result_less_memory;
+    Alcotest.test_case "tiwari generalizes" `Slow test_tiwari_generalizes;
+    Alcotest.test_case "profile extract" `Quick test_profile_extract_sane;
+    Alcotest.test_case "profile synthesis power" `Slow test_profile_synthesis_matches_power;
+    Alcotest.test_case "profile synthesis shortens" `Quick test_profile_synthesis_shortens_trace;
+    QCheck_alcotest.to_alcotest qcheck_machine_never_diverges;
+  ]

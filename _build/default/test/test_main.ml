@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "hlpower"
+    [
+      ("util", Test_util.suite);
+      ("logic", Test_logic.suite);
+      ("bdd", Test_bdd.suite);
+      ("sim", Test_sim.suite);
+      ("fsm", Test_fsm.suite);
+      ("rtl", Test_rtl.suite);
+      ("power", Test_power.suite);
+      ("bus", Test_bus.suite);
+      ("pm", Test_pm.suite);
+      ("optlogic", Test_optlogic.suite);
+      ("isa", Test_isa.suite);
+      ("extensions", Test_extensions.suite);
+      ("properties", Test_properties.suite);
+    ]

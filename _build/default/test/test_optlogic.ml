@@ -1,0 +1,305 @@
+open Hlp_optlogic
+
+(* --- precomputation --- *)
+
+let test_precompute_max_msb () =
+  (* the classic example: predicting max(a,b)'s comparator from the two
+     MSBs decides it in half the cases — here we precompute the lt output
+     of a comparator *)
+  let n = 6 in
+  let net = Hlp_logic.Generators.comparator_circuit n in
+  (* inputs a0..a5 b0..b5: MSBs are positions 5 and 11 *)
+  let plan = Precompute.analyze net ~output:"lt" ~subset:[ n - 1; (2 * n) - 1 ] in
+  Alcotest.(check (float 0.01)) "msb pair decides half the time" 0.5
+    plan.Precompute.shutdown_prob
+
+let test_precompute_best_subset () =
+  let n = 5 in
+  let net = Hlp_logic.Generators.comparator_circuit n in
+  let best = Precompute.best_subset net ~output:"lt" ~size:2 in
+  (* nothing beats the MSB pair for a comparator *)
+  Alcotest.(check (float 0.01)) "best is 0.5" 0.5 best.Precompute.shutdown_prob;
+  Alcotest.(check bool) "best subset is the msbs" true
+    (List.sort compare best.Precompute.subset = [ n - 1; (2 * n) - 1 ])
+
+let test_precompute_evaluate_saves () =
+  let n = 8 in
+  let net = Hlp_logic.Generators.comparator_circuit n in
+  let plan = Precompute.analyze net ~output:"lt" ~subset:[ n - 1; (2 * n) - 1 ] in
+  let ev = Precompute.evaluate net ~output:"lt" plan in
+  Alcotest.(check bool)
+    (Printf.sprintf "observed shutdown %.2f near 0.5" ev.Precompute.observed_shutdown)
+    true
+    (abs_float (ev.Precompute.observed_shutdown -. 0.5) < 0.05);
+  Alcotest.(check bool)
+    (Printf.sprintf "saving %.2f positive" ev.Precompute.saving)
+    true (ev.Precompute.saving > 0.1)
+
+let test_precompute_full_subset_is_total () =
+  (* predicting from all inputs always hits (but costs a duplicate block) *)
+  let n = 4 in
+  let net = Hlp_logic.Generators.comparator_circuit n in
+  let all = List.init (2 * n) (fun i -> i) in
+  let plan = Precompute.analyze net ~output:"lt" ~subset:all in
+  Alcotest.(check (float 1e-9)) "always" 1.0 plan.Precompute.shutdown_prob
+
+let test_precompute_empty_subset_trivial () =
+  let n = 4 in
+  let net = Hlp_logic.Generators.comparator_circuit n in
+  let plan = Precompute.analyze net ~output:"lt" ~subset:[] in
+  (* a non-constant function cannot be predicted from nothing *)
+  Alcotest.(check (float 1e-9)) "never" 0.0 plan.Precompute.shutdown_prob
+
+(* --- gated clock --- *)
+
+let test_gated_clock_reactive_saves () =
+  let stg = Hlp_fsm.Stg.reactive ~wait_states:4 ~burst_states:4 in
+  (* rare requests: the machine self-loops most of the time *)
+  let ev = Gated_clock.evaluate ~input_one_prob:0.03 stg in
+  Alcotest.(check bool)
+    (Printf.sprintf "idle fraction %.2f high" ev.Gated_clock.idle_fraction)
+    true (ev.Gated_clock.idle_fraction > 0.6);
+  Alcotest.(check bool)
+    (Printf.sprintf "saving %.2f positive" ev.Gated_clock.saving)
+    true (ev.Gated_clock.saving > 0.1)
+
+let test_gated_clock_busy_machine_no_win () =
+  (* an always-enabled counter never self-loops: gating can only lose *)
+  let stg = Hlp_fsm.Stg.counter_fsm ~bits:3 in
+  let ev = Gated_clock.evaluate ~input_one_prob:1.0 stg in
+  Alcotest.(check (float 0.01)) "no idleness" 0.0 ev.Gated_clock.idle_fraction;
+  Alcotest.(check bool) "no saving" true (ev.Gated_clock.saving <= 0.0)
+
+let test_gated_clock_saving_monotone_in_idleness () =
+  let stg = Hlp_fsm.Stg.reactive ~wait_states:4 ~burst_states:4 in
+  let busy = Gated_clock.evaluate ~input_one_prob:0.5 stg in
+  let quiet = Gated_clock.evaluate ~input_one_prob:0.02 stg in
+  Alcotest.(check bool) "quieter = more idle" true
+    (quiet.Gated_clock.idle_fraction > busy.Gated_clock.idle_fraction);
+  Alcotest.(check bool) "quieter = more saving" true
+    (quiet.Gated_clock.saving > busy.Gated_clock.saving)
+
+(* --- guarded evaluation --- *)
+
+let test_odc_mux_structure () =
+  (* in out = s ? y : x, the ODC of x is exactly s *)
+  let module B = Hlp_logic.Netlist.Builder in
+  let b = B.create () in
+  let s = B.input ~name:"s" b in
+  let x0 = B.input ~name:"x0" b and x1 = B.input ~name:"x1" b in
+  let y = B.input ~name:"y" b in
+  let x = B.and_ b [ x0; x1 ] in
+  let o = B.mux b ~sel:s ~a0:x ~a1:y in
+  B.output b "o" o;
+  let net = B.finish b in
+  let man = Hlp_bdd.Bdd.manager () in
+  let odc_x = Guard.odc net ~wire:x man in
+  (* s is input 0 = BDD variable 0 *)
+  Alcotest.(check bool) "odc(x) = s" true
+    (Hlp_bdd.Bdd.equal odc_x (Hlp_bdd.Bdd.var man 0))
+
+let test_guard_candidates_on_demo () =
+  let net = Guard.demo_circuit 6 in
+  let cands = Guard.find_candidates net in
+  Alcotest.(check bool) "found candidates" true (cands <> []);
+  let best = List.hd cands in
+  Alcotest.(check bool) "guard prob ~ 0.5" true
+    (abs_float (best.Guard.guard_prob -. 0.5) < 0.01);
+  Alcotest.(check bool) "cone nontrivial" true
+    (Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 best.Guard.cone >= 6)
+
+let test_guard_evaluate_saves_and_is_correct () =
+  let net = Guard.demo_circuit 8 in
+  match Guard.find_candidates net with
+  | [] -> Alcotest.fail "no candidates"
+  | best :: _ ->
+      (* evaluate asserts output equality internally *)
+      let ev = Guard.evaluate net best in
+      Alcotest.(check bool)
+        (Printf.sprintf "frozen %.2f near guard prob" ev.Guard.frozen_fraction)
+        true
+        (abs_float (ev.Guard.frozen_fraction -. best.Guard.guard_prob) < 0.05);
+      Alcotest.(check bool)
+        (Printf.sprintf "saving %.2f positive" ev.Guard.saving)
+        true (ev.Guard.saving > 0.05)
+
+let test_guard_both_arms_found () =
+  (* the demo has an inverter of s, so both the adder (guard s) and the
+     and-plane (guard not s) should be guardable *)
+  let net = Guard.demo_circuit 6 in
+  let cands = Guard.find_candidates net in
+  Alcotest.(check bool) "two or more candidates" true (List.length cands >= 2)
+
+(* --- bdd synthesis --- *)
+
+let test_bdd_synth_equivalence () =
+  let m = Hlp_bdd.Bdd.manager () in
+  let x = Hlp_bdd.Bdd.var m 0 and y = Hlp_bdd.Bdd.var m 1 and z = Hlp_bdd.Bdd.var m 2 in
+  let f1 = Hlp_bdd.Bdd.or_ m (Hlp_bdd.Bdd.and_ m x y) (Hlp_bdd.Bdd.xor_ m y z) in
+  let f2 = Hlp_bdd.Bdd.ite m x z (Hlp_bdd.Bdd.not_ m y) in
+  let net = Bdd_synth.netlist_of_bdds ~nvars:3 [ f1; f2 ] in
+  Alcotest.(check bool) "mux network equivalent" true
+    (Bdd_synth.check_equivalence ~nvars:3 [ f1; f2 ] net)
+
+let test_bdd_synth_sharing () =
+  (* a shared BDD node becomes a single mux: netlist mux count equals the
+     BDD node count per root *)
+  let m = Hlp_bdd.Bdd.manager () in
+  let f = ref (Hlp_bdd.Bdd.zero m) in
+  for i = 0 to 5 do
+    f := Hlp_bdd.Bdd.xor_ m !f (Hlp_bdd.Bdd.var m i)
+  done;
+  let net = Bdd_synth.netlist_of_bdds ~nvars:6 [ !f ] in
+  let muxes =
+    Array.fold_left
+      (fun acc (node : Hlp_logic.Netlist.node) ->
+        match node.Hlp_logic.Netlist.kind with
+        | Hlp_logic.Gate.Mux -> acc + 1
+        | _ -> acc)
+      0 net.Hlp_logic.Netlist.nodes
+  in
+  Alcotest.(check int) "one mux per bdd node" (Hlp_bdd.Bdd.size !f) muxes
+
+let test_bdd_synth_adder_roundtrip () =
+  (* netlist -> BDD -> mux netlist: still the adder *)
+  let n = 4 in
+  let src = Hlp_logic.Generators.adder_circuit n in
+  let m = Hlp_bdd.Bdd.manager () in
+  let roots = List.map snd (Hlp_bdd.Bdd.of_netlist m src) in
+  let net = Bdd_synth.netlist_of_bdds ~nvars:(2 * n) roots in
+  Alcotest.(check bool) "roundtrip equivalent" true
+    (Bdd_synth.check_equivalence ~nvars:(2 * n) roots net)
+
+(* --- retiming --- *)
+
+let test_pipeline_preserves_function () =
+  let n = 5 in
+  let net = Hlp_logic.Generators.multiplier_circuit n in
+  let piped = Retime.pipeline_at_depth net ~depth:4 in
+  Alcotest.(check bool) "has registers" true (Hlp_logic.Netlist.num_dffs piped > 0);
+  (* pipelined output at cycle t equals combinational output of cycle t-1 *)
+  let sim_ref = Hlp_sim.Funcsim.create net in
+  let sim_pipe = Hlp_sim.Funcsim.create piped in
+  let rng = Hlp_util.Prng.create 3 in
+  let prev_expected = ref None in
+  for _ = 1 to 100 do
+    let a = Hlp_util.Prng.int rng 32 and b = Hlp_util.Prng.int rng 32 in
+    let vec =
+      Array.init (2 * n) (fun i ->
+          if i < n then Hlp_util.Bits.bit a i else Hlp_util.Bits.bit b (i - n))
+    in
+    Hlp_sim.Funcsim.step sim_ref vec;
+    Hlp_sim.Funcsim.step sim_pipe vec;
+    (match !prev_expected with
+    | Some p ->
+        Alcotest.(check int) "delayed by one" p
+          (Hlp_sim.Funcsim.output_word sim_pipe ~prefix:"p")
+    | None -> ());
+    prev_expected := Some (Hlp_sim.Funcsim.output_word sim_ref ~prefix:"p")
+  done
+
+let test_glitch_profile_nonzero_on_multiplier () =
+  let net = Hlp_logic.Generators.multiplier_circuit 6 in
+  let prof = Retime.glitch_profile ~cycles:200 net in
+  let total = Array.fold_left ( +. ) 0.0 prof in
+  Alcotest.(check bool) "multipliers glitch" true (total > 0.0)
+
+let test_retiming_reduces_glitch_cap () =
+  (* registering after the multiplier's glitchy middle should beat both the
+     input cut and the output cut on glitch capacitance *)
+  let net = Hlp_logic.Generators.multiplier_circuit 6 in
+  let cuts = Retime.best_cut ~cycles:300 net ~max_depth:(Hlp_logic.Netlist.logic_depth net) in
+  let by_depth d = List.find (fun e -> e.Retime.depth = d) cuts in
+  let input_cut = by_depth 0 in
+  let best =
+    List.fold_left (fun acc e -> if e.Retime.total_cap < acc.Retime.total_cap then e else acc)
+      input_cut cuts
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "interior cut (depth %d) beats input cut" best.Retime.depth)
+    true
+    (best.Retime.depth > 0 && best.Retime.total_cap < input_cut.Retime.total_cap);
+  Alcotest.(check bool) "best reduces glitches vs input cut" true
+    (best.Retime.glitch_cap < input_cut.Retime.glitch_cap)
+
+let test_register_count_varies_with_cut () =
+  let net = Hlp_logic.Generators.multiplier_circuit 5 in
+  let e1 = Retime.evaluate_cut ~cycles:50 net ~depth:0 in
+  let e2 = Retime.evaluate_cut ~cycles:50 net ~depth:12 in
+  Alcotest.(check bool) "both have registers" true
+    (e1.Retime.registers > 0 && e2.Retime.registers > 0);
+  Alcotest.(check bool) "register counts differ" true
+    (e1.Retime.registers <> e2.Retime.registers)
+
+let test_balance_paths_function_and_glitches () =
+  let net = Hlp_logic.Generators.multiplier_circuit 6 in
+  let balanced = Retime.balance_paths net in
+  (* function preserved *)
+  let s1 = Hlp_sim.Funcsim.create net and s2 = Hlp_sim.Funcsim.create balanced in
+  let rng = Hlp_util.Prng.create 3 in
+  for _ = 1 to 150 do
+    let vec = Array.init 12 (fun _ -> Hlp_util.Prng.bool rng) in
+    Hlp_sim.Funcsim.step s1 vec;
+    Hlp_sim.Funcsim.step s2 vec;
+    Alcotest.(check int) "same product"
+      (Hlp_sim.Funcsim.output_word s1 ~prefix:"p")
+      (Hlp_sim.Funcsim.output_word s2 ~prefix:"p")
+  done;
+  (* glitch capacitance drops (total may grow: buffer overhead) *)
+  let gb, ga, _, _ = Retime.balancing_evaluation ~cycles:200 net in
+  Alcotest.(check bool)
+    (Printf.sprintf "glitches %.1f -> %.1f" gb ga)
+    true (ga < gb)
+
+let qcheck_pipeline_function_preserved =
+  QCheck.Test.make ~name:"pipelining preserves function at any depth" ~count:10
+    QCheck.(pair (int_range 0 10) (int_bound 1000))
+    (fun (depth, seed) ->
+      let n = 4 in
+      let net = Hlp_logic.Generators.adder_circuit n in
+      let depth = min depth (Hlp_logic.Netlist.logic_depth net) in
+      let piped = Retime.pipeline_at_depth net ~depth in
+      let sim_ref = Hlp_sim.Funcsim.create net in
+      let sim_pipe = Hlp_sim.Funcsim.create piped in
+      let rng = Hlp_util.Prng.create seed in
+      let ok = ref true in
+      let prev = ref None in
+      for _ = 1 to 30 do
+        let a = Hlp_util.Prng.int rng 16 and b = Hlp_util.Prng.int rng 16 in
+        let vec =
+          Array.init (2 * n) (fun i ->
+              if i < n then Hlp_util.Bits.bit a i else Hlp_util.Bits.bit b (i - n))
+        in
+        Hlp_sim.Funcsim.step sim_ref vec;
+        Hlp_sim.Funcsim.step sim_pipe vec;
+        (match !prev with
+        | Some p -> if p <> Hlp_sim.Funcsim.output_word sim_pipe ~prefix:"s" then ok := false
+        | None -> ());
+        prev := Some (Hlp_sim.Funcsim.output_word sim_ref ~prefix:"s")
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "precompute max msb" `Quick test_precompute_max_msb;
+    Alcotest.test_case "precompute best subset" `Quick test_precompute_best_subset;
+    Alcotest.test_case "precompute evaluate" `Quick test_precompute_evaluate_saves;
+    Alcotest.test_case "precompute full subset" `Quick test_precompute_full_subset_is_total;
+    Alcotest.test_case "precompute empty subset" `Quick test_precompute_empty_subset_trivial;
+    Alcotest.test_case "gated clock reactive" `Quick test_gated_clock_reactive_saves;
+    Alcotest.test_case "gated clock busy" `Quick test_gated_clock_busy_machine_no_win;
+    Alcotest.test_case "gated clock monotone" `Quick test_gated_clock_saving_monotone_in_idleness;
+    Alcotest.test_case "odc mux structure" `Quick test_odc_mux_structure;
+    Alcotest.test_case "guard candidates" `Quick test_guard_candidates_on_demo;
+    Alcotest.test_case "guard evaluate" `Quick test_guard_evaluate_saves_and_is_correct;
+    Alcotest.test_case "guard both arms" `Quick test_guard_both_arms_found;
+    Alcotest.test_case "pipeline preserves function" `Quick test_pipeline_preserves_function;
+    Alcotest.test_case "glitch profile" `Quick test_glitch_profile_nonzero_on_multiplier;
+    Alcotest.test_case "retiming reduces glitches" `Slow test_retiming_reduces_glitch_cap;
+    Alcotest.test_case "registers vary with cut" `Quick test_register_count_varies_with_cut;
+    Alcotest.test_case "path balancing" `Quick test_balance_paths_function_and_glitches;
+    Alcotest.test_case "bdd synth equivalence" `Quick test_bdd_synth_equivalence;
+    Alcotest.test_case "bdd synth sharing" `Quick test_bdd_synth_sharing;
+    Alcotest.test_case "bdd synth adder" `Quick test_bdd_synth_adder_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_pipeline_function_preserved;
+  ]

@@ -1,0 +1,194 @@
+open Hlp_pm
+
+let device = Policy.default_device
+
+let workload ?(sessions = 8000) seed =
+  Policy.workload ~sessions (Hlp_util.Prng.create seed)
+
+let test_breakeven () =
+  let be = Policy.breakeven device in
+  Alcotest.(check bool) "positive" true (be > 0.0);
+  (* staying idle for exactly the breakeven time costs the same as an
+     immediate shutdown + restart *)
+  let idle_cost = device.Policy.p_idle *. be in
+  let off_cost = (device.Policy.p_off *. be) +. device.Policy.e_wakeup in
+  Alcotest.(check (float 1e-9)) "equal cost" idle_cost off_cost
+
+let test_always_on_is_identity () =
+  let w = workload 1 in
+  let s = Policy.simulate device Policy.Always_on w in
+  Alcotest.(check (float 1e-6)) "improvement 1" 1.0 s.Policy.improvement;
+  Alcotest.(check (float 1e-9)) "no delay" 0.0 s.Policy.delay_penalty;
+  Alcotest.(check int) "no shutdowns" 0 s.Policy.shutdowns
+
+let test_oracle_is_lower_bound () =
+  let w = workload 2 in
+  let oracle = Policy.simulate device Policy.Oracle w in
+  List.iter
+    (fun p ->
+      let s = Policy.simulate device p w in
+      Alcotest.(check bool)
+        (Policy.policy_name p ^ " above oracle")
+        true
+        (s.Policy.energy >= oracle.Policy.energy -. 1e-6))
+    [ Policy.Always_on; Policy.Timeout 5.0; Policy.Timeout 20.0;
+      Policy.Threshold 1.0; Policy.Regression;
+      Policy.Exp_average { alpha = 0.3; prewake = false };
+      Policy.Exp_average { alpha = 0.3; prewake = true } ]
+
+let test_every_policy_beats_always_on () =
+  let w = workload 3 in
+  List.iter
+    (fun p ->
+      let s = Policy.simulate device p w in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s improvement %.2f > 2" (Policy.policy_name p) s.Policy.improvement)
+        true
+        (s.Policy.improvement > 2.0))
+    [ Policy.Timeout 5.0; Policy.Threshold 1.0; Policy.Regression;
+      Policy.Exp_average { alpha = 0.3; prewake = false } ]
+
+let test_predictive_beats_static () =
+  let w = workload 4 in
+  let timeout = Policy.simulate device (Policy.Timeout 5.0) w in
+  let regression = Policy.simulate device Policy.Regression w in
+  Alcotest.(check bool)
+    (Printf.sprintf "regression %.2fx > timeout %.2fx" regression.Policy.improvement
+       timeout.Policy.improvement)
+    true
+    (regression.Policy.improvement > timeout.Policy.improvement)
+
+let test_longer_timeout_wastes_more () =
+  let w = workload 5 in
+  let t5 = Policy.simulate device (Policy.Timeout 5.0) w in
+  let t40 = Policy.simulate device (Policy.Timeout 40.0) w in
+  Alcotest.(check bool) "short timeout saves more" true
+    (t5.Policy.improvement > t40.Policy.improvement)
+
+let test_delay_penalty_small () =
+  let w = workload 6 in
+  List.iter
+    (fun p ->
+      let s = Policy.simulate device p w in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s delay %.3f%% < 3%%" (Policy.policy_name p)
+           (100.0 *. s.Policy.delay_penalty))
+        true
+        (s.Policy.delay_penalty < 0.03))
+    [ Policy.Timeout 5.0; Policy.Regression;
+      Policy.Exp_average { alpha = 0.3; prewake = false } ]
+
+let test_exp_average_lower_delay_than_regression () =
+  let w = workload 7 in
+  let regression = Policy.simulate device Policy.Regression w in
+  let hwang = Policy.simulate device (Policy.Exp_average { alpha = 0.3; prewake = false }) w in
+  Alcotest.(check bool)
+    (Printf.sprintf "hwang delay %.4f <= regression %.4f" hwang.Policy.delay_penalty
+       regression.Policy.delay_penalty)
+    true
+    (hwang.Policy.delay_penalty <= regression.Policy.delay_penalty)
+
+let test_workload_statistics () =
+  let w = workload ~sessions:20_000 8 in
+  let actives = Array.map (fun s -> s.Policy.active) w in
+  let idles = Array.map (fun s -> s.Policy.idle) w in
+  Alcotest.(check bool) "positive actives" true (Array.for_all (fun a -> a > 0.0) actives);
+  Alcotest.(check bool) "positive idles" true (Array.for_all (fun i -> i > 0.0) idles);
+  (* idle time dominates (the premise of system-level power management) *)
+  let ta = Array.fold_left ( +. ) 0.0 actives and ti = Array.fold_left ( +. ) 0.0 idles in
+  Alcotest.(check bool) "idle dominates" true (ti > 5.0 *. ta)
+
+let test_max_improvement_bound () =
+  (* the paper's bound: improvement <= 1 + T_I / T_A when idle power equals
+     active power; with p_idle < p_active it is even smaller *)
+  let w = workload 9 in
+  let ta = Array.fold_left (fun acc s -> acc +. s.Policy.active) 0.0 w in
+  let ti = Array.fold_left (fun acc s -> acc +. s.Policy.idle) 0.0 w in
+  let bound = 1.0 +. (ti /. ta) in
+  List.iter
+    (fun p ->
+      let s = Policy.simulate device p w in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s %.1fx <= bound %.1fx" (Policy.policy_name p)
+           s.Policy.improvement bound)
+        true
+        (s.Policy.improvement <= bound))
+    [ Policy.Oracle; Policy.Timeout 5.0; Policy.Regression ]
+
+let test_energy_accounting_consistent () =
+  (* timeout with an enormous threshold behaves like always-on *)
+  let w = workload 10 in
+  let never = Policy.simulate device (Policy.Timeout 1e12) w in
+  let on = Policy.simulate device Policy.Always_on w in
+  Alcotest.(check (float 1e-6)) "never-firing timeout = always on"
+    on.Policy.energy never.Policy.energy
+
+(* --- multi-depth shutdown --- *)
+
+let test_multistate_breakevens_ordered () =
+  let d = Multistate.default_device in
+  match d.Multistate.sleep_states with
+  | [ doze; off ] ->
+      Alcotest.(check bool) "deeper state has larger breakeven" true
+        (Multistate.breakeven d off > Multistate.breakeven d doze)
+  | _ -> Alcotest.fail "expected two sleep states"
+
+let test_multistate_best_state () =
+  let d = Multistate.default_device in
+  (* very short idle: stay idle; medium: doze; long: off *)
+  Alcotest.(check bool) "tiny idle stays" true (Multistate.best_state_for d 0.1 = None);
+  (match Multistate.best_state_for d 2.0 with
+  | Some s -> Alcotest.(check string) "medium dozes" "doze" s.Multistate.label
+  | None -> Alcotest.fail "medium idle should sleep");
+  match Multistate.best_state_for d 100.0 with
+  | Some s -> Alcotest.(check string) "long powers off" "off" s.Multistate.label
+  | None -> Alcotest.fail "long idle should sleep"
+
+let test_multistate_depth_choice_wins () =
+  let d = Multistate.default_device in
+  let w = workload ~sessions:12_000 20 in
+  let deepest = Multistate.simulate d Multistate.Deepest_only w in
+  let oracle = Multistate.simulate d Multistate.Oracle_depth w in
+  let predictive = Multistate.simulate d (Multistate.Predictive_depth 0.3) w in
+  Alcotest.(check bool)
+    (Printf.sprintf "oracle %.2fx > deepest %.2fx" oracle.Multistate.improvement
+       deepest.Multistate.improvement)
+    true
+    (oracle.Multistate.improvement > deepest.Multistate.improvement);
+  Alcotest.(check bool)
+    (Printf.sprintf "predictive %.2fx > deepest %.2fx" predictive.Multistate.improvement
+       deepest.Multistate.improvement)
+    true
+    (predictive.Multistate.improvement > deepest.Multistate.improvement);
+  Alcotest.(check bool) "predictive cuts delay too" true
+    (predictive.Multistate.delay_penalty < deepest.Multistate.delay_penalty);
+  (* the oracle uses both depths *)
+  Alcotest.(check int) "two depths in use" 2
+    (List.length oracle.Multistate.depth_histogram)
+
+let qcheck_improvement_at_least_one =
+  QCheck.Test.make ~name:"oracle never loses to always-on" ~count:20
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let w = workload ~sessions:500 seed in
+      let s = Policy.simulate device Policy.Oracle w in
+      s.Policy.improvement >= 1.0 -. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "breakeven" `Quick test_breakeven;
+    Alcotest.test_case "always-on identity" `Quick test_always_on_is_identity;
+    Alcotest.test_case "oracle lower bound" `Quick test_oracle_is_lower_bound;
+    Alcotest.test_case "policies beat always-on" `Quick test_every_policy_beats_always_on;
+    Alcotest.test_case "predictive beats static" `Quick test_predictive_beats_static;
+    Alcotest.test_case "longer timeout wastes" `Quick test_longer_timeout_wastes_more;
+    Alcotest.test_case "delay penalty < 3%" `Quick test_delay_penalty_small;
+    Alcotest.test_case "hwang-wu lower delay" `Quick test_exp_average_lower_delay_than_regression;
+    Alcotest.test_case "workload statistics" `Quick test_workload_statistics;
+    Alcotest.test_case "improvement bound" `Quick test_max_improvement_bound;
+    Alcotest.test_case "energy accounting" `Quick test_energy_accounting_consistent;
+    Alcotest.test_case "multistate breakevens" `Quick test_multistate_breakevens_ordered;
+    Alcotest.test_case "multistate best state" `Quick test_multistate_best_state;
+    Alcotest.test_case "multistate depth wins" `Quick test_multistate_depth_choice_wins;
+    QCheck_alcotest.to_alcotest qcheck_improvement_at_least_one;
+  ]

@@ -1,0 +1,168 @@
+(* Cross-library property tests: broad randomized invariants that tie the
+   substrates together. *)
+
+open Hlp_util
+
+let qcheck_random_netlists_validate =
+  QCheck.Test.make ~name:"random netlists validate and simulate deterministically"
+    ~count:25
+    QCheck.(pair (int_bound 10_000) (int_range 20 150))
+    (fun (seed, gates) ->
+      let rng = Prng.create seed in
+      let net = Hlp_logic.Generators.random_logic rng ~inputs:6 ~outputs:3 ~gates in
+      Hlp_logic.Netlist.validate net;
+      let run () =
+        let sim = Hlp_sim.Funcsim.create net in
+        let r = Prng.create (seed + 1) in
+        Hlp_sim.Funcsim.run sim (fun _ -> Array.init 6 (fun _ -> Prng.bool r)) 50;
+        Hlp_sim.Funcsim.switched_capacitance sim
+      in
+      run () = run ())
+
+let qcheck_eventsim_functionally_equals_funcsim =
+  QCheck.Test.make ~name:"event-driven settle equals zero-delay settle on random logic"
+    ~count:15
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let net = Hlp_logic.Generators.random_logic rng ~inputs:5 ~outputs:3 ~gates:60 in
+      let fsim = Hlp_sim.Funcsim.create net in
+      let esim = Hlp_sim.Eventsim.create net in
+      let r = Prng.create (seed + 7) in
+      let ok = ref true in
+      for _ = 1 to 40 do
+        let vec = Array.init 5 (fun _ -> Prng.bool r) in
+        Hlp_sim.Funcsim.step fsim vec;
+        Hlp_sim.Eventsim.step esim vec;
+        Array.iter
+          (fun (_, w) ->
+            if Hlp_sim.Funcsim.value fsim w <> Hlp_sim.Eventsim.value esim w then
+              ok := false)
+          net.Hlp_logic.Netlist.outputs
+      done;
+      !ok)
+
+let qcheck_bdd_shannon_cofactor =
+  QCheck.Test.make ~name:"f = x f|x=1 + x' f|x=0 on random functions" ~count:40
+    QCheck.(pair (int_bound 255) (int_bound 2))
+    (fun (tt, v) ->
+      let m = Hlp_bdd.Bdd.manager () in
+      let f = ref (Hlp_bdd.Bdd.zero m) in
+      for minterm = 0 to 7 do
+        if Bits.bit tt minterm then begin
+          let cube =
+            Hlp_bdd.Bdd.conj m
+              (List.init 3 (fun b ->
+                   if Bits.bit minterm b then Hlp_bdd.Bdd.var m b
+                   else Hlp_bdd.Bdd.nvar m b))
+          in
+          f := Hlp_bdd.Bdd.or_ m !f cube
+        end
+      done;
+      let hi = Hlp_bdd.Bdd.cofactor m !f ~var:v true in
+      let lo = Hlp_bdd.Bdd.cofactor m !f ~var:v false in
+      let recomposed =
+        Hlp_bdd.Bdd.or_ m
+          (Hlp_bdd.Bdd.and_ m (Hlp_bdd.Bdd.var m v) hi)
+          (Hlp_bdd.Bdd.and_ m (Hlp_bdd.Bdd.nvar m v) lo)
+      in
+      Hlp_bdd.Bdd.equal recomposed !f)
+
+let qcheck_bdd_quantifier_duality =
+  QCheck.Test.make ~name:"forall x f = not (exists x (not f))" ~count:40
+    QCheck.(pair (int_bound 255) (int_bound 2))
+    (fun (tt, v) ->
+      let m = Hlp_bdd.Bdd.manager () in
+      let f = ref (Hlp_bdd.Bdd.zero m) in
+      for minterm = 0 to 7 do
+        if Bits.bit tt minterm then begin
+          let cube =
+            Hlp_bdd.Bdd.conj m
+              (List.init 3 (fun b ->
+                   if Bits.bit minterm b then Hlp_bdd.Bdd.var m b
+                   else Hlp_bdd.Bdd.nvar m b))
+          in
+          f := Hlp_bdd.Bdd.or_ m !f cube
+        end
+      done;
+      let lhs = Hlp_bdd.Bdd.forall m [ v ] !f in
+      let rhs =
+        Hlp_bdd.Bdd.not_ m (Hlp_bdd.Bdd.exists m [ v ] (Hlp_bdd.Bdd.not_ m !f))
+      in
+      Hlp_bdd.Bdd.equal lhs rhs)
+
+let qcheck_anneal_no_worse_than_random =
+  QCheck.Test.make ~name:"annealed encoding beats a random encoding" ~count:10
+    QCheck.(int_range 5 14)
+    (fun states ->
+      let rng = Prng.create (states * 31) in
+      let stg = Hlp_fsm.Stg.random_fsm rng ~states ~input_bits:1 ~output_bits:1 in
+      let dist = Hlp_fsm.Markov.analyze stg in
+      let annealed = Hlp_fsm.Encode.anneal ~iterations:3000 rng stg dist in
+      let random = Hlp_fsm.Encode.random (Prng.create 1) stg in
+      Hlp_fsm.Encode.cost stg dist annealed
+      <= Hlp_fsm.Encode.cost stg dist random +. 1e-9)
+
+let qcheck_propagate_probabilities_in_range =
+  QCheck.Test.make ~name:"propagated probabilities and activities stay in [0,1]"
+    ~count:20
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let net = Hlp_logic.Generators.random_logic rng ~inputs:6 ~outputs:2 ~gates:80 in
+      let stats = Hlp_power.Probprop.propagate net in
+      Array.for_all (fun p -> p >= 0.0 && p <= 1.0) stats.Hlp_power.Probprop.prob
+      && Array.for_all (fun a -> a >= 0.0 && a <= 1.0) stats.Hlp_power.Probprop.activity)
+
+let qcheck_sram_energy_positive_and_convex_ish =
+  QCheck.Test.make ~name:"sram read energy positive for all organizations" ~count:20
+    QCheck.(int_range 6 16)
+    (fun n ->
+      List.for_all
+        (fun k -> Hlp_power.Memory_model.read_energy (Hlp_power.Memory_model.default_sram ~n ~k) > 0.0)
+        (List.init (n + 1) (fun k -> k)))
+
+let qcheck_voltage_assignment_verifies =
+  QCheck.Test.make ~name:"voltage schedules verify at any feasible deadline" ~count:15
+    QCheck.(float_range 1.0 4.0)
+    (fun stretch ->
+      let g = Hlp_rtl.Cdfg.diffeq () in
+      let base = Hlp_rtl.Voltage.single_voltage g in
+      match Hlp_rtl.Voltage.schedule g ~deadline:(base.Hlp_rtl.Voltage.total_delay *. stretch) with
+      | None -> false
+      | Some asg ->
+          Hlp_rtl.Voltage.verify g asg;
+          asg.Hlp_rtl.Voltage.total_delay
+          <= (base.Hlp_rtl.Voltage.total_delay *. stretch) +. 1e-6)
+
+let qcheck_verilog_always_parses_shape =
+  QCheck.Test.make ~name:"verilog export is well-formed for random logic" ~count:10
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let net = Hlp_logic.Generators.random_logic rng ~inputs:5 ~outputs:2 ~gates:40 in
+      let v = Hlp_logic.Export.to_verilog net in
+      String.length v > 100
+      && String.sub v 0 2 = "//"
+      && (let count_sub needle =
+            let n = String.length v and m = String.length needle in
+            let c = ref 0 in
+            for i = 0 to n - m do
+              if String.sub v i m = needle then incr c
+            done;
+            !c
+          in
+          count_sub "module" = count_sub "endmodule" + 1))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_random_netlists_validate;
+    QCheck_alcotest.to_alcotest qcheck_eventsim_functionally_equals_funcsim;
+    QCheck_alcotest.to_alcotest qcheck_bdd_shannon_cofactor;
+    QCheck_alcotest.to_alcotest qcheck_bdd_quantifier_duality;
+    QCheck_alcotest.to_alcotest qcheck_anneal_no_worse_than_random;
+    QCheck_alcotest.to_alcotest qcheck_propagate_probabilities_in_range;
+    QCheck_alcotest.to_alcotest qcheck_sram_energy_positive_and_convex_ish;
+    QCheck_alcotest.to_alcotest qcheck_voltage_assignment_verifies;
+    QCheck_alcotest.to_alcotest qcheck_verilog_always_parses_shape;
+  ]

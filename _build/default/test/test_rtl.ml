@@ -1,0 +1,421 @@
+open Hlp_rtl
+
+let poly2 x a b = (x * x) + (b * x) + a
+let poly3 x a b c = (x * x * x) + (c * x * x) + (b * x) + a
+
+let test_poly_figures_op_counts () =
+  let count_ops g =
+    (Transform.mul_count g, Transform.add_sub_count g, Cdfg.critical_path_ops g)
+  in
+  Alcotest.(check (triple int int int)) "fig4 left" (2, 2, 3) (count_ops (Cdfg.poly2_direct ()));
+  Alcotest.(check (triple int int int)) "fig4 right" (1, 2, 3) (count_ops (Cdfg.poly2_horner ()));
+  Alcotest.(check (triple int int int)) "fig5 left" (4, 3, 4) (count_ops (Cdfg.poly3_direct ()));
+  Alcotest.(check (triple int int int)) "fig5 right" (2, 3, 5) (count_ops (Cdfg.poly3_horner ()))
+
+let test_poly_semantics () =
+  let check_poly g f =
+    for x = -5 to 5 do
+      let env name =
+        match name with
+        | "x" -> x
+        | "a" -> 7
+        | "b" -> -3
+        | "c" -> 4
+        | _ -> 0
+      in
+      let v = Cdfg.evaluate g ~env in
+      let out = List.hd g.Cdfg.outputs in
+      Alcotest.(check int) "value" (f x 7 (-3) 4) v.(out)
+    done
+  in
+  check_poly (Cdfg.poly2_direct ()) (fun x a b _ -> poly2 x a b);
+  check_poly (Cdfg.poly2_horner ()) (fun x a b _ -> poly2 x a b);
+  check_poly (Cdfg.poly3_direct ()) poly3;
+  check_poly (Cdfg.poly3_horner ()) poly3
+
+let test_poly_pairs_equivalent () =
+  Alcotest.(check bool) "fig4 pair" true
+    (Transform.equivalent (Cdfg.poly2_direct ()) (Cdfg.poly2_horner ()));
+  Alcotest.(check bool) "fig5 pair" true
+    (Transform.equivalent (Cdfg.poly3_direct ()) (Cdfg.poly3_horner ()))
+
+let test_asap_alap () =
+  let g = Cdfg.diffeq () in
+  let a = Schedule.asap g in
+  Schedule.verify g a;
+  let l = Schedule.alap g ~latency:a.Schedule.latency in
+  Schedule.verify g l;
+  (* alap never schedules earlier than asap *)
+  Array.iteri
+    (fun i s -> Alcotest.(check bool) "alap >= asap" true (l.Schedule.steps.(i) >= s))
+    a.Schedule.steps;
+  (* relaxing latency by 3 shifts outputs later *)
+  let l2 = Schedule.alap g ~latency:(a.Schedule.latency + 3) in
+  Schedule.verify g l2;
+  Alcotest.(check bool) "alap uses slack" true
+    (List.exists
+       (fun o -> l2.Schedule.steps.(o) > l.Schedule.steps.(o))
+       g.Cdfg.outputs)
+
+let test_alap_below_minimum_rejected () =
+  let g = Cdfg.diffeq () in
+  let a = Schedule.asap g in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Schedule.alap g ~latency:(a.Schedule.latency - 1));
+       false
+     with Invalid_argument _ -> true)
+
+let test_list_schedule_resource_constrained () =
+  let g = Cdfg.diffeq () in
+  (* one multiplier: schedule must serialize the 5 multiplications *)
+  let s = Schedule.list_schedule g ~resources:[ (Module_energy.Multiplier, 1) ] in
+  Schedule.verify g s;
+  let usage = Schedule.resource_usage g s in
+  let mults = Option.value ~default:0 (List.assoc_opt Module_energy.Multiplier usage) in
+  Alcotest.(check int) "single multiplier" 1 mults;
+  (* unconstrained schedule is shorter *)
+  let a = Schedule.asap g in
+  Alcotest.(check bool) "serialization costs latency" true
+    (s.Schedule.latency > a.Schedule.latency)
+
+let test_list_schedule_matches_asap_unconstrained () =
+  let g = Cdfg.poly3_direct () in
+  let s = Schedule.list_schedule g ~resources:[] in
+  Schedule.verify g s;
+  Alcotest.(check int) "same latency as asap" (Schedule.asap g).Schedule.latency
+    s.Schedule.latency
+
+let test_resource_usage_fig4 () =
+  (* the factored form of Fig. 4 needs only one multiplier *)
+  let direct = Schedule.asap (Cdfg.poly2_direct ()) in
+  let horner = Schedule.asap (Cdfg.poly2_horner ()) in
+  let u_direct = Schedule.resource_usage (Cdfg.poly2_direct ()) direct in
+  let u_horner = Schedule.resource_usage (Cdfg.poly2_horner ()) horner in
+  let mults u = Option.value ~default:0 (List.assoc_opt Module_energy.Multiplier u) in
+  Alcotest.(check int) "direct mults" 2 (mults u_direct);
+  Alcotest.(check int) "horner mults" 1 (mults u_horner)
+
+let test_pm_scheduling_branchy () =
+  let g = Cdfg.branchy () in
+  let a = Schedule.asap g in
+  let pm = Schedule.power_managed g ~latency:(a.Schedule.latency + 2) in
+  Alcotest.(check bool) "found manageable muxes" true (pm.Schedule.manageable <> []);
+  (* pm energy with an even selector must be lower than unmanaged *)
+  let base = Schedule.energy g in
+  let managed = Schedule.pm_energy g pm ~sel_prob:(fun _ -> 0.5) in
+  Alcotest.(check bool) "saves energy" true (managed < base);
+  (* savings in the 5-33% window the paper reports for such graphs *)
+  let saving = (base -. managed) /. base in
+  Alcotest.(check bool) "saving plausible" true (saving > 0.03 && saving < 0.6)
+
+let test_pm_energy_biased_selector () =
+  (* if the selector always avoids the expensive arm, savings grow *)
+  let g = Cdfg.branchy () in
+  let a = Schedule.asap g in
+  let pm = Schedule.power_managed g ~latency:(a.Schedule.latency + 2) in
+  let even = Schedule.pm_energy g pm ~sel_prob:(fun _ -> 0.5) in
+  let avoid_expensive = Schedule.pm_energy g pm ~sel_prob:(fun _ -> 0.0) in
+  Alcotest.(check bool) "avoiding the mul arm saves more" true (avoid_expensive < even)
+
+let test_module_energy_monotone () =
+  let open Module_energy in
+  Alcotest.(check bool) "mult >> adder" true
+    (energy Multiplier ~width:16 ~vdd:5.0 ~activity:0.5
+    > 4.0 *. energy Adder ~width:16 ~vdd:5.0 ~activity:0.5);
+  Alcotest.(check bool) "energy quadratic in vdd" true
+    (abs_float
+       (energy Adder ~width:16 ~vdd:2.5 ~activity:0.5
+        /. energy Adder ~width:16 ~vdd:5.0 ~activity:0.5
+       -. 0.25)
+    < 1e-9);
+  Alcotest.(check bool) "delay grows at low vdd" true
+    (delay Adder ~width:16 ~vdd:2.4 > delay Adder ~width:16 ~vdd:5.0);
+  Alcotest.(check bool) "activity scales" true
+    (energy Adder ~width:8 ~vdd:5.0 ~activity:0.25
+    < energy Adder ~width:8 ~vdd:5.0 ~activity:0.5)
+
+let test_module_energy_calibration () =
+  (* the Adder coefficient should be within 2x of the simulated switched
+     capacitance of a real ripple adder under white noise *)
+  let n = 8 in
+  let net = Hlp_logic.Generators.adder_circuit n in
+  let sim = Hlp_sim.Funcsim.create net in
+  let rng = Hlp_util.Prng.create 3 in
+  let a = Hlp_sim.Streams.uniform rng ~width:n ~n:2000 in
+  let b = Hlp_sim.Streams.uniform rng ~width:n ~n:2000 in
+  Hlp_sim.Funcsim.run sim (Hlp_sim.Streams.pack_fn ~widths:[ n; n ] [ a; b ]) 2000;
+  let measured = Hlp_sim.Funcsim.switched_capacitance sim /. 2000.0 in
+  let model = Module_energy.switched_capacitance Module_energy.Adder ~width:n ~activity:0.5 in
+  let ratio = model /. measured in
+  Alcotest.(check bool)
+    (Printf.sprintf "calibration ratio %.2f in [0.5, 2]" ratio)
+    true
+    (ratio > 0.5 && ratio < 2.0)
+
+let test_voltage_single_baseline () =
+  let g = Cdfg.diffeq () in
+  let base = Voltage.single_voltage g in
+  Alcotest.(check int) "no shifters" 0 base.Voltage.num_shifters;
+  Alcotest.(check bool) "positive delay" true (base.Voltage.total_delay > 0.0);
+  Voltage.verify g base
+
+let test_voltage_scheduling_saves_energy_with_slack () =
+  let g = Cdfg.diffeq () in
+  let base = Voltage.single_voltage g in
+  (* generous deadline: everything can drop to 2.4 V *)
+  match Voltage.schedule g ~deadline:(base.Voltage.total_delay *. 4.0) with
+  | None -> Alcotest.fail "should be feasible"
+  | Some relaxed ->
+      Voltage.verify g relaxed;
+      Alcotest.(check bool) "saves energy" true
+        (relaxed.Voltage.total_energy < base.Voltage.total_energy);
+      Alcotest.(check bool) "substantial saving" true
+        (relaxed.Voltage.total_energy < 0.5 *. base.Voltage.total_energy)
+
+let test_voltage_tight_deadline_no_scaling () =
+  let g = Cdfg.diffeq () in
+  let base = Voltage.single_voltage g in
+  match Voltage.schedule g ~deadline:base.Voltage.total_delay with
+  | None -> Alcotest.fail "reference voltage meets its own delay"
+  | Some asg ->
+      Voltage.verify g asg;
+      Alcotest.(check bool) "meets deadline" true
+        (asg.Voltage.total_delay <= base.Voltage.total_delay +. 1e-9)
+
+let test_voltage_infeasible () =
+  let g = Cdfg.diffeq () in
+  Alcotest.(check bool) "too tight" true (Voltage.schedule g ~deadline:1.0 = None)
+
+let test_voltage_curve_pareto () =
+  let g = Cdfg.poly2_horner () in
+  let c = Voltage.curve g (List.hd g.Cdfg.outputs) in
+  Alcotest.(check bool) "nonempty" true (c <> []);
+  let rec monotone = function
+    | a :: b :: rest ->
+        Alcotest.(check bool) "delay ascending" true (a.Voltage.delay <= b.Voltage.delay);
+        Alcotest.(check bool) "energy descending" true (a.Voltage.energy >= b.Voltage.energy);
+        monotone (b :: rest)
+    | _ -> ()
+  in
+  monotone c
+
+let test_transform_recognize_const () =
+  let g = Cdfg.fir ~coeffs:[ 3; 5; 7 ] in
+  Alcotest.(check int) "general muls before" 3
+    (Cdfg.count g (function Cdfg.Mul -> true | _ -> false));
+  let g' = Transform.recognize_const_mults g in
+  Alcotest.(check int) "no general muls after" 0
+    (Cdfg.count g' (function Cdfg.Mul -> true | _ -> false));
+  Alcotest.(check int) "const muls appear" 3
+    (Cdfg.count g' (function Cdfg.MulConst _ -> true | _ -> false));
+  Alcotest.(check bool) "equivalent" true (Transform.equivalent g g')
+
+let test_transform_strength_reduce () =
+  let g = Transform.recognize_const_mults (Cdfg.fir ~coeffs:[ 3; 5; 12; 1; 0 ]) in
+  let g' = Transform.strength_reduce g in
+  Alcotest.(check int) "no multiplies at all" 0 (Transform.mul_count g');
+  Alcotest.(check bool) "adds appeared" true
+    (Transform.add_sub_count g' > Transform.add_sub_count g);
+  Alcotest.(check bool) "equivalent" true (Transform.equivalent g g')
+
+let test_transform_dead_elimination () =
+  let b = Cdfg.Build.create () in
+  let x = Cdfg.Build.input b "x" in
+  let live = Cdfg.Build.add b x x in
+  let _dead = Cdfg.Build.mul b x x in
+  let g = Cdfg.Build.finish b ~outputs:[ live ] in
+  let g' = Transform.eliminate_dead g in
+  Alcotest.(check bool) "smaller" true (Array.length g'.Cdfg.nodes < Array.length g.Cdfg.nodes);
+  Alcotest.(check bool) "equivalent" true (Transform.equivalent g g')
+
+let test_allocate_profile_and_bindings () =
+  let g = Cdfg.diffeq () in
+  let sched = Schedule.list_schedule g ~resources:[ (Module_energy.Multiplier, 2) ] in
+  let prof = Allocate.profile ~samples:50 g in
+  let area = Allocate.bind_greedy_area g sched in
+  let lp = Allocate.bind_low_power g sched prof in
+  (* every computational op is bound *)
+  Array.iteri
+    (fun i (node : Cdfg.node) ->
+      match Module_energy.resource_of_op node.Cdfg.op with
+      | Some _ ->
+          Alcotest.(check bool) "area bound" true (area.Allocate.unit_of.(i) >= 0);
+          Alcotest.(check bool) "lp bound" true (lp.Allocate.unit_of.(i) >= 0)
+      | None -> ())
+    g.Cdfg.nodes;
+  (* bindings respect the schedule: ops sharing a unit never overlap *)
+  let check_binding (binding : Allocate.binding) =
+    Array.iteri
+      (fun i ui ->
+        if ui >= 0 then
+          Array.iteri
+            (fun j uj ->
+              if j > i && uj = ui then
+                Alcotest.(check bool) "no overlap on shared unit" true
+                  (sched.Schedule.steps.(i) <> sched.Schedule.steps.(j)))
+            binding.Allocate.unit_of)
+      binding.Allocate.unit_of
+  in
+  check_binding area;
+  check_binding lp
+
+let test_allocate_low_power_wins () =
+  (* low-power binding should not switch more capacitance than area binding *)
+  let g = Cdfg.diffeq () in
+  let sched = Schedule.list_schedule g ~resources:[ (Module_energy.Multiplier, 2); (Module_energy.Adder, 1) ] in
+  let prof = Allocate.profile ~samples:100 g in
+  let area = Allocate.bind_greedy_area g sched in
+  let lp = Allocate.bind_low_power g sched prof in
+  let ca = Allocate.switched_capacitance g sched area prof in
+  let cl = Allocate.switched_capacitance g sched lp prof in
+  Alcotest.(check bool)
+    (Printf.sprintf "lp %.1f <= area %.1f" cl ca)
+    true (cl <= ca +. 1e-9)
+
+let test_register_count () =
+  let g = Cdfg.diffeq () in
+  let sched = Schedule.asap g in
+  let r = Allocate.register_count g sched in
+  Alcotest.(check bool) "positive registers" true (r > 0)
+
+let test_fir_design_builds_and_works () =
+  List.iter
+    (fun constant_mult ->
+      let d = Fir.build ~width:8 ~constant_mult () in
+      Hlp_logic.Netlist.validate d.Fir.net;
+      let rng = Hlp_util.Prng.create 5 in
+      let trace = Hlp_sim.Streams.uniform rng ~width:8 ~n:60 in
+      let expect = Fir.output_reference d trace in
+      let sim = Hlp_sim.Funcsim.create d.Fir.net in
+      Array.iteri
+        (fun k x ->
+          let vec = Array.init 8 (fun i -> Hlp_util.Bits.bit x i) in
+          Hlp_sim.Funcsim.step sim vec;
+          Alcotest.(check int)
+            (Printf.sprintf "fir(cm=%b) output cycle %d" constant_mult k)
+            expect.(k)
+            (Hlp_sim.Funcsim.output_word sim ~prefix:"y"))
+        trace)
+    [ false; true ]
+
+let test_fir_table1_shape () =
+  let before = Fir.measure ~cycles:150 (Fir.build ~width:12 ~constant_mult:false ()) in
+  let after = Fir.measure ~cycles:150 (Fir.build ~width:12 ~constant_mult:true ()) in
+  Alcotest.(check bool) "total drops at least 2x" true
+    (before.Fir.total > 2.0 *. after.Fir.total);
+  let find t cat =
+    (List.find (fun r -> r.Fir.category = cat) t.Fir.rows).Fir.switched
+  in
+  Alcotest.(check bool) "exec units collapse" true
+    (find before Fir.Exec_units > 4.0 *. find after Fir.Exec_units);
+  Alcotest.(check bool) "control grows" true
+    (find after Fir.Control_logic > find before Fir.Control_logic);
+  Alcotest.(check bool) "interconnect drops" true
+    (find after Fir.Interconnect < find before Fir.Interconnect)
+
+let test_branchy_and_diffeq_validate () =
+  Cdfg.validate (Cdfg.branchy ());
+  Cdfg.validate (Cdfg.diffeq ());
+  Cdfg.validate (Cdfg.fir ~coeffs:[ 1; 2; 3 ]);
+  Alcotest.(check (list string)) "diffeq inputs" [ "dx"; "u"; "x"; "y" ]
+    (List.sort compare (Cdfg.inputs (Cdfg.diffeq ())))
+
+let test_pipelined_binding_modulo_conflicts () =
+  (* two multiplies at steps 0 and 2 with 2-cycle latency: compatible in a
+     non-pipelined design, conflicting under II = 2 (their occupation
+     residues collide), so pipelined binding must use two units *)
+  let b = Cdfg.Build.create () in
+  let x = Cdfg.Build.input b "x" and y = Cdfg.Build.input b "y" in
+  let m1 = Cdfg.Build.mul b x y in
+  let m2 = Cdfg.Build.mul b m1 y in
+  let g = Cdfg.Build.finish b ~outputs:[ m2 ] in
+  let sched = Schedule.asap g in
+  let prof = Allocate.profile ~samples:40 g in
+  let plain = Allocate.bind_low_power g sched prof in
+  let pipelined = Allocate.bind_low_power ~initiation_interval:2 g sched prof in
+  let mult_units (binding : Allocate.binding) =
+    Option.value ~default:0
+      (List.assoc_opt Module_energy.Multiplier binding.Allocate.num_units)
+  in
+  Alcotest.(check int) "sequential design shares one multiplier" 1 (mult_units plain);
+  Alcotest.(check int) "pipelined design needs two" 2 (mult_units pipelined)
+
+let test_quicksynth_functional () =
+  List.iter
+    (fun (name, g) ->
+      Alcotest.(check bool) (name ^ " quick synthesis is correct") true
+        (Quicksynth.functional_check g))
+    [ ("poly2_direct", Cdfg.poly2_direct ()); ("poly3_horner", Cdfg.poly3_horner ());
+      ("diffeq", Cdfg.diffeq ()); ("branchy", Cdfg.branchy ());
+      ("fir", Cdfg.fir ~coeffs:[ 1; 2; 4; 2; 1 ]) ]
+
+let test_quicksynth_confirms_transformation_savings () =
+  (* the behavioral-level claim of Figs. 4/5, checked on quick-synthesized
+     gate-level hardware: the factored forms burn less capacitance *)
+  let cap g = Quicksynth.simulate_capacitance ~cycles:400 g in
+  Alcotest.(check bool) "fig4 factored cheaper in gates" true
+    (cap (Cdfg.poly2_horner ()) < cap (Cdfg.poly2_direct ()));
+  Alcotest.(check bool) "fig5 factored cheaper in gates" true
+    (cap (Cdfg.poly3_horner ()) < cap (Cdfg.poly3_direct ()));
+  (* and the module-energy table agrees in ordering with the gates *)
+  let table g = Schedule.energy ~width:8 g in
+  Alcotest.(check bool) "table ordering matches gate ordering" true
+    (table (Cdfg.poly2_horner ()) < table (Cdfg.poly2_direct ()))
+
+let qcheck_strength_reduction_equivalent =
+  QCheck.Test.make ~name:"strength reduction preserves semantics" ~count:30
+    QCheck.(list_of_size (Gen.int_range 1 6) (int_bound 63))
+    (fun coeffs ->
+      QCheck.assume (coeffs <> []);
+      let g = Transform.recognize_const_mults (Cdfg.fir ~coeffs) in
+      let g' = Transform.strength_reduce g in
+      Transform.equivalent ~samples:30 g g')
+
+let qcheck_list_schedule_valid =
+  QCheck.Test.make ~name:"list schedule always respects dependencies" ~count:30
+    QCheck.(pair (int_range 1 3) (int_range 1 3))
+    (fun (mults, adders) ->
+      let g = Cdfg.diffeq () in
+      let s =
+        Schedule.list_schedule g
+          ~resources:[ (Module_energy.Multiplier, mults); (Module_energy.Adder, adders) ]
+      in
+      Schedule.verify g s;
+      true)
+
+let suite =
+  [
+    Alcotest.test_case "fig4/5 op counts" `Quick test_poly_figures_op_counts;
+    Alcotest.test_case "poly semantics" `Quick test_poly_semantics;
+    Alcotest.test_case "poly pairs equivalent" `Quick test_poly_pairs_equivalent;
+    Alcotest.test_case "asap/alap" `Quick test_asap_alap;
+    Alcotest.test_case "alap below minimum" `Quick test_alap_below_minimum_rejected;
+    Alcotest.test_case "list schedule constrained" `Quick test_list_schedule_resource_constrained;
+    Alcotest.test_case "list schedule unconstrained" `Quick test_list_schedule_matches_asap_unconstrained;
+    Alcotest.test_case "fig4 resource usage" `Quick test_resource_usage_fig4;
+    Alcotest.test_case "pm scheduling branchy" `Quick test_pm_scheduling_branchy;
+    Alcotest.test_case "pm biased selector" `Quick test_pm_energy_biased_selector;
+    Alcotest.test_case "module energy monotone" `Quick test_module_energy_monotone;
+    Alcotest.test_case "module energy calibration" `Quick test_module_energy_calibration;
+    Alcotest.test_case "voltage single baseline" `Quick test_voltage_single_baseline;
+    Alcotest.test_case "voltage saves with slack" `Quick test_voltage_scheduling_saves_energy_with_slack;
+    Alcotest.test_case "voltage tight deadline" `Quick test_voltage_tight_deadline_no_scaling;
+    Alcotest.test_case "voltage infeasible" `Quick test_voltage_infeasible;
+    Alcotest.test_case "voltage curve pareto" `Quick test_voltage_curve_pareto;
+    Alcotest.test_case "recognize const mults" `Quick test_transform_recognize_const;
+    Alcotest.test_case "strength reduce" `Quick test_transform_strength_reduce;
+    Alcotest.test_case "dead elimination" `Quick test_transform_dead_elimination;
+    Alcotest.test_case "allocate bindings valid" `Quick test_allocate_profile_and_bindings;
+    Alcotest.test_case "allocate low power wins" `Quick test_allocate_low_power_wins;
+    Alcotest.test_case "register count" `Quick test_register_count;
+    Alcotest.test_case "pipelined binding" `Quick test_pipelined_binding_modulo_conflicts;
+    Alcotest.test_case "quicksynth functional" `Quick test_quicksynth_functional;
+    Alcotest.test_case "quicksynth transformation savings" `Quick
+      test_quicksynth_confirms_transformation_savings;
+    Alcotest.test_case "fir functional" `Slow test_fir_design_builds_and_works;
+    Alcotest.test_case "fir table1 shape" `Slow test_fir_table1_shape;
+    Alcotest.test_case "cdfg examples validate" `Quick test_branchy_and_diffeq_validate;
+    QCheck_alcotest.to_alcotest qcheck_strength_reduction_equivalent;
+    QCheck_alcotest.to_alcotest qcheck_list_schedule_valid;
+  ]

@@ -1,0 +1,252 @@
+open Hlp_logic
+open Hlp_sim
+
+let test_funcsim_adder () =
+  let n = 8 in
+  let net = Generators.adder_circuit n in
+  let sim = Funcsim.create net in
+  let rng = Hlp_util.Prng.create 21 in
+  for _ = 1 to 200 do
+    let a = Hlp_util.Prng.int rng 256 and b = Hlp_util.Prng.int rng 256 in
+    let vec =
+      Array.init (2 * n) (fun i ->
+          if i < n then Hlp_util.Bits.bit a i else Hlp_util.Bits.bit b (i - n))
+    in
+    Funcsim.step sim vec;
+    Alcotest.(check int) "sum" ((a + b) land 255) (Funcsim.output_word sim ~prefix:"s")
+  done
+
+let test_funcsim_energy_monotone () =
+  (* a held input switches no capacitance; random inputs switch plenty *)
+  let n = 8 in
+  let net = Generators.multiplier_circuit n in
+  let sim = Funcsim.create net in
+  let rng = Hlp_util.Prng.create 5 in
+  let a = Streams.uniform rng ~width:n ~n:100 in
+  let b = Streams.uniform rng ~width:n ~n:100 in
+  Funcsim.run sim (Streams.pack_fn ~widths:[ n; n ] [ a; b ]) 100;
+  let random_cap = Funcsim.switched_capacitance sim in
+  Alcotest.(check bool) "random switches" true (random_cap > 0.0);
+  Funcsim.reset_counters sim;
+  let hold = Array.make 100 a.(99) and holdb = Array.make 100 b.(99) in
+  Funcsim.run sim (Streams.pack_fn ~widths:[ n; n ] [ hold; holdb ]) 100;
+  Alcotest.(check (float 1e-9)) "held inputs switch nothing" 0.0
+    (Funcsim.switched_capacitance sim)
+
+let test_funcsim_counter_circuit () =
+  (* 4-bit counter: bit i gets d_i = q_i xor carry_i, carry_{i+1} = q_i and carry_i *)
+  let b = Netlist.Builder.create () in
+  let qarr = Array.make 4 0 in
+  let rec build i carry =
+    if i = 4 then ()
+    else begin
+      let q =
+        Netlist.Builder.dff_feedback b (fun q ->
+            qarr.(i) <- q;
+            let s = Netlist.Builder.xor_ b q carry in
+            s)
+      in
+      ignore q;
+      let c = Netlist.Builder.and_ b [ qarr.(i); carry ] in
+      build (i + 1) c
+    end
+  in
+  build 0 (Netlist.Builder.const_ b true);
+  Array.iteri (fun i q -> Netlist.Builder.output b (Printf.sprintf "q%d" i) q) qarr;
+  let net = Netlist.Builder.finish b in
+  Netlist.validate net;
+  let sim = Funcsim.create net in
+  (* during cycle k the counter still shows k - 1 (the edge ending the
+     cycle captures the increment) *)
+  for k = 1 to 40 do
+    Funcsim.step sim [||];
+    Alcotest.(check int)
+      (Printf.sprintf "count %d" k)
+      ((k - 1) mod 16)
+      (Funcsim.output_word sim ~prefix:"q")
+  done
+
+let test_funcsim_signal_probs () =
+  (* constant-high input: signal prob of that input node should be ~1 *)
+  let b = Netlist.Builder.create () in
+  let i0 = Netlist.Builder.input b in
+  let i1 = Netlist.Builder.input b in
+  let o = Netlist.Builder.and_ b [ i0; i1 ] in
+  Netlist.Builder.output b "o" o;
+  let net = Netlist.Builder.finish b in
+  let sim = Funcsim.create net in
+  let rng = Hlp_util.Prng.create 3 in
+  let nsteps = 2000 in
+  for _ = 1 to nsteps do
+    Funcsim.step sim [| true; Hlp_util.Prng.bernoulli rng 0.5 |]
+  done;
+  let highs = Funcsim.high_counts sim in
+  Alcotest.(check int) "input0 always high" nsteps highs.(i0);
+  let frac_o = float_of_int highs.(o) /. float_of_int nsteps in
+  Alcotest.(check bool) "and output ~ 0.5" true (abs_float (frac_o -. 0.5) < 0.05)
+
+let test_eventsim_matches_funcsim_functionally () =
+  let n = 6 in
+  let net = Generators.multiplier_circuit n in
+  let fsim = Funcsim.create net and esim = Eventsim.create net in
+  let rng = Hlp_util.Prng.create 77 in
+  let a = Streams.uniform rng ~width:n ~n:50 in
+  let b = Streams.uniform rng ~width:n ~n:50 in
+  let src = Streams.pack_fn ~widths:[ n; n ] [ a; b ] in
+  for i = 0 to 49 do
+    Funcsim.step fsim (src i);
+    Eventsim.step esim (src i);
+    Array.iter
+      (fun (_, w) ->
+        Alcotest.(check bool) "same settled value" (Funcsim.value fsim w)
+          (Eventsim.value esim w))
+      net.Netlist.outputs
+  done;
+  (* functional toggle counts must agree *)
+  let ft = Funcsim.toggle_counts fsim and et = Eventsim.functional_toggle_counts esim in
+  Alcotest.(check bool) "functional toggles equal" true (ft = et)
+
+let test_eventsim_glitches_nonnegative () =
+  let n = 8 in
+  let net = Generators.multiplier_circuit n in
+  let esim = Eventsim.create net in
+  let rng = Hlp_util.Prng.create 123 in
+  let a = Streams.uniform rng ~width:n ~n:100 in
+  let b = Streams.uniform rng ~width:n ~n:100 in
+  Eventsim.run esim (Streams.pack_fn ~widths:[ n; n ] [ a; b ]) 100;
+  Alcotest.(check bool) "glitch cap >= 0" true (Eventsim.glitch_capacitance esim >= 0.0);
+  Alcotest.(check bool) "multiplier glitches" true (Eventsim.glitch_capacitance esim > 0.0);
+  Array.iter
+    (fun g -> Alcotest.(check bool) "per-node glitches >= 0" true (g >= 0))
+    (Eventsim.glitch_counts esim)
+
+let test_eventsim_xor_tree_glitch_free_on_equal_paths () =
+  (* a balanced xor pair has equal path lengths: no glitches *)
+  let b = Netlist.Builder.create () in
+  let i0 = Netlist.Builder.input b and i1 = Netlist.Builder.input b in
+  let o = Netlist.Builder.xor_ b i0 i1 in
+  Netlist.Builder.output b "o" o;
+  let net = Netlist.Builder.finish b in
+  let esim = Eventsim.create net in
+  let rng = Hlp_util.Prng.create 9 in
+  for _ = 1 to 100 do
+    Eventsim.step esim [| Hlp_util.Prng.bool rng; Hlp_util.Prng.bool rng |]
+  done;
+  Alcotest.(check (float 1e-9)) "no glitch energy" 0.0 (Eventsim.glitch_capacitance esim)
+
+let test_streams_uniform_stats () =
+  let rng = Hlp_util.Prng.create 31 in
+  let tr = Streams.uniform rng ~width:16 ~n:5000 in
+  let act = Activity.of_trace ~width:16 tr in
+  Alcotest.(check bool) "signal prob ~ 0.5" true
+    (abs_float (Activity.mean_signal_prob act -. 0.5) < 0.03);
+  Alcotest.(check bool) "activity ~ 0.5" true
+    (abs_float (Activity.mean_activity act -. 0.5) < 0.03);
+  Alcotest.(check bool) "entropy ~ 1" true (Activity.mean_bit_entropy act > 0.98)
+
+let test_streams_biased_stats () =
+  let rng = Hlp_util.Prng.create 37 in
+  let tr = Streams.biased_bits rng ~width:12 ~p:0.2 ~n:8000 in
+  let act = Activity.of_trace ~width:12 tr in
+  Alcotest.(check bool) "signal prob ~ 0.2" true
+    (abs_float (Activity.mean_signal_prob act -. 0.2) < 0.03);
+  (* independent biased bits: activity = 2 p (1-p) = 0.32 *)
+  Alcotest.(check bool) "activity ~ 0.32" true
+    (abs_float (Activity.mean_activity act -. 0.32) < 0.03)
+
+let test_streams_correlated_stats () =
+  let rng = Hlp_util.Prng.create 41 in
+  let tr = Streams.correlated_bits rng ~width:12 ~p:0.5 ~rho:0.8 ~n:8000 in
+  let act = Activity.of_trace ~width:12 tr in
+  Alcotest.(check bool) "signal prob ~ 0.5" true
+    (abs_float (Activity.mean_signal_prob act -. 0.5) < 0.05);
+  (* activity = 2 p (1-p) (1-rho) = 0.1 *)
+  Alcotest.(check bool) "activity ~ 0.1" true
+    (abs_float (Activity.mean_activity act -. 0.1) < 0.03)
+
+let test_streams_gaussian_walk_dual_bit () =
+  let rng = Hlp_util.Prng.create 43 in
+  let width = 16 in
+  let tr = Streams.gaussian_walk rng ~width ~sigma:16.0 ~n:20000 in
+  let act = Activity.of_trace ~width tr in
+  (* LSBs random, MSBs quiet *)
+  Alcotest.(check bool) "lsb busy" true (act.Activity.activity.(0) > 0.4);
+  Alcotest.(check bool) "msb quiet" true (act.Activity.activity.(width - 1) < 0.1);
+  let bp = Activity.breakpoint act in
+  Alcotest.(check bool) "breakpoint strictly inside" true (bp > 0 && bp < width)
+
+let test_streams_counter () =
+  let tr = Streams.counter ~start:250 ~width:8 ~n:10 in
+  Alcotest.(check int) "wraps" ((250 + 9) land 255) tr.(9);
+  let tr2 = Streams.strided ~start:0 ~stride:4 ~width:8 ~n:5 in
+  Alcotest.(check int) "stride" 16 tr2.(4)
+
+let test_streams_hold () =
+  let rng = Hlp_util.Prng.create 47 in
+  let base = Streams.uniform rng ~width:8 ~n:4000 in
+  let held = Streams.hold rng ~change_prob:0.1 base in
+  let changes = ref 0 in
+  for i = 1 to 3999 do
+    if held.(i) <> held.(i - 1) then incr changes
+  done;
+  let frac = float_of_int !changes /. 3999.0 in
+  Alcotest.(check bool) "change rate ~ 0.1" true (frac < 0.15)
+
+let test_activity_word_entropy () =
+  (* constant stream: zero entropy; uniform over 4 values: 2 bits *)
+  Alcotest.(check (float 1e-9)) "constant" 0.0
+    (Activity.word_entropy ~width:8 (Array.make 100 42));
+  let tr = Array.init 400 (fun i -> i mod 4) in
+  Alcotest.(check (float 1e-9)) "uniform 4 values" 2.0 (Activity.word_entropy ~width:8 tr)
+
+let test_activity_bit_entropy () =
+  Alcotest.(check (float 1e-9)) "h(0.5)=1" 1.0 (Activity.bit_entropy ~p:0.5);
+  Alcotest.(check (float 1e-9)) "h(0)=0" 0.0 (Activity.bit_entropy ~p:0.0);
+  Alcotest.(check bool) "h(0.1) < h(0.3)" true
+    (Activity.bit_entropy ~p:0.1 < Activity.bit_entropy ~p:0.3)
+
+let test_sign_transitions () =
+  let width = 4 in
+  (* alternating +1 / -1: only +- and -+ transitions *)
+  let tr = Array.init 100 (fun i -> if i mod 2 = 0 then 1 else Hlp_util.Bits.of_signed ~width (-1)) in
+  let probs = Activity.sign_transition_probs ~width tr in
+  Alcotest.(check (float 1e-9)) "pp" 0.0 probs.(0);
+  Alcotest.(check bool) "pm ~ 0.5" true (abs_float (probs.(1) -. 0.5) < 0.02);
+  Alcotest.(check bool) "mp ~ 0.5" true (abs_float (probs.(2) -. 0.5) < 0.02);
+  Alcotest.(check (float 1e-9)) "mm" 0.0 probs.(3)
+
+let qcheck_funcsim_vs_reference =
+  QCheck.Test.make ~name:"funcsim agrees with direct evaluation on max circuit"
+    QCheck.(pair (int_bound 255) (int_bound 255))
+    (fun (a, b) ->
+      let n = 8 in
+      let net = Generators.max_circuit n in
+      let sim = Funcsim.create net in
+      let vec =
+        Array.init (2 * n) (fun i ->
+            if i < n then Hlp_util.Bits.bit a i else Hlp_util.Bits.bit b (i - n))
+      in
+      Funcsim.step sim vec;
+      Funcsim.output_word sim ~prefix:"m" = max a b)
+
+let suite =
+  [
+    Alcotest.test_case "funcsim adder" `Quick test_funcsim_adder;
+    Alcotest.test_case "funcsim energy monotone" `Quick test_funcsim_energy_monotone;
+    Alcotest.test_case "funcsim counter" `Quick test_funcsim_counter_circuit;
+    Alcotest.test_case "funcsim signal probs" `Quick test_funcsim_signal_probs;
+    Alcotest.test_case "eventsim matches funcsim" `Quick test_eventsim_matches_funcsim_functionally;
+    Alcotest.test_case "eventsim glitches" `Quick test_eventsim_glitches_nonnegative;
+    Alcotest.test_case "eventsim equal paths glitch-free" `Quick
+      test_eventsim_xor_tree_glitch_free_on_equal_paths;
+    Alcotest.test_case "streams uniform stats" `Quick test_streams_uniform_stats;
+    Alcotest.test_case "streams biased stats" `Quick test_streams_biased_stats;
+    Alcotest.test_case "streams correlated stats" `Quick test_streams_correlated_stats;
+    Alcotest.test_case "streams gaussian walk dual-bit" `Quick test_streams_gaussian_walk_dual_bit;
+    Alcotest.test_case "streams counter/strided" `Quick test_streams_counter;
+    Alcotest.test_case "streams hold" `Quick test_streams_hold;
+    Alcotest.test_case "activity word entropy" `Quick test_activity_word_entropy;
+    Alcotest.test_case "activity bit entropy" `Quick test_activity_bit_entropy;
+    Alcotest.test_case "activity sign transitions" `Quick test_sign_transitions;
+    QCheck_alcotest.to_alcotest qcheck_funcsim_vs_reference;
+  ]
