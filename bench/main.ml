@@ -11,7 +11,8 @@ let experiments () =
   print_newline ();
   Exp_figures.all ();
   Exp_estimation.all ();
-  Exp_synthesis.all ()
+  Exp_synthesis.all ();
+  Exp_engines.all ()
 
 (* --- bechamel timing of each experiment's kernel --- *)
 
@@ -149,6 +150,13 @@ let run_bechamel () =
     rows
 
 let () =
-  experiments ();
-  run_bechamel ();
-  print_endline "\nall experiments completed."
+  if Array.exists (( = ) "--smoke") Sys.argv then begin
+    (* CI mode: a reduced engine workload, no bechamel sweep *)
+    Exp_engines.smoke ();
+    print_endline "smoke run completed."
+  end
+  else begin
+    experiments ();
+    run_bechamel ();
+    print_endline "\nall experiments completed."
+  end

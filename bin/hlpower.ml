@@ -29,18 +29,24 @@ let stream_of_name rng name width n =
 
 (* --- estimate --- *)
 
-let estimate circuit width cycles stream seed =
+let estimate circuit width cycles stream seed engine jobs =
+  let engine =
+    match Hlp_sim.Engine.of_string engine with
+    | Some e -> e
+    | None -> failwith ("unknown engine: " ^ engine)
+  in
+  if cycles < 2 then failwith "need --cycles >= 2 (the reference averages over trace transitions)";
   let net = circuit_of_name circuit width in
   Printf.printf "circuit: %s\n" (Hlp_logic.Netlist.stats_string net);
   let nin = Array.length net.Hlp_logic.Netlist.inputs in
   let rng = Hlp_util.Prng.create seed in
   let trace = stream_of_name rng stream nin cycles in
-  let sim = Hlp_sim.Funcsim.create net in
-  Hlp_sim.Funcsim.run sim
-    (fun i -> Array.init nin (fun b -> Hlp_util.Bits.bit trace.(i) b))
-    cycles;
-  let reference = Hlp_sim.Funcsim.switched_capacitance sim /. float_of_int cycles in
-  Printf.printf "gate-level reference:   %10.1f cap units/cycle\n" reference;
+  let vector i = Array.init nin (fun b -> Hlp_util.Bits.bit trace.(i) b) in
+  let r = Hlp_sim.Parsim.replay ?jobs ~engine net ~vector ~n:cycles in
+  let reference = Hlp_util.Stats.mean r.Hlp_sim.Parsim.transition_caps in
+  Printf.printf "gate-level reference:   %10.1f cap units/cycle  [%s engine]\n"
+    reference
+    (Hlp_sim.Engine.to_string engine);
   List.iter
     (fun (name, model) ->
       let est = Hlp_power.Entropy.estimate_netlist ~model net ~input_trace:trace in
@@ -65,8 +71,23 @@ let estimate_cmd =
     Arg.(value & opt string "uniform" & info [ "stream" ] ~doc:"uniform|walk|correlated|biased")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed") in
+  let engine =
+    Arg.(value & opt string "bitparallel"
+         & info [ "engine" ]
+             ~doc:
+               "simulation engine for the gate-level reference: \
+                scalar|bitparallel|parallel (bit engines pack 63 trace \
+                cycles per word-wide step; estimates agree to round-off)")
+  in
+  let jobs =
+    Arg.(value & opt (some int) None
+         & info [ "jobs" ]
+             ~doc:
+               "worker domains for the parallel engine (default: all cores); \
+                results are bit-identical for any value")
+  in
   Cmd.v (Cmd.info "estimate" ~doc:"Power-estimate a generated RT module")
-    Term.(const estimate $ circuit $ width $ cycles $ stream $ seed)
+    Term.(const estimate $ circuit $ width $ cycles $ stream $ seed $ engine $ jobs)
 
 (* --- bus-encode --- *)
 

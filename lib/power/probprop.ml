@@ -73,9 +73,39 @@ type monte_carlo = {
   batches : int;
 }
 
+(* the Burch-et-al. stopping criterion, shared by all engines *)
+let ci_stop ~relative_precision ~max_cycles ~means ~cycles =
+  cycles >= max_cycles
+  || Array.length means >= 3
+     &&
+     let m = Hlp_util.Stats.mean means in
+     let lo, hi = Hlp_util.Stats.confidence_interval_95 means in
+     let half = (hi -. lo) /. 2.0 in
+     m > 0.0 && half /. m <= relative_precision
+
+let monte_carlo_bitparallel ~batch ~relative_precision ~max_cycles ~seed ~engine
+    ?jobs net =
+  let r =
+    Hlp_sim.Parsim.monte_carlo_units ?jobs ~engine net ~batch ~seed
+      ~stop:(ci_stop ~relative_precision ~max_cycles)
+  in
+  let means = r.Hlp_sim.Parsim.unit_means in
+  let lo, hi = Hlp_util.Stats.confidence_interval_95 means in
+  {
+    estimate = r.Hlp_sim.Parsim.mean;
+    half_interval = (hi -. lo) /. 2.0;
+    cycles_used = r.Hlp_sim.Parsim.cycles;
+    batches = Array.length means;
+  }
+
 let monte_carlo ?(batch = 30) ?(relative_precision = 0.05) ?(max_cycles = 100_000)
-    ?(seed = 47) net =
+    ?(seed = 47) ?(engine = Hlp_sim.Engine.Scalar) ?jobs net =
   assert (batch >= 2);
+  match engine with
+  | Hlp_sim.Engine.Bitparallel | Hlp_sim.Engine.Parallel ->
+      monte_carlo_bitparallel ~batch ~relative_precision ~max_cycles ~seed ~engine
+        ?jobs net
+  | Hlp_sim.Engine.Scalar ->
   let rng = Hlp_util.Prng.create seed in
   let sim = Hlp_sim.Funcsim.create net in
   let nin = Array.length net.Netlist.inputs in

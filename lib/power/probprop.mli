@@ -42,9 +42,21 @@ val monte_carlo :
   ?relative_precision:float ->
   ?max_cycles:int ->
   ?seed:int ->
+  ?engine:Hlp_sim.Engine.t ->
+  ?jobs:int ->
   Hlp_logic.Netlist.t ->
   monte_carlo
 (** Simulate under uniform inputs in batches (default 30 cycles each, the
     normality minimum) until the 95% CI of the per-cycle capacitance is
     within [relative_precision] (default 5%) of the mean — the
-    Burch-et-al. stopping criterion. *)
+    Burch-et-al. stopping criterion.
+
+    [engine] (default [Scalar]) selects the simulation engine. [Scalar]
+    reproduces the seed implementation bit-for-bit. [Bitparallel] simulates
+    63 independent vector streams per word-wide {!Hlp_sim.Bitsim} step, so
+    each batch covers [batch * 63] cycles; [Parallel] shards batches over
+    [jobs] domains (default [Domain.recommended_domain_count ()]) with
+    per-batch PRNG streams and a fixed reduction order, making the estimate
+    bit-identical for any [jobs]. The bit engines draw different random
+    streams than [Scalar], so their estimates agree statistically (within
+    the confidence interval), not bit-exactly. *)

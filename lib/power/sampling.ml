@@ -3,29 +3,17 @@ type t = {
   gate_values : float array;  (** per transition, gate-level capacitance *)
 }
 
-let prepare model dut traces =
+let prepare ?(engine = Hlp_sim.Engine.Scalar) ?jobs model dut traces =
   let n =
     match traces with [] -> invalid_arg "prepare: no traces" | t :: _ -> Array.length t
   in
   assert (n >= 2);
   let widths = dut.Macromodel.widths in
-  let sim = Hlp_sim.Funcsim.create dut.Macromodel.net in
-  let outs = dut.Macromodel.net.Hlp_logic.Netlist.outputs in
-  let m = Array.length outs in
-  let out_words = Array.make n 0 in
-  let gate_cum = Array.make n 0.0 in
-  for i = 0 to n - 1 do
-    Hlp_sim.Funcsim.step sim (Hlp_sim.Streams.pack ~widths traces i);
-    let v = ref 0 in
-    Array.iteri
-      (fun k (_, wire) -> if Hlp_sim.Funcsim.value sim wire then v := !v lor (1 lsl k))
-      outs;
-    out_words.(i) <- !v;
-    gate_cum.(i) <- Hlp_sim.Funcsim.switched_capacitance sim
-  done;
-  let gate_values =
-    Array.init (n - 1) (fun i -> gate_cum.(i + 1) -. gate_cum.(i))
-  in
+  let m = Array.length dut.Macromodel.net.Hlp_logic.Netlist.outputs in
+  let vector i = Hlp_sim.Streams.pack ~widths traces i in
+  let r = Hlp_sim.Parsim.replay ~engine ?jobs dut.Macromodel.net ~vector ~n in
+  let out_words = r.Hlp_sim.Parsim.out_words in
+  let gate_values = r.Hlp_sim.Parsim.transition_caps in
   (* per-transition macro-model evaluation on a two-word window *)
   let window i =
     let in_acts, sign_probs =
@@ -45,7 +33,15 @@ let prepare model dut traces =
       breakpoints = List.map Hlp_sim.Activity.breakpoint in_acts;
     }
   in
-  let macro_values = Array.init (n - 1) (fun i -> Macromodel.predict model (window i)) in
+  let macro_values =
+    match engine with
+    | Hlp_sim.Engine.Parallel ->
+        (* windows are per-transition independent and slot-addressed, so
+           the parallel map is deterministic in the worker count *)
+        Hlp_sim.Parsim.map ?jobs (n - 1) (fun i -> Macromodel.predict model (window i))
+    | Hlp_sim.Engine.Scalar | Hlp_sim.Engine.Bitparallel ->
+        Array.init (n - 1) (fun i -> Macromodel.predict model (window i))
+  in
   { macro_values; gate_values }
 
 let cycles t = Array.length t.macro_values

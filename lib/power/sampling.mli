@@ -18,11 +18,25 @@ type t
 (** A prepared cosimulation: per-cycle macro-model evaluations are lazy;
     per-cycle gate-level powers are computed on demand and counted. *)
 
-val prepare : Macromodel.model -> Macromodel.dut -> int array list -> t
+val prepare :
+  ?engine:Hlp_sim.Engine.t ->
+  ?jobs:int ->
+  Macromodel.model ->
+  Macromodel.dut ->
+  int array list ->
+  t
 (** [prepare model dut traces] sets up the cosimulation of the module under
     the given input streams (one per input word, equal lengths). The
     macro-model is evaluated cycle-by-cycle on the observed per-bit
-    transitions (a bitwise-style cycle equation). *)
+    transitions (a bitwise-style cycle equation).
+
+    [engine] (default [Scalar]) selects the gate-level simulation engine
+    (see {!Hlp_sim.Engine}): [Bitparallel] replays the trace 63 cycles per
+    word-wide step, [Parallel] additionally shards the replay and the
+    macro-model evaluations across [jobs] domains. Output words and toggle
+    counts are identical across engines; per-transition capacitances (and
+    hence {!adaptive} estimates) agree up to float round-off, and sampler /
+    census estimates are bit-identical. *)
 
 val cycles : t -> int
 

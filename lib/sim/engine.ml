@@ -1,0 +1,14 @@
+type t = Scalar | Bitparallel | Parallel
+
+let all = [ Scalar; Bitparallel; Parallel ]
+
+let to_string = function
+  | Scalar -> "scalar"
+  | Bitparallel -> "bitparallel"
+  | Parallel -> "parallel"
+
+let of_string = function
+  | "scalar" -> Some Scalar
+  | "bitparallel" | "bitpar" -> Some Bitparallel
+  | "parallel" | "par" -> Some Parallel
+  | _ -> None

@@ -1,0 +1,26 @@
+(** Simulation-engine selector shared by every Monte Carlo / cosimulation
+    consumer in the toolkit.
+
+    - [Scalar]: one {!Funcsim} step per cycle per vector — the reference
+      engine, bit-exact with the seed implementation.
+    - [Bitparallel]: {!Bitsim} packs 63 independent vectors into one OCaml
+      [int] per wire and evaluates each gate with single word-wide bitwise
+      operations; toggle accounting is exact (popcount of [old lxor new]).
+    - [Parallel]: the bit-parallel engine sharded over OCaml 5 domains by
+      {!Parsim}, with per-shard PRNG streams and a deterministic reduction
+      order, so results are bit-identical regardless of the worker count.
+
+    Rule of thumb: [Scalar] for debugging and tiny runs; [Bitparallel] for
+    long single-stream cosimulation (it wins as soon as a few hundred cycles
+    are simulated); [Parallel] for Monte Carlo style workloads with many
+    independent vectors on multicore hosts. *)
+
+type t = Scalar | Bitparallel | Parallel
+
+val all : t list
+
+val to_string : t -> string
+
+val of_string : string -> t option
+(** Accepts ["scalar"], ["bitparallel"] (or ["bitpar"]), ["parallel"] (or
+    ["par"]). *)

@@ -1,0 +1,187 @@
+open Hlp_logic
+
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+exception Worker of exn
+
+let map ?jobs n f =
+  if n < 0 then invalid_arg "Parsim.map";
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> default_jobs ()
+  in
+  let jobs = min jobs n in
+  if jobs <= 1 then Array.init n f
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    (* work-stealing over shard indices; each shard writes only its own
+       slot, so the result is position-determined and independent of the
+       worker count and of scheduling *)
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n && Atomic.get failure = None then begin
+          (match f i with
+          | v -> results.(i) <- Some v
+          | exception e -> Atomic.compare_and_set failure None (Some e) |> ignore);
+          go ()
+        end
+      in
+      go ()
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    (match Atomic.get failure with Some e -> raise (Worker e) | None -> ());
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+type replay = {
+  out_words : int array;
+  transition_caps : float array;
+}
+
+(* --- scalar reference implementation: one Funcsim step per cycle --- *)
+
+let replay_scalar net ~vector ~n =
+  let sim = Funcsim.create net in
+  let outs = net.Netlist.outputs in
+  let out_words = Array.make n 0 in
+  let gate_cum = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    Funcsim.step sim (vector i);
+    let v = ref 0 in
+    Array.iteri
+      (fun k (_, wire) -> if Funcsim.value sim wire then v := !v lor (1 lsl k))
+      outs;
+    out_words.(i) <- !v;
+    gate_cum.(i) <- Funcsim.switched_capacitance sim
+  done;
+  let transition_caps =
+    Array.init (max 0 (n - 1)) (fun i -> gate_cum.(i + 1) -. gate_cum.(i))
+  in
+  { out_words; transition_caps }
+
+(* --- bit-parallel chunk: 63 consecutive cycles per two Bitsim steps ---
+
+   A combinational circuit's settled state depends only on the current
+   vector, so a serial trace can be transposed: lane j of a chunk starting
+   at cycle [lo] first settles at vector lo+j (warm-up step, accounting
+   off), then steps to vector lo+j+1 with per-lane accounting on. The
+   per-lane switched capacitance of the counted step is exactly the
+   capacitance the scalar simulator charges for the transition
+   lo+j -> lo+j+1. *)
+
+(* One chunk on an existing (combinational, track_lanes) simulator. The
+   warm-up settle is a pure function of the warm-up vectors, so the
+   simulator's prior state is irrelevant and one instance can be reused
+   across chunks — the result is bit-identical to a freshly created one. *)
+let replay_chunk_with sim ~vector ~n lo =
+  let count = min Bitsim.lanes (n - lo) in
+  Bitsim.set_counting sim false;
+  (* vectors lo .. lo+63 once: lane j of the counted step is lane j+1 of
+     the warm-up step, so the counted words are a lane shift of the warm-up
+     words plus vector lo+63 entering at the top lane *)
+  let vecs =
+    Array.init (Bitsim.lanes + 1) (fun j -> vector (min (lo + j) (n - 1)))
+  in
+  let warm = Bitsim.pack_lanes (Array.sub vecs 0 Bitsim.lanes) in
+  Bitsim.step sim warm;
+  let outs = Array.sub (Bitsim.output_words sim) 0 count in
+  let last = vecs.(Bitsim.lanes) in
+  let next =
+    Array.mapi
+      (fun k w -> (w lsr 1) lor (if last.(k) then 1 lsl (Bitsim.lanes - 1) else 0))
+      warm
+  in
+  Bitsim.reset_counters sim;
+  Bitsim.set_counting sim true;
+  Bitsim.step sim next;
+  let lane_caps = Bitsim.lane_switched_capacitance sim in
+  let ntrans = min count (n - 1 - lo) in
+  (outs, Array.sub lane_caps 0 (max 0 ntrans))
+
+let replay_chunk net ~caps ~vector ~n lo =
+  replay_chunk_with (Bitsim.create ~caps ~track_lanes:true net) ~vector ~n lo
+
+let replay ?jobs ~engine net ~vector ~n =
+  if n < 1 then invalid_arg "Parsim.replay: need at least one cycle";
+  match (engine : Engine.t) with
+  | Engine.Scalar -> replay_scalar net ~vector ~n
+  | Engine.Bitparallel | Engine.Parallel ->
+      if Netlist.num_dffs net > 0 then
+        invalid_arg
+          "Parsim.replay: bit-parallel trace replay requires a combinational \
+           netlist (sequential state cannot be chunked)";
+      let nchunks = (n + Bitsim.lanes - 1) / Bitsim.lanes in
+      let jobs =
+        match engine with
+        | Engine.Parallel -> (
+            match jobs with Some j -> max 1 j | None -> default_jobs ())
+        | _ -> 1
+      in
+      (* one capacitance table, shared read-only by every chunk simulator *)
+      let caps = Netlist.node_capacitance net in
+      let chunks =
+        if jobs <= 1 then begin
+          (* sequential: one simulator reused across all chunks (the
+             warm-up settle erases prior state), bit-identical to the
+             per-chunk-create parallel path *)
+          let sim = Bitsim.create ~caps ~track_lanes:true net in
+          Array.init nchunks (fun c ->
+              replay_chunk_with sim ~vector ~n (c * Bitsim.lanes))
+        end
+        else
+          map ~jobs nchunks (fun c ->
+              replay_chunk net ~caps ~vector ~n (c * Bitsim.lanes))
+      in
+      let out_words = Array.concat (Array.to_list (Array.map fst chunks)) in
+      let transition_caps = Array.concat (Array.to_list (Array.map snd chunks)) in
+      assert (Array.length out_words = n);
+      assert (Array.length transition_caps = n - 1);
+      { out_words; transition_caps }
+
+(* --- Monte Carlo under uniform inputs --- *)
+
+type mc = {
+  mean : float;
+  unit_means : float array;
+  cycles : int;
+}
+
+(* Each unit is an independent 63-lane batch whose PRNG stream depends only
+   on (seed, unit index) — never on the worker that ran it — which is what
+   makes the parallel reduction deterministic in the number of domains. *)
+let mc_unit net ~caps ~batch ~seed u =
+  let rng = Hlp_util.Prng.create (seed + ((u + 1) * 0x2545F4914F6CDD1D)) in
+  let nin = Array.length net.Netlist.inputs in
+  let sim = Bitsim.create ~caps net in
+  for _ = 1 to batch do
+    let words = Array.make nin 0 in
+    for k = 0 to nin - 1 do
+      words.(k) <- Int64.to_int (Hlp_util.Prng.bits64 rng)
+    done;
+    Bitsim.step sim words
+  done;
+  Bitsim.switched_capacitance sim /. float_of_int (batch * Bitsim.lanes)
+
+let monte_carlo_units ?jobs ~engine net ~batch ~seed ~stop =
+  (* fixed round size, independent of the worker count, so the stopping
+     decisions (and therefore the estimate) do not depend on ~jobs *)
+  let round = match (engine : Engine.t) with Engine.Parallel -> 8 | _ -> 1 in
+  let jobs = match engine with Engine.Parallel -> jobs | _ -> Some 1 in
+  let caps = Netlist.node_capacitance net in
+  let rec go acc nunits =
+    let fresh =
+      map ?jobs round (fun r -> mc_unit net ~caps ~batch ~seed (nunits + r))
+    in
+    let acc = acc @ Array.to_list fresh in
+    let nunits = nunits + round in
+    let means = Array.of_list acc in
+    let cycles = nunits * batch * Bitsim.lanes in
+    if stop ~means ~cycles then
+      { mean = Hlp_util.Stats.mean means; unit_means = means; cycles }
+    else go acc nunits
+  in
+  go [] 0

@@ -1,0 +1,76 @@
+(** Multicore driver for the bit-parallel simulator.
+
+    [Parsim] shards independent simulation work across OCaml 5 domains. The
+    determinism contract, relied on by every consumer: {e results depend
+    only on the inputs and shard indices, never on the number of workers or
+    on scheduling}. Shards are self-describing (per-shard PRNG streams
+    derived from the seed and the shard index), each shard writes a
+    pre-assigned slot, and reductions run in shard-index order — so [jobs=1]
+    and [jobs=64] produce bit-identical floats. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], at least 1. *)
+
+exception Worker of exn
+(** A shard raised; the original exception is wrapped (raised by {!map}
+    after all domains have been joined). *)
+
+val map : ?jobs:int -> int -> (int -> 'a) -> 'a array
+(** [map ~jobs n f] is [Array.init n f] computed by up to [jobs] domains
+    (default {!default_jobs}) pulling shard indices from a shared counter.
+    [f] must be safe to run concurrently with itself (pure, or touching
+    only shard-local state). Result slot [i] always holds [f i]. *)
+
+(** {1 Serial-trace replay} *)
+
+type replay = {
+  out_words : int array;
+      (** per cycle: settled primary outputs, output index [k] at bit [k] *)
+  transition_caps : float array;
+      (** per transition [i -> i+1] (length [n-1]): capacitance switched *)
+}
+
+val replay :
+  ?jobs:int ->
+  engine:Engine.t ->
+  Hlp_logic.Netlist.t ->
+  vector:(int -> bool array) ->
+  n:int ->
+  replay
+(** Simulate the [n]-cycle input trace [vector 0 .. vector (n-1)] and
+    return per-cycle outputs plus per-transition switched capacitance (the
+    quantities the sampling cosimulator consumes).
+
+    [Scalar] runs one {!Funcsim} step per cycle. [Bitparallel] transposes
+    the trace into chunks of 63 consecutive cycles, two {!Bitsim} steps per
+    chunk (one uncounted warm-up settle, one counted transition), which is
+    exact for combinational netlists because the settled state depends only
+    on the current vector. [Parallel] additionally spreads the chunks over
+    domains with {!map}. Bit-parallel engines raise [Invalid_argument] on
+    netlists with flip-flops (sequential state cannot be chunked). Toggle
+    counts are integer-exact across engines; the per-transition floats can
+    differ from [Scalar] only by summation-order round-off. *)
+
+(** {1 Monte Carlo batches} *)
+
+type mc = {
+  mean : float;  (** mean switched capacitance per cycle over all units *)
+  unit_means : float array;  (** per-unit batch means, in unit order *)
+  cycles : int;  (** total simulated cycles (units x batch x 63) *)
+}
+
+val monte_carlo_units :
+  ?jobs:int ->
+  engine:Engine.t ->
+  Hlp_logic.Netlist.t ->
+  batch:int ->
+  seed:int ->
+  stop:(means:float array -> cycles:int -> bool) ->
+  mc
+(** Evaluate independent Monte Carlo {e units} — each a fresh 63-lane
+    {!Bitsim} run of [batch] steps under uniform random inputs from a PRNG
+    stream determined by [(seed, unit index)] — until [stop] says so.
+    [stop] is consulted on unit-index boundaries that do not depend on
+    [jobs] (after every unit for [Bitparallel], after every fixed-size
+    round of 8 units for [Parallel]), so the returned estimate is
+    bit-identical for any number of domains. *)

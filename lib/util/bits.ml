@@ -1,6 +1,19 @@
+(* 16-bit lookup table: popcount is on the hot path of the bit-parallel
+   simulator (one call per toggling node per step), where the bit-at-a-time
+   loop would cost up to 63 iterations per call. *)
+let pop16 =
+  let t = Bytes.create 65536 in
+  Bytes.set t 0 '\000';
+  for i = 1 to 65535 do
+    Bytes.set t i (Char.chr (Char.code (Bytes.get t (i lsr 1)) + (i land 1)))
+  done;
+  t
+
 let popcount w =
-  let rec go acc w = if w = 0 then acc else go (acc + (w land 1)) (w lsr 1) in
-  go 0 w
+  Char.code (Bytes.unsafe_get pop16 (w land 0xffff))
+  + Char.code (Bytes.unsafe_get pop16 ((w lsr 16) land 0xffff))
+  + Char.code (Bytes.unsafe_get pop16 ((w lsr 32) land 0xffff))
+  + Char.code (Bytes.unsafe_get pop16 (w lsr 48))
 
 let hamming a b = popcount (a lxor b)
 

@@ -5,6 +5,7 @@ let () =
       ("logic", Test_logic.suite);
       ("bdd", Test_bdd.suite);
       ("sim", Test_sim.suite);
+      ("bitsim", Test_bitsim.suite);
       ("fsm", Test_fsm.suite);
       ("rtl", Test_rtl.suite);
       ("power", Test_power.suite);
