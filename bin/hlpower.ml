@@ -9,38 +9,50 @@
 
 open Cmdliner
 
-let circuit_of_name name width =
-  match name with
-  | "adder" -> Hlp_logic.Generators.adder_circuit width
-  | "multiplier" -> Hlp_logic.Generators.multiplier_circuit width
-  | "max" -> Hlp_logic.Generators.max_circuit width
-  | "alu" -> Hlp_logic.Generators.alu_circuit width
-  | "comparator" -> Hlp_logic.Generators.comparator_circuit width
-  | "parity" -> Hlp_logic.Generators.parity_circuit width
-  | _ -> failwith ("unknown circuit: " ^ name)
+(* Invalid argument values are rejected by Cmdliner converters (usage +
+   standard exit code 124), never by [failwith] backtraces. *)
 
-let stream_of_name rng name width n =
-  match name with
-  | "uniform" -> Hlp_sim.Streams.uniform rng ~width ~n
-  | "walk" -> Hlp_sim.Streams.gaussian_walk rng ~width ~sigma:20.0 ~n
-  | "correlated" -> Hlp_sim.Streams.correlated_bits rng ~width ~p:0.5 ~rho:0.7 ~n
-  | "biased" -> Hlp_sim.Streams.biased_bits rng ~width ~p:0.25 ~n
-  | _ -> failwith ("unknown stream: " ^ name)
+let circuit_enum =
+  [ ("adder", Hlp_logic.Generators.adder_circuit);
+    ("multiplier", Hlp_logic.Generators.multiplier_circuit);
+    ("max", Hlp_logic.Generators.max_circuit);
+    ("alu", Hlp_logic.Generators.alu_circuit);
+    ("comparator", Hlp_logic.Generators.comparator_circuit);
+    ("parity", Hlp_logic.Generators.parity_circuit) ]
+
+let stream_enum =
+  [ ("uniform", fun rng ~width ~n -> Hlp_sim.Streams.uniform rng ~width ~n);
+    ("walk", fun rng ~width ~n -> Hlp_sim.Streams.gaussian_walk rng ~width ~sigma:20.0 ~n);
+    ("correlated",
+     fun rng ~width ~n -> Hlp_sim.Streams.correlated_bits rng ~width ~p:0.5 ~rho:0.7 ~n);
+    ("biased", fun rng ~width ~n -> Hlp_sim.Streams.biased_bits rng ~width ~p:0.25 ~n) ]
+
+let engine_enum =
+  List.map (fun e -> (Hlp_sim.Engine.to_string e, e)) Hlp_sim.Engine.all
+  (* short aliases accepted by Engine.of_string since the engines landed *)
+  @ [ ("bitpar", Hlp_sim.Engine.Bitparallel); ("par", Hlp_sim.Engine.Parallel) ]
+
+let enum_doc alts = String.concat "|" (List.map fst alts)
+
+(* a positive-int converter with a lower bound, for --cycles and friends *)
+let int_at_least lower what =
+  let parse s =
+    match int_of_string_opt s with
+    | Some v when v >= lower -> Ok v
+    | Some _ -> Error (`Msg (Printf.sprintf "%s must be >= %d" what lower))
+    | None -> Error (`Msg (Printf.sprintf "invalid %s: %S (expected an integer)" what s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
 
 (* --- estimate --- *)
 
-let estimate circuit width cycles stream seed engine jobs =
-  let engine =
-    match Hlp_sim.Engine.of_string engine with
-    | Some e -> e
-    | None -> failwith ("unknown engine: " ^ engine)
-  in
-  if cycles < 2 then failwith "need --cycles >= 2 (the reference averages over trace transitions)";
-  let net = circuit_of_name circuit width in
+let estimate circuit width cycles stream seed engine jobs profile telemetry_json =
+  if profile || telemetry_json <> None then Hlp_util.Telemetry.enable ();
+  let net = circuit width in
   Printf.printf "circuit: %s\n" (Hlp_logic.Netlist.stats_string net);
   let nin = Array.length net.Hlp_logic.Netlist.inputs in
   let rng = Hlp_util.Prng.create seed in
-  let trace = stream_of_name rng stream nin cycles in
+  let trace = stream rng ~width:nin ~n:cycles in
   let vector i = Array.init nin (fun b -> Hlp_util.Bits.bit trace.(i) b) in
   let r = Hlp_sim.Parsim.replay ?jobs ~engine net ~vector ~n:cycles in
   let reference = Hlp_util.Stats.mean r.Hlp_sim.Parsim.transition_caps in
@@ -58,26 +70,50 @@ let estimate circuit width cycles stream seed engine jobs =
     Hlp_power.Complexity.ces_switched_capacitance_estimate Hlp_power.Complexity.ces_default net
   in
   Printf.printf "%-22s %10.1f cap units/cycle\n" "gate-equivalents (CES):" ces;
+  let mc = Hlp_power.Probprop.monte_carlo ~seed ~engine ?jobs net in
+  Printf.printf
+    "monte carlo (t-CI):     %10.1f cap units/cycle  (+/- %.1f, %d batches, %d cycles)\n"
+    mc.Hlp_power.Probprop.estimate mc.Hlp_power.Probprop.half_interval
+    mc.Hlp_power.Probprop.batches mc.Hlp_power.Probprop.cycles_used;
+  if profile then begin
+    print_newline ();
+    Hlp_util.Telemetry.print_report ()
+  end;
+  (match telemetry_json with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Hlp_util.Telemetry.to_json ());
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "telemetry written to %s\n" path
+  | None -> ());
   0
 
 let estimate_cmd =
   let circuit =
-    Arg.(value & opt string "multiplier"
-         & info [ "circuit" ] ~doc:"adder|multiplier|max|alu|comparator|parity")
+    Arg.(value & opt (enum circuit_enum) Hlp_logic.Generators.multiplier_circuit
+         & info [ "circuit" ] ~docv:"CIRCUIT" ~doc:(enum_doc circuit_enum))
   in
   let width = Arg.(value & opt int 8 & info [ "width" ] ~doc:"operand bit width") in
-  let cycles = Arg.(value & opt int 2000 & info [ "cycles" ] ~doc:"simulation cycles") in
+  let cycles =
+    Arg.(value & opt (int_at_least 2 "--cycles") 2000
+         & info [ "cycles" ]
+             ~doc:"simulation cycles (>= 2: the reference averages over trace transitions)")
+  in
   let stream =
-    Arg.(value & opt string "uniform" & info [ "stream" ] ~doc:"uniform|walk|correlated|biased")
+    Arg.(value & opt (enum stream_enum) (List.assoc "uniform" stream_enum)
+         & info [ "stream" ] ~docv:"STREAM" ~doc:(enum_doc stream_enum))
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed") in
   let engine =
-    Arg.(value & opt string "bitparallel"
+    Arg.(value & opt (enum engine_enum) Hlp_sim.Engine.Bitparallel
          & info [ "engine" ]
+             ~docv:"ENGINE"
              ~doc:
-               "simulation engine for the gate-level reference: \
-                scalar|bitparallel|parallel (bit engines pack 63 trace \
-                cycles per word-wide step; estimates agree to round-off)")
+               (enum_doc engine_enum
+               ^ " — simulation engine for the gate-level reference (bit \
+                  engines pack 63 trace cycles per word-wide step; \
+                  estimates agree to round-off)"))
   in
   let jobs =
     Arg.(value & opt (some int) None
@@ -86,24 +122,39 @@ let estimate_cmd =
                "worker domains for the parallel engine (default: all cores); \
                 results are bit-identical for any value")
   in
+  let profile =
+    Arg.(value & flag
+         & info [ "profile" ]
+             ~doc:
+               "enable the telemetry layer and print per-engine counters, \
+                timers, and Monte Carlo convergence series after the run")
+  in
+  let telemetry_json =
+    Arg.(value & opt (some string) None
+         & info [ "telemetry-json" ] ~docv:"FILE"
+             ~doc:"enable the telemetry layer and write it to $(docv) as JSON")
+  in
   Cmd.v (Cmd.info "estimate" ~doc:"Power-estimate a generated RT module")
-    Term.(const estimate $ circuit $ width $ cycles $ stream $ seed $ engine $ jobs)
+    Term.(const estimate $ circuit $ width $ cycles $ stream $ seed $ engine $ jobs
+          $ profile $ telemetry_json)
 
 (* --- bus-encode --- *)
 
+let trace_enum =
+  [ ("sequential", fun _ ~width ~n -> Hlp_bus.Traces.sequential () ~width ~n);
+    ("jumps",
+     fun rng ~width ~n -> Hlp_bus.Traces.sequential_with_jumps rng ~jump_prob:0.05 ~width ~n);
+    ("interleaved",
+     fun rng ~width ~n ->
+       Hlp_bus.Traces.interleaved_arrays rng ~bases:[ 0x100; 0x4200; 0x8000 ]
+         ~stride:1 ~width ~n);
+    ("loop",
+     fun rng ~width ~n -> Hlp_bus.Traces.loop_kernel rng ~body:12 ~iterations:(n / 15) ~width);
+    ("random", fun rng ~width ~n -> Hlp_bus.Traces.random_data rng ~width ~n) ]
+
 let bus_encode trace width n seed =
   let rng = Hlp_util.Prng.create seed in
-  let stream =
-    match trace with
-    | "sequential" -> Hlp_bus.Traces.sequential () ~width ~n
-    | "jumps" -> Hlp_bus.Traces.sequential_with_jumps rng ~jump_prob:0.05 ~width ~n
-    | "interleaved" ->
-        Hlp_bus.Traces.interleaved_arrays rng ~bases:[ 0x100; 0x4200; 0x8000 ]
-          ~stride:1 ~width ~n
-    | "loop" -> Hlp_bus.Traces.loop_kernel rng ~body:12 ~iterations:(n / 15) ~width
-    | "random" -> Hlp_bus.Traces.random_data rng ~width ~n
-    | _ -> failwith ("unknown trace: " ^ trace)
-  in
+  let stream = trace rng ~width ~n in
   let train = Hlp_bus.Traces.loop_kernel rng ~body:12 ~iterations:60 ~width in
   let beach = Hlp_bus.Encoding.train_beach ~width train in
   Printf.printf "%-14s %12s %6s\n" "scheme" "trans/word" "lines";
@@ -121,8 +172,8 @@ let bus_encode trace width n seed =
 
 let bus_cmd =
   let trace =
-    Arg.(value & opt string "sequential"
-         & info [ "trace" ] ~doc:"sequential|jumps|interleaved|loop|random")
+    Arg.(value & opt (enum trace_enum) (List.assoc "sequential" trace_enum)
+         & info [ "trace" ] ~docv:"TRACE" ~doc:(enum_doc trace_enum))
   in
   let width = Arg.(value & opt int 16 & info [ "width" ] ~doc:"bus width") in
   let n = Arg.(value & opt int 4000 & info [ "words" ] ~doc:"trace length") in
@@ -156,18 +207,18 @@ let pm_cmd =
 
 (* --- fsm-encode --- *)
 
+let machine_enum =
+  [ ("counter", fun _ -> Hlp_fsm.Stg.counter_fsm ~bits:4);
+    ("updown", fun _ -> Hlp_fsm.Stg.updown ~bits:4);
+    ("reactive", fun _ -> Hlp_fsm.Stg.reactive ~wait_states:4 ~burst_states:4);
+    ("seqdet", fun _ -> Hlp_fsm.Stg.sequence_detector ~pattern:[ true; false; true; true ]);
+    ("random",
+     fun seed ->
+       Hlp_fsm.Stg.random_fsm (Hlp_util.Prng.create seed) ~states:12 ~input_bits:2
+         ~output_bits:3) ]
+
 let fsm_encode machine iterations seed =
-  let stg =
-    match machine with
-    | "counter" -> Hlp_fsm.Stg.counter_fsm ~bits:4
-    | "updown" -> Hlp_fsm.Stg.updown ~bits:4
-    | "reactive" -> Hlp_fsm.Stg.reactive ~wait_states:4 ~burst_states:4
-    | "seqdet" -> Hlp_fsm.Stg.sequence_detector ~pattern:[ true; false; true; true ]
-    | "random" ->
-        Hlp_fsm.Stg.random_fsm (Hlp_util.Prng.create seed) ~states:12 ~input_bits:2
-          ~output_bits:3
-    | _ -> failwith ("unknown machine: " ^ machine)
-  in
+  let stg = machine seed in
   let dist = Hlp_fsm.Markov.analyze stg in
   let rng = Hlp_util.Prng.create seed in
   Printf.printf "%-10s %16s %18s\n" "encoding" "E[Hamming]/cycle" "synth cap/cycle";
@@ -186,8 +237,8 @@ let fsm_encode machine iterations seed =
 
 let fsm_cmd =
   let machine =
-    Arg.(value & opt string "random"
-         & info [ "machine" ] ~doc:"counter|updown|reactive|seqdet|random")
+    Arg.(value & opt (enum machine_enum) (List.assoc "random" machine_enum)
+         & info [ "machine" ] ~docv:"MACHINE" ~doc:(enum_doc machine_enum))
   in
   let iterations =
     Arg.(value & opt int 20_000 & info [ "iterations" ] ~doc:"annealing iterations")
@@ -198,21 +249,27 @@ let fsm_cmd =
 
 (* --- export --- *)
 
-let export circuit width format =
-  let net = circuit_of_name circuit width in
-  (match format with
-  | "verilog" -> print_string (Hlp_logic.Export.to_verilog ~module_name:circuit net)
-  | "dot" -> print_string (Hlp_logic.Export.to_dot ~max_nodes:2000 net)
-  | _ -> failwith ("unknown format: " ^ format));
+let format_enum =
+  [ ("verilog",
+     fun name net -> print_string (Hlp_logic.Export.to_verilog ~module_name:name net));
+    ("dot", fun _ net -> print_string (Hlp_logic.Export.to_dot ~max_nodes:2000 net)) ]
+
+let export (name, circuit) width format =
+  format name (circuit width);
   0
 
 let export_cmd =
   let circuit =
-    Arg.(value & opt string "adder"
-         & info [ "circuit" ] ~doc:"adder|multiplier|max|alu|comparator|parity")
+    (* keep the circuit's name around for the Verilog module name *)
+    let named = List.map (fun (name, f) -> (name, (name, f))) circuit_enum in
+    Arg.(value & opt (enum named) (List.assoc "adder" named)
+         & info [ "circuit" ] ~docv:"CIRCUIT" ~doc:(enum_doc circuit_enum))
   in
   let width = Arg.(value & opt int 8 & info [ "width" ] ~doc:"operand bit width") in
-  let format = Arg.(value & opt string "verilog" & info [ "format" ] ~doc:"verilog|dot") in
+  let format =
+    Arg.(value & opt (enum format_enum) (List.assoc "verilog" format_enum)
+         & info [ "format" ] ~docv:"FORMAT" ~doc:(enum_doc format_enum))
+  in
   Cmd.v (Cmd.info "export" ~doc:"Emit a generated circuit as Verilog or dot")
     Term.(const export $ circuit $ width $ format)
 

@@ -73,14 +73,36 @@ type monte_carlo = {
   batches : int;
 }
 
+(* Convergence telemetry: one observation per stopping-rule evaluation, so
+   recorded half-widths reproduce the whole convergence trajectory. *)
+let tel_batches = Hlp_util.Telemetry.counter "probprop.batches"
+let tel_mc_cycles = Hlp_util.Telemetry.counter "probprop.mc_cycles"
+let tel_running_mean = Hlp_util.Telemetry.series "probprop.running_mean"
+let tel_half_width = Hlp_util.Telemetry.series "probprop.ci_half_width"
+
+(* 95% Student-t half-width of the mean of [means] (df = batches - 1).
+   The seed implementation used the z = 1.96 normal interval here, which
+   under-covers badly at the 3-5 batch counts the stopping rule sees
+   (t_{2,0.975} = 4.303): runs stopped early with intervals that missed
+   the long-run mean far more than 5% of the time. *)
+let ci_half_width means =
+  let lo, hi =
+    Hlp_util.Stats.confidence_interval ~level:0.95
+      ~df:(Array.length means - 1) means
+  in
+  (hi -. lo) /. 2.0
+
 (* the Burch-et-al. stopping criterion, shared by all engines *)
 let ci_stop ~relative_precision ~max_cycles ~means ~cycles =
+  if Array.length means >= 2 && Hlp_util.Telemetry.enabled () then begin
+    Hlp_util.Telemetry.observe tel_running_mean (Hlp_util.Stats.mean means);
+    Hlp_util.Telemetry.observe tel_half_width (ci_half_width means)
+  end;
   cycles >= max_cycles
   || Array.length means >= 3
      &&
      let m = Hlp_util.Stats.mean means in
-     let lo, hi = Hlp_util.Stats.confidence_interval_95 means in
-     let half = (hi -. lo) /. 2.0 in
+     let half = ci_half_width means in
      m > 0.0 && half /. m <= relative_precision
 
 let monte_carlo_bitparallel ~batch ~relative_precision ~max_cycles ~seed ~engine
@@ -90,10 +112,11 @@ let monte_carlo_bitparallel ~batch ~relative_precision ~max_cycles ~seed ~engine
       ~stop:(ci_stop ~relative_precision ~max_cycles)
   in
   let means = r.Hlp_sim.Parsim.unit_means in
-  let lo, hi = Hlp_util.Stats.confidence_interval_95 means in
+  Hlp_util.Telemetry.add tel_batches (Array.length means);
+  Hlp_util.Telemetry.add tel_mc_cycles r.Hlp_sim.Parsim.cycles;
   {
     estimate = r.Hlp_sim.Parsim.mean;
-    half_interval = (hi -. lo) /. 2.0;
+    half_interval = ci_half_width means;
     cycles_used = r.Hlp_sim.Parsim.cycles;
     batches = Array.length means;
   }
@@ -121,12 +144,18 @@ let monte_carlo ?(batch = 30) ?(relative_precision = 0.05) ?(max_cycles = 100_00
     batch_means := ((cap -. !prev_cap) /. float_of_int batch) :: !batch_means;
     prev_cap := cap;
     let means = Array.of_list !batch_means in
+    if Array.length means >= 2 && Hlp_util.Telemetry.enabled () then begin
+      Hlp_util.Telemetry.observe tel_running_mean (Hlp_util.Stats.mean means);
+      Hlp_util.Telemetry.observe tel_half_width (ci_half_width means)
+    end;
     if Array.length means >= 3 then begin
       let m = Hlp_util.Stats.mean means in
-      let lo, hi = Hlp_util.Stats.confidence_interval_95 means in
-      let half = (hi -. lo) /. 2.0 in
-      if (m > 0.0 && half /. m <= relative_precision) || !cycles >= max_cycles then
+      let half = ci_half_width means in
+      if (m > 0.0 && half /. m <= relative_precision) || !cycles >= max_cycles then begin
+        Hlp_util.Telemetry.add tel_batches k;
+        Hlp_util.Telemetry.add tel_mc_cycles !cycles;
         { estimate = m; half_interval = half; cycles_used = !cycles; batches = k }
+      end
       else go (k + 1)
     end
     else go (k + 1)

@@ -32,7 +32,9 @@ val estimate_capacitance : Hlp_logic.Netlist.t -> node_stats -> float
 
 type monte_carlo = {
   estimate : float;  (** mean switched capacitance per cycle *)
-  half_interval : float;  (** 95% confidence half-width *)
+  half_interval : float;
+      (** 95% Student-t confidence half-width over the batch means
+          (df = batches - 1) *)
   cycles_used : int;
   batches : int;
 }
@@ -49,7 +51,17 @@ val monte_carlo :
 (** Simulate under uniform inputs in batches (default 30 cycles each, the
     normality minimum) until the 95% CI of the per-cycle capacitance is
     within [relative_precision] (default 5%) of the mean — the
-    Burch-et-al. stopping criterion.
+    Burch-et-al. stopping criterion. The interval is a Student-t interval
+    over the batch means ([Stats.confidence_interval], df = batches - 1):
+    with as few as 3 batches the normal z = 1.96 interval under-covers
+    (the true 95% multiplier at df = 2 is 4.303), so a z-based rule stops
+    too early and reports intervals that miss the long-run mean well over
+    5% of the time (see the empirical-coverage test in [test_power.ml]).
+
+    When {!Hlp_util.Telemetry} is enabled, every stopping-rule evaluation
+    appends the running mean and the t half-width to the
+    ["probprop.running_mean"] / ["probprop.ci_half_width"] series — the
+    full convergence trajectory of the run.
 
     [engine] (default [Scalar]) selects the simulation engine. [Scalar]
     reproduces the seed implementation bit-for-bit. [Bitparallel] simulates

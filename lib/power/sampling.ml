@@ -3,7 +3,17 @@ type t = {
   gate_values : float array;  (** per transition, gate-level capacitance *)
 }
 
+let tel_macro_evals = Hlp_util.Telemetry.counter "sampling.macro_evals"
+let tel_gate_cycles = Hlp_util.Telemetry.counter "sampling.gate_sample_cycles"
+let tel_prepare_time = Hlp_util.Telemetry.timer "sampling.prepare"
+
+let of_arrays ~macro_values ~gate_values =
+  if Array.length macro_values <> Array.length gate_values then
+    invalid_arg "Sampling.of_arrays: length mismatch";
+  { macro_values; gate_values }
+
 let prepare ?(engine = Hlp_sim.Engine.Scalar) ?jobs model dut traces =
+  Hlp_util.Telemetry.time tel_prepare_time @@ fun () ->
   let n =
     match traces with [] -> invalid_arg "prepare: no traces" | t :: _ -> Array.length t
   in
@@ -42,6 +52,7 @@ let prepare ?(engine = Hlp_sim.Engine.Scalar) ?jobs model dut traces =
     | Hlp_sim.Engine.Scalar | Hlp_sim.Engine.Bitparallel ->
         Array.init (n - 1) (fun i -> Macromodel.predict model (window i))
   in
+  Hlp_util.Telemetry.add tel_macro_evals (n - 1);
   { macro_values; gate_values }
 
 let cycles t = Array.length t.macro_values
@@ -82,8 +93,12 @@ let adaptive ?(sample_size = 40) ~seed t =
   let gate_sample = Array.map (fun i -> t.gate_values.(i)) idx in
   let macro_sample = Array.map (fun i -> t.macro_values.(i)) idx in
   let census_macro = Hlp_util.Stats.mean t.macro_values in
+  (* Stats.ratio_estimator falls back to population_x (= the census macro
+     estimate) when the sampled macro values sum to zero, so a zero-activity
+     sample degrades to the census estimate instead of reporting 0 power *)
   let value =
     Hlp_util.Stats.ratio_estimator ~y:gate_sample ~x:macro_sample
       ~population_x:census_macro
   in
+  Hlp_util.Telemetry.add tel_gate_cycles sample_size;
   { value; macro_evaluations = n; gate_cycles = sample_size }

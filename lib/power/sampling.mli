@@ -18,6 +18,11 @@ type t
 (** A prepared cosimulation: per-cycle macro-model evaluations are lazy;
     per-cycle gate-level powers are computed on demand and counted. *)
 
+val of_arrays : macro_values:float array -> gate_values:float array -> t
+(** Assemble a cosimulation from already-computed per-transition values
+    (equal lengths) — for replaying recorded data and for tests that need
+    precise control over the value streams. *)
+
 val prepare :
   ?engine:Hlp_sim.Engine.t ->
   ?jobs:int ->

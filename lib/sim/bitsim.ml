@@ -13,10 +13,17 @@ type s = {
   highs : int array;
   lane_switched : float array;  (* length [lanes]; maintained iff track_lanes *)
   track_lanes : bool;
+  ncomb : int;  (* word-wide node evaluations per settle, for telemetry *)
+  mutable pops : int;  (* popcount calls since the last telemetry flush *)
   mutable ncycles : int;
   mutable counting : bool;
   mutable first : bool;  (* reset state must survive until the first input *)
 }
+
+let tel_steps = Hlp_util.Telemetry.counter "bitsim.steps"
+let tel_lane_cycles = Hlp_util.Telemetry.counter "bitsim.lane_cycles"
+let tel_evals = Hlp_util.Telemetry.counter "bitsim.word_evals"
+let tel_popcounts = Hlp_util.Telemetry.counter "bitsim.popcount_ops"
 
 let broadcast b = if b then all_ones else 0
 
@@ -76,6 +83,14 @@ let create ?caps ?(track_lanes = false) net =
       highs = Array.make n 0;
       lane_switched = Array.make lanes 0.0;
       track_lanes;
+      ncomb =
+        Array.fold_left
+          (fun acc (node : Netlist.node) ->
+            match node.Netlist.kind with
+            | Gate.Input | Gate.Dff -> acc
+            | _ -> acc + 1)
+          0 net.Netlist.nodes;
+      pops = 0;
       ncycles = 0;
       counting = true;
       first = true;
@@ -141,6 +156,7 @@ let set s i v =
       let d = old lxor v in
       Array.unsafe_set s.toggles i
         (Array.unsafe_get s.toggles i + Hlp_util.Bits.popcount d);
+      s.pops <- s.pops + 1;
       if s.track_lanes then
         scan_lanes s.lane_switched (Array.unsafe_get s.caps i) d
     end
@@ -174,9 +190,17 @@ let step s inputs =
     for i = 0 to Array.length values - 1 do
       Array.unsafe_set highs i
         (Array.unsafe_get highs i + Hlp_util.Bits.popcount (Array.unsafe_get values i))
-    done
+    done;
+    s.pops <- s.pops + Array.length values
   end;
-  s.ncycles <- s.ncycles + 1
+  s.ncycles <- s.ncycles + 1;
+  if Hlp_util.Telemetry.enabled () then begin
+    Hlp_util.Telemetry.incr tel_steps;
+    Hlp_util.Telemetry.add tel_lane_cycles lanes;
+    Hlp_util.Telemetry.add tel_evals s.ncomb;
+    Hlp_util.Telemetry.add tel_popcounts s.pops
+  end;
+  s.pops <- 0
 
 let value s w = s.values.(w)
 let cycles s = s.ncycles

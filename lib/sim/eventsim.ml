@@ -14,7 +14,15 @@ type s = {
   mutable functional_switched : float;
   mutable ncycles : int;
   mutable first : bool;
+  (* plain scalar tallies (cheap; flushed to telemetry per step) *)
+  mutable ndrained : int;
+  mutable ntoggles : int;
+  mutable nfunctional : int;
 }
+
+let tel_cycles = Hlp_util.Telemetry.counter "eventsim.cycles"
+let tel_events = Hlp_util.Telemetry.counter "eventsim.events_drained"
+let tel_glitches = Hlp_util.Telemetry.counter "eventsim.glitch_toggles"
 
 let build_fanouts net =
   let n = Netlist.num_nodes net in
@@ -44,6 +52,9 @@ let create net =
       functional_switched = 0.0;
       ncycles = 0;
       first = true;
+      ndrained = 0;
+      ntoggles = 0;
+      nfunctional = 0;
     }
   in
   Array.iteri
@@ -74,6 +85,7 @@ let rec commit s time i v =
   if s.values.(i) <> v then begin
     s.values.(i) <- v;
     s.toggles.(i) <- s.toggles.(i) + 1;
+    s.ntoggles <- s.ntoggles + 1;
     s.switched <- s.switched +. s.caps.(i);
     Array.iter (fun g -> schedule s time g) s.fanouts.(i)
   end
@@ -91,6 +103,7 @@ let drain s =
     match Hlp_util.Heap.pop s.queue with
     | None -> ()
     | Some (t, g) ->
+        s.ndrained <- s.ndrained + 1;
         let v = eval_node s g in
         commit s t g v;
         go ()
@@ -126,11 +139,20 @@ let step s inputs =
     (fun i v ->
       if s.settled.(i) <> v then begin
         s.functional.(i) <- s.functional.(i) + 1;
+        s.nfunctional <- s.nfunctional + 1;
         s.functional_switched <- s.functional_switched +. s.caps.(i);
         s.settled.(i) <- v
       end)
     s.values;
-  s.ncycles <- s.ncycles + 1
+  s.ncycles <- s.ncycles + 1;
+  if Hlp_util.Telemetry.enabled () then begin
+    Hlp_util.Telemetry.incr tel_cycles;
+    Hlp_util.Telemetry.add tel_events s.ndrained;
+    Hlp_util.Telemetry.add tel_glitches (s.ntoggles - s.nfunctional)
+  end;
+  s.ndrained <- 0;
+  s.ntoggles <- 0;
+  s.nfunctional <- 0
 
 let value s w = s.values.(w)
 let cycles s = s.ncycles

@@ -6,11 +6,15 @@ type s = {
   values : bool array;
   toggles : int array;
   highs : int array;
+  ncomb : int;  (* nodes re-evaluated per settle, for telemetry *)
   mutable switched : float;
   mutable ncycles : int;
   mutable counting : bool;
   mutable first : bool;  (* reset state must survive until the first input *)
 }
+
+let tel_cycles = Hlp_util.Telemetry.counter "funcsim.cycles"
+let tel_evals = Hlp_util.Telemetry.counter "funcsim.gate_evals"
 
 let create net =
   let n = Netlist.num_nodes net in
@@ -21,6 +25,13 @@ let create net =
       values = Array.make n false;
       toggles = Array.make n 0;
       highs = Array.make n 0;
+      ncomb =
+        Array.fold_left
+          (fun acc (node : Netlist.node) ->
+            match node.Netlist.kind with
+            | Gate.Input | Gate.Dff -> acc
+            | _ -> acc + 1)
+          0 net.Netlist.nodes;
       switched = 0.0;
       ncycles = 0;
       counting = true;
@@ -79,7 +90,11 @@ let step s inputs =
     net.Netlist.nodes;
   if s.counting then
     Array.iteri (fun i v -> if v then s.highs.(i) <- s.highs.(i) + 1) s.values;
-  s.ncycles <- s.ncycles + 1
+  s.ncycles <- s.ncycles + 1;
+  if Hlp_util.Telemetry.enabled () then begin
+    Hlp_util.Telemetry.incr tel_cycles;
+    Hlp_util.Telemetry.add tel_evals s.ncomb
+  end
 
 let value s w = s.values.(w)
 

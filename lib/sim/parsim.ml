@@ -4,6 +4,19 @@ let default_jobs () = max 1 (Domain.recommended_domain_count ())
 
 exception Worker of exn
 
+let tel_maps = Hlp_util.Telemetry.counter "parsim.maps"
+let tel_shards = Hlp_util.Telemetry.counter "parsim.shards"
+(* one observation per worker domain per parallel map: the number of shards
+   that worker pulled. With perfect load balance every observation of a map
+   is ~n/jobs; stragglers show up as outliers. *)
+let tel_domain_shards = Hlp_util.Telemetry.series "parsim.domain_shards"
+let tel_replays = Hlp_util.Telemetry.counter "parsim.replays"
+let tel_replay_cycles = Hlp_util.Telemetry.counter "parsim.replay_cycles"
+let tel_chunks = Hlp_util.Telemetry.counter "parsim.chunks"
+let tel_mc_units = Hlp_util.Telemetry.counter "parsim.mc_units"
+let tel_replay_time = Hlp_util.Telemetry.timer "parsim.replay"
+let tel_mc_time = Hlp_util.Telemetry.timer "parsim.monte_carlo"
+
 let map ?jobs n f =
   if n < 0 then invalid_arg "Parsim.map";
   let jobs =
@@ -12,6 +25,8 @@ let map ?jobs n f =
   let jobs = min jobs n in
   if jobs <= 1 then Array.init n f
   else begin
+    Hlp_util.Telemetry.incr tel_maps;
+    Hlp_util.Telemetry.add tel_shards n;
     let results = Array.make n None in
     let next = Atomic.make 0 in
     let failure = Atomic.make None in
@@ -19,16 +34,21 @@ let map ?jobs n f =
        slot, so the result is position-determined and independent of the
        worker count and of scheduling *)
     let worker () =
+      let mine = ref 0 in
       let rec go () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n && Atomic.get failure = None then begin
           (match f i with
-          | v -> results.(i) <- Some v
+          | v ->
+              results.(i) <- Some v;
+              Stdlib.incr mine
           | exception e -> Atomic.compare_and_set failure None (Some e) |> ignore);
           go ()
         end
       in
-      go ()
+      go ();
+      if Hlp_util.Telemetry.enabled () then
+        Hlp_util.Telemetry.observe tel_domain_shards (float_of_int !mine)
     in
     let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
     worker ();
@@ -107,6 +127,9 @@ let replay_chunk net ~caps ~vector ~n lo =
 
 let replay ?jobs ~engine net ~vector ~n =
   if n < 1 then invalid_arg "Parsim.replay: need at least one cycle";
+  Hlp_util.Telemetry.incr tel_replays;
+  Hlp_util.Telemetry.add tel_replay_cycles n;
+  Hlp_util.Telemetry.time tel_replay_time @@ fun () ->
   match (engine : Engine.t) with
   | Engine.Scalar -> replay_scalar net ~vector ~n
   | Engine.Bitparallel | Engine.Parallel ->
@@ -115,6 +138,7 @@ let replay ?jobs ~engine net ~vector ~n =
           "Parsim.replay: bit-parallel trace replay requires a combinational \
            netlist (sequential state cannot be chunked)";
       let nchunks = (n + Bitsim.lanes - 1) / Bitsim.lanes in
+      Hlp_util.Telemetry.add tel_chunks nchunks;
       let jobs =
         match engine with
         | Engine.Parallel -> (
@@ -167,6 +191,7 @@ let mc_unit net ~caps ~batch ~seed u =
   Bitsim.switched_capacitance sim /. float_of_int (batch * Bitsim.lanes)
 
 let monte_carlo_units ?jobs ~engine net ~batch ~seed ~stop =
+  Hlp_util.Telemetry.time tel_mc_time @@ fun () ->
   (* fixed round size, independent of the worker count, so the stopping
      decisions (and therefore the estimate) do not depend on ~jobs *)
   let round = match (engine : Engine.t) with Engine.Parallel -> 8 | _ -> 1 in
@@ -176,6 +201,7 @@ let monte_carlo_units ?jobs ~engine net ~batch ~seed ~stop =
     let fresh =
       map ?jobs round (fun r -> mc_unit net ~caps ~batch ~seed (nunits + r))
     in
+    Hlp_util.Telemetry.add tel_mc_units round;
     let acc = acc @ Array.to_list fresh in
     let nunits = nunits + round in
     let means = Array.of_list acc in

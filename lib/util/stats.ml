@@ -42,6 +42,72 @@ let confidence_interval_95 a =
   let half = 1.96 *. stddev a /. sqrt (float_of_int (Array.length a)) in
   (m -. half, m +. half)
 
+(* Two-sided Student-t quantiles: [t] such that P(|T_df| <= t) = level.
+   Tabulated per level for df = 1..30, then 40, 60, 120; between table rows
+   and beyond 120 the quantile is interpolated linearly in 1/df against the
+   normal limit, the standard textbook scheme (error < 1e-3 everywhere). *)
+let t_table =
+  [
+    ( 0.90,
+      1.645,
+      [| 6.314; 2.920; 2.353; 2.132; 2.015; 1.943; 1.895; 1.860; 1.833; 1.812;
+         1.796; 1.782; 1.771; 1.761; 1.753; 1.746; 1.740; 1.734; 1.729; 1.725;
+         1.721; 1.717; 1.714; 1.711; 1.708; 1.706; 1.703; 1.701; 1.699; 1.697 |],
+      [| (40, 1.684); (60, 1.671); (120, 1.658) |] );
+    ( 0.95,
+      1.960,
+      [| 12.706; 4.303; 3.182; 2.776; 2.571; 2.447; 2.365; 2.306; 2.262; 2.228;
+         2.201; 2.179; 2.160; 2.145; 2.131; 2.120; 2.110; 2.101; 2.093; 2.086;
+         2.080; 2.074; 2.069; 2.064; 2.060; 2.056; 2.052; 2.048; 2.045; 2.042 |],
+      [| (40, 2.021); (60, 2.000); (120, 1.980) |] );
+    ( 0.99,
+      2.576,
+      [| 63.657; 9.925; 5.841; 4.604; 4.032; 3.707; 3.499; 3.355; 3.250; 3.169;
+         3.106; 3.055; 3.012; 2.977; 2.947; 2.921; 2.898; 2.878; 2.861; 2.845;
+         2.831; 2.819; 2.807; 2.797; 2.787; 2.779; 2.771; 2.763; 2.756; 2.750 |],
+      [| (40, 2.704); (60, 2.660); (120, 2.617) |] );
+  ]
+
+let t_quantile ~level ~df =
+  if df < 1 then invalid_arg "Stats.t_quantile: df must be >= 1";
+  let _, z, dense, tail =
+    match List.find_opt (fun (l, _, _, _) -> abs_float (l -. level) < 1e-9) t_table with
+    | Some row -> row
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Stats.t_quantile: unsupported level %g (use 0.90, 0.95, 0.99)"
+             level)
+  in
+  if df <= Array.length dense then dense.(df - 1)
+  else
+    (* interpolate in 1/df between bracketing anchors; beyond the last
+       anchor the normal quantile z is the 1/df -> 0 limit *)
+    let interp (dfl, tl) (dfh, th) =
+      let x = 1.0 /. float_of_int df in
+      let xl = 1.0 /. float_of_int dfl
+      and xh = match dfh with Some d -> 1.0 /. float_of_int d | None -> 0.0 in
+      th +. ((tl -. th) *. (x -. xh) /. (xl -. xh))
+    in
+    let anchors =
+      Array.append
+        [| (Array.length dense, dense.(Array.length dense - 1)) |]
+        tail
+    in
+    let rec go i =
+      if i + 1 >= Array.length anchors then interp anchors.(i) (None, z)
+      else
+        let dfh, th = anchors.(i + 1) in
+        if df <= dfh then interp anchors.(i) (Some dfh, th) else go (i + 1)
+    in
+    go 0
+
+let confidence_interval ~level ~df a =
+  if df < 1 then invalid_arg "Stats.confidence_interval: df must be >= 1";
+  let m = mean a in
+  let t = t_quantile ~level ~df in
+  let half = t *. stddev a /. sqrt (float_of_int (Array.length a)) in
+  (m -. half, m +. half)
+
 let relative_error ~actual ~estimate =
   if actual = 0.0 then if estimate = 0.0 then 0.0 else infinity
   else abs_float (estimate -. actual) /. abs_float actual
@@ -90,7 +156,12 @@ let linear_regression ~x ~y =
 let ratio_estimator ~y ~x ~population_x =
   assert (Array.length x = Array.length y && Array.length x > 0);
   let sy = Array.fold_left ( +. ) 0.0 y and sx = Array.fold_left ( +. ) 0.0 x in
-  if sx = 0.0 then 0.0 else sy /. sx *. population_x
+  if sx = 0.0 then
+    (* the sample carries no auxiliary signal, so the ratio is undefined;
+       fall back to the uncorrected auxiliary total (ratio 1) instead of
+       reporting a spurious zero *)
+    population_x
+  else sy /. sx *. population_x
 
 let histogram ~bins a =
   assert (bins > 0 && Array.length a > 0);

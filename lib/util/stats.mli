@@ -27,7 +27,26 @@ val percentile : float array -> float -> float
 
 val confidence_interval_95 : float array -> float * float
 (** Normal-approximation 95% confidence interval of the mean:
-    [(mean - 1.96 s/sqrt n, mean + 1.96 s/sqrt n)]. *)
+    [(mean - 1.96 s/sqrt n, mean + 1.96 s/sqrt n)]. Only asymptotically
+    valid: at small sample counts it is too narrow (under-covers), because
+    the variance is itself estimated — use {!confidence_interval}, which
+    applies the Student-t correction, whenever [n] is small (the
+    Monte Carlo stopping rule stops on as few as 3 batch means). *)
+
+val t_quantile : level:float -> df:int -> float
+(** Two-sided Student-t quantile: the [t] with [P(|T_df| <= t) = level].
+    Supported levels: 0.90, 0.95, 0.99 (tabulated for df = 1..30, 40, 60,
+    120; interpolated linearly in 1/df elsewhere, converging to the normal
+    quantile as df grows). Raises [Invalid_argument] on other levels or
+    [df < 1]. *)
+
+val confidence_interval : level:float -> df:int -> float array -> float * float
+(** Student-t confidence interval of the mean at the given [level]:
+    [(mean - t s/sqrt n, mean + t s/sqrt n)] with [t = t_quantile ~level ~df].
+    Pass [df = n - 1] for an i.i.d. sample of [n] batch means. Unlike
+    {!confidence_interval_95} this has correct finite-sample coverage under
+    normality — at [df = 2] the 95% multiplier is 4.303, not 1.96. Raises
+    [Invalid_argument] if [df < 1]. *)
 
 val relative_error : actual:float -> estimate:float -> float
 (** [|estimate - actual| / |actual|]; [0.] when both are zero, [infinity]
@@ -51,7 +70,9 @@ val ratio_estimator : y:float array -> x:float array -> population_x:float -> fl
     statistical engine behind adaptive macro-modeling: [y] are expensive
     gate-level measurements on a small sample, [x] the cheap macro-model
     values on the same sample, [population_x] the macro-model total over the
-    whole stream. *)
+    whole stream. When the sample's [x] values sum to zero the ratio is
+    undefined; the estimator then falls back to [population_x] (ratio 1,
+    i.e. the uncorrected census value) rather than reporting zero. *)
 
 val histogram : bins:int -> float array -> (float * int) array
 (** Equal-width histogram; each entry is (bin lower edge, count). *)

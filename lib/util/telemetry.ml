@@ -1,0 +1,185 @@
+type counter = { c_name : string; value : int Atomic.t }
+
+type timer = { t_name : string; calls : int Atomic.t; nanos : int Atomic.t }
+
+type series = {
+  s_name : string;
+  lock : Mutex.t;
+  mutable items : float list;  (* reversed *)
+  mutable length : int;
+}
+
+let on = Atomic.make false
+
+let enabled () = Atomic.get on
+let enable () = Atomic.set on true
+let disable () = Atomic.set on false
+
+(* Registries. Instruments are created at module-initialization time (and
+   idempotently thereafter), so registration is rare; the lock only guards
+   the tables, never the hot add/observe paths. *)
+let registry_lock = Mutex.create ()
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let timers : (string, timer) Hashtbl.t = Hashtbl.create 16
+let series_tbl : (string, series) Hashtbl.t = Hashtbl.create 16
+
+let registered tbl name make =
+  Mutex.lock registry_lock;
+  let v =
+    match Hashtbl.find_opt tbl name with
+    | Some v -> v
+    | None ->
+        let v = make () in
+        Hashtbl.add tbl name v;
+        v
+  in
+  Mutex.unlock registry_lock;
+  v
+
+let counter name =
+  registered counters name (fun () -> { c_name = name; value = Atomic.make 0 })
+
+let add c n = if Atomic.get on then ignore (Atomic.fetch_and_add c.value n)
+let incr c = add c 1
+let count c = Atomic.get c.value
+
+let timer name =
+  registered timers name (fun () ->
+      { t_name = name; calls = Atomic.make 0; nanos = Atomic.make 0 })
+
+let time t f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dt = Unix.gettimeofday () -. t0 in
+        ignore (Atomic.fetch_and_add t.calls 1);
+        ignore (Atomic.fetch_and_add t.nanos (int_of_float (dt *. 1e9))))
+      f
+  end
+
+let timer_stats t = (Atomic.get t.calls, float_of_int (Atomic.get t.nanos) /. 1e9)
+
+let series name =
+  registered series_tbl name (fun () ->
+      { s_name = name; lock = Mutex.create (); items = []; length = 0 })
+
+let observe s x =
+  if Atomic.get on then begin
+    Mutex.lock s.lock;
+    s.items <- x :: s.items;
+    s.length <- s.length + 1;
+    Mutex.unlock s.lock
+  end
+
+let observations s =
+  Mutex.lock s.lock;
+  let a = Array.make s.length 0.0 in
+  List.iteri (fun i x -> a.(s.length - 1 - i) <- x) s.items;
+  Mutex.unlock s.lock;
+  a
+
+let reset () =
+  Mutex.lock registry_lock;
+  Hashtbl.iter (fun _ c -> Atomic.set c.value 0) counters;
+  Hashtbl.iter
+    (fun _ t ->
+      Atomic.set t.calls 0;
+      Atomic.set t.nanos 0)
+    timers;
+  Hashtbl.iter
+    (fun _ s ->
+      Mutex.lock s.lock;
+      s.items <- [];
+      s.length <- 0;
+      Mutex.unlock s.lock)
+    series_tbl;
+  Mutex.unlock registry_lock
+
+(* --- output --- *)
+
+let sorted tbl =
+  let l = Hashtbl.fold (fun _ v acc -> v :: acc) tbl [] in
+  l
+
+let sorted_counters () =
+  List.sort (fun a b -> compare a.c_name b.c_name) (sorted counters)
+
+let sorted_timers () =
+  List.sort (fun a b -> compare a.t_name b.t_name) (sorted timers)
+
+let sorted_series () =
+  List.sort (fun a b -> compare a.s_name b.s_name) (sorted series_tbl)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float x =
+  if Float.is_finite x then Printf.sprintf "%.9g" x else "null"
+
+let to_json () =
+  let b = Buffer.create 1024 in
+  let obj_fields fields =
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string b ",";
+        Buffer.add_string b (Printf.sprintf "\"%s\":%s" (json_escape k) v))
+      fields
+  in
+  Buffer.add_string b "{";
+  Buffer.add_string b (Printf.sprintf "\"enabled\":%b," (enabled ()));
+  Buffer.add_string b "\"counters\":{";
+  obj_fields
+    (List.map (fun c -> (c.c_name, string_of_int (count c))) (sorted_counters ()));
+  Buffer.add_string b "},\"timers\":{";
+  obj_fields
+    (List.map
+       (fun t ->
+         let calls, secs = timer_stats t in
+         (t.t_name, Printf.sprintf "{\"calls\":%d,\"seconds\":%s}" calls (json_float secs)))
+       (sorted_timers ()));
+  Buffer.add_string b "},\"series\":{";
+  obj_fields
+    (List.map
+       (fun s ->
+         let xs = observations s in
+         ( s.s_name,
+           "["
+           ^ String.concat "," (Array.to_list (Array.map json_float xs))
+           ^ "]" ))
+       (sorted_series ()));
+  Buffer.add_string b "}}";
+  Buffer.contents b
+
+let print_report ?(oc = stdout) () =
+  let p fmt = Printf.fprintf oc fmt in
+  let cs = List.filter (fun c -> count c <> 0) (sorted_counters ()) in
+  let ts = List.filter (fun t -> fst (timer_stats t) <> 0) (sorted_timers ()) in
+  let ss =
+    List.filter (fun s -> Array.length (observations s) > 0) (sorted_series ())
+  in
+  p "telemetry:\n";
+  if cs = [] && ts = [] && ss = [] then p "  (no instruments fired)\n";
+  List.iter (fun c -> p "  %-32s %12d\n" c.c_name (count c)) cs;
+  List.iter
+    (fun t ->
+      let calls, secs = timer_stats t in
+      p "  %-32s %12d calls %10.3f ms total\n" t.t_name calls (secs *. 1e3))
+    ts;
+  List.iter
+    (fun s ->
+      let xs = observations s in
+      let n = Array.length xs in
+      p "  %-32s %12d obs   first %.4g last %.4g\n" s.s_name n xs.(0) xs.(n - 1))
+    ss

@@ -1,0 +1,87 @@
+(** Process-wide telemetry: counters, timers, and observation series for
+    the simulation engines and estimators.
+
+    The registry is global and the switch is off by default, so
+    instrumented hot paths cost one predictable branch when disabled (the
+    simulators keep their own plain per-instance counters regardless; the
+    telemetry layer only {e aggregates} them, at step or replay
+    granularity, when enabled). Counters and timers are atomic and series
+    appends are mutex-protected, so {!Hlp_sim.Parsim} worker domains can
+    report concurrently.
+
+    Typical use:
+    {[
+      Telemetry.enable ();
+      ... run a workload ...
+      Telemetry.print_report ();            (* human-readable table *)
+      print_string (Telemetry.to_json ());  (* machine-readable *)
+    ]} *)
+
+type counter
+(** A named monotonic integer, atomic across domains. *)
+
+type timer
+(** A named accumulator of wall-clock spans (call count + total seconds). *)
+
+type series
+(** A named append-only sequence of float observations, in append order —
+    used for convergence diagnostics (e.g. confidence half-width after
+    each Monte Carlo batch). *)
+
+val enabled : unit -> bool
+(** Current state of the global switch (off at program start). *)
+
+val enable : unit -> unit
+
+val disable : unit -> unit
+
+val reset : unit -> unit
+(** Zero every counter and timer and clear every series. Registered names
+    survive (instruments are created once, at module initialization). *)
+
+(** {1 Instruments}
+
+    Creation is idempotent by name: the same name returns the same
+    underlying instrument, so modules can declare their instruments at
+    top level without coordination. *)
+
+val counter : string -> counter
+
+val add : counter -> int -> unit
+(** Atomic add; no-op while disabled. *)
+
+val incr : counter -> unit
+
+val count : counter -> int
+(** Current value (reads regardless of the switch). *)
+
+val timer : string -> timer
+
+val time : timer -> (unit -> 'a) -> 'a
+(** [time t f] runs [f] and, when enabled, charges its wall-clock duration
+    to [t]. When disabled it is exactly [f ()]. *)
+
+val timer_stats : timer -> int * float
+(** (calls, total seconds). *)
+
+val series : string -> series
+
+val observe : series -> float -> unit
+(** Append an observation; no-op while disabled. *)
+
+val observations : series -> float array
+(** Snapshot of the series in append order. *)
+
+(** {1 Output} *)
+
+val to_json : unit -> string
+(** The whole registry as a JSON object:
+    [{"enabled": bool,
+      "counters": {name: int, ...},
+      "timers": {name: {"calls": int, "seconds": float}, ...},
+      "series": {name: [float, ...], ...}}]
+    Names are sorted; non-finite floats are emitted as [null]. *)
+
+val print_report : ?oc:out_channel -> unit -> unit
+(** Human-readable dump (counters, timers, series summaries), sorted by
+    name. Instruments that never fired are omitted. *)

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "hlpower"
     [
       ("util", Test_util.suite);
+      ("telemetry", Test_telemetry.suite);
       ("logic", Test_logic.suite);
       ("bdd", Test_bdd.suite);
       ("sim", Test_sim.suite);

@@ -551,6 +551,90 @@ let test_monte_carlo_tighter_needs_more () =
   Alcotest.(check bool) "tighter precision costs cycles" true
     (tight.Probprop.cycles_used >= loose.Probprop.cycles_used)
 
+(* batch means of one seeded Monte Carlo run, exactly as the scalar
+   stopping loop computes them (cumulative-capacitance differences) *)
+let batch_means_of_run ~seed ~batches ~batch net =
+  let rng = Hlp_util.Prng.create seed in
+  let sim = Hlp_sim.Funcsim.create net in
+  let nin = Array.length net.Hlp_logic.Netlist.inputs in
+  let prev = ref 0.0 in
+  Array.init batches (fun _ ->
+      for _ = 1 to batch do
+        Hlp_sim.Funcsim.step sim (Array.init nin (fun _ -> Hlp_util.Prng.bool rng))
+      done;
+      let cap = Hlp_sim.Funcsim.switched_capacitance sim in
+      let m = (cap -. !prev) /. float_of_int batch in
+      prev := cap;
+      m)
+
+let test_monte_carlo_interval_coverage () =
+  (* The headline bug this PR fixes. The stopping rule can fire on as few
+     as 3 batch means, and the seed implementation built its "95%" interval
+     with the normal z = 1.96 multiplier; the correct 95% multiplier at
+     df = 2 is t_{2,0.975} = 4.303, so the z-interval misses the long-run
+     mean far more than 5% of the time (theoretical coverage ~81%).
+
+     Empirical check over 200 independently seeded 3-batch runs: the
+     Student-t interval must cover the long-run reference at least 90% of
+     the time, and the old z-interval must demonstrably stay below 90% —
+     i.e. this test fails if ci_half_width is reverted to 1.96. *)
+  let net = Hlp_logic.Generators.adder_circuit 6 in
+  let reference =
+    let sim = Hlp_sim.Funcsim.create net in
+    let rng = Hlp_util.Prng.create 999 in
+    let refcycles = 50_000 in
+    Hlp_sim.Funcsim.run sim
+      (fun _ -> Array.init 12 (fun _ -> Hlp_util.Prng.bool rng))
+      refcycles;
+    Hlp_sim.Funcsim.switched_capacitance sim /. float_of_int refcycles
+  in
+  let runs = 200 in
+  let t_cov = ref 0 and z_cov = ref 0 in
+  for seed = 1 to runs do
+    let means = batch_means_of_run ~seed ~batches:3 ~batch:30 net in
+    let t_lo, t_hi = Hlp_util.Stats.confidence_interval ~level:0.95 ~df:2 means in
+    let z_lo, z_hi = Hlp_util.Stats.confidence_interval_95 means in
+    if t_lo <= reference && reference <= t_hi then incr t_cov;
+    if z_lo <= reference && reference <= z_hi then incr z_cov
+  done;
+  let t_frac = float_of_int !t_cov /. float_of_int runs in
+  let z_frac = float_of_int !z_cov /. float_of_int runs in
+  Alcotest.(check bool)
+    (Printf.sprintf "t-interval coverage %.2f >= 0.90" t_frac)
+    true (t_frac >= 0.90);
+  Alcotest.(check bool)
+    (Printf.sprintf "z-interval coverage %.2f < 0.90 (the fixed bug)" z_frac)
+    true (z_frac < 0.90)
+
+(* --- adaptive estimator on degenerate activity (ratio-estimator fallback) --- *)
+
+let test_adaptive_sparse_activity_falls_back_to_census () =
+  (* One busy transition in 10^5 idle ones: the 40-cycle sample almost
+     surely sees only idle cycles, so the sampled macro sum is zero and the
+     ratio is undefined. The estimate must degrade to the census value
+     (regression: the seed reported 0 power for this stream). *)
+  let n = 100_000 in
+  let macro_values = Array.make n 0.0 in
+  let gate_values = Array.make n 0.0 in
+  macro_values.(0) <- 500.0;
+  gate_values.(0) <- 480.0;
+  let t = Sampling.of_arrays ~macro_values ~gate_values in
+  let census = (Sampling.census t).Sampling.value in
+  let est = (Sampling.adaptive ~seed:1 t).Sampling.value in
+  Alcotest.(check bool) "census positive" true (census > 0.0);
+  Alcotest.(check (float 1e-12)) "adaptive degrades to census" census est
+
+let test_adaptive_all_zero_trace () =
+  (* fully idle trace: zero power is the right answer and must come out
+     finite (no 0/0) *)
+  let t =
+    Sampling.of_arrays ~macro_values:(Array.make 50 0.0)
+      ~gate_values:(Array.make 50 0.0)
+  in
+  let est = (Sampling.adaptive ~seed:3 t).Sampling.value in
+  Alcotest.(check bool) "finite" true (Float.is_finite est);
+  Alcotest.(check (float 0.0)) "zero" 0.0 est
+
 (* --- the Fig. 1 flow --- *)
 
 let test_flow_report () =
@@ -642,6 +726,9 @@ let suite =
     Alcotest.test_case "propagate capacitance" `Quick test_propagate_capacitance_estimate;
     Alcotest.test_case "monte carlo stopping" `Quick test_monte_carlo_stopping;
     Alcotest.test_case "monte carlo precision" `Quick test_monte_carlo_tighter_needs_more;
+    Alcotest.test_case "monte carlo t coverage" `Slow test_monte_carlo_interval_coverage;
+    Alcotest.test_case "adaptive sparse activity" `Quick test_adaptive_sparse_activity_falls_back_to_census;
+    Alcotest.test_case "adaptive all-zero trace" `Quick test_adaptive_all_zero_trace;
     Alcotest.test_case "cyclemodel qiu accuracy" `Quick test_cyclemodel_qiu_accuracy;
     Alcotest.test_case "cyclemodel qiu beats clusters" `Quick test_cyclemodel_qiu_beats_clusters;
     Alcotest.test_case "cyclemodel reference" `Quick test_cyclemodel_reference_totals;

@@ -108,6 +108,71 @@ let test_stats_percentile () =
   check_float "p100 = max" 5.0 (Stats.percentile a 100.0);
   check_float "p20 = min" 1.0 (Stats.percentile a 20.0)
 
+let test_stats_percentile_extremes () =
+  let a = [| 9.0; 2.0; 7.0 |] in
+  check_float "p0 = min" 2.0 (Stats.percentile a 0.0);
+  check_float "p100 = max" 9.0 (Stats.percentile a 100.0);
+  check_float "singleton p0" 4.0 (Stats.percentile [| 4.0 |] 0.0);
+  check_float "singleton p100" 4.0 (Stats.percentile [| 4.0 |] 100.0)
+
+let test_stats_histogram_degenerate () =
+  (* all samples equal (hi = lo): everything lands in the first bin *)
+  let h = Stats.histogram ~bins:4 (Array.make 6 3.5) in
+  Alcotest.(check int) "bins" 4 (Array.length h);
+  check_float "first edge" 3.5 (fst h.(0));
+  Alcotest.(check int) "all in first bin" 6 (snd h.(0));
+  Alcotest.(check int) "rest empty" 0 (snd h.(1) + snd h.(2) + snd h.(3))
+
+let test_stats_single_element () =
+  check_float "variance of 1" 0.0 (Stats.variance [| 42.0 |]);
+  let lo, hi = Stats.confidence_interval_95 [| 42.0 |] in
+  check_float "ci95 lo" 42.0 lo;
+  check_float "ci95 hi" 42.0 hi;
+  (* a one-element t-interval would need df = 0: rejected, not silently wrong *)
+  Alcotest.check_raises "df 0"
+    (Invalid_argument "Stats.confidence_interval: df must be >= 1") (fun () ->
+      ignore (Stats.confidence_interval ~level:0.95 ~df:0 [| 42.0 |]))
+
+let test_stats_correlation_constant () =
+  let x = [| 1.0; 2.0; 3.0 |] in
+  check_float "constant right" 0.0 (Stats.correlation x (Array.make 3 7.0));
+  check_float "constant left" 0.0 (Stats.correlation (Array.make 3 7.0) x)
+
+let test_stats_t_quantile () =
+  (* pinned against standard t tables *)
+  check_float ~eps:5e-4 "df1 95" 12.706 (Stats.t_quantile ~level:0.95 ~df:1);
+  check_float ~eps:5e-4 "df2 95" 4.303 (Stats.t_quantile ~level:0.95 ~df:2);
+  check_float ~eps:5e-4 "df10 95" 2.228 (Stats.t_quantile ~level:0.95 ~df:10);
+  check_float ~eps:2e-2 "df35 interpolated" 2.030 (Stats.t_quantile ~level:0.95 ~df:35);
+  check_float ~eps:2e-3 "df1000 ~ z" 1.962 (Stats.t_quantile ~level:0.95 ~df:1000);
+  check_float ~eps:5e-4 "df5 99" 4.032 (Stats.t_quantile ~level:0.99 ~df:5);
+  check_float ~eps:5e-4 "df5 90" 2.015 (Stats.t_quantile ~level:0.90 ~df:5);
+  Alcotest.check_raises "df 0"
+    (Invalid_argument "Stats.t_quantile: df must be >= 1") (fun () ->
+      ignore (Stats.t_quantile ~level:0.95 ~df:0));
+  Alcotest.check_raises "bad level"
+    (Invalid_argument
+       "Stats.t_quantile: unsupported level 0.8 (use 0.90, 0.95, 0.99)")
+    (fun () -> ignore (Stats.t_quantile ~level:0.80 ~df:5))
+
+let test_stats_t_interval_wider_than_z () =
+  (* the whole point of the Student-t correction: at small n the interval
+     must be wider than the normal approximation, and converge to it *)
+  let a = [| 10.0; 12.0; 14.0 |] in
+  let zlo, zhi = Stats.confidence_interval_95 a in
+  let tlo, thi = Stats.confidence_interval ~level:0.95 ~df:2 a in
+  Alcotest.(check bool) "t wider at df 2" true (thi -. tlo > zhi -. zlo);
+  check_float ~eps:1e-9 "same center" ((zlo +. zhi) /. 2.0) ((tlo +. thi) /. 2.0);
+  (* width ratio = t/z = 4.303 / 1.96 *)
+  check_float ~eps:1e-3 "ratio 4.303/1.96" (4.303 /. 1.96)
+    ((thi -. tlo) /. (zhi -. zlo))
+
+let test_stats_ratio_estimator_zero_sample () =
+  (* sampled auxiliary values all zero: the ratio is undefined; the
+     estimator must return the census fallback, not a spurious 0 *)
+  check_float "fallback" 100.0
+    (Stats.ratio_estimator ~y:[| 1.0; 2.0 |] ~x:[| 0.0; 0.0 |] ~population_x:100.0)
+
 let test_linalg_solve () =
   let a = [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] in
   let b = [| 5.0; 10.0 |] in
@@ -249,6 +314,13 @@ let suite =
     Alcotest.test_case "stats linear regression" `Quick test_stats_linreg;
     Alcotest.test_case "stats ratio estimator" `Quick test_stats_ratio_estimator;
     Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
+    Alcotest.test_case "stats percentile extremes" `Quick test_stats_percentile_extremes;
+    Alcotest.test_case "stats histogram degenerate" `Quick test_stats_histogram_degenerate;
+    Alcotest.test_case "stats single element" `Quick test_stats_single_element;
+    Alcotest.test_case "stats correlation constant" `Quick test_stats_correlation_constant;
+    Alcotest.test_case "stats t quantile" `Quick test_stats_t_quantile;
+    Alcotest.test_case "stats t vs z interval" `Quick test_stats_t_interval_wider_than_z;
+    Alcotest.test_case "stats ratio zero sample" `Quick test_stats_ratio_estimator_zero_sample;
     Alcotest.test_case "linalg solve" `Quick test_linalg_solve;
     Alcotest.test_case "linalg singular" `Quick test_linalg_singular;
     Alcotest.test_case "linalg least squares" `Quick test_linalg_least_squares;
