@@ -306,11 +306,112 @@ let telemetry_overhead ?(n = 10_000) ?(reps = 5) () =
     enabled_overhead_pct;
   }
 
+(* E34: cost of the guarded path when nothing goes wrong. The replay
+   workload runs interleaved (raw, guarded, raw) rounds: raw calls
+   Parsim.replay directly, guarded goes through Parsim.replay_guarded with
+   a live deadline guard — the degradation chain, the guard checks, and
+   the containment machinery all engaged, but no fault firing. The two raw
+   batches bound the measurement noise the same way the telemetry A/A
+   comparison does. Also exercises the symbolic-to-sampling degradation
+   once (tiny BDD budget) so the JSON records a complete fallback event
+   with its telemetry counters. *)
+
+type robustness_result = {
+  ro_cycles : int;
+  ro_reps : int;
+  raw_a_s : float array;
+  guarded_s : float array;
+  raw_b_s : float array;
+  raw_spread_pct : float;
+  guarded_overhead_pct : float;
+  (* one forced symbolic->sampling degradation, for the record *)
+  fb_node_limit : int;
+  fb_symbolic_fallbacks : int;
+  fb_estimate : float;
+}
+
+let e34_robustness ?(n = 10_000) ?(reps = 5) () =
+  let _model, dut, traces = sampler_workload ~n in
+  let widths = dut.Hlp_power.Macromodel.widths in
+  let vector i = Hlp_sim.Streams.pack ~widths traces i in
+  let net = dut.Hlp_power.Macromodel.net in
+  let raw () =
+    ignore
+      (Hlp_sim.Parsim.replay ~engine:Hlp_sim.Engine.Bitparallel net ~vector ~n)
+  in
+  let guarded () =
+    match
+      Hlp_sim.Parsim.replay_guarded
+        ~guard:(Hlp_util.Guard.create ~deadline_s:3600.0 ())
+        ~engine:Hlp_sim.Engine.Bitparallel net ~vector ~n
+    with
+    | Ok d -> assert (d.Hlp_sim.Parsim.fallbacks = 0)
+    | Error e -> failwith ("E34: guarded replay failed: " ^ Hlp_util.Err.to_string e)
+  in
+  raw ();
+  (* warm-up *)
+  let timed f = snd (time f) in
+  let raw_a_s = Array.make reps 0.0 in
+  let guarded_s = Array.make reps 0.0 in
+  let raw_b_s = Array.make reps 0.0 in
+  for i = 0 to reps - 1 do
+    raw_a_s.(i) <- timed raw;
+    guarded_s.(i) <- timed guarded;
+    raw_b_s.(i) <- timed raw
+  done;
+  let minimum a = Array.fold_left min a.(0) a in
+  let ra = minimum raw_a_s and rb = minimum raw_b_s in
+  let r = min ra rb in
+  let raw_spread_pct = abs_float (rb -. ra) /. ra *. 100.0 in
+  let guarded_overhead_pct = (minimum guarded_s -. r) /. r *. 100.0 in
+  Printf.printf
+    "E34: guarded-execution overhead (bit-parallel replay, %d cycles, best of %d):\n"
+    n reps;
+  Printf.printf "  raw A/A spread:     %.2f%% (measurement noise floor)\n"
+    raw_spread_pct;
+  Printf.printf "  guarded vs raw:     %.2f%% (budget: < 2%%)\n"
+    guarded_overhead_pct;
+  (* one forced degradation, counters on the record *)
+  let fb_node_limit = 50 in
+  Telemetry.reset ();
+  Telemetry.enable ();
+  let fb_estimate =
+    match
+      Hlp_power.Probprop.estimate_guarded ~node_limit:fb_node_limit ~seed:47
+        ~engine:Hlp_sim.Engine.Bitparallel net
+    with
+    | Ok g ->
+        assert g.Hlp_power.Probprop.symbolic_fallback;
+        g.Hlp_power.Probprop.capacitance
+    | Error e -> failwith ("E34: fallback demo failed: " ^ Hlp_util.Err.to_string e)
+  in
+  let fb_symbolic_fallbacks =
+    Telemetry.count (Telemetry.counter "probprop.symbolic_fallbacks")
+  in
+  Telemetry.disable ();
+  Telemetry.reset ();
+  Printf.printf
+    "  degradation demo:   BDD budget %d tripped -> sampled %.1f cap units/cycle\n"
+    fb_node_limit fb_estimate;
+  print_newline ();
+  {
+    ro_cycles = n;
+    ro_reps = reps;
+    raw_a_s;
+    guarded_s;
+    raw_b_s;
+    raw_spread_pct;
+    guarded_overhead_pct;
+    fb_node_limit;
+    fb_symbolic_fallbacks;
+    fb_estimate;
+  }
+
 (* --- BENCH_engines.json --- *)
 
 let floats a = Json_out.List (Array.to_list (Array.map (fun x -> Json_out.Float x) a))
 
-let bench_json ~smoke ~n engines mc overhead =
+let bench_json ~smoke ~n engines mc overhead robustness =
   let open Json_out in
   let engine_obj r =
     Obj
@@ -353,6 +454,26 @@ let bench_json ~smoke ~n engines mc overhead =
         ("budget_pct", Float 2.0);
         ("disabled_within_budget", Bool (o.disabled_overhead_pct < 2.0)) ]
   in
+  let robustness_obj r =
+    Obj
+      [ ("workload", Str "parsim.replay_guarded vs replay, bitparallel, no faults");
+        ("cycles", Int r.ro_cycles);
+        ("reps", Int r.ro_reps);
+        ("raw_a_s", floats r.raw_a_s);
+        ("guarded_s", floats r.guarded_s);
+        ("raw_b_s", floats r.raw_b_s);
+        (* A/A comparison of the two raw batches: the measurement noise
+           floor the guarded overhead is judged against *)
+        ("raw_spread_pct", Float r.raw_spread_pct);
+        ("guarded_overhead_pct", Float r.guarded_overhead_pct);
+        ("budget_pct", Float 2.0);
+        ("within_budget", Bool (r.guarded_overhead_pct < 2.0));
+        ( "degradation_demo",
+          Obj
+            [ ("bdd_node_limit", Int r.fb_node_limit);
+              ("symbolic_fallbacks", Int r.fb_symbolic_fallbacks);
+              ("sampled_estimate", Float r.fb_estimate) ] ) ]
+  in
   let v =
     Obj
       [ ("experiment", Str "E33 engine throughput + Monte Carlo convergence");
@@ -364,7 +485,8 @@ let bench_json ~smoke ~n engines mc overhead =
         ("smoke", Bool smoke);
         ("engines", List (List.map engine_obj engines));
         ("monte_carlo", List (List.map mc_obj mc));
-        ("telemetry_overhead", overhead_obj overhead) ]
+        ("telemetry_overhead", overhead_obj overhead);
+        ("robustness", robustness_obj robustness) ]
   in
   Json_out.write ~path:"BENCH_engines.json" v;
   print_endline "wrote BENCH_engines.json"
@@ -374,7 +496,8 @@ let all () =
   let engines = e33_throughput ~n () in
   let mc = e33_monte_carlo () in
   let overhead = telemetry_overhead ~n () in
-  bench_json ~smoke:false ~n engines mc overhead
+  let robustness = e34_robustness ~n () in
+  bench_json ~smoke:false ~n engines mc overhead robustness
 
 (* reduced workload for CI: exercises every engine end to end without the
    10^4-cycle stream or the speedup assertion (shared runners are noisy) *)
@@ -383,4 +506,5 @@ let smoke () =
   let engines = e33_throughput ~n ~assert_speedup:false () in
   let mc = e33_monte_carlo () in
   let overhead = telemetry_overhead ~n ~reps:3 () in
-  bench_json ~smoke:true ~n engines mc overhead
+  let robustness = e34_robustness ~n ~reps:3 () in
+  bench_json ~smoke:true ~n engines mc overhead robustness

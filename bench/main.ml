@@ -155,6 +155,12 @@ let () =
     Exp_engines.smoke ();
     print_endline "smoke run completed."
   end
+  else if Array.exists (( = ) "--engines") Sys.argv then begin
+    (* full engine + robustness workload only: regenerates BENCH_engines.json
+       without the rest of the experiment sweep *)
+    Exp_engines.all ();
+    print_endline "engine experiments completed."
+  end
   else begin
     experiments ();
     run_bechamel ();

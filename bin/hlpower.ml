@@ -10,7 +10,20 @@
 open Cmdliner
 
 (* Invalid argument values are rejected by Cmdliner converters (usage +
-   standard exit code 124), never by [failwith] backtraces. *)
+   standard exit code 124), never by [failwith] backtraces. Failures the
+   libraries degrade into (budget trips, deadlines, worker failures, bad
+   data) arrive as typed Hlp_util.Err errors and map to stable exit codes
+   per class (65-69, see Err.exit_code), so scripts can tell "bad input"
+   from "budget too small" without parsing stderr. *)
+
+let with_typed_errors run =
+  match Hlp_util.Err.protect run with
+  | Ok code -> code
+  | Error e ->
+      Printf.eprintf "hlpower: error [%s]: %s\n"
+        (Hlp_util.Err.class_name e)
+        (Hlp_util.Err.to_string e);
+      Hlp_util.Err.exit_code e
 
 let circuit_enum =
   [ ("adder", Hlp_logic.Generators.adder_circuit);
@@ -46,15 +59,32 @@ let int_at_least lower what =
 
 (* --- estimate --- *)
 
-let estimate circuit width cycles stream seed engine jobs profile telemetry_json =
+let estimate circuit width cycles stream seed engine jobs profile telemetry_json
+    deadline node_limit max_retries =
+  with_typed_errors @@ fun () ->
   if profile || telemetry_json <> None then Hlp_util.Telemetry.enable ();
+  let guard = Hlp_util.Guard.create ?deadline_s:deadline () in
   let net = circuit width in
   Printf.printf "circuit: %s\n" (Hlp_logic.Netlist.stats_string net);
   let nin = Array.length net.Hlp_logic.Netlist.inputs in
   let rng = Hlp_util.Prng.create seed in
   let trace = stream rng ~width:nin ~n:cycles in
   let vector i = Array.init nin (fun b -> Hlp_util.Bits.bit trace.(i) b) in
-  let r = Hlp_sim.Parsim.replay ?jobs ~engine net ~vector ~n:cycles in
+  let r =
+    match
+      Hlp_sim.Parsim.replay_guarded ?jobs ?max_retries ~guard ~engine net ~vector
+        ~n:cycles
+    with
+    | Ok d ->
+        if d.Hlp_sim.Parsim.fallbacks > 0 then
+          Printf.printf "note: replay degraded %s -> %s (%d fallback%s)\n"
+            (Hlp_sim.Engine.to_string engine)
+            (Hlp_sim.Engine.to_string d.Hlp_sim.Parsim.engine_used)
+            d.Hlp_sim.Parsim.fallbacks
+            (if d.Hlp_sim.Parsim.fallbacks = 1 then "" else "s");
+        d.Hlp_sim.Parsim.value
+    | Error e -> raise (Hlp_util.Err.Error e)
+  in
   let reference = Hlp_util.Stats.mean r.Hlp_sim.Parsim.transition_caps in
   Printf.printf "gate-level reference:   %10.1f cap units/cycle  [%s engine]\n"
     reference
@@ -70,11 +100,34 @@ let estimate circuit width cycles stream seed engine jobs profile telemetry_json
     Hlp_power.Complexity.ces_switched_capacitance_estimate Hlp_power.Complexity.ces_default net
   in
   Printf.printf "%-22s %10.1f cap units/cycle\n" "gate-equivalents (CES):" ces;
-  let mc = Hlp_power.Probprop.monte_carlo ~seed ~engine ?jobs net in
+  let mc = Hlp_power.Probprop.monte_carlo ~seed ~engine ?jobs ?max_retries ~guard net in
   Printf.printf
     "monte carlo (t-CI):     %10.1f cap units/cycle  (+/- %.1f, %d batches, %d cycles)\n"
     mc.Hlp_power.Probprop.estimate mc.Hlp_power.Probprop.half_interval
     mc.Hlp_power.Probprop.batches mc.Hlp_power.Probprop.cycles_used;
+  (* the guarded path: exact symbolic under the node budget, Monte Carlo
+     sampling as the degradation target on blowup *)
+  (match
+     Hlp_power.Probprop.estimate_guarded ~guard ?node_limit ~seed ~engine ?jobs
+       ?max_retries net
+   with
+  | Ok g ->
+      let how =
+        match g.Hlp_power.Probprop.estimator with
+        | Hlp_power.Probprop.Symbolic -> "symbolic (exact BDD)"
+        | Hlp_power.Probprop.Monte_carlo mc ->
+            Printf.sprintf "sampled%s on %s engine, +/- %.1f"
+              (if g.Hlp_power.Probprop.symbolic_fallback then
+                 " after BDD budget trip"
+               else "")
+              (match g.Hlp_power.Probprop.engine_used with
+              | Some e -> Hlp_sim.Engine.to_string e
+              | None -> "?")
+              mc.Hlp_power.Probprop.half_interval
+      in
+      Printf.printf "guarded estimate:       %10.1f cap units/cycle  [%s]\n"
+        g.Hlp_power.Probprop.capacitance how
+  | Error e -> raise (Hlp_util.Err.Error e));
   if profile then begin
     print_newline ();
     Hlp_util.Telemetry.print_report ()
@@ -134,9 +187,31 @@ let estimate_cmd =
          & info [ "telemetry-json" ] ~docv:"FILE"
              ~doc:"enable the telemetry layer and write it to $(docv) as JSON")
   in
+  let deadline =
+    Arg.(value & opt (some float) None
+         & info [ "deadline" ] ~docv:"SECONDS"
+             ~doc:
+               "wall-clock budget for the whole run; a trip exits with the \
+                stable deadline-exceeded code (67) instead of a late answer")
+  in
+  let node_limit =
+    Arg.(value & opt (some (int_at_least 1 "--bdd-node-limit")) None
+         & info [ "bdd-node-limit" ] ~docv:"NODES"
+             ~doc:
+               "BDD node budget for the exact symbolic estimator (default \
+                200000); a blowup degrades to Monte Carlo sampling instead \
+                of exhausting memory")
+  in
+  let max_retries =
+    Arg.(value & opt (some (int_at_least 0 "--max-retries")) None
+         & info [ "max-retries" ] ~docv:"N"
+             ~doc:
+               "retries per failed worker shard before the engine degrades \
+                (default 2, exponential backoff)")
+  in
   Cmd.v (Cmd.info "estimate" ~doc:"Power-estimate a generated RT module")
     Term.(const estimate $ circuit $ width $ cycles $ stream $ seed $ engine $ jobs
-          $ profile $ telemetry_json)
+          $ profile $ telemetry_json $ deadline $ node_limit $ max_retries)
 
 (* --- bus-encode --- *)
 

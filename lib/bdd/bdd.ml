@@ -8,12 +8,26 @@ type man = {
   unique : (int * int * int, t) Hashtbl.t;  (* (var, low id, high id) *)
   ite_cache : (int * int * int, t) Hashtbl.t;
   mutable next_id : int;
+  limit : int;  (* node budget; max_int = unlimited *)
 }
 
-let manager ?(cache_size = 1 lsl 14) () =
+let tel_budget_trips = Hlp_util.Telemetry.counter "bdd.budget_trips"
+
+let manager ?(cache_size = 1 lsl 14) ?node_limit () =
+  let limit =
+    match node_limit with
+    | None -> max_int
+    | Some l when l > 0 -> l
+    | Some _ ->
+        raise (Hlp_util.Err.invalid_input ~what:"Bdd.manager: node_limit"
+                 "must be positive")
+  in
   { unique = Hashtbl.create cache_size;
     ite_cache = Hashtbl.create cache_size;
-    next_id = 2 }
+    next_id = 2;
+    limit }
+
+let node_limit m = if m.limit = max_int then None else Some m.limit
 
 let zero _ = Leaf false
 let one _ = Leaf true
@@ -22,6 +36,24 @@ let top_var = function
   | Leaf _ -> max_int
   | Node { var; _ } -> var
 
+(* The budget is enforced on the only node-creating path, before the node
+   is inserted and before [next_id] advances: a tripped manager holds
+   exactly the nodes it held at the trip, its unique table is canonical,
+   and it remains usable for smaller functions afterwards. The
+   fault-injection hook raises the same typed error as a real blowup. *)
+let budget_check m =
+  let used = Hashtbl.length m.unique in
+  if used >= m.limit then begin
+    Hlp_util.Telemetry.incr tel_budget_trips;
+    raise (Hlp_util.Err.budget_exceeded ~budget:"bdd.nodes" ~limit:m.limit ~used)
+  end;
+  if Hlp_util.Faultinject.fire Hlp_util.Faultinject.Bdd_blowup then begin
+    Hlp_util.Telemetry.incr tel_budget_trips;
+    raise
+      (Hlp_util.Err.budget_exceeded ~budget:"bdd.nodes(injected)" ~limit:m.limit
+         ~used)
+  end
+
 let mk m var low high =
   if ident low = ident high then low
   else begin
@@ -29,6 +61,7 @@ let mk m var low high =
     match Hashtbl.find_opt m.unique key with
     | Some n -> n
     | None ->
+        budget_check m;
         let n = Node { id = m.next_id; var; low; high } in
         m.next_id <- m.next_id + 1;
         Hashtbl.add m.unique key n;

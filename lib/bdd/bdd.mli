@@ -16,7 +16,20 @@ type man
 type t
 (** A BDD node (immutable, hash-consed). *)
 
-val manager : ?cache_size:int -> unit -> man
+val manager : ?cache_size:int -> ?node_limit:int -> unit -> man
+(** [node_limit] is a budget on live unique-table nodes: any operation
+    that would create a node past the limit raises the typed error
+    [Hlp_util.Err.Error (Budget_exceeded {budget = "bdd.nodes"; _})]
+    (checked in [mk], the single node-creating path shared by [ite] and
+    every connective). The check happens {e before} insertion, so a
+    tripped manager is never corrupted: its unique table stays canonical
+    and it remains usable for functions that fit the budget — this is the
+    mechanism {!Hlp_power.Probprop} uses to degrade from exact symbolic
+    estimation to Monte Carlo sampling when a diagram blows up. Raises
+    [Invalid_input] unless positive. Default: unlimited. *)
+
+val node_limit : man -> int option
+(** The configured budget, if any. *)
 
 val zero : man -> t
 val one : man -> t

@@ -28,8 +28,14 @@ let gate_prob kind pins =
       1.0 -. ((pins.(0) *. (1.0 -. pins.(1))) +. (pins.(1) *. (1.0 -. pins.(0))))
   | Gate.Mux -> ((1.0 -. pins.(0)) *. pins.(1)) +. (pins.(0) *. pins.(2))
 
+let require_combinational ~what net =
+  if Netlist.num_dffs net > 0 then
+    raise
+      (Hlp_util.Err.invalid_input ~what
+         "combinational netlists only (flip-flop state breaks the closed form)")
+
 let propagate ?(input_prob = fun _ -> 0.5) ?(input_activity = fun _ -> 0.5) net =
-  assert (Netlist.num_dffs net = 0);
+  require_combinational ~what:"Probprop.propagate: netlist" net;
   let n = Netlist.num_nodes net in
   let prob = Array.make n 0.0 and activity = Array.make n 0.0 in
   Array.iteri
@@ -65,6 +71,36 @@ let estimate_capacitance net stats =
   let total = ref 0.0 in
   Array.iteri (fun i c -> total := !total +. (c *. stats.activity.(i))) caps;
   !total
+
+(* --- exact symbolic estimation (BDD signal probabilities) --- *)
+
+let tel_symbolic_runs = Hlp_util.Telemetry.counter "probprop.symbolic_runs"
+let tel_symbolic_fallbacks = Hlp_util.Telemetry.counter "probprop.symbolic_fallbacks"
+
+let symbolic ?(input_prob = fun _ -> 0.5) ?node_limit net =
+  require_combinational ~what:"Probprop.symbolic: netlist" net;
+  Hlp_util.Telemetry.incr tel_symbolic_runs;
+  let m = Hlp_bdd.Bdd.manager ?node_limit () in
+  let order = Hlp_bdd.Bdd.first_use_order net in
+  (* the budgeted part: global BDDs for every node (exponential worst case) *)
+  let funcs = Hlp_bdd.Bdd.of_netlist_all ~order m net in
+  let nin = Array.length net.Netlist.inputs in
+  let inv = Array.make nin 0 in
+  for k = 0 to nin - 1 do
+    inv.(order k) <- k
+  done;
+  let p v = input_prob inv.(v) in
+  let n = Netlist.num_nodes net in
+  let prob = Array.make n 0.0 and activity = Array.make n 0.0 in
+  Array.iteri
+    (fun i f ->
+      let pi = Hlp_bdd.Bdd.probability m ~p f in
+      prob.(i) <- pi;
+      (* consecutive vectors independent: a node toggles iff its settled
+         value differs between two independent draws *)
+      activity.(i) <- 2.0 *. pi *. (1.0 -. pi))
+    funcs;
+  { prob; activity }
 
 type monte_carlo = {
   estimate : float;
@@ -106,10 +142,15 @@ let ci_stop ~relative_precision ~max_cycles ~means ~cycles =
      m > 0.0 && half /. m <= relative_precision
 
 let monte_carlo_bitparallel ~batch ~relative_precision ~max_cycles ~seed ~engine
-    ?jobs net =
+    ?jobs ?max_retries ~guard net =
+  let stop ~means ~cycles =
+    (* deadline / cancellation granularity: one stopping-rule evaluation *)
+    Hlp_util.Guard.check ~where:"probprop.monte_carlo" guard;
+    ci_stop ~relative_precision ~max_cycles ~means ~cycles
+  in
   let r =
-    Hlp_sim.Parsim.monte_carlo_units ?jobs ~engine net ~batch ~seed
-      ~stop:(ci_stop ~relative_precision ~max_cycles)
+    Hlp_sim.Parsim.monte_carlo_units ?jobs ?max_retries ~engine net ~batch ~seed
+      ~stop
   in
   let means = r.Hlp_sim.Parsim.unit_means in
   Hlp_util.Telemetry.add tel_batches (Array.length means);
@@ -122,12 +163,16 @@ let monte_carlo_bitparallel ~batch ~relative_precision ~max_cycles ~seed ~engine
   }
 
 let monte_carlo ?(batch = 30) ?(relative_precision = 0.05) ?(max_cycles = 100_000)
-    ?(seed = 47) ?(engine = Hlp_sim.Engine.Scalar) ?jobs net =
-  assert (batch >= 2);
+    ?(seed = 47) ?(engine = Hlp_sim.Engine.Scalar) ?jobs ?max_retries
+    ?(guard = Hlp_util.Guard.unlimited) net =
+  if batch < 2 then
+    raise
+      (Hlp_util.Err.invalid_input ~what:"Probprop.monte_carlo: batch"
+         "must be >= 2 (batch means need at least two cycles)");
   match engine with
   | Hlp_sim.Engine.Bitparallel | Hlp_sim.Engine.Parallel ->
       monte_carlo_bitparallel ~batch ~relative_precision ~max_cycles ~seed ~engine
-        ?jobs net
+        ?jobs ?max_retries ~guard net
   | Hlp_sim.Engine.Scalar ->
   let rng = Hlp_util.Prng.create seed in
   let sim = Hlp_sim.Funcsim.create net in
@@ -136,6 +181,7 @@ let monte_carlo ?(batch = 30) ?(relative_precision = 0.05) ?(max_cycles = 100_00
   let cycles = ref 0 in
   let prev_cap = ref 0.0 in
   let rec go k =
+    Hlp_util.Guard.check ~where:"probprop.monte_carlo" guard;
     for _ = 1 to batch do
       Hlp_sim.Funcsim.step sim (Array.init nin (fun _ -> Hlp_util.Prng.bool rng))
     done;
@@ -161,3 +207,60 @@ let monte_carlo ?(batch = 30) ?(relative_precision = 0.05) ?(max_cycles = 100_00
     else go (k + 1)
   in
   go 1
+
+(* --- guarded estimation: symbolic first, sampling as the fallback --- *)
+
+type estimator = Symbolic | Monte_carlo of monte_carlo
+
+type guarded = {
+  capacitance : float;
+  estimator : estimator;
+  engine_used : Hlp_sim.Engine.t option;
+  symbolic_fallback : bool;
+  engine_fallbacks : int;
+}
+
+let default_node_limit = 200_000
+
+let estimate_guarded ?(guard = Hlp_util.Guard.unlimited)
+    ?(node_limit = default_node_limit) ?input_prob ?batch ?relative_precision
+    ?max_cycles ?(seed = 47) ?(engine = Hlp_sim.Engine.Bitparallel) ?jobs
+    ?max_retries net =
+  Hlp_util.Guard.run guard @@ fun guard ->
+  (* stage 1: exact symbolic propagation under a BDD node budget.
+     Sequential netlists skip straight to sampling (the closed form needs
+     a combinational cone); a budget trip is the paper's symbolic blowup,
+     counted and degraded, never fatal. *)
+  let symbolic_cap, symbolic_fallback =
+    if Netlist.num_dffs net > 0 then (None, false)
+    else
+      match symbolic ?input_prob ~node_limit net with
+      | stats -> (Some (estimate_capacitance net stats), false)
+      | exception Hlp_util.Err.Error (Hlp_util.Err.Budget_exceeded _) ->
+          Hlp_util.Telemetry.incr tel_symbolic_fallbacks;
+          (None, true)
+  in
+  match symbolic_cap with
+  | Some cap ->
+      { capacitance = cap;
+        estimator = Symbolic;
+        engine_used = None;
+        symbolic_fallback = false;
+        engine_fallbacks = 0 }
+  | None -> (
+      Hlp_util.Guard.check ~where:"probprop.fallback" guard;
+      (* stage 2: Monte Carlo sampling behind the engine degradation
+         chain (Parallel -> Bitparallel -> Scalar from [engine] down) *)
+      match
+        Hlp_sim.Parsim.with_degradation ~what:"probprop.monte_carlo" ~guard
+          ~engine (fun e ->
+            monte_carlo ?batch ?relative_precision ?max_cycles ~seed ~engine:e
+              ?jobs ?max_retries ~guard net)
+      with
+      | Ok d ->
+          { capacitance = d.Hlp_sim.Parsim.value.estimate;
+            estimator = Monte_carlo d.Hlp_sim.Parsim.value;
+            engine_used = Some d.Hlp_sim.Parsim.engine_used;
+            symbolic_fallback;
+            engine_fallbacks = d.Hlp_sim.Parsim.fallbacks }
+      | Error e -> raise (Hlp_util.Err.Error e))

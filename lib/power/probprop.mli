@@ -30,6 +30,21 @@ val propagate :
 val estimate_capacitance : Hlp_logic.Netlist.t -> node_stats -> float
 (** Switched capacitance per cycle implied by the propagated activities. *)
 
+val symbolic :
+  ?input_prob:(int -> float) -> ?node_limit:int -> Hlp_logic.Netlist.t -> node_stats
+(** {e Exact} signal probabilities: every node's global function is built
+    as a BDD ({!Hlp_bdd.Bdd.of_netlist_all} under the first-use variable
+    order) and evaluated with {!Hlp_bdd.Bdd.probability} — no independence
+    assumption, so reconvergent fanout is handled exactly, which is
+    precisely where {!propagate} is optimistic. Activity assumes temporally
+    independent consecutive vectors: [2 p (1-p)] per node. Combinational
+    netlists only ([Invalid_input] otherwise).
+
+    This is the precise-but-explosive side of the paper's tradeoff:
+    [node_limit] bounds the BDD manager, and a blowup raises the typed
+    [Budget_exceeded] — the signal {!estimate_guarded} uses to degrade to
+    Monte Carlo sampling. *)
+
 type monte_carlo = {
   estimate : float;  (** mean switched capacitance per cycle *)
   half_interval : float;
@@ -46,6 +61,8 @@ val monte_carlo :
   ?seed:int ->
   ?engine:Hlp_sim.Engine.t ->
   ?jobs:int ->
+  ?max_retries:int ->
+  ?guard:Hlp_util.Guard.t ->
   Hlp_logic.Netlist.t ->
   monte_carlo
 (** Simulate under uniform inputs in batches (default 30 cycles each, the
@@ -71,4 +88,57 @@ val monte_carlo :
     per-batch PRNG streams and a fixed reduction order, making the estimate
     bit-identical for any [jobs]. The bit engines draw different random
     streams than [Scalar], so their estimates agree statistically (within
-    the confidence interval), not bit-exactly. *)
+    the confidence interval), not bit-exactly.
+
+    [guard] is checked at every stopping-rule evaluation (and [max_retries]
+    is threaded to {!Hlp_sim.Parsim.map} for the parallel engine); a trip
+    raises the typed [Deadline_exceeded] / [Cancelled]. [batch < 2] raises
+    the typed [Invalid_input]. *)
+
+(** {1 Guarded estimation: the symbolic-vs-sampling degradation chain}
+
+    The paper's central tradeoff (Section II-C): BDD-based symbolic
+    estimation is exact but blows up unpredictably; Monte Carlo sampling
+    is approximate but robust. [estimate_guarded] encodes it as a
+    degradation chain — try exact symbolic propagation under a node
+    budget, fall back to sampling on blowup, and degrade the sampling
+    engine [Parallel -> Bitparallel -> Scalar] on worker faults — so no
+    input, fault, or resource exhaustion produces an uncaught exception:
+    the result is an estimate or a typed {!Hlp_util.Err.t}, always. *)
+
+type estimator = Symbolic | Monte_carlo of monte_carlo
+
+type guarded = {
+  capacitance : float;  (** estimated switched capacitance per cycle *)
+  estimator : estimator;
+  engine_used : Hlp_sim.Engine.t option;  (** sampling engine, if sampled *)
+  symbolic_fallback : bool;
+      (** the symbolic stage was attempted and tripped its node budget *)
+  engine_fallbacks : int;  (** engine-degradation hops inside sampling *)
+}
+
+val default_node_limit : int
+(** BDD node budget used when [node_limit] is omitted (200k nodes —
+    comfortably above every module-sized circuit in the experiments,
+    small enough to trip in milliseconds on a blowup). *)
+
+val estimate_guarded :
+  ?guard:Hlp_util.Guard.t ->
+  ?node_limit:int ->
+  ?input_prob:(int -> float) ->
+  ?batch:int ->
+  ?relative_precision:float ->
+  ?max_cycles:int ->
+  ?seed:int ->
+  ?engine:Hlp_sim.Engine.t ->
+  ?jobs:int ->
+  ?max_retries:int ->
+  Hlp_logic.Netlist.t ->
+  (guarded, Hlp_util.Err.t) result
+(** Estimate switched capacitance per cycle, degrading instead of
+    crashing. Stage 1 runs {!symbolic} under [node_limit] (skipped for
+    sequential netlists); a [Budget_exceeded] trip is counted in
+    ["probprop.symbolic_fallbacks"] and degrades to stage 2, Monte Carlo
+    sampling starting at [engine] (default [Bitparallel]) behind
+    {!Hlp_sim.Parsim.with_degradation}. Guard trips and invalid input
+    surface as [Error]; no exception escapes except programming errors. *)

@@ -7,18 +7,68 @@ let tel_macro_evals = Hlp_util.Telemetry.counter "sampling.macro_evals"
 let tel_gate_cycles = Hlp_util.Telemetry.counter "sampling.gate_sample_cycles"
 let tel_prepare_time = Hlp_util.Telemetry.timer "sampling.prepare"
 
+(* All three estimators divide by sample sums and feed [Stats.mean]: a
+   length mismatch, an empty stream, or a poisoned (non-finite) value
+   would surface far downstream as an index error or a silent NaN
+   estimate. Validation at assembly turns each into a typed error. *)
+let validate ~what ~macro_values ~gate_values =
+  let nm = Array.length macro_values and ng = Array.length gate_values in
+  if nm <> ng then
+    raise
+      (Hlp_util.Err.invalid_input ~what
+         (Printf.sprintf "length mismatch: %d macro vs %d gate values" nm ng));
+  if nm = 0 then
+    raise (Hlp_util.Err.invalid_input ~what "empty: need at least one transition");
+  let check_finite name a =
+    Array.iteri
+      (fun i x ->
+        if not (Float.is_finite x) then
+          raise
+            (Hlp_util.Err.invalid_input ~what
+               (Printf.sprintf "%s.(%d) is not finite (%h): poisoned sample" name
+                  i x)))
+      a
+  in
+  check_finite "macro_values" macro_values;
+  check_finite "gate_values" gate_values
+
 let of_arrays ~macro_values ~gate_values =
-  if Array.length macro_values <> Array.length gate_values then
-    invalid_arg "Sampling.of_arrays: length mismatch";
+  validate ~what:"Sampling.of_arrays" ~macro_values ~gate_values;
   { macro_values; gate_values }
+
+let of_arrays_checked ~macro_values ~gate_values =
+  Hlp_util.Err.protect (fun () -> of_arrays ~macro_values ~gate_values)
 
 let prepare ?(engine = Hlp_sim.Engine.Scalar) ?jobs model dut traces =
   Hlp_util.Telemetry.time tel_prepare_time @@ fun () ->
   let n =
-    match traces with [] -> invalid_arg "prepare: no traces" | t :: _ -> Array.length t
+    match traces with
+    | [] ->
+        raise
+          (Hlp_util.Err.invalid_input ~what:"Sampling.prepare: traces"
+             "need at least one input stream")
+    | t :: rest ->
+        let n = Array.length t in
+        List.iteri
+          (fun i t' ->
+            if Array.length t' <> n then
+              raise
+                (Hlp_util.Err.invalid_input ~what:"Sampling.prepare: traces"
+                   (Printf.sprintf "stream %d has %d words, stream 0 has %d"
+                      (i + 1) (Array.length t') n)))
+          rest;
+        n
   in
-  assert (n >= 2);
+  if n < 2 then
+    raise
+      (Hlp_util.Err.invalid_input ~what:"Sampling.prepare: traces"
+         "need at least two cycles (estimators average over transitions)");
   let widths = dut.Macromodel.widths in
+  if List.length widths <> List.length traces then
+    raise
+      (Hlp_util.Err.invalid_input ~what:"Sampling.prepare: traces"
+         (Printf.sprintf "%d streams for a DUT with %d input words"
+            (List.length traces) (List.length widths)));
   let m = Array.length dut.Macromodel.net.Hlp_logic.Netlist.outputs in
   let vector i = Hlp_sim.Streams.pack ~widths traces i in
   let r = Hlp_sim.Parsim.replay ~engine ?jobs dut.Macromodel.net ~vector ~n in
@@ -43,17 +93,27 @@ let prepare ?(engine = Hlp_sim.Engine.Scalar) ?jobs model dut traces =
       breakpoints = List.map Hlp_sim.Activity.breakpoint in_acts;
     }
   in
+  (* fault-injection point: a macro-model evaluation producing a poisoned
+     (non-finite) per-transition value *)
+  let predict_at i =
+    let v = Macromodel.predict model (window i) in
+    if Hlp_util.Faultinject.fire Hlp_util.Faultinject.Trace_sample then Float.nan
+    else v
+  in
   let macro_values =
     match engine with
     | Hlp_sim.Engine.Parallel ->
         (* windows are per-transition independent and slot-addressed, so
            the parallel map is deterministic in the worker count *)
-        Hlp_sim.Parsim.map ?jobs (n - 1) (fun i -> Macromodel.predict model (window i))
+        Hlp_sim.Parsim.map ?jobs (n - 1) predict_at
     | Hlp_sim.Engine.Scalar | Hlp_sim.Engine.Bitparallel ->
-        Array.init (n - 1) (fun i -> Macromodel.predict model (window i))
+        Array.init (n - 1) predict_at
   in
   Hlp_util.Telemetry.add tel_macro_evals (n - 1);
-  { macro_values; gate_values }
+  (* of_arrays validates lengths and finiteness, so a poisoned replay or
+     macro evaluation surfaces here as a typed error, not as a silent NaN
+     estimate downstream *)
+  of_arrays ~macro_values ~gate_values
 
 let cycles t = Array.length t.macro_values
 

@@ -19,9 +19,18 @@ type t
     per-cycle gate-level powers are computed on demand and counted. *)
 
 val of_arrays : macro_values:float array -> gate_values:float array -> t
-(** Assemble a cosimulation from already-computed per-transition values
-    (equal lengths) — for replaying recorded data and for tests that need
-    precise control over the value streams. *)
+(** Assemble a cosimulation from already-computed per-transition values —
+    for replaying recorded data and for tests that need precise control
+    over the value streams. Validates at assembly instead of letting bad
+    data surface downstream as an index error or a silent NaN estimate:
+    mismatched lengths, empty arrays, and non-finite (poisoned) values
+    raise the typed [Hlp_util.Err.Error (Invalid_input _)]. *)
+
+val of_arrays_checked :
+  macro_values:float array ->
+  gate_values:float array ->
+  (t, Hlp_util.Err.t) result
+(** {!of_arrays} with the validation failure as a [result]. *)
 
 val prepare :
   ?engine:Hlp_sim.Engine.t ->
@@ -41,7 +50,12 @@ val prepare :
     macro-model evaluations across [jobs] domains. Output words and toggle
     counts are identical across engines; per-transition capacitances (and
     hence {!adaptive} estimates) agree up to float round-off, and sampler /
-    census estimates are bit-identical. *)
+    census estimates are bit-identical.
+
+    Input validation is typed: no streams, fewer than two cycles, unequal
+    stream lengths, or a stream count that does not match the DUT's input
+    words raise [Hlp_util.Err.Error (Invalid_input _)], as do poisoned
+    (non-finite) per-transition values detected at assembly. *)
 
 val cycles : t -> int
 

@@ -66,6 +66,8 @@ let set s i v =
 let step s inputs =
   let net = s.net in
   assert (Array.length inputs = Array.length net.Netlist.inputs);
+  (* fault-injection point: a gate evaluation raising mid-step *)
+  Hlp_util.Faultinject.trip Hlp_util.Faultinject.Gate_eval;
   (* clock edge: latch data pins as they settled last cycle; the first edge
      re-captures the reset state *)
   if s.first then s.first <- false

@@ -2,14 +2,16 @@ open Hlp_logic
 
 let default_jobs () = max 1 (Domain.recommended_domain_count ())
 
-exception Worker of exn
-
 let tel_maps = Hlp_util.Telemetry.counter "parsim.maps"
 let tel_shards = Hlp_util.Telemetry.counter "parsim.shards"
 (* one observation per worker domain per parallel map: the number of shards
    that worker pulled. With perfect load balance every observation of a map
    is ~n/jobs; stragglers show up as outliers. *)
 let tel_domain_shards = Hlp_util.Telemetry.series "parsim.domain_shards"
+let tel_jobs_clamped = Hlp_util.Telemetry.counter "parsim.jobs_clamped"
+let tel_worker_failures = Hlp_util.Telemetry.counter "parsim.worker_failures"
+let tel_shard_retries = Hlp_util.Telemetry.counter "parsim.shard_retries"
+let tel_engine_fallbacks = Hlp_util.Telemetry.counter "parsim.engine_fallbacks"
 let tel_replays = Hlp_util.Telemetry.counter "parsim.replays"
 let tel_replay_cycles = Hlp_util.Telemetry.counter "parsim.replay_cycles"
 let tel_chunks = Hlp_util.Telemetry.counter "parsim.chunks"
@@ -17,43 +19,106 @@ let tel_mc_units = Hlp_util.Telemetry.counter "parsim.mc_units"
 let tel_replay_time = Hlp_util.Telemetry.timer "parsim.replay"
 let tel_mc_time = Hlp_util.Telemetry.timer "parsim.monte_carlo"
 
-let map ?jobs n f =
-  if n < 0 then invalid_arg "Parsim.map";
-  let jobs =
-    match jobs with Some j -> max 1 j | None -> default_jobs ()
-  in
-  let jobs = min jobs n in
-  if jobs <= 1 then Array.init n f
+(* An explicit worker count is clamped to both the shard count and the
+   recommended domain count: domains beyond either would sit idle (or
+   oversubscribe the cores), and the clamp is visible in telemetry instead
+   of silently spawning them. *)
+let effective_jobs ?jobs n =
+  let cap = min (max 1 n) (default_jobs ()) in
+  match jobs with
+  | None -> cap
+  | Some j ->
+      let j = max 1 j in
+      if j > cap then begin
+        Hlp_util.Telemetry.incr tel_jobs_clamped;
+        cap
+      end
+      else j
+
+let backoff_base_s = 0.001
+
+let map ?jobs ?(max_retries = 2) n f =
+  if n < 0 then
+    raise (Hlp_util.Err.invalid_input ~what:"Parsim.map: n" "must be non-negative");
+  if max_retries < 0 then
+    raise
+      (Hlp_util.Err.invalid_input ~what:"Parsim.map: max_retries"
+         "must be non-negative");
+  let jobs = effective_jobs ?jobs n in
+  if n = 0 then [||]
   else begin
     Hlp_util.Telemetry.incr tel_maps;
     Hlp_util.Telemetry.add tel_shards n;
     let results = Array.make n None in
-    let next = Atomic.make 0 in
-    let failure = Atomic.make None in
-    (* work-stealing over shard indices; each shard writes only its own
-       slot, so the result is position-determined and independent of the
-       worker count and of scheduling *)
-    let worker () =
-      let mine = ref 0 in
-      let rec go () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n && Atomic.get failure = None then begin
-          (match f i with
-          | v ->
-              results.(i) <- Some v;
-              Stdlib.incr mine
-          | exception e -> Atomic.compare_and_set failure None (Some e) |> ignore);
-          go ()
-        end
+    let failed = Array.make n None in  (* last attempt's exception, per shard *)
+    (* One round computes the given shard subset, work-stealing over it.
+       Each shard writes only its own slot, so the result is
+       position-determined and independent of the worker count and of
+       scheduling. A raising shard is contained: its exception is recorded,
+       the worker moves on, and every other shard still completes. *)
+    let round indices =
+      let k = Array.length indices in
+      let next = Atomic.make 0 in
+      let worker () =
+        let mine = ref 0 in
+        let rec go () =
+          let j = Atomic.fetch_and_add next 1 in
+          if j < k then begin
+            let i = indices.(j) in
+            (match
+               (* fault-injection point: this worker domain dying at pickup *)
+               Hlp_util.Faultinject.trip Hlp_util.Faultinject.Domain_kill;
+               f i
+             with
+            | v ->
+                results.(i) <- Some v;
+                failed.(i) <- None;
+                Stdlib.incr mine
+            | exception e ->
+                Hlp_util.Telemetry.incr tel_worker_failures;
+                failed.(i) <- Some e);
+            go ()
+          end
+        in
+        go ();
+        if Hlp_util.Telemetry.enabled () then
+          Hlp_util.Telemetry.observe tel_domain_shards (float_of_int !mine)
       in
-      go ();
-      if Hlp_util.Telemetry.enabled () then
-        Hlp_util.Telemetry.observe tel_domain_shards (float_of_int !mine)
+      let domains =
+        Array.init (min jobs k - 1) (fun _ -> Domain.spawn worker)
+      in
+      worker ();
+      Array.iter Domain.join domains
     in
-    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    Array.iter Domain.join domains;
-    (match Atomic.get failure with Some e -> raise (Worker e) | None -> ());
+    round (Array.init n Fun.id);
+    (* failed shards are retried on fresh domains with bounded exponential
+       backoff; [f] is deterministic per index, so a retried shard that
+       succeeds yields exactly the value the clean run would have *)
+    let rec retry attempt =
+      let pending =
+        Array.of_seq
+          (Seq.filter (fun i -> failed.(i) <> None) (Seq.init n Fun.id))
+      in
+      if Array.length pending > 0 && attempt <= max_retries then begin
+        Hlp_util.Telemetry.add tel_shard_retries (Array.length pending);
+        Unix.sleepf (backoff_base_s *. float_of_int (1 lsl (attempt - 1)));
+        round pending;
+        retry (attempt + 1)
+      end
+    in
+    retry 1;
+    Array.iteri
+      (fun i e ->
+        match e with
+        | Some e ->
+            raise
+              (Hlp_util.Err.Error
+                 (Hlp_util.Err.Worker_failure
+                    { shard = i;
+                      attempts = max_retries + 1;
+                      why = Printexc.to_string e }))
+        | None -> ())
+      failed;
     Array.map (function Some v -> v | None -> assert false) results
   end
 
@@ -125,8 +190,11 @@ let replay_chunk_with sim ~vector ~n lo =
 let replay_chunk net ~caps ~vector ~n lo =
   replay_chunk_with (Bitsim.create ~caps ~track_lanes:true net) ~vector ~n lo
 
-let replay ?jobs ~engine net ~vector ~n =
-  if n < 1 then invalid_arg "Parsim.replay: need at least one cycle";
+let replay ?jobs ?max_retries ~engine net ~vector ~n =
+  if n < 1 then
+    raise
+      (Hlp_util.Err.invalid_input ~what:"Parsim.replay: n"
+         "need at least one cycle");
   Hlp_util.Telemetry.incr tel_replays;
   Hlp_util.Telemetry.add tel_replay_cycles n;
   Hlp_util.Telemetry.time tel_replay_time @@ fun () ->
@@ -157,7 +225,7 @@ let replay ?jobs ~engine net ~vector ~n =
               replay_chunk_with sim ~vector ~n (c * Bitsim.lanes))
         end
         else
-          map ~jobs nchunks (fun c ->
+          map ~jobs ?max_retries nchunks (fun c ->
               replay_chunk net ~caps ~vector ~n (c * Bitsim.lanes))
       in
       let out_words = Array.concat (Array.to_list (Array.map fst chunks)) in
@@ -165,6 +233,67 @@ let replay ?jobs ~engine net ~vector ~n =
       assert (Array.length out_words = n);
       assert (Array.length transition_caps = n - 1);
       { out_words; transition_caps }
+
+(* --- engine degradation chain --- *)
+
+let degradation_chain = function
+  | Engine.Parallel -> [ Engine.Parallel; Engine.Bitparallel; Engine.Scalar ]
+  | Engine.Bitparallel -> [ Engine.Bitparallel; Engine.Scalar ]
+  | Engine.Scalar -> [ Engine.Scalar ]
+
+(* Guard trips and input errors must propagate: degrading an estimate past
+   its deadline (or past bad input) would return a wrong answer late
+   instead of a typed error on time. Everything else — injected faults,
+   worker failures that survived their retries, engine-capability
+   mismatches — degrades to the next engine. *)
+let propagates = function
+  | Hlp_util.Err.Error
+      (Hlp_util.Err.Deadline_exceeded _ | Hlp_util.Err.Cancelled _
+      | Hlp_util.Err.Invalid_input _) ->
+      true
+  | _ -> false
+
+type 'a degraded = { value : 'a; engine_used : Engine.t; fallbacks : int }
+
+let with_degradation ~what ~guard ~engine f =
+  Hlp_util.Err.protect @@ fun () ->
+  let rec go fallbacks = function
+    | [] -> assert false
+    | e :: rest -> (
+        Hlp_util.Guard.check ~where:what guard;
+        match f e with
+        | v -> { value = v; engine_used = e; fallbacks }
+        | exception exn ->
+            if propagates exn then raise exn
+            else if rest <> [] then begin
+              Hlp_util.Telemetry.incr tel_engine_fallbacks;
+              go (fallbacks + 1) rest
+            end
+            else begin
+              match exn with
+              | Hlp_util.Err.Error _ -> raise exn
+              | _ ->
+                  (* the last engine failed with a raw exception: surface it
+                     as a typed whole-pipeline worker failure *)
+                  raise
+                    (Hlp_util.Err.Error
+                       (Hlp_util.Err.Worker_failure
+                          { shard = -1;
+                            attempts = fallbacks + 1;
+                            why = what ^ ": " ^ Printexc.to_string exn }))
+            end)
+  in
+  go 0 (degradation_chain engine)
+
+let replay_guarded ?jobs ?max_retries ?(guard = Hlp_util.Guard.unlimited) ~engine
+    net ~vector ~n =
+  if n < 1 then
+    Error
+      (Hlp_util.Err.Invalid_input
+         { what = "Parsim.replay: n"; why = "need at least one cycle" })
+  else
+    with_degradation ~what:"parsim.replay" ~guard ~engine (fun e ->
+        replay ?jobs ?max_retries ~engine:e net ~vector ~n)
 
 (* --- Monte Carlo under uniform inputs --- *)
 
@@ -190,7 +319,7 @@ let mc_unit net ~caps ~batch ~seed u =
   done;
   Bitsim.switched_capacitance sim /. float_of_int (batch * Bitsim.lanes)
 
-let monte_carlo_units ?jobs ~engine net ~batch ~seed ~stop =
+let monte_carlo_units ?jobs ?max_retries ~engine net ~batch ~seed ~stop =
   Hlp_util.Telemetry.time tel_mc_time @@ fun () ->
   (* fixed round size, independent of the worker count, so the stopping
      decisions (and therefore the estimate) do not depend on ~jobs *)
@@ -199,7 +328,8 @@ let monte_carlo_units ?jobs ~engine net ~batch ~seed ~stop =
   let caps = Netlist.node_capacitance net in
   let rec go acc nunits =
     let fresh =
-      map ?jobs round (fun r -> mc_unit net ~caps ~batch ~seed (nunits + r))
+      map ?jobs ?max_retries round
+        (fun r -> mc_unit net ~caps ~batch ~seed (nunits + r))
     in
     Hlp_util.Telemetry.add tel_mc_units round;
     let acc = acc @ Array.to_list fresh in

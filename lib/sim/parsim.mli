@@ -6,20 +6,37 @@
     on scheduling}. Shards are self-describing (per-shard PRNG streams
     derived from the seed and the shard index), each shard writes a
     pre-assigned slot, and reductions run in shard-index order — so [jobs=1]
-    and [jobs=64] produce bit-identical floats. *)
+    and [jobs=64] produce bit-identical floats.
+
+    Faults are {e contained}, not propagated: a shard whose computation
+    raises no longer takes the whole map down. Its exception is recorded,
+    every other shard still completes, and failed shards are retried on
+    fresh domains with bounded exponential backoff ([max_retries] rounds,
+    1 ms base). Because shards are deterministic per index, a retry that
+    succeeds yields exactly the value a clean run would have — containment
+    does not weaken the determinism contract. Shards that keep failing
+    surface as the typed error
+    [Hlp_util.Err.Error (Worker_failure _)]. Failure, retry, and clamp
+    counts are visible in the ["parsim.worker_failures"],
+    ["parsim.shard_retries"], ["parsim.jobs_clamped"], and
+    ["parsim.engine_fallbacks"] telemetry counters. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()], at least 1. *)
 
-exception Worker of exn
-(** A shard raised; the original exception is wrapped (raised by {!map}
-    after all domains have been joined). *)
-
-val map : ?jobs:int -> int -> (int -> 'a) -> 'a array
+val map : ?jobs:int -> ?max_retries:int -> int -> (int -> 'a) -> 'a array
 (** [map ~jobs n f] is [Array.init n f] computed by up to [jobs] domains
     (default {!default_jobs}) pulling shard indices from a shared counter.
     [f] must be safe to run concurrently with itself (pure, or touching
-    only shard-local state). Result slot [i] always holds [f i]. *)
+    only shard-local state). Result slot [i] always holds [f i].
+
+    An explicit [jobs] is clamped to [min n (default_jobs ())] — domains
+    beyond the shard count or the recommended domain count would idle or
+    oversubscribe — with the clamp counted in ["parsim.jobs_clamped"].
+    Raising shards are retried up to [max_retries] (default 2) times; a
+    shard still failing afterwards raises
+    [Hlp_util.Err.Error (Worker_failure {shard; _})]. Raises
+    [Invalid_input] on negative [n] or [max_retries]. *)
 
 (** {1 Serial-trace replay} *)
 
@@ -32,6 +49,7 @@ type replay = {
 
 val replay :
   ?jobs:int ->
+  ?max_retries:int ->
   engine:Engine.t ->
   Hlp_logic.Netlist.t ->
   vector:(int -> bool array) ->
@@ -46,10 +64,52 @@ val replay :
     chunk (one uncounted warm-up settle, one counted transition), which is
     exact for combinational netlists because the settled state depends only
     on the current vector. [Parallel] additionally spreads the chunks over
-    domains with {!map}. Bit-parallel engines raise [Invalid_argument] on
-    netlists with flip-flops (sequential state cannot be chunked). Toggle
+    domains with {!map} ([max_retries] as in {!map}). Bit-parallel engines
+    raise [Invalid_argument] on netlists with flip-flops (sequential state
+    cannot be chunked); [n < 1] raises the typed [Invalid_input]. Toggle
     counts are integer-exact across engines; the per-transition floats can
     differ from [Scalar] only by summation-order round-off. *)
+
+(** {1 Engine degradation} *)
+
+type 'a degraded = {
+  value : 'a;
+  engine_used : Engine.t;  (** the first engine in the chain that succeeded *)
+  fallbacks : int;  (** degradation hops taken (0 = requested engine ran) *)
+}
+
+val with_degradation :
+  what:string ->
+  guard:Hlp_util.Guard.t ->
+  engine:Engine.t ->
+  (Engine.t -> 'a) ->
+  ('a degraded, Hlp_util.Err.t) result
+(** Run an engine-parameterized computation down the degradation chain
+    (see {!replay_guarded} for the policy); the building block behind
+    {!replay_guarded} and {!Hlp_power.Probprop}'s Monte Carlo fallback. *)
+
+val replay_guarded :
+  ?jobs:int ->
+  ?max_retries:int ->
+  ?guard:Hlp_util.Guard.t ->
+  engine:Engine.t ->
+  Hlp_logic.Netlist.t ->
+  vector:(int -> bool array) ->
+  n:int ->
+  (replay degraded, Hlp_util.Err.t) result
+(** {!replay} behind the degradation chain
+    [Parallel -> Bitparallel -> Scalar] (starting at [engine]): if an
+    engine fails — a worker failure that survived its retries, an injected
+    fault, or an engine-capability mismatch such as a sequential netlist
+    on a bit engine — the next, more conservative engine is tried, with
+    each hop counted in ["parsim.engine_fallbacks"]. [Parallel] and
+    [Bitparallel] are bit-identical, and [Scalar] differs only by
+    summation round-off, so degradation never changes the answer beyond
+    float noise. Guard trips ([Deadline_exceeded]/[Cancelled]) and
+    [Invalid_input] propagate immediately — degrading past a deadline
+    would return a late answer instead of a typed error. When the whole
+    chain fails the result is the last typed error (a raw last exception
+    is wrapped as [Worker_failure {shard = -1; _}]). *)
 
 (** {1 Monte Carlo batches} *)
 
@@ -61,6 +121,7 @@ type mc = {
 
 val monte_carlo_units :
   ?jobs:int ->
+  ?max_retries:int ->
   engine:Engine.t ->
   Hlp_logic.Netlist.t ->
   batch:int ->

@@ -1,0 +1,54 @@
+type token = { flag : bool Atomic.t; name : string }
+
+let token ?(name = "token") () = { flag = Atomic.make false; name }
+let cancel tk = Atomic.set tk.flag true
+let is_cancelled tk = Atomic.get tk.flag
+
+type t = {
+  deadline_s : float option;  (* wall-clock budget, relative to [start] *)
+  start : float;
+  tok : token option;
+}
+
+let tel_deadline_trips = Telemetry.counter "guard.deadline_trips"
+let tel_cancel_trips = Telemetry.counter "guard.cancel_trips"
+
+let create ?deadline_s ?token () =
+  (match deadline_s with
+  | Some d when not (Float.is_finite d) || d < 0.0 ->
+      raise (Err.invalid_input ~what:"Guard.create: deadline_s"
+               "must be a finite non-negative number of seconds")
+  | _ -> ());
+  { deadline_s; start = Unix.gettimeofday (); tok = token }
+
+let unlimited = { deadline_s = None; start = 0.0; tok = None }
+
+let elapsed_s g = Unix.gettimeofday () -. g.start
+
+let remaining_s g =
+  Option.map (fun limit -> limit -. elapsed_s g) g.deadline_s
+
+let check ?(where = "guard") g =
+  (match g.tok with
+  | Some tk when is_cancelled tk ->
+      Telemetry.incr tel_cancel_trips;
+      raise (Err.Error (Err.Cancelled { where = Printf.sprintf "%s (%s)" tk.name where }))
+  | _ -> ());
+  match g.deadline_s with
+  | Some limit_s ->
+      let elapsed_s = elapsed_s g in
+      (* >=, so a zero budget trips at the very first check even when the
+         clock has not visibly advanced between [create] and [check] *)
+      if elapsed_s >= limit_s then begin
+        Telemetry.incr tel_deadline_trips;
+        raise (Err.Error (Err.Deadline_exceeded { limit_s; elapsed_s }))
+      end
+  | None -> ()
+
+let expired g =
+  match Err.protect (fun () -> check g) with Ok () -> false | Error _ -> true
+
+let run g f =
+  Err.protect (fun () ->
+      check ~where:"start" g;
+      f g)

@@ -179,6 +179,71 @@ let qcheck_ite_shannon =
           = if Bdd.eval f assign then Bdd.eval g assign else Bdd.eval h assign)
         (List.init 8 (fun i -> i)))
 
+let test_budget_validation () =
+  (match Bdd.manager ~node_limit:0 () with
+  | _ -> Alcotest.fail "node_limit 0 accepted"
+  | exception Hlp_util.Err.Error (Hlp_util.Err.Invalid_input _) -> ());
+  Alcotest.(check (option int)) "limit accessor" (Some 64)
+    (Bdd.node_limit (Bdd.manager ~node_limit:64 ()));
+  Alcotest.(check (option int)) "unlimited accessor" None
+    (Bdd.node_limit (Bdd.manager ()))
+
+(* an interleaved-variable comparator-style function whose BDD is
+   exponential: guaranteed to trip any small node budget *)
+let blowup m nvars =
+  let acc = ref (Bdd.one m) in
+  for i = 0 to (nvars / 2) - 1 do
+    acc := Bdd.and_ m !acc (Bdd.xnor_ m (Bdd.var m i) (Bdd.var m (nvars - 1 - i)))
+  done;
+  !acc
+
+let test_budget_trips_and_node_count () =
+  let limit = 40 in
+  let m = Bdd.manager ~node_limit:limit () in
+  (match blowup m 16 with
+  | _ -> Alcotest.fail "expected Budget_exceeded"
+  | exception Hlp_util.Err.Error (Hlp_util.Err.Budget_exceeded { budget; limit = l; used })
+    ->
+      Alcotest.(check string) "budget name" "bdd.nodes" budget;
+      Alcotest.(check int) "reported limit" limit l;
+      Alcotest.(check bool) "reported usage at the limit" true (used >= l));
+  (* the budget is checked before insertion, so the table never grows past
+     the limit *)
+  Alcotest.(check bool)
+    (Printf.sprintf "node_count %d <= limit %d" (Bdd.node_count m) limit)
+    true
+    (Bdd.node_count m <= limit)
+
+let test_budget_manager_usable_after_trip () =
+  let m = Bdd.manager ~node_limit:40 () in
+  (* build a small function first; it must survive the later trip intact *)
+  let x = Bdd.var m 0 and y = Bdd.var m 1 in
+  let f = Bdd.and_ m x (Bdd.not_ m y) in
+  (try ignore (blowup m 16) with Hlp_util.Err.Error (Hlp_util.Err.Budget_exceeded _) -> ());
+  (* existing nodes: still canonical, still evaluable, probabilities exact *)
+  Alcotest.(check bool) "hash consing intact" true
+    (Bdd.equal f (Bdd.and_ m (Bdd.var m 0) (Bdd.not_ m (Bdd.var m 1))));
+  Alcotest.(check bool) "eval 10" true (Bdd.eval f (fun v -> v = 0));
+  Alcotest.(check (float 1e-12)) "probability intact" 0.25
+    (Bdd.probability m ~p:(fun _ -> 0.5) f)
+
+let test_budget_injected_blowup () =
+  (* the injected variant trips the same typed error without filling the
+     table, so after disarming the same manager keeps working normally *)
+  let m = Bdd.manager () in
+  let x = Bdd.var m 0 in
+  Hlp_util.Faultinject.with_faults ~rate:1.0 [ Hlp_util.Faultinject.Bdd_blowup ]
+    (fun () ->
+      match Bdd.and_ m x (Bdd.var m 1) with
+      | _ -> Alcotest.fail "expected injected Budget_exceeded"
+      | exception
+          Hlp_util.Err.Error (Hlp_util.Err.Budget_exceeded { budget; _ }) ->
+          Alcotest.(check string) "injected budget name" "bdd.nodes(injected)"
+            budget);
+  let f = Bdd.and_ m x (Bdd.var m 1) in
+  Alcotest.(check (float 1e-12)) "manager recovered" 0.25
+    (Bdd.probability m ~p:(fun _ -> 0.5) f)
+
 let suite =
   [
     Alcotest.test_case "constants" `Quick test_constants;
@@ -195,5 +260,11 @@ let suite =
     Alcotest.test_case "of_netlist adder" `Quick test_of_netlist_adder;
     Alcotest.test_case "xor chain size" `Quick test_bdd_size_xor_chain;
     Alcotest.test_case "size shared" `Quick test_size_shared;
+    Alcotest.test_case "budget validation" `Quick test_budget_validation;
+    Alcotest.test_case "budget trips, node count bounded" `Quick
+      test_budget_trips_and_node_count;
+    Alcotest.test_case "manager usable after budget trip" `Quick
+      test_budget_manager_usable_after_trip;
+    Alcotest.test_case "injected blowup" `Quick test_budget_injected_blowup;
     QCheck_alcotest.to_alcotest qcheck_ite_shannon;
   ]

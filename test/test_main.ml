@@ -16,4 +16,5 @@ let () =
       ("isa", Test_isa.suite);
       ("extensions", Test_extensions.suite);
       ("properties", Test_properties.suite);
+      ("robustness", Test_robustness.suite);
     ]

@@ -1,0 +1,517 @@
+open Hlp_util
+
+(* Guarded execution: typed errors, guards, fault injection, budgets, and
+   the degradation chains. The property under test throughout: whatever is
+   injected or exhausted, the pipeline returns a correct estimate or a
+   typed [Err.t] — never an uncaught exception, never a silently wrong
+   answer. *)
+
+(* Every test leaves the global telemetry registry disabled and zeroed so
+   the other suites are unaffected (same discipline as test_telemetry). *)
+let with_telemetry f =
+  Telemetry.reset ();
+  Telemetry.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.disable ();
+      Telemetry.reset ())
+    f
+
+(* CI runs this suite across a small matrix of fault seeds (HLP_FAULT_SEED)
+   so the injected-fault schedules differ per job while each job stays
+   fully deterministic. Unset (local runs), the offset is 0. *)
+let seed_offset =
+  match Option.bind (Sys.getenv_opt "HLP_FAULT_SEED") int_of_string_opt with
+  | Some s -> s
+  | None -> 0
+
+let err_class f =
+  match f () with
+  | _ -> None
+  | exception Err.Error e -> Some (Err.class_name e)
+
+let check_err expected what f =
+  Alcotest.(check (option string)) what (Some expected) (err_class f)
+
+(* --- Err: the taxonomy itself --- *)
+
+let test_err_exit_codes () =
+  let cases =
+    [ (Err.Invalid_input { what = "x"; why = "y" }, "invalid-input", 65);
+      (Err.Budget_exceeded { budget = "b"; limit = 1; used = 2 },
+       "budget-exceeded", 66);
+      (Err.Deadline_exceeded { limit_s = 1.0; elapsed_s = 2.0 },
+       "deadline-exceeded", 67);
+      (Err.Cancelled { where = "w" }, "cancelled", 68);
+      (Err.Worker_failure { shard = 3; attempts = 2; why = "boom" },
+       "worker-failure", 69) ]
+  in
+  List.iter
+    (fun (e, cls, code) ->
+      Alcotest.(check string) "class" cls (Err.class_name e);
+      Alcotest.(check int) ("exit code for " ^ cls) code (Err.exit_code e);
+      Alcotest.(check bool)
+        ("to_string non-empty for " ^ cls)
+        true
+        (String.length (Err.to_string e) > 0))
+    cases
+
+let test_err_protect () =
+  (match Err.protect (fun () -> 42) with
+  | Ok v -> Alcotest.(check int) "ok passes through" 42 v
+  | Error _ -> Alcotest.fail "unexpected error");
+  (match Err.protect (fun () -> raise (Err.invalid_input ~what:"t" "bad")) with
+  | Ok _ -> Alcotest.fail "expected Error"
+  | Error e -> Alcotest.(check string) "typed caught" "invalid-input" (Err.class_name e));
+  (* protect catches exactly Err.Error: programming errors still escape *)
+  Alcotest.check_raises "raw exceptions escape" Exit (fun () ->
+      ignore (Err.protect (fun () -> raise Exit)))
+
+(* --- Guard: deadlines and cancellation --- *)
+
+let test_guard_invalid_deadline () =
+  check_err "invalid-input" "negative deadline" (fun () ->
+      Guard.create ~deadline_s:(-1.0) ());
+  check_err "invalid-input" "nan deadline" (fun () ->
+      Guard.create ~deadline_s:Float.nan ())
+
+let test_guard_deadline_trips () =
+  with_telemetry @@ fun () ->
+  let g = Guard.create ~deadline_s:0.0 () in
+  Alcotest.(check bool) "expired" true (Guard.expired g);
+  check_err "deadline-exceeded" "check raises" (fun () -> Guard.check g);
+  Alcotest.(check bool)
+    "trip counted" true
+    (Telemetry.count (Telemetry.counter "guard.deadline_trips") >= 1);
+  (* unlimited never trips *)
+  Guard.check Guard.unlimited;
+  Alcotest.(check bool) "unlimited not expired" false (Guard.expired Guard.unlimited)
+
+let test_guard_cancellation () =
+  with_telemetry @@ fun () ->
+  let tok = Guard.token ~name:"test" () in
+  let g = Guard.create ~token:tok () in
+  Guard.check g;
+  Guard.cancel tok;
+  Alcotest.(check bool) "token observed" true (Guard.is_cancelled tok);
+  check_err "cancelled" "check raises" (fun () -> Guard.check g);
+  Alcotest.(check bool)
+    "trip counted" true
+    (Telemetry.count (Telemetry.counter "guard.cancel_trips") >= 1)
+
+let test_guard_run () =
+  (match Guard.run Guard.unlimited (fun _ -> 7) with
+  | Ok v -> Alcotest.(check int) "ok" 7 v
+  | Error _ -> Alcotest.fail "unexpected error");
+  match Guard.run (Guard.create ~deadline_s:0.0 ()) (fun g -> Guard.check g) with
+  | Ok () -> Alcotest.fail "expected deadline error"
+  | Error e ->
+      Alcotest.(check string) "deadline as result" "deadline-exceeded"
+        (Err.class_name e)
+
+(* --- Faultinject: the harness itself --- *)
+
+let test_faultinject_validation () =
+  check_err "invalid-input" "rate > 1" (fun () ->
+      Faultinject.configure ~rate:1.5 [ Faultinject.Gate_eval ]);
+  check_err "invalid-input" "rate < 0" (fun () ->
+      Faultinject.configure ~rate:(-0.1) [ Faultinject.Gate_eval ])
+
+let test_faultinject_rates () =
+  Faultinject.with_faults ~rate:0.0 [ Faultinject.Gate_eval ] (fun () ->
+      for _ = 1 to 1000 do
+        Alcotest.(check bool) "rate 0 never fires" false
+          (Faultinject.fire Faultinject.Gate_eval)
+      done);
+  Faultinject.with_faults ~rate:1.0 [ Faultinject.Gate_eval ] (fun () ->
+      for _ = 1 to 100 do
+        Alcotest.(check bool) "rate 1 always fires" true
+          (Faultinject.fire Faultinject.Gate_eval)
+      done;
+      Alcotest.(check int) "all firings counted" 100
+        (Faultinject.fired Faultinject.Gate_eval);
+      (* unarmed points are unaffected *)
+      Alcotest.(check bool) "unarmed point silent" false
+        (Faultinject.fire Faultinject.Domain_kill))
+
+let test_faultinject_determinism () =
+  let run () =
+    Faultinject.with_faults ~seed:1 ~rate:0.3 [ Faultinject.Trace_sample ]
+      (fun () ->
+        for _ = 1 to 1000 do
+          ignore (Faultinject.fire Faultinject.Trace_sample)
+        done;
+        Faultinject.fired Faultinject.Trace_sample)
+  in
+  let c1 = run () and c2 = run () in
+  Alcotest.(check int) "same seed, same firing count" c1 c2;
+  Alcotest.(check bool) "rate 0.3 fires roughly 300/1000" true
+    (c1 > 200 && c1 < 400)
+
+let test_faultinject_disarm () =
+  Alcotest.(check bool) "disabled at start" false (Faultinject.enabled ());
+  (try
+     Faultinject.with_faults ~rate:1.0 [ Faultinject.Bdd_blowup ] (fun () ->
+         Alcotest.(check bool) "armed inside" true
+           (Faultinject.armed Faultinject.Bdd_blowup);
+         raise Exit)
+   with Exit -> ());
+  Alcotest.(check bool) "disarmed after exception" false (Faultinject.enabled ())
+
+(* --- Parsim: containment, retries, clamping, degradation --- *)
+
+let test_parsim_jobs_clamp () =
+  with_telemetry @@ fun () ->
+  let r = Hlp_sim.Parsim.map ~jobs:64 4 (fun i -> i * i) in
+  Alcotest.(check (array int)) "result correct under clamp" [| 0; 1; 4; 9 |] r;
+  Alcotest.(check bool)
+    "clamp counted" true
+    (Telemetry.count (Telemetry.counter "parsim.jobs_clamped") >= 1)
+
+let test_parsim_map_validation () =
+  check_err "invalid-input" "negative n" (fun () ->
+      Hlp_sim.Parsim.map (-1) Fun.id);
+  check_err "invalid-input" "negative retries" (fun () ->
+      Hlp_sim.Parsim.map ~max_retries:(-1) 4 Fun.id)
+
+let test_parsim_retry_recovers () =
+  (* transient faults: each retry draws fresh fault decisions, so at a
+     moderate rate the retried shards succeed and the map completes with
+     the exact values a clean run would produce *)
+  with_telemetry @@ fun () ->
+  let n = 200 in
+  let expected = Array.init n (fun i -> i * 3) in
+  let r =
+    Faultinject.with_faults ~seed:(5 + seed_offset) ~rate:0.2
+      [ Faultinject.Domain_kill ]
+      (fun () -> Hlp_sim.Parsim.map ~jobs:4 ~max_retries:8 n (fun i -> i * 3))
+  in
+  Alcotest.(check (array int)) "deterministic despite faults" expected r;
+  Alcotest.(check bool)
+    "failures counted" true
+    (Telemetry.count (Telemetry.counter "parsim.worker_failures") >= 1);
+  Alcotest.(check bool)
+    "retries counted" true
+    (Telemetry.count (Telemetry.counter "parsim.shard_retries") >= 1)
+
+let test_parsim_persistent_failure () =
+  (* a shard that fails deterministically exhausts its retries and surfaces
+     as the typed worker failure naming the shard *)
+  match
+    Hlp_sim.Parsim.map ~jobs:2 ~max_retries:1 8 (fun i ->
+        if i = 5 then failwith "persistent" else i)
+  with
+  | _ -> Alcotest.fail "expected Worker_failure"
+  | exception Err.Error (Err.Worker_failure { shard; attempts; why }) ->
+      Alcotest.(check int) "failing shard named" 5 shard;
+      Alcotest.(check int) "attempts = max_retries + 1" 2 attempts;
+      Alcotest.(check bool) "original exception kept" true
+        (String.length why > 0)
+
+let adder_trace ~width ~n seed =
+  let net = Hlp_logic.Generators.adder_circuit width in
+  let nin = Array.length net.Hlp_logic.Netlist.inputs in
+  let rng = Prng.create seed in
+  let trace = Hlp_sim.Streams.uniform rng ~width:nin ~n in
+  (net, fun i -> Array.init nin (fun b -> Bits.bit trace.(i) b))
+
+let test_replay_guarded_degrades () =
+  (* gate-eval faults at rate 1.0 kill every engine's simulation; the chain
+     must walk Parallel -> Bitparallel -> Scalar and surface a typed error,
+     not an injected Failure *)
+  with_telemetry @@ fun () ->
+  let net, vector = adder_trace ~width:4 ~n:100 11 in
+  (match
+     Faultinject.with_faults ~rate:1.0 [ Faultinject.Gate_eval ] (fun () ->
+         Hlp_sim.Parsim.replay_guarded ~jobs:2 ~max_retries:0
+           ~engine:Hlp_sim.Engine.Parallel net ~vector ~n:100)
+   with
+  | Ok _ -> Alcotest.fail "all engines were killed; expected an error"
+  | Error e ->
+      Alcotest.(check string) "typed worker failure" "worker-failure"
+        (Err.class_name e));
+  Alcotest.(check int)
+    "two degradation hops counted" 2
+    (Telemetry.count (Telemetry.counter "parsim.engine_fallbacks"))
+
+let test_replay_guarded_preserves_results () =
+  (* faults only on the parallel path: degradation (or retry) must yield
+     the same per-transition capacitances a clean run produces *)
+  let net, vector = adder_trace ~width:4 ~n:200 13 in
+  let clean =
+    Hlp_sim.Parsim.replay ~engine:Hlp_sim.Engine.Bitparallel net ~vector ~n:200
+  in
+  let faulty =
+    Faultinject.with_faults ~seed:3 ~rate:0.3 [ Faultinject.Domain_kill ]
+      (fun () ->
+        Hlp_sim.Parsim.replay_guarded ~jobs:4 ~max_retries:4
+          ~engine:Hlp_sim.Engine.Parallel net ~vector ~n:200)
+  in
+  match faulty with
+  | Error e -> Alcotest.fail ("unexpected error: " ^ Err.to_string e)
+  | Ok d ->
+      Array.iteri
+        (fun i c ->
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "transition %d" i)
+            c
+            d.Hlp_sim.Parsim.value.Hlp_sim.Parsim.transition_caps.(i))
+        clean.Hlp_sim.Parsim.transition_caps
+
+let test_replay_guarded_propagates_guard_trips () =
+  (* a deadline must never be degraded past: the chain stops immediately *)
+  let net, vector = adder_trace ~width:4 ~n:50 17 in
+  match
+    Hlp_sim.Parsim.replay_guarded
+      ~guard:(Guard.create ~deadline_s:0.0 ())
+      ~engine:Hlp_sim.Engine.Parallel net ~vector ~n:50
+  with
+  | Ok _ -> Alcotest.fail "expected deadline error"
+  | Error e ->
+      Alcotest.(check string) "deadline propagates" "deadline-exceeded"
+        (Err.class_name e)
+
+(* --- Probprop: symbolic exactness, budgets, the guarded chain --- *)
+
+let test_symbolic_exact_on_reconvergence () =
+  (* comparator has reconvergent fanout: propagate's independence
+     assumption is biased there, the BDD path is exact. Verify symbolic
+     probabilities against brute-force truth-table enumeration. *)
+  let net = Hlp_logic.Generators.comparator_circuit 3 in
+  let nin = Array.length net.Hlp_logic.Netlist.inputs in
+  let stats = Hlp_power.Probprop.symbolic net in
+  let sim = Hlp_sim.Funcsim.create net in
+  let count = Array.make (Array.length stats.Hlp_power.Probprop.prob) 0 in
+  let total = 1 lsl nin in
+  for v = 0 to total - 1 do
+    Hlp_sim.Funcsim.step sim (Array.init nin (fun b -> Bits.bit v b));
+    Array.iteri
+      (fun node _ ->
+        if Hlp_sim.Funcsim.value sim node then count.(node) <- count.(node) + 1)
+      count
+  done;
+  Array.iteri
+    (fun node p ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "node %d probability" node)
+        (float_of_int count.(node) /. float_of_int total)
+        p)
+    stats.Hlp_power.Probprop.prob
+
+let test_symbolic_budget_trips () =
+  let net = Hlp_logic.Generators.multiplier_circuit 6 in
+  check_err "budget-exceeded" "tiny node limit trips" (fun () ->
+      Hlp_power.Probprop.symbolic ~node_limit:20 net)
+
+let test_estimate_guarded_symbolic_path () =
+  with_telemetry @@ fun () ->
+  let net = Hlp_logic.Generators.adder_circuit 4 in
+  match Hlp_power.Probprop.estimate_guarded net with
+  | Error e -> Alcotest.fail ("unexpected error: " ^ Err.to_string e)
+  | Ok g ->
+      Alcotest.(check bool) "symbolic estimator used" true
+        (g.Hlp_power.Probprop.estimator = Hlp_power.Probprop.Symbolic);
+      Alcotest.(check bool) "no fallback" false g.Hlp_power.Probprop.symbolic_fallback;
+      Alcotest.(check bool) "positive capacitance" true
+        (g.Hlp_power.Probprop.capacitance > 0.0);
+      Alcotest.(check int)
+        "symbolic run counted" 1
+        (Telemetry.count (Telemetry.counter "probprop.symbolic_runs"))
+
+let test_estimate_guarded_falls_back_to_sampling () =
+  with_telemetry @@ fun () ->
+  let net = Hlp_logic.Generators.adder_circuit 4 in
+  (* the exact answer, for the CI-consistency assertion *)
+  let exact =
+    let stats = Hlp_power.Probprop.symbolic net in
+    Hlp_power.Probprop.estimate_capacitance net stats
+  in
+  match Hlp_power.Probprop.estimate_guarded ~node_limit:10 ~seed:7 net with
+  | Error e -> Alcotest.fail ("unexpected error: " ^ Err.to_string e)
+  | Ok g -> (
+      Alcotest.(check bool) "fell back" true g.Hlp_power.Probprop.symbolic_fallback;
+      Alcotest.(check bool)
+        "fallback counted" true
+        (Telemetry.count (Telemetry.counter "probprop.symbolic_fallbacks") >= 1);
+      match g.Hlp_power.Probprop.estimator with
+      | Hlp_power.Probprop.Symbolic -> Alcotest.fail "should have sampled"
+      | Hlp_power.Probprop.Monte_carlo mc ->
+          (* the sampled estimate must be CI-consistent with the exact
+             answer: within 4 half-widths (the t interval is 95%) *)
+          Alcotest.(check bool)
+            (Printf.sprintf "estimate %.2f within CI of exact %.2f (+/- %.2f)"
+               mc.Hlp_power.Probprop.estimate exact
+               mc.Hlp_power.Probprop.half_interval)
+            true
+            (Float.abs (mc.Hlp_power.Probprop.estimate -. exact)
+            <= 4.0 *. mc.Hlp_power.Probprop.half_interval))
+
+let test_estimate_guarded_deadline () =
+  let net = Hlp_logic.Generators.multiplier_circuit 8 in
+  match
+    Hlp_power.Probprop.estimate_guarded
+      ~guard:(Guard.create ~deadline_s:0.0 ())
+      net
+  with
+  | Ok _ -> Alcotest.fail "expected deadline error"
+  | Error e ->
+      Alcotest.(check string) "deadline surfaces" "deadline-exceeded"
+        (Err.class_name e)
+
+let test_monte_carlo_validation () =
+  let net = Hlp_logic.Generators.adder_circuit 4 in
+  check_err "invalid-input" "batch < 2" (fun () ->
+      Hlp_power.Probprop.monte_carlo ~batch:1 net)
+
+(* --- Sampling: input validation and poisoned samples --- *)
+
+let test_sampling_validation () =
+  check_err "invalid-input" "length mismatch" (fun () ->
+      Hlp_power.Sampling.of_arrays ~macro_values:[| 1.0 |]
+        ~gate_values:[| 1.0; 2.0 |]);
+  check_err "invalid-input" "empty" (fun () ->
+      Hlp_power.Sampling.of_arrays ~macro_values:[||] ~gate_values:[||]);
+  check_err "invalid-input" "poisoned value" (fun () ->
+      Hlp_power.Sampling.of_arrays
+        ~macro_values:[| 1.0; Float.nan |]
+        ~gate_values:[| 1.0; 2.0 |]);
+  (match
+     Hlp_power.Sampling.of_arrays_checked ~macro_values:[| 1.0 |]
+       ~gate_values:[| 1.0 |]
+   with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "valid arrays rejected");
+  match
+    Hlp_power.Sampling.of_arrays_checked ~macro_values:[||] ~gate_values:[||]
+  with
+  | Ok _ -> Alcotest.fail "empty accepted"
+  | Error e ->
+      Alcotest.(check string) "checked variant" "invalid-input" (Err.class_name e)
+
+let sampling_dut n =
+  { Hlp_power.Macromodel.net = Hlp_logic.Generators.adder_circuit n;
+    widths = [ n; n ] }
+
+let sampling_model dut =
+  let obs =
+    List.map (Hlp_power.Macromodel.observe dut)
+      (Hlp_power.Macromodel.training_streams ~n:64 dut)
+  in
+  Hlp_power.Macromodel.fit Hlp_power.Macromodel.Pfa dut obs
+
+let test_sampling_prepare_validation () =
+  let dut = sampling_dut 4 in
+  let model = sampling_model dut in
+  check_err "invalid-input" "no traces" (fun () ->
+      Hlp_power.Sampling.prepare model dut []);
+  check_err "invalid-input" "unequal streams" (fun () ->
+      Hlp_power.Sampling.prepare model dut [ [| 1; 2; 3 |]; [| 1; 2 |] ]);
+  check_err "invalid-input" "one cycle" (fun () ->
+      Hlp_power.Sampling.prepare model dut [ [| 1 |]; [| 2 |] ]);
+  check_err "invalid-input" "stream count mismatch" (fun () ->
+      Hlp_power.Sampling.prepare model dut [ [| 1; 2; 3 |] ])
+
+let test_sampling_poisoned_trace () =
+  (* a poisoned macro-model evaluation must surface at assembly as a typed
+     error, not as a NaN estimate downstream *)
+  let dut = sampling_dut 4 in
+  let model = sampling_model dut in
+  let rng = Prng.create 23 in
+  let traces =
+    [ Array.init 100 (fun _ -> Prng.int rng 16);
+      Array.init 100 (fun _ -> Prng.int rng 16) ]
+  in
+  check_err "invalid-input" "poison detected" (fun () ->
+      Faultinject.with_faults ~rate:0.05 [ Faultinject.Trace_sample ] (fun () ->
+          Hlp_power.Sampling.prepare model dut traces))
+
+(* --- the end-to-end property, randomized over fault scenarios --- *)
+
+let qcheck_pipeline_never_crashes =
+  (* Under any injected fault mix, [estimate_guarded] returns either a
+     CI-consistent estimate or a typed error — an uncaught exception or an
+     implausible estimate fails the property. *)
+  let net = Hlp_logic.Generators.adder_circuit 4 in
+  let exact =
+    lazy
+      (let stats = Hlp_power.Probprop.symbolic net in
+       Hlp_power.Probprop.estimate_capacitance net stats)
+  in
+  QCheck.Test.make ~name:"faulted pipeline: typed error or consistent estimate"
+    ~count:25
+    QCheck.(pair (int_bound 10_000) (int_bound 7))
+    (fun (seed, mask) ->
+      let points =
+        List.filteri
+          (fun i _ -> mask land (1 lsl i) <> 0)
+          [ Faultinject.Gate_eval; Faultinject.Domain_kill;
+            Faultinject.Bdd_blowup ]
+      in
+      let result =
+        Faultinject.with_faults ~seed:(seed + seed_offset) ~rate:0.1 points
+          (fun () ->
+            Hlp_power.Probprop.estimate_guarded ~seed ~node_limit:5000
+              ~engine:Hlp_sim.Engine.Parallel ~jobs:2 ~max_retries:3 net)
+      in
+      match result with
+      | Error _ -> true (* typed error: acceptable outcome *)
+      | Ok g -> (
+          match g.Hlp_power.Probprop.estimator with
+          | Hlp_power.Probprop.Symbolic ->
+              Float.abs (g.Hlp_power.Probprop.capacitance -. Lazy.force exact)
+              < 1e-9
+          | Hlp_power.Probprop.Monte_carlo mc ->
+              Float.abs (mc.Hlp_power.Probprop.estimate -. Lazy.force exact)
+              <= 4.0 *. mc.Hlp_power.Probprop.half_interval))
+
+let qcheck_map_deterministic_under_faults =
+  QCheck.Test.make
+    ~name:"Parsim.map under domain kills: correct values or typed error"
+    ~count:25
+    QCheck.(pair (int_bound 10_000) (int_range 1 60))
+    (fun (seed, n) ->
+      match
+        Faultinject.with_faults ~seed:(seed + seed_offset) ~rate:0.3
+          [ Faultinject.Domain_kill ]
+          (fun () -> Hlp_sim.Parsim.map ~jobs:3 ~max_retries:4 n (fun i -> i + 1))
+      with
+      | r -> Array.to_list r = List.init n (fun i -> i + 1)
+      | exception Err.Error (Err.Worker_failure _) -> true)
+
+let suite =
+  [
+    Alcotest.test_case "err exit codes" `Quick test_err_exit_codes;
+    Alcotest.test_case "err protect" `Quick test_err_protect;
+    Alcotest.test_case "guard invalid deadline" `Quick test_guard_invalid_deadline;
+    Alcotest.test_case "guard deadline trips" `Quick test_guard_deadline_trips;
+    Alcotest.test_case "guard cancellation" `Quick test_guard_cancellation;
+    Alcotest.test_case "guard run" `Quick test_guard_run;
+    Alcotest.test_case "faultinject validation" `Quick test_faultinject_validation;
+    Alcotest.test_case "faultinject rates" `Quick test_faultinject_rates;
+    Alcotest.test_case "faultinject determinism" `Quick test_faultinject_determinism;
+    Alcotest.test_case "faultinject disarm" `Quick test_faultinject_disarm;
+    Alcotest.test_case "parsim jobs clamp" `Quick test_parsim_jobs_clamp;
+    Alcotest.test_case "parsim map validation" `Quick test_parsim_map_validation;
+    Alcotest.test_case "parsim retry recovers" `Quick test_parsim_retry_recovers;
+    Alcotest.test_case "parsim persistent failure" `Quick test_parsim_persistent_failure;
+    Alcotest.test_case "replay_guarded degrades" `Quick test_replay_guarded_degrades;
+    Alcotest.test_case "replay_guarded preserves results" `Quick
+      test_replay_guarded_preserves_results;
+    Alcotest.test_case "replay_guarded propagates guard trips" `Quick
+      test_replay_guarded_propagates_guard_trips;
+    Alcotest.test_case "symbolic exact on reconvergence" `Quick
+      test_symbolic_exact_on_reconvergence;
+    Alcotest.test_case "symbolic budget trips" `Quick test_symbolic_budget_trips;
+    Alcotest.test_case "estimate_guarded symbolic path" `Quick
+      test_estimate_guarded_symbolic_path;
+    Alcotest.test_case "estimate_guarded falls back to sampling" `Quick
+      test_estimate_guarded_falls_back_to_sampling;
+    Alcotest.test_case "estimate_guarded deadline" `Quick test_estimate_guarded_deadline;
+    Alcotest.test_case "monte carlo validation" `Quick test_monte_carlo_validation;
+    Alcotest.test_case "sampling validation" `Quick test_sampling_validation;
+    Alcotest.test_case "sampling prepare validation" `Quick
+      test_sampling_prepare_validation;
+    Alcotest.test_case "sampling poisoned trace" `Quick test_sampling_poisoned_trace;
+    QCheck_alcotest.to_alcotest qcheck_pipeline_never_crashes;
+    QCheck_alcotest.to_alcotest qcheck_map_deterministic_under_faults;
+  ]
