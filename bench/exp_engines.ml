@@ -18,10 +18,11 @@ open Hlp_util
 
 let fmt = Table.fmt_float
 
+(* monotonic: an NTP step mid-benchmark must not fabricate a speedup *)
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now_s () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, Clock.now_s () -. t0)
 
 (* the E16 sampler workload: macro-model trained on white noise, long
    uniform evaluation stream *)
@@ -79,6 +80,7 @@ type overhead_result = {
 }
 
 let e33_throughput ?(n = 10_000) ?(assert_speedup = true) () =
+  Trace.span "bench.e33_throughput" @@ fun () ->
   let model, dut, traces = sampler_workload ~n in
   let widths = dut.Hlp_power.Macromodel.widths in
   let vector i = Hlp_sim.Streams.pack ~widths traces i in
@@ -206,6 +208,7 @@ let mc_capture ~circuit ~engine net =
   }
 
 let e33_monte_carlo () =
+  Trace.span "bench.e33_monte_carlo" @@ fun () ->
   let captured = ref [] in
   let rows =
     List.map
@@ -260,6 +263,7 @@ let e33_monte_carlo () =
    (one predictable branch per step plus plain per-instance tallies); the
    enabled batch measures the full aggregation cost. *)
 let telemetry_overhead ?(n = 10_000) ?(reps = 5) () =
+  Trace.span "bench.telemetry_overhead" @@ fun () ->
   let _model, dut, traces = sampler_workload ~n in
   let widths = dut.Hlp_power.Macromodel.widths in
   let vector i = Hlp_sim.Streams.pack ~widths traces i in
@@ -306,6 +310,64 @@ let telemetry_overhead ?(n = 10_000) ?(reps = 5) () =
     enabled_overhead_pct;
   }
 
+(* E35: span-tracing overhead on the same replay workload, measured the
+   same way as the telemetry overhead: interleaved (disabled, enabled,
+   disabled) rounds. The disabled A/A spread bounds the cost of the
+   one-branch-when-off discipline (the acceptance budget is < 2%); the
+   enabled round measures full event recording (the workload records a
+   handful of events per rep against a 65536-slot buffer, so the
+   recording path is always the one paid, never the buffer-full drop
+   path). When the caller is tracing the bench run itself (--trace), the
+   recorded history is left untouched. *)
+let tracing_overhead ?(n = 10_000) ?(reps = 7) () =
+  Trace.span "bench.e35_tracing_overhead" @@ fun () ->
+  let _model, dut, traces = sampler_workload ~n in
+  let widths = dut.Hlp_power.Macromodel.widths in
+  let vector i = Hlp_sim.Streams.pack ~widths traces i in
+  let net = dut.Hlp_power.Macromodel.net in
+  let run () =
+    ignore
+      (Hlp_sim.Parsim.replay ~engine:Hlp_sim.Engine.Bitparallel net ~vector ~n)
+  in
+  let was_on = Trace.enabled () in
+  Trace.disable ();
+  run ();
+  (* warm-up *)
+  let timed () = snd (time run) in
+  let disabled_a_s = Array.make reps 0.0 in
+  let disabled_b_s = Array.make reps 0.0 in
+  let enabled_s = Array.make reps 0.0 in
+  for i = 0 to reps - 1 do
+    Trace.disable ();
+    disabled_a_s.(i) <- timed ();
+    Trace.enable ();
+    enabled_s.(i) <- timed ();
+    Trace.disable ();
+    disabled_b_s.(i) <- timed ()
+  done;
+  if was_on then Trace.enable () else Trace.reset ();
+  let minimum a = Array.fold_left min a.(0) a in
+  let da = minimum disabled_a_s and db = minimum disabled_b_s in
+  let d = min da db in
+  let disabled_overhead_pct = abs_float (db -. da) /. da *. 100.0 in
+  let enabled_overhead_pct = (minimum enabled_s -. d) /. d *. 100.0 in
+  Printf.printf
+    "E35: tracing overhead (bit-parallel replay, %d cycles, best of %d):\n" n
+    reps;
+  Printf.printf "  disabled A/A spread: %.2f%% (bounds the off-switch cost, budget < 2%%)\n"
+    disabled_overhead_pct;
+  Printf.printf "  enabled vs disabled: %.2f%%\n" enabled_overhead_pct;
+  print_newline ();
+  {
+    oh_cycles = n;
+    oh_reps = reps;
+    disabled_a_s;
+    disabled_b_s;
+    enabled_s;
+    disabled_overhead_pct;
+    enabled_overhead_pct;
+  }
+
 (* E34: cost of the guarded path when nothing goes wrong. The replay
    workload runs interleaved (raw, guarded, raw) rounds: raw calls
    Parsim.replay directly, guarded goes through Parsim.replay_guarded with
@@ -331,6 +393,7 @@ type robustness_result = {
 }
 
 let e34_robustness ?(n = 10_000) ?(reps = 5) () =
+  Trace.span "bench.e34_robustness" @@ fun () ->
   let _model, dut, traces = sampler_workload ~n in
   let widths = dut.Hlp_power.Macromodel.widths in
   let vector i = Hlp_sim.Streams.pack ~widths traces i in
@@ -409,10 +472,10 @@ let e34_robustness ?(n = 10_000) ?(reps = 5) () =
 
 (* --- BENCH_engines.json --- *)
 
-let floats a = Json_out.List (Array.to_list (Array.map (fun x -> Json_out.Float x) a))
+let floats a = Json.List (Array.to_list (Array.map (fun x -> Json.Float x) a))
 
-let bench_json ~smoke ~n engines mc overhead robustness =
-  let open Json_out in
+let bench_json ~smoke ~n engines mc overhead tracing robustness =
+  let open Json in
   let engine_obj r =
     Obj
       [ ("engine", Str r.engine);
@@ -438,9 +501,10 @@ let bench_json ~smoke ~n engines mc overhead robustness =
         ("running_mean", floats r.running_mean);
         ("ci_half_width", floats r.ci_half_width) ]
   in
-  let overhead_obj o =
+  let overhead_obj ~what o =
     Obj
-      [ ("workload", Str "parsim.replay bitparallel (E33 sampler workload)");
+      [ ("instrumentation", Str what);
+        ("workload", Str "parsim.replay bitparallel (E33 sampler workload)");
         ("cycles", Int o.oh_cycles);
         ("reps", Int o.oh_reps);
         ("disabled_a_s", floats o.disabled_a_s);
@@ -485,10 +549,11 @@ let bench_json ~smoke ~n engines mc overhead robustness =
         ("smoke", Bool smoke);
         ("engines", List (List.map engine_obj engines));
         ("monte_carlo", List (List.map mc_obj mc));
-        ("telemetry_overhead", overhead_obj overhead);
+        ("telemetry_overhead", overhead_obj ~what:"telemetry" overhead);
+        ("tracing", overhead_obj ~what:"span tracing" tracing);
         ("robustness", robustness_obj robustness) ]
   in
-  Json_out.write ~path:"BENCH_engines.json" v;
+  Json.write ~path:"BENCH_engines.json" v;
   print_endline "wrote BENCH_engines.json"
 
 let all () =
@@ -496,8 +561,9 @@ let all () =
   let engines = e33_throughput ~n () in
   let mc = e33_monte_carlo () in
   let overhead = telemetry_overhead ~n () in
+  let tracing = tracing_overhead ~n () in
   let robustness = e34_robustness ~n () in
-  bench_json ~smoke:false ~n engines mc overhead robustness
+  bench_json ~smoke:false ~n engines mc overhead tracing robustness
 
 (* reduced workload for CI: exercises every engine end to end without the
    10^4-cycle stream or the speedup assertion (shared runners are noisy) *)
@@ -506,5 +572,63 @@ let smoke () =
   let engines = e33_throughput ~n ~assert_speedup:false () in
   let mc = e33_monte_carlo () in
   let overhead = telemetry_overhead ~n ~reps:3 () in
+  let tracing = tracing_overhead ~n ~reps:3 () in
   let robustness = e34_robustness ~n ~reps:3 () in
-  bench_json ~smoke:true ~n engines mc overhead robustness
+  bench_json ~smoke:true ~n engines mc overhead tracing robustness
+
+(* --- bench regression gate ---
+
+   Re-measures the engine workload and diffs the fresh numbers against the
+   committed BENCH_engines.json snapshot. Only the bit-parallel engine's
+   speedup-vs-scalar is gated: it is a within-machine ratio, so it
+   transfers across runners, unlike absolute cycles/second (and unlike the
+   parallel engine, whose ratio tracks the runner's core count). *)
+
+let threshold_pct = 25.0
+
+let regression_gate ?(path = "BENCH_engines.json") () =
+  let committed =
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    match Json.parse s with
+    | Ok v -> v
+    | Error e ->
+        raise (Err.invalid_input ~what:("regression gate: " ^ path) e)
+  in
+  let speedup_of v =
+    match Json.member "engines" v with
+    | Some (Json.List engines) ->
+        List.find_map
+          (fun e ->
+            match (Json.member "engine" e, Json.member "speedup_vs_scalar" e) with
+            | Some (Json.Str "bitparallel"), Some s -> Json.to_float_opt s
+            | _ -> None)
+          engines
+    | _ -> None
+  in
+  let baseline =
+    match speedup_of committed with
+    | Some s -> s
+    | None ->
+        raise
+          (Err.invalid_input ~what:("regression gate: " ^ path)
+             "no bitparallel speedup_vs_scalar found")
+  in
+  (* fresh measurement on this machine, no snapshot rewrite *)
+  let fresh = e33_throughput ~n:10_000 ~assert_speedup:false () in
+  let current =
+    match
+      List.find_opt (fun (r : engine_result) -> r.engine = "bitparallel") fresh
+    with
+    | Some r -> r.speedup_vs_scalar
+    | None -> failwith "regression gate: fresh run produced no bitparallel row"
+  in
+  let floor = baseline *. (1.0 -. (threshold_pct /. 100.0)) in
+  let ok = current >= floor in
+  Printf.printf
+    "regression gate: bitparallel speedup %.1fx vs committed %.1fx (floor %.1fx, -%.0f%%): %s\n"
+    current baseline floor threshold_pct
+    (if ok then "OK" else "REGRESSION");
+  ok

@@ -2,6 +2,10 @@
    (sections E1-E21, see DESIGN.md and EXPERIMENTS.md), then times the
    computational kernel behind each experiment with Bechamel. *)
 
+(* one span per experiment group: with --trace, the exported timeline
+   shows where a full reproduction run spends its time *)
+let traced name f = Hlp_util.Trace.span name f
+
 let experiments () =
   print_endline "=================================================================";
   print_endline " hlpower experiment reproduction";
@@ -9,10 +13,10 @@ let experiments () =
   print_endline " and Optimization (DAC'97 / IEEE TCAD'98)";
   print_endline "=================================================================";
   print_newline ();
-  Exp_figures.all ();
-  Exp_estimation.all ();
-  Exp_synthesis.all ();
-  Exp_engines.all ()
+  traced "bench.figures" Exp_figures.all;
+  traced "bench.estimation" Exp_estimation.all;
+  traced "bench.synthesis" Exp_synthesis.all;
+  traced "bench.engines" Exp_engines.all
 
 (* --- bechamel timing of each experiment's kernel --- *)
 
@@ -150,19 +154,40 @@ let run_bechamel () =
     rows
 
 let () =
+  let tracing = Array.exists (( = ) "--trace") Sys.argv in
+  if tracing then Hlp_util.Trace.enable ();
+  let flush_trace () =
+    if tracing then begin
+      Hlp_util.Trace.write ~path:"BENCH_trace.json";
+      Printf.printf "wrote BENCH_trace.json (%d events, %d dropped)\n"
+        (Hlp_util.Trace.event_count ())
+        (Hlp_util.Trace.dropped ())
+    end
+  in
   if Array.exists (( = ) "--smoke") Sys.argv then begin
     (* CI mode: a reduced engine workload, no bechamel sweep *)
     Exp_engines.smoke ();
+    flush_trace ();
     print_endline "smoke run completed."
   end
   else if Array.exists (( = ) "--engines") Sys.argv then begin
     (* full engine + robustness workload only: regenerates BENCH_engines.json
        without the rest of the experiment sweep *)
     Exp_engines.all ();
+    flush_trace ();
     print_endline "engine experiments completed."
+  end
+  else if Array.exists (( = ) "--regression-gate") Sys.argv then begin
+    (* CI gate: fresh engine numbers vs the committed BENCH_engines.json;
+       a > 25% bit-parallel throughput regression fails the build *)
+    let ok = Exp_engines.regression_gate () in
+    flush_trace ();
+    if not ok then exit 1;
+    print_endline "regression gate passed."
   end
   else begin
     experiments ();
     run_bechamel ();
+    flush_trace ();
     print_endline "\nall experiments completed."
   end

@@ -60,9 +60,11 @@ let int_at_least lower what =
 (* --- estimate --- *)
 
 let estimate circuit width cycles stream seed engine jobs profile telemetry_json
-    deadline node_limit max_retries =
+    deadline node_limit max_retries trace_out attribution run_report =
   with_typed_errors @@ fun () ->
-  if profile || telemetry_json <> None then Hlp_util.Telemetry.enable ();
+  if profile || telemetry_json <> None || run_report <> None then
+    Hlp_util.Telemetry.enable ();
+  if trace_out <> None then Hlp_util.Trace.enable ();
   let guard = Hlp_util.Guard.create ?deadline_s:deadline () in
   let net = circuit width in
   Printf.printf "circuit: %s\n" (Hlp_logic.Netlist.stats_string net);
@@ -126,8 +128,39 @@ let estimate circuit width cycles stream seed engine jobs profile telemetry_json
               mc.Hlp_power.Probprop.half_interval
       in
       Printf.printf "guarded estimate:       %10.1f cap units/cycle  [%s]\n"
-        g.Hlp_power.Probprop.capacitance how
+        g.Hlp_power.Probprop.capacitance how;
+      (match run_report with
+      | Some path ->
+          (* provenance of the guarded estimate plus the full telemetry
+             registry: everything needed to say how the number was made *)
+          let report =
+            Hlp_util.Json.Obj
+              [ ("command", Hlp_util.Json.Str "estimate");
+                ("cycles", Hlp_util.Json.Int cycles);
+                ("seed", Hlp_util.Json.Int seed);
+                ("requested_engine",
+                 Hlp_util.Json.Str (Hlp_sim.Engine.to_string engine));
+                ("gate_level_reference", Hlp_util.Json.Float reference);
+                ("guarded_estimate",
+                 Hlp_util.Json.Float g.Hlp_power.Probprop.capacitance);
+                ("provenance",
+                 Hlp_power.Probprop.provenance_json
+                   g.Hlp_power.Probprop.provenance);
+                ("telemetry", Hlp_util.Telemetry.json_value ()) ]
+          in
+          Hlp_util.Json.write ~path report;
+          Printf.printf "run report written to %s\n" path
+      | None -> ())
   | Error e -> raise (Hlp_util.Err.Error e));
+  (match attribution with
+  | Some k ->
+      (* scalar re-replay of the same trace: the per-node charge model is
+         the reference simulator's own, so the rollup partitions exactly
+         the reference's total switched capacitance *)
+      let a = Hlp_power.Attribution.profile net ~vector ~n:cycles in
+      print_newline ();
+      print_string (Hlp_power.Attribution.report ~top_k:k a)
+  | None -> ());
   if profile then begin
     print_newline ();
     Hlp_util.Telemetry.print_report ()
@@ -139,6 +172,13 @@ let estimate circuit width cycles stream seed engine jobs profile telemetry_json
       output_char oc '\n';
       close_out oc;
       Printf.printf "telemetry written to %s\n" path
+  | None -> ());
+  (match trace_out with
+  | Some path ->
+      Hlp_util.Trace.write ~path;
+      Printf.printf "trace written to %s (%d events, %d dropped)\n" path
+        (Hlp_util.Trace.event_count ())
+        (Hlp_util.Trace.dropped ())
   | None -> ());
   0
 
@@ -209,9 +249,32 @@ let estimate_cmd =
                "retries per failed worker shard before the engine degrades \
                 (default 2, exponential backoff)")
   in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:
+               "enable span tracing and write a Chrome trace-event JSON to \
+                $(docv) (load in Perfetto or chrome://tracing)")
+  in
+  let attribution =
+    Arg.(value & opt (some (int_at_least 1 "--attribution")) None
+         & info [ "attribution" ] ~docv:"K"
+             ~doc:
+               "print the $(docv) hottest gates by switched capacitance and \
+                the per-group rollup (scalar reference replay)")
+  in
+  let run_report =
+    Arg.(value & opt (some string) None
+         & info [ "run-report" ] ~docv:"FILE"
+             ~doc:
+               "write a JSON run-provenance record (engine used, fallback \
+                hops, guard trips, fault counters, seed, convergence tail, \
+                wall time) to $(docv); implies telemetry")
+  in
   Cmd.v (Cmd.info "estimate" ~doc:"Power-estimate a generated RT module")
     Term.(const estimate $ circuit $ width $ cycles $ stream $ seed $ engine $ jobs
-          $ profile $ telemetry_json $ deadline $ node_limit $ max_retries)
+          $ profile $ telemetry_json $ deadline $ node_limit $ max_retries
+          $ trace_out $ attribution $ run_report)
 
 (* --- bus-encode --- *)
 

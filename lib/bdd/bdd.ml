@@ -126,7 +126,18 @@ let rec cofactor m f ~var:v value =
         and h = cofactor m high ~var:v value in
         mk m var l h
 
+let node_count m = Hashtbl.length m.unique
+
 let quantify combine m vars f =
+  (* top-level span only (one per quantification, not per variable): the
+     node-count argument is read at span begin, so a blowup shows as a
+     long span starting from a small table *)
+  Hlp_util.Trace.span
+    ~args:(fun () ->
+      [ ("vars", Hlp_util.Json.Int (List.length vars));
+        ("nodes", Hlp_util.Json.Int (node_count m)) ])
+    "bdd.quantify"
+  @@ fun () ->
   let vars = List.sort_uniq compare vars in
   List.fold_left
     (fun acc v ->
@@ -148,6 +159,14 @@ let rec compose m f ~var:v g =
       else
         let l = compose m low ~var:v g and h = compose m high ~var:v g in
         ite m (var m fv) h l
+
+(* spanned shadow of the recursive worker above: one span per top-level
+   substitution, never per recursion step *)
+let compose m f ~var g =
+  Hlp_util.Trace.span
+    ~args:(fun () -> [ ("nodes", Hlp_util.Json.Int (node_count m)) ])
+    "bdd.compose"
+    (fun () -> compose m f ~var g)
 
 let rename m map f =
   let memo = Hashtbl.create 64 in
@@ -255,9 +274,13 @@ let pick_sat f =
   in
   go [] f
 
-let node_count m = Hashtbl.length m.unique
-
 let of_netlist_all ?(order = fun k -> k) ?override m (net : Hlp_logic.Netlist.t) =
+  Hlp_util.Trace.span
+    ~args:(fun () ->
+      [ ("gates", Hlp_util.Json.Int (Hlp_logic.Netlist.num_nodes net));
+        ("nodes_before", Hlp_util.Json.Int (node_count m)) ])
+    "bdd.of_netlist_all"
+  @@ fun () ->
   let open Hlp_logic in
   let n = Netlist.num_nodes net in
   let funcs = Array.make n (Leaf false) in
@@ -303,6 +326,9 @@ let of_netlist_all ?(order = fun k -> k) ?override m (net : Hlp_logic.Netlist.t)
       | Gate.Nor _ | Gate.Xor | Gate.Xnor | Gate.Mux | Gate.Dff ->
           funcs.(i) <- apply_override i funcs.(i))
     net.Netlist.nodes;
+  Hlp_util.Trace.instant
+    ~args:(fun () -> [ ("nodes", Hlp_util.Json.Int (node_count m)) ])
+    "bdd.nodes_after_build";
   funcs
 
 let of_netlist ?order m net =

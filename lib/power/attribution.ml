@@ -1,0 +1,154 @@
+open Hlp_logic
+
+type entry = {
+  node : int;
+  kind : string;
+  group : string;
+  toggles : int;
+  node_cap : float;
+  switched : float;
+  share : float;
+}
+
+type group_row = {
+  group : string;
+  g_switched : float;
+  g_share : float;
+  g_nodes : int;
+}
+
+type t = {
+  entries : entry array;
+  groups : group_row list;
+  total : float;
+  cycles : int;
+}
+
+let of_counts ?group net ~toggles ~cycles =
+  let n = Netlist.num_nodes net in
+  if Array.length toggles <> n then
+    raise
+      (Hlp_util.Err.invalid_input ~what:"Attribution.of_counts: toggles"
+         (Printf.sprintf "%d counts for a %d-node netlist"
+            (Array.length toggles) n));
+  let group =
+    match group with
+    | Some g -> g
+    | None -> fun i -> Gate.name net.Netlist.nodes.(i).Netlist.kind
+  in
+  let caps = Netlist.node_capacitance net in
+  (* ascending-index sum of toggles * cap: the same expression, in the same
+     order, as [Funcsim.switched_capacitance_of] with a full mask, so the
+     attribution total IS the replay total (not merely close to it) *)
+  let total = ref 0.0 in
+  let switched = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    switched.(i) <- float_of_int toggles.(i) *. caps.(i);
+    total := !total +. switched.(i)
+  done;
+  let total = !total in
+  let share v = if total > 0.0 then v /. total else 0.0 in
+  let entries =
+    Array.init n (fun i ->
+        { node = i;
+          kind = Gate.name net.Netlist.nodes.(i).Netlist.kind;
+          group = group i;
+          toggles = toggles.(i);
+          node_cap = caps.(i);
+          switched = switched.(i);
+          share = share switched.(i) })
+  in
+  Array.sort
+    (fun a b ->
+      match compare b.switched a.switched with
+      | 0 -> compare a.node b.node
+      | c -> c)
+    entries;
+  let tbl : (string, float ref * int ref) Hashtbl.t = Hashtbl.create 16 in
+  Array.iter
+    (fun (e : entry) ->
+      match Hashtbl.find_opt tbl e.group with
+      | Some (s, c) ->
+          s := !s +. e.switched;
+          incr c
+      | None -> Hashtbl.add tbl e.group (ref e.switched, ref 1))
+    entries;
+  let groups =
+    Hashtbl.fold
+      (fun g (s, c) acc ->
+        { group = g; g_switched = !s; g_share = share !s; g_nodes = !c } :: acc)
+      tbl []
+  in
+  let groups =
+    List.sort
+      (fun a b ->
+        match compare b.g_switched a.g_switched with
+        | 0 -> compare a.group b.group
+        | c -> c)
+      groups
+  in
+  { entries; groups; total; cycles }
+
+let profile ?group net ~vector ~n =
+  if n < 1 then
+    raise
+      (Hlp_util.Err.invalid_input ~what:"Attribution.profile: n"
+         "need at least one cycle");
+  Hlp_util.Trace.span
+    ~args:(fun () ->
+      [ ("nodes", Hlp_util.Json.Int (Netlist.num_nodes net));
+        ("cycles", Hlp_util.Json.Int n) ])
+    "attribution.profile"
+  @@ fun () ->
+  let sim = Hlp_sim.Funcsim.create net in
+  Hlp_sim.Funcsim.run sim vector n;
+  of_counts ?group net ~toggles:(Hlp_sim.Funcsim.toggle_counts sim) ~cycles:n
+
+let top t k =
+  let k = max 0 (min k (Array.length t.entries)) in
+  Array.to_list (Array.sub t.entries 0 k)
+
+let report ?(top_k = 20) t =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b
+    "switched-capacitance attribution: %d nodes, %d cycles, total %.6g\n"
+    (Array.length t.entries) t.cycles t.total;
+  Printf.bprintf b "  %-5s %-6s %-16s %-10s %10s %12s %7s\n" "rank" "node"
+    "group" "kind" "toggles" "switched" "share";
+  List.iteri
+    (fun r e ->
+      Printf.bprintf b "  %-5d %-6d %-16s %-10s %10d %12.6g %6.2f%%\n" (r + 1)
+        e.node e.group e.kind e.toggles e.switched (100.0 *. e.share))
+    (top t top_k);
+  Printf.bprintf b "  by group:\n";
+  List.iter
+    (fun g ->
+      Printf.bprintf b "  %-16s %4d nodes %12.6g %6.2f%%\n" g.group g.g_nodes
+        g.g_switched (100.0 *. g.g_share))
+    t.groups;
+  Buffer.contents b
+
+let json_value ?(top_k = 20) t =
+  let open Hlp_util.Json in
+  let entry e =
+    Obj
+      [ ("node", Int e.node);
+        ("kind", Str e.kind);
+        ("group", Str e.group);
+        ("toggles", Int e.toggles);
+        ("node_cap", Float e.node_cap);
+        ("switched", Float e.switched);
+        ("share", Float e.share) ]
+  in
+  let grp g =
+    Obj
+      [ ("group", Str g.group);
+        ("nodes", Int g.g_nodes);
+        ("switched", Float g.g_switched);
+        ("share", Float g.g_share) ]
+  in
+  Obj
+    [ ("cycles", Int t.cycles);
+      ("total", Float t.total);
+      ("top", List (List.map entry (top t top_k)));
+      ("groups", List (List.map grp t.groups)) ]

@@ -1,0 +1,70 @@
+(** Per-gate switched-capacitance attribution: which nodes (and which
+    module groups) a design's power actually goes to.
+
+    The estimators in this library answer "how much"; attribution answers
+    "where". A profile replays a trace on the scalar reference simulator
+    ({!Hlp_sim.Funcsim}, the gate-level power reference) and charges each
+    node its effective capacitance per toggle, exactly as the simulator
+    does — so the per-node values sum to the replay's total switched
+    capacitance, and a grouped rollup (e.g. the Table I categories of
+    {!Hlp_rtl.Fir}, or {!Hlp_rtl.Module_energy}-style functional-unit
+    groups) partitions that total with nothing lost.
+
+    Grouping is a plain [int -> string] function over node ids, so any
+    layer can supply its own partition without this module depending on
+    it; the default groups by gate kind ({!Hlp_logic.Gate.name}). *)
+
+type entry = {
+  node : int;
+  kind : string;  (** gate kind name *)
+  group : string;
+  toggles : int;
+  node_cap : float;  (** effective capacitance switched per toggle *)
+  switched : float;  (** [node_cap * toggles] over the whole replay *)
+  share : float;  (** fraction of {!field-total} (0 when total is 0) *)
+}
+
+type group_row = {
+  group : string;
+  g_switched : float;
+  g_share : float;
+  g_nodes : int;  (** nodes in the group *)
+}
+
+type t = {
+  entries : entry array;  (** every node, hottest first *)
+  groups : group_row list;  (** rollup by group, hottest first *)
+  total : float;  (** sum of all [switched]; equals the replay total *)
+  cycles : int;
+}
+
+val of_counts :
+  ?group:(int -> string) ->
+  Hlp_logic.Netlist.t ->
+  toggles:int array ->
+  cycles:int ->
+  t
+(** Attribute from raw per-node toggle counts (as returned by
+    {!Hlp_sim.Funcsim.toggle_counts}), without re-simulating. [toggles]
+    must have one entry per netlist node. *)
+
+val profile :
+  ?group:(int -> string) ->
+  Hlp_logic.Netlist.t ->
+  vector:(int -> bool array) ->
+  n:int ->
+  t
+(** Replay [n] cycles of [vector] on a fresh scalar simulator and
+    attribute the switched capacitance. [n >= 1]; raises the typed
+    [Invalid_input] otherwise. *)
+
+val top : t -> int -> entry list
+(** The [k] hottest nodes (fewer if the design is smaller). *)
+
+val report : ?top_k:int -> t -> string
+(** Human-readable hotspot table: the [top_k] (default 20) hottest nodes
+    followed by the per-group rollup. *)
+
+val json_value : ?top_k:int -> t -> Hlp_util.Json.t
+(** Machine-readable form of {!report}: [{"cycles", "total",
+    "top": [...], "groups": [...]}]. *)

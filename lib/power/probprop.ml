@@ -80,6 +80,15 @@ let tel_symbolic_fallbacks = Hlp_util.Telemetry.counter "probprop.symbolic_fallb
 let symbolic ?(input_prob = fun _ -> 0.5) ?node_limit net =
   require_combinational ~what:"Probprop.symbolic: netlist" net;
   Hlp_util.Telemetry.incr tel_symbolic_runs;
+  Hlp_util.Trace.span
+    ~args:(fun () ->
+      [ ("gates", Hlp_util.Json.Int (Netlist.num_nodes net));
+        ("node_limit",
+         match node_limit with
+         | Some l -> Hlp_util.Json.Int l
+         | None -> Hlp_util.Json.Null) ])
+    "probprop.symbolic"
+  @@ fun () ->
   let m = Hlp_bdd.Bdd.manager ?node_limit () in
   let order = Hlp_bdd.Bdd.first_use_order net in
   (* the budgeted part: global BDDs for every node (exponential worst case) *)
@@ -107,6 +116,7 @@ type monte_carlo = {
   half_interval : float;
   cycles_used : int;
   batches : int;
+  batch_means : float array;
 }
 
 (* Convergence telemetry: one observation per stopping-rule evaluation, so
@@ -160,6 +170,7 @@ let monte_carlo_bitparallel ~batch ~relative_precision ~max_cycles ~seed ~engine
     half_interval = ci_half_width means;
     cycles_used = r.Hlp_sim.Parsim.cycles;
     batches = Array.length means;
+    batch_means = means;
   }
 
 let monte_carlo ?(batch = 30) ?(relative_precision = 0.05) ?(max_cycles = 100_000)
@@ -182,9 +193,16 @@ let monte_carlo ?(batch = 30) ?(relative_precision = 0.05) ?(max_cycles = 100_00
   let prev_cap = ref 0.0 in
   let rec go k =
     Hlp_util.Guard.check ~where:"probprop.monte_carlo" guard;
-    for _ = 1 to batch do
-      Hlp_sim.Funcsim.step sim (Array.init nin (fun _ -> Hlp_util.Prng.bool rng))
-    done;
+    Hlp_util.Trace.span
+      ~args:(fun () ->
+        [ ("batch", Hlp_util.Json.Int k);
+          ("cycles", Hlp_util.Json.Int batch) ])
+      "probprop.mc_batch"
+      (fun () ->
+        for _ = 1 to batch do
+          Hlp_sim.Funcsim.step sim
+            (Array.init nin (fun _ -> Hlp_util.Prng.bool rng))
+        done);
     cycles := !cycles + batch;
     let cap = Hlp_sim.Funcsim.switched_capacitance sim in
     batch_means := ((cap -. !prev_cap) /. float_of_int batch) :: !batch_means;
@@ -200,7 +218,12 @@ let monte_carlo ?(batch = 30) ?(relative_precision = 0.05) ?(max_cycles = 100_00
       if (m > 0.0 && half /. m <= relative_precision) || !cycles >= max_cycles then begin
         Hlp_util.Telemetry.add tel_batches k;
         Hlp_util.Telemetry.add tel_mc_cycles !cycles;
-        { estimate = m; half_interval = half; cycles_used = !cycles; batches = k }
+        { estimate = m;
+          half_interval = half;
+          cycles_used = !cycles;
+          batches = k;
+          (* !batch_means is newest-first; the record is chronological *)
+          batch_means = Array.of_list (List.rev !batch_means) }
       end
       else go (k + 1)
     end
@@ -212,20 +235,130 @@ let monte_carlo ?(batch = 30) ?(relative_precision = 0.05) ?(max_cycles = 100_00
 
 type estimator = Symbolic | Monte_carlo of monte_carlo
 
+type provenance = {
+  estimator_used : string;
+  engine : string option;
+  symbolic_fallback : bool;
+  engine_fallbacks : int;
+  seed : int;
+  batches : int;
+  cycles_used : int;
+  half_interval : float option;
+  convergence_tail : float array;
+  guard_deadline_trips : int;
+  guard_cancel_trips : int;
+  worker_failures : int;
+  shard_retries : int;
+  faults_injected : (string * int) list;
+  counters_live : bool;
+  wall_time_s : float;
+}
+
 type guarded = {
   capacitance : float;
   estimator : estimator;
   engine_used : Hlp_sim.Engine.t option;
   symbolic_fallback : bool;
   engine_fallbacks : int;
+  provenance : provenance;
 }
 
+let provenance_json p =
+  let open Hlp_util.Json in
+  Obj
+    [ ("estimator", Str p.estimator_used);
+      ("engine", match p.engine with Some e -> Str e | None -> Null);
+      ("symbolic_fallback", Bool p.symbolic_fallback);
+      ("engine_fallbacks", Int p.engine_fallbacks);
+      ("seed", Int p.seed);
+      ("batches", Int p.batches);
+      ("cycles_used", Int p.cycles_used);
+      ("half_interval",
+       match p.half_interval with Some h -> Float h | None -> Null);
+      ("convergence_tail",
+       List (Array.to_list (Array.map (fun x -> Float x) p.convergence_tail)));
+      ("guard_trips",
+       Obj
+         [ ("deadline", Int p.guard_deadline_trips);
+           ("cancel", Int p.guard_cancel_trips) ]);
+      ("worker_failures", Int p.worker_failures);
+      ("shard_retries", Int p.shard_retries);
+      ("faults_injected",
+       Obj (List.map (fun (n, c) -> (n, Int c)) p.faults_injected));
+      ("counters_live", Bool p.counters_live);
+      ("wall_time_s", Float p.wall_time_s) ]
+
 let default_node_limit = 200_000
+
+(* how many trailing batch means the provenance record keeps: enough to see
+   whether the stopping rule was coasting or still moving, small enough to
+   keep run reports compact *)
+let tail_len = 8
 
 let estimate_guarded ?(guard = Hlp_util.Guard.unlimited)
     ?(node_limit = default_node_limit) ?input_prob ?batch ?relative_precision
     ?max_cycles ?(seed = 47) ?(engine = Hlp_sim.Engine.Bitparallel) ?jobs
     ?max_retries net =
+  (* provenance baselines: counter deltas isolate this estimate's share of
+     the process-wide counters. Telemetry counters only move while the
+     telemetry switch is on, so the record carries [counters_live] to say
+     whether the deltas are meaningful; fault-injection counters are
+     independent of that switch. *)
+  let t0 = Hlp_util.Clock.now_s () in
+  let read name = Hlp_util.Telemetry.count (Hlp_util.Telemetry.counter name) in
+  let deadline0 = read "guard.deadline_trips"
+  and cancel0 = read "guard.cancel_trips"
+  and failures0 = read "parsim.worker_failures"
+  and retries0 = read "parsim.shard_retries" in
+  let fired0 =
+    List.map
+      (fun p -> (p, Hlp_util.Faultinject.fired p))
+      Hlp_util.Faultinject.all_points
+  in
+  let finish ~capacitance ~estimator ~engine_used ~symbolic_fallback
+      ~engine_fallbacks =
+    let batches, cycles_used, half_interval, convergence_tail =
+      match estimator with
+      | Symbolic -> (0, 0, None, [||])
+      | Monte_carlo mc ->
+          let n = Array.length mc.batch_means in
+          let k = min tail_len n in
+          ( mc.batches,
+            mc.cycles_used,
+            Some mc.half_interval,
+            Array.sub mc.batch_means (n - k) k )
+    in
+    let provenance =
+      { estimator_used =
+          (match estimator with
+          | Symbolic -> "symbolic"
+          | Monte_carlo _ -> "monte_carlo");
+        engine = Option.map Hlp_sim.Engine.to_string engine_used;
+        symbolic_fallback;
+        engine_fallbacks;
+        seed;
+        batches;
+        cycles_used;
+        half_interval;
+        convergence_tail;
+        guard_deadline_trips = read "guard.deadline_trips" - deadline0;
+        guard_cancel_trips = read "guard.cancel_trips" - cancel0;
+        worker_failures = read "parsim.worker_failures" - failures0;
+        shard_retries = read "parsim.shard_retries" - retries0;
+        faults_injected =
+          List.filter_map
+            (fun (p, n0) ->
+              let d = Hlp_util.Faultinject.fired p - n0 in
+              if d > 0 then Some (Hlp_util.Faultinject.point_name p, d)
+              else None)
+            fired0;
+        counters_live = Hlp_util.Telemetry.enabled ();
+        wall_time_s = Hlp_util.Clock.now_s () -. t0 }
+    in
+    { capacitance; estimator; engine_used; symbolic_fallback; engine_fallbacks;
+      provenance }
+  in
+  Hlp_util.Trace.span "probprop.estimate_guarded" @@ fun () ->
   Hlp_util.Guard.run guard @@ fun guard ->
   (* stage 1: exact symbolic propagation under a BDD node budget.
      Sequential netlists skip straight to sampling (the closed form needs
@@ -238,15 +371,15 @@ let estimate_guarded ?(guard = Hlp_util.Guard.unlimited)
       | stats -> (Some (estimate_capacitance net stats), false)
       | exception Hlp_util.Err.Error (Hlp_util.Err.Budget_exceeded _) ->
           Hlp_util.Telemetry.incr tel_symbolic_fallbacks;
+          Hlp_util.Trace.instant
+            ~args:(fun () -> [ ("node_limit", Hlp_util.Json.Int node_limit) ])
+            "probprop.symbolic_budget_trip";
           (None, true)
   in
   match symbolic_cap with
   | Some cap ->
-      { capacitance = cap;
-        estimator = Symbolic;
-        engine_used = None;
-        symbolic_fallback = false;
-        engine_fallbacks = 0 }
+      finish ~capacitance:cap ~estimator:Symbolic ~engine_used:None
+        ~symbolic_fallback:false ~engine_fallbacks:0
   | None -> (
       Hlp_util.Guard.check ~where:"probprop.fallback" guard;
       (* stage 2: Monte Carlo sampling behind the engine degradation
@@ -258,9 +391,8 @@ let estimate_guarded ?(guard = Hlp_util.Guard.unlimited)
               ?jobs ?max_retries ~guard net)
       with
       | Ok d ->
-          { capacitance = d.Hlp_sim.Parsim.value.estimate;
-            estimator = Monte_carlo d.Hlp_sim.Parsim.value;
-            engine_used = Some d.Hlp_sim.Parsim.engine_used;
-            symbolic_fallback;
-            engine_fallbacks = d.Hlp_sim.Parsim.fallbacks }
+          finish ~capacitance:d.Hlp_sim.Parsim.value.estimate
+            ~estimator:(Monte_carlo d.Hlp_sim.Parsim.value)
+            ~engine_used:(Some d.Hlp_sim.Parsim.engine_used) ~symbolic_fallback
+            ~engine_fallbacks:d.Hlp_sim.Parsim.fallbacks
       | Error e -> raise (Hlp_util.Err.Error e))

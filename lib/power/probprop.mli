@@ -52,6 +52,9 @@ type monte_carlo = {
           (df = batches - 1) *)
   cycles_used : int;
   batches : int;
+  batch_means : float array;
+      (** per-batch mean switched capacitance, in batch order — the full
+          convergence trajectory (the provenance record keeps its tail) *)
 }
 
 val monte_carlo :
@@ -108,6 +111,33 @@ val monte_carlo :
 
 type estimator = Symbolic | Monte_carlo of monte_carlo
 
+type provenance = {
+  estimator_used : string;  (** ["symbolic"] or ["monte_carlo"] *)
+  engine : string option;  (** sampling engine name, if sampled *)
+  symbolic_fallback : bool;
+  engine_fallbacks : int;
+  seed : int;
+  batches : int;  (** 0 for symbolic estimates *)
+  cycles_used : int;
+  half_interval : float option;
+  convergence_tail : float array;
+      (** the last (up to 8) batch means, chronological *)
+  guard_deadline_trips : int;
+      (** deltas of the process-wide telemetry counters over this estimate;
+          meaningful only when [counters_live] *)
+  guard_cancel_trips : int;
+  worker_failures : int;
+  shard_retries : int;
+  faults_injected : (string * int) list;
+      (** injection points that fired during this estimate, with counts
+          (tracked independently of the telemetry switch) *)
+  counters_live : bool;  (** telemetry was enabled, so deltas are real *)
+  wall_time_s : float;  (** monotonic wall time of the whole estimate *)
+}
+
+val provenance_json : provenance -> Hlp_util.Json.t
+(** The record as a JSON object — the CLI's [--run-report] payload. *)
+
 type guarded = {
   capacitance : float;  (** estimated switched capacitance per cycle *)
   estimator : estimator;
@@ -115,6 +145,9 @@ type guarded = {
   symbolic_fallback : bool;
       (** the symbolic stage was attempted and tripped its node budget *)
   engine_fallbacks : int;  (** engine-degradation hops inside sampling *)
+  provenance : provenance;
+      (** how this number was produced: engine, fallback hops, guard trips,
+          fault counters, seed, convergence tail, wall time *)
 }
 
 val default_node_limit : int

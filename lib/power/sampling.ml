@@ -41,6 +41,12 @@ let of_arrays_checked ~macro_values ~gate_values =
 
 let prepare ?(engine = Hlp_sim.Engine.Scalar) ?jobs model dut traces =
   Hlp_util.Telemetry.time tel_prepare_time @@ fun () ->
+  Hlp_util.Trace.span
+    ~args:(fun () ->
+      [ ("engine", Hlp_util.Json.Str (Hlp_sim.Engine.to_string engine));
+        ("streams", Hlp_util.Json.Int (List.length traces)) ])
+    "sampling.prepare"
+  @@ fun () ->
   let n =
     match traces with
     | [] ->
@@ -101,6 +107,10 @@ let prepare ?(engine = Hlp_sim.Engine.Scalar) ?jobs model dut traces =
     else v
   in
   let macro_values =
+    Hlp_util.Trace.span
+      ~args:(fun () -> [ ("transitions", Hlp_util.Json.Int (n - 1)) ])
+      "sampling.macro_eval"
+    @@ fun () ->
     match engine with
     | Hlp_sim.Engine.Parallel ->
         (* windows are per-transition independent and slot-addressed, so

@@ -159,6 +159,11 @@ let build ?(taps = default_taps) ~width ~constant_mult () =
 let mask design cat =
   Array.map (fun c -> c = Some cat) design.category_of
 
+let attribution_group design i =
+  match design.category_of.(i) with
+  | Some cat -> category_name cat
+  | None -> "inputs"
+
 type row = { category : category; switched : float; share : float }
 
 type table = { rows : row list; total : float }

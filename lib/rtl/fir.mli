@@ -32,6 +32,11 @@ val mask : design -> category -> bool array
 (** Node mask selecting a category, for
     {!Hlp_sim.Funcsim.switched_capacitance_of}. *)
 
+val attribution_group : design -> int -> string
+(** Grouping function for {!Hlp_power.Attribution}-style per-module
+    rollups: the node's Table I category name, or ["inputs"] for untagged
+    nodes (primary inputs). *)
+
 type row = { category : category; switched : float; share : float }
 
 type table = { rows : row list; total : float }

@@ -56,7 +56,7 @@ let map ?jobs ?(max_retries = 2) n f =
        position-determined and independent of the worker count and of
        scheduling. A raising shard is contained: its exception is recorded,
        the worker moves on, and every other shard still completes. *)
-    let round indices =
+    let round ~attempt indices =
       let k = Array.length indices in
       let next = Atomic.make 0 in
       let worker () =
@@ -65,10 +65,19 @@ let map ?jobs ?(max_retries = 2) n f =
           let j = Atomic.fetch_and_add next 1 in
           if j < k then begin
             let i = indices.(j) in
+            (* span per shard attempt: in the merged trace, each worker
+               domain's track shows exactly which shards it pulled, and a
+               retried shard appears again with attempt > 1 *)
             (match
-               (* fault-injection point: this worker domain dying at pickup *)
-               Hlp_util.Faultinject.trip Hlp_util.Faultinject.Domain_kill;
-               f i
+               Hlp_util.Trace.span
+                 ~args:(fun () ->
+                   [ ("shard", Hlp_util.Json.Int i);
+                     ("attempt", Hlp_util.Json.Int attempt) ])
+                 "parsim.shard"
+                 (fun () ->
+                   (* fault-injection point: this worker dying at pickup *)
+                   Hlp_util.Faultinject.trip Hlp_util.Faultinject.Domain_kill;
+                   f i)
              with
             | v ->
                 results.(i) <- Some v;
@@ -76,6 +85,11 @@ let map ?jobs ?(max_retries = 2) n f =
                 Stdlib.incr mine
             | exception e ->
                 Hlp_util.Telemetry.incr tel_worker_failures;
+                Hlp_util.Trace.instant
+                  ~args:(fun () ->
+                    [ ("shard", Hlp_util.Json.Int i);
+                      ("why", Hlp_util.Json.Str (Printexc.to_string e)) ])
+                  "parsim.shard_failed";
                 failed.(i) <- Some e);
             go ()
           end
@@ -90,7 +104,7 @@ let map ?jobs ?(max_retries = 2) n f =
       worker ();
       Array.iter Domain.join domains
     in
-    round (Array.init n Fun.id);
+    round ~attempt:1 (Array.init n Fun.id);
     (* failed shards are retried on fresh domains with bounded exponential
        backoff; [f] is deterministic per index, so a retried shard that
        succeeds yields exactly the value the clean run would have *)
@@ -101,8 +115,14 @@ let map ?jobs ?(max_retries = 2) n f =
       in
       if Array.length pending > 0 && attempt <= max_retries then begin
         Hlp_util.Telemetry.add tel_shard_retries (Array.length pending);
-        Unix.sleepf (backoff_base_s *. float_of_int (1 lsl (attempt - 1)));
-        round pending;
+        Hlp_util.Trace.span
+          ~args:(fun () ->
+            [ ("pending", Hlp_util.Json.Int (Array.length pending));
+              ("attempt", Hlp_util.Json.Int attempt) ])
+          "parsim.retry_backoff"
+          (fun () ->
+            Unix.sleepf (backoff_base_s *. float_of_int (1 lsl (attempt - 1))));
+        round ~attempt:(attempt + 1) pending;
         retry (attempt + 1)
       end
     in
@@ -198,6 +218,12 @@ let replay ?jobs ?max_retries ~engine net ~vector ~n =
   Hlp_util.Telemetry.incr tel_replays;
   Hlp_util.Telemetry.add tel_replay_cycles n;
   Hlp_util.Telemetry.time tel_replay_time @@ fun () ->
+  Hlp_util.Trace.span
+    ~args:(fun () ->
+      [ ("engine", Hlp_util.Json.Str (Engine.to_string engine));
+        ("cycles", Hlp_util.Json.Int n) ])
+    "parsim.replay"
+  @@ fun () ->
   match (engine : Engine.t) with
   | Engine.Scalar -> replay_scalar net ~vector ~n
   | Engine.Bitparallel | Engine.Parallel ->
@@ -261,12 +287,29 @@ let with_degradation ~what ~guard ~engine f =
     | [] -> assert false
     | e :: rest -> (
         Hlp_util.Guard.check ~where:what guard;
-        match f e with
+        match
+          (* one span per engine attempt: a degraded run shows the chain of
+             attempts side by side, each hop marked by a fallback instant *)
+          Hlp_util.Trace.span
+            ~args:(fun () ->
+              [ ("what", Hlp_util.Json.Str what);
+                ("engine", Hlp_util.Json.Str (Engine.to_string e));
+                ("fallbacks", Hlp_util.Json.Int fallbacks) ])
+            "parsim.engine_attempt"
+            (fun () -> f e)
+        with
         | v -> { value = v; engine_used = e; fallbacks }
         | exception exn ->
             if propagates exn then raise exn
             else if rest <> [] then begin
               Hlp_util.Telemetry.incr tel_engine_fallbacks;
+              Hlp_util.Trace.instant
+                ~args:(fun () ->
+                  [ ("from", Hlp_util.Json.Str (Engine.to_string e));
+                    ("to",
+                     Hlp_util.Json.Str (Engine.to_string (List.hd rest)));
+                    ("why", Hlp_util.Json.Str (Printexc.to_string exn)) ])
+                "parsim.engine_fallback";
               go (fallbacks + 1) rest
             end
             else begin
@@ -328,8 +371,14 @@ let monte_carlo_units ?jobs ?max_retries ~engine net ~batch ~seed ~stop =
   let caps = Netlist.node_capacitance net in
   let rec go acc nunits =
     let fresh =
-      map ?jobs ?max_retries round
-        (fun r -> mc_unit net ~caps ~batch ~seed (nunits + r))
+      Hlp_util.Trace.span
+        ~args:(fun () ->
+          [ ("units_done", Hlp_util.Json.Int nunits);
+            ("round", Hlp_util.Json.Int round) ])
+        "parsim.mc_round"
+        (fun () ->
+          map ?jobs ?max_retries round
+            (fun r -> mc_unit net ~caps ~batch ~seed (nunits + r)))
     in
     Hlp_util.Telemetry.add tel_mc_units round;
     let acc = acc @ Array.to_list fresh in

@@ -1,0 +1,17 @@
+external monotonic_ns : unit -> (int64[@unboxed])
+  = "hlp_clock_monotonic_ns_byte" "hlp_clock_monotonic_ns"
+[@@noalloc]
+
+let monotonic_s () = Int64.to_float (monotonic_ns ()) *. 1e-9
+
+(* The source indirection exists solely so tests can inject a
+   deterministic (or deliberately misbehaving) clock; production code
+   always reads the monotonic stub through it. *)
+let source = Atomic.make monotonic_s
+
+let now_s () = (Atomic.get source) ()
+
+let with_source fake f =
+  let prev = Atomic.get source in
+  Atomic.set source fake;
+  Fun.protect ~finally:(fun () -> Atomic.set source prev) f

@@ -1,0 +1,26 @@
+(** Monotonic time for every timer, deadline, and trace timestamp in the
+    toolkit.
+
+    [Unix.gettimeofday] is wall-clock time: an NTP step mid-run makes
+    timer spans negative and deadline guards trip (or never trip)
+    spuriously. Everything that measures {e durations} — {!Telemetry}
+    timers, {!Guard} deadlines, {!Trace} span timestamps — reads this
+    module instead, which binds [clock_gettime(CLOCK_MONOTONIC)].
+
+    The epoch is arbitrary (typically boot time): values are only
+    meaningful as differences. *)
+
+val monotonic_ns : unit -> int64
+(** Raw monotonic reading in nanoseconds. Never decreases. *)
+
+val now_s : unit -> float
+(** Seconds from the current source (the monotonic clock, unless a test
+    injected one with {!with_source}). This is the reading every timer
+    and deadline in the toolkit uses. *)
+
+val with_source : (unit -> float) -> (unit -> 'a) -> 'a
+(** [with_source fake f] runs [f] with {!now_s} reading [fake] instead of
+    the monotonic clock, restoring the real clock afterwards (also on
+    exceptions). For tests only: lets a regression test replay an NTP
+    step or drive a deadline deterministically. Process-global — do not
+    use from concurrent domains. *)

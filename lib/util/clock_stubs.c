@@ -1,0 +1,26 @@
+/* Monotonic clock binding: OCaml's Unix module only exposes
+   gettimeofday (wall clock), which steps under NTP corrections and can
+   make timer spans negative or trip deadlines spuriously.  POSIX
+   CLOCK_MONOTONIC never steps backwards. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+#include <stdint.h>
+
+int64_t hlp_clock_monotonic_ns(value unit)
+{
+  struct timespec ts;
+#ifdef CLOCK_MONOTONIC
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  (void)unit;
+  return (int64_t)ts.tv_sec * INT64_C(1000000000) + (int64_t)ts.tv_nsec;
+}
+
+CAMLprim value hlp_clock_monotonic_ns_byte(value unit)
+{
+  return caml_copy_int64(hlp_clock_monotonic_ns(unit));
+}

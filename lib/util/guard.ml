@@ -5,8 +5,8 @@ let cancel tk = Atomic.set tk.flag true
 let is_cancelled tk = Atomic.get tk.flag
 
 type t = {
-  deadline_s : float option;  (* wall-clock budget, relative to [start] *)
-  start : float;
+  deadline_s : float option;  (* elapsed-time budget, relative to [start] *)
+  start : float;  (* monotonic (Clock.now_s) at creation *)
   tok : token option;
 }
 
@@ -19,11 +19,13 @@ let create ?deadline_s ?token () =
       raise (Err.invalid_input ~what:"Guard.create: deadline_s"
                "must be a finite non-negative number of seconds")
   | _ -> ());
-  { deadline_s; start = Unix.gettimeofday (); tok = token }
+  (* monotonic, not gettimeofday: an NTP step during the run must not
+     consume (or extend) the budget *)
+  { deadline_s; start = Clock.now_s (); tok = token }
 
 let unlimited = { deadline_s = None; start = 0.0; tok = None }
 
-let elapsed_s g = Unix.gettimeofday () -. g.start
+let elapsed_s g = Clock.now_s () -. g.start
 
 let remaining_s g =
   Option.map (fun limit -> limit -. elapsed_s g) g.deadline_s

@@ -6,7 +6,8 @@
     guard raises the corresponding typed {!Err.Error}
     ([Deadline_exceeded] / [Cancelled]), which the [*_guarded] entry
     points turn into a [result]. Checks are cheap (one [Atomic.get] plus,
-    with a deadline, one [gettimeofday]) so they can sit inside per-batch
+    with a deadline, one monotonic {!Clock} read — never [gettimeofday],
+    so an NTP step cannot trip a deadline) and sit inside per-batch
     loops without measurable cost; they are {e cooperative} — a deadline
     fires at the next check, not preemptively, so granularity is one batch
     or shard, never mid-gate.

@@ -1,0 +1,269 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let float_repr x = if Float.is_finite x then Printf.sprintf "%.9g" x else "null"
+
+(* Pretty-printing matches the historical bench/json_out.ml format exactly,
+   so regenerating a committed BENCH_*.json produces byte-stable diffs. *)
+let rec emit b ~indent v =
+  let pad n = String.make n ' ' in
+  match v with
+  | Null -> Buffer.add_string b "null"
+  | Bool x -> Buffer.add_string b (string_of_bool x)
+  | Int x -> Buffer.add_string b (string_of_int x)
+  | Float x -> Buffer.add_string b (float_repr x)
+  | Str s -> Buffer.add_string b (Printf.sprintf "\"%s\"" (escape s))
+  | List [] -> Buffer.add_string b "[]"
+  | List items ->
+      Buffer.add_string b "[";
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_string b ",";
+          Buffer.add_string b "\n";
+          Buffer.add_string b (pad (indent + 2));
+          emit b ~indent:(indent + 2) x)
+        items;
+      Buffer.add_string b "\n";
+      Buffer.add_string b (pad indent);
+      Buffer.add_string b "]"
+  | Obj [] -> Buffer.add_string b "{}"
+  | Obj fields ->
+      Buffer.add_string b "{";
+      List.iteri
+        (fun i (k, x) ->
+          if i > 0 then Buffer.add_string b ",";
+          Buffer.add_string b "\n";
+          Buffer.add_string b (pad (indent + 2));
+          Buffer.add_string b (Printf.sprintf "\"%s\": " (escape k));
+          emit b ~indent:(indent + 2) x)
+        fields;
+      Buffer.add_string b "\n";
+      Buffer.add_string b (pad indent);
+      Buffer.add_string b "}"
+
+let rec emit_compact b v =
+  match v with
+  | Null -> Buffer.add_string b "null"
+  | Bool x -> Buffer.add_string b (string_of_bool x)
+  | Int x -> Buffer.add_string b (string_of_int x)
+  | Float x -> Buffer.add_string b (float_repr x)
+  | Str s -> Buffer.add_string b (Printf.sprintf "\"%s\"" (escape s))
+  | List items ->
+      Buffer.add_string b "[";
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_string b ",";
+          emit_compact b x)
+        items;
+      Buffer.add_string b "]"
+  | Obj fields ->
+      Buffer.add_string b "{";
+      List.iteri
+        (fun i (k, x) ->
+          if i > 0 then Buffer.add_string b ",";
+          Buffer.add_string b (Printf.sprintf "\"%s\":" (escape k));
+          emit_compact b x)
+        fields;
+      Buffer.add_string b "}"
+
+let to_string ?(compact = false) v =
+  let b = Buffer.create 4096 in
+  if compact then emit_compact b v
+  else begin
+    emit b ~indent:0 v;
+    Buffer.add_string b "\n"
+  end;
+  Buffer.contents b
+
+let write ~path v =
+  let oc = open_out path in
+  output_string oc (to_string v);
+  close_out oc
+
+(* --- parser --- *)
+
+exception Parse_error of string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' -> Buffer.add_char b '"'; advance (); go ()
+          | Some '\\' -> Buffer.add_char b '\\'; advance (); go ()
+          | Some '/' -> Buffer.add_char b '/'; advance (); go ()
+          | Some 'n' -> Buffer.add_char b '\n'; advance (); go ()
+          | Some 't' -> Buffer.add_char b '\t'; advance (); go ()
+          | Some 'r' -> Buffer.add_char b '\r'; advance (); go ()
+          | Some 'b' -> Buffer.add_char b '\b'; advance (); go ()
+          | Some 'f' -> Buffer.add_char b '\012'; advance (); go ()
+          | Some 'u' ->
+              advance ();
+              if !pos + 4 > n then fail "truncated \\u escape";
+              let hex = String.sub s !pos 4 in
+              (match int_of_string_opt ("0x" ^ hex) with
+              | Some code when code < 128 -> Buffer.add_char b (Char.chr code)
+              | Some _ ->
+                  (* outside the subset we emit; keep the escape verbatim *)
+                  Buffer.add_string b ("\\u" ^ hex)
+              | None -> fail "bad \\u escape");
+              pos := !pos + 4;
+              go ()
+          | _ -> fail "bad escape")
+      | Some c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c when is_num_char c -> true | _ -> false) do
+      advance ()
+    done;
+    let tok = String.sub s start (!pos - start) in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') tok then
+      match float_of_string_opt tok with
+      | Some f -> Float f
+      | None -> fail "bad number"
+    else
+      match int_of_string_opt tok with
+      | Some i -> Int i
+      | None -> (
+          match float_of_string_opt tok with
+          | Some f -> Float f
+          | None -> fail "bad number")
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> Str (parse_string ())
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [ parse_value () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            items := parse_value () :: !items;
+            skip_ws ()
+          done;
+          expect ']';
+          List (List.rev !items)
+        end
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let fields = ref [ field () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            fields := field () :: !fields;
+            skip_ws ()
+          done;
+          expect '}';
+          Obj (List.rev !fields)
+        end
+    | Some _ -> parse_number ()
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing characters";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg
+
+(* --- accessors --- *)
+
+let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+
+let to_float_opt = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_int_opt = function Int i -> Some i | _ -> None
+let to_str_opt = function Str s -> Some s | _ -> None
+let to_list_opt = function List l -> Some l | _ -> None

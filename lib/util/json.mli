@@ -1,0 +1,52 @@
+(** One JSON representation for every machine-readable artifact the
+    toolkit emits — telemetry dumps, Chrome trace exports, run-provenance
+    reports, and the bench [BENCH_*.json] snapshots — plus a minimal
+    parser so tests and the bench regression gate can read those
+    artifacts back without an external dependency.
+
+    The emitter mirrors what the artifacts need and nothing more: UTF-8
+    strings pass through untouched (only quotes, backslashes, and control
+    characters are escaped), finite floats print as [%.9g], and non-finite
+    floats become [null] (JSON has no NaN/infinity). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** Body of a JSON string literal (no surrounding quotes). *)
+
+val float_repr : float -> string
+(** [%.9g] for finite floats, ["null"] otherwise. *)
+
+val to_string : ?compact:bool -> t -> string
+(** Serialize. Default is pretty-printed with two-space indent and a
+    trailing newline (the committed-artifact format); [~compact:true]
+    emits a single line with no spaces (the telemetry/trace format). *)
+
+val write : path:string -> t -> unit
+(** Pretty-print to a file. *)
+
+val parse : string -> (t, string) result
+(** Minimal recursive-descent parser for the subset this module emits
+    (standard JSON; numbers with a ['.'], ['e'], or ['E'] parse as
+    [Float], others as [Int]; no unicode unescaping beyond [\uXXXX] for
+    code points below 128). Intended for reading back our own artifacts,
+    not arbitrary hostile input. *)
+
+(** {1 Accessors} — tiny helpers for picking results apart in tests and
+    the bench regression gate. Each returns [None] on a type or key
+    mismatch. *)
+
+val member : string -> t -> t option
+val to_float_opt : t -> float option
+(** [Int]s widen to float. *)
+
+val to_int_opt : t -> int option
+val to_str_opt : t -> string option
+val to_list_opt : t -> t list option

@@ -47,13 +47,15 @@ let timer name =
   registered timers name (fun () ->
       { t_name = name; calls = Atomic.make 0; nanos = Atomic.make 0 })
 
+(* Durations come from the monotonic clock: a wall-clock (NTP) step
+   mid-span would otherwise charge a negative or wildly wrong duration. *)
 let time t f =
   if not (Atomic.get on) then f ()
   else begin
-    let t0 = Unix.gettimeofday () in
+    let t0 = Clock.now_s () in
     Fun.protect
       ~finally:(fun () ->
-        let dt = Unix.gettimeofday () -. t0 in
+        let dt = Clock.now_s () -. t0 in
         ignore (Atomic.fetch_and_add t.calls 1);
         ignore (Atomic.fetch_and_add t.nanos (int_of_float (dt *. 1e9))))
       f
@@ -112,55 +114,31 @@ let sorted_timers () =
 let sorted_series () =
   List.sort (fun a b -> compare a.s_name b.s_name) (sorted series_tbl)
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun ch ->
-      match ch with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+let json_value () =
+  Json.Obj
+    [ ("enabled", Json.Bool (enabled ()));
+      ( "counters",
+        Json.Obj
+          (List.map (fun c -> (c.c_name, Json.Int (count c))) (sorted_counters ())) );
+      ( "timers",
+        Json.Obj
+          (List.map
+             (fun t ->
+               let calls, secs = timer_stats t in
+               ( t.t_name,
+                 Json.Obj [ ("calls", Json.Int calls); ("seconds", Json.Float secs) ] ))
+             (sorted_timers ())) );
+      ( "series",
+        Json.Obj
+          (List.map
+             (fun s ->
+               ( s.s_name,
+                 Json.List
+                   (Array.to_list
+                      (Array.map (fun x -> Json.Float x) (observations s))) ))
+             (sorted_series ())) ) ]
 
-let json_float x =
-  if Float.is_finite x then Printf.sprintf "%.9g" x else "null"
-
-let to_json () =
-  let b = Buffer.create 1024 in
-  let obj_fields fields =
-    List.iteri
-      (fun i (k, v) ->
-        if i > 0 then Buffer.add_string b ",";
-        Buffer.add_string b (Printf.sprintf "\"%s\":%s" (json_escape k) v))
-      fields
-  in
-  Buffer.add_string b "{";
-  Buffer.add_string b (Printf.sprintf "\"enabled\":%b," (enabled ()));
-  Buffer.add_string b "\"counters\":{";
-  obj_fields
-    (List.map (fun c -> (c.c_name, string_of_int (count c))) (sorted_counters ()));
-  Buffer.add_string b "},\"timers\":{";
-  obj_fields
-    (List.map
-       (fun t ->
-         let calls, secs = timer_stats t in
-         (t.t_name, Printf.sprintf "{\"calls\":%d,\"seconds\":%s}" calls (json_float secs)))
-       (sorted_timers ()));
-  Buffer.add_string b "},\"series\":{";
-  obj_fields
-    (List.map
-       (fun s ->
-         let xs = observations s in
-         ( s.s_name,
-           "["
-           ^ String.concat "," (Array.to_list (Array.map json_float xs))
-           ^ "]" ))
-       (sorted_series ()));
-  Buffer.add_string b "}}";
-  Buffer.contents b
+let to_json () = Json.to_string ~compact:true (json_value ())
 
 let print_report ?(oc = stdout) () =
   let p fmt = Printf.fprintf oc fmt in

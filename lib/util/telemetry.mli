@@ -74,6 +74,10 @@ val observations : series -> float array
 
 (** {1 Output} *)
 
+val json_value : unit -> Json.t
+(** The whole registry as a {!Json.t} value, for embedding into larger
+    reports (e.g. the run-provenance record). *)
+
 val to_json : unit -> string
 (** The whole registry as a JSON object:
     [{"enabled": bool,

@@ -1,0 +1,189 @@
+type phase = B | E | I
+
+type event = {
+  ph : phase;
+  name : string;  (* "" for E: ends match their begin by stack, not name *)
+  ts_ns : int64;
+  args : (string * Json.t) list;
+}
+
+let dummy = { ph = I; name = ""; ts_ns = 0L; args = [] }
+
+(* One buffer per domain, appended to only by its owning domain — the hot
+   begin/end path takes no lock. The registry collects every buffer ever
+   created (worker domains die at join; their events must survive them)
+   and is only locked at buffer creation and at flush. Flushing while
+   worker domains are still appending is benign but may observe a partial
+   tail; callers flush after joins, as documented. *)
+type buf = {
+  tid : int;
+  events : event array;
+  mutable len : int;
+  mutable depth : int;  (* spans begun AND recorded, not yet ended *)
+  mutable drop_depth : int;  (* open spans whose B was dropped *)
+  mutable dropped : int;
+}
+
+let on = Atomic.make false
+let enabled () = Atomic.get on
+
+let default_capacity = 65536
+let cap = Atomic.make default_capacity
+
+(* exported timestamps are relative to the first enable, so they fit
+   %.9g microseconds with sub-microsecond precision *)
+let epoch_ns = Atomic.make 0L
+
+let reg_lock = Mutex.create ()
+let buffers : buf list ref = ref []
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      let b =
+        { tid = (Domain.self () :> int);
+          events = Array.make (Atomic.get cap) dummy;
+          len = 0;
+          depth = 0;
+          drop_depth = 0;
+          dropped = 0 }
+      in
+      Mutex.lock reg_lock;
+      buffers := b :: !buffers;
+      Mutex.unlock reg_lock;
+      b)
+
+let enable ?(capacity = default_capacity) () =
+  if capacity < 16 then
+    raise (Err.invalid_input ~what:"Trace.enable: capacity" "must be >= 16");
+  Atomic.set cap capacity;
+  if Atomic.get epoch_ns = 0L then Atomic.set epoch_ns (Clock.monotonic_ns ());
+  Atomic.set on true
+
+let disable () = Atomic.set on false
+
+let reset () =
+  Mutex.lock reg_lock;
+  List.iter
+    (fun b ->
+      b.len <- 0;
+      b.depth <- 0;
+      b.drop_depth <- 0;
+      b.dropped <- 0)
+    !buffers;
+  Mutex.unlock reg_lock;
+  Atomic.set epoch_ns (if Atomic.get on then Clock.monotonic_ns () else 0L)
+
+(* --- recording --- *)
+
+(* When the buffer is full the *newest* events are dropped, preserving the
+   recorded prefix: a dropped B raises [drop_depth] so its matching end is
+   swallowed too, keeping the stream well-nested (no E without a B). *)
+let push b ev =
+  if b.len < Array.length b.events then begin
+    b.events.(b.len) <- ev;
+    b.len <- b.len + 1;
+    true
+  end
+  else begin
+    b.dropped <- b.dropped + 1;
+    false
+  end
+
+let begin_span ?(args = []) name =
+  if Atomic.get on then begin
+    let b = Domain.DLS.get key in
+    if push b { ph = B; name; ts_ns = Clock.monotonic_ns (); args } then
+      b.depth <- b.depth + 1
+    else b.drop_depth <- b.drop_depth + 1
+  end
+
+let end_span () =
+  if Atomic.get on then begin
+    let b = Domain.DLS.get key in
+    if b.drop_depth > 0 then begin
+      b.drop_depth <- b.drop_depth - 1;
+      b.dropped <- b.dropped + 1
+    end
+    else if b.depth > 0 then begin
+      (* depth falls even if the E itself is dropped: the span is closed
+         either way, and an unmatched B is the tolerable direction *)
+      b.depth <- b.depth - 1;
+      ignore (push b { ph = E; name = ""; ts_ns = Clock.monotonic_ns (); args = [] })
+    end
+    (* depth = 0: tracing was enabled mid-span; recording the E would
+       orphan it, so it is silently discarded *)
+  end
+
+let span ?args name f =
+  if not (Atomic.get on) then f ()
+  else begin
+    begin_span ?args:(Option.map (fun g -> g ()) args) name;
+    Fun.protect ~finally:end_span f
+  end
+
+let instant ?args name =
+  if Atomic.get on then begin
+    let b = Domain.DLS.get key in
+    let args = match args with None -> [] | Some g -> g () in
+    ignore (push b { ph = I; name; ts_ns = Clock.monotonic_ns (); args })
+  end
+
+(* --- inspection & export --- *)
+
+let snapshot () =
+  Mutex.lock reg_lock;
+  let bufs = !buffers in
+  Mutex.unlock reg_lock;
+  bufs
+
+let event_count () = List.fold_left (fun acc b -> acc + b.len) 0 (snapshot ())
+let dropped () = List.fold_left (fun acc b -> acc + b.dropped) 0 (snapshot ())
+
+let json_value () =
+  let bufs = snapshot () in
+  let epoch = Atomic.get epoch_ns in
+  (* (buffer index, position) is the tiebreaker: a stable within-domain
+     order even when consecutive events share a nanosecond timestamp *)
+  let evs =
+    List.concat
+      (List.mapi
+         (fun bix b -> List.init b.len (fun i -> (b.tid, bix, i, b.events.(i))))
+         bufs)
+  in
+  let evs =
+    List.sort
+      (fun (_, b1, i1, e1) (_, b2, i2, e2) ->
+        match Int64.compare e1.ts_ns e2.ts_ns with
+        | 0 -> compare (b1, i1) (b2, i2)
+        | c -> c)
+      evs
+  in
+  let ev_json (tid, _, _, e) =
+    let ts_us = Int64.to_float (Int64.sub e.ts_ns epoch) /. 1e3 in
+    let fields =
+      [ ("name", Json.Str e.name);
+        ("ph", Json.Str (match e.ph with B -> "B" | E -> "E" | I -> "i"));
+        ("ts", Json.Float ts_us);
+        ("pid", Json.Int 1);
+        ("tid", Json.Int tid) ]
+    in
+    let fields =
+      match e.ph with I -> fields @ [ ("s", Json.Str "t") ] | B | E -> fields
+    in
+    let fields =
+      if e.args = [] then fields else fields @ [ ("args", Json.Obj e.args) ]
+    in
+    Json.Obj fields
+  in
+  Json.Obj
+    [ ("traceEvents", Json.List (List.map ev_json evs));
+      ("displayTimeUnit", Json.Str "ms");
+      ("droppedEvents", Json.Int (List.fold_left (fun a b -> a + b.dropped) 0 bufs)) ]
+
+let to_json () = Json.to_string ~compact:true (json_value ())
+
+let write ~path =
+  let oc = open_out path in
+  output_string oc (to_json ());
+  output_char oc '\n';
+  close_out oc

@@ -17,4 +17,5 @@ let () =
       ("extensions", Test_extensions.suite);
       ("properties", Test_properties.suite);
       ("robustness", Test_robustness.suite);
+      ("observability", Test_observability.suite);
     ]
