@@ -59,9 +59,31 @@ let int_at_least lower what =
 
 (* --- estimate --- *)
 
+(* Satellite to the supervisor work: flag domains that depend on each
+   other (or on the Err taxonomy) are validated in the command body with
+   typed Invalid_input — stable exit 65 — instead of Cmdliner converter
+   errors, so scripted callers get one code for every bad-value path. *)
+let require_positive_float ~flag v =
+  match v with
+  | Some d when (not (Float.is_finite d)) || d <= 0.0 ->
+      raise
+        (Hlp_util.Err.invalid_input ~what:flag
+           "must be a positive, finite number of seconds")
+  | _ -> v
+
+let require_at_least ~flag lower v =
+  match v with
+  | Some n when n < lower ->
+      raise
+        (Hlp_util.Err.invalid_input ~what:flag
+           (Printf.sprintf "must be >= %d" lower))
+  | _ -> v
+
 let estimate circuit width cycles stream seed engine jobs profile telemetry_json
     deadline node_limit max_retries trace_out attribution run_report =
   with_typed_errors @@ fun () ->
+  let deadline = require_positive_float ~flag:"--deadline" deadline in
+  let max_retries = require_at_least ~flag:"--max-retries" 1 max_retries in
   if profile || telemetry_json <> None || run_report <> None then
     Hlp_util.Telemetry.enable ();
   if trace_out <> None then Hlp_util.Trace.enable ();
@@ -167,10 +189,9 @@ let estimate circuit width cycles stream seed engine jobs profile telemetry_json
   end;
   (match telemetry_json with
   | Some path ->
-      let oc = open_out path in
-      output_string oc (Hlp_util.Telemetry.to_json ());
-      output_char oc '\n';
-      close_out oc;
+      (* atomic like every other JSON artifact: a reader or a crash never
+         sees a torn file *)
+      Hlp_util.Journal.write_atomic ~path (Hlp_util.Telemetry.to_json () ^ "\n");
       Printf.printf "telemetry written to %s\n" path
   | None -> ());
   (match trace_out with
@@ -243,11 +264,13 @@ let estimate_cmd =
                 of exhausting memory")
   in
   let max_retries =
-    Arg.(value & opt (some (int_at_least 0 "--max-retries")) None
+    (* validated in the command body (typed Invalid_input, exit 65), not by
+       the converter, so zero/negative behaves like every bad value *)
+    Arg.(value & opt (some int) None
          & info [ "max-retries" ] ~docv:"N"
              ~doc:
                "retries per failed worker shard before the engine degrades \
-                (default 2, exponential backoff)")
+                (default 2, exponential backoff); must be >= 1")
   in
   let trace_out =
     Arg.(value & opt (some string) None
@@ -275,6 +298,359 @@ let estimate_cmd =
     Term.(const estimate $ circuit $ width $ cycles $ stream $ seed $ engine $ jobs
           $ profile $ telemetry_json $ deadline $ node_limit $ max_retries
           $ trace_out $ attribution $ run_report)
+
+(* --- batch: supervised estimation campaigns --- *)
+
+(* One estimation job parsed from the jobs.json array. *)
+type batch_job = {
+  bj_name : string;
+  bj_net : Hlp_logic.Netlist.t;
+  bj_seed : int;
+  bj_engine : Hlp_sim.Engine.t;
+  bj_rp : float option;
+  bj_max_cycles : int option;
+  bj_batch : int option;
+  bj_node_limit : int option;
+}
+
+let parse_jobs_file path =
+  let bad why =
+    raise (Hlp_util.Err.invalid_input ~what:("batch jobs file " ^ path) why)
+  in
+  let contents =
+    try In_channel.with_open_text path In_channel.input_all
+    with Sys_error e -> bad e
+  in
+  let jobs =
+    match Hlp_util.Json.parse contents with
+    | Error e -> bad ("not valid JSON: " ^ e)
+    | Ok v -> (
+        match Hlp_util.Json.to_list_opt v with
+        | Some l -> l
+        | None -> bad "top level must be an array of job objects")
+  in
+  if jobs = [] then bad "no jobs";
+  Array.of_list
+    (List.mapi
+       (fun i v ->
+         let where fld = Printf.sprintf "job %d: %S" i fld in
+         let str fld d =
+           match Hlp_util.Json.member fld v with
+           | None -> d
+           | Some x -> (
+               match Hlp_util.Json.to_str_opt x with
+               | Some s -> s
+               | None -> bad (where fld ^ " must be a string"))
+         in
+         let int_ fld d =
+           match Hlp_util.Json.member fld v with
+           | None -> d
+           | Some x -> (
+               match Hlp_util.Json.to_int_opt x with
+               | Some n -> Some n
+               | None -> bad (where fld ^ " must be an integer"))
+         in
+         let float_ fld =
+           match Hlp_util.Json.member fld v with
+           | None -> None
+           | Some x -> (
+               match Hlp_util.Json.to_float_opt x with
+               | Some f -> Some f
+               | None -> bad (where fld ^ " must be a number"))
+         in
+         let circuit_name = str "circuit" "multiplier" in
+         let circuit =
+           match List.assoc_opt circuit_name circuit_enum with
+           | Some c -> c
+           | None ->
+               bad
+                 (where "circuit" ^ " unknown: " ^ circuit_name ^ " (expected "
+                 ^ enum_doc circuit_enum ^ ")")
+         in
+         let engine_name = str "engine" "bitparallel" in
+         let engine =
+           match List.assoc_opt engine_name engine_enum with
+           | Some e -> e
+           | None ->
+               bad
+                 (where "engine" ^ " unknown: " ^ engine_name ^ " (expected "
+                 ^ enum_doc engine_enum ^ ")")
+         in
+         let width = Option.value (int_ "width" (Some 8)) ~default:8 in
+         {
+           bj_name =
+             str "name" (Printf.sprintf "job%d-%s%d" i circuit_name width);
+           bj_net = circuit width;
+           bj_seed = Option.value (int_ "seed" (Some (47 + i))) ~default:(47 + i);
+           bj_engine = engine;
+           bj_rp = float_ "relative_precision";
+           bj_max_cycles = int_ "max_cycles" None;
+           bj_batch = int_ "batch" None;
+           bj_node_limit = int_ "node_limit" None;
+         })
+       jobs)
+
+let batch jobs_file checkpoint_dir resume max_inflight queue_budget deadline
+    max_retries breaker_threshold breaker_cooldown telemetry_json trace_out
+    report =
+  with_typed_errors @@ fun () ->
+  let deadline = require_positive_float ~flag:"--deadline" deadline in
+  let max_retries = require_at_least ~flag:"--max-retries" 1 max_retries in
+  let max_inflight = require_at_least ~flag:"--max-inflight" 1 max_inflight in
+  let queue_budget = require_at_least ~flag:"--queue-budget" 1 queue_budget in
+  if telemetry_json <> None || report <> None then Hlp_util.Telemetry.enable ();
+  if trace_out <> None then Hlp_util.Trace.enable ();
+  let jobs = parse_jobs_file jobs_file in
+  (match checkpoint_dir with
+  | Some dir ->
+      if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+      else if not (Sys.is_directory dir) then
+        raise
+          (Hlp_util.Err.invalid_input ~what:"--checkpoint-dir"
+             (dir ^ " exists and is not a directory"))
+  | None -> ());
+  (* one breaker for the symbolic BDD stage, shared by every job: repeated
+     node-budget trips open it and jobs route straight to Monte Carlo
+     until the cooldown lets one probe try symbolic again *)
+  let breaker =
+    Hlp_util.Supervisor.breaker ?failure_threshold:breaker_threshold
+      ?cooldown_s:breaker_cooldown "probprop.symbolic"
+  in
+  let run_job _idx guard job =
+    let ck =
+      Option.map
+        (fun dir ->
+          Hlp_power.Probprop.checkpoint ~resume
+            (Filename.concat dir (job.bj_name ^ ".journal")))
+        checkpoint_dir
+    in
+    let combinational = Hlp_logic.Netlist.num_dffs job.bj_net = 0 in
+    let try_symbolic =
+      combinational && Hlp_util.Supervisor.breaker_allows breaker
+    in
+    let r =
+      Hlp_power.Probprop.estimate_guarded ~guard ~try_symbolic ?checkpoint:ck
+        ?node_limit:job.bj_node_limit ?batch:job.bj_batch
+        ?relative_precision:job.bj_rp ?max_cycles:job.bj_max_cycles
+        ~seed:job.bj_seed ~engine:job.bj_engine ?max_retries job.bj_net
+    in
+    (if combinational && try_symbolic then
+       match r with
+       | Ok g ->
+           if g.Hlp_power.Probprop.symbolic_fallback then
+             Hlp_util.Supervisor.breaker_failure breaker
+           else Hlp_util.Supervisor.breaker_success breaker
+       | Error _ ->
+           (* the failure was not the symbolic stage's (budget trips are
+              contained inside estimate_guarded as symbolic_fallback);
+              release the permission/probe without a penalty *)
+           Hlp_util.Supervisor.breaker_success breaker);
+    match r with
+    | Error e -> raise (Hlp_util.Err.Error e)
+    | Ok g ->
+        (match checkpoint_dir with
+        | Some dir ->
+            (* atomic per-job snapshot: old complete file or new complete
+               file, never a torn one *)
+            Hlp_util.Json.write
+              ~path:(Filename.concat dir (job.bj_name ^ ".result.json"))
+              (Hlp_util.Json.Obj
+                 [ ("name", Hlp_util.Json.Str job.bj_name);
+                   ("estimate",
+                    Hlp_util.Json.Float g.Hlp_power.Probprop.capacitance);
+                   ("provenance",
+                    Hlp_power.Probprop.provenance_json
+                      g.Hlp_power.Probprop.provenance) ])
+        | None -> ());
+        g
+  in
+  let (results, stats), signal =
+    Hlp_util.Supervisor.with_graceful_stop (fun token ->
+        Hlp_util.Supervisor.run_jobs ?max_inflight ?queue_budget
+          ?deadline_s:deadline ~token run_job jobs)
+  in
+  Printf.printf "%-20s %-12s %s\n" "job" "status" "result";
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Ok g ->
+          Printf.printf "%-20s %-12s %10.1f cap units/cycle [%s]\n"
+            jobs.(i).bj_name "ok" g.Hlp_power.Probprop.capacitance
+            g.Hlp_power.Probprop.provenance.Hlp_power.Probprop.estimator_used
+      | Error e ->
+          Printf.printf "%-20s %-12s %s\n" jobs.(i).bj_name
+            (Hlp_util.Err.class_name e)
+            (Hlp_util.Err.to_string e))
+    results;
+  Printf.printf
+    "%d jobs: %d ok, %d failed, %d shed (queue), %d shed (deadline)\n"
+    (Array.length jobs) stats.Hlp_util.Supervisor.ok
+    stats.Hlp_util.Supervisor.failed stats.Hlp_util.Supervisor.shed_queue
+    stats.Hlp_util.Supervisor.shed_deadline;
+  (match signal with
+  | Some _ -> print_endline "stopped by signal; journals flushed"
+  | None -> ());
+  let summary_json =
+    Hlp_util.Json.Obj
+      [ ("command", Hlp_util.Json.Str "batch");
+        ("jobs",
+         Hlp_util.Json.List
+           (Array.to_list
+              (Array.mapi
+                 (fun i r ->
+                   Hlp_util.Json.Obj
+                     (("name", Hlp_util.Json.Str jobs.(i).bj_name)
+                     ::
+                     (match r with
+                     | Ok g ->
+                         [ ("status", Hlp_util.Json.Str "ok");
+                           ("estimate",
+                            Hlp_util.Json.Float
+                              g.Hlp_power.Probprop.capacitance);
+                           ("provenance",
+                            Hlp_power.Probprop.provenance_json
+                              g.Hlp_power.Probprop.provenance) ]
+                     | Error e ->
+                         [ ("status",
+                            Hlp_util.Json.Str (Hlp_util.Err.class_name e));
+                           ("error",
+                            Hlp_util.Json.Str (Hlp_util.Err.to_string e)) ])))
+                 results)));
+        ("stats",
+         Hlp_util.Json.Obj
+           [ ("ran", Hlp_util.Json.Int stats.Hlp_util.Supervisor.ran);
+             ("ok", Hlp_util.Json.Int stats.Hlp_util.Supervisor.ok);
+             ("failed", Hlp_util.Json.Int stats.Hlp_util.Supervisor.failed);
+             ("shed_queue",
+              Hlp_util.Json.Int stats.Hlp_util.Supervisor.shed_queue);
+             ("shed_deadline",
+              Hlp_util.Json.Int stats.Hlp_util.Supervisor.shed_deadline) ]);
+        ("signal",
+         match signal with
+         | Some s ->
+             Hlp_util.Json.Int (Hlp_util.Supervisor.signal_exit_code s - 128)
+         | None -> Hlp_util.Json.Null);
+        ("telemetry", Hlp_util.Telemetry.json_value ()) ]
+  in
+  (match report with
+  | Some path ->
+      Hlp_util.Json.write ~path summary_json;
+      Printf.printf "batch report written to %s\n" path
+  | None -> ());
+  (match checkpoint_dir with
+  | Some dir ->
+      Hlp_util.Json.write
+        ~path:(Filename.concat dir "batch_summary.json")
+        summary_json
+  | None -> ());
+  (match telemetry_json with
+  | Some path ->
+      Hlp_util.Journal.write_atomic ~path (Hlp_util.Telemetry.to_json () ^ "\n")
+  | None -> ());
+  (match trace_out with
+  | Some path -> Hlp_util.Trace.write ~path
+  | None -> ());
+  match signal with
+  | Some s -> Hlp_util.Supervisor.signal_exit_code s
+  | None -> (
+      (* 0 iff every job delivered; otherwise the stable code of the first
+         failure in job order, so scripts see a deterministic class *)
+      match
+        Array.find_opt (function Error _ -> true | Ok _ -> false) results
+      with
+      | Some (Error e) -> Hlp_util.Err.exit_code e
+      | _ -> 0)
+
+let batch_cmd =
+  let jobs_file =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"JOBS.json"
+             ~doc:
+               "JSON array of estimate jobs; each object may set $(b,name), \
+                $(b,circuit), $(b,width), $(b,seed), $(b,engine), \
+                $(b,relative_precision), $(b,max_cycles), $(b,batch), \
+                $(b,node_limit)")
+  in
+  let checkpoint_dir =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint-dir" ] ~docv:"DIR"
+             ~doc:
+               "journal every job's Monte Carlo state into $(docv) (created \
+                if missing) and snapshot per-job results there atomically; \
+                required for $(b,--resume)")
+  in
+  let resume =
+    Arg.(value & flag
+         & info [ "resume" ]
+             ~doc:
+               "resume killed jobs from their journals in \
+                $(b,--checkpoint-dir): finished batches are replayed, not \
+                re-simulated, and resumed estimates are byte-identical to \
+                uninterrupted ones")
+  in
+  let max_inflight =
+    Arg.(value & opt (some int) None
+         & info [ "max-inflight" ] ~docv:"N"
+             ~doc:
+               "bound on concurrently running jobs (default: half the \
+                recommended domain count); must be >= 1")
+  in
+  let queue_budget =
+    Arg.(value & opt (some int) None
+         & info [ "queue-budget" ] ~docv:"N"
+             ~doc:
+               "admission-control budget: jobs beyond the first $(docv) are \
+                shed with the typed overloaded error (exit 70) instead of \
+                queueing unboundedly")
+  in
+  let deadline =
+    Arg.(value & opt (some float) None
+         & info [ "deadline" ] ~docv:"SECONDS"
+             ~doc:
+               "wall-clock budget for the whole batch; jobs not started in \
+                time are shed with the deadline-exceeded error")
+  in
+  let max_retries =
+    Arg.(value & opt (some int) None
+         & info [ "max-retries" ] ~docv:"N"
+             ~doc:"retries per failed worker shard (>= 1)")
+  in
+  let breaker_threshold =
+    Arg.(value & opt (some int) None
+         & info [ "breaker-threshold" ] ~docv:"N"
+             ~doc:
+               "consecutive symbolic BDD budget trips before the breaker \
+                opens and jobs route straight to Monte Carlo (default 3)")
+  in
+  let breaker_cooldown =
+    Arg.(value & opt (some float) None
+         & info [ "breaker-cooldown" ] ~docv:"SECONDS"
+             ~doc:
+               "seconds the symbolic breaker stays open before one probe \
+                job may try symbolic again (default 30)")
+  in
+  let telemetry_json =
+    Arg.(value & opt (some string) None
+         & info [ "telemetry-json" ] ~docv:"FILE"
+             ~doc:"enable the telemetry layer and write it to $(docv) as JSON")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"enable span tracing and write Chrome trace JSON to $(docv)")
+  in
+  let report =
+    Arg.(value & opt (some string) None
+         & info [ "report" ] ~docv:"FILE"
+             ~doc:"write the batch summary JSON to $(docv) (atomic)")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Run a supervised campaign of estimate jobs with checkpoint/resume")
+    Term.(const batch $ jobs_file $ checkpoint_dir $ resume $ max_inflight
+          $ queue_budget $ deadline $ max_retries $ breaker_threshold
+          $ breaker_cooldown $ telemetry_json $ trace_out $ report)
 
 (* --- bus-encode --- *)
 
@@ -445,4 +821,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "hlpower" ~version:"1.0.0" ~doc)
-          [ estimate_cmd; bus_cmd; pm_cmd; fsm_cmd; export_cmd; info_cmd ]))
+          [ estimate_cmd; batch_cmd; bus_cmd; pm_cmd; fsm_cmd; export_cmd;
+            info_cmd ]))

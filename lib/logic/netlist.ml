@@ -194,6 +194,38 @@ let logic_depth t =
     t.nodes;
   !deepest
 
+(* FNV-1a over the full structure. Order matters everywhere it is fed, so
+   any change to a gate, a wire, or a port name changes the fingerprint. *)
+let fingerprint t =
+  let h = ref 0xcbf29ce484222325L in
+  let prime = 0x100000001b3L in
+  let mix_byte b =
+    h := Int64.mul (Int64.logxor !h (Int64.of_int (b land 0xff))) prime
+  in
+  let mix_int i =
+    let v = Int64.of_int i in
+    for k = 0 to 7 do
+      mix_byte (Int64.to_int (Int64.shift_right_logical v (8 * k)))
+    done
+  in
+  let mix_string s = String.iter (fun c -> mix_byte (Char.code c)) s in
+  Array.iter
+    (fun n ->
+      mix_string (Gate.name n.kind);
+      mix_int (Array.length n.fanin);
+      Array.iter mix_int n.fanin)
+    t.nodes;
+  Array.iter mix_int t.inputs;
+  Array.iter mix_string t.input_names;
+  Array.iter
+    (fun (name, w) ->
+      mix_string name;
+      mix_int w)
+    t.outputs;
+  Array.iter mix_int t.dffs;
+  Array.iter (fun b -> mix_byte (Bool.to_int b)) t.dff_init;
+  !h
+
 let validate t =
   let n = num_nodes t in
   Array.iteri

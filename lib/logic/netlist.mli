@@ -100,6 +100,13 @@ val critical_path : t -> float
 val logic_depth : t -> int
 (** Longest combinational path measured in gate counts. *)
 
+val fingerprint : t -> int64
+(** Structural hash (FNV-1a over every gate kind, fanin wire, port name,
+    and register init). A checkpoint journal records it in its header so
+    a resume against a {e different} circuit is detected instead of
+    silently producing a garbage estimate. Stable across processes —
+    depends only on the structure, never on addresses or hash seeds. *)
+
 val validate : t -> unit
 (** Asserts structural invariants: arities match, combinational fanins
     precede their gate, flip-flop pins are in range. Raises [Failure] with

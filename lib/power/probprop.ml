@@ -151,16 +151,285 @@ let ci_stop ~relative_precision ~max_cycles ~means ~cycles =
      let half = ci_half_width means in
      m > 0.0 && half /. m <= relative_precision
 
+(* --- crash-safe checkpointing ---
+
+   A checkpoint is a {!Hlp_util.Journal} of the Monte Carlo loop's exact
+   state at batch/unit boundaries. Floats cross the journal as the hex of
+   their IEEE-754 bits ([%Lx]), never as decimal text: float addition is
+   non-associative and [%.17g] round-trips are not the accumulator, so
+   anything less than bit transport would break the byte-identical-resume
+   contract. The first record is a header binding the journal to the run
+   parameters and the circuit fingerprint; a mismatch self-heals (truncate
+   and start fresh, counted in ["probprop.ck_header_mismatches"]) rather
+   than wedging a batch campaign after a parameter change. *)
+
+type checkpoint = {
+  ck_path : string;
+  ck_every : int;
+  ck_sync_every : int;
+  ck_resume : bool;
+  ck_on_batch : (int -> unit) option;
+}
+
+let checkpoint ?(every = 1) ?(sync_every = 16) ?(resume = false) ?on_batch path
+    =
+  if every < 1 then
+    raise
+      (Hlp_util.Err.invalid_input ~what:"Probprop.checkpoint: every"
+         "must be >= 1");
+  if sync_every < 1 then
+    raise
+      (Hlp_util.Err.invalid_input ~what:"Probprop.checkpoint: sync_every"
+         "must be >= 1");
+  { ck_path = path;
+    ck_every = every;
+    ck_sync_every = sync_every;
+    ck_resume = resume;
+    ck_on_batch = on_batch }
+
+let tel_ck_records = Hlp_util.Telemetry.counter "probprop.ck_records"
+let tel_ck_resumes = Hlp_util.Telemetry.counter "probprop.ck_resumes"
+let tel_ck_torn = Hlp_util.Telemetry.counter "probprop.ck_torn_tails"
+
+let tel_ck_mismatches =
+  Hlp_util.Telemetry.counter "probprop.ck_header_mismatches"
+
+let bits_hex f = Printf.sprintf "%Lx" (Int64.bits_of_float f)
+
+(* hex parses modulo 2^64, so all 64 bit patterns round-trip *)
+let bits_of_hex s = Int64.float_of_bits (Int64.of_string ("0x" ^ s))
+
+let header_payload ~kind ~seed ~batch ~relative_precision ~max_cycles ~engine
+    net =
+  Hlp_util.Json.to_string ~compact:true
+    (Hlp_util.Json.Obj
+       [ ("v", Hlp_util.Json.Int 1);
+         ("kind", Hlp_util.Json.Str kind);
+         ("seed", Hlp_util.Json.Int seed);
+         ("batch", Hlp_util.Json.Int batch);
+         ("rp", Hlp_util.Json.Str (bits_hex relative_precision));
+         ("max_cycles", Hlp_util.Json.Int max_cycles);
+         ("engine", Hlp_util.Json.Str engine);
+         ("net",
+          Hlp_util.Json.Str (Printf.sprintf "%Lx" (Netlist.fingerprint net)))
+       ])
+
+type ck_writer = {
+  ckw : checkpoint;
+  j : Hlp_util.Journal.t;
+  mutable n : int;  (* records appended through this writer *)
+}
+
+let ck_append w payload =
+  Hlp_util.Journal.append w.j payload;
+  w.n <- w.n + 1;
+  Hlp_util.Telemetry.incr tel_ck_records;
+  (* group commit: fsync every few records, and always at close *)
+  if w.n mod w.ckw.ck_sync_every = 0 then Hlp_util.Journal.sync w.j
+
+(* the on_batch hook exists so tests can kill the process at an exact
+   checkpoint boundary; sync first so the record the hook announces is
+   actually durable when the bullet arrives *)
+let ck_notify w k =
+  match w.ckw.ck_on_batch with
+  | None -> ()
+  | Some f ->
+      Hlp_util.Journal.sync w.j;
+      f k
+
+let ck_heal ck ~header j =
+  Hlp_util.Telemetry.incr tel_ck_mismatches;
+  Hlp_util.Trace.instant "probprop.ck_self_heal";
+  Hlp_util.Journal.close j;
+  let j, _ = Hlp_util.Journal.open_ ~resume:false ck.ck_path in
+  Hlp_util.Journal.append j header;
+  j
+
+(* open the journal, validate (or write) the header, and return the
+   surviving body records when resuming *)
+let ck_open ck ~header =
+  if ck.ck_resume then begin
+    let r = Hlp_util.Journal.recover ck.ck_path in
+    if r.Hlp_util.Journal.torn_bytes > 0 then
+      Hlp_util.Telemetry.incr tel_ck_torn
+  end;
+  let j, records = Hlp_util.Journal.open_ ~resume:ck.ck_resume ck.ck_path in
+  match records with
+  | h :: rest when String.equal h header -> (j, rest)
+  | [] ->
+      Hlp_util.Journal.append j header;
+      (j, [])
+  | _ -> (ck_heal ck ~header j, [])
+
+(* --- scalar-engine checkpoint records ---
+
+   One record per [every] batches:
+   {"k":last batch index,"means":[bits...],"prng":bits,"cap":bits,
+    "cycles":n,"vec":"0101..."} — the batch means since the previous
+   record plus the complete simulator state at the batch boundary: PRNG
+   state, the exact switched-capacitance accumulator, and the last input
+   vector (node values are a pure function of it on a combinational
+   net, so replaying one uncounted step re-primes the simulator). *)
+
+type scalar_resume = {
+  sr_k : int;  (* batches completed *)
+  sr_means_rev : float list;  (* newest-first, like the live loop *)
+  sr_prng : int64;
+  sr_cap : float;
+  sr_cycles : int;
+  sr_vec : bool array;
+}
+
+let scalar_record ~k ~means ~prng ~cap ~cycles ~vec =
+  Hlp_util.Json.to_string ~compact:true
+    (Hlp_util.Json.Obj
+       [ ("k", Hlp_util.Json.Int k);
+         ("means",
+          Hlp_util.Json.List
+            (List.map (fun m -> Hlp_util.Json.Str (bits_hex m)) means));
+         ("prng", Hlp_util.Json.Str (Printf.sprintf "%Lx" prng));
+         ("cap", Hlp_util.Json.Str (bits_hex cap));
+         ("cycles", Hlp_util.Json.Int cycles);
+         ("vec",
+          Hlp_util.Json.Str
+            (String.init (Array.length vec) (fun i ->
+                 if vec.(i) then '1' else '0'))) ])
+
+let parse_scalar_record payload =
+  match Hlp_util.Json.parse payload with
+  | Error _ -> None
+  | Ok v -> (
+      let open Hlp_util.Json in
+      try
+        let get f name = Option.get (f (Option.get (member name v))) in
+        let means =
+          List.map
+            (fun m -> bits_of_hex (Option.get (to_str_opt m)))
+            (get to_list_opt "means")
+        in
+        let vs = get to_str_opt "vec" in
+        Some
+          { sr_k = get to_int_opt "k";
+            sr_means_rev = List.rev means;
+            sr_prng = Int64.of_string ("0x" ^ get to_str_opt "prng");
+            sr_cap = bits_of_hex (get to_str_opt "cap");
+            sr_cycles = get to_int_opt "cycles";
+            sr_vec = Array.init (String.length vs) (fun i -> vs.[i] = '1') }
+      with _ -> None)
+
+(* fold the body records into the state at the last one; [None] on any
+   malformed or inconsistent record (the caller self-heals) *)
+let parse_scalar_records ~nin records =
+  let rec go acc = function
+    | [] -> acc
+    | r :: rest -> (
+        match (parse_scalar_record r, acc) with
+        | None, _ -> None
+        | Some sr, prev ->
+            let means_rev =
+              match prev with
+              | None -> sr.sr_means_rev
+              | Some p -> sr.sr_means_rev @ p.sr_means_rev
+            in
+            if
+              List.length means_rev <> sr.sr_k
+              || Array.length sr.sr_vec <> nin
+            then None
+            else go (Some { sr with sr_means_rev = means_rev }) rest)
+  in
+  go None records
+
+(* --- unit-engine checkpoint records ---
+
+   One record per freshly computed unit: {"u":index,"mean":bits}. A
+   unit's mean is a pure function of (seed, unit index), so no PRNG or
+   simulator state travels; resume means are the longest contiguous
+   index prefix, after dropping duplicates (a crash mid-round re-runs
+   and re-journals that round). *)
+
+let unit_record ~u ~mean =
+  Hlp_util.Json.to_string ~compact:true
+    (Hlp_util.Json.Obj
+       [ ("u", Hlp_util.Json.Int u);
+         ("mean", Hlp_util.Json.Str (bits_hex mean)) ])
+
+let parse_unit_record payload =
+  match Hlp_util.Json.parse payload with
+  | Error _ -> None
+  | Ok v -> (
+      let open Hlp_util.Json in
+      try
+        Some
+          ( Option.get (to_int_opt (Option.get (member "u" v))),
+            bits_of_hex (Option.get (to_str_opt (Option.get (member "mean" v))))
+          )
+      with _ -> None)
+
+let parse_unit_records records =
+  let tbl = Hashtbl.create 64 in
+  let ok =
+    List.for_all
+      (fun r ->
+        match parse_unit_record r with
+        | Some (u, m) ->
+            if u >= 0 && not (Hashtbl.mem tbl u) then Hashtbl.add tbl u m;
+            u >= 0
+        | None -> false)
+      records
+  in
+  if not ok then None
+  else begin
+    let rec prefix acc u =
+      match Hashtbl.find_opt tbl u with
+      | Some m -> prefix (m :: acc) (u + 1)
+      | None -> Array.of_list (List.rev acc)
+    in
+    Some (prefix [] 0)
+  end
+
 let monte_carlo_bitparallel ~batch ~relative_precision ~max_cycles ~seed ~engine
-    ?jobs ?max_retries ~guard net =
+    ?jobs ?max_retries ?checkpoint:ck ~guard net =
+  let writer, resume_means =
+    match ck with
+    | None -> (None, None)
+    | Some ck -> (
+        let header =
+          header_payload ~kind:"mc-units" ~seed ~batch ~relative_precision
+            ~max_cycles
+            ~engine:(Hlp_sim.Engine.to_string engine)
+            net
+        in
+        let j, records = ck_open ck ~header in
+        let w = { ckw = ck; j; n = 0 } in
+        match records with
+        | [] -> (Some w, None)
+        | _ -> (
+            match parse_unit_records records with
+            | Some means when Array.length means > 0 ->
+                Hlp_util.Telemetry.incr tel_ck_resumes;
+                (Some w, Some means)
+            | Some _ -> (Some w, None)
+            | None -> (Some { w with j = ck_heal ck ~header j }, None)))
+  in
+  let on_unit =
+    Option.map
+      (fun w u mean ->
+        ck_append w (unit_record ~u ~mean);
+        ck_notify w u)
+      writer
+  in
   let stop ~means ~cycles =
     (* deadline / cancellation granularity: one stopping-rule evaluation *)
     Hlp_util.Guard.check ~where:"probprop.monte_carlo" guard;
     ci_stop ~relative_precision ~max_cycles ~means ~cycles
   in
+  let finally () =
+    match writer with Some w -> Hlp_util.Journal.close w.j | None -> ()
+  in
   let r =
-    Hlp_sim.Parsim.monte_carlo_units ?jobs ?max_retries ~engine net ~batch ~seed
-      ~stop
+    Fun.protect ~finally (fun () ->
+        Hlp_sim.Parsim.monte_carlo_units ?jobs ?max_retries ?resume_means
+          ?on_unit ~engine net ~batch ~seed ~stop)
   in
   let means = r.Hlp_sim.Parsim.unit_means in
   Hlp_util.Telemetry.add tel_batches (Array.length means);
@@ -175,7 +444,7 @@ let monte_carlo_bitparallel ~batch ~relative_precision ~max_cycles ~seed ~engine
 
 let monte_carlo ?(batch = 30) ?(relative_precision = 0.05) ?(max_cycles = 100_000)
     ?(seed = 47) ?(engine = Hlp_sim.Engine.Scalar) ?jobs ?max_retries
-    ?(guard = Hlp_util.Guard.unlimited) net =
+    ?checkpoint:ck ?(guard = Hlp_util.Guard.unlimited) net =
   if batch < 2 then
     raise
       (Hlp_util.Err.invalid_input ~what:"Probprop.monte_carlo: batch"
@@ -183,14 +452,103 @@ let monte_carlo ?(batch = 30) ?(relative_precision = 0.05) ?(max_cycles = 100_00
   match engine with
   | Hlp_sim.Engine.Bitparallel | Hlp_sim.Engine.Parallel ->
       monte_carlo_bitparallel ~batch ~relative_precision ~max_cycles ~seed ~engine
-        ?jobs ?max_retries ~guard net
+        ?jobs ?max_retries ?checkpoint:ck ~guard net
   | Hlp_sim.Engine.Scalar ->
-  let rng = Hlp_util.Prng.create seed in
-  let sim = Hlp_sim.Funcsim.create net in
   let nin = Array.length net.Netlist.inputs in
-  let batch_means = ref [] in
-  let cycles = ref 0 in
-  let prev_cap = ref 0.0 in
+  let writer, resume =
+    match ck with
+    | None -> (None, None)
+    | Some ck -> (
+        if Netlist.num_dffs net > 0 then
+          raise
+            (Hlp_util.Err.invalid_input
+               ~what:"Probprop.monte_carlo: checkpoint"
+               "scalar checkpointing needs a combinational netlist \
+                (flip-flop state cannot be restored from one vector)");
+        let header =
+          header_payload ~kind:"mc-scalar" ~seed ~batch ~relative_precision
+            ~max_cycles ~engine:"scalar" net
+        in
+        let j, records = ck_open ck ~header in
+        let w = { ckw = ck; j; n = 0 } in
+        match records with
+        | [] -> (Some w, None)
+        | _ -> (
+            match parse_scalar_records ~nin records with
+            | Some sr ->
+                Hlp_util.Telemetry.incr tel_ck_resumes;
+                (Some w, Some sr)
+            | None -> (Some { w with j = ck_heal ck ~header j }, None)))
+  in
+  let sim = Hlp_sim.Funcsim.create net in
+  let rng, means0, cap0, cycles0, k0 =
+    match resume with
+    | None -> (Hlp_util.Prng.create seed, [], 0.0, 0, 0)
+    | Some sr ->
+        Hlp_sim.Funcsim.restore sim ~inputs:sr.sr_vec ~switched:sr.sr_cap
+          ~cycles:sr.sr_cycles;
+        ( Hlp_util.Prng.of_state sr.sr_prng,
+          sr.sr_means_rev,
+          sr.sr_cap,
+          sr.sr_cycles,
+          sr.sr_k )
+  in
+  let batch_means = ref means0 in
+  let cycles = ref cycles0 in
+  let prev_cap = ref cap0 in
+  let pending = ref [] in (* means since the last journal record, newest-first *)
+  let last_vec = ref [||] in
+  let journal_batch k =
+    match writer with
+    | None -> ()
+    | Some w ->
+        if k mod w.ckw.ck_every = 0 && !pending <> [] then begin
+          ck_append w
+            (scalar_record ~k ~means:(List.rev !pending)
+               ~prng:(Hlp_util.Prng.state rng) ~cap:!prev_cap ~cycles:!cycles
+               ~vec:!last_vec);
+          pending := []
+        end;
+        ck_notify w k
+  in
+  (* evaluate the stopping rule on the means so far; also the resume
+     entry check, covering a crash after the rule fired but before the
+     run could report *)
+  let stop_now () =
+    let means = Array.of_list !batch_means in
+    if Array.length means >= 2 && Hlp_util.Telemetry.enabled () then begin
+      Hlp_util.Telemetry.observe tel_running_mean (Hlp_util.Stats.mean means);
+      Hlp_util.Telemetry.observe tel_half_width (ci_half_width means)
+    end;
+    if Array.length means >= 3 then begin
+      let m = Hlp_util.Stats.mean means in
+      let half = ci_half_width means in
+      if (m > 0.0 && half /. m <= relative_precision) || !cycles >= max_cycles
+      then Some (m, half)
+      else None
+    end
+    else None
+  in
+  let finish (m, half) k =
+    (match writer with
+    | None -> ()
+    | Some w ->
+        (* flush means journaled on no record yet (every > 1), then seal *)
+        if !pending <> [] then
+          ck_append w
+            (scalar_record ~k ~means:(List.rev !pending)
+               ~prng:(Hlp_util.Prng.state rng) ~cap:!prev_cap ~cycles:!cycles
+               ~vec:!last_vec);
+        Hlp_util.Journal.close w.j);
+    Hlp_util.Telemetry.add tel_batches k;
+    Hlp_util.Telemetry.add tel_mc_cycles !cycles;
+    { estimate = m;
+      half_interval = half;
+      cycles_used = !cycles;
+      batches = k;
+      (* !batch_means is newest-first; the record is chronological *)
+      batch_means = Array.of_list (List.rev !batch_means) }
+  in
   let rec go k =
     Hlp_util.Guard.check ~where:"probprop.monte_carlo" guard;
     Hlp_util.Trace.span
@@ -200,36 +558,28 @@ let monte_carlo ?(batch = 30) ?(relative_precision = 0.05) ?(max_cycles = 100_00
       "probprop.mc_batch"
       (fun () ->
         for _ = 1 to batch do
-          Hlp_sim.Funcsim.step sim
-            (Array.init nin (fun _ -> Hlp_util.Prng.bool rng))
+          let v = Array.init nin (fun _ -> Hlp_util.Prng.bool rng) in
+          last_vec := v;
+          Hlp_sim.Funcsim.step sim v
         done);
     cycles := !cycles + batch;
     let cap = Hlp_sim.Funcsim.switched_capacitance sim in
-    batch_means := ((cap -. !prev_cap) /. float_of_int batch) :: !batch_means;
+    let mean = (cap -. !prev_cap) /. float_of_int batch in
+    batch_means := mean :: !batch_means;
+    pending := mean :: !pending;
     prev_cap := cap;
-    let means = Array.of_list !batch_means in
-    if Array.length means >= 2 && Hlp_util.Telemetry.enabled () then begin
-      Hlp_util.Telemetry.observe tel_running_mean (Hlp_util.Stats.mean means);
-      Hlp_util.Telemetry.observe tel_half_width (ci_half_width means)
-    end;
-    if Array.length means >= 3 then begin
-      let m = Hlp_util.Stats.mean means in
-      let half = ci_half_width means in
-      if (m > 0.0 && half /. m <= relative_precision) || !cycles >= max_cycles then begin
-        Hlp_util.Telemetry.add tel_batches k;
-        Hlp_util.Telemetry.add tel_mc_cycles !cycles;
-        { estimate = m;
-          half_interval = half;
-          cycles_used = !cycles;
-          batches = k;
-          (* !batch_means is newest-first; the record is chronological *)
-          batch_means = Array.of_list (List.rev !batch_means) }
-      end
-      else go (k + 1)
-    end
-    else go (k + 1)
+    journal_batch k;
+    match stop_now () with Some mh -> finish mh k | None -> go (k + 1)
   in
-  go 1
+  (* Journal.close is idempotent: finish seals on the success path, and
+     the protect covers guard trips and faults without losing records *)
+  let finally () =
+    match writer with Some w -> Hlp_util.Journal.close w.j | None -> ()
+  in
+  Fun.protect ~finally (fun () ->
+      match if k0 > 0 then stop_now () else None with
+      | Some mh -> finish mh k0
+      | None -> go (k0 + 1))
 
 (* --- guarded estimation: symbolic first, sampling as the fallback --- *)
 
@@ -298,7 +648,7 @@ let tail_len = 8
 let estimate_guarded ?(guard = Hlp_util.Guard.unlimited)
     ?(node_limit = default_node_limit) ?input_prob ?batch ?relative_precision
     ?max_cycles ?(seed = 47) ?(engine = Hlp_sim.Engine.Bitparallel) ?jobs
-    ?max_retries net =
+    ?max_retries ?(try_symbolic = true) ?checkpoint:ck net =
   (* provenance baselines: counter deltas isolate this estimate's share of
      the process-wide counters. Telemetry counters only move while the
      telemetry switch is on, so the record carries [counters_live] to say
@@ -365,7 +715,9 @@ let estimate_guarded ?(guard = Hlp_util.Guard.unlimited)
      a combinational cone); a budget trip is the paper's symbolic blowup,
      counted and degraded, never fatal. *)
   let symbolic_cap, symbolic_fallback =
-    if Netlist.num_dffs net > 0 then (None, false)
+    (* [try_symbolic = false] is the supervisor's circuit breaker saying
+       the BDD stage has been tripping: route straight to sampling *)
+    if Netlist.num_dffs net > 0 || not try_symbolic then (None, false)
     else
       match symbolic ?input_prob ~node_limit net with
       | stats -> (Some (estimate_capacitance net stats), false)
@@ -388,7 +740,7 @@ let estimate_guarded ?(guard = Hlp_util.Guard.unlimited)
         Hlp_sim.Parsim.with_degradation ~what:"probprop.monte_carlo" ~guard
           ~engine (fun e ->
             monte_carlo ?batch ?relative_precision ?max_cycles ~seed ~engine:e
-              ?jobs ?max_retries ~guard net)
+              ?jobs ?max_retries ?checkpoint:ck ~guard net)
       with
       | Ok d ->
           finish ~capacitance:d.Hlp_sim.Parsim.value.estimate

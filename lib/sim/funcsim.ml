@@ -136,6 +136,27 @@ let reset_counters s =
   s.switched <- 0.0;
   s.ncycles <- 0
 
+let restore s ~inputs ~switched ~cycles =
+  if Netlist.num_dffs s.net > 0 then
+    raise
+      (Hlp_util.Err.invalid_input ~what:"Funcsim.restore"
+         "sequential netlist: settled state is not a function of one vector");
+  if Array.length inputs <> Array.length s.net.Netlist.inputs then
+    raise
+      (Hlp_util.Err.invalid_input ~what:"Funcsim.restore"
+         "input vector width does not match the netlist");
+  (* re-prime the node values by replaying the checkpointed last vector
+     with accounting off, then install the exact accumulator bits: float
+     addition is non-associative, so recomputing the sum would not give
+     the byte-identical estimate a resumed run promises *)
+  s.counting <- false;
+  step s inputs;
+  s.counting <- true;
+  Array.fill s.toggles 0 (Array.length s.toggles) 0;
+  Array.fill s.highs 0 (Array.length s.highs) 0;
+  s.switched <- switched;
+  s.ncycles <- cycles
+
 let run s input_at n =
   for i = 0 to n - 1 do
     step s (input_at i)

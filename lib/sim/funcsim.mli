@@ -44,6 +44,19 @@ val switched_capacitance_of : s -> mask:bool array -> float
 val reset_counters : s -> unit
 (** Zero the accounting without touching circuit state (for warm-up). *)
 
+val restore : s -> inputs:bool array -> switched:float -> cycles:int -> unit
+(** [restore s ~inputs ~switched ~cycles] rebuilds the exact simulator
+    state a checkpoint recorded: node values are re-primed by replaying
+    [inputs] (the last vector before the checkpoint) with accounting off,
+    then the switched-capacitance accumulator and cycle count are
+    installed {e bit-for-bit} — float addition is non-associative, so the
+    accumulator must be transplanted, not recomputed, for a resumed
+    Monte Carlo run to produce a byte-identical estimate. Per-node
+    toggle/high counters restart from zero (they are diagnostics, not
+    part of the estimate). Raises [Err.Error (Invalid_input _)] on a
+    sequential netlist — its settled state is not a function of one
+    vector — or a wrong-width vector. *)
+
 val run : s -> (int -> bool array) -> int -> unit
 (** [run s input_at n] steps [n] cycles with the given vector source. *)
 

@@ -362,7 +362,8 @@ let mc_unit net ~caps ~batch ~seed u =
   done;
   Bitsim.switched_capacitance sim /. float_of_int (batch * Bitsim.lanes)
 
-let monte_carlo_units ?jobs ?max_retries ~engine net ~batch ~seed ~stop =
+let monte_carlo_units ?jobs ?max_retries ?resume_means ?on_unit ~engine net
+    ~batch ~seed ~stop =
   Hlp_util.Telemetry.time tel_mc_time @@ fun () ->
   (* fixed round size, independent of the worker count, so the stopping
      decisions (and therefore the estimate) do not depend on ~jobs *)
@@ -381,6 +382,9 @@ let monte_carlo_units ?jobs ?max_retries ~engine net ~batch ~seed ~stop =
             (fun r -> mc_unit net ~caps ~batch ~seed (nunits + r)))
     in
     Hlp_util.Telemetry.add tel_mc_units round;
+    (match on_unit with
+    | None -> ()
+    | Some f -> Array.iteri (fun r m -> f (nunits + r) m) fresh);
     let acc = acc @ Array.to_list fresh in
     let nunits = nunits + round in
     let means = Array.of_list acc in
@@ -389,4 +393,21 @@ let monte_carlo_units ?jobs ?max_retries ~engine net ~batch ~seed ~stop =
       { mean = Hlp_util.Stats.mean means; unit_means = means; cycles }
     else go acc nunits
   in
-  go [] 0
+  let resumed =
+    match resume_means with
+    | None -> []
+    | Some ms ->
+        (* keep only whole rounds so stop-rule evaluation points line up
+           with the unit-index boundaries a fresh run would have used —
+           the price of a crash mid-round is re-running that round *)
+        let k = Array.length ms / round * round in
+        Array.to_list (Array.sub ms 0 k)
+  in
+  let nunits0 = List.length resumed in
+  let means0 = Array.of_list resumed in
+  let cycles0 = nunits0 * batch * Bitsim.lanes in
+  (* entry stop-check: the previous run may have crashed after the stop
+     rule fired but before its final snapshot landed *)
+  if nunits0 > 0 && stop ~means:means0 ~cycles:cycles0 then
+    { mean = Hlp_util.Stats.mean means0; unit_means = means0; cycles = cycles0 }
+  else go resumed nunits0

@@ -122,6 +122,8 @@ type mc = {
 val monte_carlo_units :
   ?jobs:int ->
   ?max_retries:int ->
+  ?resume_means:float array ->
+  ?on_unit:(int -> float -> unit) ->
   engine:Engine.t ->
   Hlp_logic.Netlist.t ->
   batch:int ->
@@ -134,4 +136,15 @@ val monte_carlo_units :
     [stop] is consulted on unit-index boundaries that do not depend on
     [jobs] (after every unit for [Bitparallel], after every fixed-size
     round of 8 units for [Parallel]), so the returned estimate is
-    bit-identical for any number of domains. *)
+    bit-identical for any number of domains.
+
+    Checkpoint hooks: [resume_means] seeds the run with per-unit means a
+    journal recovered — truncated to a whole number of rounds so the
+    stop rule is consulted at exactly the unit boundaries a fresh run
+    would have used (a crash mid-round re-runs that round), with an entry
+    stop-check covering a crash after the stop fired but before the final
+    snapshot. [on_unit] is called with [(unit index, unit mean)] for every
+    {e freshly computed} unit, in unit order, on the calling domain —
+    the journaling hook; resumed units are not re-reported. Because a
+    unit's mean depends only on [(seed, unit index)], a resumed run
+    returns the byte-identical [mc] a crash-free run would have. *)

@@ -4,6 +4,7 @@ type t =
   | Deadline_exceeded of { limit_s : float; elapsed_s : float }
   | Cancelled of { where : string }
   | Worker_failure of { shard : int; attempts : int; why : string }
+  | Overloaded of { queue : string; budget : int; pending : int }
 
 exception Error of t
 
@@ -20,6 +21,9 @@ let to_string = function
   | Worker_failure { shard; attempts; why } ->
       Printf.sprintf "worker failure: shard %d failed after %d attempt%s: %s" shard
         attempts (if attempts = 1 then "" else "s") why
+  | Overloaded { queue; budget; pending } ->
+      Printf.sprintf "overloaded: %s: %d pending exceeds budget %d" queue pending
+        budget
 
 let class_name = function
   | Invalid_input _ -> "invalid-input"
@@ -27,15 +31,19 @@ let class_name = function
   | Deadline_exceeded _ -> "deadline-exceeded"
   | Cancelled _ -> "cancelled"
   | Worker_failure _ -> "worker-failure"
+  | Overloaded _ -> "overloaded"
 
 (* Exit codes start at 65 (sysexits EX_DATAERR) to stay clear of shell
-   conventions (0/1/2), signal codes (128+), and Cmdliner's own 123-125. *)
+   conventions (0/1/2), signal codes (128+), and Cmdliner's own 123-125.
+   The table is append-only: codes are part of the scripted-caller
+   contract and pinned by the exit-code stability test. *)
 let exit_code = function
   | Invalid_input _ -> 65
   | Budget_exceeded _ -> 66
   | Deadline_exceeded _ -> 67
   | Cancelled _ -> 68
   | Worker_failure _ -> 69
+  | Overloaded _ -> 70
 
 let protect f = match f () with v -> Ok v | exception Error e -> Result.Error e
 

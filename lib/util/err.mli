@@ -27,6 +27,11 @@ type t =
   | Worker_failure of { shard : int; attempts : int; why : string }
       (** A parallel shard kept failing after bounded retries
           ({!Hlp_sim.Parsim}); [why] is the printed original exception. *)
+  | Overloaded of { queue : string; budget : int; pending : int }
+      (** Admission control shed the work: accepting it would have pushed
+          [queue] past its [budget] ({!Supervisor}'s load shedding). The
+          caller should retry later or against another instance — unlike
+          [Budget_exceeded] this says nothing about the work itself. *)
 
 exception Error of t
 (** The one exception library code raises for user-triggerable failures.
@@ -44,7 +49,10 @@ val class_name : t -> string
 
 val exit_code : t -> int
 (** Stable process exit code per class: invalid-input 65, budget-exceeded
-    66, deadline-exceeded 67, cancelled 68, worker-failure 69. *)
+    66, deadline-exceeded 67, cancelled 68, worker-failure 69,
+    overloaded 70. The table is append-only (pinned by the exit-code
+    stability test); signal exits use the shell convention 128+signum
+    (SIGINT 130, SIGTERM 143) at the CLI layer, never these codes. *)
 
 val protect : (unit -> 'a) -> ('a, t) result
 (** Run a thunk, catching exactly {!Error} (other exceptions — programming

@@ -1,0 +1,162 @@
+(* Append-only write-ahead journal with length+CRC32 framing, torn-tail
+   recovery, and atomic snapshot-via-rename files. *)
+
+(* --- CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320), table-driven --- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let idx =
+        Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl)
+      in
+      c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+(* --- frame format: [len32 LE][crc32 LE][payload] --- *)
+
+let header_bytes = 8
+
+(* a length field beyond this is treated as frame garbage, not a record:
+   recovery must never try to allocate an attacker- or corruption-sized
+   buffer *)
+let max_record_bytes = 1 lsl 26 (* 64 MiB *)
+
+let put_u32_le b v =
+  for i = 0 to 3 do
+    Buffer.add_char b
+      (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical v (8 * i)) 0xFFl)))
+  done
+
+let get_u32_le s off =
+  let byte i = Int32.of_int (Char.code s.[off + i]) in
+  Int32.logor (byte 0)
+    (Int32.logor
+       (Int32.shift_left (byte 1) 8)
+       (Int32.logor (Int32.shift_left (byte 2) 16) (Int32.shift_left (byte 3) 24)))
+
+let frame payload =
+  let b = Buffer.create (header_bytes + String.length payload) in
+  put_u32_le b (Int32.of_int (String.length payload));
+  put_u32_le b (crc32 payload);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+(* --- recovery --- *)
+
+type recovery = {
+  records : string list;
+  valid_bytes : int;
+  torn_bytes : int;
+}
+
+let recover path =
+  if not (Sys.file_exists path) then { records = []; valid_bytes = 0; torn_bytes = 0 }
+  else begin
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    let records = ref [] in
+    let pos = ref 0 in
+    let ok = ref true in
+    while !ok && !pos + header_bytes <= len do
+      let plen = Int32.to_int (get_u32_le s !pos) in
+      if plen < 0 || plen > max_record_bytes || !pos + header_bytes + plen > len then
+        ok := false
+      else begin
+        let payload = String.sub s (!pos + header_bytes) plen in
+        if crc32 payload <> get_u32_le s (!pos + 4) then ok := false
+        else begin
+          records := payload :: !records;
+          pos := !pos + header_bytes + plen
+        end
+      end
+    done;
+    { records = List.rev !records; valid_bytes = !pos; torn_bytes = len - !pos }
+  end
+
+(* --- appending --- *)
+
+type t = {
+  path : string;
+  fd : Unix.file_descr;
+  mutable nappended : int;
+  mutable closed : bool;
+}
+
+(* no Telemetry here: Journal sits below Json in the module order (Json's
+   atomic writes come through here, Telemetry's JSON export goes through
+   Json), so counting journal events is the caller's job *)
+
+let write_all fd s =
+  let len = String.length s in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write_substring fd s !off (len - !off)
+  done
+
+let open_ ?(resume = false) path =
+  let r = if resume then recover path else { records = []; valid_bytes = 0; torn_bytes = 0 } in
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
+  (* drop the torn tail (resume) or everything (fresh) before appending:
+     new frames must start exactly where the valid prefix ends *)
+  Unix.ftruncate fd r.valid_bytes;
+  ignore (Unix.lseek fd r.valid_bytes Unix.SEEK_SET);
+  ({ path; fd; nappended = 0; closed = false }, r.records)
+
+let append t payload =
+  if t.closed then invalid_arg "Journal.append: closed";
+  write_all t.fd (frame payload);
+  t.nappended <- t.nappended + 1
+
+let sync t = if not t.closed then Unix.fsync t.fd
+
+let close t =
+  if not t.closed then begin
+    sync t;
+    t.closed <- true;
+    Unix.close t.fd
+  end
+
+let path t = t.path
+let appended t = t.nappended
+
+(* --- atomic snapshots --- *)
+
+let fsync_dir dir =
+  (* the rename is only durable once the directory entry is synced; not
+     every filesystem allows opening a directory for fsync, so best-effort *)
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Unix.close fd
+  | exception Unix.Unix_error _ -> ()
+
+let write_atomic ~path contents =
+  let dir = Filename.dirname path in
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+      (Hashtbl.hash (path, contents))
+  in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      write_all fd contents;
+      Unix.fsync fd);
+  Unix.rename tmp path;
+  fsync_dir dir

@@ -95,10 +95,9 @@ let to_string ?(compact = false) v =
   end;
   Buffer.contents b
 
-let write ~path v =
-  let oc = open_out path in
-  output_string oc (to_string v);
-  close_out oc
+(* write-temp-then-rename: a signal or crash mid-emit must never leave a
+   torn BENCH/telemetry/report JSON file on disk *)
+let write ~path v = Journal.write_atomic ~path (to_string v)
 
 (* --- parser --- *)
 

@@ -15,6 +15,9 @@ let split t =
   let s = bits64 t in
   { state = s }
 
+let state t = t.state
+let of_state s = { state = s }
+
 let int t n =
   assert (n > 0);
   (* keep 62 bits so the value fits OCaml's 63-bit int as a nonnegative *)

@@ -15,6 +15,15 @@ val split : t -> t
 (** [split t] derives a new generator whose stream is independent of the
     subsequent outputs of [t]; both remain usable. *)
 
+val state : t -> int64
+(** The full internal state (splitmix64 is a 64-bit counter generator).
+    [of_state (state t)] continues [t]'s stream exactly — the capture a
+    checkpoint journal records so a resumed Monte Carlo run draws the
+    byte-identical remainder of the stream. *)
+
+val of_state : int64 -> t
+(** Rebuild a generator from a captured {!state}. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -1,0 +1,253 @@
+(* Supervised batch execution: breaker + bounded pool + signal plumbing.
+   Generic over the job payload — the power-estimation wiring lives in the
+   batch CLI, not here. *)
+
+let tel_jobs_run = Telemetry.counter "supervisor.jobs_run"
+let tel_jobs_ok = Telemetry.counter "supervisor.jobs_ok"
+let tel_jobs_failed = Telemetry.counter "supervisor.jobs_failed"
+let tel_sheds = Telemetry.counter "supervisor.sheds"
+let tel_deadline_sheds = Telemetry.counter "supervisor.deadline_sheds"
+let tel_breaker_opens = Telemetry.counter "supervisor.breaker_opens"
+let tel_breaker_half_opens = Telemetry.counter "supervisor.breaker_half_opens"
+let tel_breaker_closes = Telemetry.counter "supervisor.breaker_closes"
+
+(* --- circuit breaker --- *)
+
+type breaker_state = Closed | Open | Half_open
+
+type breaker = {
+  b_name : string;
+  threshold : int;
+  cooldown_s : float;
+  mu : Mutex.t;
+  mutable st : breaker_state;
+  mutable failures : int;  (* consecutive failures while closed *)
+  mutable opened_at : float;  (* monotonic, meaningful while open *)
+  mutable probing : bool;  (* half-open: the single probe is out *)
+}
+
+let breaker ?(failure_threshold = 3) ?(cooldown_s = 30.0) name =
+  if failure_threshold < 1 then
+    raise
+      (Err.invalid_input ~what:"Supervisor.breaker: failure_threshold"
+         "must be >= 1");
+  if (not (Float.is_finite cooldown_s)) || cooldown_s < 0.0 then
+    raise
+      (Err.invalid_input ~what:"Supervisor.breaker: cooldown_s"
+         "must be finite and non-negative");
+  { b_name = name;
+    threshold = failure_threshold;
+    cooldown_s;
+    mu = Mutex.create ();
+    st = Closed;
+    failures = 0;
+    opened_at = 0.0;
+    probing = false }
+
+let locked b f =
+  Mutex.lock b.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock b.mu) f
+
+let state_name = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
+let transition b st' =
+  b.st <- st';
+  Trace.instant
+    ~args:(fun () ->
+      [ ("breaker", Json.Str b.b_name); ("state", Json.Str (state_name st')) ])
+    "supervisor.breaker"
+
+let breaker_state b = locked b (fun () -> b.st)
+
+let breaker_allows b =
+  locked b @@ fun () ->
+  match b.st with
+  | Closed -> true
+  | Half_open ->
+      if b.probing then false
+      else begin
+        b.probing <- true;
+        true
+      end
+  | Open ->
+      if Clock.now_s () -. b.opened_at >= b.cooldown_s then begin
+        Telemetry.incr tel_breaker_half_opens;
+        transition b Half_open;
+        b.probing <- true;
+        true
+      end
+      else false
+
+let breaker_success b =
+  locked b @@ fun () ->
+  b.failures <- 0;
+  match b.st with
+  | Half_open ->
+      b.probing <- false;
+      Telemetry.incr tel_breaker_closes;
+      transition b Closed
+  | Closed | Open -> ()
+
+let open_locked b =
+  b.failures <- 0;
+  b.probing <- false;
+  b.opened_at <- Clock.now_s ();
+  Telemetry.incr tel_breaker_opens;
+  transition b Open
+
+let breaker_failure b =
+  locked b @@ fun () ->
+  match b.st with
+  | Half_open -> open_locked b (* the probe failed: full cooldown again *)
+  | Open -> ()
+  | Closed ->
+      b.failures <- b.failures + 1;
+      if b.failures >= b.threshold then open_locked b
+
+(* --- batch job runner --- *)
+
+type stats = {
+  ran : int;
+  ok : int;
+  failed : int;
+  shed_queue : int;
+  shed_deadline : int;
+}
+
+let run_jobs ?max_inflight ?queue_budget ?deadline_s ?token f jobs =
+  let max_inflight =
+    match max_inflight with
+    | None -> max 1 (Domain.recommended_domain_count () / 2)
+    | Some w when w >= 1 -> w
+    | Some _ ->
+        raise (Err.invalid_input ~what:"Supervisor.run_jobs: max_inflight" "must be >= 1")
+  in
+  (match queue_budget with
+  | Some b when b < 1 ->
+      raise (Err.invalid_input ~what:"Supervisor.run_jobs: queue_budget" "must be >= 1")
+  | _ -> ());
+  (match deadline_s with
+  | Some d when (not (Float.is_finite d)) || d < 0.0 ->
+      raise
+        (Err.invalid_input ~what:"Supervisor.run_jobs: deadline_s"
+           "must be finite and non-negative")
+  | _ -> ());
+  let n = Array.length jobs in
+  let admitted = match queue_budget with Some b -> min n b | None -> n in
+  let guard = Guard.create ?deadline_s ?token () in
+  let results =
+    Array.init n (fun i ->
+        if i < admitted then Error (Err.Cancelled { where = "supervisor: not reached" })
+        else
+          (* load shedding at admission: the queue budget is a latency
+             bound, so the excess gets a typed answer now, not a slot *)
+          Error
+            (Err.Overloaded
+               { queue = "supervisor.queue"; budget = admitted; pending = n }))
+  in
+  Telemetry.add tel_sheds (n - admitted);
+  if n - admitted > 0 then
+    Trace.instant
+      ~args:(fun () ->
+        [ ("admitted", Json.Int admitted); ("shed", Json.Int (n - admitted)) ])
+      "supervisor.load_shed";
+  let ran = Atomic.make 0
+  and ok = Atomic.make 0
+  and failed = Atomic.make 0
+  and shed_deadline = Atomic.make 0 in
+  let completed = Atomic.make 0 in
+  let next = Atomic.make 0 in
+  let shed_reason () =
+    match token with
+    | Some tk when Guard.is_cancelled tk ->
+        Err.Cancelled { where = "supervisor.admission" }
+    | _ ->
+        Err.Deadline_exceeded
+          { limit_s = Option.value deadline_s ~default:0.0;
+            elapsed_s = Guard.elapsed_s guard }
+  in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < admitted then begin
+        (* deadline-aware admission: a job that cannot start in time is
+           shed with a typed error instead of returning a late answer *)
+        if Guard.expired guard then begin
+          results.(i) <- Error (shed_reason ());
+          Atomic.incr shed_deadline;
+          Telemetry.incr tel_deadline_sheds
+        end
+        else begin
+          Atomic.incr ran;
+          Telemetry.incr tel_jobs_run;
+          let r =
+            Trace.span
+              ~args:(fun () -> [ ("job", Json.Int i) ])
+              "supervisor.job"
+              (fun () -> Err.protect (fun () -> f i guard jobs.(i)))
+          in
+          (match r with
+          | Ok _ ->
+              Atomic.incr ok;
+              Telemetry.incr tel_jobs_ok
+          | Error _ ->
+              Atomic.incr failed;
+              Telemetry.incr tel_jobs_failed);
+          results.(i) <- r
+        end;
+        Atomic.incr completed;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  if admitted > 0 then begin
+    let w = min max_inflight admitted in
+    let domains = List.init w (fun _ -> Domain.spawn worker) in
+    (* poll instead of blocking straight into join: the main domain stays
+       at safe points, so a SIGINT/SIGTERM handler runs promptly, cancels
+       the token, and the workers drain within one job boundary *)
+    while Atomic.get completed < admitted do
+      Unix.sleepf 0.02
+    done;
+    List.iter Domain.join domains
+  end;
+  ( results,
+    { ran = Atomic.get ran;
+      ok = Atomic.get ok;
+      failed = Atomic.get failed;
+      shed_queue = n - admitted;
+      shed_deadline = Atomic.get shed_deadline } )
+
+(* --- signals --- *)
+
+let with_graceful_stop ?signals f =
+  let signals = match signals with Some s -> s | None -> [ Sys.sigint; Sys.sigterm ] in
+  let token = Guard.token ~name:"supervisor.signal" () in
+  let fired = Atomic.make 0 in
+  (* the handler only flips the token: journal flushing and report writing
+     happen on the normal exit path, after the pool drains, so nothing is
+     ever written from inside a handler *)
+  let handle s =
+    Atomic.set fired s;
+    Guard.cancel token
+  in
+  let previous =
+    List.map (fun s -> (s, Sys.signal s (Sys.Signal_handle handle))) signals
+  in
+  Fun.protect
+    ~finally:(fun () -> List.iter (fun (s, h) -> Sys.set_signal s h) previous)
+    (fun () ->
+      let r = f token in
+      (r, match Atomic.get fired with 0 -> None | s -> Some s))
+
+let signal_exit_code s =
+  if s = Sys.sigint then 130
+  else if s = Sys.sigterm then 143
+  else if s = Sys.sighup then 129
+  else if s = Sys.sigquit then 131
+  else if s > 0 then 128 + s (* a raw OS signal number *)
+  else 128

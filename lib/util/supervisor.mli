@@ -1,0 +1,117 @@
+(** Supervised batch execution: bounded in-flight concurrency over worker
+    domains, deadline-aware admission control with load shedding, a
+    circuit breaker for flappy estimators, and graceful signal handling.
+
+    The paper's estimators are single long-running statistical jobs; the
+    production shape (HL-Pow / PowerGear style campaigns) is {e fleets} of
+    them — hundreds of design points, each an independent estimate. This
+    module is the generic runner for such fleets: it knows nothing about
+    power estimation, only about jobs, budgets, deadlines, and failure
+    containment. The batch CLI ([hlpower batch]) wires it to
+    {!Hlp_power.Probprop.estimate_guarded} plus per-job {!Journal}s.
+
+    Everything observable is counted: admissions, sheds, failures, and
+    breaker transitions appear in {!Telemetry}
+    (["supervisor.jobs_run"], ["supervisor.sheds"],
+    ["supervisor.deadline_sheds"], ["supervisor.breaker_opens"], ...) and
+    as {!Trace} instants, so a run report shows why a job never ran. *)
+
+(** {1 Circuit breaker}
+
+    A named three-state breaker (closed -> open -> half-open) guarding a
+    fallible-but-preferred path. The batch runner uses one per estimator:
+    repeated [Budget_exceeded] trips from the symbolic BDD stage open the
+    breaker, jobs route straight to Monte Carlo sampling (skipping the
+    doomed BDD build entirely), and after a cooldown one probe job is
+    allowed to try symbolic again — success closes the breaker, failure
+    re-opens it for another cooldown. *)
+
+type breaker
+
+type breaker_state = Closed | Open | Half_open
+
+val breaker :
+  ?failure_threshold:int -> ?cooldown_s:float -> string -> breaker
+(** [breaker name] with [failure_threshold] consecutive failures to open
+    (default 3) and [cooldown_s] seconds open before half-opening
+    (default 30). Raises [Err.Error (Invalid_input _)] on a
+    non-positive threshold or a non-finite/negative cooldown. Safe to
+    share across worker domains (mutex-protected). *)
+
+val breaker_state : breaker -> breaker_state
+
+val breaker_allows : breaker -> bool
+(** Ask permission to take the guarded path. [Closed]: always true.
+    [Open]: false until the cooldown elapses (monotonic {!Clock}), at
+    which point the breaker half-opens and exactly {e one} caller gets
+    true (the probe); concurrent callers keep getting false until the
+    probe reports. Every [true] must be paired with a later
+    {!breaker_success} or {!breaker_failure}. *)
+
+val breaker_success : breaker -> unit
+(** The guarded path worked: resets the failure count; a half-open probe
+    success closes the breaker (counted in ["supervisor.breaker_closes"]). *)
+
+val breaker_failure : breaker -> unit
+(** The guarded path tripped: bumps the consecutive-failure count; at the
+    threshold (or on a half-open probe failure) the breaker opens and the
+    cooldown restarts (counted in ["supervisor.breaker_opens"], with a
+    {!Trace} instant carrying the breaker name). *)
+
+(** {1 Batch job runner} *)
+
+type stats = {
+  ran : int;  (** jobs whose [run] was invoked (whatever the outcome) *)
+  ok : int;  (** jobs that returned [Ok] *)
+  failed : int;  (** jobs whose [run] returned a typed error *)
+  shed_queue : int;  (** rejected at admission: queue over budget *)
+  shed_deadline : int;  (** never started: batch deadline / cancellation *)
+}
+
+val run_jobs :
+  ?max_inflight:int ->
+  ?queue_budget:int ->
+  ?deadline_s:float ->
+  ?token:Guard.token ->
+  (int -> Guard.t -> 'job -> 'r) ->
+  'job array ->
+  ('r, Err.t) result array * stats
+(** [run_jobs f jobs] runs every admitted job on a pool of at most
+    [max_inflight] worker domains (default {e half} the recommended
+    domain count, at least 1 — each job may itself shard over domains)
+    and returns one result slot per job, in job order.
+
+    {e Admission control}: with [queue_budget] set, jobs beyond the first
+    [queue_budget] are shed immediately with
+    [Error (Overloaded {queue = "supervisor.queue"; _})] — bounded-queue
+    load shedding, a typed answer instead of unbounded latency. With
+    [deadline_s] set, jobs that have not {e started} when the batch
+    deadline passes (or when [token] is cancelled, e.g. by a signal
+    handler) are shed with the corresponding typed error without running.
+
+    Each started job receives its index and a {!Guard.t} carrying the
+    remaining batch deadline and [token]; long jobs must thread it into
+    their estimators so cancellation takes effect at batch granularity.
+    [f]'s typed errors ({!Err.Error}) are contained in the job's slot;
+    any other exception escapes the pool (programming error).
+
+    Workers never outlive the call: all domains are joined before it
+    returns, even on cancellation. Raises [Invalid_input] on non-positive
+    [max_inflight]/[queue_budget] or a non-finite/negative [deadline_s]. *)
+
+(** {1 Signals} *)
+
+val with_graceful_stop :
+  ?signals:int list -> (Guard.token -> 'a) -> 'a * int option
+(** [with_graceful_stop f] installs handlers for [signals] (default
+    SIGINT and SIGTERM) that cancel the token handed to [f], runs [f],
+    restores the previous handlers (also on exceptions), and reports the
+    signal that fired, if any. The handler only flips the token — flushing
+    journals and writing final reports is the caller's job, after [f]
+    drains — so the process exits through the normal path with everything
+    synced, and the caller can exit with the shell convention
+    [128 + signum] ({!signal_exit_code}). *)
+
+val signal_exit_code : int -> int
+(** [signal_exit_code signum] is the conventional exit code for a run
+    stopped by [signum]: 130 for SIGINT, 143 for SIGTERM. *)

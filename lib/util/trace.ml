@@ -182,8 +182,6 @@ let json_value () =
 
 let to_json () = Json.to_string ~compact:true (json_value ())
 
-let write ~path =
-  let oc = open_out path in
-  output_string oc (to_json ());
-  output_char oc '\n';
-  close_out oc
+(* atomic (temp + rename): a SIGTERM arriving mid-flush must not leave a
+   torn trace JSON behind *)
+let write ~path = Journal.write_atomic ~path (to_json () ^ "\n")

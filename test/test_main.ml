@@ -1,4 +1,7 @@
 let () =
+  (* crash-test child mode: when the durability suite re-executes this
+     binary to SIGKILL it mid-estimation, never start Alcotest *)
+  Test_durability.run_child_if_requested ();
   Alcotest.run "hlpower"
     [
       ("util", Test_util.suite);
@@ -17,5 +20,6 @@ let () =
       ("extensions", Test_extensions.suite);
       ("properties", Test_properties.suite);
       ("robustness", Test_robustness.suite);
+      ("durability", Test_durability.suite);
       ("observability", Test_observability.suite);
     ]

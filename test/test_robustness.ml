@@ -44,7 +44,9 @@ let test_err_exit_codes () =
        "deadline-exceeded", 67);
       (Err.Cancelled { where = "w" }, "cancelled", 68);
       (Err.Worker_failure { shard = 3; attempts = 2; why = "boom" },
-       "worker-failure", 69) ]
+       "worker-failure", 69);
+      (Err.Overloaded { queue = "q"; budget = 4; pending = 9 },
+       "overloaded", 70) ]
   in
   List.iter
     (fun (e, cls, code) ->
