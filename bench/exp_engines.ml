@@ -564,11 +564,178 @@ let e36_durability ?(units = 60) ?(batch = 500) ?(reps = 5) () =
     du_identical;
   }
 
+(* E38: compiled-kernel replay throughput across circuit sizes. The four
+   engines replay the same precomputed white-noise trace (vector generation
+   outside the timed region, so the measurement is the gate-level replay
+   itself) over three circuits spanning two orders of magnitude in gate
+   count. Bit-parallel and compiled are timed as interleaved (bitpar,
+   compiled, bitpar) rounds: the two bit-parallel batches are an A/A noise
+   floor for the compiled-vs-bitparallel ratio, which is the number the
+   regression gate pins (a within-machine ratio, so it transfers across
+   runners). The kernel's one-time compile cost is timed cold
+   (Kernel.clear_cache first) and folded into an amortization curve:
+   amortized speedup over bit-parallel after k replays of the same
+   fingerprint, plus the break-even replay count. *)
+
+type kernel_circuit = {
+  kc_circuit : string;
+  kc_gates : int;
+  kc_depth : int;
+  kc_cycles : int;
+  kc_compile_s : float;
+  kc_scalar_s : float;
+  kc_bitpar_s : float;
+  kc_parallel_s : float;
+  kc_compiled_s : float;
+  kc_aa_spread_pct : float;  (** bit-parallel A/A spread, noise floor *)
+  kc_compiled_vs_bitpar : float;
+}
+
+type kernel_result = {
+  kn_circuits : kernel_circuit list;
+  kn_largest : string;
+  kn_ratio : float;  (** compiled vs bit-parallel, largest circuit, warm *)
+  kn_break_even_replays : float;
+  kn_amortization : (int * float) list;
+      (** replay count -> speedup vs bit-parallel including one cold compile *)
+}
+
+let e38_kernel ?(chunks = 48) ?(reps = 5) ?(assert_speedup = true) () =
+  Trace.span "bench.e38_kernel" @@ fun () ->
+  let n = chunks * Hlp_sim.Kernel.lanes in
+  let circuits =
+    [ ("multiplier 6", Hlp_logic.Generators.multiplier_circuit 6);
+      ("multiplier 8", Hlp_logic.Generators.multiplier_circuit 8);
+      ( "random 4k",
+        Hlp_logic.Generators.random_logic (Prng.create 123) ~inputs:24
+          ~outputs:16 ~gates:4000 ) ]
+  in
+  let timed f = snd (time (fun () -> ignore (f ()))) in
+  let minimum a = Array.fold_left min a.(0) a in
+  let measure (label, net) =
+    let nin = Array.length net.Hlp_logic.Netlist.inputs in
+    let rng = Prng.create 77 in
+    (* the trace is materialized up front: vector generation must not cap
+       the speedup of the fast engines *)
+    let vecs = Array.init n (fun _ -> Array.init nin (fun _ -> Prng.bool rng)) in
+    let vector i = vecs.(i) in
+    let replay engine () =
+      Hlp_sim.Parsim.replay ~engine net ~vector ~n
+    in
+    (* cold compile: evict the plan, then time construction alone *)
+    Hlp_sim.Kernel.clear_cache ();
+    let _, kc_compile_s = time (fun () -> Hlp_sim.Kernel.of_netlist net) in
+    let best engine =
+      ignore (replay engine ());
+      (* warm-up *)
+      let b = Array.init reps (fun _ -> timed (replay engine)) in
+      minimum b
+    in
+    let kc_scalar_s = best Hlp_sim.Engine.Scalar in
+    let kc_parallel_s = best Hlp_sim.Engine.Parallel in
+    (* interleaved A/B/A: bitpar, compiled, bitpar per rep *)
+    ignore (replay Hlp_sim.Engine.Bitparallel ());
+    ignore (replay Hlp_sim.Engine.Compiled ());
+    let bp_a = Array.make reps 0.0 in
+    let co = Array.make reps 0.0 in
+    let bp_b = Array.make reps 0.0 in
+    for i = 0 to reps - 1 do
+      bp_a.(i) <- timed (replay Hlp_sim.Engine.Bitparallel);
+      co.(i) <- timed (replay Hlp_sim.Engine.Compiled);
+      bp_b.(i) <- timed (replay Hlp_sim.Engine.Bitparallel)
+    done;
+    let ba = minimum bp_a and bb = minimum bp_b in
+    let kc_bitpar_s = min ba bb in
+    let kc_compiled_s = minimum co in
+    {
+      kc_circuit = label;
+      kc_gates = Hlp_logic.Netlist.num_gates net;
+      kc_depth = Hlp_logic.Netlist.logic_depth net;
+      kc_cycles = n;
+      kc_compile_s;
+      kc_scalar_s;
+      kc_bitpar_s;
+      kc_parallel_s;
+      kc_compiled_s;
+      kc_aa_spread_pct = abs_float (bb -. ba) /. ba *. 100.0;
+      kc_compiled_vs_bitpar = kc_bitpar_s /. kc_compiled_s;
+    }
+  in
+  let kn_circuits = List.map measure circuits in
+  let kcs s = float_of_int n /. s /. 1e3 in
+  let rows =
+    List.map
+      (fun c ->
+        [ c.kc_circuit;
+          string_of_int c.kc_gates;
+          string_of_int c.kc_depth;
+          Printf.sprintf "%.0f" (kcs c.kc_scalar_s);
+          Printf.sprintf "%.0f" (kcs c.kc_bitpar_s);
+          Printf.sprintf "%.0f" (kcs c.kc_parallel_s);
+          Printf.sprintf "%.0f" (kcs c.kc_compiled_s);
+          Printf.sprintf "%.2fx" c.kc_compiled_vs_bitpar;
+          Printf.sprintf "%.2f" (c.kc_compile_s *. 1e3);
+          Printf.sprintf "%.1f%%" c.kc_aa_spread_pct ])
+      kn_circuits
+  in
+  Table.print
+    ~title:
+      (Printf.sprintf
+         "E38: compiled-kernel replay throughput (kcycle/s, %d-cycle trace, best of %d)"
+         n reps)
+    ~align:
+      [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
+        Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+    ~header:
+      [ "circuit"; "gates"; "depth"; "scalar"; "bitpar"; "parallel";
+        "compiled"; "vs bitpar"; "compile ms"; "A/A" ]
+    rows;
+  let largest =
+    List.fold_left
+      (fun a c -> if c.kc_gates > a.kc_gates then c else a)
+      (List.hd kn_circuits) kn_circuits
+  in
+  (* amortization: k replays of the same fingerprint pay one cold compile;
+     the bit engine pays nothing up front *)
+  let amortized k =
+    float_of_int k *. largest.kc_bitpar_s
+    /. (largest.kc_compile_s +. (float_of_int k *. largest.kc_compiled_s))
+  in
+  let kn_amortization = List.map (fun k -> (k, amortized k)) [ 1; 10; 100; 1000 ] in
+  let kn_break_even_replays =
+    if largest.kc_compiled_s < largest.kc_bitpar_s then
+      largest.kc_compile_s /. (largest.kc_bitpar_s -. largest.kc_compiled_s)
+    else infinity
+  in
+  Printf.printf
+    "compile amortization (%s): break-even at %.2f replays; speedup vs bitpar after"
+    largest.kc_circuit kn_break_even_replays;
+  List.iter
+    (fun (k, s) -> Printf.printf "  %d: %.2fx" k s)
+    kn_amortization;
+  print_newline ();
+  Printf.printf
+    "compiled vs bit-parallel on %s: %.2fx warm (target >= 3x; A/A floor %.1f%%)\n"
+    largest.kc_circuit largest.kc_compiled_vs_bitpar largest.kc_aa_spread_pct;
+  if assert_speedup && largest.kc_compiled_vs_bitpar < 3.0 then
+    failwith "E38: compiled kernel below the 3x-vs-bitparallel target";
+  if assert_speedup && amortized 10 < 3.0 then
+    failwith "E38: compile cost not amortized within 10 replays";
+  print_newline ();
+  {
+    kn_circuits;
+    kn_largest = largest.kc_circuit;
+    kn_ratio = largest.kc_compiled_vs_bitpar;
+    kn_break_even_replays;
+    kn_amortization;
+  }
+
 (* --- BENCH_engines.json --- *)
 
 let floats a = Json.List (Array.to_list (Array.map (fun x -> Json.Float x) a))
 
-let bench_json ~smoke ~n engines mc overhead tracing robustness durability =
+let bench_json ~smoke ~n engines mc overhead tracing robustness durability
+    kernel =
   let open Json in
   let engine_obj r =
     Obj
@@ -652,6 +819,40 @@ let bench_json ~smoke ~n engines mc overhead tracing robustness durability =
         (* asserted by the experiment, recorded for the report *)
         ("estimate_bit_identical", Bool d.du_identical) ]
   in
+  let kernel_circuit_obj c =
+    Obj
+      [ ("circuit", Str c.kc_circuit);
+        ("gates", Int c.kc_gates);
+        ("depth", Int c.kc_depth);
+        ("cycles", Int c.kc_cycles);
+        ("compile_s", Float c.kc_compile_s);
+        ("scalar_s", Float c.kc_scalar_s);
+        ("bitparallel_s", Float c.kc_bitpar_s);
+        ("parallel_s", Float c.kc_parallel_s);
+        ("compiled_s", Float c.kc_compiled_s);
+        (* A/A comparison of the two interleaved bit-parallel batches:
+           the noise floor the compiled ratio is judged against *)
+        ("bitparallel_aa_spread_pct", Float c.kc_aa_spread_pct);
+        ("compiled_vs_bitparallel", Float c.kc_compiled_vs_bitpar) ]
+  in
+  let kernel_obj k =
+    Obj
+      [ ("experiment", Str "E38 compiled-kernel replay throughput");
+        ("circuits", List (List.map kernel_circuit_obj k.kn_circuits));
+        ("largest_circuit", Str k.kn_largest);
+        (* the gated number: warm compiled-vs-bitparallel ratio on the
+           largest circuit (within-machine, transfers across runners) *)
+        ("compiled_vs_bitparallel", Float k.kn_ratio);
+        ("break_even_replays", Float k.kn_break_even_replays);
+        ( "amortization",
+          List
+            (List.map
+               (fun (reps, s) ->
+                 Obj
+                   [ ("replays", Int reps);
+                     ("speedup_vs_bitparallel", Float s) ])
+               k.kn_amortization) ) ]
+  in
   let v =
     Obj
       [ ("experiment", Str "E33 engine throughput + Monte Carlo convergence");
@@ -666,7 +867,8 @@ let bench_json ~smoke ~n engines mc overhead tracing robustness durability =
         ("telemetry_overhead", overhead_obj ~what:"telemetry" overhead);
         ("tracing", overhead_obj ~what:"span tracing" tracing);
         ("robustness", robustness_obj robustness);
-        ("durability", durability_obj durability) ]
+        ("durability", durability_obj durability);
+        ("kernel", kernel_obj kernel) ]
   in
   Json.write ~path:"BENCH_engines.json" v;
   print_endline "wrote BENCH_engines.json"
@@ -679,7 +881,9 @@ let all () =
   let tracing = tracing_overhead ~n () in
   let robustness = e34_robustness ~n () in
   let durability = e36_durability () in
+  let kernel = e38_kernel () in
   bench_json ~smoke:false ~n engines mc overhead tracing robustness durability
+    kernel
 
 (* reduced workload for CI: exercises every engine end to end without the
    10^4-cycle stream or the speedup assertion (shared runners are noisy) *)
@@ -691,15 +895,21 @@ let smoke () =
   let tracing = tracing_overhead ~n ~reps:3 () in
   let robustness = e34_robustness ~n ~reps:3 () in
   let durability = e36_durability ~units:30 ~reps:3 () in
+  let kernel = e38_kernel ~chunks:8 ~reps:3 ~assert_speedup:false () in
   bench_json ~smoke:true ~n engines mc overhead tracing robustness durability
+    kernel
 
 (* --- bench regression gate ---
 
    Re-measures the engine workload and diffs the fresh numbers against the
-   committed BENCH_engines.json snapshot. Only the bit-parallel engine's
-   speedup-vs-scalar is gated: it is a within-machine ratio, so it
-   transfers across runners, unlike absolute cycles/second (and unlike the
-   parallel engine, whose ratio tracks the runner's core count). *)
+   committed BENCH_engines.json snapshot. Two within-machine ratios are
+   gated — they transfer across runners, unlike absolute cycles/second
+   (and unlike the parallel engine, whose ratio tracks the runner's core
+   count): the bit-parallel engine's speedup-vs-scalar, and (when the
+   committed snapshot carries an E38 kernel section) the compiled kernel's
+   speedup-vs-bitparallel on the largest E38 circuit. The compiled gate is
+   learned: snapshots predating the kernel skip it with a notice, and the
+   next full regenerate pins it. *)
 
 let threshold_pct = 25.0
 
@@ -748,4 +958,30 @@ let regression_gate ?(path = "BENCH_engines.json") () =
     "regression gate: bitparallel speedup %.1fx vs committed %.1fx (floor %.1fx, -%.0f%%): %s\n"
     current baseline floor threshold_pct
     (if ok then "OK" else "REGRESSION");
-  ok
+  (* compiled-kernel gate: only when the committed snapshot knows the ratio *)
+  let kernel_baseline =
+    match Json.member "kernel" committed with
+    | Some k -> (
+        match Json.member "compiled_vs_bitparallel" k with
+        | Some v -> Json.to_float_opt v
+        | None -> None)
+    | None -> None
+  in
+  let kernel_ok =
+    match kernel_baseline with
+    | None ->
+        print_endline
+          "regression gate: no kernel section in snapshot, compiled gate \
+           skipped (learned on next regenerate)";
+        true
+    | Some kb ->
+        let fresh_kernel = e38_kernel ~assert_speedup:false () in
+        let kfloor = kb *. (1.0 -. (threshold_pct /. 100.0)) in
+        let kok = fresh_kernel.kn_ratio >= kfloor in
+        Printf.printf
+          "regression gate: compiled vs bitparallel %.2fx vs committed %.2fx (floor %.2fx, -%.0f%%): %s\n"
+          fresh_kernel.kn_ratio kb kfloor threshold_pct
+          (if kok then "OK" else "REGRESSION");
+        kok
+  in
+  ok && kernel_ok

@@ -43,7 +43,8 @@ let stream_enum =
 let engine_enum =
   List.map (fun e -> (Hlp_sim.Engine.to_string e, e)) Hlp_sim.Engine.all
   (* short aliases accepted by Engine.of_string since the engines landed *)
-  @ [ ("bitpar", Hlp_sim.Engine.Bitparallel); ("par", Hlp_sim.Engine.Parallel) ]
+  @ [ ("bitpar", Hlp_sim.Engine.Bitparallel); ("par", Hlp_sim.Engine.Parallel);
+      ("kernel", Hlp_sim.Engine.Compiled) ]
 
 let enum_doc alts = String.concat "|" (List.map fst alts)
 

@@ -1,0 +1,76 @@
+(* Fingerprint-keyed derived-artifact cache.
+
+   Compiling a netlist into a replay kernel (or any other derived,
+   immutable artifact) is pure in the structure, and Netlist.fingerprint
+   is a stable structural key, so the artifact can be memoized across
+   estimates, batch jobs, and server requests. The cache is bounded
+   (FIFO eviction — entries are cheap to rebuild, recency tracking is
+   not worth a hot-path write) and mutex-protected so worker domains can
+   share it; cached values must therefore be immutable after
+   construction. *)
+
+type 'a t = {
+  name : string;
+  capacity : int;
+  tbl : (int64, 'a) Hashtbl.t;
+  order : int64 Queue.t;  (* insertion order, for FIFO eviction *)
+  lock : Mutex.t;
+  hits : Hlp_util.Telemetry.counter;
+  misses : Hlp_util.Telemetry.counter;
+  evictions : Hlp_util.Telemetry.counter;
+}
+
+let create ?(capacity = 64) ~name () =
+  if capacity < 1 then
+    raise
+      (Hlp_util.Err.invalid_input ~what:"Netcache.create: capacity"
+         "must be >= 1");
+  {
+    name;
+    capacity;
+    tbl = Hashtbl.create 16;
+    order = Queue.create ();
+    lock = Mutex.create ();
+    hits = Hlp_util.Telemetry.counter (name ^ ".cache_hits");
+    misses = Hlp_util.Telemetry.counter (name ^ ".cache_misses");
+    evictions = Hlp_util.Telemetry.counter (name ^ ".cache_evictions");
+  }
+
+let locked c f =
+  Mutex.lock c.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock c.lock) f
+
+(* The compute runs outside the lock: compiles can be slow, and two
+   domains racing on the same key at worst compile twice — the earlier
+   insert wins, so both callers still observe a single canonical value. *)
+let find_or_compute c ~key f =
+  match locked c (fun () -> Hashtbl.find_opt c.tbl key) with
+  | Some v ->
+      Hlp_util.Telemetry.incr c.hits;
+      v
+  | None ->
+      Hlp_util.Telemetry.incr c.misses;
+      let v = f () in
+      locked c (fun () ->
+          match Hashtbl.find_opt c.tbl key with
+          | Some winner -> winner
+          | None ->
+              if Hashtbl.length c.tbl >= c.capacity then begin
+                let victim = Queue.pop c.order in
+                Hashtbl.remove c.tbl victim;
+                Hlp_util.Telemetry.incr c.evictions
+              end;
+              Hashtbl.replace c.tbl key v;
+              Queue.push key c.order;
+              v)
+
+let mem c key = locked c (fun () -> Hashtbl.mem c.tbl key)
+let length c = locked c (fun () -> Hashtbl.length c.tbl)
+
+let clear c =
+  locked c (fun () ->
+      Hashtbl.reset c.tbl;
+      Queue.clear c.order)
+
+let name c = c.name
+let capacity c = c.capacity

@@ -1,0 +1,29 @@
+(** Fingerprint-keyed cache for artifacts derived from a netlist.
+
+    Anything computed purely from a netlist's structure — a compiled
+    replay kernel, a prepared sampler, a built BDD — can be memoized
+    under {!Netlist.fingerprint}. The cache is bounded (FIFO eviction)
+    and safe to share across domains; values stored in it must be
+    immutable after construction, since concurrent readers receive the
+    same physical value. Hit/miss/eviction counts surface through
+    {!Hlp_util.Telemetry} as [<name>.cache_hits], [<name>.cache_misses],
+    and [<name>.cache_evictions]. *)
+
+type 'a t
+
+val create : ?capacity:int -> name:string -> unit -> 'a t
+(** [create ~name ()] makes an empty cache holding at most [capacity]
+    (default 64) entries. Raises the typed [Invalid_input] on a
+    non-positive capacity. *)
+
+val find_or_compute : 'a t -> key:int64 -> (unit -> 'a) -> 'a
+(** [find_or_compute c ~key f] returns the cached value for [key],
+    computing and inserting [f ()] on a miss. [f] runs outside the lock;
+    if two domains race on the same key the first insert wins and both
+    see the same canonical value. *)
+
+val mem : 'a t -> int64 -> bool
+val length : 'a t -> int
+val clear : 'a t -> unit
+val name : 'a t -> string
+val capacity : 'a t -> int

@@ -180,6 +180,26 @@ let levels t =
 
 let critical_path t = Array.fold_left max 0.0 (levels t)
 
+(* Integer levelization for the compiled replay kernel: sources (inputs,
+   registers, zero-fanin constant drivers) sit at level 0; a combinational
+   gate sits one past its deepest fanin. Within a level no gate reads
+   another, so any per-level evaluation order settles identically to the
+   id-order interpreter — the property the kernel's reordered
+   struct-of-arrays evaluation rests on. Nodes nothing consumes (dangling
+   outputs, dead cones) still get a level: they toggle and burn power in
+   the interpreter, so the kernel must evaluate them too. *)
+let comb_levels t =
+  let lv = Array.make (num_nodes t) 0 in
+  Array.iteri
+    (fun i n ->
+      match n.kind with
+      | Gate.Input | Gate.Const _ | Gate.Dff -> lv.(i) <- 0
+      | _ ->
+          let worst = Array.fold_left (fun acc w -> max acc lv.(w)) 0 n.fanin in
+          lv.(i) <- worst + 1)
+    t.nodes;
+  lv
+
 let logic_depth t =
   let d = Array.make (num_nodes t) 0 in
   let deepest = ref 0 in
@@ -196,7 +216,7 @@ let logic_depth t =
 
 (* FNV-1a over the full structure. Order matters everywhere it is fed, so
    any change to a gate, a wire, or a port name changes the fingerprint. *)
-let fingerprint t =
+let fingerprint_walk t =
   let h = ref 0xcbf29ce484222325L in
   let prime = 0x100000001b3L in
   let mix_byte b =
@@ -225,6 +245,22 @@ let fingerprint t =
   Array.iter mix_int t.dffs;
   Array.iter (fun b -> mix_byte (Bool.to_int b)) t.dff_init;
   !h
+
+(* The walk touches every byte of the structure, so repeated cache lookups
+   against one circuit (the hot pattern: fingerprint-keyed kernel and BDD
+   caches re-key per request) would pay it each time. Netlists are
+   immutable after construction — the Netcache sharing contract — so the
+   last result can be memoized by physical identity. A racing domain at
+   worst recomputes and stores the same pair. *)
+let fp_memo : (t * int64) option ref = ref None
+
+let fingerprint t =
+  match !fp_memo with
+  | Some (t', fp) when t' == t -> fp
+  | _ ->
+      let fp = fingerprint_walk t in
+      fp_memo := Some (t, fp);
+      fp
 
 let validate t =
   let n = num_nodes t in

@@ -97,6 +97,15 @@ val levels : t -> float array
 val critical_path : t -> float
 (** Longest combinational arrival time over all nodes. *)
 
+val comb_levels : t -> int array
+(** Integer topological level of each node: inputs, registers, and
+    zero-fanin constant drivers at 0, combinational gates at
+    [1 + max fanin level]. Gates on the same level never read each other,
+    so a level is a unit of reorderable evaluation — the contract the
+    compiled replay kernel ({!Hlp_sim.Kernel}) builds its
+    struct-of-arrays schedule on. Dangling (fanout-free) nodes are
+    levelized like any other: they still switch capacitance. *)
+
 val logic_depth : t -> int
 (** Longest combinational path measured in gate counts. *)
 

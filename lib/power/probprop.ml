@@ -394,10 +394,13 @@ let monte_carlo_bitparallel ~batch ~relative_precision ~max_cycles ~seed ~engine
     | None -> (None, None)
     | Some ck -> (
         let header =
+          (* per-unit means are a pure function of (seed, unit index) and
+             bit-identical across the unit engines (the kernel suite pins
+             it), so the header binds the record format, not the
+             arithmetic backend: a campaign checkpointed under one unit
+             engine resumes byte-identically under another *)
           header_payload ~kind:"mc-units" ~seed ~batch ~relative_precision
-            ~max_cycles
-            ~engine:(Hlp_sim.Engine.to_string engine)
-            net
+            ~max_cycles ~engine:"units" net
         in
         let j, records = ck_open ck ~header in
         let w = { ckw = ck; j; n = 0 } in
@@ -450,7 +453,8 @@ let monte_carlo ?(batch = 30) ?(relative_precision = 0.05) ?(max_cycles = 100_00
       (Hlp_util.Err.invalid_input ~what:"Probprop.monte_carlo: batch"
          "must be >= 2 (batch means need at least two cycles)");
   match engine with
-  | Hlp_sim.Engine.Bitparallel | Hlp_sim.Engine.Parallel ->
+  | Hlp_sim.Engine.Bitparallel | Hlp_sim.Engine.Parallel
+  | Hlp_sim.Engine.Compiled ->
       monte_carlo_bitparallel ~batch ~relative_precision ~max_cycles ~seed ~engine
         ?jobs ?max_retries ?checkpoint:ck ~guard net
   | Hlp_sim.Engine.Scalar ->

@@ -116,7 +116,8 @@ let prepare ?(engine = Hlp_sim.Engine.Scalar) ?jobs model dut traces =
         (* windows are per-transition independent and slot-addressed, so
            the parallel map is deterministic in the worker count *)
         Hlp_sim.Parsim.map ?jobs (n - 1) predict_at
-    | Hlp_sim.Engine.Scalar | Hlp_sim.Engine.Bitparallel ->
+    | Hlp_sim.Engine.Scalar | Hlp_sim.Engine.Bitparallel
+    | Hlp_sim.Engine.Compiled ->
         Array.init (n - 1) predict_at
   in
   Hlp_util.Telemetry.add tel_macro_evals (n - 1);

@@ -78,3 +78,11 @@ val set_counting : s -> bool -> unit
 
 val reset_counters : s -> unit
 (** Zero the accounting without touching circuit state. *)
+
+val scan_lanes : float array -> float -> int -> unit
+(** [scan_lanes acc cap delta] adds [cap] to [acc.(j)] for every set bit
+    [j] of [delta] — the per-lane capacitance accounting primitive (a
+    256-entry byte table keeps it cheap). Within one node each lane
+    receives at most one addition, so any visit order gives bit-identical
+    per-lane sums; shared with {!Kernel} so both engines charge lanes
+    through literally the same code. *)

@@ -1,14 +1,16 @@
-type t = Scalar | Bitparallel | Parallel
+type t = Scalar | Bitparallel | Parallel | Compiled
 
-let all = [ Scalar; Bitparallel; Parallel ]
+let all = [ Scalar; Bitparallel; Parallel; Compiled ]
 
 let to_string = function
   | Scalar -> "scalar"
   | Bitparallel -> "bitparallel"
   | Parallel -> "parallel"
+  | Compiled -> "compiled"
 
 let of_string = function
   | "scalar" -> Some Scalar
   | "bitparallel" | "bitpar" -> Some Bitparallel
   | "parallel" | "par" -> Some Parallel
+  | "compiled" | "kernel" -> Some Compiled
   | _ -> None

@@ -1,0 +1,748 @@
+open Hlp_logic
+
+(* Compiled struct-of-arrays replay kernel.
+
+   The pointer-chasing interpreter (Funcsim/Bitsim) dispatches every gate
+   evaluation through the netlist data structure: load a node record,
+   match on a boxed [Gate.kind], chase the fanin array, call [set]. This
+   module compiles all of that away once per netlist:
+
+   - the combinational gates are flattened into contiguous arrays
+     ("slots"): destination node id, specialized pin indices for
+     arity <= 3, and a CSR pool (offsets + flat index array) for n-ary
+     gates, plus the capacitance table — the whole schedule is a handful
+     of contiguous int/float arrays;
+   - slots are topologically levelized ({!Netlist.comb_levels}) and
+     grouped by opcode within each level, so the inner loop of a segment
+     is a branch-free run of identical word-wide operations;
+   - each segment becomes a specialized closure over the flat arrays,
+     built once at compile time: per step the kernel makes one indirect
+     call per segment instead of one dispatch per gate, and allocates
+     nothing;
+   - every array access in the closures and in the accounting pass is
+     [unsafe_get]/[unsafe_set], justified by a single construction-time
+     bounds proof ({!verify}): compilation fails loudly if any slot,
+     pin, or level violates its range or ordering invariant, and the
+     arrays are never mutated afterwards.
+
+   Bit-identity with {!Bitsim} (the contract the differential wall in
+   [test/test_kernel.ml] pins): values are words of 63 lanes evaluated by
+   the same bitwise expressions; toggle/high counters are the same
+   integer popcounts; and the per-lane float accumulation replays
+   Bitsim's chronological charge order exactly — registers in
+   declaration order, then inputs, then combinational nodes in id order
+   ([acct_order]) — because float addition is non-associative and the
+   levelized evaluation order must not leak into the sums. *)
+
+let lanes = Bitsim.lanes
+let all_ones = -1
+let broadcast b = if b then all_ones else 0
+
+(* slot opcodes: dense ints so the match in [seg_pass] is a jump table
+   resolved once per segment at compile time, not once per gate *)
+let op_buf = 0
+let op_not = 1
+let op_and2 = 2
+let op_or2 = 3
+let op_nand2 = 4
+let op_nor2 = 5
+let op_xor = 6
+let op_xnor = 7
+let op_mux = 8
+let op_andn = 9
+let op_orn = 10
+let op_nandn = 11
+let op_norn = 12
+
+let opcode_name = function
+  | 0 -> "buf" | 1 -> "not" | 2 -> "and2" | 3 -> "or2" | 4 -> "nand2"
+  | 5 -> "nor2" | 6 -> "xor" | 7 -> "xnor" | 8 -> "mux" | 9 -> "andn"
+  | 10 -> "orn" | 11 -> "nandn" | 12 -> "norn" | _ -> "?"
+
+(* Const / Input / Dff never occupy a slot: constants are fixed at
+   creation, inputs and registers are written by the step driver. *)
+let opcode_of = function
+  | Gate.Input | Gate.Dff | Gate.Const _ -> None
+  | Gate.Buf -> Some op_buf
+  | Gate.Not -> Some op_not
+  | Gate.And n -> Some (if n = 2 then op_and2 else op_andn)
+  | Gate.Or n -> Some (if n = 2 then op_or2 else op_orn)
+  | Gate.Nand n -> Some (if n = 2 then op_nand2 else op_nandn)
+  | Gate.Nor n -> Some (if n = 2 then op_nor2 else op_norn)
+  | Gate.Xor -> Some op_xor
+  | Gate.Xnor -> Some op_xnor
+  | Gate.Mux -> Some op_mux
+
+type seg = { op : int; lo : int; hi : int }
+
+(* Lane-major charge accumulation, the compiled replacement for
+   [Bitsim.scan_lanes]. The per-lane sums the replay consumers read are
+   ordered float sums: lane [l] accumulates [caps.(i)] over the nodes [i]
+   that toggled in lane [l], in the chronological accounting order — and
+   that order is the {e same} for every lane. So the counted step records
+   each node's delta word once, in accounting order, and this C primitive
+   (kernel_stubs.c) then sweeps the dense (delta, cap) arrays lane-major,
+   holding the lane accumulators in registers: each starts at the lane's
+   running value and folds in exactly [c] when the lane's delta bit is
+   set and [+0.0] when it is not, in node order. [x +. +0.0] is bit-exact
+   for every [x] a lane sum can hold because the caps are proven finite
+   and non-negative at compile time ([lanes_fast]) — so the result is
+   bit-identical to the scatter walk while the loop is bound by float
+   throughput instead of dependent table loads; the differential wall
+   asserts the identity on every test circuit. The [@@noalloc] mark is
+   sound: the primitive allocates nothing and never calls back into the
+   runtime. *)
+external accumulate_lanes :
+  float array -> int array -> float array -> int -> unit
+  = "hlp_kernel_accumulate_lanes"
+  [@@noalloc]
+
+type t = {
+  net : Netlist.t;
+  caps : float array;
+  n : int;  (* nodes *)
+  nslots : int;  (* combinational non-constant gates *)
+  (* struct-of-arrays schedule, in evaluation (level, opcode, id) order *)
+  dst : int array;  (* node id per slot *)
+  fa : int array;  (* pin 0 per slot (0 when unused, proven in range) *)
+  fb : int array;  (* pin 1 per slot *)
+  fc : int array;  (* pin 2 per slot (mux select is fa) *)
+  foff : int array;  (* CSR offsets into [fidx], length nslots+1 *)
+  fidx : int array;  (* flat fanin pool *)
+  segs : seg array;  (* same-opcode slot runs, level-major *)
+  passes : (int array -> unit) array;  (* one specialized closure per seg *)
+  nlevels : int;
+  level_off : int array;  (* seg index boundary per level, length nlevels+1 *)
+  level_fanout_masks : int array;
+      (* per level: bitmask of the (saturated at 62) levels its outputs
+         feed — compile-time fan-out structure for diagnostics and for
+         future dirty-level skipping *)
+  acct_order : int array;  (* Bitsim's chronological charge order *)
+  caps_acct : float array;  (* caps gathered into accounting order *)
+  lanes_fast : bool;
+      (* every cap finite and non-negative, so [accumulate_lanes] is
+         bit-identical to the scatter walk (see its comment) *)
+  dff_dst : int array;  (* register node ids, declaration order *)
+  dff_src : int array;  (* data-pin node id per register *)
+  input_ids : int array;
+  const_init : (int * int) array;  (* (node id, broadcast word) *)
+  dff_init_words : int array;  (* broadcast init per register *)
+}
+
+(* --- the per-segment specialized closures --- *)
+
+let seg_pass ~dst ~fa ~fb ~fc ~foff ~fidx { op; lo; hi } =
+  let d = dst and a = fa and b = fb and c = fc in
+  match op with
+  | 0 (* buf *) ->
+      fun v ->
+        for s = lo to hi do
+          Array.unsafe_set v (Array.unsafe_get d s)
+            (Array.unsafe_get v (Array.unsafe_get a s))
+        done
+  | 1 (* not *) ->
+      fun v ->
+        for s = lo to hi do
+          Array.unsafe_set v (Array.unsafe_get d s)
+            (lnot (Array.unsafe_get v (Array.unsafe_get a s)))
+        done
+  | 2 (* and2 *) ->
+      fun v ->
+        for s = lo to hi do
+          Array.unsafe_set v (Array.unsafe_get d s)
+            (Array.unsafe_get v (Array.unsafe_get a s)
+            land Array.unsafe_get v (Array.unsafe_get b s))
+        done
+  | 3 (* or2 *) ->
+      fun v ->
+        for s = lo to hi do
+          Array.unsafe_set v (Array.unsafe_get d s)
+            (Array.unsafe_get v (Array.unsafe_get a s)
+            lor Array.unsafe_get v (Array.unsafe_get b s))
+        done
+  | 4 (* nand2 *) ->
+      fun v ->
+        for s = lo to hi do
+          Array.unsafe_set v (Array.unsafe_get d s)
+            (lnot
+               (Array.unsafe_get v (Array.unsafe_get a s)
+               land Array.unsafe_get v (Array.unsafe_get b s)))
+        done
+  | 5 (* nor2 *) ->
+      fun v ->
+        for s = lo to hi do
+          Array.unsafe_set v (Array.unsafe_get d s)
+            (lnot
+               (Array.unsafe_get v (Array.unsafe_get a s)
+               lor Array.unsafe_get v (Array.unsafe_get b s)))
+        done
+  | 6 (* xor *) ->
+      fun v ->
+        for s = lo to hi do
+          Array.unsafe_set v (Array.unsafe_get d s)
+            (Array.unsafe_get v (Array.unsafe_get a s)
+            lxor Array.unsafe_get v (Array.unsafe_get b s))
+        done
+  | 7 (* xnor *) ->
+      fun v ->
+        for s = lo to hi do
+          Array.unsafe_set v (Array.unsafe_get d s)
+            (lnot
+               (Array.unsafe_get v (Array.unsafe_get a s)
+               lxor Array.unsafe_get v (Array.unsafe_get b s)))
+        done
+  | 8 (* mux: fa = select, fb = data0, fc = data1 *) ->
+      fun v ->
+        for s = lo to hi do
+          let sel = Array.unsafe_get v (Array.unsafe_get a s) in
+          Array.unsafe_set v (Array.unsafe_get d s)
+            (lnot sel land Array.unsafe_get v (Array.unsafe_get b s)
+            lor (sel land Array.unsafe_get v (Array.unsafe_get c s)))
+        done
+  | 9 (* andn *) ->
+      fun v ->
+        for s = lo to hi do
+          let o = Array.unsafe_get foff s
+          and e = Array.unsafe_get foff (s + 1) in
+          let acc = ref (Array.unsafe_get v (Array.unsafe_get fidx o)) in
+          for k = o + 1 to e - 1 do
+            acc := !acc land Array.unsafe_get v (Array.unsafe_get fidx k)
+          done;
+          Array.unsafe_set v (Array.unsafe_get d s) !acc
+        done
+  | 10 (* orn *) ->
+      fun v ->
+        for s = lo to hi do
+          let o = Array.unsafe_get foff s
+          and e = Array.unsafe_get foff (s + 1) in
+          let acc = ref (Array.unsafe_get v (Array.unsafe_get fidx o)) in
+          for k = o + 1 to e - 1 do
+            acc := !acc lor Array.unsafe_get v (Array.unsafe_get fidx k)
+          done;
+          Array.unsafe_set v (Array.unsafe_get d s) !acc
+        done
+  | 11 (* nandn *) ->
+      fun v ->
+        for s = lo to hi do
+          let o = Array.unsafe_get foff s
+          and e = Array.unsafe_get foff (s + 1) in
+          let acc = ref (Array.unsafe_get v (Array.unsafe_get fidx o)) in
+          for k = o + 1 to e - 1 do
+            acc := !acc land Array.unsafe_get v (Array.unsafe_get fidx k)
+          done;
+          Array.unsafe_set v (Array.unsafe_get d s) (lnot !acc)
+        done
+  | 12 (* norn *) ->
+      fun v ->
+        for s = lo to hi do
+          let o = Array.unsafe_get foff s
+          and e = Array.unsafe_get foff (s + 1) in
+          let acc = ref (Array.unsafe_get v (Array.unsafe_get fidx o)) in
+          for k = o + 1 to e - 1 do
+            acc := !acc lor Array.unsafe_get v (Array.unsafe_get fidx k)
+          done;
+          Array.unsafe_set v (Array.unsafe_get d s) (lnot !acc)
+        done
+  | _ -> assert false
+
+(* --- the construction-time bounds proof ---
+
+   Everything the hot loops access unsafely is checked here, once, after
+   the schedule is built: slot destinations and every pin index are in
+   [0, n); CSR offsets are monotone and cover exactly [fidx]; specialized
+   pins agree with the CSR pool; every pin of a slot settles strictly
+   before the slot does (lower level, or a level-0 source); segments
+   tile [0, nslots) exactly and stay inside one level; the accounting
+   order is a permutation of the node ids. A failure here is a compiler
+   bug, reported as [Failure] with a diagnostic — the run never reaches
+   an unchecked access. *)
+let verify p =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let check_id what i =
+    if i < 0 || i >= p.n then fail "Kernel.verify: %s %d out of range" what i
+  in
+  if Array.length p.foff <> p.nslots + 1 then fail "Kernel.verify: foff length";
+  if p.foff.(0) <> 0 || p.foff.(p.nslots) <> Array.length p.fidx then
+    fail "Kernel.verify: CSR does not cover the pool";
+  let levels = Netlist.comb_levels p.net in
+  for s = 0 to p.nslots - 1 do
+    check_id "dst" p.dst.(s);
+    if p.foff.(s) > p.foff.(s + 1) then fail "Kernel.verify: CSR not monotone";
+    let arity = p.foff.(s + 1) - p.foff.(s) in
+    for k = p.foff.(s) to p.foff.(s + 1) - 1 do
+      check_id "fanin" p.fidx.(k);
+      if levels.(p.fidx.(k)) >= levels.(p.dst.(s)) then
+        fail "Kernel.verify: slot %d reads node %d of its own or a later level"
+          s p.fidx.(k)
+    done;
+    if arity >= 1 && p.fa.(s) <> p.fidx.(p.foff.(s)) then
+      fail "Kernel.verify: fa disagrees with the CSR pool at slot %d" s;
+    if arity >= 2 && p.fb.(s) <> p.fidx.(p.foff.(s) + 1) then
+      fail "Kernel.verify: fb disagrees with the CSR pool at slot %d" s;
+    if arity >= 3 && p.fc.(s) <> p.fidx.(p.foff.(s) + 2) then
+      fail "Kernel.verify: fc disagrees with the CSR pool at slot %d" s;
+    check_id "fa" p.fa.(s);
+    check_id "fb" p.fb.(s);
+    check_id "fc" p.fc.(s)
+  done;
+  (* segments tile the slots and never straddle a level boundary *)
+  let covered = ref 0 in
+  Array.iteri
+    (fun gi g ->
+      if g.lo <> !covered then fail "Kernel.verify: segment %d leaves a gap" gi;
+      if g.hi < g.lo then fail "Kernel.verify: empty segment %d" gi;
+      if levels.(p.dst.(g.lo)) <> levels.(p.dst.(g.hi)) then
+        fail "Kernel.verify: segment %d straddles levels" gi;
+      for s = g.lo to g.hi do
+        match opcode_of p.net.Netlist.nodes.(p.dst.(s)).Netlist.kind with
+        | Some op when op = g.op -> ()
+        | _ -> fail "Kernel.verify: slot %d opcode mismatch in segment %d" s gi
+      done;
+      covered := g.hi + 1)
+    p.segs;
+  if !covered <> p.nslots then fail "Kernel.verify: segments do not cover slots";
+  if Array.length p.level_off <> p.nlevels + 1 then
+    fail "Kernel.verify: level_off length";
+  (* the accounting order is a permutation of all node ids *)
+  if Array.length p.acct_order <> p.n then fail "Kernel.verify: acct length";
+  if Array.length p.caps_acct <> p.n then
+    fail "Kernel.verify: caps_acct length";
+  let seen = Array.make p.n false in
+  Array.iter
+    (fun i ->
+      check_id "acct" i;
+      if seen.(i) then fail "Kernel.verify: node %d accounted twice" i;
+      seen.(i) <- true)
+    p.acct_order;
+  Array.iter (fun (i, _) -> check_id "const" i) p.const_init;
+  Array.iter (fun i -> check_id "dff_dst" i) p.dff_dst;
+  Array.iter (fun i -> check_id "dff_src" i) p.dff_src;
+  Array.iter (fun i -> check_id "input" i) p.input_ids
+
+let tel_compiles = Hlp_util.Telemetry.counter "kernel.compiles"
+let tel_compile_time = Hlp_util.Telemetry.timer "kernel.compile"
+let tel_steps = Hlp_util.Telemetry.counter "kernel.steps"
+let tel_lane_cycles = Hlp_util.Telemetry.counter "kernel.lane_cycles"
+let tel_evals = Hlp_util.Telemetry.counter "kernel.word_evals"
+let tel_popcounts = Hlp_util.Telemetry.counter "kernel.popcount_ops"
+
+let compile ?caps net =
+  Hlp_util.Telemetry.incr tel_compiles;
+  Hlp_util.Telemetry.time tel_compile_time @@ fun () ->
+  Hlp_util.Trace.span
+    ~args:(fun () ->
+      [ ("gates", Hlp_util.Json.Int (Netlist.num_gates net));
+        ("nodes", Hlp_util.Json.Int (Netlist.num_nodes net)) ])
+    "kernel.compile"
+  @@ fun () ->
+  Netlist.validate net;
+  let n = Netlist.num_nodes net in
+  let caps =
+    match caps with
+    | Some c ->
+        if Array.length c <> n then invalid_arg "Kernel.compile: caps length";
+        c
+    | None -> Netlist.node_capacitance net
+  in
+  let levels = Netlist.comb_levels net in
+  let nodes = net.Netlist.nodes in
+  (* slots in (level, opcode, id) order: level-major for correctness,
+     opcode-grouped within a level so segments are maximal runs, id order
+     inside a group for determinism *)
+  let slot_ids = ref [] in
+  for i = n - 1 downto 0 do
+    if opcode_of nodes.(i).Netlist.kind <> None then slot_ids := i :: !slot_ids
+  done;
+  let order = Array.of_list !slot_ids in
+  let op_of i = Option.get (opcode_of nodes.(i).Netlist.kind) in
+  Array.sort
+    (fun x y ->
+      let c = compare levels.(x) levels.(y) in
+      if c <> 0 then c
+      else
+        let c = compare (op_of x) (op_of y) in
+        if c <> 0 then c else compare x y)
+    order;
+  let nslots = Array.length order in
+  let dst = Array.make nslots 0 in
+  let fa = Array.make nslots 0 in
+  let fb = Array.make nslots 0 in
+  let fc = Array.make nslots 0 in
+  let npins =
+    Array.fold_left
+      (fun acc i -> acc + Array.length nodes.(i).Netlist.fanin)
+      0 order
+  in
+  let foff = Array.make (nslots + 1) 0 in
+  let fidx = Array.make (max 1 npins) 0 in
+  let pos = ref 0 in
+  Array.iteri
+    (fun s i ->
+      dst.(s) <- i;
+      let f = nodes.(i).Netlist.fanin in
+      foff.(s) <- !pos;
+      Array.iteri
+        (fun k w ->
+          fidx.(!pos + k) <- w;
+          if k = 0 then fa.(s) <- w
+          else if k = 1 then fb.(s) <- w
+          else if k = 2 then fc.(s) <- w)
+        f;
+      pos := !pos + Array.length f)
+    order;
+  foff.(nslots) <- !pos;
+  let fidx = if npins = 0 then [||] else fidx in
+  let foff = if npins = 0 then Array.make (nslots + 1) 0 else foff in
+  (* maximal same-opcode runs, respecting level boundaries by construction
+     of the sort order *)
+  let segs = ref [] in
+  let s = ref 0 in
+  while !s < nslots do
+    let op = op_of dst.(!s) and lv = levels.(dst.(!s)) in
+    let e = ref !s in
+    while
+      !e + 1 < nslots
+      && op_of dst.(!e + 1) = op
+      && levels.(dst.(!e + 1)) = lv
+    do
+      incr e
+    done;
+    segs := { op; lo = !s; hi = !e } :: !segs;
+    s := !e + 1
+  done;
+  let segs = Array.of_list (List.rev !segs) in
+  let nlevels =
+    if nslots = 0 then 0 else levels.(dst.(nslots - 1))
+  in
+  let level_off = Array.make (nlevels + 1) 0 in
+  (* level l's segments are level_off.(l-1) .. level_off.(l)-1 when levels
+     are 1-based for slots; store boundaries by scanning *)
+  let () =
+    let gi = ref 0 in
+    for l = 1 to nlevels do
+      level_off.(l - 1) <- !gi;
+      while !gi < Array.length segs && levels.(dst.(segs.(!gi).lo)) = l do
+        incr gi
+      done
+    done;
+    if nlevels > 0 then level_off.(nlevels) <- Array.length segs
+  in
+  (* fan-out masks: which (saturated) levels consume each level's outputs;
+     register data pins count as level 0 consumers of the next cycle *)
+  let level_fanout_masks = Array.make (nlevels + 1) 0 in
+  Array.iteri
+    (fun i (node : Netlist.node) ->
+      let consumer_level =
+        match node.Netlist.kind with
+        | Gate.Input | Gate.Const _ -> -1
+        | Gate.Dff -> 0
+        | _ -> levels.(i)
+      in
+      if consumer_level >= 0 then
+        Array.iter
+          (fun w ->
+            let src = min levels.(w) nlevels in
+            level_fanout_masks.(src) <-
+              level_fanout_masks.(src) lor (1 lsl min consumer_level 62))
+          node.Netlist.fanin)
+    nodes;
+  (* chronological accounting order: registers (declaration order), then
+     primary inputs, then every other node in id order — exactly the
+     order Bitsim's [set] charges lanes in *)
+  let is_latched = Array.make n false in
+  Array.iter (fun w -> is_latched.(w) <- true) net.Netlist.dffs;
+  Array.iter (fun w -> is_latched.(w) <- true) net.Netlist.inputs;
+  let rest = ref [] in
+  for i = n - 1 downto 0 do
+    if not is_latched.(i) then rest := i :: !rest
+  done;
+  let acct_order =
+    Array.concat
+      [ net.Netlist.dffs; net.Netlist.inputs; Array.of_list !rest ]
+  in
+  let const_init = ref [] in
+  Array.iteri
+    (fun i (node : Netlist.node) ->
+      match node.Netlist.kind with
+      | Gate.Const b -> const_init := (i, broadcast b) :: !const_init
+      | _ -> ())
+    nodes;
+  let p =
+    {
+      net;
+      caps;
+      n;
+      nslots;
+      dst;
+      fa;
+      fb;
+      fc;
+      foff;
+      fidx;
+      segs;
+      passes = Array.map (seg_pass ~dst ~fa ~fb ~fc ~foff ~fidx) segs;
+      nlevels;
+      level_off;
+      level_fanout_masks;
+      acct_order;
+      caps_acct = Array.map (fun i -> caps.(i)) acct_order;
+      lanes_fast =
+        Array.for_all (fun c -> Float.is_finite c && c >= 0.0) caps;
+      dff_dst = net.Netlist.dffs;
+      dff_src =
+        Array.map
+          (fun w -> nodes.(w).Netlist.fanin.(0))
+          net.Netlist.dffs;
+      input_ids = net.Netlist.inputs;
+      const_init = Array.of_list (List.rev !const_init);
+      dff_init_words =
+        Array.map broadcast net.Netlist.dff_init;
+    }
+  in
+  verify p;
+  p
+
+(* --- fingerprint-keyed kernel cache ---
+
+   Compiling is cheap (one pass over the netlist) but the consumers that
+   matter — Monte Carlo campaigns, the batch runner, the estimation
+   service — replay the same circuit thousands of times, often
+   rebuilding the Netlist value per request. The cache turns those
+   recompiles into a fingerprint lookup; compiled plans are immutable,
+   so sharing them across domains is safe. A custom capacitance table is
+   not part of the structural fingerprint, so [~caps] bypasses the
+   cache. *)
+
+let cache : t Netcache.t = Netcache.create ~capacity:32 ~name:"kernel" ()
+
+let of_netlist ?caps net =
+  match caps with
+  | Some _ -> compile ?caps net
+  | None ->
+      Netcache.find_or_compute cache ~key:(Netlist.fingerprint net) (fun () ->
+          compile net)
+
+let clear_cache () = Netcache.clear cache
+
+(* --- replay state --- *)
+
+type s = {
+  plan : t;
+  mutable cur : int array;  (* settled word per node, this cycle *)
+  mutable prv : int array;  (* settled word per node, previous cycle *)
+  deltas : int array;  (* scratch: per-step delta word, accounting order *)
+  toggles : int array;
+  highs : int array;
+  lane_switched : float array;
+  track_lanes : bool;
+  mutable pops : int;
+  mutable ncycles : int;
+  mutable counting : bool;
+  mutable first : bool;  (* reset state must survive until the first input *)
+}
+
+let create ?(track_lanes = false) plan =
+  let n = plan.n in
+  let cur = Array.make n 0 in
+  Array.iteri
+    (fun j w -> cur.(w) <- plan.dff_init_words.(j))
+    plan.dff_dst;
+  Array.iter (fun (i, w) -> cur.(i) <- w) plan.const_init;
+  (* settle the reset state through the compiled schedule; nothing is
+     charged for power-up, same as the interpreters *)
+  Array.iter (fun pass -> pass cur) plan.passes;
+  {
+    plan;
+    cur;
+    prv = Array.copy cur;
+    deltas = Array.make n 0;
+    toggles = Array.make n 0;
+    highs = Array.make n 0;
+    lane_switched = Array.make lanes 0.0;
+    track_lanes;
+    pops = 0;
+    ncycles = 0;
+    counting = true;
+    first = true;
+  }
+
+let step s inputs =
+  let p = s.plan in
+  assert (Array.length inputs = Array.length p.input_ids);
+  (* fault-injection point: a gate evaluation raising mid-step *)
+  Hlp_util.Faultinject.trip Hlp_util.Faultinject.Gate_eval;
+  (* double buffer: [old] is last cycle's settled state, [nw] (the buffer
+     from two cycles ago) is overwritten completely — every node is either
+     latched, driven, settled, or a constant initialized at creation *)
+  let old = s.cur and nw = s.prv in
+  let dd = p.dff_dst in
+  (* clock edge: latch data pins as they settled last cycle; the first
+     edge re-captures the reset state *)
+  if s.first then begin
+    s.first <- false;
+    for j = 0 to Array.length dd - 1 do
+      let w = Array.unsafe_get dd j in
+      Array.unsafe_set nw w (Array.unsafe_get old w)
+    done
+  end
+  else begin
+    let ds = p.dff_src in
+    for j = 0 to Array.length dd - 1 do
+      Array.unsafe_set nw (Array.unsafe_get dd j)
+        (Array.unsafe_get old (Array.unsafe_get ds j))
+    done
+  end;
+  let ins = p.input_ids in
+  for k = 0 to Array.length ins - 1 do
+    Array.unsafe_set nw (Array.unsafe_get ins k) (Array.unsafe_get inputs k)
+  done;
+  (* settle: the compiled per-level schedule *)
+  let passes = p.passes in
+  for q = 0 to Array.length passes - 1 do
+    (Array.unsafe_get passes q) nw
+  done;
+  if s.counting then begin
+    (* delta accounting in Bitsim's chronological charge order, so the
+       per-lane float sums are bit-identical to the interpreter's *)
+    let order = p.acct_order and toggles = s.toggles in
+    if s.track_lanes && p.lanes_fast then begin
+      (* record the delta words densely, then charge lanes lane-major
+         (bit-identical to the scatter walk, see [accumulate_lanes]) *)
+      let deltas = s.deltas in
+      for k = 0 to Array.length order - 1 do
+        let i = Array.unsafe_get order k in
+        let d = Array.unsafe_get old i lxor Array.unsafe_get nw i in
+        Array.unsafe_set deltas k d;
+        if d <> 0 then begin
+          Array.unsafe_set toggles i
+            (Array.unsafe_get toggles i + Hlp_util.Bits.popcount d);
+          s.pops <- s.pops + 1
+        end
+      done;
+      accumulate_lanes s.lane_switched deltas p.caps_acct p.n
+    end
+    else begin
+      let caps = p.caps in
+      for k = 0 to Array.length order - 1 do
+        let i = Array.unsafe_get order k in
+        let d = Array.unsafe_get old i lxor Array.unsafe_get nw i in
+        if d <> 0 then begin
+          Array.unsafe_set toggles i
+            (Array.unsafe_get toggles i + Hlp_util.Bits.popcount d);
+          s.pops <- s.pops + 1;
+          if s.track_lanes then
+            Bitsim.scan_lanes s.lane_switched (Array.unsafe_get caps i) d
+        end
+      done
+    end;
+    let highs = s.highs in
+    for i = 0 to p.n - 1 do
+      Array.unsafe_set highs i
+        (Array.unsafe_get highs i
+        + Hlp_util.Bits.popcount (Array.unsafe_get nw i))
+    done;
+    s.pops <- s.pops + p.n
+  end;
+  s.cur <- nw;
+  s.prv <- old;
+  s.ncycles <- s.ncycles + 1;
+  if Hlp_util.Telemetry.enabled () then begin
+    Hlp_util.Telemetry.incr tel_steps;
+    Hlp_util.Telemetry.add tel_lane_cycles lanes;
+    Hlp_util.Telemetry.add tel_evals p.nslots;
+    Hlp_util.Telemetry.add tel_popcounts s.pops
+  end;
+  s.pops <- 0
+
+let step_scalar s inputs =
+  step s (Array.map (fun b -> if b then 1 else 0) inputs)
+
+let value s w = s.cur.(w)
+let value_bool s w = s.cur.(w) land 1 <> 0
+let cycles s = s.ncycles
+let toggle_counts s = s.toggles
+let high_counts s = s.highs
+let plan s = s.plan
+
+let switched_capacitance s =
+  (* same formula, same iteration order as Bitsim: derived from the exact
+     integer toggle counts, independent of evaluation order *)
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i t -> acc := !acc +. (s.plan.caps.(i) *. float_of_int t))
+    s.toggles;
+  !acc
+
+let lane_switched_capacitance s =
+  if not s.track_lanes then
+    invalid_arg "Kernel.lane_switched_capacitance: created without ~track_lanes";
+  Array.copy s.lane_switched
+
+let set_counting s b = s.counting <- b
+
+let reset_counters s =
+  Array.fill s.toggles 0 (Array.length s.toggles) 0;
+  Array.fill s.highs 0 (Array.length s.highs) 0;
+  Array.fill s.lane_switched 0 lanes 0.0;
+  s.ncycles <- 0
+
+let output_words s =
+  let outs = s.plan.net.Netlist.outputs in
+  let res = Array.make lanes 0 in
+  Array.iteri
+    (fun k (_, w) ->
+      let v = s.cur.(w) in
+      if v <> 0 then
+        for j = 0 to lanes - 1 do
+          if (v lsr j) land 1 = 1 then res.(j) <- res.(j) lor (1 lsl k)
+        done)
+    outs;
+  res
+
+let run s input_at n =
+  for i = 0 to n - 1 do
+    step s (input_at i)
+  done
+
+(* --- compile-time structure, for tests, stats, and the design docs --- *)
+
+type stats = {
+  nodes : int;
+  slots : int;
+  levels : int;
+  segments : int;
+  pool : int;  (* flat fanin pool length *)
+  widest_level : int;  (* max slots in one level *)
+}
+
+let stats p =
+  let widest = ref 0 in
+  for l = 0 to p.nlevels - 1 do
+    let glo = p.level_off.(l) and ghi = p.level_off.(l + 1) in
+    if ghi > glo then begin
+      let w = p.segs.(ghi - 1).hi - p.segs.(glo).lo + 1 in
+      if w > !widest then widest := w
+    end
+  done;
+  {
+    nodes = p.n;
+    slots = p.nslots;
+    levels = p.nlevels;
+    segments = Array.length p.segs;
+    pool = Array.length p.fidx;
+    widest_level = !widest;
+  }
+
+let level_fanout_mask p l =
+  if l < 0 || l >= Array.length p.level_fanout_masks then
+    invalid_arg "Kernel.level_fanout_mask";
+  p.level_fanout_masks.(l)
+
+let stats_string p =
+  let st = stats p in
+  Printf.sprintf
+    "%d slots over %d levels (%d segments, pool %d, widest level %d) of %d nodes"
+    st.slots st.levels st.segments st.pool st.widest_level st.nodes
+
+let segment_summary p =
+  Array.map (fun g -> (opcode_name g.op, g.hi - g.lo + 1)) p.segs

@@ -1,0 +1,142 @@
+(** Compiled struct-of-arrays replay kernel: the netlist, lowered once.
+
+    {!Funcsim} and {!Bitsim} interpret the netlist: every gate evaluation
+    loads a node record, matches on a boxed {!Hlp_logic.Gate.kind}, and
+    chases a per-node fanin array. This module {e compiles} the netlist
+    instead — once per structure — into a flat schedule that the replay
+    loop walks with no dispatch and no allocation:
+
+    - {b Struct-of-arrays}: destination ids, opcodes, specialized fanin
+      index arrays for arity <= 3 ([fa]/[fb]/[fc]) plus a CSR pool
+      (offsets + flat indices) for n-ary gates, and the capacitance
+      table, all in contiguous arrays.
+    - {b Levelized}: slots are ordered by {!Hlp_logic.Netlist.comb_levels}
+      and grouped by opcode within a level; each maximal same-opcode run
+      becomes one {e segment}.
+    - {b Specialized closures}: every segment compiles to one closure
+      over the flat arrays whose body is a branch-free loop of identical
+      word-wide operations — one indirect call per segment per step
+      instead of one dispatch per gate.
+    - {b Proven-then-unsafe}: the hot loops use
+      [Array.unsafe_get]/[unsafe_set]. The justification is a single
+      construction-time bounds proof, run at the end of {!compile}: every
+      destination and pin index is checked against the node count, CSR
+      offsets are checked monotone and covering, every pin is checked to
+      settle on a strictly earlier level, segments are checked to tile
+      the slots, and the accounting order is checked to be a permutation
+      of the node ids. The arrays are immutable afterwards, so the proof
+      outlives compilation. A violation fails compilation loudly
+      ([Failure]); no unchecked access is ever reached.
+
+    {b Bit-identity contract} (enforced by the differential wall in
+    [test/test_kernel.ml]): against {!Bitsim} under identical stimuli,
+    every per-node toggle and high counter, the total switched
+    capacitance, and the per-lane switched-capacitance floats are
+    byte-identical. Integer counters are order-free; the per-lane floats
+    are not (float addition is non-associative), so the kernel defers
+    accounting to a per-step delta pass that replays Bitsim's
+    chronological charge order — registers in declaration order, then
+    primary inputs, then remaining nodes in id order — and charges lanes
+    through literally the same {!Bitsim.scan_lanes} code path.
+
+    A fingerprint-keyed bounded cache ({!of_netlist}) amortizes
+    compilation across the replay-many consumers (Monte Carlo campaigns,
+    the estimation service, the batch runner). *)
+
+(** {1 Compilation} *)
+
+type t
+(** A compiled plan: immutable after construction, safe to share across
+    domains and to reuse for any number of simultaneous replay states. *)
+
+val compile : ?caps:float array -> Hlp_logic.Netlist.t -> t
+(** Lower a netlist into a plan, always performing the work (no cache).
+    [caps] overrides {!Hlp_logic.Netlist.node_capacitance} (length must
+    equal the node count). Raises [Failure] if the netlist fails
+    {!Hlp_logic.Netlist.validate} or the construction-time bounds proof. *)
+
+val of_netlist : ?caps:float array -> Hlp_logic.Netlist.t -> t
+(** Like {!compile} but memoized on {!Hlp_logic.Netlist.fingerprint}
+    through a bounded process-wide {!Hlp_logic.Netcache} — the
+    compile-once / replay-many entry point. A custom [caps] table is not
+    part of the structural fingerprint, so passing one bypasses the
+    cache. *)
+
+val clear_cache : unit -> unit
+(** Drop every cached plan (tests and memory-sensitive batch drivers). *)
+
+(** {1 Replay}
+
+    The state mirrors {!Bitsim}'s lane model: each node holds one OCaml
+    [int] whose bit [j] is the node's value in lane [j], 63 lanes per
+    step. *)
+
+type s
+
+val lanes : int
+(** 63, re-exported from {!Bitsim}. *)
+
+val create : ?track_lanes:bool -> t -> s
+(** Fresh replay state in the settled reset condition (registers at
+    their init values, nothing charged), evaluated through the compiled
+    schedule itself. [track_lanes] as in {!Bitsim.create}. *)
+
+val step : s -> int array -> unit
+(** Advance one cycle: latch registers, drive one word per primary input
+    (parallel to the netlist's input array), settle the compiled
+    schedule, account. Uses double buffering — every non-constant node is
+    rewritten each step, so the previous cycle's buffer is reused with no
+    copying. Trips the [Gate_eval] fault-injection point like the
+    interpreters. *)
+
+val step_scalar : s -> bool array -> unit
+(** Single-vector convenience: broadcasts a boolean vector into lane 0
+    (remaining lanes are driven 0). With only lane 0 exercised the
+    kernel's values and toggle counts match a {!Funcsim} run of the same
+    stimulus — the scalar differential used in tests. *)
+
+val run : s -> (int -> int array) -> int -> unit
+(** [run s input_at n] steps [n] times with the given word source. *)
+
+(** {1 Observation} — same meanings as the {!Bitsim} accessors. *)
+
+val value : s -> Hlp_logic.Netlist.wire -> int
+val value_bool : s -> Hlp_logic.Netlist.wire -> bool
+(** Lane 0 of {!value}. *)
+
+val cycles : s -> int
+val toggle_counts : s -> int array
+val high_counts : s -> int array
+val switched_capacitance : s -> float
+val lane_switched_capacitance : s -> float array
+val output_words : s -> int array
+val set_counting : s -> bool -> unit
+val reset_counters : s -> unit
+
+val plan : s -> t
+(** The plan this state replays. *)
+
+(** {1 Plan inspection} — compile-time structure for tests, benches, and
+    the design docs. *)
+
+type stats = {
+  nodes : int;
+  slots : int;  (** combinational gates scheduled *)
+  levels : int;
+  segments : int;  (** specialized closures per step *)
+  pool : int;  (** flat fanin pool length *)
+  widest_level : int;
+}
+
+val stats : t -> stats
+val stats_string : t -> string
+
+val level_fanout_mask : t -> int -> int
+(** [level_fanout_mask p l] is a bitmask of the levels consuming level
+    [l]'s outputs (saturated at bit 62; register data pins appear as
+    level 0, the next cycle's sources). Compile-time fan-out structure,
+    exposed for diagnostics and as the hook for future dirty-level
+    skipping. *)
+
+val segment_summary : t -> (string * int) array
+(** Opcode name and slot count of each segment, in schedule order. *)

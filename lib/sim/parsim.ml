@@ -210,6 +210,31 @@ let replay_chunk_with sim ~vector ~n lo =
 let replay_chunk net ~caps ~vector ~n lo =
   replay_chunk_with (Bitsim.create ~caps ~track_lanes:true net) ~vector ~n lo
 
+(* Same chunk transposition through the compiled kernel. The accounting
+   contract ({!Kernel}) makes the per-lane floats bit-identical to
+   [replay_chunk_with], so the two bodies must stay in lockstep. *)
+let kernel_chunk_with sim ~vector ~n lo =
+  let count = min Kernel.lanes (n - lo) in
+  Kernel.set_counting sim false;
+  let vecs =
+    Array.init (Kernel.lanes + 1) (fun j -> vector (min (lo + j) (n - 1)))
+  in
+  let warm = Bitsim.pack_lanes (Array.sub vecs 0 Kernel.lanes) in
+  Kernel.step sim warm;
+  let outs = Array.sub (Kernel.output_words sim) 0 count in
+  let last = vecs.(Kernel.lanes) in
+  let next =
+    Array.mapi
+      (fun k w -> (w lsr 1) lor (if last.(k) then 1 lsl (Kernel.lanes - 1) else 0))
+      warm
+  in
+  Kernel.reset_counters sim;
+  Kernel.set_counting sim true;
+  Kernel.step sim next;
+  let lane_caps = Kernel.lane_switched_capacitance sim in
+  let ntrans = min count (n - 1 - lo) in
+  (outs, Array.sub lane_caps 0 (max 0 ntrans))
+
 let replay ?jobs ?max_retries ~engine net ~vector ~n =
   if n < 1 then
     raise
@@ -226,33 +251,42 @@ let replay ?jobs ?max_retries ~engine net ~vector ~n =
   @@ fun () ->
   match (engine : Engine.t) with
   | Engine.Scalar -> replay_scalar net ~vector ~n
-  | Engine.Bitparallel | Engine.Parallel ->
+  | Engine.Bitparallel | Engine.Parallel | Engine.Compiled ->
       if Netlist.num_dffs net > 0 then
         invalid_arg
           "Parsim.replay: bit-parallel trace replay requires a combinational \
            netlist (sequential state cannot be chunked)";
       let nchunks = (n + Bitsim.lanes - 1) / Bitsim.lanes in
       Hlp_util.Telemetry.add tel_chunks nchunks;
-      let jobs =
-        match engine with
-        | Engine.Parallel -> (
-            match jobs with Some j -> max 1 j | None -> default_jobs ())
-        | _ -> 1
-      in
-      (* one capacitance table, shared read-only by every chunk simulator *)
-      let caps = Netlist.node_capacitance net in
       let chunks =
-        if jobs <= 1 then begin
-          (* sequential: one simulator reused across all chunks (the
-             warm-up settle erases prior state), bit-identical to the
-             per-chunk-create parallel path *)
-          let sim = Bitsim.create ~caps ~track_lanes:true net in
-          Array.init nchunks (fun c ->
-              replay_chunk_with sim ~vector ~n (c * Bitsim.lanes))
-        end
-        else
-          map ~jobs ?max_retries nchunks (fun c ->
-              replay_chunk net ~caps ~vector ~n (c * Bitsim.lanes))
+        match engine with
+        | Engine.Compiled ->
+            (* compile once (fingerprint-cached), reuse one kernel state
+               across all chunks — the warm-up settle erases prior state *)
+            let sim = Kernel.create ~track_lanes:true (Kernel.of_netlist net) in
+            Array.init nchunks (fun c ->
+                kernel_chunk_with sim ~vector ~n (c * Kernel.lanes))
+        | _ ->
+            let jobs =
+              match engine with
+              | Engine.Parallel -> (
+                  match jobs with Some j -> max 1 j | None -> default_jobs ())
+              | _ -> 1
+            in
+            (* one capacitance table, shared read-only by every chunk
+               simulator *)
+            let caps = Netlist.node_capacitance net in
+            if jobs <= 1 then begin
+              (* sequential: one simulator reused across all chunks (the
+                 warm-up settle erases prior state), bit-identical to the
+                 per-chunk-create parallel path *)
+              let sim = Bitsim.create ~caps ~track_lanes:true net in
+              Array.init nchunks (fun c ->
+                  replay_chunk_with sim ~vector ~n (c * Bitsim.lanes))
+            end
+            else
+              map ~jobs ?max_retries nchunks (fun c ->
+                  replay_chunk net ~caps ~vector ~n (c * Bitsim.lanes))
       in
       let out_words = Array.concat (Array.to_list (Array.map fst chunks)) in
       let transition_caps = Array.concat (Array.to_list (Array.map snd chunks)) in
@@ -263,6 +297,7 @@ let replay ?jobs ?max_retries ~engine net ~vector ~n =
 (* --- engine degradation chain --- *)
 
 let degradation_chain = function
+  | Engine.Compiled -> [ Engine.Compiled; Engine.Bitparallel; Engine.Scalar ]
   | Engine.Parallel -> [ Engine.Parallel; Engine.Bitparallel; Engine.Scalar ]
   | Engine.Bitparallel -> [ Engine.Bitparallel; Engine.Scalar ]
   | Engine.Scalar -> [ Engine.Scalar ]
@@ -362,6 +397,21 @@ let mc_unit net ~caps ~batch ~seed u =
   done;
   Bitsim.switched_capacitance sim /. float_of_int (batch * Bitsim.lanes)
 
+(* The compiled twin of [mc_unit]: identical PRNG stream, identical word
+   sequence, and (by the kernel's accounting contract) identical integer
+   toggle counts, so the returned mean has the same float bits. *)
+let mc_unit_kernel plan ~nin ~batch ~seed u =
+  let rng = Hlp_util.Prng.create (seed + ((u + 1) * 0x2545F4914F6CDD1D)) in
+  let sim = Kernel.create plan in
+  for _ = 1 to batch do
+    let words = Array.make nin 0 in
+    for k = 0 to nin - 1 do
+      words.(k) <- Int64.to_int (Hlp_util.Prng.bits64 rng)
+    done;
+    Kernel.step sim words
+  done;
+  Kernel.switched_capacitance sim /. float_of_int (batch * Kernel.lanes)
+
 let monte_carlo_units ?jobs ?max_retries ?resume_means ?on_unit ~engine net
     ~batch ~seed ~stop =
   Hlp_util.Telemetry.time tel_mc_time @@ fun () ->
@@ -369,7 +419,16 @@ let monte_carlo_units ?jobs ?max_retries ?resume_means ?on_unit ~engine net
      decisions (and therefore the estimate) do not depend on ~jobs *)
   let round = match (engine : Engine.t) with Engine.Parallel -> 8 | _ -> 1 in
   let jobs = match engine with Engine.Parallel -> jobs | _ -> Some 1 in
-  let caps = Netlist.node_capacitance net in
+  let unit_of =
+    match (engine : Engine.t) with
+    | Engine.Compiled ->
+        let plan = Kernel.of_netlist net in
+        let nin = Array.length net.Netlist.inputs in
+        fun u -> mc_unit_kernel plan ~nin ~batch ~seed u
+    | _ ->
+        let caps = Netlist.node_capacitance net in
+        fun u -> mc_unit net ~caps ~batch ~seed u
+  in
   let rec go acc nunits =
     let fresh =
       Hlp_util.Trace.span
@@ -378,8 +437,7 @@ let monte_carlo_units ?jobs ?max_retries ?resume_means ?on_unit ~engine net
             ("round", Hlp_util.Json.Int round) ])
         "parsim.mc_round"
         (fun () ->
-          map ?jobs ?max_retries round
-            (fun r -> mc_unit net ~caps ~batch ~seed (nunits + r)))
+          map ?jobs ?max_retries round (fun r -> unit_of (nunits + r)))
     in
     Hlp_util.Telemetry.add tel_mc_units round;
     (match on_unit with

@@ -64,13 +64,23 @@ val replay :
     chunk (one uncounted warm-up settle, one counted transition), which is
     exact for combinational netlists because the settled state depends only
     on the current vector. [Parallel] additionally spreads the chunks over
-    domains with {!map} ([max_retries] as in {!map}). Bit-parallel engines
-    raise [Invalid_argument] on netlists with flip-flops (sequential state
-    cannot be chunked); [n < 1] raises the typed [Invalid_input]. Toggle
-    counts are integer-exact across engines; the per-transition floats can
-    differ from [Scalar] only by summation-order round-off. *)
+    domains with {!map} ([max_retries] as in {!map}). [Compiled] runs the
+    same chunk protocol through the {!Kernel} struct-of-arrays schedule
+    (compiled once per fingerprint, one state reused across chunks) and is
+    bit-identical to [Bitparallel] on every output word and per-transition
+    float. Bit-parallel engines raise [Invalid_argument] on netlists with
+    flip-flops (sequential state cannot be chunked); [n < 1] raises the
+    typed [Invalid_input]. Toggle counts are integer-exact across engines;
+    the per-transition floats can differ from [Scalar] only by
+    summation-order round-off. *)
 
 (** {1 Engine degradation} *)
+
+val degradation_chain : Engine.t -> Engine.t list
+(** The fallback order {!with_degradation} walks, starting at the given
+    engine: [Compiled -> Bitparallel -> Scalar],
+    [Parallel -> Bitparallel -> Scalar], [Bitparallel -> Scalar],
+    [Scalar] alone. Exposed for tests and capacity planning. *)
 
 type 'a degraded = {
   value : 'a;
@@ -134,9 +144,12 @@ val monte_carlo_units :
     {!Bitsim} run of [batch] steps under uniform random inputs from a PRNG
     stream determined by [(seed, unit index)] — until [stop] says so.
     [stop] is consulted on unit-index boundaries that do not depend on
-    [jobs] (after every unit for [Bitparallel], after every fixed-size
-    round of 8 units for [Parallel]), so the returned estimate is
-    bit-identical for any number of domains.
+    [jobs] (after every unit for [Bitparallel] and [Compiled], after every
+    fixed-size round of 8 units for [Parallel]), so the returned estimate
+    is bit-identical for any number of domains. Under [Compiled] each unit
+    replays a fresh {!Kernel} state of the once-compiled plan with the
+    identical PRNG stream, so unit means (and therefore checkpoints)
+    carry the same bits as [Bitparallel].
 
     Checkpoint hooks: [resume_means] seeds the run with per-unit means a
     journal recovered — truncated to a whole number of rounds so the

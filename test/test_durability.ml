@@ -364,6 +364,7 @@ let test_parallel_resume_after_interrupt () =
 
 let child_kill_env = "HLP_DURABILITY_CHILD_KILL_AT"
 let child_path_env = "HLP_DURABILITY_CHILD_JOURNAL"
+let child_engine_env = "HLP_DURABILITY_CHILD_ENGINE"
 
 let run_child_if_requested () =
   let nonempty v = match v with Some "" | None -> None | s -> s in
@@ -381,24 +382,38 @@ let run_child_if_requested () =
                if k >= kill_at then Unix.kill (Unix.getpid ()) Sys.sigkill)
              path
          in
-         ignore (scalar_mc ~checkpoint:ck ());
+         (* the engine selects the checkpointing workload; the parent
+            resumes the matching one (Test_kernel drives the compiled
+            variant through the same child) *)
+         (match nonempty (Sys.getenv_opt child_engine_env) with
+         | Some "compiled" ->
+             ignore (units_mc ~engine:Hlp_sim.Engine.Compiled ~checkpoint:ck ())
+         | _ -> ignore (scalar_mc ~checkpoint:ck ()));
          exit 10 (* survived: the kill never fired *)
        with _ -> exit 11)
   | _ -> ()
+
+(* Re-execute this binary as a checkpointing child that SIGKILLs itself at
+   [kill_at]; returns the shell exit code (137 = killed). Shared with the
+   compiled-kernel suite. *)
+let sigkill_child ?(engine = "scalar") ~kill_at path =
+  Unix.putenv child_kill_env (string_of_int kill_at);
+  Unix.putenv child_path_env path;
+  Unix.putenv child_engine_env engine;
+  let code =
+    Sys.command (Filename.quote Sys.executable_name ^ " >/dev/null 2>&1")
+  in
+  Unix.putenv child_kill_env "";
+  Unix.putenv child_path_env "";
+  Unix.putenv child_engine_env "";
+  code
 
 let test_sigkill_resume_byte_identical () =
   let plain = scalar_mc () in
   List.iter
     (fun kill_at ->
       let path = temp "sigkill" in
-      Unix.putenv child_kill_env (string_of_int kill_at);
-      Unix.putenv child_path_env path;
-      let code =
-        Sys.command
-          (Filename.quote Sys.executable_name ^ " >/dev/null 2>&1")
-      in
-      Unix.putenv child_kill_env "";
-      Unix.putenv child_path_env "";
+      let code = sigkill_child ~kill_at path in
       (* the shell reports a SIGKILLed child as 128 + 9 *)
       Alcotest.(check int)
         (Printf.sprintf "child killed by SIGKILL at batch %d" kill_at)

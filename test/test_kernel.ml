@@ -1,0 +1,684 @@
+(* Differential test wall for the compiled struct-of-arrays replay kernel.
+
+   The contract under test: Engine.Compiled is {e bit-identical} to the
+   engines it replaces — every per-node toggle and high counter, every
+   output word, the total and per-lane switched-capacitance floats, the
+   Monte Carlo estimates (including after checkpoint/resume and after a
+   SIGKILL mid-run), and the sampling estimators. Plus the compile-step
+   obligations: the fingerprint cache shares plans physically, the
+   levelization edge cases (zero-fanin constant gates, dangling nodes)
+   survive compilation, the degradation chain lands on Scalar when the
+   kernel cannot apply, and the fault-injection point trips inside the
+   compiled step like it does inside the interpreters. *)
+
+open Hlp_logic
+open Hlp_sim
+
+module P = Hlp_power.Probprop
+
+let lanes = Kernel.lanes
+let bits = Int64.bits_of_float
+
+let float_bits_equal name a b =
+  Alcotest.(check int64) (name ^ " bits") (bits a) (bits b)
+
+(* --- step differential: Kernel vs Bitsim, word-for-word --- *)
+
+let random_words rng nin =
+  Array.init nin (fun _ -> Int64.to_int (Hlp_util.Prng.bits64 rng))
+
+(* Drive a Bitsim and a compiled kernel with identical word stimuli and
+   require every observable to match exactly (floats compared by bits). *)
+let kernel_agrees net ~steps ~seed =
+  let nin = Array.length net.Netlist.inputs in
+  let rng = Hlp_util.Prng.create seed in
+  let bit = Bitsim.create ~track_lanes:true net in
+  let ker = Kernel.create ~track_lanes:true (Kernel.compile net) in
+  let ok = ref true in
+  let n = Netlist.num_nodes net in
+  for _ = 1 to steps do
+    let words = random_words rng nin in
+    Bitsim.step bit words;
+    Kernel.step ker words;
+    for i = 0 to n - 1 do
+      if Bitsim.value bit i <> Kernel.value ker i then ok := false
+    done
+  done;
+  ok := !ok && Bitsim.toggle_counts bit = Kernel.toggle_counts ker;
+  ok := !ok && Bitsim.high_counts bit = Kernel.high_counts ker;
+  ok :=
+    !ok
+    && bits (Bitsim.switched_capacitance bit)
+       = bits (Kernel.switched_capacitance ker);
+  let lb = Bitsim.lane_switched_capacitance bit in
+  let lk = Kernel.lane_switched_capacitance ker in
+  ok := !ok && Array.for_all2 (fun a b -> bits a = bits b) lb lk;
+  ok := !ok && Bitsim.output_words bit = Kernel.output_words ker;
+  ok := !ok && Bitsim.cycles bit = Kernel.cycles ker;
+  !ok
+
+let qcheck_step_differential =
+  QCheck.Test.make ~count:60
+    ~name:
+      "compiled kernel matches bitsim word-for-word (values, toggles, highs, \
+       caps, lanes)"
+    (QCheck.pair Test_bitsim.arb_netlist QCheck.small_nat)
+    (fun ((_, net), seed) -> kernel_agrees net ~steps:5 ~seed:(seed + 1))
+
+let test_step_differential_sequential () =
+  Alcotest.(check bool)
+    "kernel matches bitsim on a sequential circuit" true
+    (kernel_agrees (Test_bitsim.sequential_net ()) ~steps:50 ~seed:7)
+
+let test_reset_state () =
+  (* registers come up at their init value, broadcast across lanes, and the
+     first step latches the reset state (not garbage from an empty
+     previous cycle) *)
+  let b = Netlist.Builder.create () in
+  let q = Netlist.Builder.dff_feedback ~init:true b (fun q -> Netlist.Builder.not_ b q) in
+  Netlist.Builder.output b "q" q;
+  let net = Netlist.Builder.finish b in
+  let ker = Kernel.create (Kernel.compile net) in
+  let bit = Bitsim.create net in
+  Alcotest.(check int) "init broadcast" (Bitsim.value bit q) (Kernel.value ker q);
+  Alcotest.(check bool) "init=true is all ones" true (Kernel.value ker q = -1);
+  Alcotest.(check bool) "toggles from reset" true
+    (kernel_agrees net ~steps:10 ~seed:1)
+
+(* --- scalar lane: the kernel vs the reference Funcsim --- *)
+
+let test_scalar_variant_combinational () =
+  let net = Generators.adder_circuit 6 in
+  let nin = Array.length net.Netlist.inputs in
+  let rng = Hlp_util.Prng.create 41 in
+  let ker = Kernel.create ~track_lanes:true (Kernel.compile net) in
+  let fsim = Funcsim.create net in
+  for _ = 1 to 40 do
+    let vec = Array.init nin (fun _ -> Hlp_util.Prng.bool rng) in
+    Funcsim.step fsim vec;
+    Kernel.step_scalar ker vec;
+    for i = 0 to Netlist.num_nodes net - 1 do
+      Alcotest.(check bool) "node value" (Funcsim.value fsim i)
+        (Kernel.value_bool ker i)
+    done
+  done;
+  (* lanes 1.. see constant-zero inputs: on a combinational circuit they
+     never toggle after reset, so the kernel's counters are pure lane 0 *)
+  Alcotest.(check (array int)) "toggles equal funcsim"
+    (Funcsim.toggle_counts fsim) (Kernel.toggle_counts ker);
+  (* lane 0's accumulator adds the same capacitances in the same order as
+     the scalar simulator -> exactly equal *)
+  float_bits_equal "lane 0 switched capacitance"
+    (Funcsim.switched_capacitance fsim)
+    (Kernel.lane_switched_capacitance ker).(0)
+
+let test_scalar_variant_sequential () =
+  let net = Test_bitsim.sequential_net () in
+  let nin = Array.length net.Netlist.inputs in
+  let rng = Hlp_util.Prng.create 42 in
+  let ker = Kernel.create ~track_lanes:true (Kernel.compile net) in
+  let fsim = Funcsim.create net in
+  for _ = 1 to 60 do
+    let vec = Array.init nin (fun _ -> Hlp_util.Prng.bool rng) in
+    Funcsim.step fsim vec;
+    Kernel.step_scalar ker vec;
+    for i = 0 to Netlist.num_nodes net - 1 do
+      Alcotest.(check bool) "node value" (Funcsim.value fsim i)
+        (Kernel.value_bool ker i)
+    done
+  done;
+  float_bits_equal "lane 0 switched capacitance"
+    (Funcsim.switched_capacitance fsim)
+    (Kernel.lane_switched_capacitance ker).(0)
+
+(* --- trace replay: Parsim with Engine.Compiled --- *)
+
+let bool_trace net ~n ~seed =
+  let nin = Array.length net.Netlist.inputs in
+  let rng = Hlp_util.Prng.create seed in
+  Array.init n (fun _ -> Array.init nin (fun _ -> Hlp_util.Prng.bool rng))
+
+let replay_equal net ~n ~seed =
+  let trace = bool_trace net ~n ~seed in
+  let vector i = trace.(i) in
+  let rb = Parsim.replay ~engine:Engine.Bitparallel net ~vector ~n in
+  let rk = Parsim.replay ~engine:Engine.Compiled net ~vector ~n in
+  rb.Parsim.out_words = rk.Parsim.out_words
+  && Array.for_all2
+       (fun a b -> bits a = bits b)
+       rb.Parsim.transition_caps rk.Parsim.transition_caps
+
+let qcheck_replay_differential =
+  QCheck.Test.make ~count:25
+    ~name:"compiled replay is bit-identical to bitparallel replay"
+    (QCheck.pair Test_bitsim.arb_netlist (QCheck.int_range 1 200))
+    (fun ((_, net), n) -> replay_equal net ~n ~seed:(n + 3))
+
+let test_replay_edge_lengths () =
+  (* chunk-boundary arithmetic: below, at, and just past lane multiples *)
+  let net = Generators.adder_circuit 4 in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d bit-identical" n)
+        true
+        (replay_equal net ~n ~seed:n))
+    [ 1; 2; lanes - 1; lanes; lanes + 1; (2 * lanes) - 1; 2 * lanes ]
+
+let test_replay_rejects_sequential () =
+  let net = Test_bitsim.sequential_net () in
+  let vector _ = [| true |] in
+  match Parsim.replay ~engine:Engine.Compiled net ~vector ~n:10 with
+  | _ -> Alcotest.fail "expected Invalid_argument for a sequential netlist"
+  | exception Invalid_argument _ -> ()
+
+(* --- Monte Carlo: byte-identical estimates --- *)
+
+let test_mc_compiled_equals_bitparallel () =
+  let run engine = Test_durability.units_mc ~engine () in
+  Test_durability.check_mc_identical "combinational multiplier"
+    (run Engine.Bitparallel) (run Engine.Compiled)
+
+let test_mc_compiled_equals_bitparallel_sequential () =
+  let net = Test_bitsim.sequential_net () in
+  let run engine =
+    P.monte_carlo ~batch:4 ~relative_precision:1e-6 ~max_cycles:(8 * 4 * lanes)
+      ~seed:13 ~engine net
+  in
+  Test_durability.check_mc_identical "sequential counter"
+    (run Engine.Bitparallel) (run Engine.Compiled)
+
+(* --- golden-value pins: hex IEEE-754 bits on fixed circuits and seeds ---
+
+   Each pin is the exact bit pattern of the Monte Carlo estimate on a
+   fixed (circuit, seed, budget). Any change to PRNG streams, accounting
+   order, or engine arithmetic shows up as a changed pin. Refresh by
+   running the test binary with HLP_PRINT_PINS=1. *)
+
+let pin_circuits () =
+  [ ("adder8", Generators.adder_circuit 8);
+    ("alu4", Generators.alu_circuit 4);
+    ("mult4", Generators.multiplier_circuit 4) ]
+
+let pin_seeds = [ 7; 31 ]
+
+let pinned_mc ~engine ~seed net =
+  P.monte_carlo ~batch:4 ~relative_precision:1e-6 ~max_cycles:(6 * 4 * lanes)
+    ~seed ~engine net
+
+let compiled_pins =
+  [ ("adder8", 7, 0x4057b31cfc7a7253L);
+    ("adder8", 31, 0x40578c865dbb3108L);
+    ("alu4", 7, 0x405ccd532a87fdd7L);
+    ("alu4", 31, 0x405c5982d82d82d8L);
+    ("mult4", 7, 0x406242f4e4a39f90L);
+    ("mult4", 31, 0x40621f070b1b5c61L) ]
+
+let scalar_pins =
+  [ ("adder8", 7, 0x4057ed3f258beecbL);
+    ("adder8", 31, 0x405817ba06d39cf0L);
+    ("alu4", 7, 0x405c58cccccccb05L);
+    ("alu4", 31, 0x405d5a1eb851e983L);
+    ("mult4", 7, 0x40628b6b851eb69aL);
+    ("mult4", 31, 0x40631a2740da727dL) ]
+
+let scalar_pinned_mc ~seed net =
+  P.monte_carlo ~batch:20 ~relative_precision:1e-6 ~max_cycles:480 ~seed
+    ~engine:Engine.Scalar net
+
+let print_pins_if_requested () =
+  if Sys.getenv_opt "HLP_PRINT_PINS" = Some "1" then begin
+    List.iter
+      (fun (name, net) ->
+        List.iter
+          (fun seed ->
+            let c = pinned_mc ~engine:Engine.Compiled ~seed net in
+            let s = scalar_pinned_mc ~seed net in
+            Printf.printf "compiled %s %d 0x%LxL\nscalar %s %d 0x%LxL\n" name
+              seed (bits c.P.estimate) name seed (bits s.P.estimate))
+          pin_seeds)
+      (pin_circuits ());
+    exit 0
+  end
+
+let check_pins what pins run =
+  let nets = pin_circuits () in
+  List.iter
+    (fun (name, seed, pinned) ->
+      let net = List.assoc name nets in
+      let got = bits (run ~seed net).P.estimate in
+      Alcotest.(check int64)
+        (Printf.sprintf "%s %s seed=%d" what name seed)
+        pinned got)
+    pins
+
+let test_golden_pins_compiled () =
+  check_pins "compiled" compiled_pins (pinned_mc ~engine:Engine.Compiled);
+  (* the bitparallel engine must sit on the same pins: same streams, same
+     accounting *)
+  check_pins "bitparallel" compiled_pins (pinned_mc ~engine:Engine.Bitparallel)
+
+let test_golden_pins_scalar () =
+  check_pins "scalar" scalar_pins (fun ~seed net -> scalar_pinned_mc ~seed net)
+
+(* --- levelization edge cases: constants and dangling nodes --- *)
+
+let test_const_gates () =
+  (* zero-fanin constant drivers at level 0; a gate fed only by constants
+     sits at level 1, settles once, and never toggles *)
+  let b = Netlist.Builder.create () in
+  let x = Netlist.Builder.input b in
+  let t = Netlist.Builder.const_ b true in
+  let f = Netlist.Builder.const_ b false in
+  let g1 = Netlist.Builder.and_ b [ x; t ] in
+  let g2 = Netlist.Builder.or_ b [ g1; f ] in
+  let g3 = Netlist.Builder.xor_ b t f in
+  Netlist.Builder.output b "y" g2;
+  Netlist.Builder.output b "z" g3;
+  let net = Netlist.Builder.finish b in
+  let lv = Netlist.comb_levels net in
+  Alcotest.(check int) "const true at level 0" 0 lv.(t);
+  Alcotest.(check int) "const false at level 0" 0 lv.(f);
+  Alcotest.(check int) "const-fed gate at level 1" 1 lv.(g3);
+  Alcotest.(check bool) "differential with constants" true
+    (kernel_agrees net ~steps:20 ~seed:3);
+  let ker = Kernel.create (Kernel.compile net) in
+  Kernel.step ker [| -1 |];
+  Kernel.step ker [| 0 |];
+  Alcotest.(check int) "xor(1,0) broadcast" (-1) (Kernel.value ker g3);
+  Alcotest.(check int) "const-fed gate never toggles" 0
+    (Kernel.toggle_counts ker).(g3)
+
+let test_dangling_nodes () =
+  (* a gate with no consumers and no output port still switches (and still
+     burns capacitance): it must be levelized, scheduled, and accounted *)
+  let b = Netlist.Builder.create () in
+  let x = Netlist.Builder.input b in
+  let y = Netlist.Builder.input b in
+  let dangling = Netlist.Builder.xor_ b x y in
+  let z = Netlist.Builder.and_ b [ x; y ] in
+  Netlist.Builder.output b "z" z;
+  let net = Netlist.Builder.finish b in
+  Alcotest.(check int) "dangling gate levelized" 1
+    (Netlist.comb_levels net).(dangling);
+  Alcotest.(check bool) "differential with dangling gate" true
+    (kernel_agrees net ~steps:20 ~seed:5);
+  let ker = Kernel.create (Kernel.compile net) in
+  Kernel.step ker [| -1; 0 |];
+  Kernel.step ker [| 0; 0 |];
+  Alcotest.(check bool) "dangling gate toggles" true
+    ((Kernel.toggle_counts ker).(dangling) > 0)
+
+let test_no_gates () =
+  (* inputs wired straight to outputs: zero slots, zero levels, and the
+     step is latch + drive + account only *)
+  let b = Netlist.Builder.create () in
+  let x = Netlist.Builder.input b in
+  Netlist.Builder.output b "x" x;
+  let net = Netlist.Builder.finish b in
+  let plan = Kernel.compile net in
+  let st = Kernel.stats plan in
+  Alcotest.(check int) "no slots" 0 st.Kernel.slots;
+  Alcotest.(check int) "no levels" 0 st.Kernel.levels;
+  Alcotest.(check bool) "differential with no gates" true
+    (kernel_agrees net ~steps:10 ~seed:2)
+
+let test_no_inputs () =
+  (* a closed sequential circuit (oscillator): no primary inputs at all *)
+  let b = Netlist.Builder.create () in
+  let q =
+    Netlist.Builder.dff_feedback b (fun q -> Netlist.Builder.not_ b q)
+  in
+  Netlist.Builder.output b "q" q;
+  let net = Netlist.Builder.finish b in
+  Alcotest.(check bool) "differential with no inputs" true
+    (kernel_agrees net ~steps:20 ~seed:9)
+
+(* --- the fingerprint-keyed plan cache --- *)
+
+let test_plan_cache () =
+  Test_durability.with_telemetry @@ fun () ->
+  Kernel.clear_cache ();
+  let hits () = Hlp_util.Telemetry.count (Hlp_util.Telemetry.counter "kernel.cache_hits") in
+  let misses () = Hlp_util.Telemetry.count (Hlp_util.Telemetry.counter "kernel.cache_misses") in
+  let h0 = hits () and m0 = misses () in
+  let net1 = Generators.adder_circuit 5 in
+  let net2 = Generators.adder_circuit 5 in
+  let p1 = Kernel.of_netlist net1 in
+  let p2 = Kernel.of_netlist net2 in
+  (* a structurally equal netlist, rebuilt from scratch, shares the plan
+     physically — compile once, replay many *)
+  Alcotest.(check bool) "rebuilt netlist hits the cache" true (p1 == p2);
+  Alcotest.(check int) "one miss" (m0 + 1) (misses ());
+  Alcotest.(check int) "one hit" (h0 + 1) (hits ());
+  (* a custom capacitance table is not in the fingerprint: bypass *)
+  let p3 = Kernel.of_netlist ~caps:(Netlist.node_capacitance net1) net1 in
+  Alcotest.(check bool) "caps bypasses the cache" true (p3 != p1);
+  Alcotest.(check int) "bypass is not a hit" (h0 + 1) (hits ());
+  (* a different structure misses *)
+  let p4 = Kernel.of_netlist (Generators.adder_circuit 6) in
+  Alcotest.(check bool) "different structure, different plan" true (p4 != p1);
+  Alcotest.(check int) "second miss" (m0 + 2) (misses ());
+  Kernel.clear_cache ();
+  ignore (Kernel.of_netlist net1);
+  Alcotest.(check int) "clear forces a recompile" (m0 + 3) (misses ())
+
+(* --- degradation and fault injection --- *)
+
+let test_degradation_chain () =
+  Alcotest.(check bool) "compiled chain" true
+    (Parsim.degradation_chain Engine.Compiled
+    = [ Engine.Compiled; Engine.Bitparallel; Engine.Scalar ])
+
+let test_replay_guarded_degrades_to_scalar () =
+  (* a sequential net cannot be chunk-replayed: Compiled fails, Bitparallel
+     fails, Scalar answers — two fallbacks, right result *)
+  let net = Test_bitsim.sequential_net () in
+  let trace = bool_trace net ~n:40 ~seed:21 in
+  let vector i = trace.(i) in
+  match Parsim.replay_guarded ~engine:Engine.Compiled net ~vector ~n:40 with
+  | Error e -> Alcotest.failf "unexpected error: %s" (Hlp_util.Err.to_string e)
+  | Ok d ->
+      Alcotest.(check bool) "landed on scalar" true
+        (d.Parsim.engine_used = Engine.Scalar);
+      Alcotest.(check int) "two fallbacks" 2 d.Parsim.fallbacks;
+      let direct = Parsim.replay ~engine:Engine.Scalar net ~vector ~n:40 in
+      Alcotest.(check bool) "scalar result" true (d.Parsim.value = direct)
+
+let test_faultinject_gate_eval () =
+  Hlp_util.Faultinject.with_faults ~rate:1.0 [ Hlp_util.Faultinject.Gate_eval ]
+    (fun () ->
+      let ker = Kernel.create (Kernel.compile (Generators.adder_circuit 4)) in
+      (match Kernel.step ker (Array.make 8 0) with
+      | () -> Alcotest.fail "expected the injected fault to raise"
+      | exception _ -> ());
+      Alcotest.(check bool) "firing counted" true
+        (Hlp_util.Faultinject.fired Hlp_util.Faultinject.Gate_eval >= 1))
+
+(* --- checkpoint/resume: the compiled engine under the durability
+       contract (journaling identical to the bit-parallel engine) --- *)
+
+exception Crash
+
+let compiled_mc ?checkpoint () =
+  Test_durability.units_mc ~engine:Engine.Compiled ?checkpoint ()
+
+let test_compiled_checkpoint_passive () =
+  let path = Test_durability.temp "kernel_passive" in
+  let plain = compiled_mc () in
+  let journaled = compiled_mc ~checkpoint:(P.checkpoint path) () in
+  Test_durability.check_mc_identical "journaled vs plain" plain journaled;
+  let resumed = compiled_mc ~checkpoint:(P.checkpoint ~resume:true path) () in
+  Test_durability.check_mc_identical "resume after completion" plain resumed;
+  Sys.remove path
+
+let test_compiled_resume_after_interrupt () =
+  let plain = compiled_mc () in
+  List.iter
+    (fun at ->
+      let path = Test_durability.temp "kernel_interrupt" in
+      let count = ref 0 in
+      let ck =
+        P.checkpoint
+          ~on_batch:(fun _ ->
+            incr count;
+            if !count = at then raise Crash)
+          path
+      in
+      (match compiled_mc ~checkpoint:ck () with
+      | _ -> Alcotest.fail "expected the interruption to fire"
+      | exception Crash -> ());
+      let resumed =
+        compiled_mc ~checkpoint:(P.checkpoint ~resume:true path) ()
+      in
+      Test_durability.check_mc_identical
+        (Printf.sprintf "compiled interrupted at %d" at)
+        plain resumed;
+      Sys.remove path)
+    [ 1; 4; 9 ]
+
+let test_compiled_sigkill_resume () =
+  let plain = compiled_mc () in
+  List.iter
+    (fun kill_at ->
+      let path = Test_durability.temp "kernel_sigkill" in
+      let code =
+        Test_durability.sigkill_child ~engine:"compiled" ~kill_at path
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "child killed by SIGKILL at unit %d" kill_at)
+        137 code;
+      let resumed =
+        compiled_mc ~checkpoint:(P.checkpoint ~resume:true path) ()
+      in
+      Test_durability.check_mc_identical
+        (Printf.sprintf "compiled SIGKILL at unit %d" kill_at)
+        plain resumed;
+      Sys.remove path)
+    [ 1; 5 ]
+
+let test_compiled_cross_engine_resume () =
+  Test_durability.with_telemetry @@ fun () ->
+  (* a journal written under bitparallel, resumed under compiled: unit
+     means are a pure function of (seed, unit index) and bit-identical
+     across the unit engines, so the header binds the record format only
+     and the campaign genuinely resumes — no self-heal, journaled units
+     reused *)
+  let path = Test_durability.temp "kernel_header" in
+  let count = ref 0 in
+  let ck =
+    P.checkpoint
+      ~on_batch:(fun _ ->
+        incr count;
+        if !count = 3 then raise Crash)
+      path
+  in
+  (match Test_durability.units_mc ~engine:Engine.Bitparallel ~checkpoint:ck () with
+  | _ -> Alcotest.fail "expected the interruption to fire"
+  | exception Crash -> ());
+  let plain = compiled_mc () in
+  let resumed = compiled_mc ~checkpoint:(P.checkpoint ~resume:true path) () in
+  Test_durability.check_mc_identical "cross-engine resume = plain compiled run"
+    plain resumed;
+  Alcotest.(check bool) "resume counted, not healed" true
+    (Hlp_util.Telemetry.count
+       (Hlp_util.Telemetry.counter "probprop.ck_resumes")
+     >= 1
+    && Hlp_util.Telemetry.count
+         (Hlp_util.Telemetry.counter "probprop.ck_header_mismatches")
+       = 0);
+  Sys.remove path
+
+let qcheck_compiled_resume_any_truncation =
+  let full_journal =
+    lazy
+      (let path = Test_durability.temp "kernel_cut_src" in
+       ignore (compiled_mc ~checkpoint:(P.checkpoint path) ());
+       let raw = Test_durability.read_file path in
+       Sys.remove path;
+       raw)
+  in
+  QCheck.Test.make
+    ~name:"compiled resume is byte-identical after truncation at any offset"
+    ~count:12
+    QCheck.(int_bound 1_000_000)
+    (fun cut_sel ->
+      let raw = Lazy.force full_journal in
+      let plain = compiled_mc () in
+      let cut = cut_sel mod (String.length raw + 1) in
+      let path = Test_durability.temp "kernel_cut" in
+      Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+      Test_durability.write_file path (String.sub raw 0 cut);
+      let resumed =
+        compiled_mc ~checkpoint:(P.checkpoint ~resume:true path) ()
+      in
+      bits resumed.P.estimate = bits plain.P.estimate
+      && resumed.P.cycles_used = plain.P.cycles_used
+      && resumed.P.batch_means = plain.P.batch_means)
+
+(* --- sampling estimators under the compiled engine --- *)
+
+let test_sampling_compiled_engine () =
+  let ts = Test_bitsim.pinned_cosim Engine.Scalar in
+  let tc = Test_bitsim.pinned_cosim Engine.Compiled in
+  (* sampler and census read only macro evaluations derived from
+     engine-exact output words: bit-identical *)
+  Alcotest.(check (float 0.0)) "sampler bit-identical"
+    (Hlp_power.Sampling.sampler ~seed:77 ts).Hlp_power.Sampling.value
+    (Hlp_power.Sampling.sampler ~seed:77 tc).Hlp_power.Sampling.value;
+  Alcotest.(check (float 0.0)) "census bit-identical"
+    (Hlp_power.Sampling.census ts).Hlp_power.Sampling.value
+    (Hlp_power.Sampling.census tc).Hlp_power.Sampling.value;
+  (* adaptive and the gate reference touch gate-level floats: round-off *)
+  Test_bitsim.check_rel "adaptive"
+    (Hlp_power.Sampling.adaptive ~seed:99 ts).Hlp_power.Sampling.value
+    (Hlp_power.Sampling.adaptive ~seed:99 tc).Hlp_power.Sampling.value;
+  Test_bitsim.check_rel "gate reference"
+    (Hlp_power.Sampling.gate_reference ts)
+    (Hlp_power.Sampling.gate_reference tc);
+  (* and the absolute pins still hold under the compiled engine *)
+  Test_bitsim.check_rel "pinned sampler" Test_bitsim.pinned_sampler
+    (Hlp_power.Sampling.sampler ~seed:77 tc).Hlp_power.Sampling.value;
+  Test_bitsim.check_rel "pinned gate reference"
+    Test_bitsim.pinned_gate_reference
+    (Hlp_power.Sampling.gate_reference tc)
+
+(* --- plan structure, counters, validation --- *)
+
+let test_plan_stats () =
+  let net = Generators.adder_circuit 8 in
+  let plan = Kernel.compile net in
+  let st = Kernel.stats plan in
+  Alcotest.(check int) "every gate gets a slot" (Netlist.num_gates net)
+    st.Kernel.slots;
+  Alcotest.(check int) "all nodes" (Netlist.num_nodes net) st.Kernel.nodes;
+  Alcotest.(check int) "levels equal the logic depth" (Netlist.logic_depth net)
+    st.Kernel.levels;
+  Alcotest.(check bool) "segments cover levels" true
+    (st.Kernel.segments >= st.Kernel.levels);
+  Alcotest.(check bool) "pool holds every pin" true
+    (st.Kernel.pool >= 2 * st.Kernel.slots);
+  Alcotest.(check bool) "widest level is positive" true (st.Kernel.widest_level >= 1);
+  (* the fan-out masks describe real structure: level 0 (inputs) feeds
+     level 1 somewhere in any adder *)
+  Alcotest.(check bool) "level 0 feeds level 1" true
+    (Kernel.level_fanout_mask plan 0 land 2 <> 0);
+  (match Kernel.level_fanout_mask plan (st.Kernel.levels + 1) with
+  | _ -> Alcotest.fail "expected Invalid_argument out of range"
+  | exception Invalid_argument _ -> ());
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "stats string mentions slots" true
+    (contains (Kernel.stats_string plan) "slots");
+  (* segment summary covers exactly the slots *)
+  let total =
+    Array.fold_left (fun acc (_, k) -> acc + k) 0 (Kernel.segment_summary plan)
+  in
+  Alcotest.(check int) "segments sum to slots" st.Kernel.slots total
+
+let test_validation () =
+  let net = Generators.adder_circuit 4 in
+  (match Kernel.compile ~caps:[| 1.0 |] net with
+  | _ -> Alcotest.fail "expected Invalid_argument for a short caps table"
+  | exception Invalid_argument _ -> ());
+  let ker = Kernel.create (Kernel.compile net) in
+  match Kernel.lane_switched_capacitance ker with
+  | _ -> Alcotest.fail "expected Invalid_argument without ~track_lanes"
+  | exception Invalid_argument _ -> ()
+
+let test_set_counting_and_reset () =
+  (* warm-up protocol parity with Bitsim: uncounted steps leave no trace,
+     reset zeroes, and the counted step after both matches exactly *)
+  let net = Generators.alu_circuit 3 in
+  let nin = Array.length net.Netlist.inputs in
+  let rng = Hlp_util.Prng.create 17 in
+  let stimuli = Array.init 6 (fun _ -> random_words rng nin) in
+  let bit = Bitsim.create ~track_lanes:true net in
+  let ker = Kernel.create ~track_lanes:true (Kernel.compile net) in
+  let drive sim_step set_counting reset =
+    set_counting false;
+    sim_step stimuli.(0);
+    sim_step stimuli.(1);
+    set_counting true;
+    sim_step stimuli.(2);
+    reset ();
+    sim_step stimuli.(3);
+    sim_step stimuli.(4)
+  in
+  drive (Bitsim.step bit) (Bitsim.set_counting bit) (fun () ->
+      Bitsim.reset_counters bit);
+  drive (Kernel.step ker) (Kernel.set_counting ker) (fun () ->
+      Kernel.reset_counters ker);
+  Alcotest.(check (array int)) "toggles" (Bitsim.toggle_counts bit)
+    (Kernel.toggle_counts ker);
+  Alcotest.(check int) "cycles reset identically" (Bitsim.cycles bit)
+    (Kernel.cycles ker);
+  float_bits_equal "switched capacitance"
+    (Bitsim.switched_capacitance bit)
+    (Kernel.switched_capacitance ker);
+  Array.iteri
+    (fun j b ->
+      Alcotest.(check int64)
+        (Printf.sprintf "lane %d" j)
+        (bits b)
+        (bits (Kernel.lane_switched_capacitance ker).(j)))
+    (Bitsim.lane_switched_capacitance bit)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_step_differential;
+    Alcotest.test_case "kernel differential on sequential circuit" `Quick
+      test_step_differential_sequential;
+    Alcotest.test_case "reset state and first-step latch" `Quick
+      test_reset_state;
+    Alcotest.test_case "scalar lane matches funcsim (combinational)" `Quick
+      test_scalar_variant_combinational;
+    Alcotest.test_case "scalar lane matches funcsim (sequential)" `Quick
+      test_scalar_variant_sequential;
+    QCheck_alcotest.to_alcotest qcheck_replay_differential;
+    Alcotest.test_case "replay chunk-boundary lengths" `Quick
+      test_replay_edge_lengths;
+    Alcotest.test_case "compiled replay rejects sequential nets" `Quick
+      test_replay_rejects_sequential;
+    Alcotest.test_case "monte carlo byte-identical to bitparallel" `Quick
+      test_mc_compiled_equals_bitparallel;
+    Alcotest.test_case "monte carlo byte-identical on sequential net" `Quick
+      test_mc_compiled_equals_bitparallel_sequential;
+    Alcotest.test_case "golden pins (compiled engine)" `Quick
+      test_golden_pins_compiled;
+    Alcotest.test_case "golden pins (scalar engine)" `Quick
+      test_golden_pins_scalar;
+    Alcotest.test_case "constant gates levelize and fold" `Quick
+      test_const_gates;
+    Alcotest.test_case "dangling nodes are scheduled and accounted" `Quick
+      test_dangling_nodes;
+    Alcotest.test_case "gateless netlist compiles to an empty schedule" `Quick
+      test_no_gates;
+    Alcotest.test_case "inputless sequential netlist" `Quick test_no_inputs;
+    Alcotest.test_case "plan cache: physical sharing, bypass, clear" `Quick
+      test_plan_cache;
+    Alcotest.test_case "degradation chain shape" `Quick test_degradation_chain;
+    Alcotest.test_case "guarded replay degrades compiled -> scalar" `Quick
+      test_replay_guarded_degrades_to_scalar;
+    Alcotest.test_case "fault injection trips inside the compiled step" `Quick
+      test_faultinject_gate_eval;
+    Alcotest.test_case "compiled checkpoint does not perturb the estimate"
+      `Quick test_compiled_checkpoint_passive;
+    Alcotest.test_case "compiled resume after interrupt is byte-identical"
+      `Quick test_compiled_resume_after_interrupt;
+    Alcotest.test_case "compiled SIGKILLed child resumes byte-identical"
+      `Quick test_compiled_sigkill_resume;
+    Alcotest.test_case "cross-engine resume reuses journaled units" `Quick
+      test_compiled_cross_engine_resume;
+    QCheck_alcotest.to_alcotest qcheck_compiled_resume_any_truncation;
+    Alcotest.test_case "sampling estimators under the compiled engine" `Quick
+      test_sampling_compiled_engine;
+    Alcotest.test_case "plan stats and fan-out masks" `Quick test_plan_stats;
+    Alcotest.test_case "compile and accessor validation" `Quick
+      test_validation;
+    Alcotest.test_case "set_counting / reset_counters parity" `Quick
+      test_set_counting_and_reset;
+  ]

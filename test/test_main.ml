@@ -2,6 +2,8 @@ let () =
   (* crash-test child mode: when the durability suite re-executes this
      binary to SIGKILL it mid-estimation, never start Alcotest *)
   Test_durability.run_child_if_requested ();
+  (* pin refresh mode: print the kernel suite's golden bit patterns *)
+  Test_kernel.print_pins_if_requested ();
   Alcotest.run "hlpower"
     [
       ("util", Test_util.suite);
@@ -10,6 +12,7 @@ let () =
       ("bdd", Test_bdd.suite);
       ("sim", Test_sim.suite);
       ("bitsim", Test_bitsim.suite);
+      ("kernel", Test_kernel.suite);
       ("fsm", Test_fsm.suite);
       ("rtl", Test_rtl.suite);
       ("power", Test_power.suite);
