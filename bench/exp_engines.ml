@@ -735,7 +735,7 @@ let e38_kernel ?(chunks = 48) ?(reps = 5) ?(assert_speedup = true) () =
 let floats a = Json.List (Array.to_list (Array.map (fun x -> Json.Float x) a))
 
 let bench_json ~smoke ~n engines mc overhead tracing robustness durability
-    kernel =
+    kernel serve =
   let open Json in
   let engine_obj r =
     Obj
@@ -868,7 +868,8 @@ let bench_json ~smoke ~n engines mc overhead tracing robustness durability
         ("tracing", overhead_obj ~what:"span tracing" tracing);
         ("robustness", robustness_obj robustness);
         ("durability", durability_obj durability);
-        ("kernel", kernel_obj kernel) ]
+        ("kernel", kernel_obj kernel);
+        ("serve", Exp_serve.json_obj serve) ]
   in
   Json.write ~path:"BENCH_engines.json" v;
   print_endline "wrote BENCH_engines.json"
@@ -882,8 +883,9 @@ let all () =
   let robustness = e34_robustness ~n () in
   let durability = e36_durability () in
   let kernel = e38_kernel () in
+  let serve = Exp_serve.e39_serve () in
   bench_json ~smoke:false ~n engines mc overhead tracing robustness durability
-    kernel
+    kernel serve
 
 (* reduced workload for CI: exercises every engine end to end without the
    10^4-cycle stream or the speedup assertion (shared runners are noisy) *)
@@ -896,8 +898,9 @@ let smoke () =
   let robustness = e34_robustness ~n ~reps:3 () in
   let durability = e36_durability ~units:30 ~reps:3 () in
   let kernel = e38_kernel ~chunks:8 ~reps:3 ~assert_speedup:false () in
+  let serve = Exp_serve.e39_serve ~warm_rounds:2 ~assert_speedup:false () in
   bench_json ~smoke:true ~n engines mc overhead tracing robustness durability
-    kernel
+    kernel serve
 
 (* --- bench regression gate ---
 
@@ -984,4 +987,27 @@ let regression_gate ?(path = "BENCH_engines.json") () =
           (if kok then "OK" else "REGRESSION");
         kok
   in
-  ok && kernel_ok
+  (* serve gate: only when the committed snapshot carries an E39 section.
+     The gated quantity is the cold/warm p50 ratio against its absolute
+     10x floor — cold latency is dominated by BDD work and warm by a
+     cache probe, so the ratio is huge and a relative-to-baseline band
+     would only add flake; what must never regress is the order of
+     magnitude itself (and the byte-identity/typed-shed asserts inside
+     the experiment). *)
+  let serve_ok =
+    match Json.member "serve" committed with
+    | None ->
+        print_endline
+          "regression gate: no serve section in snapshot, serve gate skipped \
+           (learned on next regenerate)";
+        true
+    | Some _ ->
+        let fresh_serve = Exp_serve.e39_serve ~assert_speedup:false () in
+        let sok = fresh_serve.Exp_serve.sv_cold_vs_warm_p50 >= 10.0 in
+        Printf.printf
+          "regression gate: serve warm speedup %.0fx (floor 10x): %s\n"
+          fresh_serve.Exp_serve.sv_cold_vs_warm_p50
+          (if sok then "OK" else "REGRESSION");
+        sok
+  in
+  ok && kernel_ok && serve_ok

@@ -2,6 +2,9 @@
 
    Subcommands:
      estimate    power-estimate a generated RT module three ways
+     batch       supervised campaign of estimate jobs with checkpoint/resume
+     serve       persistent estimation daemon on a Unix-domain socket
+     client      framed-protocol client for serve; doubles as loadgen
      bus-encode  compare bus encodings on a generated address/data trace
      pm-sim      simulate system-level shutdown policies
      fsm-encode  low-power state encoding of a benchmark machine
@@ -653,6 +656,244 @@ let batch_cmd =
           $ queue_budget $ deadline $ max_retries $ breaker_threshold
           $ breaker_cooldown $ telemetry_json $ trace_out $ report)
 
+(* --- serve --- *)
+
+let serve socket max_inflight queue_budget deadline breaker_threshold
+    breaker_cooldown telemetry_json trace_out =
+  with_typed_errors @@ fun () ->
+  let deadline = require_positive_float ~flag:"--deadline" deadline in
+  let max_inflight = require_at_least ~flag:"--max-inflight" 1 max_inflight in
+  let queue_budget = require_at_least ~flag:"--queue-budget" 1 queue_budget in
+  if telemetry_json <> None then Hlp_util.Telemetry.enable ();
+  if trace_out <> None then Hlp_util.Trace.enable ();
+  let service =
+    Hlp_power.Service.create ?failure_threshold:breaker_threshold
+      ?cooldown_s:breaker_cooldown ()
+  in
+  let (), signal =
+    Hlp_util.Supervisor.with_graceful_stop (fun token ->
+        Hlp_util.Server.serve ?max_inflight ?queue_budget ?deadline_s:deadline
+          ~overload:Hlp_power.Service.overload_response ~token
+          ~on_ready:(fun () ->
+            Printf.printf "hlpower serve: listening on %s\n%!" socket)
+          ~path:socket
+          (Hlp_power.Service.handle service))
+  in
+  (match telemetry_json with
+  | Some path ->
+      Hlp_util.Journal.write_atomic ~path (Hlp_util.Telemetry.to_json () ^ "\n")
+  | None -> ());
+  (match trace_out with
+  | Some path -> Hlp_util.Trace.write ~path
+  | None -> ());
+  print_endline "hlpower serve: drained";
+  match signal with
+  | Some s -> Hlp_util.Supervisor.signal_exit_code s
+  | None -> 0
+
+let serve_cmd =
+  let socket =
+    Arg.(value & opt string "/tmp/hlpower.sock"
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Unix-domain socket to listen on (stale files are replaced)")
+  in
+  let max_inflight =
+    Arg.(value & opt (some int) None
+         & info [ "max-inflight" ] ~docv:"N"
+             ~doc:
+               "worker domains serving connections (default: half the \
+                recommended domain count); must be >= 1")
+  in
+  let queue_budget =
+    Arg.(value & opt (some int) None
+         & info [ "queue-budget" ] ~docv:"N"
+             ~doc:
+               "admission budget: connections beyond $(docv) waiting for a \
+                worker receive one typed overloaded frame (exit-code field \
+                70) and are closed")
+  in
+  let deadline =
+    Arg.(value & opt (some float) None
+         & info [ "deadline" ] ~docv:"SECONDS"
+             ~doc:"per-request wall-clock budget (typed deadline-exceeded)")
+  in
+  let breaker_threshold =
+    Arg.(value & opt (some int) None
+         & info [ "breaker-threshold" ] ~docv:"N"
+             ~doc:
+               "consecutive symbolic BDD budget trips before estimates route \
+                straight to Monte Carlo (default 3)")
+  in
+  let breaker_cooldown =
+    Arg.(value & opt (some float) None
+         & info [ "breaker-cooldown" ] ~docv:"SECONDS"
+             ~doc:"seconds the symbolic breaker stays open (default 30)")
+  in
+  let telemetry_json =
+    Arg.(value & opt (some string) None
+         & info [ "telemetry-json" ] ~docv:"FILE"
+             ~doc:
+               "enable telemetry and write it to $(docv) at drain (cache \
+                hit/miss counters live under server.*)")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"enable span tracing and write Chrome trace JSON to $(docv)")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent estimation daemon (fingerprint-keyed hot \
+          caches, admission control, graceful SIGINT/SIGTERM drain)")
+    Term.(const serve $ socket $ max_inflight $ queue_budget $ deadline
+          $ breaker_threshold $ breaker_cooldown $ telemetry_json $ trace_out)
+
+(* --- client --- *)
+
+let client_op_enum =
+  [ ("estimate", `Estimate); ("sampler", `Sampler); ("ping", `Ping);
+    ("stats", `Stats) ]
+
+let client socket op circuit width engine seed rp max_cycles node_limit cycles
+    sleep_s clients requests connect_wait =
+  with_typed_errors @@ fun () ->
+  let clients = max 1 clients and requests = max 1 requests in
+  let build id =
+    match op with
+    | `Ping -> Hlp_power.Service.ping_request ~id ?sleep_s ()
+    | `Stats -> Hlp_power.Service.stats_request ~id ()
+    | `Estimate ->
+        Hlp_power.Service.estimate_request ~id ?engine ?seed
+          ?relative_precision:rp ?max_cycles ?node_limit ~circuit ~width ()
+    | `Sampler ->
+        Hlp_power.Service.sampler_request ~id ?engine ?seed ?cycles ~circuit
+          ~width ()
+  in
+  (* closed-loop loadgen: each client holds one persistent connection and
+     issues its requests back-to-back; responses are printed after all
+     clients join, in (client, request) order, so two runs against the
+     same cache state are byte-comparable on stdout *)
+  let run_client c () =
+    let conn = Hlp_util.Server.connect ?wait_s:connect_wait socket in
+    Fun.protect ~finally:(fun () -> Hlp_util.Server.close conn) @@ fun () ->
+    let lats = Array.make requests 0.0 in
+    let outs = Array.make requests "" in
+    let first_err = ref None in
+    for r = 0 to requests - 1 do
+      let payload = build ((c * requests) + r) in
+      let t0 = Hlp_util.Clock.now_s () in
+      let resp = Hlp_util.Server.request conn payload in
+      lats.(r) <- Hlp_util.Clock.now_s () -. t0;
+      outs.(r) <-
+        (match Hlp_power.Service.parse_response resp with
+        | Ok pr when pr.Hlp_power.Service.ok ->
+            Option.value ~default:"{}" (Hlp_power.Service.result_string pr)
+        | Ok pr ->
+            let cls, msg, code =
+              Option.value ~default:("unknown", "missing error body", 1)
+                pr.Hlp_power.Service.error
+            in
+            if !first_err = None then first_err := Some code;
+            Printf.sprintf "error %s (%d): %s" cls code msg
+        | Error m ->
+            if !first_err = None then first_err := Some 65;
+            "error bad-response: " ^ m)
+    done;
+    (lats, outs, !first_err)
+  in
+  let all =
+    List.map Domain.join (List.init clients (fun c -> Domain.spawn (run_client c)))
+  in
+  List.iteri
+    (fun c (_, outs, _) ->
+      Array.iteri (fun r line -> Printf.printf "client %d req %d: %s\n" c r line) outs)
+    all;
+  let lats =
+    Array.of_list (List.concat_map (fun (l, _, _) -> Array.to_list l) all)
+  in
+  Array.sort compare lats;
+  let n = Array.length lats in
+  let pct p = 1000.0 *. lats.(min (n - 1) (int_of_float (p *. float_of_int n))) in
+  let total = Array.fold_left ( +. ) 0.0 lats in
+  Printf.eprintf
+    "%d requests over %d client(s): p50 %.3f ms, p99 %.3f ms, mean %.3f ms\n"
+    n clients (pct 0.50) (pct 0.99)
+    (1000.0 *. total /. float_of_int n);
+  match List.find_map (fun (_, _, e) -> e) all with
+  | Some code -> code
+  | None -> 0
+
+let client_cmd =
+  let socket =
+    Arg.(value & opt string "/tmp/hlpower.sock"
+         & info [ "socket" ] ~docv:"PATH" ~doc:"socket of a running daemon")
+  in
+  let op =
+    Arg.(value & opt (enum client_op_enum) `Estimate
+         & info [ "op" ] ~docv:"OP" ~doc:(enum_doc client_op_enum))
+  in
+  let circuit =
+    Arg.(value & opt string "adder"
+         & info [ "circuit" ] ~docv:"CIRCUIT"
+             ~doc:"circuit name (validated by the server)")
+  in
+  let width = Arg.(value & opt int 8 & info [ "width" ] ~doc:"operand bit width") in
+  let engine =
+    Arg.(value & opt (some string) None
+         & info [ "engine" ] ~docv:"ENGINE"
+             ~doc:"simulation engine (server default: bitparallel)")
+  in
+  let seed =
+    Arg.(value & opt (some int) None
+         & info [ "seed" ] ~doc:"PRNG seed (server default: 47)")
+  in
+  let rp =
+    Arg.(value & opt (some float) None
+         & info [ "relative-precision" ]
+             ~doc:"Monte Carlo stopping precision (server default: 0.05)")
+  in
+  let max_cycles =
+    Arg.(value & opt (some int) None
+         & info [ "max-cycles" ] ~doc:"Monte Carlo cycle budget")
+  in
+  let node_limit =
+    Arg.(value & opt (some int) None
+         & info [ "node-limit" ] ~doc:"symbolic BDD node budget")
+  in
+  let cycles =
+    Arg.(value & opt (some int) None
+         & info [ "cycles" ] ~doc:"sampler op: cosimulated cycles (default 256)")
+  in
+  let sleep_s =
+    Arg.(value & opt (some float) None
+         & info [ "sleep" ] ~docv:"SECONDS"
+             ~doc:"ping op: hold the worker busy (overload testing)")
+  in
+  let clients =
+    Arg.(value & opt (int_at_least 1 "--clients") 1
+         & info [ "clients" ] ~docv:"N" ~doc:"concurrent closed-loop clients")
+  in
+  let requests =
+    Arg.(value & opt (int_at_least 1 "--requests") 1
+         & info [ "requests" ] ~docv:"M" ~doc:"requests per client")
+  in
+  let connect_wait =
+    Arg.(value & opt (some float) None
+         & info [ "connect-wait" ] ~docv:"SECONDS"
+             ~doc:"how long to retry connecting to a starting daemon \
+                   (default 5)")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Query a running hlpower serve daemon; with --clients/--requests \
+          it is a closed-loop load generator (responses on stdout, latency \
+          stats on stderr)")
+    Term.(const client $ socket $ op $ circuit $ width $ engine $ seed $ rp
+          $ max_cycles $ node_limit $ cycles $ sleep_s $ clients $ requests
+          $ connect_wait)
+
 (* --- bus-encode --- *)
 
 let trace_enum =
@@ -822,5 +1063,6 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "hlpower" ~version:"1.0.0" ~doc)
-          [ estimate_cmd; batch_cmd; bus_cmd; pm_cmd; fsm_cmd; export_cmd;
+          [ estimate_cmd; batch_cmd; serve_cmd; client_cmd; bus_cmd; pm_cmd;
+            fsm_cmd; export_cmd;
             info_cmd ]))

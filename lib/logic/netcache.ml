@@ -74,3 +74,28 @@ let clear c =
 
 let name c = c.name
 let capacity c = c.capacity
+
+(* --- key derivation ---
+
+   Composite cache keys (fingerprint + engine + seed + precision, the
+   serve estimate-cache key) are built by folding extra material into an
+   existing key with the same FNV-1a step Netlist.fingerprint uses, so
+   key quality is uniform across the toolkit. *)
+
+let fnv_prime = 0x100000001b3L
+let fnv_basis = 0xcbf29ce484222325L
+
+let fnv_byte h b =
+  Int64.mul (Int64.logxor h (Int64.of_int (b land 0xFF))) fnv_prime
+
+let combine h k =
+  let h = ref h in
+  for i = 0 to 7 do
+    h := fnv_byte !h (Int64.to_int (Int64.shift_right_logical k (8 * i)))
+  done;
+  !h
+
+let hash_string s =
+  let h = ref fnv_basis in
+  String.iter (fun c -> h := fnv_byte !h (Char.code c)) s;
+  !h

@@ -27,3 +27,17 @@ val length : 'a t -> int
 val clear : 'a t -> unit
 val name : 'a t -> string
 val capacity : 'a t -> int
+
+(** {1 Key derivation}
+
+    Caches whose artifacts depend on more than netlist structure — an
+    estimate depends on the engine, seed, and precision too — fold the
+    extra material into the fingerprint with the same FNV-1a step the
+    fingerprint itself uses. *)
+
+val combine : int64 -> int64 -> int64
+(** [combine h k] folds the 8 bytes of [k] into [h] (FNV-1a). Not
+    commutative: fold fields in a fixed order. *)
+
+val hash_string : string -> int64
+(** FNV-1a of the bytes, from the standard basis. *)

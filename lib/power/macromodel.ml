@@ -111,6 +111,7 @@ let fit kind _dut observations =
 let predict model stats = Hlp_util.Linalg.vec_dot model.coeffs (features model.kind stats)
 
 let model_kind m = m.kind
+let model_coeffs m = Array.copy m.coeffs
 
 (* --- 3D table --- *)
 

@@ -54,6 +54,10 @@ val predict : model -> stream_stats -> float
 
 val model_kind : model -> kind
 
+val model_coeffs : model -> float array
+(** The fitted coefficient vector (a copy) — exposed so caches can key on
+    the exact model, not just the circuit it was fitted for. *)
+
 (** {1 3D-table macro-model (Gupta-Najm [41])} *)
 
 type table3d

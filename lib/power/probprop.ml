@@ -652,7 +652,7 @@ let tail_len = 8
 let estimate_guarded ?(guard = Hlp_util.Guard.unlimited)
     ?(node_limit = default_node_limit) ?input_prob ?batch ?relative_precision
     ?max_cycles ?(seed = 47) ?(engine = Hlp_sim.Engine.Bitparallel) ?jobs
-    ?max_retries ?(try_symbolic = true) ?checkpoint:ck net =
+    ?max_retries ?(try_symbolic = true) ?symbolic_cache ?checkpoint:ck net =
   (* provenance baselines: counter deltas isolate this estimate's share of
      the process-wide counters. Telemetry counters only move while the
      telemetry switch is on, so the record carries [counters_live] to say
@@ -722,15 +722,35 @@ let estimate_guarded ?(guard = Hlp_util.Guard.unlimited)
     (* [try_symbolic = false] is the supervisor's circuit breaker saying
        the BDD stage has been tripping: route straight to sampling *)
     if Netlist.num_dffs net > 0 || not try_symbolic then (None, false)
-    else
-      match symbolic ?input_prob ~node_limit net with
-      | stats -> (Some (estimate_capacitance net stats), false)
-      | exception Hlp_util.Err.Error (Hlp_util.Err.Budget_exceeded _) ->
-          Hlp_util.Telemetry.incr tel_symbolic_fallbacks;
-          Hlp_util.Trace.instant
-            ~args:(fun () -> [ ("node_limit", Hlp_util.Json.Int node_limit) ])
-            "probprop.symbolic_budget_trip";
-          (None, true)
+    else begin
+      let budget_trip () =
+        Hlp_util.Telemetry.incr tel_symbolic_fallbacks;
+        Hlp_util.Trace.instant
+          ~args:(fun () -> [ ("node_limit", Hlp_util.Json.Int node_limit) ])
+          "probprop.symbolic_budget_trip";
+        (None, true)
+      in
+      match (input_prob, symbolic_cache) with
+      | None, Some cache -> (
+          (* the exact symbolic answer is pure in the netlist structure
+             (under the default input distribution), so the serve daemon
+             caches it by fingerprint. Only successes are inserted: a
+             budget trip raises out of the compute thunk before the
+             insert, so a later call with a larger budget still tries. *)
+          match
+            Netcache.find_or_compute cache ~key:(Netlist.fingerprint net)
+              (fun () ->
+                estimate_capacitance net (symbolic ~node_limit net))
+          with
+          | cap -> (Some cap, false)
+          | exception Hlp_util.Err.Error (Hlp_util.Err.Budget_exceeded _) ->
+              budget_trip ())
+      | _ -> (
+          match symbolic ?input_prob ~node_limit net with
+          | stats -> (Some (estimate_capacitance net stats), false)
+          | exception Hlp_util.Err.Error (Hlp_util.Err.Budget_exceeded _) ->
+              budget_trip ())
+    end
   in
   match symbolic_cap with
   | Some cap ->

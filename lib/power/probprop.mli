@@ -214,6 +214,7 @@ val estimate_guarded :
   ?jobs:int ->
   ?max_retries:int ->
   ?try_symbolic:bool ->
+  ?symbolic_cache:float Hlp_logic.Netcache.t ->
   ?checkpoint:checkpoint ->
   Hlp_logic.Netlist.t ->
   (guarded, Hlp_util.Err.t) result
@@ -228,4 +229,14 @@ val estimate_guarded :
     [checkpoint] makes the sampling stage resumable (an engine-degradation
     hop rewrites the journal header, so the journal self-heals rather
     than resuming across engines). Guard trips and invalid input
-    surface as [Error]; no exception escapes except programming errors. *)
+    surface as [Error]; no exception escapes except programming errors.
+
+    [symbolic_cache] (opt-in — the serve daemon's hot BDD cache) memoizes
+    {e successful} symbolic capacitances by {!Hlp_logic.Netlist.fingerprint}.
+    It is consulted only under the default input distribution ([input_prob]
+    omitted), since a caller-supplied distribution cannot participate in the
+    key. A budget trip is never cached, so a later call with a larger
+    [node_limit] still gets its attempt; conversely a hit can answer under a
+    [node_limit] that would have tripped, which is sound — the cached value
+    is the exact answer — and exactly the work-skipping the cache exists
+    for. *)

@@ -259,6 +259,36 @@ let prepare_journaled ?(engine = Hlp_sim.Engine.Scalar) ?jobs ~path model dut
       | None -> recompute ())
   | _ -> recompute ()
 
+(* In-memory prepared-sampler cache for the serve daemon: same artifact
+   as the journaled cache, but process-local and keyed on the exact
+   model too (fingerprint + engine + trace digest + model kind/coeffs),
+   so a refitted model can never serve a stale stream. Prepared values
+   are read-only after construction, satisfying Netcache's sharing
+   contract. *)
+let prepare_cache : t Hlp_logic.Netcache.t =
+  Hlp_logic.Netcache.create ~capacity:32 ~name:"sampling.mem" ()
+
+let clear_prepare_cache () = Hlp_logic.Netcache.clear prepare_cache
+
+let prepare_cached ?(engine = Hlp_sim.Engine.Scalar) ?jobs model dut traces =
+  let open Hlp_logic.Netcache in
+  let model_key =
+    Array.fold_left
+      (fun h c -> combine h (Int64.bits_of_float c))
+      (hash_string (Macromodel.kind_name (Macromodel.model_kind model)))
+      (Macromodel.model_coeffs model)
+  in
+  let key =
+    combine
+      (combine
+         (combine
+            (Hlp_logic.Netlist.fingerprint dut.Macromodel.net)
+            (hash_string (Hlp_sim.Engine.to_string engine)))
+         (hash_string (traces_digest traces)))
+      model_key
+  in
+  find_or_compute prepare_cache ~key (fun () -> prepare ~engine ?jobs model dut traces)
+
 let cycles t = Array.length t.macro_values
 
 let gate_reference t = Hlp_util.Stats.mean t.gate_values

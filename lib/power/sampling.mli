@@ -77,6 +77,23 @@ val prepare_journaled :
     {!of_arrays_checked}, so a bad cache can cost time, never
     correctness. *)
 
+val prepare_cached :
+  ?engine:Hlp_sim.Engine.t ->
+  ?jobs:int ->
+  Macromodel.model ->
+  Macromodel.dut ->
+  int array list ->
+  t
+(** {!prepare} behind a process-local {!Hlp_logic.Netcache} — the serve
+    daemon's hot sampler cache. The key binds the circuit fingerprint,
+    the engine, a digest of the input traces, {e and} the model's kind
+    and exact coefficient bits, so a hit is always the stream {!prepare}
+    would have produced. Hits/misses surface as
+    ["sampling.mem.cache_hits"] / ["sampling.mem.cache_misses"]. *)
+
+val clear_prepare_cache : unit -> unit
+(** Drop every entry of the {!prepare_cached} cache (tests). *)
+
 val cycles : t -> int
 
 val gate_reference : t -> float

@@ -1,0 +1,340 @@
+(* Protocol schema, dispatch, and hot caches of the estimation daemon.
+   Transport (frames, pool, admission) is Hlp_util.Server; this layer
+   turns request payloads into cached answers. *)
+
+open Hlp_logic
+module J = Hlp_util.Json
+module Err = Hlp_util.Err
+
+let circuits =
+  [ ("adder", Generators.adder_circuit);
+    ("multiplier", Generators.multiplier_circuit);
+    ("max", Generators.max_circuit);
+    ("alu", Generators.alu_circuit);
+    ("comparator", Generators.comparator_circuit);
+    ("parity", Generators.parity_circuit) ]
+
+(* input-word widths of each generator, for the macro-model dut *)
+let widths_of name w =
+  match name with
+  | "parity" -> [ w ]
+  | "alu" -> [ 2; w; w ]
+  | _ -> [ w; w ]
+
+type t = {
+  netlists : Netlist.t Netcache.t;
+  symbolic : float Netcache.t;
+  models : (Macromodel.model * Macromodel.dut) Netcache.t;
+  estimates : string Netcache.t;  (* serialized result objects *)
+  breaker : Hlp_util.Supervisor.breaker;
+}
+
+let create ?(netlist_capacity = 64) ?(estimate_capacity = 256)
+    ?(failure_threshold = 3) ?(cooldown_s = 30.0) () =
+  { netlists = Netcache.create ~capacity:netlist_capacity ~name:"server.netlists" ();
+    symbolic = Netcache.create ~capacity:netlist_capacity ~name:"server.symbolic" ();
+    models = Netcache.create ~capacity:netlist_capacity ~name:"server.models" ();
+    estimates =
+      Netcache.create ~capacity:estimate_capacity ~name:"server.estimates" ();
+    breaker =
+      Hlp_util.Supervisor.breaker ~failure_threshold ~cooldown_s "server.symbolic" }
+
+(* --- envelopes --- *)
+
+let ok_envelope ?(cached = false) id result =
+  J.to_string ~compact:true
+    (J.Obj
+       [ ("id", J.Int id);
+         ("ok", J.Bool true);
+         ("cached", J.Bool cached);
+         ("result", result) ])
+
+let error_envelope_parts id cls msg code =
+  J.to_string ~compact:true
+    (J.Obj
+       [ ("id", J.Int id);
+         ("ok", J.Bool false);
+         ( "error",
+           J.Obj
+             [ ("class", J.Str cls);
+               ("message", J.Str msg);
+               ("exit_code", J.Int code) ] ) ])
+
+let error_envelope id e =
+  error_envelope_parts id (Err.class_name e) (Err.to_string e) (Err.exit_code e)
+
+let overload_response e = error_envelope (-1) e
+
+(* --- request field access (typed errors, never exceptions) --- *)
+
+let bad what why = raise (Err.invalid_input ~what:("request " ^ what) why)
+
+let opt_field obj name conv what =
+  match J.member name obj with
+  | None -> None
+  | Some v -> (
+      match conv v with
+      | Some x -> Some x
+      | None -> bad name ("must be " ^ what))
+
+let opt_int obj name = opt_field obj name J.to_int_opt "an integer"
+let opt_float obj name = opt_field obj name J.to_float_opt "a number"
+let opt_str obj name = opt_field obj name J.to_str_opt "a string"
+
+let req_str obj name =
+  match opt_str obj name with Some s -> s | None -> bad name "is required"
+
+let with_default d = function Some v -> v | None -> d
+
+let fbits f = Printf.sprintf "%016Lx" (Int64.bits_of_float f)
+
+(* --- common request decoding --- *)
+
+let decode_circuit t obj =
+  let name = req_str obj "circuit" in
+  let gen =
+    match List.assoc_opt name circuits with
+    | Some g -> g
+    | None ->
+        bad "circuit"
+          ("unknown (expected one of "
+          ^ String.concat ", " (List.map fst circuits)
+          ^ ")")
+  in
+  let width = with_default 8 (opt_int obj "width") in
+  if width < 1 || width > 24 then bad "width" "must be in 1..24";
+  let net =
+    Netcache.find_or_compute t.netlists
+      ~key:(Netcache.combine (Netcache.hash_string name) (Int64.of_int width))
+      (fun () -> gen width)
+  in
+  (name, width, net)
+
+let decode_engine obj =
+  let s = with_default "bitparallel" (opt_str obj "engine") in
+  match Hlp_sim.Engine.of_string s with
+  | Some e -> e
+  | None -> bad "engine" ("unknown engine " ^ s)
+
+(* --- ops --- *)
+
+let op_ping obj id =
+  let sleep_s = with_default 0.0 (opt_float obj "sleep_s") in
+  if (not (Float.is_finite sleep_s)) || sleep_s < 0.0 || sleep_s > 30.0 then
+    bad "sleep_s" "must be in [0, 30]";
+  if sleep_s > 0.0 then Unix.sleepf sleep_s;
+  ok_envelope id
+    (J.Obj [ ("op", J.Str "ping"); ("pong", J.Bool true) ])
+
+let op_estimate t guard obj id =
+  let name, width, net = decode_circuit t obj in
+  let engine = decode_engine obj in
+  let seed = with_default 47 (opt_int obj "seed") in
+  let rp = with_default 0.05 (opt_float obj "relative_precision") in
+  let max_cycles = opt_int obj "max_cycles" in
+  let node_limit = opt_int obj "node_limit" in
+  let key =
+    let open Netcache in
+    List.fold_left combine
+      (Netlist.fingerprint net)
+      [ hash_string (Hlp_sim.Engine.to_string engine);
+        Int64.of_int seed;
+        Int64.bits_of_float rp;
+        Int64.of_int (with_default 0 max_cycles);
+        Int64.of_int (with_default 0 node_limit) ]
+  in
+  let cached = Netcache.mem t.estimates key in
+  let result =
+    Netcache.find_or_compute t.estimates ~key (fun () ->
+        let try_symbolic = Hlp_util.Supervisor.breaker_allows t.breaker in
+        match
+          Probprop.estimate_guarded ~guard ~seed ~engine ~relative_precision:rp
+            ?max_cycles ?node_limit ~try_symbolic ~symbolic_cache:t.symbolic net
+        with
+        | Error e -> raise (Err.Error e)  (* never cache failures *)
+        | Ok g ->
+            if try_symbolic then
+              if g.Probprop.symbolic_fallback then
+                Hlp_util.Supervisor.breaker_failure t.breaker
+              else Hlp_util.Supervisor.breaker_success t.breaker;
+            let p = g.Probprop.provenance in
+            J.to_string ~compact:true
+              (J.Obj
+                 [ ("op", J.Str "estimate");
+                   ("circuit", J.Str name);
+                   ("width", J.Int width);
+                   ("engine", J.Str (Hlp_sim.Engine.to_string engine));
+                   ("seed", J.Int seed);
+                   ("relative_precision", J.Float rp);
+                   ("capacitance", J.Float g.Probprop.capacitance);
+                   ("capacitance_bits", J.Str (fbits g.Probprop.capacitance));
+                   ("estimator", J.Str p.Probprop.estimator_used);
+                   ( "engine_used",
+                     match p.Probprop.engine with
+                     | Some e -> J.Str e
+                     | None -> J.Null );
+                   ("symbolic_fallback", J.Bool g.Probprop.symbolic_fallback);
+                   ("batches", J.Int p.Probprop.batches);
+                   ("cycles_used", J.Int p.Probprop.cycles_used);
+                   ( "half_interval",
+                     match p.Probprop.half_interval with
+                     | Some h -> J.Float h
+                     | None -> J.Null ) ]))
+  in
+  Printf.sprintf
+    "{\"id\":%d,\"ok\":true,\"cached\":%b,\"result\":%s}" id cached result
+
+let op_sampler t obj id =
+  let name, width, net = decode_circuit t obj in
+  let engine = decode_engine obj in
+  let seed = with_default 47 (opt_int obj "seed") in
+  let cycles = with_default 256 (opt_int obj "cycles") in
+  if cycles < 2 || cycles > 100_000 then bad "cycles" "must be in 2..100000";
+  let widths = widths_of name width in
+  let model, dut =
+    Netcache.find_or_compute t.models
+      ~key:
+        (Netcache.combine
+           (Netcache.combine (Netlist.fingerprint net) (Int64.of_int seed))
+           (Int64.of_int width))
+      (fun () ->
+        let dut = { Macromodel.net; widths } in
+        let obs =
+          List.map (Macromodel.observe dut)
+            (Macromodel.training_streams ~seed dut)
+        in
+        (Macromodel.fit Macromodel.Bitwise dut obs, dut))
+  in
+  let rng = Hlp_util.Prng.create seed in
+  let traces =
+    List.map (fun w -> Hlp_sim.Streams.uniform rng ~width:w ~n:cycles) widths
+  in
+  let s = Sampling.prepare_cached ~engine model dut traces in
+  let census = (Sampling.census s).Sampling.value in
+  let sampled = (Sampling.sampler ~seed s).Sampling.value in
+  let gate_ref = Sampling.gate_reference s in
+  ok_envelope id
+    (J.Obj
+       [ ("op", J.Str "sampler");
+         ("circuit", J.Str name);
+         ("width", J.Int width);
+         ("engine", J.Str (Hlp_sim.Engine.to_string engine));
+         ("seed", J.Int seed);
+         ("cycles", J.Int cycles);
+         ("census", J.Float census);
+         ("census_bits", J.Str (fbits census));
+         ("sampled", J.Float sampled);
+         ("sampled_bits", J.Str (fbits sampled));
+         ("gate_reference", J.Float gate_ref);
+         ("gate_reference_bits", J.Str (fbits gate_ref)) ])
+
+let op_stats t id =
+  let breaker =
+    match Hlp_util.Supervisor.breaker_state t.breaker with
+    | Hlp_util.Supervisor.Closed -> "closed"
+    | Hlp_util.Supervisor.Open -> "open"
+    | Hlp_util.Supervisor.Half_open -> "half-open"
+  in
+  ok_envelope id
+    (J.Obj
+       [ ("op", J.Str "stats");
+         ("netlists", J.Int (Netcache.length t.netlists));
+         ("symbolic", J.Int (Netcache.length t.symbolic));
+         ("models", J.Int (Netcache.length t.models));
+         ("estimates", J.Int (Netcache.length t.estimates));
+         ("kernel_plans", J.Int (Hlp_sim.Kernel.cache_length ()));
+         ("breaker", J.Str breaker) ])
+
+let handle t guard payload =
+  match J.parse payload with
+  | Error msg ->
+      error_envelope_parts (-1) "invalid-input" ("request parse: " ^ msg) 65
+  | Ok req -> (
+      let id = with_default 0 (try opt_int req "id" with Err.Error _ -> None) in
+      try
+        match req_str req "op" with
+        | "ping" -> op_ping req id
+        | "estimate" -> op_estimate t guard req id
+        | "sampler" -> op_sampler t req id
+        | "stats" -> op_stats t id
+        | other -> bad "op" ("unknown op " ^ other)
+      with
+      | Err.Error e -> error_envelope id e
+      | exn ->
+          (* a programming error must still answer this request; the
+             daemon itself never dies for one frame *)
+          error_envelope_parts id "internal" (Printexc.to_string exn) 70)
+
+(* --- request builders --- *)
+
+let build ?id op fields =
+  let id = match id with Some i -> [ ("id", J.Int i) ] | None -> [] in
+  J.to_string ~compact:true (J.Obj (id @ (("op", J.Str op) :: fields)))
+
+let opt_j name conv = function Some v -> [ (name, conv v) ] | None -> []
+
+let ping_request ?id ?sleep_s () =
+  build ?id "ping" (opt_j "sleep_s" (fun s -> J.Float s) sleep_s)
+
+let estimate_request ?id ?engine ?seed ?relative_precision ?max_cycles
+    ?node_limit ~circuit ~width () =
+  build ?id "estimate"
+    ([ ("circuit", J.Str circuit); ("width", J.Int width) ]
+    @ opt_j "engine" (fun e -> J.Str e) engine
+    @ opt_j "seed" (fun s -> J.Int s) seed
+    @ opt_j "relative_precision" (fun r -> J.Float r) relative_precision
+    @ opt_j "max_cycles" (fun m -> J.Int m) max_cycles
+    @ opt_j "node_limit" (fun n -> J.Int n) node_limit)
+
+let sampler_request ?id ?engine ?seed ?cycles ~circuit ~width () =
+  build ?id "sampler"
+    ([ ("circuit", J.Str circuit); ("width", J.Int width) ]
+    @ opt_j "engine" (fun e -> J.Str e) engine
+    @ opt_j "seed" (fun s -> J.Int s) seed
+    @ opt_j "cycles" (fun c -> J.Int c) cycles)
+
+let stats_request ?id () = build ?id "stats" []
+
+(* --- response decoding --- *)
+
+type response = {
+  id : int;
+  ok : bool;
+  cached : bool;
+  result : J.t option;
+  error : (string * string * int) option;
+}
+
+let parse_response s =
+  match J.parse s with
+  | Error msg -> Error ("response parse: " ^ msg)
+  | Ok v -> (
+      match J.member "ok" v with
+      | Some (J.Bool ok) ->
+          let id =
+            match Option.bind (J.member "id" v) J.to_int_opt with
+            | Some i -> i
+            | None -> -1
+          in
+          let cached =
+            match J.member "cached" v with Some (J.Bool b) -> b | _ -> false
+          in
+          let error =
+            match J.member "error" v with
+            | Some e ->
+                let s name =
+                  Option.value ~default:""
+                    (Option.bind (J.member name e) J.to_str_opt)
+                in
+                let code =
+                  Option.value ~default:1
+                    (Option.bind (J.member "exit_code" e) J.to_int_opt)
+                in
+                Some (s "class", s "message", code)
+            | None -> None
+          in
+          Ok { id; ok; cached; result = J.member "result" v; error }
+      | _ -> Error "response missing \"ok\"")
+
+let result_string r =
+  Option.map (fun j -> J.to_string ~compact:true j) r.result

@@ -1,0 +1,111 @@
+(** The estimation service: protocol schema, dispatch, and hot caches of
+    the [hlpower serve] daemon.
+
+    {!Hlp_util.Server} moves CRC-framed payloads; this module gives the
+    payloads meaning. A request is one compact JSON object; the response
+    is an envelope [{"id", "ok", "cached", "result"}] on success or
+    [{"id", "ok": false, "error": {"class", "message", "exit_code"}}] on
+    failure, with ["error"]["class"] drawn from the {!Hlp_util.Err}
+    taxonomy (so a shed request carries ["overloaded"]/70 — admission
+    control speaks the same typed language as the batch runner).
+
+    {b Ops.}
+    - ["ping"]: liveness; an optional ["sleep_s"] occupies the worker —
+      the deterministic way tests and the bench provoke overload.
+    - ["estimate"]: guarded estimation of a generator circuit
+      (["circuit"], ["width"], ["engine"], ["seed"],
+      ["relative_precision"], optional ["max_cycles"], ["node_limit"]).
+    - ["sampler"]: macro-model cosimulation of the circuit (census,
+      gate reference, and a sampled estimate).
+    - ["stats"]: cache occupancy and breaker state.
+
+    {b Hot caches} (all {!Hlp_logic.Netcache}, telemetry under
+    [server.*]): constructed netlists (["server.netlists"]), successful
+    symbolic capacitances (["server.symbolic"], shared with
+    {!Probprop.estimate_guarded}'s [symbolic_cache]), fitted macro-models
+    (["server.models"]), and finished estimates (["server.estimates"],
+    keyed by fingerprint + engine + seed + precision + cycle budget +
+    node limit). The estimate cache stores the {e serialized} result
+    object, so a warm answer is byte-identical to the cold one by
+    construction; compiled kernel plans share {!Hlp_sim.Kernel}'s
+    process-wide cache. Failed estimates are never cached.
+
+    {b Breaker.} One {!Hlp_util.Supervisor.breaker} guards the symbolic
+    BDD stage: repeated budget trips open it and estimates route
+    straight to Monte Carlo ([try_symbolic:false]) until the cooldown
+    probe succeeds. *)
+
+type t
+
+val create :
+  ?netlist_capacity:int ->
+  ?estimate_capacity:int ->
+  ?failure_threshold:int ->
+  ?cooldown_s:float ->
+  unit ->
+  t
+(** A fresh service: empty caches (default capacities 64 netlists, 256
+    estimates) and a closed breaker (default threshold 3, cooldown 30s). *)
+
+val handle : t -> Hlp_util.Guard.t -> string -> string
+(** The {!Hlp_util.Server.handler}: request payload to response payload.
+    Never raises — malformed JSON, unknown ops/circuits/engines, typed
+    estimation errors, and internal exceptions all come back as error
+    envelopes. *)
+
+val overload_response : Hlp_util.Err.t -> string
+(** The shed frame ([serve ~overload]): an error envelope (id -1)
+    carrying the typed [Overloaded]. *)
+
+val circuits : (string * (int -> Hlp_logic.Netlist.t)) list
+(** The servable generator circuits, by protocol name — the same zoo the
+    CLI exposes. *)
+
+(** {1 Requests} — builders the CLI client and bench use, so the schema
+    has one producer. Omitted optionals are omitted from the JSON and
+    take the server-side defaults (engine bitparallel, seed 47,
+    precision 0.05). *)
+
+val ping_request : ?id:int -> ?sleep_s:float -> unit -> string
+
+val estimate_request :
+  ?id:int ->
+  ?engine:string ->
+  ?seed:int ->
+  ?relative_precision:float ->
+  ?max_cycles:int ->
+  ?node_limit:int ->
+  circuit:string ->
+  width:int ->
+  unit ->
+  string
+
+val sampler_request :
+  ?id:int ->
+  ?engine:string ->
+  ?seed:int ->
+  ?cycles:int ->
+  circuit:string ->
+  width:int ->
+  unit ->
+  string
+
+val stats_request : ?id:int -> unit -> string
+
+(** {1 Responses} *)
+
+type response = {
+  id : int;  (** -1 when the server could not read the request id *)
+  ok : bool;
+  cached : bool;  (** served from the estimate cache *)
+  result : Hlp_util.Json.t option;  (** present iff [ok] *)
+  error : (string * string * int) option;
+      (** class, message, exit code — present iff not [ok] *)
+}
+
+val parse_response : string -> (response, string) result
+
+val result_string : response -> string option
+(** The result object re-serialized compactly — the byte-identity unit:
+    two responses whose [result_string]s agree carried the same answer,
+    whatever their envelope (id, cached flag) said. *)

@@ -523,6 +523,7 @@ let of_netlist ?caps net =
           compile net)
 
 let clear_cache () = Netcache.clear cache
+let cache_length () = Netcache.length cache
 
 (* --- replay state --- *)
 

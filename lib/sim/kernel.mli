@@ -65,6 +65,9 @@ val of_netlist : ?caps:float array -> Hlp_logic.Netlist.t -> t
 val clear_cache : unit -> unit
 (** Drop every cached plan (tests and memory-sensitive batch drivers). *)
 
+val cache_length : unit -> int
+(** Plans currently cached — the serve daemon's stats report. *)
+
 (** {1 Replay}
 
     The state mirrors {!Bitsim}'s lane model: each node holds one OCaml

@@ -21,7 +21,26 @@ let escape s =
     s;
   Buffer.contents b
 
-let float_repr x = if Float.is_finite x then Printf.sprintf "%.9g" x else "null"
+(* Shortest decimal representation that parses back to exactly [x]: try
+   15, 16, then 17 significant digits (17 always round-trips a double).
+   The old [%.9g] truncated — an emit->parse round trip silently moved
+   estimates by up to ~1e-9 relative, fatal for a wire protocol whose
+   warm-cache answers must be byte-identical to cold ones. A repr that
+   reads back as an integer gets ".0" appended so [Float] survives the
+   [parse] type split (["1"] would come back as [Int 1]). *)
+let float_repr x =
+  if not (Float.is_finite x) then "null"
+  else begin
+    let bits = Int64.bits_of_float x in
+    let rec shortest p =
+      let s = Printf.sprintf "%.*g" p x in
+      if p >= 17 || Int64.bits_of_float (float_of_string s) = bits then s
+      else shortest (p + 1)
+    in
+    let s = shortest 15 in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+    else s ^ ".0"
+  end
 
 (* Pretty-printing matches the historical bench/json_out.ml format exactly,
    so regenerating a committed BENCH_*.json produces byte-stable diffs. *)
@@ -149,15 +168,62 @@ let parse s =
           | Some 'f' -> Buffer.add_char b '\012'; advance (); go ()
           | Some 'u' ->
               advance ();
-              if !pos + 4 > n then fail "truncated \\u escape";
-              let hex = String.sub s !pos 4 in
-              (match int_of_string_opt ("0x" ^ hex) with
-              | Some code when code < 128 -> Buffer.add_char b (Char.chr code)
-              | Some _ ->
-                  (* outside the subset we emit; keep the escape verbatim *)
-                  Buffer.add_string b ("\\u" ^ hex)
-              | None -> fail "bad \\u escape");
-              pos := !pos + 4;
+              (* exactly 4 hex digits, checked character-by-character:
+                 [int_of_string "0x..."] also accepts OCaml numeric-literal
+                 underscores, so "\u0_41" used to slip through as 'A' *)
+              let hex4 () =
+                if !pos + 4 > n then fail "truncated \\u escape";
+                let v = ref 0 in
+                for i = !pos to !pos + 3 do
+                  let d =
+                    match s.[i] with
+                    | '0' .. '9' as c -> Char.code c - Char.code '0'
+                    | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+                    | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+                    | _ -> fail "bad \\u escape"
+                  in
+                  v := (!v * 16) + d
+                done;
+                pos := !pos + 4;
+                !v
+              in
+              let code = hex4 () in
+              (* surrogate pairs combine into one astral code point; a lone
+                 surrogate has no UTF-8 encoding and is rejected *)
+              let code =
+                if code >= 0xD800 && code <= 0xDBFF then begin
+                  if
+                    not
+                      (!pos + 2 <= n && s.[!pos] = '\\' && s.[!pos + 1] = 'u')
+                  then fail "unpaired high surrogate";
+                  pos := !pos + 2;
+                  let lo = hex4 () in
+                  if lo < 0xDC00 || lo > 0xDFFF then
+                    fail "unpaired high surrogate";
+                  0x10000 + ((code - 0xD800) lsl 10) + (lo - 0xDC00)
+                end
+                else if code >= 0xDC00 && code <= 0xDFFF then
+                  fail "unpaired low surrogate"
+                else code
+              in
+              (* decode to UTF-8 so parse∘emit round-trips: the emitter
+                 writes raw UTF-8 and only escapes controls *)
+              if code < 0x80 then Buffer.add_char b (Char.chr code)
+              else if code < 0x800 then begin
+                Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+                Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+              end
+              else if code < 0x10000 then begin
+                Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+                Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+              end
+              else begin
+                Buffer.add_char b (Char.chr (0xF0 lor (code lsr 18)));
+                Buffer.add_char b (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+                Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+              end;
               go ()
           | _ -> fail "bad escape")
       | Some c ->
@@ -167,6 +233,51 @@ let parse s =
     in
     go ();
     Buffer.contents b
+  in
+  (* strict JSON number grammar: optional '-', then "0" or a nonzero-led
+     digit run, then optional fraction and exponent. [int_of_string] and
+     [float_of_string] alone are too liberal — they accept OCaml-isms
+     like leading zeros ("01"), underscores ("1_0"), a leading '+', and
+     hex, none of which any JSON peer would emit, and all of which would
+     mask corruption on the wire. *)
+  let check_number_grammar tok =
+    let n = String.length tok in
+    let p = ref 0 in
+    let digits () =
+      let start = !p in
+      while !p < n && (match tok.[!p] with '0' .. '9' -> true | _ -> false) do
+        incr p
+      done;
+      !p > start
+    in
+    let ok =
+      n > 0
+      && begin
+           if tok.[0] = '-' then incr p;
+           (* int part: "0" alone, or a nonzero-led digit run *)
+           (!p < n
+           &&
+           match tok.[!p] with
+           | '0' ->
+               incr p;
+               true
+           | '1' .. '9' -> digits ()
+           | _ -> false)
+           && (if !p < n && tok.[!p] = '.' then begin
+                 incr p;
+                 digits ()
+               end
+               else true)
+           &&
+           if !p < n && (tok.[!p] = 'e' || tok.[!p] = 'E') then begin
+             incr p;
+             if !p < n && (tok.[!p] = '+' || tok.[!p] = '-') then incr p;
+             digits ()
+           end
+           else true
+         end
+    in
+    if not ok || !p <> n then fail "bad number"
   in
   let parse_number () =
     let start = !pos in
@@ -179,6 +290,7 @@ let parse s =
       advance ()
     done;
     let tok = String.sub s start (!pos - start) in
+    check_number_grammar tok;
     if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') tok then
       match float_of_string_opt tok with
       | Some f -> Float f
@@ -187,6 +299,7 @@ let parse s =
       match int_of_string_opt tok with
       | Some i -> Int i
       | None -> (
+          (* grammar-valid but beyond native int range: widen to float *)
           match float_of_string_opt tok with
           | Some f -> Float f
           | None -> fail "bad number")

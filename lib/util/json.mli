@@ -6,8 +6,12 @@
 
     The emitter mirrors what the artifacts need and nothing more: UTF-8
     strings pass through untouched (only quotes, backslashes, and control
-    characters are escaped), finite floats print as [%.9g], and non-finite
-    floats become [null] (JSON has no NaN/infinity). *)
+    characters are escaped), finite floats print in shortest round-trip
+    form (the fewest significant digits that parse back to the identical
+    bit pattern), and non-finite floats become [null] (JSON has no
+    NaN/infinity). Since the serve wire protocol carries estimates as
+    frames, [parse] ∘ [to_string] is the identity on every value this
+    module can emit. *)
 
 type t =
   | Null
@@ -22,7 +26,10 @@ val escape : string -> string
 (** Body of a JSON string literal (no surrounding quotes). *)
 
 val float_repr : float -> string
-(** [%.9g] for finite floats, ["null"] otherwise. *)
+(** Shortest decimal string that reads back (via [float_of_string]) to
+    the exact same bits — tries 15, 16, then 17 significant digits.
+    Integer-looking output gains a [".0"] suffix so the value survives
+    [parse]'s [Int]/[Float] split. ["null"] for non-finite floats. *)
 
 val to_string : ?compact:bool -> t -> string
 (** Serialize. Default is pretty-printed with two-space indent and a
@@ -33,11 +40,14 @@ val write : path:string -> t -> unit
 (** Pretty-print to a file. *)
 
 val parse : string -> (t, string) result
-(** Minimal recursive-descent parser for the subset this module emits
-    (standard JSON; numbers with a ['.'], ['e'], or ['E'] parse as
-    [Float], others as [Int]; no unicode unescaping beyond [\uXXXX] for
-    code points below 128). Intended for reading back our own artifacts,
-    not arbitrary hostile input. *)
+(** Recursive-descent parser for standard JSON. Numbers with a ['.'],
+    ['e'], or ['E'] parse as [Float], others as [Int] (widening to
+    [Float] past native-int range); the number grammar is strict JSON —
+    leading zeros ([01]), a leading [+], and OCaml numeric-literal
+    underscores are rejected. [\uXXXX] escapes require exactly 4 hex
+    digits and decode to UTF-8 bytes, combining surrogate pairs into
+    astral code points (lone surrogates are an error). Used for reading
+    back our own artifacts and for the serve wire protocol. *)
 
 (** {1 Accessors} — tiny helpers for picking results apart in tests and
     the bench regression gate. Each returns [None] on a type or key

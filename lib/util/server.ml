@@ -1,0 +1,258 @@
+(* Framed Unix-socket transport: accept loop + bounded worker pool.
+   Protocol schema and caches live in Hlp_power.Service; this layer only
+   moves CRC-checked frames and applies admission control. *)
+
+let tel_connections = Telemetry.counter "server.connections"
+let tel_requests = Telemetry.counter "server.requests"
+let tel_sheds = Telemetry.counter "server.sheds"
+let tel_frame_errors = Telemetry.counter "server.frame_errors"
+
+let max_frame_bytes = 64 * 1024 * 1024
+
+(* --- frame codec: [4B LE length][4B LE crc32(payload)][payload] --- *)
+
+let frame_error why =
+  Telemetry.incr tel_frame_errors;
+  raise (Err.invalid_input ~what:"server frame" why)
+
+let rec write_all fd b off len =
+  if len > 0 then begin
+    let n =
+      try Unix.write fd b off len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd b (off + n) (len - n)
+  end
+
+let write_frame fd payload =
+  let len = String.length payload in
+  if len > max_frame_bytes then
+    raise
+      (Err.invalid_input ~what:"server frame"
+         (Printf.sprintf "payload %d bytes exceeds max %d" len max_frame_bytes));
+  let b = Bytes.create (8 + len) in
+  Bytes.set_int32_le b 0 (Int32.of_int len);
+  Bytes.set_int32_le b 4 (Journal.crc32 payload);
+  Bytes.blit_string payload 0 b 8 len;
+  write_all fd b 0 (8 + len)
+
+(* Read exactly [len] bytes. [at_start] distinguishes a clean peer close
+   (EOF before any header byte -> None) from a torn frame (EOF mid-frame
+   -> typed error). EAGAIN/EWOULDBLOCK come from SO_RCVTIMEO poll ticks:
+   before a frame starts they surface as [`Timeout] so the worker can
+   re-check its stop flag; once a frame has started we keep reading —
+   a frame must never be split by the poll tick. *)
+let read_exact fd b len ~at_start =
+  let got = ref 0 in
+  let result = ref `Ok in
+  while !result = `Ok && !got < len do
+    match Unix.read fd b !got (len - !got) with
+    | 0 -> if at_start && !got = 0 then result := `Eof else frame_error "eof mid-frame"
+    | n -> got := !got + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        if at_start && !got = 0 then result := `Timeout
+  done;
+  !result
+
+let read_frame_poll fd =
+  let header = Bytes.create 8 in
+  match read_exact fd header 8 ~at_start:true with
+  | `Eof -> `Eof
+  | `Timeout -> `Timeout
+  | `Ok ->
+      let len = Int32.to_int (Bytes.get_int32_le header 0) in
+      let crc = Bytes.get_int32_le header 4 in
+      if len < 0 || len > max_frame_bytes then
+        frame_error (Printf.sprintf "length %d out of range" len);
+      let payload = Bytes.create len in
+      (match read_exact fd payload len ~at_start:false with
+      | `Ok -> ()
+      | `Eof | `Timeout -> assert false);
+      let payload = Bytes.unsafe_to_string payload in
+      if Journal.crc32 payload <> crc then frame_error "crc mismatch";
+      `Frame payload
+
+let rec read_frame fd =
+  match read_frame_poll fd with
+  | `Eof -> None
+  | `Frame p -> Some p
+  | `Timeout -> read_frame fd
+
+(* --- server --- *)
+
+type handler = Guard.t -> string -> string
+
+let default_overload e =
+  Json.to_string ~compact:true
+    (Json.Obj
+       [ ("ok", Json.Bool false);
+         ( "error",
+           Json.Obj
+             [ ("class", Json.Str (Err.class_name e));
+               ("message", Json.Str (Err.to_string e)) ] ) ])
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let serve ?max_inflight ?(queue_budget = 64) ?deadline_s
+    ?(overload = default_overload) ?token ?on_ready ~path handler =
+  let max_inflight =
+    match max_inflight with
+    | None -> max 1 (Domain.recommended_domain_count () / 2)
+    | Some w when w >= 1 -> w
+    | Some _ ->
+        raise (Err.invalid_input ~what:"Server.serve: max_inflight" "must be >= 1")
+  in
+  if queue_budget < 1 then
+    raise (Err.invalid_input ~what:"Server.serve: queue_budget" "must be >= 1");
+  (match deadline_s with
+  | Some d when (not (Float.is_finite d)) || d < 0.0 ->
+      raise
+        (Err.invalid_input ~what:"Server.serve: deadline_s"
+           "must be finite and non-negative")
+  | _ -> ());
+  if Sys.file_exists path then Unix.unlink path;
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.bind listen_fd (Unix.ADDR_UNIX path)
+   with Unix.Unix_error (e, _, _) ->
+     close_quiet listen_fd;
+     raise
+       (Err.invalid_input ~what:"Server.serve: path"
+          (Printf.sprintf "cannot bind %s: %s" path (Unix.error_message e))));
+  Unix.listen listen_fd (queue_budget + max_inflight);
+  let queue = Queue.create () in
+  let mu = Mutex.create () in
+  let cond = Condition.create () in
+  let stopping = Atomic.make false in
+  let worker () =
+    let next_conn () =
+      Mutex.lock mu;
+      let rec wait () =
+        if Atomic.get stopping then begin
+          Mutex.unlock mu;
+          None
+        end
+        else
+          match Queue.take_opt queue with
+          | Some fd ->
+              Mutex.unlock mu;
+              Some fd
+          | None ->
+              Condition.wait cond mu;
+              wait ()
+      in
+      wait ()
+    in
+    (* serve one connection until the peer closes or drain begins; the
+       in-flight request always finishes — drain is between frames *)
+    let rec conn_loop fd =
+      match read_frame_poll fd with
+      | `Eof -> close_quiet fd
+      | `Timeout -> if Atomic.get stopping then close_quiet fd else conn_loop fd
+      | `Frame req ->
+          Telemetry.incr tel_requests;
+          let guard = Guard.create ?deadline_s () in
+          write_frame fd (handler guard req);
+          if Atomic.get stopping then close_quiet fd else conn_loop fd
+    in
+    let rec run () =
+      match next_conn () with
+      | None -> ()
+      | Some fd ->
+          (* a torn frame, a vanished peer, or a handler exception kills
+             this connection, never the worker *)
+          (try conn_loop fd with _ -> close_quiet fd);
+          run ()
+    in
+    run ()
+  in
+  let domains = List.init max_inflight (fun _ -> Domain.spawn worker) in
+  let stop_requested () =
+    match token with Some tk -> Guard.is_cancelled tk | None -> false
+  in
+  let accept_one () =
+    match Unix.accept ~cloexec:true listen_fd with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | fd, _ ->
+        Telemetry.incr tel_connections;
+        (* the receive timeout is the drain poll tick: a worker blocked on
+           an idle persistent connection re-checks [stopping] this often *)
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.05;
+        Mutex.lock mu;
+        let pending = Queue.length queue in
+        if pending >= queue_budget then begin
+          Mutex.unlock mu;
+          Telemetry.incr tel_sheds;
+          let e =
+            Err.Overloaded
+              { queue = "server.accept"; budget = queue_budget; pending }
+          in
+          (try write_frame fd (overload e) with _ -> ());
+          close_quiet fd
+        end
+        else begin
+          Queue.add fd queue;
+          Condition.signal cond;
+          Mutex.unlock mu
+        end
+  in
+  let rec accept_loop () =
+    if not (stop_requested ()) then begin
+      (match Unix.select [ listen_fd ] [] [] 0.05 with
+      | [], _, _ -> ()
+      | _ -> accept_one ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      accept_loop ()
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stopping true;
+      Mutex.lock mu;
+      Condition.broadcast cond;
+      Mutex.unlock mu;
+      List.iter Domain.join domains;
+      (* connections accepted but never assigned to a worker *)
+      Mutex.lock mu;
+      Queue.iter close_quiet queue;
+      Queue.clear queue;
+      Mutex.unlock mu;
+      close_quiet listen_fd;
+      (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ()))
+    (fun () ->
+      Option.iter (fun f -> f ()) on_ready;
+      accept_loop ())
+
+(* --- client --- *)
+
+type conn = { fd : Unix.file_descr }
+
+let connect ?(wait_s = 5.0) path =
+  let deadline = Clock.now_s () +. wait_s in
+  let rec go () =
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> { fd }
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when Clock.now_s () < deadline ->
+        close_quiet fd;
+        Unix.sleepf 0.02;
+        go ()
+    | exception Unix.Unix_error (e, _, _) ->
+        close_quiet fd;
+        raise
+          (Err.invalid_input ~what:"Server.connect"
+             (Printf.sprintf "cannot connect %s: %s" path (Unix.error_message e)))
+  in
+  go ()
+
+let request c payload =
+  write_frame c.fd payload;
+  match read_frame c.fd with
+  | Some resp -> resp
+  | None ->
+      raise
+        (Err.invalid_input ~what:"Server.request"
+           "server closed the connection without responding")
+
+let close c = close_quiet c.fd

@@ -1,0 +1,112 @@
+(** Framed request/response transport over a Unix-domain socket — the
+    wire layer of the [hlpower serve] estimation daemon.
+
+    The interactive design loop the paper targets asks the same netlist
+    hundreds of times while a designer iterates; paying process startup,
+    netlist construction, and sampler preparation per query swamps the
+    estimator itself. This module is the generic long-lived front end:
+    it knows nothing about power estimation, only about frames,
+    connections, admission control, and graceful drain. The protocol
+    schema and the hot caches live in [Hlp_power.Service]; the CLI wires
+    both together.
+
+    {b Framing.} Every message is one frame: a 4-byte little-endian
+    payload length, a 4-byte little-endian CRC32 of the payload
+    ({!Journal.crc32} — the same polynomial and discipline as the WAL),
+    then the payload bytes. A length over {!max_frame_bytes} or a CRC
+    mismatch is a typed [Invalid_input] error, never a silent
+    truncation: the CRC turns a desynchronized or corrupted stream into
+    a loud failure at the frame boundary.
+
+    {b Scheduling.} Connections are accepted on the caller's domain and
+    handed to a bounded pool of [max_inflight] worker domains through a
+    queue with an admission budget: when [queue_budget] connections are
+    already waiting for a worker, new connections get one typed
+    overload frame and are closed — the same load-shedding shape as
+    {!Supervisor.run_jobs}, a fast typed answer instead of unbounded
+    queueing. Each request runs under a fresh {!Guard} carrying
+    [deadline_s], so a handler can degrade or stop mid-estimate.
+
+    {b Drain.} Cancelling [token] (e.g. from a
+    {!Supervisor.with_graceful_stop} signal handler) stops the accept
+    loop; workers finish the request in flight, close their
+    connections, and join before {!serve} returns — so journals and
+    telemetry flushed after {!serve} see a quiet pool.
+
+    Everything observable is counted in {!Telemetry}:
+    ["server.connections"], ["server.requests"], ["server.sheds"],
+    ["server.frame_errors"]. *)
+
+val max_frame_bytes : int
+(** Hard cap on a single frame payload (64 MiB) — an admission bound on
+    allocation, not a protocol limit anything legitimate approaches. *)
+
+(** {1 Frame codec}
+
+    Exposed for tests and for the client side; both ends of the socket
+    speak exactly these two functions. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Write one complete frame (handles short writes). Raises
+    [Err.Error (Invalid_input _)] on an oversized payload and
+    [Unix.Unix_error] if the peer vanished. *)
+
+val read_frame : Unix.file_descr -> string option
+(** Read one complete frame. [None] on a clean end-of-stream (the peer
+    closed between frames); raises [Err.Error (Invalid_input _)] on a
+    mid-frame end-of-stream, an oversized length, or a CRC mismatch.
+    Retries transparently on [EINTR] and on receive timeouts
+    ([EAGAIN]/[EWOULDBLOCK] from [SO_RCVTIMEO]) once a frame has
+    started, so a frame is never split by a poll tick. *)
+
+(** {1 Server} *)
+
+type handler = Guard.t -> string -> string
+(** One request payload to one response payload, under the request's
+    guard. The handler must return its errors {e encoded in the
+    response} (the service layer maps {!Err.t} to error frames); an
+    exception escaping the handler closes that connection but never the
+    server. *)
+
+val serve :
+  ?max_inflight:int ->
+  ?queue_budget:int ->
+  ?deadline_s:float ->
+  ?overload:(Err.t -> string) ->
+  ?token:Guard.token ->
+  ?on_ready:(unit -> unit) ->
+  path:string ->
+  handler ->
+  unit
+(** [serve ~path handler] binds [path] (unlinking any stale socket
+    file), spawns [max_inflight] worker domains (default half the
+    recommended domain count, at least 1), and accepts until [token] is
+    cancelled; the socket file is unlinked again on the way out.
+
+    [queue_budget] (default 64) bounds connections waiting for a free
+    worker; excess connections receive [overload
+    (Overloaded {queue = "server.accept"; _})] as their only frame
+    (default: a minimal JSON error envelope) and are closed.
+    [deadline_s] bounds each request's guard. [on_ready] runs once the
+    socket is listening, before the first accept — tests use it to
+    release a waiting client.
+
+    Raises [Err.Error (Invalid_input _)] on a non-positive
+    [max_inflight]/[queue_budget], a non-finite/negative [deadline_s],
+    or an unbindable [path]. *)
+
+(** {1 Client} *)
+
+type conn
+
+val connect : ?wait_s:float -> string -> conn
+(** Connect to a serving socket, retrying [ENOENT]/[ECONNREFUSED] for up
+    to [wait_s] seconds (default 5 — covers a daemon still starting).
+    Raises [Err.Error (Invalid_input _)] once the wait is exhausted. *)
+
+val request : conn -> string -> string
+(** One round trip: write a request frame, block for the response
+    frame. Raises [Err.Error (Invalid_input _)] if the server closed
+    without responding (e.g. after an overload frame already consumed). *)
+
+val close : conn -> unit

@@ -173,31 +173,43 @@ let run_jobs ?max_inflight ?queue_budget ?deadline_s ?token f jobs =
     let rec loop () =
       let i = Atomic.fetch_and_add next 1 in
       if i < admitted then begin
-        (* deadline-aware admission: a job that cannot start in time is
-           shed with a typed error instead of returning a late answer *)
-        if Guard.expired guard then begin
-          results.(i) <- Error (shed_reason ());
-          Atomic.incr shed_deadline;
-          Telemetry.incr tel_deadline_sheds
-        end
-        else begin
-          Atomic.incr ran;
-          Telemetry.incr tel_jobs_run;
-          let r =
-            Trace.span
-              ~args:(fun () -> [ ("job", Json.Int i) ])
-              "supervisor.job"
-              (fun () -> Err.protect (fun () -> f i guard jobs.(i)))
-          in
-          (match r with
-          | Ok _ ->
-              Atomic.incr ok;
-              Telemetry.incr tel_jobs_ok
-          | Error _ ->
-              Atomic.incr failed;
-              Telemetry.incr tel_jobs_failed);
-          results.(i) <- r
-        end;
+        (* the whole per-index body is containment scope, not just the job
+           thunk: an exception from anywhere else — a [Trace.span] args
+           thunk, the guard check, the stats bookkeeping — used to skip
+           [Atomic.incr completed] and kill the domain silently, leaving
+           the main poll loop below spinning on [completed < admitted]
+           forever. Every claimed index must advance [completed]. *)
+        (try
+           if Guard.expired guard then begin
+             results.(i) <- Error (shed_reason ());
+             Atomic.incr shed_deadline;
+             Telemetry.incr tel_deadline_sheds
+           end
+           else begin
+             Atomic.incr ran;
+             Telemetry.incr tel_jobs_run;
+             let r =
+               Trace.span
+                 ~args:(fun () -> [ ("job", Json.Int i) ])
+                 "supervisor.job"
+                 (fun () -> Err.protect (fun () -> f i guard jobs.(i)))
+             in
+             (match r with
+             | Ok _ ->
+                 Atomic.incr ok;
+                 Telemetry.incr tel_jobs_ok
+             | Error _ ->
+                 Atomic.incr failed;
+                 Telemetry.incr tel_jobs_failed);
+             results.(i) <- r
+           end
+         with exn ->
+           results.(i) <-
+             Error
+               (Err.Worker_failure
+                  { shard = i; attempts = 1; why = Printexc.to_string exn });
+           Atomic.incr failed;
+           Telemetry.incr tel_jobs_failed);
         Atomic.incr completed;
         loop ()
       end

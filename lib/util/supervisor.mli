@@ -93,7 +93,12 @@ val run_jobs :
     remaining batch deadline and [token]; long jobs must thread it into
     their estimators so cancellation takes effect at batch granularity.
     [f]'s typed errors ({!Err.Error}) are contained in the job's slot;
-    any other exception escapes the pool (programming error).
+    any other exception — from the job body, a tracer args thunk, or the
+    worker's own bookkeeping — is contained as
+    [Error (Worker_failure {shard = index; _})] carrying the printed
+    exception, and the pool keeps draining. (Letting it escape used to
+    kill the worker domain silently and hang the runner's completion
+    poll.)
 
     Workers never outlive the call: all domains are joined before it
     returns, even on cancellation. Raises [Invalid_input] on non-positive

@@ -515,6 +515,53 @@ let test_run_jobs_deadline_and_cancel_shedding () =
   Alcotest.(check int) "cancel sheds" 4 stats.Supervisor.shed_deadline;
   Alcotest.(check int) "nothing ran" 0 stats.Supervisor.ran
 
+let test_run_jobs_contains_untyped_exceptions () =
+  (* non-[Err.Error] exceptions used to escape [Err.protect], kill the
+     worker domain without advancing [completed], and hang the runner's
+     poll loop forever. Now they land in the slot as [Worker_failure]
+     and the pool drains. *)
+  let jobs = Array.init 6 (fun i -> i) in
+  let f _i _g x = if x mod 2 = 1 then failwith "untyped boom" else x * 10 in
+  let results, stats = Supervisor.run_jobs ~max_inflight:2 f jobs in
+  Array.iteri
+    (fun i r ->
+      match (i mod 2, r) with
+      | 0, Ok v -> Alcotest.(check int) "even ok" (i * 10) v
+      | 1, Error (Err.Worker_failure { shard; why; _ }) ->
+          Alcotest.(check int) "shard is the job index" i shard;
+          Alcotest.(check bool) "why carries the exception" true
+            (String.length why > 0)
+      | _ -> Alcotest.failf "slot %d has the wrong shape" i)
+    results;
+  Alcotest.(check int) "failed" 3 stats.Supervisor.failed;
+  Alcotest.(check int) "ok" 3 stats.Supervisor.ok
+
+let test_run_jobs_contains_raising_tracer () =
+  (* with tracing enabled, a span args thunk that raises fires inside the
+     worker's span machinery — outside the old [Err.protect] scope. The
+     pool must still drain and give that job a typed slot. *)
+  Trace.enable ();
+  Fun.protect ~finally:(fun () -> Trace.disable ()) @@ fun () ->
+  let jobs = Array.init 4 (fun i -> i) in
+  let f _i _g x =
+    Trace.span
+      ~args:(fun () -> if x = 2 then failwith "tracer boom" else [])
+      "durability.job_span"
+      (fun () -> x + 100)
+  in
+  let results, stats = Supervisor.run_jobs ~max_inflight:2 f jobs in
+  Array.iteri
+    (fun i r ->
+      match (i, r) with
+      | 2, Error (Err.Worker_failure { shard; _ }) ->
+          Alcotest.(check int) "shard is the job index" 2 shard
+      | 2, _ -> Alcotest.fail "raising tracer must surface as Worker_failure"
+      | _, Ok v -> Alcotest.(check int) "other jobs unaffected" (i + 100) v
+      | _, Error e -> Alcotest.failf "slot %d failed: %s" i (Err.to_string e))
+    results;
+  Alcotest.(check int) "one failure" 1 stats.Supervisor.failed;
+  Alcotest.(check int) "three ok" 3 stats.Supervisor.ok
+
 let test_run_jobs_validation () =
   let boom name thunk =
     match thunk () with
@@ -690,6 +737,10 @@ let suite =
       test_run_jobs_basic;
     Alcotest.test_case "run_jobs contains typed errors" `Quick
       test_run_jobs_contains_typed_errors;
+    Alcotest.test_case "run_jobs contains untyped exceptions" `Quick
+      test_run_jobs_contains_untyped_exceptions;
+    Alcotest.test_case "run_jobs contains a raising tracer" `Quick
+      test_run_jobs_contains_raising_tracer;
     Alcotest.test_case "run_jobs sheds over-budget queue" `Quick
       test_run_jobs_queue_shedding;
     Alcotest.test_case "run_jobs sheds on dead deadline / cancelled token"

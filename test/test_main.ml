@@ -24,5 +24,6 @@ let () =
       ("properties", Test_properties.suite);
       ("robustness", Test_robustness.suite);
       ("durability", Test_durability.suite);
+      ("serve", Test_serve.suite);
       ("observability", Test_observability.suite);
     ]

@@ -69,6 +69,145 @@ let test_json_parse_errors () =
       | Error _ -> ())
     bad
 
+let expect_parse what s expected =
+  match Json.parse s with
+  | Ok v -> Alcotest.(check bool) what true (v = expected)
+  | Error e -> Alcotest.failf "%s: parse error on %S: %s" what s e
+
+let expect_reject what s =
+  match Json.parse s with
+  | Ok _ -> Alcotest.failf "%s: accepted %S" what s
+  | Error _ -> ()
+
+let test_json_unicode_escapes () =
+  expect_parse "BMP ascii" "\"\\u0041\"" (Json.Str "A");
+  expect_parse "BMP two-byte" "\"\\u00e9\"" (Json.Str "\xc3\xa9");
+  expect_parse "BMP three-byte" "\"\\u20ac\"" (Json.Str "\xe2\x82\xac");
+  expect_parse "uppercase hex" "\"\\u20AC\"" (Json.Str "\xe2\x82\xac");
+  expect_parse "surrogate pair" "\"\\ud83d\\ude00\""
+    (Json.Str "\xf0\x9f\x98\x80");
+  expect_parse "escaped control" "\"\\u0007\"" (Json.Str "\x07");
+  (* exactly four hex digits, no substitutes *)
+  expect_reject "underscore in hex" "\"\\u0_41\"";
+  expect_reject "too short" "\"\\u12\"";
+  expect_reject "non-hex" "\"\\u00g1\"";
+  (* surrogate halves never stand alone *)
+  expect_reject "lone high surrogate" "\"\\ud800\"";
+  expect_reject "lone low surrogate" "\"\\udc00\"";
+  expect_reject "high surrogate then escape" "\"\\ud83d\\u0041\"";
+  expect_reject "high surrogate then raw char" "\"\\ud83dA\"";
+  (* parse-then-emit identity through the escape table *)
+  let s = Json.Str "bell\x07 tab\t quote\" back\\ nl\n" in
+  expect_parse "control chars roundtrip" (Json.to_string ~compact:true s) s
+
+let test_json_number_strictness () =
+  expect_parse "zero" "0" (Json.Int 0);
+  expect_parse "negative zero int" "-0" (Json.Int 0);
+  expect_parse "plain int" "10" (Json.Int 10);
+  expect_parse "fraction" "1.5" (Json.Float 1.5);
+  expect_parse "exponent" "1e3" (Json.Float 1e3);
+  expect_parse "signed exponent" "1E+3" (Json.Float 1e3);
+  expect_parse "everything at once" "-0.5e-2" (Json.Float (-0.5e-2));
+  (* grammar-valid but beyond native int range widens to float *)
+  expect_parse "huge int widens" "123456789012345678901234567890"
+    (Json.Float 1.2345678901234568e29);
+  expect_reject "leading zero" "01";
+  expect_reject "negative leading zero" "-01";
+  expect_reject "leading plus" "+1";
+  expect_reject "trailing dot" "1.";
+  expect_reject "leading dot" ".5";
+  expect_reject "bare exponent" "1e";
+  expect_reject "exponent sign only" "1e+";
+  expect_reject "double minus" "--1";
+  expect_reject "digit separator" "1_0"
+
+let test_json_float_repr_identity () =
+  let cases =
+    [ 0.1; -0.0; 1.0 /. 3.0; 1e-300; 4.9e-324; 1.7976931348623157e308;
+      1e22; 123456789.123456789; 3.141592653589793; -2.5e-8; 1234567890.0 ]
+  in
+  List.iter
+    (fun f ->
+      let s = Json.float_repr f in
+      (match Json.parse s with
+      | Ok (Json.Float g) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "bits preserved through %s" s)
+            true
+            (Int64.bits_of_float g = Int64.bits_of_float f)
+      | Ok _ -> Alcotest.failf "%s parsed to a non-float" s
+      | Error e -> Alcotest.failf "repr %s rejected: %s" s e);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s is at most 17 significant digits" s)
+        true
+        (String.length s <= 25))
+    cases;
+  (* integer-shaped reprs keep a mark so they reparse as floats *)
+  Alcotest.(check string) "integer-shaped keeps .0" "2.0" (Json.float_repr 2.0);
+  Alcotest.(check string) "non-finite is null" "null" (Json.float_repr Float.nan)
+
+(* Generator for the roundtrip wall: nasty strings (control chars, quotes,
+   backslashes), extreme-but-finite floats, native int extremes, and
+   nesting several levels deep. *)
+let json_value_gen =
+  let open QCheck.Gen in
+  let nasty_char =
+    frequency
+      [ (8, printable);
+        (2, map Char.chr (int_bound 31));
+        (1, return '"');
+        (1, return '\\');
+        (1, return '\x7f') ]
+  in
+  let str_gen = string_size ~gen:nasty_char (int_bound 12) in
+  let float_gen =
+    let finite f = if Float.is_finite f then f else 0.0 in
+    frequency
+      [ (3, map finite float);
+        (1,
+         oneofl
+           [ 0.1; -0.0; 1e-300; 4.9e-324; 1.7976931348623157e308; 1e22;
+             -3.141592653589793e-15 ]) ]
+  in
+  let int_gen =
+    frequency [ (4, small_signed_int); (1, oneofl [ max_int; min_int; 0 ]) ]
+  in
+  let leaf =
+    frequency
+      [ (1, return Json.Null);
+        (1, map (fun b -> Json.Bool b) bool);
+        (2, map (fun i -> Json.Int i) int_gen);
+        (2, map (fun f -> Json.Float f) float_gen);
+        (2, map (fun s -> Json.Str s) str_gen) ]
+  in
+  let rec node depth =
+    if depth = 0 then leaf
+    else
+      frequency
+        [ (2, leaf);
+          (2, map (fun l -> Json.List l)
+                (list_size (int_bound 4) (node (depth - 1))));
+          (2,
+           map
+             (fun kvs -> Json.Obj kvs)
+             (list_size (int_bound 4)
+                (map2 (fun k v -> (k, v)) str_gen (node (depth - 1))))) ]
+  in
+  (* occasionally wrap in a deep single-spine chain to stress nesting *)
+  let deep v =
+    let rec wrap n v = if n = 0 then v else wrap (n - 1) (Json.List [ v ]) in
+    wrap 30 v
+  in
+  frequency [ (9, node 4); (1, map deep leaf) ]
+
+let qcheck_json_roundtrip_wall =
+  QCheck.Test.make ~count:300
+    ~name:"parse (to_string v) = Ok v, compact and pretty"
+    (QCheck.make ~print:(fun v -> Json.to_string ~compact:true v) json_value_gen)
+    (fun v ->
+      Json.parse (Json.to_string ~compact:true v) = Ok v
+      && Json.parse (Json.to_string v) = Ok v)
+
 (* --- Trace --- *)
 
 (* Walk the exported traceEvents: per-tid stacks must balance (every E
@@ -471,6 +610,13 @@ let suite =
     Alcotest.test_case "json: accessors" `Quick test_json_accessors;
     Alcotest.test_case "json: malformed input rejected" `Quick
       test_json_parse_errors;
+    Alcotest.test_case "json: unicode escapes decode to UTF-8" `Quick
+      test_json_unicode_escapes;
+    Alcotest.test_case "json: strict number grammar" `Quick
+      test_json_number_strictness;
+    Alcotest.test_case "json: float repr is shortest-roundtrip" `Quick
+      test_json_float_repr_identity;
+    QCheck_alcotest.to_alcotest qcheck_json_roundtrip_wall;
     Alcotest.test_case "trace: disabled is a no-op" `Quick
       test_trace_disabled_noop;
     Alcotest.test_case "trace: export is valid, sorted, well-nested" `Quick

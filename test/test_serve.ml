@@ -1,0 +1,312 @@
+(* The estimation daemon, exercised in-process: frame codec identities
+   and corruption walls, cold/warm byte-identity through a live
+   server+service pair, deterministic overload shedding, handler
+   exception containment, and graceful drain via token cancellation. *)
+
+open Hlp_util
+open Hlp_power
+
+let fresh_socket =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Printf.sprintf "%s/hlp_serve_test_%d_%d.sock" (Filename.get_temp_dir_name ())
+      (Unix.getpid ()) !n
+
+(* --- frame codec --- *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> f a b)
+
+let test_frame_roundtrip () =
+  with_socketpair (fun a b ->
+      let payloads =
+        [ ""; "x"; "{\"op\":\"ping\"}"; String.make 70_000 'q';
+          "\x00\xff binary \x01" ]
+      in
+      List.iter (fun p -> Server.write_frame a p) payloads;
+      List.iter
+        (fun p ->
+          match Server.read_frame b with
+          | Some got ->
+              Alcotest.(check int) "length" (String.length p) (String.length got);
+              Alcotest.(check bool) "payload bytes" true (String.equal p got)
+          | None -> Alcotest.fail "eof before all frames read")
+        payloads;
+      Unix.close a;
+      Alcotest.(check bool) "clean eof after close" true
+        (Server.read_frame b = None))
+
+let test_frame_corruption () =
+  (* flip one payload byte after the CRC was computed: loud Invalid_input,
+     not a silently different payload *)
+  with_socketpair (fun a b ->
+      let payload = "{\"id\":1,\"op\":\"ping\"}" in
+      let buf = Buffer.create 64 in
+      Buffer.add_string buf (String.make 4 '\x00');
+      let frame = Bytes.create (8 + String.length payload) in
+      Bytes.set_int32_le frame 0 (Int32.of_int (String.length payload));
+      Bytes.set_int32_le frame 4 (Journal.crc32 payload);
+      Bytes.blit_string payload 0 frame 8 (String.length payload);
+      Bytes.set frame 10 (Char.chr (Char.code (Bytes.get frame 10) lxor 0x40));
+      let n = Unix.write a frame 0 (Bytes.length frame) in
+      Alcotest.(check int) "frame written whole" (Bytes.length frame) n;
+      (match Server.read_frame b with
+      | exception Err.Error (Err.Invalid_input _) -> ()
+      | exception e ->
+          Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+      | Some _ -> Alcotest.fail "corrupted frame accepted"
+      | None -> Alcotest.fail "corrupted frame read as eof");
+      ignore buf)
+
+let test_frame_oversized_and_torn () =
+  with_socketpair (fun a b ->
+      (* a length header over the cap is rejected before allocation *)
+      let hdr = Bytes.create 8 in
+      Bytes.set_int32_le hdr 0 (Int32.of_int (Server.max_frame_bytes + 1));
+      Bytes.set_int32_le hdr 4 0l;
+      ignore (Unix.write a hdr 0 8);
+      (match Server.read_frame b with
+      | exception Err.Error (Err.Invalid_input _) -> ()
+      | _ -> Alcotest.fail "oversized length accepted"));
+  with_socketpair (fun a b ->
+      (* peer dying mid-frame is Invalid_input, not a clean eof *)
+      let payload = "abcdef" in
+      let frame = Bytes.create (8 + String.length payload) in
+      Bytes.set_int32_le frame 0 (Int32.of_int (String.length payload));
+      Bytes.set_int32_le frame 4 (Journal.crc32 payload);
+      Bytes.blit_string payload 0 frame 8 (String.length payload);
+      ignore (Unix.write a frame 0 10);
+      Unix.close a;
+      match Server.read_frame b with
+      | exception Err.Error (Err.Invalid_input _) -> ()
+      | Some _ -> Alcotest.fail "torn frame accepted"
+      | None -> Alcotest.fail "torn frame read as clean eof")
+
+let test_oversized_write_rejected () =
+  with_socketpair (fun a _b ->
+      match Server.write_frame a (String.make (Server.max_frame_bytes + 1) 'z')
+      with
+      | exception Err.Error (Err.Invalid_input _) -> ()
+      | () -> Alcotest.fail "oversized payload written")
+
+(* --- live server harness --- *)
+
+(* Start a server on its own domain, run [f], then cancel the token and
+   join: every test also exercises graceful drain on the way out. *)
+let with_server ?max_inflight ?queue_budget ?(handler : Server.handler option)
+    f =
+  let path = fresh_socket () in
+  let token = Guard.token ~name:"test_serve" () in
+  let ready = Atomic.make false in
+  let service = Service.create ~cooldown_s:0.05 () in
+  let handler =
+    match handler with Some h -> h | None -> Service.handle service
+  in
+  let srv =
+    Domain.spawn (fun () ->
+        Server.serve ?max_inflight ?queue_budget
+          ~overload:Service.overload_response ~token
+          ~on_ready:(fun () -> Atomic.set ready true)
+          ~path handler)
+  in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while (not (Atomic.get ready)) && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.002
+  done;
+  Alcotest.(check bool) "server came up" true (Atomic.get ready);
+  Fun.protect
+    ~finally:(fun () ->
+      Guard.cancel token;
+      Domain.join srv;
+      Alcotest.(check bool) "socket unlinked after drain" false
+        (Sys.file_exists path))
+    (fun () -> f path service)
+
+let parse_ok what raw =
+  match Service.parse_response raw with
+  | Error e -> Alcotest.failf "%s: bad response %s: %s" what raw e
+  | Ok r -> r
+
+let test_cold_warm_byte_identity () =
+  with_server (fun path _service ->
+      let conn = Server.connect path in
+      Fun.protect
+        ~finally:(fun () -> Server.close conn)
+        (fun () ->
+          let req id =
+            Service.estimate_request ~id ~engine:"bitparallel" ~seed:11
+              ~relative_precision:0.1 ~circuit:"adder" ~width:6 ()
+          in
+          let cold = parse_ok "cold" (Server.request conn (req 1)) in
+          let warm = parse_ok "warm" (Server.request conn (req 2)) in
+          Alcotest.(check bool) "cold ok" true cold.Service.ok;
+          Alcotest.(check bool) "warm ok" true warm.Service.ok;
+          Alcotest.(check bool) "cold is a miss" false cold.Service.cached;
+          Alcotest.(check bool) "warm is a hit" true warm.Service.cached;
+          Alcotest.(check int) "ids echoed" 2 warm.Service.id;
+          match
+            (Service.result_string cold, Service.result_string warm)
+          with
+          | Some c, Some w ->
+              Alcotest.(check string) "warm result byte-identical" c w
+          | _ -> Alcotest.fail "result missing from an ok response"))
+
+let test_distinct_keys_not_conflated () =
+  with_server (fun path _service ->
+      let conn = Server.connect path in
+      Fun.protect
+        ~finally:(fun () -> Server.close conn)
+        (fun () ->
+          let ask seed =
+            parse_ok "estimate"
+              (Server.request conn
+                 (Service.estimate_request ~seed ~relative_precision:0.2
+                    ~circuit:"parity" ~width:5 ()))
+          in
+          let a = ask 3 and b = ask 4 in
+          Alcotest.(check bool) "different seed is a different key" false
+            (b.Service.cached);
+          Alcotest.(check bool) "both succeeded" true
+            (a.Service.ok && b.Service.ok)))
+
+let test_error_envelopes () =
+  with_server (fun path _service ->
+      let conn = Server.connect path in
+      Fun.protect
+        ~finally:(fun () -> Server.close conn)
+        (fun () ->
+          let checks =
+            [ ("not json at all", "]]junk[[", "invalid-input");
+              ("unknown op", {|{"id":7,"op":"divine"}|}, "invalid-input");
+              ( "unknown circuit",
+                {|{"id":8,"op":"estimate","circuit":"warp","width":4}|},
+                "invalid-input" );
+              ( "bad width",
+                {|{"id":9,"op":"estimate","circuit":"adder","width":-2}|},
+                "invalid-input" ) ]
+          in
+          List.iter
+            (fun (what, req, cls) ->
+              let r = parse_ok what (Server.request conn req) in
+              Alcotest.(check bool) (what ^ ": not ok") false r.Service.ok;
+              match r.Service.error with
+              | Some (c, _msg, code) ->
+                  Alcotest.(check string) (what ^ ": class") cls c;
+                  Alcotest.(check int) (what ^ ": exit code") 65 code
+              | None -> Alcotest.failf "%s: error field missing" what)
+            checks;
+          (* the connection survived every bad request *)
+          let pong = parse_ok "ping after errors"
+              (Server.request conn (Service.ping_request ~id:10 ()))
+          in
+          Alcotest.(check bool) "still serving" true pong.Service.ok))
+
+let test_overload_sheds_typed_frame () =
+  (* one worker, admission budget one: a sleeper pins the worker, one
+     connection waits in the queue, and the third must get the typed
+     Overloaded frame instead of queueing without bound. *)
+  with_server ~max_inflight:1 ~queue_budget:1 (fun path _service ->
+      let c1 = Server.connect path in
+      let sleeper =
+        Domain.spawn (fun () ->
+            Server.request c1 (Service.ping_request ~id:1 ~sleep_s:1.0 ()))
+      in
+      Unix.sleepf 0.25;
+      (* worker is now asleep in c1's request *)
+      let c2 = Server.connect path in
+      let waiter =
+        Domain.spawn (fun () ->
+            Server.request c2 (Service.ping_request ~id:2 ()))
+      in
+      Unix.sleepf 0.25;
+      (* c2 occupies the whole queue budget; c3 must be shed *)
+      let c3 = Server.connect path in
+      let shed =
+        match Server.request c3 (Service.ping_request ~id:3 ()) with
+        | raw -> parse_ok "shed frame" raw
+        | exception Err.Error (Err.Invalid_input _) ->
+            (* server closed after writing the overload frame and our
+               request raced the close: read what it did send *)
+            Alcotest.fail "overload frame lost"
+      in
+      Alcotest.(check bool) "shed response not ok" false shed.Service.ok;
+      (match shed.Service.error with
+      | Some (cls, _msg, code) ->
+          Alcotest.(check string) "typed class" "overloaded" cls;
+          Alcotest.(check int) "exit code 70" 70 code
+      | None -> Alcotest.fail "shed frame carried no error");
+      (* the worker stays parked on c1 until that connection closes, so
+         free it before expecting the queued connection to be served *)
+      let pong1 = parse_ok "sleeper completes" (Domain.join sleeper) in
+      Server.close c1;
+      let pong2 = parse_ok "queued request completes" (Domain.join waiter) in
+      Alcotest.(check bool) "in-flight request finished" true pong1.Service.ok;
+      Alcotest.(check bool) "queued request finished" true pong2.Service.ok;
+      Server.close c2;
+      Server.close c3)
+
+let test_handler_exception_closes_only_that_connection () =
+  let handler _guard payload =
+    if String.equal payload "boom" then failwith "handler exploded"
+    else payload
+  in
+  with_server ~handler (fun path _service ->
+      let c1 = Server.connect path in
+      (match Server.request c1 "boom" with
+      | exception Err.Error (Err.Invalid_input _) -> ()
+      | _ -> Alcotest.fail "connection survived a handler exception");
+      Server.close c1;
+      (* the server itself is still alive for the next connection *)
+      let c2 = Server.connect path in
+      Alcotest.(check string) "echo after crash" "hello"
+        (Server.request c2 "hello");
+      Server.close c2)
+
+let test_sampler_deterministic_across_requests () =
+  with_server (fun path _service ->
+      let conn = Server.connect path in
+      Fun.protect
+        ~finally:(fun () -> Server.close conn)
+        (fun () ->
+          let ask () =
+            let r =
+              parse_ok "sampler"
+                (Server.request conn
+                   (Service.sampler_request ~seed:23 ~cycles:64
+                      ~circuit:"multiplier" ~width:4 ()))
+            in
+            Alcotest.(check bool) "sampler ok" true r.Service.ok;
+            Option.get (Service.result_string r)
+          in
+          let first = ask () in
+          let second = ask () in
+          Alcotest.(check string) "same request, same bytes" first second))
+
+let suite =
+  [
+    Alcotest.test_case "frame: write/read roundtrip" `Quick test_frame_roundtrip;
+    Alcotest.test_case "frame: CRC corruption is loud" `Quick
+      test_frame_corruption;
+    Alcotest.test_case "frame: oversized and torn frames rejected" `Quick
+      test_frame_oversized_and_torn;
+    Alcotest.test_case "frame: oversized write rejected" `Quick
+      test_oversized_write_rejected;
+    Alcotest.test_case "serve: warm estimate is cached and byte-identical"
+      `Quick test_cold_warm_byte_identity;
+    Alcotest.test_case "serve: distinct parameters are distinct cache keys"
+      `Quick test_distinct_keys_not_conflated;
+    Alcotest.test_case "serve: typed error envelopes, connection survives"
+      `Quick test_error_envelopes;
+    Alcotest.test_case "serve: overload sheds a typed frame" `Quick
+      test_overload_sheds_typed_frame;
+    Alcotest.test_case "serve: handler exception contained to one connection"
+      `Quick test_handler_exception_closes_only_that_connection;
+    Alcotest.test_case "serve: sampler responses deterministic" `Quick
+      test_sampler_deterministic_across_requests;
+  ]
