@@ -735,7 +735,7 @@ let e38_kernel ?(chunks = 48) ?(reps = 5) ?(assert_speedup = true) () =
 let floats a = Json.List (Array.to_list (Array.map (fun x -> Json.Float x) a))
 
 let bench_json ~smoke ~n engines mc overhead tracing robustness durability
-    kernel serve =
+    kernel serve resilience =
   let open Json in
   let engine_obj r =
     Obj
@@ -869,7 +869,8 @@ let bench_json ~smoke ~n engines mc overhead tracing robustness durability
         ("robustness", robustness_obj robustness);
         ("durability", durability_obj durability);
         ("kernel", kernel_obj kernel);
-        ("serve", Exp_serve.json_obj serve) ]
+        ("serve", Exp_serve.json_obj serve);
+        ("resilience", Exp_chaos.json_obj resilience) ]
   in
   Json.write ~path:"BENCH_engines.json" v;
   print_endline "wrote BENCH_engines.json"
@@ -884,8 +885,9 @@ let all () =
   let durability = e36_durability () in
   let kernel = e38_kernel () in
   let serve = Exp_serve.e39_serve () in
+  let resilience = Exp_chaos.e40_chaos () in
   bench_json ~smoke:false ~n engines mc overhead tracing robustness durability
-    kernel serve
+    kernel serve resilience
 
 (* reduced workload for CI: exercises every engine end to end without the
    10^4-cycle stream or the speedup assertion (shared runners are noisy) *)
@@ -899,8 +901,9 @@ let smoke () =
   let durability = e36_durability ~units:30 ~reps:3 () in
   let kernel = e38_kernel ~chunks:8 ~reps:3 ~assert_speedup:false () in
   let serve = Exp_serve.e39_serve ~warm_rounds:2 ~assert_speedup:false () in
+  let resilience = Exp_chaos.e40_chaos ~requests:15 () in
   bench_json ~smoke:true ~n engines mc overhead tracing robustness durability
-    kernel serve
+    kernel serve resilience
 
 (* --- bench regression gate ---
 
@@ -1010,4 +1013,34 @@ let regression_gate ?(path = "BENCH_engines.json") () =
           (if sok then "OK" else "REGRESSION");
         sok
   in
-  ok && kernel_ok && serve_ok
+  (* resilience gate: only when the committed snapshot carries an E40
+     section. The gated quantities are absolute — availability against
+     its 99% floor and exact coalescing (1 computation, N-1 joiners) —
+     because both are correctness contracts, not machine-relative
+     throughput; a reduced soak re-checks them on this runner. *)
+  let resilience_ok =
+    match Json.member "resilience" committed with
+    | None ->
+        print_endline
+          "regression gate: no resilience section in snapshot, chaos gate \
+           skipped (learned on next regenerate)";
+        true
+    | Some _ -> (
+        match Exp_chaos.e40_chaos ~requests:15 () with
+        | r ->
+            let rok =
+              r.Exp_chaos.ch_availability_pct
+              >= Exp_chaos.availability_floor_pct
+            in
+            Printf.printf
+              "regression gate: chaos availability %.2f%% (floor %.0f%%): %s\n"
+              r.Exp_chaos.ch_availability_pct Exp_chaos.availability_floor_pct
+              (if rok then "OK" else "REGRESSION");
+            rok
+        | exception Failure msg ->
+            (* the experiment's internal asserts (corruption, untyped
+               failures, coalescing) fail the gate loudly *)
+            Printf.printf "regression gate: chaos soak FAILED: %s\n" msg;
+            false)
+  in
+  ok && kernel_ok && serve_ok && resilience_ok

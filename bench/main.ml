@@ -177,6 +177,21 @@ let () =
     flush_trace ();
     print_endline "engine experiments completed."
   end
+  else if Array.exists (( = ) "--chaos") Sys.argv then begin
+    (* CI chaos soak: E40 alone, seed from HLP_CHAOS_SEED so a matrix of
+       runners exercises distinct deterministic fault schedules; the
+       experiment's internal asserts (availability floor, zero
+       corruption, zero untyped failures, exact coalescing) are the
+       pass/fail criteria *)
+    let seed =
+      match Sys.getenv_opt "HLP_CHAOS_SEED" with
+      | Some s -> (try int_of_string s with Failure _ -> 0)
+      | None -> 0
+    in
+    ignore (Exp_chaos.e40_chaos ~seed ());
+    flush_trace ();
+    print_endline "chaos soak completed."
+  end
   else if Array.exists (( = ) "--regression-gate") Sys.argv then begin
     (* CI gate: fresh engine numbers vs the committed BENCH_engines.json;
        a > 25% bit-parallel throughput regression fails the build *)

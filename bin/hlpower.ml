@@ -4,7 +4,8 @@
      estimate    power-estimate a generated RT module three ways
      batch       supervised campaign of estimate jobs with checkpoint/resume
      serve       persistent estimation daemon on a Unix-domain socket
-     client      framed-protocol client for serve; doubles as loadgen
+     client      resilient framed-protocol client for serve; doubles as loadgen
+     chaos-proxy fault-injecting socket proxy for resilience soaks
      bus-encode  compare bus encodings on a generated address/data trace
      pm-sim      simulate system-level shutdown policies
      fsm-encode  low-power state encoding of a benchmark machine
@@ -695,7 +696,10 @@ let serve_cmd =
   let socket =
     Arg.(value & opt string "/tmp/hlpower.sock"
          & info [ "socket" ] ~docv:"PATH"
-             ~doc:"Unix-domain socket to listen on (stale files are replaced)")
+             ~doc:
+               "Unix-domain socket to listen on (stale files are replaced; \
+                a path with a live daemon is refused with the typed \
+                invalid-input code)")
   in
   let max_inflight =
     Arg.(value & opt (some int) None
@@ -756,7 +760,7 @@ let client_op_enum =
     ("stats", `Stats) ]
 
 let client socket op circuit width engine seed rp max_cycles node_limit cycles
-    sleep_s clients requests connect_wait =
+    sleep_s clients requests connect_wait max_retries request_timeout =
   with_typed_errors @@ fun () ->
   let clients = max 1 clients and requests = max 1 requests in
   let build id =
@@ -775,15 +779,22 @@ let client socket op circuit width engine seed rp max_cycles node_limit cycles
      clients join, in (client, request) order, so two runs against the
      same cache state are byte-comparable on stdout *)
   let run_client c () =
-    let conn = Hlp_util.Server.connect ?wait_s:connect_wait socket in
-    Fun.protect ~finally:(fun () -> Hlp_util.Server.close conn) @@ fun () ->
+    (* the resilient client: reconnects and retries through restarts and
+       shed load; every protocol op is idempotent (see Service), so the
+       default retry policy applies. Jitter seeded per client index for
+       a reproducible schedule. *)
+    let cl =
+      Hlp_util.Server.Client.create ~seed:c ?max_retries
+        ?request_timeout_s:request_timeout ?connect_wait_s:connect_wait socket
+    in
+    Fun.protect ~finally:(fun () -> Hlp_util.Server.Client.close cl) @@ fun () ->
     let lats = Array.make requests 0.0 in
     let outs = Array.make requests "" in
     let first_err = ref None in
     for r = 0 to requests - 1 do
       let payload = build ((c * requests) + r) in
       let t0 = Hlp_util.Clock.now_s () in
-      let resp = Hlp_util.Server.request conn payload in
+      let resp = Hlp_util.Server.Client.request cl payload in
       lats.(r) <- Hlp_util.Clock.now_s () -. t0;
       outs.(r) <-
         (match Hlp_power.Service.parse_response resp with
@@ -800,17 +811,17 @@ let client socket op circuit width engine seed rp max_cycles node_limit cycles
             if !first_err = None then first_err := Some 65;
             "error bad-response: " ^ m)
     done;
-    (lats, outs, !first_err)
+    (lats, outs, !first_err, Hlp_util.Server.Client.counts cl)
   in
   let all =
     List.map Domain.join (List.init clients (fun c -> Domain.spawn (run_client c)))
   in
   List.iteri
-    (fun c (_, outs, _) ->
+    (fun c (_, outs, _, _) ->
       Array.iteri (fun r line -> Printf.printf "client %d req %d: %s\n" c r line) outs)
     all;
   let lats =
-    Array.of_list (List.concat_map (fun (l, _, _) -> Array.to_list l) all)
+    Array.of_list (List.concat_map (fun (l, _, _, _) -> Array.to_list l) all)
   in
   Array.sort compare lats;
   let n = Array.length lats in
@@ -820,7 +831,16 @@ let client socket op circuit width engine seed rp max_cycles node_limit cycles
     "%d requests over %d client(s): p50 %.3f ms, p99 %.3f ms, mean %.3f ms\n"
     n clients (pct 0.50) (pct 0.99)
     (1000.0 *. total /. float_of_int n);
-  match List.find_map (fun (_, _, e) -> e) all with
+  let logical, wire =
+    List.fold_left
+      (fun (l, w) (_, _, _, (cl, cw)) -> (l + cl, w + cw))
+      (0, 0) all
+  in
+  if wire > logical then
+    Printf.eprintf "retries: %d extra frame(s), amplification %.3f\n"
+      (wire - logical)
+      (float_of_int wire /. float_of_int (max 1 logical));
+  match List.find_map (fun (_, _, e, _) -> e) all with
   | Some code -> code
   | None -> 0
 
@@ -884,6 +904,21 @@ let client_cmd =
              ~doc:"how long to retry connecting to a starting daemon \
                    (default 5)")
   in
+  let max_retries =
+    Arg.(value & opt (some int) None
+         & info [ "max-retries" ] ~docv:"N"
+             ~doc:
+               "bounded retries per request through reconnects, shed load, \
+                and torn frames (default 5); all protocol ops are \
+                idempotent, so replay is safe")
+  in
+  let request_timeout =
+    Arg.(value & opt (some float) None
+         & info [ "request-timeout" ] ~docv:"SECONDS"
+             ~doc:
+               "per-round-trip deadline (typed deadline-exceeded, then \
+                retry); without it a hung server hangs the client")
+  in
   Cmd.v
     (Cmd.info "client"
        ~doc:
@@ -892,7 +927,93 @@ let client_cmd =
           stats on stderr)")
     Term.(const client $ socket $ op $ circuit $ width $ engine $ seed $ rp
           $ max_cycles $ node_limit $ cycles $ sleep_s $ clients $ requests
-          $ connect_wait)
+          $ connect_wait $ max_retries $ request_timeout)
+
+(* --- chaos-proxy --- *)
+
+let chaos_proxy listen upstream seed rate faults max_delay workers =
+  with_typed_errors @@ fun () ->
+  let faults =
+    match faults with
+    | None -> None
+    | Some names ->
+        Some
+          (List.map
+             (fun n ->
+               match Hlp_util.Chaos.fault_of_name (String.trim n) with
+               | Some f -> f
+               | None ->
+                   raise
+                     (Hlp_util.Err.invalid_input ~what:"--faults"
+                        ("unknown fault " ^ n ^ " (expected "
+                        ^ String.concat ", "
+                            (List.map Hlp_util.Chaos.fault_name
+                               Hlp_util.Chaos.all_faults)
+                        ^ ")")))
+             (String.split_on_char ',' names))
+  in
+  let proxy =
+    Hlp_util.Chaos.start ?seed ?rate ?faults ?max_delay_s:max_delay ?workers
+      ~listen ~upstream ()
+  in
+  Printf.printf "hlpower chaos-proxy: %s -> %s\n%!" listen upstream;
+  let (), signal =
+    Hlp_util.Supervisor.with_graceful_stop (fun token ->
+        while not (Hlp_util.Guard.is_cancelled token) do
+          Unix.sleepf 0.1
+        done)
+  in
+  Hlp_util.Chaos.stop proxy;
+  print_endline "hlpower chaos-proxy: stopped";
+  match signal with
+  | Some s -> Hlp_util.Supervisor.signal_exit_code s
+  | None -> 0
+
+let chaos_cmd =
+  let listen =
+    Arg.(value & opt string "/tmp/hlpower-chaos.sock"
+         & info [ "listen" ] ~docv:"PATH"
+             ~doc:"socket clients connect to (faults injected here)")
+  in
+  let upstream =
+    Arg.(value & opt string "/tmp/hlpower.sock"
+         & info [ "upstream" ] ~docv:"PATH"
+             ~doc:"socket of the real hlpower serve daemon")
+  in
+  let seed =
+    Arg.(value & opt (some int) None
+         & info [ "seed" ] ~doc:"fault-schedule seed (default 0)")
+  in
+  let rate =
+    Arg.(value & opt (some float) None
+         & info [ "rate" ] ~docv:"P"
+             ~doc:"per-chunk fault probability in [0,1] (default 0.05)")
+  in
+  let faults =
+    Arg.(value & opt (some string) None
+         & info [ "faults" ] ~docv:"LIST"
+             ~doc:
+               "comma-separated fault subset: delay, drop, truncate, \
+                corrupt, split, slam (default: all)")
+  in
+  let max_delay =
+    Arg.(value & opt (some float) None
+         & info [ "max-delay" ] ~docv:"SECONDS"
+             ~doc:"upper bound of an injected delay (default 0.05)")
+  in
+  let workers =
+    Arg.(value & opt (some int) None
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"concurrent proxied connections (default 8)")
+  in
+  Cmd.v
+    (Cmd.info "chaos-proxy"
+       ~doc:
+         "Fault-injecting proxy between a client and a serve daemon: \
+          deterministic (seeded) delays, drops, truncation, corruption, \
+          split writes, and slammed connections, for resilience soaks")
+    Term.(const chaos_proxy $ listen $ upstream $ seed $ rate $ faults
+          $ max_delay $ workers)
 
 (* --- bus-encode --- *)
 
@@ -1063,6 +1184,6 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "hlpower" ~version:"1.0.0" ~doc)
-          [ estimate_cmd; batch_cmd; serve_cmd; client_cmd; bus_cmd; pm_cmd;
-            fsm_cmd; export_cmd;
+          [ estimate_cmd; batch_cmd; serve_cmd; client_cmd; chaos_cmd;
+            bus_cmd; pm_cmd; fsm_cmd; export_cmd;
             info_cmd ]))

@@ -1,4 +1,4 @@
-(* Fingerprint-keyed derived-artifact cache.
+(* Fingerprint-keyed derived-artifact cache with single-flight misses.
 
    Compiling a netlist into a replay kernel (or any other derived,
    immutable artifact) is pure in the structure, and Netlist.fingerprint
@@ -7,17 +7,31 @@
    (FIFO eviction — entries are cheap to rebuild, recency tracking is
    not worth a hot-path write) and mutex-protected so worker domains can
    share it; cached values must therefore be immutable after
-   construction. *)
+   construction.
+
+   Misses are single-flight: the first caller of a key computes while
+   later callers of the same key park on a condition variable and share
+   the one result — under the thundering herd the estimation service
+   sees (N identical requests land together), N-1 computations collapse
+   into waits. A failing compute wakes the joiners with the computing
+   caller's exception (typed errors propagate verbatim) and leaves
+   nothing behind, so the next caller retries fresh — failures are never
+   cached, and never shared beyond the generation that joined them. *)
+
+type 'a outcome = Pending | Value of 'a | Failed of exn
 
 type 'a t = {
   name : string;
   capacity : int;
   tbl : (int64, 'a) Hashtbl.t;
   order : int64 Queue.t;  (* insertion order, for FIFO eviction *)
+  inflight : (int64, 'a outcome ref) Hashtbl.t;
   lock : Mutex.t;
+  resolved : Condition.t;  (* broadcast when any in-flight slot resolves *)
   hits : Hlp_util.Telemetry.counter;
   misses : Hlp_util.Telemetry.counter;
   evictions : Hlp_util.Telemetry.counter;
+  coalesced : Hlp_util.Telemetry.counter;
 }
 
 let create ?(capacity = 64) ~name () =
@@ -30,44 +44,90 @@ let create ?(capacity = 64) ~name () =
     capacity;
     tbl = Hashtbl.create 16;
     order = Queue.create ();
+    inflight = Hashtbl.create 8;
     lock = Mutex.create ();
+    resolved = Condition.create ();
     hits = Hlp_util.Telemetry.counter (name ^ ".cache_hits");
     misses = Hlp_util.Telemetry.counter (name ^ ".cache_misses");
     evictions = Hlp_util.Telemetry.counter (name ^ ".cache_evictions");
+    coalesced = Hlp_util.Telemetry.counter (name ^ ".coalesced");
   }
 
 let locked c f =
   Mutex.lock c.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock c.lock) f
 
-(* The compute runs outside the lock: compiles can be slow, and two
-   domains racing on the same key at worst compile twice — the earlier
-   insert wins, so both callers still observe a single canonical value. *)
+let insert_locked c ~key v =
+  if not (Hashtbl.mem c.tbl key) then begin
+    if Hashtbl.length c.tbl >= c.capacity then begin
+      let victim = Queue.pop c.order in
+      Hashtbl.remove c.tbl victim;
+      Hlp_util.Telemetry.incr c.evictions
+    end;
+    Hashtbl.replace c.tbl key v;
+    Queue.push key c.order
+  end
+
+(* Publish the compute's outcome: resolve the slot for parked joiners,
+   retire it so later callers start a fresh generation, and (successes
+   only) install the value. Runs under the lock. *)
+let resolve_locked c ~key slot outcome =
+  slot := outcome;
+  Hashtbl.remove c.inflight key;
+  (match outcome with
+  | Value v -> insert_locked c ~key v
+  | Pending | Failed _ -> ());
+  Condition.broadcast c.resolved
+
 let find_or_compute c ~key f =
-  match locked c (fun () -> Hashtbl.find_opt c.tbl key) with
+  Mutex.lock c.lock;
+  match Hashtbl.find_opt c.tbl key with
   | Some v ->
+      Mutex.unlock c.lock;
       Hlp_util.Telemetry.incr c.hits;
       v
-  | None ->
-      Hlp_util.Telemetry.incr c.misses;
-      let v = f () in
-      locked c (fun () ->
-          match Hashtbl.find_opt c.tbl key with
-          | Some winner -> winner
-          | None ->
-              if Hashtbl.length c.tbl >= c.capacity then begin
-                let victim = Queue.pop c.order in
-                Hashtbl.remove c.tbl victim;
-                Hlp_util.Telemetry.incr c.evictions
-              end;
-              Hashtbl.replace c.tbl key v;
-              Queue.push key c.order;
-              v)
+  | None -> (
+      match Hashtbl.find_opt c.inflight key with
+      | Some slot ->
+          (* join the in-flight compute: park until the computing caller
+             resolves the slot, then share its value — or its error *)
+          Hlp_util.Telemetry.incr c.coalesced;
+          let rec wait () =
+            match !slot with
+            | Pending ->
+                Condition.wait c.resolved c.lock;
+                wait ()
+            | Value v ->
+                Mutex.unlock c.lock;
+                Hlp_util.Telemetry.incr c.hits;
+                v
+            | Failed e ->
+                Mutex.unlock c.lock;
+                raise e
+          in
+          wait ()
+      | None ->
+          let slot = ref Pending in
+          Hashtbl.add c.inflight key slot;
+          Mutex.unlock c.lock;
+          Hlp_util.Telemetry.incr c.misses;
+          (* the compute runs outside the lock: compiles and estimates can
+             be slow, and joiners must be able to park meanwhile *)
+          (match f () with
+          | v ->
+              locked c (fun () -> resolve_locked c ~key slot (Value v));
+              v
+          | exception e ->
+              locked c (fun () -> resolve_locked c ~key slot (Failed e));
+              raise e))
 
 let mem c key = locked c (fun () -> Hashtbl.mem c.tbl key)
 let length c = locked c (fun () -> Hashtbl.length c.tbl)
+let inflight c = locked c (fun () -> Hashtbl.length c.inflight)
 
 let clear c =
+  (* in-flight slots are left to resolve normally: the computing callers
+     still publish to their joiners, and successes repopulate the table *)
   locked c (fun () ->
       Hashtbl.reset c.tbl;
       Queue.clear c.order)

@@ -1,13 +1,29 @@
-(** Fingerprint-keyed cache for artifacts derived from a netlist.
+(** Fingerprint-keyed cache for artifacts derived from a netlist, with
+    single-flight misses.
 
     Anything computed purely from a netlist's structure — a compiled
     replay kernel, a prepared sampler, a built BDD — can be memoized
     under {!Netlist.fingerprint}. The cache is bounded (FIFO eviction)
     and safe to share across domains; values stored in it must be
     immutable after construction, since concurrent readers receive the
-    same physical value. Hit/miss/eviction counts surface through
-    {!Hlp_util.Telemetry} as [<name>.cache_hits], [<name>.cache_misses],
-    and [<name>.cache_evictions]. *)
+    same physical value.
+
+    Misses are {e single-flight}: when several domains ask for the same
+    absent key at once, exactly one runs the compute while the others
+    park on a condition variable and share its result — the
+    thundering-herd shape of N identical service requests costs one
+    computation, not N. A failing compute propagates the computing
+    caller's exception (typed {!Hlp_util.Err.Error}s verbatim) to every
+    parked joiner, publishes nothing, and retires the in-flight slot, so
+    the next caller starts a fresh generation — failures are never
+    cached.
+
+    Counters surface through {!Hlp_util.Telemetry} as
+    [<name>.cache_hits], [<name>.cache_misses], [<name>.cache_evictions],
+    and [<name>.coalesced] (callers that joined an in-flight compute
+    instead of starting their own). A joiner that receives a value also
+    counts as a hit, so [hits + misses = successful lookups] holds with
+    or without contention. *)
 
 type 'a t
 
@@ -19,12 +35,24 @@ val create : ?capacity:int -> name:string -> unit -> 'a t
 val find_or_compute : 'a t -> key:int64 -> (unit -> 'a) -> 'a
 (** [find_or_compute c ~key f] returns the cached value for [key],
     computing and inserting [f ()] on a miss. [f] runs outside the lock;
-    if two domains race on the same key the first insert wins and both
-    see the same canonical value. *)
+    concurrent callers of the same absent key run [f] exactly once — the
+    first caller computes, the rest join (counted in [<name>.coalesced])
+    and share the value or re-raise the computing caller's exception.
+
+    [f] must not call back into the same cache with the same key: the
+    re-entrant call would join its own in-flight slot and deadlock. *)
 
 val mem : 'a t -> int64 -> bool
 val length : 'a t -> int
+
+val inflight : 'a t -> int
+(** Number of keys currently being computed (in-flight slots). *)
+
 val clear : 'a t -> unit
+(** Drop every cached entry. In-flight computes are unaffected: they
+    still publish to their joiners and (on success) repopulate the
+    table. *)
+
 val name : 'a t -> string
 val capacity : 'a t -> int
 

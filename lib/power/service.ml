@@ -63,7 +63,20 @@ let error_envelope_parts id cls msg code =
 let error_envelope id e =
   error_envelope_parts id (Err.class_name e) (Err.to_string e) (Err.exit_code e)
 
-let overload_response e = error_envelope (-1) e
+(* Shed frames carry a retry_after_s hint so a resilient client backs
+   off instead of reconnecting immediately into the same full queue. *)
+let overload_response e =
+  J.to_string ~compact:true
+    (J.Obj
+       [ ("id", J.Int (-1));
+         ("ok", J.Bool false);
+         ( "error",
+           J.Obj
+             [ ("class", J.Str (Err.class_name e));
+               ("message", J.Str (Err.to_string e));
+               ("exit_code", J.Int (Err.exit_code e));
+               ("retry_after_s", J.Float Hlp_util.Server.retry_after_hint_s) ] )
+       ])
 
 (* --- request field access (typed errors, never exceptions) --- *)
 
@@ -242,6 +255,11 @@ let op_stats t id =
          ("symbolic", J.Int (Netcache.length t.symbolic));
          ("models", J.Int (Netcache.length t.models));
          ("estimates", J.Int (Netcache.length t.estimates));
+         ("estimates_inflight", J.Int (Netcache.inflight t.estimates));
+         ( "estimates_coalesced",
+           J.Int
+             (Hlp_util.Telemetry.count
+                (Hlp_util.Telemetry.counter "server.estimates.coalesced")) );
          ("kernel_plans", J.Int (Hlp_sim.Kernel.cache_length ()));
          ("breaker", J.Str breaker) ])
 

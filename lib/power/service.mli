@@ -17,7 +17,25 @@
       ["relative_precision"], optional ["max_cycles"], ["node_limit"]).
     - ["sampler"]: macro-model cosimulation of the circuit (census,
       gate reference, and a sampled estimate).
-    - ["stats"]: cache occupancy and breaker state.
+    - ["stats"]: cache occupancy (including in-flight and coalesced
+      estimate counts) and breaker state.
+
+    {b Idempotency.} Every op is pure by construction and therefore safe
+    to retry ({!Hlp_util.Server.Client} retries them freely): [estimate]
+    is deterministic in (netlist, engine, seed, precision, budgets) and
+    served from a cache of serialized results; [sampler] is
+    deterministic in (circuit, width, engine, seed, cycles); [ping] and
+    [stats] only read. No op mutates state a replay could double-apply —
+    the caches are memoization, so recomputation changes occupancy, not
+    answers.
+
+    {b Coalescing.} Concurrent identical [estimate] requests are
+    single-flight: the estimate cache's in-flight table lets the first
+    request compute while the rest park and share the result
+    (["server.estimates.coalesced"] counts the joiners), so a
+    thundering herd of N identical requests costs one computation. A
+    failing computation propagates its typed error to every joiner and
+    caches nothing.
 
     {b Hot caches} (all {!Hlp_logic.Netcache}, telemetry under
     [server.*]): constructed netlists (["server.netlists"]), successful
@@ -55,7 +73,9 @@ val handle : t -> Hlp_util.Guard.t -> string -> string
 
 val overload_response : Hlp_util.Err.t -> string
 (** The shed frame ([serve ~overload]): an error envelope (id -1)
-    carrying the typed [Overloaded]. *)
+    carrying the typed [Overloaded] plus the [retry_after_s] backoff
+    hint ({!Hlp_util.Server.retry_after_hint_s}) that
+    {!Hlp_util.Server.Client} sleeps on before reconnecting. *)
 
 val circuits : (string * (int -> Hlp_logic.Netlist.t)) list
 (** The servable generator circuits, by protocol name — the same zoo the

@@ -9,6 +9,13 @@ let tel_frame_errors = Telemetry.counter "server.frame_errors"
 
 let max_frame_bytes = 64 * 1024 * 1024
 
+(* Writes to a peer that already closed must surface as EPIPE (handled
+   per-connection), never as a process-killing SIGPIPE. Idempotent; done
+   lazily by serve/connect so plain library linkage never touches signal
+   state. *)
+let ignore_sigpipe =
+  lazy (if Sys.os_type = "Unix" then ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore))
+
 (* --- frame codec: [4B LE length][4B LE crc32(payload)][payload] --- *)
 
 let frame_error why =
@@ -39,10 +46,13 @@ let write_frame fd payload =
 (* Read exactly [len] bytes. [at_start] distinguishes a clean peer close
    (EOF before any header byte -> None) from a torn frame (EOF mid-frame
    -> typed error). EAGAIN/EWOULDBLOCK come from SO_RCVTIMEO poll ticks:
-   before a frame starts they surface as [`Timeout] so the worker can
-   re-check its stop flag; once a frame has started we keep reading —
-   a frame must never be split by the poll tick. *)
-let read_exact fd b len ~at_start =
+   before a frame starts they surface as [`Timeout] so the caller can
+   re-check its stop flag or deadline; once a frame has started we keep
+   reading — a frame must never be split by the poll tick — unless an
+   explicit [deadline] (monotonic, absolute) has passed, in which case
+   the stalled frame is a typed error: the frame boundary is lost and
+   the connection must be dropped. *)
+let read_exact fd b len ~at_start ~deadline =
   let got = ref 0 in
   let result = ref `Ok in
   while !result = `Ok && !got < len do
@@ -52,12 +62,16 @@ let read_exact fd b len ~at_start =
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
         if at_start && !got = 0 then result := `Timeout
+        else (
+          match deadline with
+          | Some d when Clock.now_s () >= d -> frame_error "timeout mid-frame"
+          | _ -> ())
   done;
   !result
 
-let read_frame_poll fd =
+let read_frame_poll ?deadline fd =
   let header = Bytes.create 8 in
-  match read_exact fd header 8 ~at_start:true with
+  match read_exact fd header 8 ~at_start:true ~deadline with
   | `Eof -> `Eof
   | `Timeout -> `Timeout
   | `Ok ->
@@ -66,7 +80,7 @@ let read_frame_poll fd =
       if len < 0 || len > max_frame_bytes then
         frame_error (Printf.sprintf "length %d out of range" len);
       let payload = Bytes.create len in
-      (match read_exact fd payload len ~at_start:false with
+      (match read_exact fd payload len ~at_start:false ~deadline with
       | `Ok -> ()
       | `Eof | `Timeout -> assert false);
       let payload = Bytes.unsafe_to_string payload in
@@ -79,9 +93,76 @@ let rec read_frame fd =
   | `Frame p -> Some p
   | `Timeout -> read_frame fd
 
+(* Bounded read: requires SO_RCVTIMEO on [fd] for the poll ticks that
+   let the deadline be observed while blocked before a frame starts. *)
+let read_frame_within ~timeout_s fd =
+  if (not (Float.is_finite timeout_s)) || timeout_s <= 0.0 then
+    raise
+      (Err.invalid_input ~what:"Server.read_frame_within: timeout_s"
+         "must be finite and positive");
+  let t0 = Clock.now_s () in
+  let deadline = t0 +. timeout_s in
+  let rec go () =
+    match read_frame_poll ~deadline fd with
+    | `Eof -> None
+    | `Frame p -> Some p
+    | `Timeout ->
+        if Clock.now_s () >= deadline then
+          raise
+            (Err.Error
+               (Err.Deadline_exceeded
+                  { limit_s = timeout_s; elapsed_s = Clock.now_s () -. t0 }))
+        else go ()
+  in
+  go ()
+
+(* --- socket-path hygiene ---
+
+   A daemon must never steal a path out from under a live daemon: probe
+   the existing file with a connect before unlinking. A successful
+   connect means someone is accepting there — typed refusal; a
+   connection-refused socket file is the genuinely stale leftover of a
+   crashed process and is safe to remove. Anything that is not a socket
+   is refused outright rather than deleted. *)
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let prepare_path path =
+  match Unix.stat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> (
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () ->
+          close_quiet fd;
+          raise
+            (Err.invalid_input ~what:"Server.serve: path"
+               (Printf.sprintf
+                  "%s already has a live server listening (refusing to steal \
+                   the socket)"
+                  path))
+      | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ECONNRESET), _, _)
+        ->
+          close_quiet fd;
+          (try Unix.unlink path with Unix.Unix_error _ -> ())
+      | exception Unix.Unix_error (Unix.ENOENT, _, _) ->
+          (* vanished between stat and connect: nothing left to unlink *)
+          close_quiet fd
+      | exception Unix.Unix_error (e, _, _) ->
+          close_quiet fd;
+          raise
+            (Err.invalid_input ~what:"Server.serve: path"
+               (Printf.sprintf "cannot probe %s: %s" path (Unix.error_message e))))
+  | _ ->
+      raise
+        (Err.invalid_input ~what:"Server.serve: path"
+           (path ^ " exists and is not a socket"))
+
 (* --- server --- *)
 
 type handler = Guard.t -> string -> string
+
+let retry_after_hint_s = 0.1
 
 let default_overload e =
   Json.to_string ~compact:true
@@ -90,12 +171,12 @@ let default_overload e =
          ( "error",
            Json.Obj
              [ ("class", Json.Str (Err.class_name e));
-               ("message", Json.Str (Err.to_string e)) ] ) ])
-
-let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+               ("message", Json.Str (Err.to_string e));
+               ("retry_after_s", Json.Float retry_after_hint_s) ] ) ])
 
 let serve ?max_inflight ?(queue_budget = 64) ?deadline_s
     ?(overload = default_overload) ?token ?on_ready ~path handler =
+  Lazy.force ignore_sigpipe;
   let max_inflight =
     match max_inflight with
     | None -> max 1 (Domain.recommended_domain_count () / 2)
@@ -111,7 +192,7 @@ let serve ?max_inflight ?(queue_budget = 64) ?deadline_s
         (Err.invalid_input ~what:"Server.serve: deadline_s"
            "must be finite and non-negative")
   | _ -> ());
-  if Sys.file_exists path then Unix.unlink path;
+  prepare_path path;
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try Unix.bind listen_fd (Unix.ADDR_UNIX path)
    with Unix.Unix_error (e, _, _) ->
@@ -227,24 +308,45 @@ let serve ?max_inflight ?(queue_budget = 64) ?deadline_s
 
 type conn = { fd : Unix.file_descr }
 
-let connect ?(wait_s = 5.0) path =
+(* Decorrelated jitter (base..3*previous, capped): consecutive sleeps
+   de-synchronize callers that failed at the same instant, so a daemon
+   restart is greeted by a spread of reconnects, not a lockstep herd. *)
+let next_backoff rng ~base_s ~cap_s prev_s =
+  Float.min cap_s (base_s +. Prng.float rng (Float.max base_s (prev_s *. 3.0)))
+
+(* Jitter wants entropy, not reproducibility: distinct processes (and
+   distinct clients in one process) must draw distinct schedules, so the
+   default seed mixes the pid with the monotonic clock. Tests that need a
+   fixed schedule pass ?seed. *)
+let jitter_rng seed =
+  Prng.create
+    (match seed with
+    | Some s -> s
+    | None ->
+        (Unix.getpid () * 0x9E3779B9)
+        lxor Int64.to_int (Int64.bits_of_float (Clock.now_s ())))
+
+let connect ?(wait_s = 5.0) ?seed path =
+  Lazy.force ignore_sigpipe;
   let deadline = Clock.now_s () +. wait_s in
-  let rec go () =
+  let rng = jitter_rng seed in
+  let rec go sleep_s =
     let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     match Unix.connect fd (Unix.ADDR_UNIX path) with
     | () -> { fd }
     | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
       when Clock.now_s () < deadline ->
         close_quiet fd;
-        Unix.sleepf 0.02;
-        go ()
+        let remaining = deadline -. Clock.now_s () in
+        Unix.sleepf (Float.max 0.0 (Float.min sleep_s remaining));
+        go (next_backoff rng ~base_s:0.005 ~cap_s:0.64 sleep_s)
     | exception Unix.Unix_error (e, _, _) ->
         close_quiet fd;
         raise
           (Err.invalid_input ~what:"Server.connect"
              (Printf.sprintf "cannot connect %s: %s" path (Unix.error_message e)))
   in
-  go ()
+  go 0.005
 
 let request c payload =
   write_frame c.fd payload;
@@ -256,3 +358,175 @@ let request c payload =
            "server closed the connection without responding")
 
 let close c = close_quiet c.fd
+
+(* --- resilient client --- *)
+
+module Client = struct
+  let tel_retries = Telemetry.counter "client.retries"
+  let tel_reconnects = Telemetry.counter "client.reconnects"
+  let tel_overload_waits = Telemetry.counter "client.overload_waits"
+  let tel_exhausted = Telemetry.counter "client.exhausted"
+
+  type t = {
+    path : string;
+    max_retries : int;
+    backoff_base_s : float;
+    backoff_cap_s : float;
+    connect_wait_s : float;
+    request_timeout_s : float option;
+    rng : Prng.t;
+    mutable conn : conn option;
+    mutable ever_connected : bool;
+    mutable wire : int;  (* request frames actually written *)
+    mutable logical : int;  (* request calls *)
+  }
+
+  let create ?seed ?(max_retries = 5) ?(backoff_base_s = 0.005)
+      ?(backoff_cap_s = 0.64) ?(connect_wait_s = 5.0) ?request_timeout_s path =
+    if max_retries < 0 then
+      raise
+        (Err.invalid_input ~what:"Server.Client.create: max_retries"
+           "must be >= 0");
+    let positive what v =
+      if (not (Float.is_finite v)) || v <= 0.0 then
+        raise
+          (Err.invalid_input ~what:("Server.Client.create: " ^ what)
+             "must be finite and positive")
+    in
+    positive "backoff_base_s" backoff_base_s;
+    positive "backoff_cap_s" backoff_cap_s;
+    Option.iter (positive "request_timeout_s") request_timeout_s;
+    if (not (Float.is_finite connect_wait_s)) || connect_wait_s < 0.0 then
+      raise
+        (Err.invalid_input ~what:"Server.Client.create: connect_wait_s"
+           "must be finite and non-negative");
+    {
+      path;
+      max_retries;
+      backoff_base_s;
+      backoff_cap_s;
+      connect_wait_s;
+      request_timeout_s;
+      rng = jitter_rng seed;
+      conn = None;
+      ever_connected = false;
+      wire = 0;
+      logical = 0;
+    }
+
+  let disconnect t =
+    Option.iter close t.conn;
+    t.conn <- None
+
+  let close = disconnect
+  let counts t = (t.logical, t.wire)
+
+  let conn t =
+    match t.conn with
+    | Some c -> c
+    | None ->
+        let c = connect ~wait_s:t.connect_wait_s t.path in
+        if t.ever_connected then Telemetry.incr tel_reconnects;
+        t.ever_connected <- true;
+        (* the receive timeout is the deadline poll tick of
+           read_frame_within; only needed when requests are bounded *)
+        if t.request_timeout_s <> None then
+          Unix.setsockopt_float c.fd Unix.SO_RCVTIMEO 0.05;
+        t.conn <- Some c;
+        c
+
+  (* An overloaded shed frame carries the server's typed Overloaded in
+     the error envelope plus a retry_after_s hint; the server closes the
+     connection right after writing it, so honoring the hint always
+     means reconnect-after-sleep. *)
+  let overload_hint payload =
+    match Json.parse payload with
+    | Error _ -> None
+    | Ok v -> (
+        match (Json.member "ok" v, Json.member "error" v) with
+        | Some (Json.Bool false), Some e -> (
+            match Option.bind (Json.member "class" e) Json.to_str_opt with
+            | Some "overloaded" ->
+                Some
+                  (Option.value ~default:retry_after_hint_s
+                     (Option.bind (Json.member "retry_after_s" e)
+                        Json.to_float_opt))
+            | _ -> None)
+        | _ -> None)
+
+  let read_response t c =
+    match t.request_timeout_s with
+    | Some s -> read_frame_within ~timeout_s:s c.fd
+    | None -> read_frame c.fd
+
+  let no_response =
+    Err.Invalid_input
+      {
+        what = "Server.Client.request";
+        why = "server closed the connection without responding";
+      }
+
+  let request ?(idempotent = true) t payload =
+    t.logical <- t.logical + 1;
+    (* [sent]: whether the server may already have executed this request.
+       Connect and write failures happen before the request could have
+       been processed (a torn write is dropped by the server's CRC wall),
+       so they are retried even for non-idempotent requests; once the
+       frame is fully written, only idempotent requests may be retried. *)
+    let retry_or ~attempt ~sleep_s ~retryable (e : Err.t) k =
+      if attempt >= t.max_retries || not retryable then begin
+        Telemetry.incr tel_exhausted;
+        raise (Err.Error e)
+      end
+      else begin
+        Telemetry.incr tel_retries;
+        Unix.sleepf sleep_s;
+        k (next_backoff t.rng ~base_s:t.backoff_base_s ~cap_s:t.backoff_cap_s sleep_s)
+      end
+    in
+    let rec attempt n sleep_s =
+      let retry ~retryable e =
+        disconnect t;
+        retry_or ~attempt:n ~sleep_s ~retryable e (fun s -> attempt (n + 1) s)
+      in
+      match conn t with
+      | exception Err.Error e -> retry ~retryable:true e
+      | c -> (
+          match
+            write_frame c.fd payload;
+            t.wire <- t.wire + 1
+          with
+          | exception Unix.Unix_error (e, _, _) ->
+              retry ~retryable:true
+                (Err.Invalid_input
+                   {
+                     what = "Server.Client.request";
+                     why = "write failed: " ^ Unix.error_message e;
+                   })
+          | exception Err.Error e -> retry ~retryable:false e
+          | () -> (
+              match read_response t c with
+              | Some resp -> (
+                  match overload_hint resp with
+                  | Some retry_after when n < t.max_retries ->
+                      Telemetry.incr tel_overload_waits;
+                      disconnect t;
+                      Unix.sleepf (Float.min retry_after t.backoff_cap_s);
+                      Telemetry.incr tel_retries;
+                      attempt (n + 1) sleep_s
+                  | _ ->
+                      (* retries exhausted on overload: the shed frame is
+                         itself a typed answer — return it *)
+                      resp)
+              | None -> retry ~retryable:idempotent no_response
+              | exception Err.Error e -> retry ~retryable:idempotent e
+              | exception Unix.Unix_error (e, _, _) ->
+                  retry ~retryable:idempotent
+                    (Err.Invalid_input
+                       {
+                         what = "Server.Client.request";
+                         why = "read failed: " ^ Unix.error_message e;
+                       })))
+    in
+    attempt 0 t.backoff_base_s
+end

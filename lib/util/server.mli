@@ -22,10 +22,23 @@
     handed to a bounded pool of [max_inflight] worker domains through a
     queue with an admission budget: when [queue_budget] connections are
     already waiting for a worker, new connections get one typed
-    overload frame and are closed — the same load-shedding shape as
-    {!Supervisor.run_jobs}, a fast typed answer instead of unbounded
-    queueing. Each request runs under a fresh {!Guard} carrying
-    [deadline_s], so a handler can degrade or stop mid-estimate.
+    overload frame — carrying a [retry_after_s] hint a well-behaved
+    client sleeps on before reconnecting — and are closed, the same
+    load-shedding shape as {!Supervisor.run_jobs}. Each request runs
+    under a fresh {!Guard} carrying [deadline_s], so a handler can
+    degrade or stop mid-estimate.
+
+    {b Retry semantics.} The transport cannot tell "the server never saw
+    the frame" from "the response was lost" — only the caller knows
+    whether replaying a request is safe. {!Client.request} therefore
+    splits failures: connect and write failures are always retried (a
+    torn write is rejected by the server's CRC wall before any handler
+    runs), while failures {e after} the frame was fully written are
+    retried only for requests declared idempotent. Every operation of
+    the estimation protocol ([estimate], [sampler], [ping], [stats]) is
+    pure by construction — estimates are deterministic in (netlist,
+    engine, seed, precision) and served from a shared cache — so the
+    service client retries them freely; see [Hlp_power.Service].
 
     {b Drain.} Cancelling [token] (e.g. from a
     {!Supervisor.with_graceful_stop} signal handler) stops the accept
@@ -33,9 +46,15 @@
     connections, and join before {!serve} returns — so journals and
     telemetry flushed after {!serve} see a quiet pool.
 
+    Both {!serve} and {!connect} ignore [SIGPIPE] process-wide (writes
+    to a vanished peer surface as [EPIPE] and are handled
+    per-connection, instead of killing the process).
+
     Everything observable is counted in {!Telemetry}:
     ["server.connections"], ["server.requests"], ["server.sheds"],
-    ["server.frame_errors"]. *)
+    ["server.frame_errors"], and on the client side ["client.retries"],
+    ["client.reconnects"], ["client.overload_waits"],
+    ["client.exhausted"]. *)
 
 val max_frame_bytes : int
 (** Hard cap on a single frame payload (64 MiB) — an admission bound on
@@ -43,8 +62,8 @@ val max_frame_bytes : int
 
 (** {1 Frame codec}
 
-    Exposed for tests and for the client side; both ends of the socket
-    speak exactly these two functions. *)
+    Exposed for tests, the chaos proxy, and the client side; both ends
+    of the socket speak exactly these functions. *)
 
 val write_frame : Unix.file_descr -> string -> unit
 (** Write one complete frame (handles short writes). Raises
@@ -56,8 +75,27 @@ val read_frame : Unix.file_descr -> string option
     closed between frames); raises [Err.Error (Invalid_input _)] on a
     mid-frame end-of-stream, an oversized length, or a CRC mismatch.
     Retries transparently on [EINTR] and on receive timeouts
-    ([EAGAIN]/[EWOULDBLOCK] from [SO_RCVTIMEO]) once a frame has
-    started, so a frame is never split by a poll tick. *)
+    ([EAGAIN]/[EWOULDBLOCK] from [SO_RCVTIMEO]), so a frame is never
+    split by a poll tick — and never returns while the peer is merely
+    slow. Unbounded: a stalled peer stalls the caller; use
+    {!read_frame_within} to bound the wait. *)
+
+val read_frame_within : timeout_s:float -> Unix.file_descr -> string option
+(** Like {!read_frame}, but gives up after [timeout_s] seconds with a
+    typed [Deadline_exceeded]. Once a frame has started, a deadline trip
+    is instead a typed [Invalid_input] ("timeout mid-frame"): the frame
+    boundary is lost, so the caller must drop the connection rather than
+    resynchronize. Requires [SO_RCVTIMEO] on [fd] (the receive timeout
+    is the poll tick that lets the deadline be observed while blocked);
+    raises [Invalid_input] on a non-positive or non-finite timeout. *)
+
+val prepare_path : string -> unit
+(** Make [path] safe to bind: nothing exists — fine; a socket file
+    nobody accepts on (probe connect refused) — unlink it; a socket with
+    a {e live} server — typed [Invalid_input] refusal, never stealing
+    the path from a running daemon; anything that is not a socket —
+    typed [Invalid_input]. {!serve} calls this; exposed for other
+    listeners (the chaos proxy) that bind their own sockets. *)
 
 (** {1 Server} *)
 
@@ -67,6 +105,15 @@ type handler = Guard.t -> string -> string
     response} (the service layer maps {!Err.t} to error frames); an
     exception escaping the handler closes that connection but never the
     server. *)
+
+val retry_after_hint_s : float
+(** The [retry_after_s] value the default overload frame carries. *)
+
+val default_overload : Err.t -> string
+(** Minimal JSON error envelope:
+    [{"ok":false,"error":{"class":...,"message":...,"retry_after_s":...}}].
+    The [retry_after_s] field is the backoff hint {!Client.request}
+    honors before reconnecting. *)
 
 val serve :
   ?max_inflight:int ->
@@ -78,35 +125,96 @@ val serve :
   path:string ->
   handler ->
   unit
-(** [serve ~path handler] binds [path] (unlinking any stale socket
-    file), spawns [max_inflight] worker domains (default half the
+(** [serve ~path handler] prepares [path] (see {!prepare_path} — stale
+    socket files are unlinked, a live server is a typed refusal), binds
+    it, spawns [max_inflight] worker domains (default half the
     recommended domain count, at least 1), and accepts until [token] is
     cancelled; the socket file is unlinked again on the way out.
 
     [queue_budget] (default 64) bounds connections waiting for a free
     worker; excess connections receive [overload
     (Overloaded {queue = "server.accept"; _})] as their only frame
-    (default: a minimal JSON error envelope) and are closed.
-    [deadline_s] bounds each request's guard. [on_ready] runs once the
-    socket is listening, before the first accept — tests use it to
-    release a waiting client.
+    (default {!default_overload}) and are closed. [deadline_s] bounds
+    each request's guard. [on_ready] runs once the socket is listening,
+    before the first accept — tests use it to release a waiting client.
 
     Raises [Err.Error (Invalid_input _)] on a non-positive
     [max_inflight]/[queue_budget], a non-finite/negative [deadline_s],
-    or an unbindable [path]. *)
+    an unbindable [path], or a [path] another live server owns. *)
 
 (** {1 Client} *)
 
 type conn
 
-val connect : ?wait_s:float -> string -> conn
+val connect : ?wait_s:float -> ?seed:int -> string -> conn
 (** Connect to a serving socket, retrying [ENOENT]/[ECONNREFUSED] for up
-    to [wait_s] seconds (default 5 — covers a daemon still starting).
-    Raises [Err.Error (Invalid_input _)] once the wait is exhausted. *)
+    to [wait_s] seconds (default 5 — covers a daemon still starting)
+    with exponential backoff and decorrelated jitter (5 ms base, 640 ms
+    cap), so a fleet of clients waiting out a restart reconnects as a
+    spread, not a lockstep herd. The jitter stream is seeded from the
+    pid and clock by default; pass [seed] for a reproducible schedule in
+    tests. Raises [Err.Error (Invalid_input _)] once the wait is
+    exhausted. *)
 
 val request : conn -> string -> string
 (** One round trip: write a request frame, block for the response
     frame. Raises [Err.Error (Invalid_input _)] if the server closed
-    without responding (e.g. after an overload frame already consumed). *)
+    without responding (e.g. after an overload frame already consumed).
+    No retries — see {!Client} for the resilient wrapper. *)
 
 val close : conn -> unit
+
+(** {1 Resilient client}
+
+    A reconnecting wrapper around {!connect}/{!request} for callers that
+    face an unreliable path to the daemon — restarts, shed load, a
+    flaky network (or the chaos proxy). Not thread-safe: one [Client.t]
+    per domain. *)
+
+module Client : sig
+  type t
+
+  val create :
+    ?seed:int ->
+    ?max_retries:int ->
+    ?backoff_base_s:float ->
+    ?backoff_cap_s:float ->
+    ?connect_wait_s:float ->
+    ?request_timeout_s:float ->
+    string ->
+    t
+  (** [create path] makes a client of the daemon at [path]; no
+      connection is opened until the first {!request}. [max_retries]
+      (default 5) bounds retries {e per request}; sleeps between
+      attempts follow decorrelated jitter from [backoff_base_s]
+      (default 5 ms) to [backoff_cap_s] (default 640 ms). [connect_wait_s]
+      (default 5) is passed to each underlying {!connect}.
+      [request_timeout_s], when given, bounds each round trip with
+      {!read_frame_within} — without it a hung server hangs the caller.
+      [seed] fixes the jitter stream for tests. Raises the typed
+      [Invalid_input] on out-of-range parameters. *)
+
+  val request : ?idempotent:bool -> t -> string -> string
+  (** [request t payload] performs one logical round trip, transparently
+      reconnecting and retrying up to [max_retries] times. Connect and
+      write failures are always retried (the server's CRC wall rejects a
+      torn request before any handler runs). Failures after the request
+      frame was fully written — connection closed without a response, a
+      torn or corrupt response frame, a response timeout — are retried
+      only when [idempotent] (default [true], matching the estimation
+      protocol; pass [false] for requests whose replay is unsafe).
+      A typed overload response makes the client sleep the frame's
+      [retry_after_s] hint, reconnect, and retry; when retries are
+      exhausted on overload the shed frame itself is returned (it is a
+      well-formed typed answer). On exhaustion of any other failure the
+      last typed error is re-raised. *)
+
+  val counts : t -> int * int
+  (** [(logical, wire)]: logical {!request} calls vs request frames
+      actually written. [wire / logical] is the retry amplification a
+      soak run pins. *)
+
+  val close : t -> unit
+  (** Drop the current connection, if any. The client remains usable:
+      the next {!request} reconnects. *)
+end

@@ -25,5 +25,6 @@ let () =
       ("robustness", Test_robustness.suite);
       ("durability", Test_durability.suite);
       ("serve", Test_serve.suite);
+      ("resilience", Test_resilience.suite);
       ("observability", Test_observability.suite);
     ]
