@@ -735,7 +735,7 @@ let e38_kernel ?(chunks = 48) ?(reps = 5) ?(assert_speedup = true) () =
 let floats a = Json.List (Array.to_list (Array.map (fun x -> Json.Float x) a))
 
 let bench_json ~smoke ~n engines mc overhead tracing robustness durability
-    kernel serve resilience =
+    kernel serve resilience flight =
   let open Json in
   let engine_obj r =
     Obj
@@ -870,7 +870,8 @@ let bench_json ~smoke ~n engines mc overhead tracing robustness durability
         ("durability", durability_obj durability);
         ("kernel", kernel_obj kernel);
         ("serve", Exp_serve.json_obj serve);
-        ("resilience", Exp_chaos.json_obj resilience) ]
+        ("resilience", Exp_chaos.json_obj resilience);
+        ("flight", Exp_flight.json_obj flight) ]
   in
   Json.write ~path:"BENCH_engines.json" v;
   print_endline "wrote BENCH_engines.json"
@@ -886,8 +887,9 @@ let all () =
   let kernel = e38_kernel () in
   let serve = Exp_serve.e39_serve () in
   let resilience = Exp_chaos.e40_chaos () in
+  let flight = Exp_flight.e41_flight ~assert_overhead:true () in
   bench_json ~smoke:false ~n engines mc overhead tracing robustness durability
-    kernel serve resilience
+    kernel serve resilience flight
 
 (* reduced workload for CI: exercises every engine end to end without the
    10^4-cycle stream or the speedup assertion (shared runners are noisy) *)
@@ -902,8 +904,11 @@ let smoke () =
   let kernel = e38_kernel ~chunks:8 ~reps:3 ~assert_speedup:false () in
   let serve = Exp_serve.e39_serve ~warm_rounds:2 ~assert_speedup:false () in
   let resilience = Exp_chaos.e40_chaos ~requests:15 () in
+  let flight =
+    Exp_flight.e41_flight ~reqs_per_batch:3 ~reps:2 ~assert_overhead:false ()
+  in
   bench_json ~smoke:true ~n engines mc overhead tracing robustness durability
-    kernel serve resilience
+    kernel serve resilience flight
 
 (* --- bench regression gate ---
 
@@ -1043,4 +1048,32 @@ let regression_gate ?(path = "BENCH_engines.json") () =
             Printf.printf "regression gate: chaos soak FAILED: %s\n" msg;
             false)
   in
-  ok && kernel_ok && serve_ok && resilience_ok
+  (* flight-recorder gate: only when the committed snapshot carries an
+     E41 section. The gated quantities are the experiment's internal
+     correctness asserts — quantile fidelity against the documented
+     bound, access-log/request tie-out, rid correlation — re-checked on
+     this runner (overhead is recorded but not gated here: shared
+     runners are too noisy for a 2% band). *)
+  let flight_ok =
+    match Json.member "flight" committed with
+    | None ->
+        print_endline
+          "regression gate: no flight section in snapshot, flight gate \
+           skipped (learned on next regenerate)";
+        true
+    | Some _ -> (
+        match
+          Exp_flight.e41_flight ~reqs_per_batch:3 ~reps:2
+            ~assert_overhead:false ()
+        with
+        | r ->
+            Printf.printf
+              "regression gate: flight quantile error %.5f (bound %.5f): OK\n"
+              r.Exp_flight.fl_quantile_worst_rel_err
+              r.Exp_flight.fl_quantile_bound;
+            true
+        | exception Failure msg ->
+            Printf.printf "regression gate: flight recorder FAILED: %s\n" msg;
+            false)
+  in
+  ok && kernel_ok && serve_ok && resilience_ok && flight_ok

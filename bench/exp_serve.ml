@@ -188,7 +188,7 @@ let e39_serve ?(warm_rounds = 4) ?(assert_speedup = true) () =
   let sv_typed_sheds = overload_demo () in
   let sorted a =
     let c = Array.copy a in
-    Array.sort compare c;
+    Array.sort Float.compare c;
     c
   in
   let cold_sorted = sorted sv_cold_ms and warm_sorted = sorted sv_warm_ms in

@@ -192,6 +192,14 @@ let () =
     flush_trace ();
     print_endline "chaos soak completed."
   end
+  else if Array.exists (( = ) "--flight") Sys.argv then begin
+    (* E41 alone: flight-recorder overhead, quantile fidelity, and rid
+       correlation — the experiment's internal asserts are the pass/fail
+       criteria *)
+    ignore (Exp_flight.e41_flight ());
+    flush_trace ();
+    print_endline "flight-recorder experiment completed."
+  end
   else if Array.exists (( = ) "--regression-gate") Sys.argv then begin
     (* CI gate: fresh engine numbers vs the committed BENCH_engines.json;
        a > 25% bit-parallel throughput regression fails the build *)

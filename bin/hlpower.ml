@@ -660,12 +660,21 @@ let batch_cmd =
 (* --- serve --- *)
 
 let serve socket max_inflight queue_budget deadline breaker_threshold
-    breaker_cooldown telemetry_json trace_out =
+    breaker_cooldown telemetry_json trace_out access_log access_log_max_bytes
+    slow_threshold =
   with_typed_errors @@ fun () ->
   let deadline = require_positive_float ~flag:"--deadline" deadline in
   let max_inflight = require_at_least ~flag:"--max-inflight" 1 max_inflight in
   let queue_budget = require_at_least ~flag:"--queue-budget" 1 queue_budget in
-  if telemetry_json <> None then Hlp_util.Telemetry.enable ();
+  let slow_threshold =
+    require_positive_float ~flag:"--slow-threshold" slow_threshold
+  in
+  let access_log_max_bytes =
+    require_at_least ~flag:"--access-log-max-bytes" 1 access_log_max_bytes
+  in
+  (* the flight recorder (per-op histograms, access log, metrics op) runs
+     off the telemetry switch: a serving daemon always records *)
+  Hlp_util.Telemetry.enable ();
   if trace_out <> None then Hlp_util.Trace.enable ();
   let service =
     Hlp_power.Service.create ?failure_threshold:breaker_threshold
@@ -677,6 +686,7 @@ let serve socket max_inflight queue_budget deadline breaker_threshold
           ~overload:Hlp_power.Service.overload_response ~token
           ~on_ready:(fun () ->
             Printf.printf "hlpower serve: listening on %s\n%!" socket)
+          ?access_log ?access_log_max_bytes ?slow_s:slow_threshold
           ~path:socket
           (Hlp_power.Service.handle service))
   in
@@ -745,28 +755,58 @@ let serve_cmd =
          & info [ "trace" ] ~docv:"FILE"
              ~doc:"enable span tracing and write Chrome trace JSON to $(docv)")
   in
+  let access_log =
+    Arg.(value & opt (some string) None
+         & info [ "access-log" ] ~docv:"FILE"
+             ~doc:
+               "write one JSON line per served request (timestamp, request \
+                id, op, cache outcome, queue/service seconds, bytes, status) \
+                to $(docv), rotated at the size bound")
+  in
+  let access_log_max_bytes =
+    Arg.(value & opt (some int) None
+         & info [ "access-log-max-bytes" ] ~docv:"BYTES"
+             ~doc:
+               "rotate the access log past $(docv) bytes (default 16 MiB); \
+                the log plus its one rotation never exceed ~2x this")
+  in
+  let slow_threshold =
+    Arg.(value & opt (some float) None
+         & info [ "slow-threshold" ] ~docv:"SECONDS"
+             ~doc:
+               "requests slower than $(docv) bump server.slow_requests and \
+                emit a server.slow_request trace instant carrying the \
+                request id")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the persistent estimation daemon (fingerprint-keyed hot \
           caches, admission control, graceful SIGINT/SIGTERM drain)")
     Term.(const serve $ socket $ max_inflight $ queue_budget $ deadline
-          $ breaker_threshold $ breaker_cooldown $ telemetry_json $ trace_out)
+          $ breaker_threshold $ breaker_cooldown $ telemetry_json $ trace_out
+          $ access_log $ access_log_max_bytes $ slow_threshold)
 
 (* --- client --- *)
 
 let client_op_enum =
   [ ("estimate", `Estimate); ("sampler", `Sampler); ("ping", `Ping);
-    ("stats", `Stats) ]
+    ("stats", `Stats); ("metrics", `Metrics) ]
 
 let client socket op circuit width engine seed rp max_cycles node_limit cycles
-    sleep_s clients requests connect_wait max_retries request_timeout =
+    sleep_s clients requests connect_wait max_retries request_timeout
+    prometheus =
   with_typed_errors @@ fun () ->
   let clients = max 1 clients and requests = max 1 requests in
+  if prometheus && op <> `Metrics then
+    raise
+      (Hlp_util.Err.invalid_input ~what:"--prometheus"
+         "only meaningful with --op metrics");
   let build id =
     match op with
     | `Ping -> Hlp_power.Service.ping_request ~id ?sleep_s ()
     | `Stats -> Hlp_power.Service.stats_request ~id ()
+    | `Metrics -> Hlp_power.Service.metrics_request ~id ()
     | `Estimate ->
         Hlp_power.Service.estimate_request ~id ?engine ?seed
           ?relative_precision:rp ?max_cycles ?node_limit ~circuit ~width ()
@@ -799,7 +839,12 @@ let client socket op circuit width engine seed rp max_cycles node_limit cycles
       outs.(r) <-
         (match Hlp_power.Service.parse_response resp with
         | Ok pr when pr.Hlp_power.Service.ok ->
-            Option.value ~default:"{}" (Hlp_power.Service.result_string pr)
+            if prometheus then
+              Hlp_power.Service.prometheus_of_metrics
+                (Option.value ~default:(Hlp_util.Json.Obj [])
+                   pr.Hlp_power.Service.result)
+            else
+              Option.value ~default:"{}" (Hlp_power.Service.result_string pr)
         | Ok pr ->
             let cls, msg, code =
               Option.value ~default:("unknown", "missing error body", 1)
@@ -818,19 +863,31 @@ let client socket op circuit width engine seed rp max_cycles node_limit cycles
   in
   List.iteri
     (fun c (_, outs, _, _) ->
-      Array.iteri (fun r line -> Printf.printf "client %d req %d: %s\n" c r line) outs)
+      Array.iteri
+        (fun r line ->
+          (* prometheus output is a multi-line document, not a result line *)
+          if prometheus then print_string line
+          else Printf.printf "client %d req %d: %s\n" c r line)
+        outs)
     all;
   let lats =
     Array.of_list (List.concat_map (fun (l, _, _, _) -> Array.to_list l) all)
   in
-  Array.sort compare lats;
+  Array.sort Float.compare lats;
   let n = Array.length lats in
-  let pct p = 1000.0 *. lats.(min (n - 1) (int_of_float (p *. float_of_int n))) in
+  (* the same histogram/quantile math the server reports, so client-side
+     and server-side percentiles of one run agree within Hdr's bound *)
+  let hist = Hlp_util.Hdr.create () in
+  Array.iter (fun l -> Hlp_util.Hdr.record hist (l *. 1e9)) lats;
+  let snap = Hlp_util.Hdr.snapshot hist in
+  let pct p = Hlp_util.Hdr.quantile snap p /. 1e6 in
   let total = Array.fold_left ( +. ) 0.0 lats in
   Printf.eprintf
-    "%d requests over %d client(s): p50 %.3f ms, p99 %.3f ms, mean %.3f ms\n"
+    "%d requests over %d client(s): p50 %.3f ms, p99 %.3f ms, mean %.3f ms, \
+     max %.3f ms\n"
     n clients (pct 0.50) (pct 0.99)
-    (1000.0 *. total /. float_of_int n);
+    (1000.0 *. total /. float_of_int n)
+    (1000.0 *. lats.(n - 1));
   let logical, wire =
     List.fold_left
       (fun (l, w) (_, _, _, (cl, cw)) -> (l + cl, w + cw))
@@ -919,6 +976,13 @@ let client_cmd =
                "per-round-trip deadline (typed deadline-exceeded, then \
                 retry); without it a hung server hangs the client")
   in
+  let prometheus =
+    Arg.(value & flag
+         & info [ "prometheus" ]
+             ~doc:
+               "with --op metrics: print the snapshot in Prometheus text \
+                exposition format instead of JSON")
+  in
   Cmd.v
     (Cmd.info "client"
        ~doc:
@@ -927,7 +991,171 @@ let client_cmd =
           stats on stderr)")
     Term.(const client $ socket $ op $ circuit $ width $ engine $ seed $ rp
           $ max_cycles $ node_limit $ cycles $ sleep_s $ clients $ requests
-          $ connect_wait $ max_retries $ request_timeout)
+          $ connect_wait $ max_retries $ request_timeout $ prometheus)
+
+(* --- top --- *)
+
+(* Live daemon dashboard: poll the [metrics] op and render deltas.
+   Rates (req/s, sheds/s) come from successive counter samples, so the
+   dashboard needs no server-side state beyond the flight recorder. *)
+let top socket interval count once =
+  with_typed_errors @@ fun () ->
+  let module J = Hlp_util.Json in
+  ignore (require_positive_float ~flag:"--interval" interval);
+  ignore (require_at_least ~flag:"--count" 1 count);
+  let cl = Hlp_util.Server.Client.create socket in
+  Fun.protect ~finally:(fun () -> Hlp_util.Server.Client.close cl) @@ fun () ->
+  let fetch () =
+    let resp =
+      Hlp_util.Server.Client.request cl (Hlp_power.Service.metrics_request ())
+    in
+    match Hlp_power.Service.parse_response resp with
+    | Ok pr when pr.Hlp_power.Service.ok ->
+        Option.value ~default:(J.Obj []) pr.Hlp_power.Service.result
+    | Ok pr ->
+        let cls, msg, _ =
+          Option.value ~default:("unknown", "missing error body", 1)
+            pr.Hlp_power.Service.error
+        in
+        raise
+          (Hlp_util.Err.invalid_input ~what:"metrics"
+             (Printf.sprintf "%s: %s" cls msg))
+    | Error m -> raise (Hlp_util.Err.invalid_input ~what:"metrics response" m)
+  in
+  let num name v =
+    Option.value ~default:0.0 (Option.bind (J.member name v) J.to_float_opt)
+  in
+  let str name v =
+    Option.value ~default:"?" (Option.bind (J.member name v) J.to_str_opt)
+  in
+  let obj_fields name v =
+    match J.member name v with Some (J.Obj fs) -> fs | _ -> []
+  in
+  let counter snap name =
+    match J.member "counters" snap with Some c -> num name c | None -> 0.0
+  in
+  (* per-op service-time histograms live under server.op.<op>.service_ns *)
+  let op_rows snap =
+    List.filter_map
+      (fun (hname, h) ->
+        let prefix = "server.op." and suffix = ".service_ns" in
+        let pl = String.length prefix and sl = String.length suffix in
+        let nl = String.length hname in
+        if
+          nl > pl + sl
+          && String.sub hname 0 pl = prefix
+          && String.sub hname (nl - sl) sl = suffix
+        then
+          let op = String.sub hname pl (nl - pl - sl) in
+          Some (op, num "count" h, num "p50" h /. 1e6, num "p99" h /. 1e6)
+        else None)
+      (obj_fields "histograms" snap)
+  in
+  let render ~prev_reqs ~prev_sheds ~dt snap =
+    let b = Buffer.create 2048 in
+    let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+    let reqs = counter snap "server.requests" in
+    let sheds = counter snap "server.sheds" in
+    let rate cur prev = if dt > 0.0 then (cur -. prev) /. dt else 0.0 in
+    line "hlpower top — %s   uptime %.1fs   telemetry %s" socket
+      (num "uptime_s" snap)
+      (match J.member "telemetry_enabled" snap with
+      | Some (J.Bool true) -> "on"
+      | _ -> "off");
+    line
+      "requests %.0f (%.1f/s)   sheds %.0f (%.1f/s)   slow %.0f   frame \
+       errors %.0f"
+      reqs (rate reqs prev_reqs) sheds (rate sheds prev_sheds)
+      (counter snap "server.slow_requests")
+      (counter snap "server.frame_errors");
+    line "estimates inflight %.0f   coalesced %.0f   breaker %s"
+      (num "estimates_inflight" snap)
+      (num "estimates_coalesced" snap)
+      (str "breaker" snap);
+    (match op_rows snap with
+    | [] -> ()
+    | rows ->
+        line "";
+        line "%-24s %10s %10s %10s" "op" "count" "p50 ms" "p99 ms";
+        List.iter
+          (fun (op, c, p50, p99) ->
+            line "%-24s %10.0f %10.3f %10.3f" op c p50 p99)
+          rows);
+    (match obj_fields "caches" snap with
+    | [] -> ()
+    | caches ->
+        line "";
+        line "%-24s %9s %8s %8s %8s %6s %6s" "cache" "size/cap" "infl"
+          "hits" "misses" "evict" "hit%";
+        List.iter
+          (fun (cname, c) ->
+            let hr =
+              match Option.bind (J.member "hit_ratio" c) J.to_float_opt with
+              | Some r -> Printf.sprintf "%5.1f" (100.0 *. r)
+              | None -> "    -"
+            in
+            line "%-24s %5.0f/%-3.0f %8.0f %8.0f %8.0f %8.0f %s" cname
+              (num "length" c) (num "capacity" c) (num "inflight" c)
+              (num "hits" c) (num "misses" c) (num "evictions" c) hr)
+          caches);
+    Buffer.contents b
+  in
+  (* non-TTY stdout (CI, pipes) degrades to a single snapshot: `top` is
+     then a formatted one-shot metrics query, greppable in scripts *)
+  let tty = Unix.isatty Unix.stdout in
+  let one_shot = once || not tty in
+  let interval = Option.value ~default:1.0 interval in
+  let rounds =
+    if one_shot then 1 else Option.value ~default:max_int count
+  in
+  let prev = ref None in
+  (try
+     for i = 0 to rounds - 1 do
+       let t = Hlp_util.Clock.now_s () in
+       let snap = fetch () in
+       let prev_reqs, prev_sheds, dt =
+         match !prev with
+         | None -> (counter snap "server.requests", counter snap "server.sheds", 0.0)
+         | Some (r, s, t0) -> (r, s, t -. t0)
+       in
+       let out = render ~prev_reqs ~prev_sheds ~dt snap in
+       if tty && not one_shot then print_string "\027[2J\027[H";
+       print_string out;
+       flush stdout;
+       prev := Some (counter snap "server.requests", counter snap "server.sheds", t);
+       if i < rounds - 1 then Unix.sleepf interval
+     done
+   with Sys.Break -> ());
+  0
+
+let top_cmd =
+  let socket =
+    Arg.(value & pos 0 string "/tmp/hlpower.sock"
+         & info [] ~docv:"SOCKET" ~doc:"socket of a running daemon")
+  in
+  let interval =
+    Arg.(value & opt (some float) None
+         & info [ "interval" ] ~docv:"SECONDS"
+             ~doc:"seconds between refreshes (default 1)")
+  in
+  let count =
+    Arg.(value & opt (some int) None
+         & info [ "count" ] ~docv:"N" ~doc:"stop after N refreshes")
+  in
+  let once =
+    Arg.(value & flag
+         & info [ "once" ]
+             ~doc:
+               "print one snapshot and exit (implied when stdout is not a \
+                terminal)")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live dashboard of a running hlpower serve daemon: request rates, \
+          per-op latency percentiles, cache hit ratios, inflight and shed \
+          counts, polled from the metrics op")
+    Term.(const top $ socket $ interval $ count $ once)
 
 (* --- chaos-proxy --- *)
 
@@ -1184,6 +1412,6 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "hlpower" ~version:"1.0.0" ~doc)
-          [ estimate_cmd; batch_cmd; serve_cmd; client_cmd; chaos_cmd;
+          [ estimate_cmd; batch_cmd; serve_cmd; client_cmd; top_cmd; chaos_cmd;
             bus_cmd; pm_cmd; fsm_cmd; export_cmd;
             info_cmd ]))

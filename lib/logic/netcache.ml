@@ -79,13 +79,13 @@ let resolve_locked c ~key slot outcome =
   | Pending | Failed _ -> ());
   Condition.broadcast c.resolved
 
-let find_or_compute c ~key f =
+let find_or_compute_outcome c ~key f =
   Mutex.lock c.lock;
   match Hashtbl.find_opt c.tbl key with
   | Some v ->
       Mutex.unlock c.lock;
       Hlp_util.Telemetry.incr c.hits;
-      v
+      (v, `Hit)
   | None -> (
       match Hashtbl.find_opt c.inflight key with
       | Some slot ->
@@ -100,7 +100,7 @@ let find_or_compute c ~key f =
             | Value v ->
                 Mutex.unlock c.lock;
                 Hlp_util.Telemetry.incr c.hits;
-                v
+                (v, `Coalesced)
             | Failed e ->
                 Mutex.unlock c.lock;
                 raise e
@@ -116,10 +116,12 @@ let find_or_compute c ~key f =
           (match f () with
           | v ->
               locked c (fun () -> resolve_locked c ~key slot (Value v));
-              v
+              (v, `Miss)
           | exception e ->
               locked c (fun () -> resolve_locked c ~key slot (Failed e));
               raise e))
+
+let find_or_compute c ~key f = fst (find_or_compute_outcome c ~key f)
 
 let mem c key = locked c (fun () -> Hashtbl.mem c.tbl key)
 let length c = locked c (fun () -> Hashtbl.length c.tbl)

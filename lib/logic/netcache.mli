@@ -42,6 +42,15 @@ val find_or_compute : 'a t -> key:int64 -> (unit -> 'a) -> 'a
     [f] must not call back into the same cache with the same key: the
     re-entrant call would join its own in-flight slot and deadlock. *)
 
+val find_or_compute_outcome :
+  'a t -> key:int64 -> (unit -> 'a) -> 'a * [ `Hit | `Miss | `Coalesced ]
+(** {!find_or_compute} plus how the value was obtained: [`Hit] from the
+    table, [`Miss] computed by this caller, [`Coalesced] joined another
+    caller's in-flight compute. One atomic lookup (no separate
+    [mem]-then-compute race); the access log records the outcome per
+    request. Counter accounting is unchanged ([`Coalesced] increments
+    both [.coalesced] and, on success, [.cache_hits]). *)
+
 val mem : 'a t -> int64 -> bool
 val length : 'a t -> int
 

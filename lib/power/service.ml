@@ -5,6 +5,7 @@
 open Hlp_logic
 module J = Hlp_util.Json
 module Err = Hlp_util.Err
+module Srv = Hlp_util.Server
 
 let circuits =
   [ ("adder", Generators.adder_circuit);
@@ -27,6 +28,7 @@ type t = {
   models : (Macromodel.model * Macromodel.dut) Netcache.t;
   estimates : string Netcache.t;  (* serialized result objects *)
   breaker : Hlp_util.Supervisor.breaker;
+  started : float;  (* Clock.now_s at create, for metrics uptime *)
 }
 
 let create ?(netlist_capacity = 64) ?(estimate_capacity = 256)
@@ -37,22 +39,29 @@ let create ?(netlist_capacity = 64) ?(estimate_capacity = 256)
     estimates =
       Netcache.create ~capacity:estimate_capacity ~name:"server.estimates" ();
     breaker =
-      Hlp_util.Supervisor.breaker ~failure_threshold ~cooldown_s "server.symbolic" }
+      Hlp_util.Supervisor.breaker ~failure_threshold ~cooldown_s "server.symbolic";
+    started = Hlp_util.Clock.now_s () }
 
-(* --- envelopes --- *)
+(* --- envelopes ---
 
-let ok_envelope ?(cached = false) id result =
+   Every envelope echoes the request id [rid] so a client-observed slow
+   or failed request is findable in the server's access log and trace by
+   the same string. *)
+
+let ok_envelope ?(cached = false) ~rid id result =
   J.to_string ~compact:true
     (J.Obj
        [ ("id", J.Int id);
+         ("rid", J.Str rid);
          ("ok", J.Bool true);
          ("cached", J.Bool cached);
          ("result", result) ])
 
-let error_envelope_parts id cls msg code =
+let error_envelope_parts ~rid id cls msg code =
   J.to_string ~compact:true
     (J.Obj
        [ ("id", J.Int id);
+         ("rid", J.Str rid);
          ("ok", J.Bool false);
          ( "error",
            J.Obj
@@ -60,8 +69,9 @@ let error_envelope_parts id cls msg code =
                ("message", J.Str msg);
                ("exit_code", J.Int code) ] ) ])
 
-let error_envelope id e =
-  error_envelope_parts id (Err.class_name e) (Err.to_string e) (Err.exit_code e)
+let error_envelope ~rid id e =
+  error_envelope_parts ~rid id (Err.class_name e) (Err.to_string e)
+    (Err.exit_code e)
 
 (* Shed frames carry a retry_after_s hint so a resilient client backs
    off instead of reconnecting immediately into the same full queue. *)
@@ -131,15 +141,15 @@ let decode_engine obj =
 
 (* --- ops --- *)
 
-let op_ping obj id =
+let op_ping obj ~rid id =
   let sleep_s = with_default 0.0 (opt_float obj "sleep_s") in
   if (not (Float.is_finite sleep_s)) || sleep_s < 0.0 || sleep_s > 30.0 then
     bad "sleep_s" "must be in [0, 30]";
   if sleep_s > 0.0 then Unix.sleepf sleep_s;
-  ok_envelope id
+  ok_envelope ~rid id
     (J.Obj [ ("op", J.Str "ping"); ("pong", J.Bool true) ])
 
-let op_estimate t guard obj id =
+let op_estimate t guard (ctx : Srv.ctx) obj ~rid id =
   let name, width, net = decode_circuit t obj in
   let engine = decode_engine obj in
   let seed = with_default 47 (opt_int obj "seed") in
@@ -156,9 +166,9 @@ let op_estimate t guard obj id =
         Int64.of_int (with_default 0 max_cycles);
         Int64.of_int (with_default 0 node_limit) ]
   in
-  let cached = Netcache.mem t.estimates key in
-  let result =
-    Netcache.find_or_compute t.estimates ~key (fun () ->
+  ctx.Srv.key <- Printf.sprintf "%016Lx" key;
+  let result, outcome =
+    Netcache.find_or_compute_outcome t.estimates ~key (fun () ->
         let try_symbolic = Hlp_util.Supervisor.breaker_allows t.breaker in
         match
           Probprop.estimate_guarded ~guard ~seed ~engine ~relative_precision:rp
@@ -194,10 +204,20 @@ let op_estimate t guard obj id =
                      | Some h -> J.Float h
                      | None -> J.Null ) ]))
   in
+  ctx.Srv.cache <-
+    (match outcome with
+    | `Hit -> "hit"
+    | `Miss -> "miss"
+    | `Coalesced -> "coalesced");
+  (* [cached] keeps its pre-outcome meaning: true only for a value that
+     was already in the table when the request arrived — a coalesced
+     joiner shared a computation that ran on its behalf *)
+  let cached = outcome = `Hit in
   Printf.sprintf
-    "{\"id\":%d,\"ok\":true,\"cached\":%b,\"result\":%s}" id cached result
+    "{\"id\":%d,\"rid\":\"%s\",\"ok\":true,\"cached\":%b,\"result\":%s}" id
+    (J.escape rid) cached result
 
-let op_sampler t obj id =
+let op_sampler t obj ~rid id =
   let name, width, net = decode_circuit t obj in
   let engine = decode_engine obj in
   let seed = with_default 47 (opt_int obj "seed") in
@@ -226,7 +246,7 @@ let op_sampler t obj id =
   let census = (Sampling.census s).Sampling.value in
   let sampled = (Sampling.sampler ~seed s).Sampling.value in
   let gate_ref = Sampling.gate_reference s in
-  ok_envelope id
+  ok_envelope ~rid id
     (J.Obj
        [ ("op", J.Str "sampler");
          ("circuit", J.Str name);
@@ -241,62 +261,225 @@ let op_sampler t obj id =
          ("gate_reference", J.Float gate_ref);
          ("gate_reference_bits", J.Str (fbits gate_ref)) ])
 
-let op_stats t id =
+(* One source of truth for service counters: [stats] is a thin alias
+   serving exactly these fields; [metrics] serves them plus the full
+   flight-recorder snapshot. *)
+let stats_fields t =
   let breaker =
     match Hlp_util.Supervisor.breaker_state t.breaker with
     | Hlp_util.Supervisor.Closed -> "closed"
     | Hlp_util.Supervisor.Open -> "open"
     | Hlp_util.Supervisor.Half_open -> "half-open"
   in
-  ok_envelope id
-    (J.Obj
-       [ ("op", J.Str "stats");
-         ("netlists", J.Int (Netcache.length t.netlists));
-         ("symbolic", J.Int (Netcache.length t.symbolic));
-         ("models", J.Int (Netcache.length t.models));
-         ("estimates", J.Int (Netcache.length t.estimates));
-         ("estimates_inflight", J.Int (Netcache.inflight t.estimates));
-         ( "estimates_coalesced",
-           J.Int
-             (Hlp_util.Telemetry.count
-                (Hlp_util.Telemetry.counter "server.estimates.coalesced")) );
-         ("kernel_plans", J.Int (Hlp_sim.Kernel.cache_length ()));
-         ("breaker", J.Str breaker) ])
+  [ ("netlists", J.Int (Netcache.length t.netlists));
+    ("symbolic", J.Int (Netcache.length t.symbolic));
+    ("models", J.Int (Netcache.length t.models));
+    ("estimates", J.Int (Netcache.length t.estimates));
+    ("estimates_inflight", J.Int (Netcache.inflight t.estimates));
+    ( "estimates_coalesced",
+      J.Int
+        (Hlp_util.Telemetry.count
+           (Hlp_util.Telemetry.counter "server.estimates.coalesced")) );
+    ("kernel_plans", J.Int (Hlp_sim.Kernel.cache_length ()));
+    ("breaker", J.Str breaker) ]
 
-let handle t guard payload =
+let op_stats t ~rid id =
+  ok_envelope ~rid id (J.Obj (("op", J.Str "stats") :: stats_fields t))
+
+let cache_json : 'a. 'a Netcache.t -> string * J.t =
+ fun c ->
+  let cnt suffix =
+    Hlp_util.Telemetry.count
+      (Hlp_util.Telemetry.counter (Netcache.name c ^ suffix))
+  in
+  let hits = cnt ".cache_hits" and misses = cnt ".cache_misses" in
+  let lookups = hits + misses in
+  ( Netcache.name c,
+    J.Obj
+      [ ("length", J.Int (Netcache.length c));
+        ("capacity", J.Int (Netcache.capacity c));
+        ("inflight", J.Int (Netcache.inflight c));
+        ("hits", J.Int hits);
+        ("misses", J.Int misses);
+        ("evictions", J.Int (cnt ".cache_evictions"));
+        ("coalesced", J.Int (cnt ".coalesced"));
+        ( "hit_ratio",
+          if lookups = 0 then J.Null
+          else J.Float (float_of_int hits /. float_of_int lookups) ) ] )
+
+let op_metrics t ~rid id =
+  let tel = Hlp_util.Telemetry.json_value () in
+  let pick name = Option.value ~default:(J.Obj []) (J.member name tel) in
+  ok_envelope ~rid id
+    (J.Obj
+       (("op", J.Str "metrics")
+        :: ("uptime_s", J.Float (Hlp_util.Clock.now_s () -. t.started))
+        :: ("telemetry_enabled", J.Bool (Hlp_util.Telemetry.enabled ()))
+        :: stats_fields t
+       @ [ ("counters", pick "counters");
+           ("histograms", pick "histograms");
+           ( "caches",
+             J.Obj
+               [ cache_json t.netlists;
+                 cache_json t.symbolic;
+                 cache_json t.models;
+                 cache_json t.estimates ] ) ]))
+
+(* --- Prometheus text exposition of a metrics result object --- *)
+
+let prom_ident name =
+  "hlpower_"
+  ^ String.map
+      (fun c ->
+        match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
+      name
+
+let prometheus_of_metrics v =
+  let b = Buffer.create 4096 in
+  let line fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string b s;
+        Buffer.add_char b '\n')
+      fmt
+  in
+  (match Option.bind (J.member "uptime_s" v) J.to_float_opt with
+  | Some u ->
+      line "# TYPE hlpower_uptime_seconds gauge";
+      line "hlpower_uptime_seconds %s" (J.float_repr u)
+  | None -> ());
+  (match J.member "counters" v with
+  | Some (J.Obj kvs) ->
+      List.iter
+        (fun (name, jv) ->
+          match jv with
+          | J.Int n ->
+              let m = prom_ident name in
+              line "# TYPE %s counter" m;
+              line "%s %d" m n
+          | _ -> ())
+        kvs
+  | _ -> ());
+  (match J.member "caches" v with
+  | Some (J.Obj caches) ->
+      List.iter
+        (fun field ->
+          let metric = "hlpower_cache_" ^ field in
+          let values =
+            List.filter_map
+              (fun (cname, cv) ->
+                Option.map
+                  (fun x -> (cname, x))
+                  (Option.bind (J.member field cv) J.to_float_opt))
+              caches
+          in
+          if values <> [] then begin
+            line "# TYPE %s gauge" metric;
+            List.iter
+              (fun (cname, x) ->
+                line "%s{cache=%S} %s" metric cname (J.float_repr x))
+              values
+          end)
+        [ "length"; "capacity"; "inflight"; "hits"; "misses"; "evictions";
+          "coalesced"; "hit_ratio" ]
+  | _ -> ());
+  (match J.member "histograms" v with
+  | Some (J.Obj hs) ->
+      List.iter
+        (fun (name, h) ->
+          let metric = prom_ident name in
+          line "# TYPE %s histogram" metric;
+          let buckets =
+            match Option.bind (J.member "buckets" h) J.to_list_opt with
+            | Some l -> l
+            | None -> []
+          in
+          (* our buckets are per-bucket counts; Prometheus wants
+             cumulative-to-upper-bound *)
+          let cum = ref 0 in
+          List.iter
+            (fun bkt ->
+              match J.to_list_opt bkt with
+              | Some [ upper; cnt ] -> (
+                  match (J.to_float_opt upper, J.to_int_opt cnt) with
+                  | Some u, Some c ->
+                      cum := !cum + c;
+                      line "%s_bucket{le=%S} %d" metric
+                        (Printf.sprintf "%g" u)
+                        !cum
+                  | _ -> ())
+              | _ -> ())
+            buckets;
+          let count =
+            Option.value ~default:!cum
+              (Option.bind (J.member "count" h) J.to_int_opt)
+          in
+          line "%s_bucket{le=\"+Inf\"} %d" metric count;
+          (match Option.bind (J.member "sum" h) J.to_float_opt with
+          | Some s -> line "%s_sum %s" metric (J.float_repr s)
+          | None -> ());
+          line "%s_count %d" metric count)
+        hs
+  | _ -> ());
+  Buffer.contents b
+
+let handle t (ctx : Srv.ctx) payload =
   match J.parse payload with
   | Error msg ->
-      error_envelope_parts (-1) "invalid-input" ("request parse: " ^ msg) 65
+      ctx.Srv.status <- "invalid-input";
+      error_envelope_parts ~rid:ctx.Srv.rid (-1) "invalid-input"
+        ("request parse: " ^ msg) 65
   | Ok req -> (
       let id = with_default 0 (try opt_int req "id" with Err.Error _ -> None) in
+      (* a caller-supplied rid replaces the transport's fallback, so both
+         sides of the wire log the same string *)
+      (match (try opt_str req "rid" with Err.Error _ -> None) with
+      | Some r when r <> "" -> ctx.Srv.rid <- r
+      | _ -> ());
+      let rid = ctx.Srv.rid in
       try
-        match req_str req "op" with
-        | "ping" -> op_ping req id
-        | "estimate" -> op_estimate t guard req id
-        | "sampler" -> op_sampler t req id
-        | "stats" -> op_stats t id
-        | other -> bad "op" ("unknown op " ^ other)
+        let op = req_str req "op" in
+        ctx.Srv.op <- op;
+        Hlp_util.Trace.span ("service." ^ op)
+          ~args:(fun () -> [ ("rid", J.Str rid) ])
+          (fun () ->
+            match op with
+            | "ping" -> op_ping req ~rid id
+            | "estimate" -> op_estimate t ctx.Srv.guard ctx req ~rid id
+            | "sampler" -> op_sampler t req ~rid id
+            | "stats" -> op_stats t ~rid id
+            | "metrics" -> op_metrics t ~rid id
+            | other -> bad "op" ("unknown op " ^ other))
       with
-      | Err.Error e -> error_envelope id e
+      | Err.Error e ->
+          ctx.Srv.status <- Err.class_name e;
+          error_envelope ~rid id e
       | exn ->
           (* a programming error must still answer this request; the
              daemon itself never dies for one frame *)
-          error_envelope_parts id "internal" (Printexc.to_string exn) 70)
+          ctx.Srv.status <- "internal";
+          error_envelope_parts ~rid id "internal" (Printexc.to_string exn) 70)
 
 (* --- request builders --- *)
 
-let build ?id op fields =
+(* Builders stamp a client-side rid when the caller did not supply one,
+   so every request is findable server-side without caller bookkeeping. *)
+let build ?id ?rid op fields =
   let id = match id with Some i -> [ ("id", J.Int i) ] | None -> [] in
-  J.to_string ~compact:true (J.Obj (id @ (("op", J.Str op) :: fields)))
+  let rid =
+    match rid with Some r -> r | None -> Srv.fresh_rid ~prefix:"c" ()
+  in
+  J.to_string ~compact:true
+    (J.Obj (id @ (("rid", J.Str rid) :: ("op", J.Str op) :: fields)))
 
 let opt_j name conv = function Some v -> [ (name, conv v) ] | None -> []
 
-let ping_request ?id ?sleep_s () =
-  build ?id "ping" (opt_j "sleep_s" (fun s -> J.Float s) sleep_s)
+let ping_request ?id ?rid ?sleep_s () =
+  build ?id ?rid "ping" (opt_j "sleep_s" (fun s -> J.Float s) sleep_s)
 
-let estimate_request ?id ?engine ?seed ?relative_precision ?max_cycles
+let estimate_request ?id ?rid ?engine ?seed ?relative_precision ?max_cycles
     ?node_limit ~circuit ~width () =
-  build ?id "estimate"
+  build ?id ?rid "estimate"
     ([ ("circuit", J.Str circuit); ("width", J.Int width) ]
     @ opt_j "engine" (fun e -> J.Str e) engine
     @ opt_j "seed" (fun s -> J.Int s) seed
@@ -304,19 +487,21 @@ let estimate_request ?id ?engine ?seed ?relative_precision ?max_cycles
     @ opt_j "max_cycles" (fun m -> J.Int m) max_cycles
     @ opt_j "node_limit" (fun n -> J.Int n) node_limit)
 
-let sampler_request ?id ?engine ?seed ?cycles ~circuit ~width () =
-  build ?id "sampler"
+let sampler_request ?id ?rid ?engine ?seed ?cycles ~circuit ~width () =
+  build ?id ?rid "sampler"
     ([ ("circuit", J.Str circuit); ("width", J.Int width) ]
     @ opt_j "engine" (fun e -> J.Str e) engine
     @ opt_j "seed" (fun s -> J.Int s) seed
     @ opt_j "cycles" (fun c -> J.Int c) cycles)
 
-let stats_request ?id () = build ?id "stats" []
+let stats_request ?id ?rid () = build ?id ?rid "stats" []
+let metrics_request ?id ?rid () = build ?id ?rid "metrics" []
 
 (* --- response decoding --- *)
 
 type response = {
   id : int;
+  rid : string;
   ok : bool;
   cached : bool;
   result : J.t option;
@@ -337,6 +522,10 @@ let parse_response s =
           let cached =
             match J.member "cached" v with Some (J.Bool b) -> b | _ -> false
           in
+          let rid =
+            Option.value ~default:""
+              (Option.bind (J.member "rid" v) J.to_str_opt)
+          in
           let error =
             match J.member "error" v with
             | Some e ->
@@ -351,7 +540,7 @@ let parse_response s =
                 Some (s "class", s "message", code)
             | None -> None
           in
-          Ok { id; ok; cached; result = J.member "result" v; error }
+          Ok { id; rid; ok; cached; result = J.member "result" v; error }
       | _ -> Error "response missing \"ok\"")
 
 let result_string r =

@@ -3,11 +3,19 @@
 
     {!Hlp_util.Server} moves CRC-framed payloads; this module gives the
     payloads meaning. A request is one compact JSON object; the response
-    is an envelope [{"id", "ok", "cached", "result"}] on success or
-    [{"id", "ok": false, "error": {"class", "message", "exit_code"}}] on
-    failure, with ["error"]["class"] drawn from the {!Hlp_util.Err}
-    taxonomy (so a shed request carries ["overloaded"]/70 — admission
-    control speaks the same typed language as the batch runner).
+    is an envelope [{"id", "rid", "ok", "cached", "result"}] on success
+    or [{"id", "rid", "ok": false, "error": {"class", "message",
+    "exit_code"}}] on failure, with ["error"]["class"] drawn from the
+    {!Hlp_util.Err} taxonomy (so a shed request carries
+    ["overloaded"]/70 — admission control speaks the same typed language
+    as the batch runner).
+
+    {b Request ids.} Every request carries a ["rid"] string (the
+    builders stamp a fresh client-side one when not given); the service
+    threads it into the transport's {!Hlp_util.Server.ctx} — so the
+    access log and the ["service.<op>"] trace spans record it — and
+    echoes it in the response envelope. One string therefore finds a
+    request on both sides of the wire.
 
     {b Ops.}
     - ["ping"]: liveness; an optional ["sleep_s"] occupies the worker —
@@ -18,7 +26,13 @@
     - ["sampler"]: macro-model cosimulation of the circuit (census,
       gate reference, and a sampled estimate).
     - ["stats"]: cache occupancy (including in-flight and coalesced
-      estimate counts) and breaker state.
+      estimate counts) and breaker state — a thin alias for the same
+      fields [metrics] serves.
+    - ["metrics"]: the full flight-recorder snapshot — the [stats]
+      fields plus uptime, every {!Hlp_util.Telemetry} counter and
+      histogram (buckets + p50/p90/p99/p999), and per-cache
+      occupancy/hit-ratio objects. {!prometheus_of_metrics} renders the
+      result in Prometheus text exposition format.
 
     {b Idempotency.} Every op is pure by construction and therefore safe
     to retry ({!Hlp_util.Server.Client} retries them freely): [estimate]
@@ -65,11 +79,13 @@ val create :
 (** A fresh service: empty caches (default capacities 64 netlists, 256
     estimates) and a closed breaker (default threshold 3, cooldown 30s). *)
 
-val handle : t -> Hlp_util.Guard.t -> string -> string
+val handle : t -> Hlp_util.Server.ctx -> string -> string
 (** The {!Hlp_util.Server.handler}: request payload to response payload.
     Never raises — malformed JSON, unknown ops/circuits/engines, typed
     estimation errors, and internal exceptions all come back as error
-    envelopes. *)
+    envelopes. Fills the context's attribution fields (rid, op, cache
+    key and hit/miss/coalesced outcome, typed status) for the
+    transport's access log and per-op histograms. *)
 
 val overload_response : Hlp_util.Err.t -> string
 (** The shed frame ([serve ~overload]): an error envelope (id -1)
@@ -81,15 +97,25 @@ val circuits : (string * (int -> Hlp_logic.Netlist.t)) list
 (** The servable generator circuits, by protocol name — the same zoo the
     CLI exposes. *)
 
+val prometheus_of_metrics : Hlp_util.Json.t -> string
+(** Render a [metrics] {e result object} as Prometheus text exposition:
+    counters as [counter] metrics, cache fields as labelled
+    [hlpower_cache_*] gauges, histograms as [histogram] metrics with
+    cumulative [_bucket{le=...}] lines, [+Inf], [_sum], and [_count].
+    Metric names are the telemetry names prefixed [hlpower_] with
+    non-identifier characters mapped to ['_']. *)
+
 (** {1 Requests} — builders the CLI client and bench use, so the schema
     has one producer. Omitted optionals are omitted from the JSON and
     take the server-side defaults (engine bitparallel, seed 47,
-    precision 0.05). *)
+    precision 0.05) — except [rid], which defaults to a fresh
+    client-side id ({!Hlp_util.Server.fresh_rid}[ ~prefix:"c"]). *)
 
-val ping_request : ?id:int -> ?sleep_s:float -> unit -> string
+val ping_request : ?id:int -> ?rid:string -> ?sleep_s:float -> unit -> string
 
 val estimate_request :
   ?id:int ->
+  ?rid:string ->
   ?engine:string ->
   ?seed:int ->
   ?relative_precision:float ->
@@ -102,6 +128,7 @@ val estimate_request :
 
 val sampler_request :
   ?id:int ->
+  ?rid:string ->
   ?engine:string ->
   ?seed:int ->
   ?cycles:int ->
@@ -110,12 +137,14 @@ val sampler_request :
   unit ->
   string
 
-val stats_request : ?id:int -> unit -> string
+val stats_request : ?id:int -> ?rid:string -> unit -> string
+val metrics_request : ?id:int -> ?rid:string -> unit -> string
 
 (** {1 Responses} *)
 
 type response = {
   id : int;  (** -1 when the server could not read the request id *)
+  rid : string;  (** echoed request id; [""] on a pre-rid envelope *)
   ok : bool;
   cached : bool;  (** served from the estimate cache *)
   result : Hlp_util.Json.t option;  (** present iff [ok] *)

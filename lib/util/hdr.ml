@@ -1,0 +1,179 @@
+(* HDR-style log-bucketed histogram. Values below [sub_buckets] get an
+   exact bucket; each power-of-two octave above is split into
+   [sub_buckets] linear sub-buckets, so a bucket's relative width never
+   exceeds 1/sub_buckets and a midpoint-answered quantile is within
+   1/(2*sub_buckets) of the exact sample quantile. With 63-bit ints the
+   top octave is k = 62, giving a fixed bucket count small enough to
+   snapshot and ship whole. *)
+
+let sub_bits = 5
+let sub_buckets = 1 lsl sub_bits (* 32 *)
+let max_relative_error = 1.0 /. float_of_int (2 * sub_buckets)
+
+(* indices: [0, sub_buckets) exact, then (62 - sub_bits + 1) octaves of
+   [sub_buckets] each minus the first octave's low half which the exact
+   region already covers. Max value index: k = 62 → 1887. *)
+let nbuckets = sub_buckets + ((62 - sub_bits) * sub_buckets) + sub_buckets
+
+type t = {
+  buckets : int Atomic.t array;
+  n : int Atomic.t;
+  units : int Atomic.t;  (* sum of recorded integer units *)
+  minu : int Atomic.t;  (* max_int when empty *)
+  maxu : int Atomic.t;  (* -1 when empty *)
+}
+
+let create () =
+  {
+    buckets = Array.init nbuckets (fun _ -> Atomic.make 0);
+    n = Atomic.make 0;
+    units = Atomic.make 0;
+    minu = Atomic.make max_int;
+    maxu = Atomic.make (-1);
+  }
+
+let msb v =
+  let k = ref 0 in
+  let v = ref v in
+  while !v > 1 do
+    v := !v lsr 1;
+    incr k
+  done;
+  !k
+
+let index_of u =
+  if u < sub_buckets then u
+  else
+    let k = msb u in
+    let shift = k - sub_bits in
+    sub_buckets + (shift * sub_buckets) + ((u lsr shift) - sub_buckets)
+
+let bucket_bounds i =
+  if i < sub_buckets then (float_of_int i, float_of_int (i + 1))
+  else begin
+    let j = i - sub_buckets in
+    let shift = j / sub_buckets in
+    let pos = j mod sub_buckets in
+    let low = ldexp (float_of_int (sub_buckets + pos)) shift in
+    (low, low +. ldexp 1.0 shift)
+  end
+
+(* Midpoint for wide buckets, the exact value for width-1 buckets. *)
+let representative i =
+  let low, high = bucket_bounds i in
+  if high -. low <= 1.0 then low else (low +. high) /. 2.0
+
+let rec atomic_min a u =
+  let cur = Atomic.get a in
+  if u < cur && not (Atomic.compare_and_set a cur u) then atomic_min a u
+
+let rec atomic_max a u =
+  let cur = Atomic.get a in
+  if u > cur && not (Atomic.compare_and_set a cur u) then atomic_max a u
+
+(* Largest float certain to round into the int range. *)
+let max_unit_f = 4.0e18
+
+let record t v =
+  if Float.is_finite v then begin
+    let u =
+      if v <= 0.0 then 0
+      else if v >= max_unit_f then max_int
+      else int_of_float (Float.round v)
+    in
+    ignore (Atomic.fetch_and_add t.buckets.(index_of u) 1);
+    ignore (Atomic.fetch_and_add t.n 1);
+    ignore (Atomic.fetch_and_add t.units u);
+    atomic_min t.minu u;
+    atomic_max t.maxu u
+  end
+
+let count t = Atomic.get t.n
+
+let clear t =
+  Array.iter (fun b -> Atomic.set b 0) t.buckets;
+  Atomic.set t.n 0;
+  Atomic.set t.units 0;
+  Atomic.set t.minu max_int;
+  Atomic.set t.maxu (-1)
+
+type snapshot = {
+  counts : int array;
+  total : int;
+  sum : float;
+  minv : float;
+  maxv : float;
+}
+
+(* total comes from the copied buckets, not [t.n], so quantile ranks are
+   always consistent with the counts actually captured mid-traffic. *)
+let snapshot t =
+  let counts = Array.map Atomic.get t.buckets in
+  let total = Array.fold_left ( + ) 0 counts in
+  let mn = Atomic.get t.minu and mx = Atomic.get t.maxu in
+  {
+    counts;
+    total;
+    sum = float_of_int (Atomic.get t.units);
+    minv = (if mx < 0 then nan else float_of_int mn);
+    maxv = (if mx < 0 then nan else float_of_int mx);
+  }
+
+let empty =
+  { counts = Array.make nbuckets 0; total = 0; sum = 0.0; minv = nan; maxv = nan }
+
+let merge a b =
+  let fmin x y = if Float.is_nan x then y else if Float.is_nan y then x else Float.min x y in
+  let fmax x y = if Float.is_nan x then y else if Float.is_nan y then x else Float.max x y in
+  {
+    counts = Array.init nbuckets (fun i -> a.counts.(i) + b.counts.(i));
+    total = a.total + b.total;
+    sum = a.sum +. b.sum;
+    minv = fmin a.minv b.minv;
+    maxv = fmax a.maxv b.maxv;
+  }
+
+let quantile s q =
+  if not (q > 0.0 && q <= 1.0) then invalid_arg "Hdr.quantile: q outside (0, 1]";
+  if s.total = 0 then nan
+  else begin
+    (* same rank convention as an exact sorted sample: the ceil(q*n)-th
+       smallest observation, 1-based. *)
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int s.total))) in
+    let cum = ref 0 and i = ref 0 and found = ref nan in
+    while Float.is_nan !found && !i < nbuckets do
+      cum := !cum + s.counts.(!i);
+      if !cum >= rank then found := representative !i;
+      incr i
+    done;
+    !found
+  end
+
+let mean s = if s.total = 0 then nan else s.sum /. float_of_int s.total
+
+let nonzero_buckets s =
+  let acc = ref [] in
+  for i = nbuckets - 1 downto 0 do
+    if s.counts.(i) > 0 then acc := (snd (bucket_bounds i), s.counts.(i)) :: !acc
+  done;
+  !acc
+
+let json_of_snapshot s =
+  let num x = if Float.is_finite x then Json.Float x else Json.Null in
+  let q p = if s.total = 0 then Json.Null else num (quantile s p) in
+  Json.Obj
+    [ ("count", Json.Int s.total);
+      ("sum", Json.Float s.sum);
+      ("min", num s.minv);
+      ("max", num s.maxv);
+      ("mean", if s.total = 0 then Json.Null else num (mean s));
+      ("p50", q 0.50);
+      ("p90", q 0.90);
+      ("p99", q 0.99);
+      ("p999", q 0.999);
+      ("max_relative_error", Json.Float max_relative_error);
+      ( "buckets",
+        Json.List
+          (List.map
+             (fun (upper, c) -> Json.List [ Json.Float upper; Json.Int c ])
+             (nonzero_buckets s)) ) ]

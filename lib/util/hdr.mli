@@ -1,0 +1,91 @@
+(** Lock-free log-bucketed (HDR-style) histograms with bounded-relative-
+    error quantiles — the shared quantile math of the flight recorder.
+
+    A histogram counts non-negative {e integer units} (the caller picks
+    the unit: nanoseconds for durations, bytes for sizes) in buckets
+    whose width grows geometrically: values below {!sub_buckets} get an
+    exact bucket each; above that, every power-of-two octave is split
+    into {!sub_buckets} linear sub-buckets. A bucket's relative width is
+    therefore at most [1/sub_buckets], and a quantile answered as the
+    bucket midpoint is within {!max_relative_error} ([1/(2*sub_buckets)],
+    1.5625% at the default 32 sub-buckets) of the exact sorted-sample
+    quantile — small values (< {!sub_buckets}) are exact.
+
+    Recording is one atomic increment per observation (plus atomic
+    min/max maintenance), so worker domains share one histogram without
+    locks; {!snapshot} is a racy-but-consistent-enough copy (each bucket
+    read atomically), and snapshots are plain data: mergeable across
+    domains, processes, or time windows with {!merge} (associative and
+    commutative — the qcheck wall in [test_flight] pins both laws).
+
+    {!Telemetry.histogram} wraps this with the global registry and the
+    on/off switch; the CLI client uses it directly so client- and
+    server-side percentiles come from the same math. *)
+
+type t
+(** A live histogram: atomic bucket counters plus count/sum/min/max. *)
+
+val create : unit -> t
+
+val record : t -> float -> unit
+(** [record h v] counts one observation of [v] units. Negative values
+    clamp to 0, non-finite values are ignored, and [v] is rounded to the
+    nearest integer unit (callers scale first: seconds [*. 1e9] for a
+    nanosecond histogram). Lock-free; safe from any domain. *)
+
+val count : t -> int
+(** Observations recorded so far. *)
+
+val clear : t -> unit
+(** Zero every bucket and the count/sum/min/max — {!Telemetry.reset}'s
+    histogram half. Not atomic with respect to concurrent [record]s. *)
+
+(** {1 Snapshots} *)
+
+type snapshot = {
+  counts : int array;  (** per-bucket counts, index = {!bucket_bounds} *)
+  total : int;
+  sum : float;  (** sum of recorded units *)
+  minv : float;  (** smallest recorded unit; [nan] when empty *)
+  maxv : float;  (** largest recorded unit; [nan] when empty *)
+}
+
+val snapshot : t -> snapshot
+
+val empty : snapshot
+
+val merge : snapshot -> snapshot -> snapshot
+(** Pointwise sum; associative and commutative, with {!empty} as the
+    identity. *)
+
+val quantile : snapshot -> float -> float
+(** [quantile s q] for [q] in (0, 1]: the representative value of the
+    bucket holding the [ceil (q * total)]-th smallest observation
+    (the same rank convention as an exact sorted sample). [nan] when the
+    snapshot is empty; raises [Invalid_argument] for [q] outside (0, 1].
+    Within {!max_relative_error} of the exact sample quantile for values
+    >= {!sub_buckets}; exact below. *)
+
+val mean : snapshot -> float
+(** [sum / total]; [nan] when empty. *)
+
+(** {1 Bucket geometry} *)
+
+val sub_buckets : int
+(** Linear sub-buckets per power-of-two octave (32). *)
+
+val max_relative_error : float
+(** [1 / (2 * sub_buckets)] — the documented quantile error bound. *)
+
+val bucket_bounds : int -> float * float
+(** [(low, high)] of bucket [i]: the bucket counts values in
+    [\[low, high)]. *)
+
+val nonzero_buckets : snapshot -> (float * int) list
+(** [(upper_bound, count)] for every non-empty bucket, ascending — the
+    compact wire form the [metrics] op and Prometheus exposition use. *)
+
+val json_of_snapshot : snapshot -> Json.t
+(** [{"count", "sum", "min", "max", "mean", "p50", "p90", "p99", "p999",
+     "max_relative_error", "buckets": [[upper, count], ...]}] with
+    non-finite floats emitted as [null] (empty histograms). *)

@@ -160,3 +160,66 @@ let write_atomic ~path contents =
       Unix.fsync fd);
   Unix.rename tmp path;
   fsync_dir dir
+
+(* --- line-oriented logs --- *)
+
+module Lines = struct
+  (* Newline-framed append log with size-bounded rotation — the access
+     log's storage. Human/grep-friendly where the WAL above is CRC-framed;
+     shares the one-write-per-record discipline so a crash tears at most
+     the final line, which any line-oriented reader skips naturally. *)
+
+  type t = {
+    l_path : string;
+    max_bytes : int;
+    lock : Mutex.t;
+    mutable fd : Unix.file_descr;
+    mutable size : int;
+    mutable closed : bool;
+  }
+
+  let rotated path = path ^ ".1"
+
+  let open_log path =
+    let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
+    let size = (Unix.fstat fd).Unix.st_size in
+    (fd, size)
+
+  let open_ ?(max_bytes = 16 * 1024 * 1024) path =
+    if max_bytes <= 0 then invalid_arg "Journal.Lines.open_: max_bytes must be positive";
+    let fd, size = open_log path in
+    { l_path = path; max_bytes; lock = Mutex.create (); fd; size; closed = false }
+
+  let append t line =
+    if t.closed then invalid_arg "Journal.Lines.append: closed";
+    if String.contains line '\n' then
+      invalid_arg "Journal.Lines.append: embedded newline";
+    let record = line ^ "\n" in
+    Mutex.lock t.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.lock)
+      (fun () ->
+        (* rotate before the write that would cross the bound, so the live
+           file plus its one predecessor hold at most ~2*max_bytes (a
+           single line longer than max_bytes still lands whole) *)
+        if t.size > 0 && t.size + String.length record > t.max_bytes then begin
+          Unix.close t.fd;
+          Unix.rename t.l_path (rotated t.l_path);
+          let fd, size = open_log t.l_path in
+          t.fd <- fd;
+          t.size <- size
+        end;
+        write_all t.fd record;
+        t.size <- t.size + String.length record)
+
+  let sync t = if not t.closed then Unix.fsync t.fd
+
+  let close t =
+    if not t.closed then begin
+      sync t;
+      t.closed <- true;
+      Unix.close t.fd
+    end
+
+  let path t = t.l_path
+end

@@ -87,3 +87,38 @@ val write_atomic : path:string -> string -> unit
     any point sees either the previous file or the new one, never a torn
     mixture — the discipline every JSON artifact writer in the toolkit
     uses ({!Json.write}, {!Trace.write}, the CLI report emitters). *)
+
+(** {1 Line-oriented logs}
+
+    Newline-framed sibling of the CRC-framed journal, for logs meant to
+    be read with [grep]/[jq] rather than replayed — the serve access log.
+    Appends share the journal's one-[write]-per-record discipline (a
+    crash tears at most the final line; line-oriented readers skip it
+    naturally) and the mutex makes concurrent appends from worker domains
+    atomic with respect to rotation. *)
+
+module Lines : sig
+  type t
+
+  val open_ : ?max_bytes:int -> string -> t
+  (** Open [path] for appending (created if absent, never truncated —
+      reopening continues where the last process stopped). [max_bytes]
+      (default 16 MiB, must be positive) bounds the live file: an append
+      that would cross the bound first renames the live file to
+      {!rotated}[ path] (clobbering the previous rotation), so the log
+      occupies at most ~2×[max_bytes] on disk. *)
+
+  val append : t -> string -> unit
+  (** Append one line ([line] must not contain ['\n']; the newline is
+      added). One [write] per line; thread-safe. *)
+
+  val sync : t -> unit
+
+  val close : t -> unit
+  (** {!sync} then close. Idempotent. *)
+
+  val path : t -> string
+
+  val rotated : string -> string
+  (** Where rotation puts the previous generation ([path ^ ".1"]). *)
+end

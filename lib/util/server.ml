@@ -6,6 +6,10 @@ let tel_connections = Telemetry.counter "server.connections"
 let tel_requests = Telemetry.counter "server.requests"
 let tel_sheds = Telemetry.counter "server.sheds"
 let tel_frame_errors = Telemetry.counter "server.frame_errors"
+let tel_slow = Telemetry.counter "server.slow_requests"
+
+(* flight-recorder histograms; per-op ones are registered on first use *)
+let h_queue_wait = Telemetry.histogram "server.queue_wait_ns"
 
 let max_frame_bytes = 64 * 1024 * 1024
 
@@ -160,7 +164,29 @@ let prepare_path path =
 
 (* --- server --- *)
 
-type handler = Guard.t -> string -> string
+(* Per-request context. The transport creates it (guard + fallback rid)
+   and records from it after the handler returns; the protocol layer
+   annotates it (caller rid, op, cache key/outcome, typed status) so the
+   access log can attribute without the transport parsing payloads. *)
+type ctx = {
+  guard : Guard.t;
+  mutable rid : string;
+  mutable op : string;
+  mutable key : string;
+  mutable cache : string;
+  mutable status : string;
+}
+
+type handler = ctx -> string -> string
+
+(* pid + process-wide counter: unique across the clients and servers of
+   one box without coordination. Servers stamp "s" rids as the fallback
+   for callers that sent none; clients stamp "c" rids. *)
+let rid_counter = Atomic.make 0
+
+let fresh_rid ?(prefix = "s") () =
+  Printf.sprintf "%s%d-%d" prefix (Unix.getpid ())
+    (Atomic.fetch_and_add rid_counter 1)
 
 let retry_after_hint_s = 0.1
 
@@ -175,7 +201,8 @@ let default_overload e =
                ("retry_after_s", Json.Float retry_after_hint_s) ] ) ])
 
 let serve ?max_inflight ?(queue_budget = 64) ?deadline_s
-    ?(overload = default_overload) ?token ?on_ready ~path handler =
+    ?(overload = default_overload) ?token ?on_ready ?access_log
+    ?access_log_max_bytes ?slow_s ~path handler =
   Lazy.force ignore_sigpipe;
   let max_inflight =
     match max_inflight with
@@ -192,6 +219,18 @@ let serve ?max_inflight ?(queue_budget = 64) ?deadline_s
         (Err.invalid_input ~what:"Server.serve: deadline_s"
            "must be finite and non-negative")
   | _ -> ());
+  (match slow_s with
+  | Some s when (not (Float.is_finite s)) || s <= 0.0 ->
+      raise
+        (Err.invalid_input ~what:"Server.serve: slow_s"
+           "must be finite and positive")
+  | _ -> ());
+  (match access_log_max_bytes with
+  | Some b when b <= 0 ->
+      raise
+        (Err.invalid_input ~what:"Server.serve: access_log_max_bytes"
+           "must be >= 1")
+  | _ -> ());
   prepare_path path;
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try Unix.bind listen_fd (Unix.ADDR_UNIX path)
@@ -205,6 +244,59 @@ let serve ?max_inflight ?(queue_budget = 64) ?deadline_s
   let mu = Mutex.create () in
   let cond = Condition.create () in
   let stopping = Atomic.make false in
+  (* the access log outlives every worker: opened before the pool spawns,
+     closed in the drain path after the joins *)
+  let log =
+    Option.map
+      (fun p -> Journal.Lines.open_ ?max_bytes:access_log_max_bytes p)
+      access_log
+  in
+  (* One record per served request, written before the response frame so
+     the log always ties out to [server.requests] even if the peer
+     vanished mid-write. The whole recorder hangs off the Telemetry
+     switch — disabled, a request costs this one branch. *)
+  let observe ctx ~queue_s ~service_s ~bytes_in ~bytes_out =
+    if Telemetry.enabled () then begin
+      let op = if ctx.op = "" then "unknown" else ctx.op in
+      Telemetry.record h_queue_wait (queue_s *. 1e9);
+      Telemetry.record
+        (Telemetry.histogram ("server.op." ^ op ^ ".service_ns"))
+        (service_s *. 1e9);
+      Telemetry.record
+        (Telemetry.histogram ("server.op." ^ op ^ ".bytes_in"))
+        (float_of_int bytes_in);
+      Telemetry.record
+        (Telemetry.histogram ("server.op." ^ op ^ ".bytes_out"))
+        (float_of_int bytes_out);
+      (match slow_s with
+      | Some s when service_s >= s ->
+          Telemetry.incr tel_slow;
+          Trace.instant "server.slow_request" ~args:(fun () ->
+              [ ("rid", Json.Str ctx.rid);
+                ("op", Json.Str op);
+                ("service_s", Json.Float service_s) ])
+      | _ -> ());
+      match log with
+      | None -> ()
+      | Some l ->
+          let line =
+            Json.to_string ~compact:true
+              (Json.Obj
+                 [ ("ts", Json.Float (Unix.gettimeofday ()));
+                   ("rid", Json.Str ctx.rid);
+                   ("op", Json.Str op);
+                   ("key", Json.Str ctx.key);
+                   ("cache", Json.Str ctx.cache);
+                   ("queue_s", Json.Float queue_s);
+                   ("service_s", Json.Float service_s);
+                   ("bytes_in", Json.Int bytes_in);
+                   ("bytes_out", Json.Int bytes_out);
+                   ("status", Json.Str ctx.status) ])
+          in
+          (* log I/O must never kill the connection it describes *)
+          (try Journal.Lines.append l line with _ -> ())
+    end
+  in
   let worker () =
     let next_conn () =
       Mutex.lock mu;
@@ -215,9 +307,9 @@ let serve ?max_inflight ?(queue_budget = 64) ?deadline_s
         end
         else
           match Queue.take_opt queue with
-          | Some fd ->
+          | Some entry ->
               Mutex.unlock mu;
-              Some fd
+              Some entry
           | None ->
               Condition.wait cond mu;
               wait ()
@@ -225,24 +317,51 @@ let serve ?max_inflight ?(queue_budget = 64) ?deadline_s
       wait ()
     in
     (* serve one connection until the peer closes or drain begins; the
-       in-flight request always finishes — drain is between frames *)
-    let rec conn_loop fd =
+       in-flight request always finishes — drain is between frames.
+       [queue_s] (accept-to-worker wait) is charged to the connection's
+       first request; later requests on the persistent connection never
+       waited in the accept queue. *)
+    let rec conn_loop fd queue_s =
       match read_frame_poll fd with
       | `Eof -> close_quiet fd
-      | `Timeout -> if Atomic.get stopping then close_quiet fd else conn_loop fd
+      | `Timeout -> if Atomic.get stopping then close_quiet fd else conn_loop fd 0.0
       | `Frame req ->
           Telemetry.incr tel_requests;
-          let guard = Guard.create ?deadline_s () in
-          write_frame fd (handler guard req);
-          if Atomic.get stopping then close_quiet fd else conn_loop fd
+          let t0 = Clock.now_s () in
+          let ctx =
+            {
+              guard = Guard.create ?deadline_s ();
+              rid = fresh_rid ();
+              op = "";
+              key = "";
+              cache = "";
+              status = "ok";
+            }
+          in
+          let bytes_in = String.length req + 8 in
+          let resp =
+            try Trace.span "server.request" (fun () -> handler ctx req)
+            with e ->
+              ctx.status <-
+                (match e with
+                | Err.Error err -> Err.class_name err
+                | _ -> "exception");
+              observe ctx ~queue_s ~service_s:(Clock.now_s () -. t0) ~bytes_in
+                ~bytes_out:0;
+              raise e
+          in
+          observe ctx ~queue_s ~service_s:(Clock.now_s () -. t0) ~bytes_in
+            ~bytes_out:(String.length resp + 8);
+          write_frame fd resp;
+          if Atomic.get stopping then close_quiet fd else conn_loop fd 0.0
     in
     let rec run () =
       match next_conn () with
       | None -> ()
-      | Some fd ->
+      | Some (fd, enq_ts) ->
           (* a torn frame, a vanished peer, or a handler exception kills
              this connection, never the worker *)
-          (try conn_loop fd with _ -> close_quiet fd);
+          (try conn_loop fd (Clock.now_s () -. enq_ts) with _ -> close_quiet fd);
           run ()
     in
     run ()
@@ -272,7 +391,7 @@ let serve ?max_inflight ?(queue_budget = 64) ?deadline_s
           close_quiet fd
         end
         else begin
-          Queue.add fd queue;
+          Queue.add (fd, Clock.now_s ()) queue;
           Condition.signal cond;
           Mutex.unlock mu
         end
@@ -295,9 +414,10 @@ let serve ?max_inflight ?(queue_budget = 64) ?deadline_s
       List.iter Domain.join domains;
       (* connections accepted but never assigned to a worker *)
       Mutex.lock mu;
-      Queue.iter close_quiet queue;
+      Queue.iter (fun (fd, _) -> close_quiet fd) queue;
       Queue.clear queue;
       Mutex.unlock mu;
+      Option.iter (fun l -> try Journal.Lines.close l with _ -> ()) log;
       close_quiet listen_fd;
       (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ()))
     (fun () ->

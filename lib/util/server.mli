@@ -52,9 +52,22 @@
 
     Everything observable is counted in {!Telemetry}:
     ["server.connections"], ["server.requests"], ["server.sheds"],
-    ["server.frame_errors"], and on the client side ["client.retries"],
-    ["client.reconnects"], ["client.overload_waits"],
-    ["client.exhausted"]. *)
+    ["server.frame_errors"], ["server.slow_requests"], and on the client
+    side ["client.retries"], ["client.reconnects"],
+    ["client.overload_waits"], ["client.exhausted"].
+
+    {b Flight recorder.} When {!Telemetry} is enabled, every served
+    request additionally feeds histograms — ["server.queue_wait_ns"]
+    (accept-to-worker wait, charged to a connection's first request) and
+    per-op ["server.op.<op>.service_ns"] / [".bytes_in"] / [".bytes_out"]
+    (frame sizes incl. the 8-byte header) — and, when [serve] was given
+    [access_log], appends one JSON line per request: [ts] (epoch
+    seconds), [rid], [op], [key], [cache], [queue_s], [service_s],
+    [bytes_in], [bytes_out], [status]. Requests slower than [slow_s]
+    bump ["server.slow_requests"] and emit a ["server.slow_request"]
+    {!Trace} instant carrying the rid, so one id finds the request in
+    the client report, the access log, and the trace. When Telemetry is
+    disabled the whole recorder is one branch per request. *)
 
 val max_frame_bytes : int
 (** Hard cap on a single frame payload (64 MiB) — an admission bound on
@@ -99,12 +112,36 @@ val prepare_path : string -> unit
 
 (** {1 Server} *)
 
-type handler = Guard.t -> string -> string
+type ctx = {
+  guard : Guard.t;  (** fresh per request, carrying [deadline_s] *)
+  mutable rid : string;
+      (** request id. The transport stamps a {!fresh_rid} fallback; the
+          protocol layer overwrites it with the caller-supplied id so
+          client-side and server-side records correlate. *)
+  mutable op : string;  (** protocol op; [""] records as ["unknown"] *)
+  mutable key : string;  (** cache/fingerprint key, if the op has one *)
+  mutable cache : string;  (** ["hit"], ["miss"], ["coalesced"], or [""] *)
+  mutable status : string;
+      (** ["ok"] (preset) or a typed error class. An exception escaping
+          the handler records as its {!Err.class_name} (or
+          ["exception"]) before the connection is dropped. *)
+}
+(** Per-request context the transport hands to the handler: the guard to
+    run under, plus mutable attribution fields the protocol layer fills
+    in for the access log and per-op histograms. *)
+
+type handler = ctx -> string -> string
 (** One request payload to one response payload, under the request's
-    guard. The handler must return its errors {e encoded in the
+    context. The handler must return its errors {e encoded in the
     response} (the service layer maps {!Err.t} to error frames); an
-    exception escaping the handler closes that connection but never the
-    server. *)
+    exception escaping the handler closes that connection (after logging
+    the request with its error class) but never the server. *)
+
+val fresh_rid : ?prefix:string -> unit -> string
+(** A process-unique request id: [<prefix><pid>-<seq>] from an atomic
+    sequence. The server stamps [~prefix:"s"] (the default) on requests
+    that carried no id; the service client builders stamp
+    [~prefix:"c"]. *)
 
 val retry_after_hint_s : float
 (** The [retry_after_s] value the default overload frame carries. *)
@@ -122,6 +159,9 @@ val serve :
   ?overload:(Err.t -> string) ->
   ?token:Guard.token ->
   ?on_ready:(unit -> unit) ->
+  ?access_log:string ->
+  ?access_log_max_bytes:int ->
+  ?slow_s:float ->
   path:string ->
   handler ->
   unit
@@ -138,9 +178,16 @@ val serve :
     each request's guard. [on_ready] runs once the socket is listening,
     before the first accept — tests use it to release a waiting client.
 
+    [access_log] names a {!Journal.Lines} JSONL file recording one line
+    per served request (see the module comment; rotation keeps it under
+    ~2×[access_log_max_bytes], default 16 MiB); [slow_s] is the
+    slow-request threshold. The recorder only fires while {!Telemetry}
+    is enabled.
+
     Raises [Err.Error (Invalid_input _)] on a non-positive
-    [max_inflight]/[queue_budget], a non-finite/negative [deadline_s],
-    an unbindable [path], or a [path] another live server owns. *)
+    [max_inflight]/[queue_budget]/[access_log_max_bytes]/[slow_s], a
+    non-finite/negative [deadline_s], an unbindable [path], or a [path]
+    another live server owns. *)
 
 (** {1 Client} *)
 

@@ -9,6 +9,8 @@ type series = {
   mutable length : int;
 }
 
+type histogram = { h_name : string; h : Hdr.t }
+
 let on = Atomic.make false
 
 let enabled () = Atomic.get on
@@ -22,6 +24,7 @@ let registry_lock = Mutex.create ()
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
 let timers : (string, timer) Hashtbl.t = Hashtbl.create 16
 let series_tbl : (string, series) Hashtbl.t = Hashtbl.create 16
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
 
 let registered tbl name make =
   Mutex.lock registry_lock;
@@ -75,6 +78,13 @@ let observe s x =
     Mutex.unlock s.lock
   end
 
+let histogram name =
+  registered histograms name (fun () -> { h_name = name; h = Hdr.create () })
+
+let record hg v = if Atomic.get on then Hdr.record hg.h v
+let hist_snapshot hg = Hdr.snapshot hg.h
+let hist_count hg = Hdr.count hg.h
+
 let observations s =
   Mutex.lock s.lock;
   let a = Array.make s.length 0.0 in
@@ -97,6 +107,7 @@ let reset () =
       s.length <- 0;
       Mutex.unlock s.lock)
     series_tbl;
+  Hashtbl.iter (fun _ hg -> Hdr.clear hg.h) histograms;
   Mutex.unlock registry_lock
 
 (* --- output --- *)
@@ -113,6 +124,9 @@ let sorted_timers () =
 
 let sorted_series () =
   List.sort (fun a b -> compare a.s_name b.s_name) (sorted series_tbl)
+
+let sorted_histograms () =
+  List.sort (fun a b -> compare a.h_name b.h_name) (sorted histograms)
 
 let json_value () =
   Json.Obj
@@ -136,7 +150,12 @@ let json_value () =
                  Json.List
                    (Array.to_list
                       (Array.map (fun x -> Json.Float x) (observations s))) ))
-             (sorted_series ())) ) ]
+             (sorted_series ())) );
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun hg -> (hg.h_name, Hdr.json_of_snapshot (hist_snapshot hg)))
+             (sorted_histograms ())) ) ]
 
 let to_json () = Json.to_string ~compact:true (json_value ())
 
@@ -147,8 +166,9 @@ let print_report ?(oc = stdout) () =
   let ss =
     List.filter (fun s -> Array.length (observations s) > 0) (sorted_series ())
   in
+  let hs = List.filter (fun hg -> hist_count hg > 0) (sorted_histograms ()) in
   p "telemetry:\n";
-  if cs = [] && ts = [] && ss = [] then p "  (no instruments fired)\n";
+  if cs = [] && ts = [] && ss = [] && hs = [] then p "  (no instruments fired)\n";
   List.iter (fun c -> p "  %-32s %12d\n" c.c_name (count c)) cs;
   List.iter
     (fun t ->
@@ -160,4 +180,10 @@ let print_report ?(oc = stdout) () =
       let xs = observations s in
       let n = Array.length xs in
       p "  %-32s %12d obs   first %.4g last %.4g\n" s.s_name n xs.(0) xs.(n - 1))
-    ss
+    ss;
+  List.iter
+    (fun hg ->
+      let s = hist_snapshot hg in
+      p "  %-32s %12d obs   p50 %.4g p99 %.4g max %.4g\n" hg.h_name s.Hdr.total
+        (Hdr.quantile s 0.50) (Hdr.quantile s 0.99) s.Hdr.maxv)
+    hs

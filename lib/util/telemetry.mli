@@ -28,6 +28,11 @@ type series
     used for convergence diagnostics (e.g. confidence half-width after
     each Monte Carlo batch). *)
 
+type histogram
+(** A named {!Hdr} histogram (log-bucketed, lock-free, bounded-relative-
+    error quantiles) — used by the serve flight recorder for per-op
+    latency and frame-size distributions. *)
+
 val enabled : unit -> bool
 (** Current state of the global switch (off at program start). *)
 
@@ -36,8 +41,9 @@ val enable : unit -> unit
 val disable : unit -> unit
 
 val reset : unit -> unit
-(** Zero every counter and timer and clear every series. Registered names
-    survive (instruments are created once, at module initialization). *)
+(** Zero every counter, timer, and histogram and clear every series.
+    Registered names survive (instruments are created once, at module
+    initialization). *)
 
 (** {1 Instruments}
 
@@ -72,6 +78,19 @@ val observe : series -> float -> unit
 val observations : series -> float array
 (** Snapshot of the series in append order. *)
 
+val histogram : string -> histogram
+
+val record : histogram -> float -> unit
+(** One atomic bucket increment; no-op while disabled. The unit is the
+    caller's (the serve layer uses nanoseconds for durations — names end
+    in [_ns] — and bytes for sizes). *)
+
+val hist_snapshot : histogram -> Hdr.snapshot
+(** Current contents as a mergeable {!Hdr.snapshot} (reads regardless of
+    the switch). *)
+
+val hist_count : histogram -> int
+
 (** {1 Output} *)
 
 val json_value : unit -> Json.t
@@ -83,8 +102,10 @@ val to_json : unit -> string
     [{"enabled": bool,
       "counters": {name: int, ...},
       "timers": {name: {"calls": int, "seconds": float}, ...},
-      "series": {name: [float, ...], ...}}]
-    Names are sorted; non-finite floats are emitted as [null]. *)
+      "series": {name: [float, ...], ...},
+      "histograms": {name: {"count", ..., "p50", ..., "buckets"}, ...}}]
+    (histogram objects per {!Hdr.json_of_snapshot}). Names are sorted;
+    non-finite floats are emitted as [null]. *)
 
 val print_report : ?oc:out_channel -> unit -> unit
 (** Human-readable dump (counters, timers, series summaries), sorted by

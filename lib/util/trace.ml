@@ -175,8 +175,25 @@ let json_value () =
     in
     Json.Obj fields
   in
+  (* drops were previously only a global count; surface the per-domain
+     totals as Chrome metadata events so a truncated timeline announces
+     itself inside the viewer, not just in a side channel *)
+  let drop_meta =
+    List.filter_map
+      (fun b ->
+        if b.dropped = 0 then None
+        else
+          Some
+            (Json.Obj
+               [ ("name", Json.Str "trace.dropped");
+                 ("ph", Json.Str "M");
+                 ("pid", Json.Int 1);
+                 ("tid", Json.Int b.tid);
+                 ("args", Json.Obj [ ("dropped", Json.Int b.dropped) ]) ]))
+      bufs
+  in
   Json.Obj
-    [ ("traceEvents", Json.List (List.map ev_json evs));
+    [ ("traceEvents", Json.List (List.map ev_json evs @ drop_meta));
       ("displayTimeUnit", Json.Str "ms");
       ("droppedEvents", Json.Int (List.fold_left (fun a b -> a + b.dropped) 0 bufs)) ]
 
@@ -184,4 +201,17 @@ let to_json () = Json.to_string ~compact:true (json_value ())
 
 (* atomic (temp + rename): a SIGTERM arriving mid-flush must not leave a
    torn trace JSON behind *)
-let write ~path = Journal.write_atomic ~path (to_json () ^ "\n")
+let write ~path =
+  let dropped_tids =
+    List.filter_map
+      (fun b -> if b.dropped = 0 then None else Some (b.tid, b.dropped))
+      (snapshot ())
+  in
+  if dropped_tids <> [] then
+    Printf.eprintf "trace: ring buffer overflow, dropped %d event(s) (%s)\n%!"
+      (List.fold_left (fun a (_, d) -> a + d) 0 dropped_tids)
+      (String.concat ", "
+         (List.map
+            (fun (tid, d) -> Printf.sprintf "tid %d: %d" tid d)
+            (List.sort compare dropped_tids)));
+  Journal.write_atomic ~path (to_json () ^ "\n")

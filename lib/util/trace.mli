@@ -68,10 +68,15 @@ val json_value : unit -> Json.t
     [{"traceEvents": [{"name","ph","ts","pid","tid","args"}, ...],
       "displayTimeUnit": "ms", "droppedEvents": int}].
     Events are sorted by timestamp (stable within a domain); [ts] is in
-    microseconds since the trace epoch. *)
+    microseconds since the trace epoch. Each domain buffer that dropped
+    events additionally contributes one ["trace.dropped"] metadata event
+    ([ph = "M"], [args.dropped] = its count), so truncation is visible
+    inside the trace viewer, not only in [droppedEvents]. *)
 
 val to_json : unit -> string
 (** Compact one-line serialization of {!json_value}. *)
 
 val write : path:string -> unit
-(** Write {!to_json} (plus a newline) to [path]. *)
+(** Write {!to_json} (plus a newline) to [path]. Buffers that dropped
+    events are also named on stderr (per-tid totals) so a silent ring
+    overflow cannot masquerade as a complete flush. *)

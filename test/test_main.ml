@@ -27,4 +27,5 @@ let () =
       ("serve", Test_serve.suite);
       ("resilience", Test_resilience.suite);
       ("observability", Test_observability.suite);
+      ("flight", Test_flight.suite);
     ]

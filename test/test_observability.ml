@@ -247,6 +247,13 @@ let check_export what =
         | Some n -> n
         | None -> Alcotest.failf "%s: event without name" what
       in
+      (* metadata events (drop-count surfacing) carry no timestamp and sit
+         outside the span stream *)
+      if ph = "M" then begin
+        if name <> "trace.dropped" then
+          Alcotest.failf "%s: unexpected metadata event %S" what name
+      end
+      else
       let ts =
         match Option.bind (field "ts") Json.to_float_opt with
         | Some t -> t
@@ -367,7 +374,19 @@ let test_trace_drop_preserves_nesting () =
   Domain.join d;
   Alcotest.(check bool) "events were dropped" true (Trace.dropped () > 0);
   let nb, ne, _, _ = check_export "overflow" in
-  Alcotest.(check int) "surviving stream balanced" nb ne
+  Alcotest.(check int) "surviving stream balanced" nb ne;
+  (* the drop total must also be announced inside the event stream *)
+  let has_drop_meta =
+    match Option.bind (Json.member "traceEvents" (Trace.json_value ())) Json.to_list_opt with
+    | None -> false
+    | Some evs ->
+        List.exists
+          (fun ev ->
+            Option.bind (Json.member "name" ev) Json.to_str_opt
+            = Some "trace.dropped")
+          evs
+  in
+  Alcotest.(check bool) "trace.dropped metadata event present" true has_drop_meta
 
 (* --- tracing must not perturb results --- *)
 
