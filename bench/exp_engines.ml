@@ -735,7 +735,7 @@ let e38_kernel ?(chunks = 48) ?(reps = 5) ?(assert_speedup = true) () =
 let floats a = Json.List (Array.to_list (Array.map (fun x -> Json.Float x) a))
 
 let bench_json ~smoke ~n engines mc overhead tracing robustness durability
-    kernel serve resilience flight =
+    kernel serve resilience flight lifecycle =
   let open Json in
   let engine_obj r =
     Obj
@@ -871,7 +871,8 @@ let bench_json ~smoke ~n engines mc overhead tracing robustness durability
         ("kernel", kernel_obj kernel);
         ("serve", Exp_serve.json_obj serve);
         ("resilience", Exp_chaos.json_obj resilience);
-        ("flight", Exp_flight.json_obj flight) ]
+        ("flight", Exp_flight.json_obj flight);
+        ("lifecycle", Exp_lifecycle.json_obj lifecycle) ]
   in
   Json.write ~path:"BENCH_engines.json" v;
   print_endline "wrote BENCH_engines.json"
@@ -888,8 +889,9 @@ let all () =
   let serve = Exp_serve.e39_serve () in
   let resilience = Exp_chaos.e40_chaos () in
   let flight = Exp_flight.e41_flight ~assert_overhead:true () in
+  let lifecycle = Exp_lifecycle.e42_lifecycle () in
   bench_json ~smoke:false ~n engines mc overhead tracing robustness durability
-    kernel serve resilience flight
+    kernel serve resilience flight lifecycle
 
 (* reduced workload for CI: exercises every engine end to end without the
    10^4-cycle stream or the speedup assertion (shared runners are noisy) *)
@@ -907,8 +909,9 @@ let smoke () =
   let flight =
     Exp_flight.e41_flight ~reqs_per_batch:3 ~reps:2 ~assert_overhead:false ()
   in
+  let lifecycle = Exp_lifecycle.e42_lifecycle ~requests_per_cycle:10 () in
   bench_json ~smoke:true ~n engines mc overhead tracing robustness durability
-    kernel serve resilience flight
+    kernel serve resilience flight lifecycle
 
 (* --- bench regression gate ---
 
@@ -1076,4 +1079,30 @@ let regression_gate ?(path = "BENCH_engines.json") () =
             Printf.printf "regression gate: flight recorder FAILED: %s\n" msg;
             false)
   in
-  ok && kernel_ok && serve_ok && resilience_ok && flight_ok
+  (* lifecycle gate: only when the committed snapshot carries an E42
+     section. The gated quantities are absolute correctness contracts —
+     availability under the SIGKILL loop against its 99% floor, zero
+     corruption, byte-identical warm keys, the 10x post-restart warm-hit
+     floor, and a clean 143 drain — re-checked by a reduced crash loop
+     through the real supervise/serve processes on this runner. *)
+  let lifecycle_ok =
+    match Json.member "lifecycle" committed with
+    | None ->
+        print_endline
+          "regression gate: no lifecycle section in snapshot, crash-loop gate \
+           skipped (learned on next regenerate)";
+        true
+    | Some _ -> (
+        match Exp_lifecycle.e42_lifecycle ~cycles:2 ~requests_per_cycle:10 () with
+        | r ->
+            Printf.printf
+              "regression gate: crash-loop availability %.2f%%, warm speedup \
+               %.0fx: OK\n"
+              r.Exp_lifecycle.lc_availability_pct
+              r.Exp_lifecycle.lc_warm_speedup;
+            true
+        | exception Failure msg ->
+            Printf.printf "regression gate: crash loop FAILED: %s\n" msg;
+            false)
+  in
+  ok && kernel_ok && serve_ok && resilience_ok && flight_ok && lifecycle_ok

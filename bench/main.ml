@@ -200,6 +200,15 @@ let () =
     flush_trace ();
     print_endline "flight-recorder experiment completed."
   end
+  else if Array.exists (( = ) "--lifecycle") Sys.argv then begin
+    (* E42 alone: the SIGKILL/restart crash loop through the real
+       [hlpower supervise] processes — the experiment's internal asserts
+       (availability floor, zero corruption, byte-identical warm keys,
+       the 10x warm-hit floor, clean drain) are the pass/fail criteria *)
+    ignore (Exp_lifecycle.e42_lifecycle ());
+    flush_trace ();
+    print_endline "lifecycle experiment completed."
+  end
   else if Array.exists (( = ) "--regression-gate") Sys.argv then begin
     (* CI gate: fresh engine numbers vs the committed BENCH_engines.json;
        a > 25% bit-parallel throughput regression fails the build *)

@@ -659,9 +659,60 @@ let batch_cmd =
 
 (* --- serve --- *)
 
+(* The serve knobs a SIGHUP reload may change, assembled from CLI flags
+   at startup and re-read from --config on each reload. A config file is
+   a JSON object with any of: queue_budget, deadline_s, slow_s,
+   mem_soft_mb, mem_hard_mb; a present key overrides, an explicit null
+   clears an optional, a missing key keeps the current value. *)
+let knobs_of_config base path =
+  let module J = Hlp_util.Json in
+  let contents =
+    try In_channel.with_open_text path In_channel.input_all
+    with Sys_error m ->
+      raise (Hlp_util.Err.invalid_input ~what:"--config" ("unreadable: " ^ m))
+  in
+  match J.parse contents with
+  | Error m ->
+      raise (Hlp_util.Err.invalid_input ~what:"--config" ("parse: " ^ m))
+  | Ok v ->
+      let opt name conv current =
+        match J.member name v with
+        | None -> current
+        | Some J.Null -> None
+        | Some jv -> (
+            match conv jv with
+            | Some x -> Some x
+            | None ->
+                raise
+                  (Hlp_util.Err.invalid_input ~what:("--config: " ^ name)
+                     "has the wrong type"))
+      in
+      let mb name current =
+        Option.map (fun m -> m * 1024 * 1024)
+          (opt name J.to_int_opt (Option.map (fun b -> b / (1024 * 1024)) current))
+      in
+      let open Hlp_util.Server in
+      {
+        queue_budget =
+          Option.value ~default:base.queue_budget
+            (opt "queue_budget" J.to_int_opt (Some base.queue_budget));
+        deadline_s = opt "deadline_s" J.to_float_opt base.deadline_s;
+        slow_s = opt "slow_s" J.to_float_opt base.slow_s;
+        mem_soft_bytes = mb "mem_soft_mb" base.mem_soft_bytes;
+        mem_hard_bytes = mb "mem_hard_mb" base.mem_hard_bytes;
+      }
+
+let snapshot_file state_dir = Filename.concat state_dir "snapshot.hlp"
+
+let ensure_dir dir =
+  match Unix.mkdir dir 0o755 with
+  | () -> ()
+  | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
 let serve socket max_inflight queue_budget deadline breaker_threshold
     breaker_cooldown telemetry_json trace_out access_log access_log_max_bytes
-    slow_threshold =
+    slow_threshold state_dir snapshot_interval pid_file mem_soft_mb mem_hard_mb
+    config =
   with_typed_errors @@ fun () ->
   let deadline = require_positive_float ~flag:"--deadline" deadline in
   let max_inflight = require_at_least ~flag:"--max-inflight" 1 max_inflight in
@@ -672,6 +723,12 @@ let serve socket max_inflight queue_budget deadline breaker_threshold
   let access_log_max_bytes =
     require_at_least ~flag:"--access-log-max-bytes" 1 access_log_max_bytes
   in
+  let snapshot_interval =
+    Option.value ~default:5.0
+      (require_positive_float ~flag:"--snapshot-interval" snapshot_interval)
+  in
+  ignore (require_at_least ~flag:"--mem-soft-mb" 1 mem_soft_mb);
+  ignore (require_at_least ~flag:"--mem-hard-mb" 1 mem_hard_mb);
   (* the flight recorder (per-op histograms, access log, metrics op) runs
      off the telemetry switch: a serving daemon always records *)
   Hlp_util.Telemetry.enable ();
@@ -680,16 +737,95 @@ let serve socket max_inflight queue_budget deadline breaker_threshold
     Hlp_power.Service.create ?failure_threshold:breaker_threshold
       ?cooldown_s:breaker_cooldown ()
   in
+  (* hot-reloadable knobs: CLI flags seed the record, --config (when
+     given) overrides at startup and on every SIGHUP *)
+  let cli_knobs =
+    {
+      Hlp_util.Server.queue_budget =
+        Option.value ~default:Hlp_util.Server.default_knobs.queue_budget
+          queue_budget;
+      deadline_s = deadline;
+      slow_s = slow_threshold;
+      mem_soft_bytes = Option.map (fun m -> m * 1024 * 1024) mem_soft_mb;
+      mem_hard_bytes = Option.map (fun m -> m * 1024 * 1024) mem_hard_mb;
+    }
+  in
+  let initial =
+    match config with
+    | Some path -> knobs_of_config cli_knobs path
+    | None -> cli_knobs
+  in
+  Hlp_util.Server.validate_knobs initial;
+  let knobs = Atomic.make initial in
+  (* SIGHUP: the handler only flips a flag; the reload itself — file
+     read, validation, Atomic.set — runs on the accept tick, so nothing
+     allocates or raises inside a signal handler and a bad config can be
+     rejected loudly without dropping the daemon *)
+  let hup = Atomic.make false in
+  (try
+     ignore
+       (Sys.signal Sys.sighup (Sys.Signal_handle (fun _ -> Atomic.set hup true)))
+   with Invalid_argument _ | Sys_error _ -> ());
+  (* warm-restart rehydration before the socket opens: the first request
+     for a previously-warm key is already a byte-identical hit *)
+  (match state_dir with
+  | Some dir -> (
+      ensure_dir dir;
+      match Hlp_power.Service.load_snapshot service ~path:(snapshot_file dir) with
+      | `Restored n ->
+          Printf.printf "hlpower serve: restored %d cache entries from snapshot\n%!" n
+      | `Cold reason ->
+          Printf.printf "hlpower serve: cold start (snapshot %s)\n%!" reason)
+  | None -> ());
+  (match pid_file with
+  | Some path ->
+      Hlp_util.Journal.write_atomic ~path (string_of_int (Unix.getpid ()) ^ "\n")
+  | None -> ());
+  let last_spill = ref (Hlp_util.Clock.now_s ()) in
+  let spill () =
+    match state_dir with
+    | None -> ()
+    | Some dir -> (
+        try ignore (Hlp_power.Service.save_snapshot service ~path:(snapshot_file dir))
+        with _ -> () (* an unwritable disk must not kill the daemon *))
+  in
+  let on_tick () =
+    if Atomic.compare_and_set hup true false then begin
+      match
+        match config with
+        | Some path -> knobs_of_config (Atomic.get knobs) path
+        | None -> Atomic.get knobs
+      with
+      | k ->
+          Hlp_util.Server.set_knobs knobs k;
+          Printf.printf "hlpower serve: knobs reloaded\n%!"
+      | exception Hlp_util.Err.Error e ->
+          Printf.printf "hlpower serve: reload rejected [%s]: %s\n%!"
+            (Hlp_util.Err.class_name e) (Hlp_util.Err.to_string e)
+    end;
+    let now = Hlp_util.Clock.now_s () in
+    if now -. !last_spill >= snapshot_interval then begin
+      last_spill := now;
+      spill ()
+    end
+  in
   let (), signal =
     Hlp_util.Supervisor.with_graceful_stop (fun token ->
-        Hlp_util.Server.serve ?max_inflight ?queue_budget ?deadline_s:deadline
+        Hlp_util.Server.serve ?max_inflight
           ~overload:Hlp_power.Service.overload_response ~token
           ~on_ready:(fun () ->
             Printf.printf "hlpower serve: listening on %s\n%!" socket)
-          ?access_log ?access_log_max_bytes ?slow_s:slow_threshold
+          ?access_log ?access_log_max_bytes ~knobs ~on_tick
+          ~on_memory_soft:(fun () -> ignore (Hlp_power.Service.trim service))
           ~path:socket
           (Hlp_power.Service.handle service))
   in
+  (* final spill: the drain path leaves the freshest possible snapshot
+     for the next incarnation *)
+  spill ();
+  (match pid_file with
+  | Some path -> ( try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+  | None -> ());
   (match telemetry_json with
   | Some path ->
       Hlp_util.Journal.write_atomic ~path (Hlp_util.Telemetry.to_json () ^ "\n")
@@ -778,14 +914,297 @@ let serve_cmd =
                 emit a server.slow_request trace instant carrying the \
                 request id")
   in
+  let state_dir =
+    Arg.(value & opt (some string) None
+         & info [ "state-dir" ] ~docv:"DIR"
+             ~doc:
+               "crash-only warm restarts: rehydrate the estimate/symbolic \
+                caches from $(docv)/snapshot.hlp at startup (torn, stale, or \
+                mismatched snapshots self-heal to a counted cold start) and \
+                spill them back atomically every --snapshot-interval and at \
+                drain")
+  in
+  let snapshot_interval =
+    Arg.(value & opt (some float) None
+         & info [ "snapshot-interval" ] ~docv:"SECONDS"
+             ~doc:"seconds between cache snapshot spills (default 5)")
+  in
+  let pid_file =
+    Arg.(value & opt (some string) None
+         & info [ "pid-file" ] ~docv:"FILE"
+             ~doc:
+               "write the daemon pid to $(docv) atomically at startup and \
+                unlink it on drain, so supervision and ops tooling find the \
+                daemon without parsing ps")
+  in
+  let mem_soft_mb =
+    Arg.(value & opt (some int) None
+         & info [ "mem-soft-mb" ] ~docv:"MIB"
+             ~doc:
+               "soft memory budget: RSS at or above $(docv) MiB triggers \
+                proportional cache eviction each sample \
+                (server.memory.soft_trims)")
+  in
+  let mem_hard_mb =
+    Arg.(value & opt (some int) None
+         & info [ "mem-hard-mb" ] ~docv:"MIB"
+             ~doc:
+               "hard memory budget: RSS at or above $(docv) MiB sheds new \
+                requests with the typed overloaded envelope \
+                (server.memory.hard_sheds) instead of dying to the OOM \
+                killer")
+  in
+  let config =
+    Arg.(value & opt (some string) None
+         & info [ "config" ] ~docv:"FILE"
+             ~doc:
+               "JSON knob file (queue_budget, deadline_s, slow_s, \
+                mem_soft_mb, mem_hard_mb) applied at startup and re-read on \
+                SIGHUP — a hot reload that never drops connections; an \
+                invalid file is rejected loudly and the old knobs stay")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the persistent estimation daemon (fingerprint-keyed hot \
-          caches, admission control, graceful SIGINT/SIGTERM drain)")
+          caches, admission control, cache snapshot/restore, \
+          memory-pressure-aware admission, SIGHUP knob reload, graceful \
+          SIGINT/SIGTERM drain)")
     Term.(const serve $ socket $ max_inflight $ queue_budget $ deadline
           $ breaker_threshold $ breaker_cooldown $ telemetry_json $ trace_out
-          $ access_log $ access_log_max_bytes $ slow_threshold)
+          $ access_log $ access_log_max_bytes $ slow_threshold $ state_dir
+          $ snapshot_interval $ pid_file $ mem_soft_mb $ mem_hard_mb $ config)
+
+(* --- supervise --- *)
+
+let supervise socket state_dir pid_file journal probe_interval probe_misses
+    backoff_base backoff_cap flap_window flap_max grace seed mem_soft_mb
+    mem_hard_mb queue_budget deadline config serve_args =
+  with_typed_errors @@ fun () ->
+  let probe_interval =
+    Option.value ~default:0.5
+      (require_positive_float ~flag:"--probe-interval" probe_interval)
+  in
+  let probe_misses =
+    Option.value ~default:4 (require_at_least ~flag:"--probe-misses" 1 probe_misses)
+  in
+  let backoff_base =
+    Option.value ~default:0.1
+      (require_positive_float ~flag:"--backoff-base" backoff_base)
+  in
+  let backoff_cap =
+    Option.value ~default:5.0
+      (require_positive_float ~flag:"--backoff-cap" backoff_cap)
+  in
+  let flap_window =
+    Option.value ~default:30.0
+      (require_positive_float ~flag:"--flap-window" flap_window)
+  in
+  let flap_max =
+    Option.value ~default:5 (require_at_least ~flag:"--flap-max" 1 flap_max)
+  in
+  let grace =
+    Option.value ~default:5.0 (require_positive_float ~flag:"--grace" grace)
+  in
+  Hlp_util.Telemetry.enable ();
+  (* the supervision journal: one JSONL line per lifecycle event *)
+  let lines = Option.map (fun p -> Hlp_util.Journal.Lines.open_ p) journal in
+  let log_event ev =
+    let j = Hlp_util.Supervisor.watchdog_event_json ev in
+    (match lines with
+    | Some l -> (
+        try Hlp_util.Journal.Lines.append l (Hlp_util.Json.to_string ~compact:true j)
+        with _ -> ())
+    | None -> ());
+    (* the console mirror keeps an unjournaled run observable *)
+    Printf.printf "hlpower supervise: %s\n%!"
+      (Hlp_util.Json.to_string ~compact:true j)
+  in
+  (* the child is a re-exec of this binary (bare fork is unsafe under
+     OCaml 5 domains): hlpower serve with the lifecycle flags threaded
+     through, plus any raw passthrough args after -- *)
+  let child_argv =
+    let opt flag v f = match v with Some x -> [ flag; f x ] | None -> [] in
+    Array.of_list
+      ([ Sys.executable_name; "serve"; "--socket"; socket ]
+      @ opt "--state-dir" state_dir Fun.id
+      @ opt "--pid-file" pid_file Fun.id
+      @ opt "--mem-soft-mb" mem_soft_mb string_of_int
+      @ opt "--mem-hard-mb" mem_hard_mb string_of_int
+      @ opt "--queue-budget" queue_budget string_of_int
+      @ opt "--deadline" deadline string_of_float
+      @ opt "--config" config Fun.id
+      @ serve_args)
+  in
+  let start () =
+    Unix.create_process Sys.executable_name child_argv Unix.stdin Unix.stdout
+      Unix.stderr
+  in
+  (* liveness: one bounded ping round trip on a fresh connection — a
+     daemon that accepts but cannot answer is as dead as one that won't
+     accept *)
+  let probe () =
+    match Hlp_util.Server.connect ~wait_s:0.25 socket with
+    | exception _ -> false
+    | c ->
+        Fun.protect
+          ~finally:(fun () -> Hlp_util.Server.close c)
+          (fun () ->
+            match
+              Hlp_util.Server.request_within ~timeout_s:(2.0 *. probe_interval)
+                c
+                (Hlp_power.Service.ping_request ())
+            with
+            | exception _ -> false
+            | resp -> (
+                match Hlp_power.Service.parse_response resp with
+                | Ok r -> r.Hlp_power.Service.ok
+                | Error _ -> false))
+  in
+  let outcome, signal =
+    Hlp_util.Supervisor.with_graceful_stop (fun token ->
+        Hlp_util.Supervisor.watch ~probe ~probe_every_s:probe_interval
+          ~probe_misses ~backoff_base_s:backoff_base ~backoff_cap_s:backoff_cap
+          ~flap_window_s:flap_window ~flap_max ~grace_s:grace ?seed
+          ~on_event:log_event ~token ~start ())
+  in
+  Option.iter
+    (fun l -> try Hlp_util.Journal.Lines.close l with _ -> ())
+    lines;
+  match outcome with
+  | `Gave_up n ->
+      raise
+        (Hlp_util.Err.Error
+           (Hlp_util.Err.Worker_failure
+              {
+                shard = 0;
+                attempts = n;
+                why =
+                  Printf.sprintf
+                    "watchdog flap breaker: %d restarts within %.0fs" n
+                    flap_window;
+              }))
+  | `Drained -> (
+      print_endline "hlpower supervise: drained";
+      match signal with
+      | Some s -> Hlp_util.Supervisor.signal_exit_code s
+      | None -> 0)
+
+let supervise_cmd =
+  let socket =
+    Arg.(value & opt string "/tmp/hlpower.sock"
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Unix-domain socket the supervised daemon listens on")
+  in
+  let state_dir =
+    Arg.(value & opt (some string) None
+         & info [ "state-dir" ] ~docv:"DIR"
+             ~doc:
+               "threaded through to the child daemon: warm restarts \
+                rehydrate its caches from $(docv)/snapshot.hlp")
+  in
+  let pid_file =
+    Arg.(value & opt (some string) None
+         & info [ "pid-file" ] ~docv:"FILE"
+             ~doc:"threaded through to the child daemon (its pid, not ours)")
+  in
+  let journal =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"FILE"
+             ~doc:
+               "supervision journal: one JSON line per lifecycle event \
+                (started, healthy, probe-timeout, exited, restarting, \
+                gave-up, draining, drained)")
+  in
+  let probe_interval =
+    Arg.(value & opt (some float) None
+         & info [ "probe-interval" ] ~docv:"SECONDS"
+             ~doc:"seconds between ping health probes (default 0.5)")
+  in
+  let probe_misses =
+    Arg.(value & opt (some int) None
+         & info [ "probe-misses" ] ~docv:"N"
+             ~doc:
+               "consecutive probe failures before the child is declared \
+                wedged and restarted (default 4)")
+  in
+  let backoff_base =
+    Arg.(value & opt (some float) None
+         & info [ "backoff-base" ] ~docv:"SECONDS"
+             ~doc:"decorrelated-jitter restart backoff base (default 0.1)")
+  in
+  let backoff_cap =
+    Arg.(value & opt (some float) None
+         & info [ "backoff-cap" ] ~docv:"SECONDS"
+             ~doc:"restart backoff cap (default 5)")
+  in
+  let flap_window =
+    Arg.(value & opt (some float) None
+         & info [ "flap-window" ] ~docv:"SECONDS"
+             ~doc:"sliding window of the flap breaker (default 30)")
+  in
+  let flap_max =
+    Arg.(value & opt (some int) None
+         & info [ "flap-max" ] ~docv:"N"
+             ~doc:
+               "more than $(docv) restarts inside the flap window give up \
+                with the typed worker-failure exit (default 5)")
+  in
+  let grace =
+    Arg.(value & opt (some float) None
+         & info [ "grace" ] ~docv:"SECONDS"
+             ~doc:
+               "SIGTERM-to-SIGKILL escalation grace when draining or \
+                restarting a wedged child (default 5)")
+  in
+  let seed =
+    Arg.(value & opt (some int) None
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"fix the backoff jitter stream (tests)")
+  in
+  let mem_soft_mb =
+    Arg.(value & opt (some int) None
+         & info [ "mem-soft-mb" ] ~docv:"MIB"
+             ~doc:"threaded through to the child daemon")
+  in
+  let mem_hard_mb =
+    Arg.(value & opt (some int) None
+         & info [ "mem-hard-mb" ] ~docv:"MIB"
+             ~doc:"threaded through to the child daemon")
+  in
+  let queue_budget =
+    Arg.(value & opt (some int) None
+         & info [ "queue-budget" ] ~docv:"N"
+             ~doc:"threaded through to the child daemon")
+  in
+  let deadline =
+    Arg.(value & opt (some float) None
+         & info [ "deadline" ] ~docv:"SECONDS"
+             ~doc:"threaded through to the child daemon")
+  in
+  let config =
+    Arg.(value & opt (some string) None
+         & info [ "config" ] ~docv:"FILE"
+             ~doc:"threaded through to the child daemon (SIGHUP hot reload)")
+  in
+  let serve_args =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"SERVE_ARG"
+             ~doc:
+               "extra raw arguments appended to the child's serve command \
+                line (after --)")
+  in
+  Cmd.v
+    (Cmd.info "supervise"
+       ~doc:
+         "Watchdog for the estimation daemon: re-exec hlpower serve, \
+          health-probe it over ping, restart on crash or wedge with \
+          decorrelated-jitter backoff and a flap breaker, propagate \
+          SIGTERM as graceful drain, and journal every lifecycle event")
+    Term.(const supervise $ socket $ state_dir $ pid_file $ journal
+          $ probe_interval $ probe_misses $ backoff_base $ backoff_cap
+          $ flap_window $ flap_max $ grace $ seed $ mem_soft_mb $ mem_hard_mb
+          $ queue_budget $ deadline $ config $ serve_args)
 
 (* --- client --- *)
 
@@ -1412,6 +1831,7 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "hlpower" ~version:"1.0.0" ~doc)
-          [ estimate_cmd; batch_cmd; serve_cmd; client_cmd; top_cmd; chaos_cmd;
+          [ estimate_cmd; batch_cmd; serve_cmd; supervise_cmd; client_cmd;
+            top_cmd; chaos_cmd;
             bus_cmd; pm_cmd; fsm_cmd; export_cmd;
             info_cmd ]))

@@ -4,10 +4,10 @@
    immutable artifact) is pure in the structure, and Netlist.fingerprint
    is a stable structural key, so the artifact can be memoized across
    estimates, batch jobs, and server requests. The cache is bounded
-   (FIFO eviction — entries are cheap to rebuild, recency tracking is
-   not worth a hot-path write) and mutex-protected so worker domains can
-   share it; cached values must therefore be immutable after
-   construction.
+   (second-chance eviction — a one-bit recency mark per entry, set on
+   hit, gives LRU-ish behaviour without a hot-path list splice) and
+   mutex-protected so worker domains can share it; cached values must
+   therefore be immutable after construction.
 
    Misses are single-flight: the first caller of a key computes while
    later callers of the same key park on a condition variable and share
@@ -20,11 +20,13 @@
 
 type 'a outcome = Pending | Value of 'a | Failed of exn
 
+type 'a entry = { v : 'a; mutable used : bool }
+
 type 'a t = {
   name : string;
   capacity : int;
-  tbl : (int64, 'a) Hashtbl.t;
-  order : int64 Queue.t;  (* insertion order, for FIFO eviction *)
+  tbl : (int64, 'a entry) Hashtbl.t;
+  order : int64 Queue.t;  (* clock hand order for second-chance eviction *)
   inflight : (int64, 'a outcome ref) Hashtbl.t;
   lock : Mutex.t;
   resolved : Condition.t;  (* broadcast when any in-flight slot resolves *)
@@ -57,14 +59,30 @@ let locked c f =
   Mutex.lock c.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock c.lock) f
 
+(* Second-chance victim selection: pop the hand; a recently-hit entry
+   spends its mark and goes to the back, an unmarked one is the victim.
+   Terminates because each pass clears marks. Runs under the lock. *)
+let rec victim_locked c =
+  let k = Queue.pop c.order in
+  match Hashtbl.find_opt c.tbl k with
+  | None -> victim_locked c
+  | Some e ->
+      if e.used then begin
+        e.used <- false;
+        Queue.push k c.order;
+        victim_locked c
+      end
+      else k
+
+let evict_one_locked c =
+  let k = victim_locked c in
+  Hashtbl.remove c.tbl k;
+  Hlp_util.Telemetry.incr c.evictions
+
 let insert_locked c ~key v =
   if not (Hashtbl.mem c.tbl key) then begin
-    if Hashtbl.length c.tbl >= c.capacity then begin
-      let victim = Queue.pop c.order in
-      Hashtbl.remove c.tbl victim;
-      Hlp_util.Telemetry.incr c.evictions
-    end;
-    Hashtbl.replace c.tbl key v;
+    if Hashtbl.length c.tbl >= c.capacity then evict_one_locked c;
+    Hashtbl.replace c.tbl key { v; used = false };
     Queue.push key c.order
   end
 
@@ -82,10 +100,11 @@ let resolve_locked c ~key slot outcome =
 let find_or_compute_outcome c ~key f =
   Mutex.lock c.lock;
   match Hashtbl.find_opt c.tbl key with
-  | Some v ->
+  | Some e ->
+      e.used <- true;
       Mutex.unlock c.lock;
       Hlp_util.Telemetry.incr c.hits;
-      (v, `Hit)
+      (e.v, `Hit)
   | None -> (
       match Hashtbl.find_opt c.inflight key with
       | Some slot ->
@@ -131,8 +150,33 @@ let clear c =
   (* in-flight slots are left to resolve normally: the computing callers
      still publish to their joiners, and successes repopulate the table *)
   locked c (fun () ->
+      let dropped = Hashtbl.length c.tbl in
       Hashtbl.reset c.tbl;
-      Queue.clear c.order)
+      Queue.clear c.order;
+      for _ = 1 to dropped do
+        Hlp_util.Telemetry.incr c.evictions
+      done;
+      dropped)
+
+let evict c n =
+  locked c (fun () ->
+      let n = min n (Hashtbl.length c.tbl) in
+      for _ = 1 to n do
+        evict_one_locked c
+      done;
+      n)
+
+let put c ~key v = locked c (fun () -> insert_locked c ~key v)
+
+let items c =
+  locked c (fun () ->
+      Queue.fold
+        (fun acc k ->
+          match Hashtbl.find_opt c.tbl k with
+          | Some e -> (k, e.v) :: acc
+          | None -> acc)
+        [] c.order
+      |> List.rev)
 
 let name c = c.name
 let capacity c = c.capacity

@@ -3,10 +3,12 @@
 
     Anything computed purely from a netlist's structure — a compiled
     replay kernel, a prepared sampler, a built BDD — can be memoized
-    under {!Netlist.fingerprint}. The cache is bounded (FIFO eviction)
-    and safe to share across domains; values stored in it must be
-    immutable after construction, since concurrent readers receive the
-    same physical value.
+    under {!Netlist.fingerprint}. The cache is bounded (second-chance
+    eviction: a one-bit recency mark per entry, set on hit, makes
+    eviction LRU-ish without a hot-path list splice) and safe to share
+    across domains; values stored in it must be immutable after
+    construction, since concurrent readers receive the same physical
+    value.
 
     Misses are {e single-flight}: when several domains ask for the same
     absent key at once, exactly one runs the compute while the others
@@ -23,7 +25,10 @@
     and [<name>.coalesced] (callers that joined an in-flight compute
     instead of starting their own). A joiner that receives a value also
     counts as a hit, so [hits + misses = successful lookups] holds with
-    or without contention. *)
+    or without contention. Every entry that leaves the cache for any
+    reason — capacity pressure, {!evict}, or {!clear} — increments
+    [<name>.cache_evictions], so the counter is a complete audit trail
+    of cache shrinkage. *)
 
 type 'a t
 
@@ -57,10 +62,29 @@ val length : 'a t -> int
 val inflight : 'a t -> int
 (** Number of keys currently being computed (in-flight slots). *)
 
-val clear : 'a t -> unit
-(** Drop every cached entry. In-flight computes are unaffected: they
-    still publish to their joiners and (on success) repopulate the
+val clear : 'a t -> int
+(** Drop every cached entry, returning how many were dropped; each is
+    counted in [<name>.cache_evictions] so a [clear] leaves the same
+    audit trail as capacity pressure. In-flight computes are unaffected:
+    they still publish to their joiners and (on success) repopulate the
     table. *)
+
+val evict : 'a t -> int -> int
+(** [evict c n] removes up to [n] entries by second-chance order
+    (recently-hit entries are spared one round), returning how many were
+    actually removed; each increments [<name>.cache_evictions]. The
+    memory-pressure relief valve: shrink the cache proportionally
+    without dumping the whole working set. *)
+
+val put : 'a t -> key:int64 -> 'a -> unit
+(** [put c ~key v] installs [v] without touching hit/miss counters —
+    snapshot rehydration, not a lookup. A no-op when [key] is already
+    present; capacity pressure evicts (counted) as usual. *)
+
+val items : 'a t -> (int64 * 'a) list
+(** Current entries in eviction order (next victim first). A consistent
+    point-in-time copy taken under the lock — the snapshot writer's
+    view. *)
 
 val name : 'a t -> string
 val capacity : 'a t -> int

@@ -268,7 +268,7 @@ let prepare_journaled ?(engine = Hlp_sim.Engine.Scalar) ?jobs ~path model dut
 let prepare_cache : t Hlp_logic.Netcache.t =
   Hlp_logic.Netcache.create ~capacity:32 ~name:"sampling.mem" ()
 
-let clear_prepare_cache () = Hlp_logic.Netcache.clear prepare_cache
+let clear_prepare_cache () = ignore (Hlp_logic.Netcache.clear prepare_cache)
 
 let prepare_cached ?(engine = Hlp_sim.Engine.Scalar) ?jobs model dut traces =
   let open Hlp_logic.Netcache in

@@ -42,6 +42,180 @@ let create ?(netlist_capacity = 64) ?(estimate_capacity = 256)
       Hlp_util.Supervisor.breaker ~failure_threshold ~cooldown_s "server.symbolic";
     started = Hlp_util.Clock.now_s () }
 
+(* --- cache snapshot / restore ---
+
+   The crash-only lifecycle: the daemon periodically spills the caches
+   whose loss is expensive — finished estimates (serialized response
+   objects, so a restored hit is byte-identical by construction) and
+   symbolic probability results — to one atomically-written file of
+   CRC-framed records. Restore trusts nothing: the header must carry the
+   exact snapshot version AND the cache-key recipe string (any PR that
+   changes how estimate keys are derived must bump the recipe, or
+   restored entries would be served under wrong keys), the trailer must
+   count exactly the entries read, and every record sits behind the
+   journal CRC. Any violation — torn tail, bit flip, version skew,
+   recipe skew — degrades to a counted cold start; restore never raises
+   and never installs a questionable byte.
+
+   Netlists and prepared models are deliberately not spilled: their
+   values are live closures/BDD structures with no serial form, and they
+   rebuild on demand behind single-flight misses — cheap compared to the
+   estimates they feed. *)
+
+let snapshot_version = 1
+
+(* the estimate cache-key derivation, spelled out; change op_estimate's
+   key fold => change this string *)
+let snapshot_recipe =
+  "fnv64:fingerprint+engine+seed+rp_bits+max_cycles+node_limit"
+
+let snap_counter name = Hlp_util.Telemetry.counter ("server.snapshot." ^ name)
+let tel_snap_saves = snap_counter "saves"
+let tel_snap_restores = snap_counter "restores"
+let tel_snap_entries = snap_counter "restored_entries"
+let tel_snap_cold = snap_counter "cold_starts"
+let tel_snap_torn = snap_counter "torn"
+let tel_snap_version = snap_counter "version_mismatch"
+let tel_snap_recipe = snap_counter "recipe_mismatch"
+
+let key_hex k = Printf.sprintf "%016Lx" k
+let key_of_hex s = Int64.of_string ("0x" ^ s)
+
+let save_snapshot t ~path =
+  let record j = Hlp_util.Journal.frame (J.to_string ~compact:true j) in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (record
+       (J.Obj
+          [ ("magic", J.Str "hlpower-snapshot");
+            ("version", J.Int snapshot_version);
+            ("recipe", J.Str snapshot_recipe) ]));
+  let entries = ref 0 in
+  List.iter
+    (fun (k, v) ->
+      incr entries;
+      Buffer.add_string buf
+        (record
+           (J.Obj
+              [ ("cache", J.Str "estimates");
+                ("key", J.Str (key_hex k));
+                ("value", J.Str v) ])))
+    (Netcache.items t.estimates);
+  List.iter
+    (fun (k, v) ->
+      incr entries;
+      Buffer.add_string buf
+        (record
+           (J.Obj
+              [ ("cache", J.Str "symbolic");
+                ("key", J.Str (key_hex k));
+                ("bits", J.Str (key_hex (Int64.bits_of_float v))) ])))
+    (Netcache.items t.symbolic);
+  Buffer.add_string buf (record (J.Obj [ ("entries", J.Int !entries) ]));
+  Hlp_util.Journal.write_atomic ~path (Buffer.contents buf);
+  Hlp_util.Telemetry.incr tel_snap_saves;
+  !entries
+
+let load_snapshot t ~path =
+  let cold ?counter reason =
+    Hlp_util.Telemetry.incr tel_snap_cold;
+    Option.iter Hlp_util.Telemetry.incr counter;
+    `Cold reason
+  in
+  match Hlp_util.Journal.recover path with
+  | exception Sys_error _ -> cold ~counter:tel_snap_torn "unreadable"
+  | { Hlp_util.Journal.records = []; torn_bytes = 0; _ } -> cold "absent"
+  | { records = []; _ } -> cold ~counter:tel_snap_torn "torn"
+  | { records; torn_bytes; _ } when torn_bytes > 0 ->
+      (* write_atomic never leaves a tail: torn bytes mean corruption *)
+      ignore records;
+      cold ~counter:tel_snap_torn "torn"
+  | { records = header :: rest; _ } -> (
+      match J.parse header with
+      | Error _ -> cold ~counter:tel_snap_torn "malformed"
+      | Ok h -> (
+          let str name = Option.bind (J.member name h) J.to_str_opt in
+          let int name = Option.bind (J.member name h) J.to_int_opt in
+          match (str "magic", int "version", str "recipe") with
+          | Some "hlpower-snapshot", Some v, Some _ when v <> snapshot_version
+            ->
+              cold ~counter:tel_snap_version "version-mismatch"
+          | Some "hlpower-snapshot", Some _, Some r when r <> snapshot_recipe
+            ->
+              cold ~counter:tel_snap_recipe "recipe-mismatch"
+          | Some "hlpower-snapshot", Some _, Some _ -> (
+              (* entries, then exactly one trailer counting them *)
+              let rec split acc = function
+                | [] -> None
+                | [ trailer ] -> Some (List.rev acc, trailer)
+                | r :: tl -> split (r :: acc) tl
+              in
+              match split [] rest with
+              | None -> cold ~counter:tel_snap_torn "truncated"
+              | Some (entries, trailer) -> (
+                  match
+                    Option.bind
+                      (Result.to_option (J.parse trailer))
+                      (fun tj -> Option.bind (J.member "entries" tj) J.to_int_opt)
+                  with
+                  | Some n when n = List.length entries ->
+                      let restored = ref 0 in
+                      let install rec_s =
+                        match J.parse rec_s with
+                        | Error _ -> raise Exit
+                        | Ok e -> (
+                            let s name =
+                              Option.bind (J.member name e) J.to_str_opt
+                            in
+                            match (s "cache", s "key") with
+                            | Some "estimates", Some k -> (
+                                match s "value" with
+                                | Some v ->
+                                    Netcache.put t.estimates ~key:(key_of_hex k)
+                                      v;
+                                    incr restored
+                                | None -> raise Exit)
+                            | Some "symbolic", Some k -> (
+                                match s "bits" with
+                                | Some b ->
+                                    Netcache.put t.symbolic ~key:(key_of_hex k)
+                                      (Int64.float_of_bits (key_of_hex b));
+                                    incr restored
+                                | None -> raise Exit)
+                            | _ -> raise Exit)
+                      in
+                      (match List.iter install entries with
+                      | () ->
+                          Hlp_util.Telemetry.incr tel_snap_restores;
+                          for _ = 1 to !restored do
+                            Hlp_util.Telemetry.incr tel_snap_entries
+                          done;
+                          `Restored !restored
+                      | exception (Exit | Failure _) ->
+                          (* a record decoded but made no sense: drop the
+                             whole restore — partial trust is no trust *)
+                          ignore (Netcache.clear t.estimates);
+                          ignore (Netcache.clear t.symbolic);
+                          cold ~counter:tel_snap_torn "malformed")
+                  | _ -> cold ~counter:tel_snap_torn "truncated"))
+          | _ -> cold ~counter:tel_snap_torn "malformed"))
+
+(* --- memory-pressure relief ---
+
+   Wired as Server's [on_memory_soft] callback: every soft-budget sample
+   sheds a fixed fraction of each cache (second-chance order, so the hot
+   working set survives longest). Repeated pressure shrinks the caches
+   geometrically toward empty; the estimates/symbolic evictions are the
+   ones that actually return memory at scale. *)
+
+let trim ?(fraction = 0.25) t =
+  let f = if Float.is_finite fraction then Float.max 0.0 (Float.min 1.0 fraction) else 0.25 in
+  let one c =
+    let n = int_of_float (ceil (float_of_int (Netcache.length c) *. f)) in
+    if n > 0 then Netcache.evict c n else 0
+  in
+  one t.estimates + one t.symbolic + one t.models + one t.netlists
+
 (* --- envelopes ---
 
    Every envelope echoes the request id [rid] so a client-observed slow
@@ -314,6 +488,10 @@ let op_metrics t ~rid id =
     (J.Obj
        (("op", J.Str "metrics")
         :: ("uptime_s", J.Float (Hlp_util.Clock.now_s () -. t.started))
+        :: ( "rss_bytes",
+             match Hlp_util.Memstat.rss_bytes () with
+             | Some b -> J.Int b
+             | None -> J.Null )
         :: ("telemetry_enabled", J.Bool (Hlp_util.Telemetry.enabled ()))
         :: stats_fields t
        @ [ ("counters", pick "counters");

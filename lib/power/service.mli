@@ -87,6 +87,53 @@ val handle : t -> Hlp_util.Server.ctx -> string -> string
     key and hit/miss/coalesced outcome, typed status) for the
     transport's access log and per-op histograms. *)
 
+(** {1 Crash-only lifecycle}
+
+    The daemon's warm state is rebuildable but expensive (the warm/cold
+    ratio E39 pins is ~40×), so the serve loop periodically spills the
+    two caches whose values have a serial form — finished estimates
+    (stored serialized, so a restored hit is byte-identical by
+    construction) and symbolic capacitances — to one snapshot file, and
+    a restarted daemon rehydrates from it. The format is a stream of
+    {!Hlp_util.Journal} CRC-framed records written with
+    {!Hlp_util.Journal.write_atomic}: a header binding
+    {!snapshot_version} and {!snapshot_recipe} (the estimate cache-key
+    derivation, spelled out — key-recipe drift invalidates old
+    snapshots instead of mis-keying them), the entries, and a trailer
+    carrying the entry count. Restore is paranoid: torn bytes, a CRC
+    miss, version or recipe skew, a count mismatch, or one undecodable
+    record each degrade to a counted cold start ([`Cold reason]) —
+    never an exception, never a partially-trusted cache. Counters under
+    ["server.snapshot.*"]: [saves], [restores], [restored_entries],
+    [cold_starts], [torn], [version_mismatch], [recipe_mismatch].
+
+    Netlists and prepared models are not spilled: their values are live
+    structures with no serial form, and they rebuild on demand behind
+    single-flight misses. *)
+
+val snapshot_version : int
+
+val snapshot_recipe : string
+(** The estimate cache-key derivation the snapshot binds. Any change to
+    how [op_estimate] folds its key {b must} change this string. *)
+
+val save_snapshot : t -> path:string -> int
+(** Spill the estimate and symbolic caches to [path] atomically,
+    returning the number of entries written. Raises [Sys_error] on an
+    unwritable path (the serve loop catches and counts, never dies). *)
+
+val load_snapshot : t -> path:string -> [ `Restored of int | `Cold of string ]
+(** Rehydrate the caches from [path]. [`Restored n] installed [n]
+    entries; [`Cold reason] ([reason] one of ["absent"], ["torn"],
+    ["unreadable"], ["malformed"], ["truncated"], ["version-mismatch"],
+    ["recipe-mismatch"]) means the caches were left (or wiped back to)
+    empty. Never raises. *)
+
+val trim : ?fraction:float -> t -> int
+(** Evict [fraction] (default 0.25, clamped to [0,1]) of each cache in
+    second-chance order, returning entries evicted — the memory-pressure
+    relief valve {!Hlp_util.Server}'s soft budget invokes. *)
+
 val overload_response : Hlp_util.Err.t -> string
 (** The shed frame ([serve ~overload]): an error envelope (id -1)
     carrying the typed [Overloaded] plus the [retry_after_s] backoff

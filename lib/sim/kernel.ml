@@ -522,7 +522,7 @@ let of_netlist ?caps net =
       Netcache.find_or_compute cache ~key:(Netlist.fingerprint net) (fun () ->
           compile net)
 
-let clear_cache () = Netcache.clear cache
+let clear_cache () = ignore (Netcache.clear cache)
 let cache_length () = Netcache.length cache
 
 (* --- replay state --- *)

@@ -39,6 +39,14 @@ val crc32 : string -> int32
 (** CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) of the whole
     string — the per-record checksum of the frame format. *)
 
+val frame : string -> string
+(** One record in the journal's wire format: [4B LE length]
+    [4B LE crc32(payload)][payload]. Exposed so snapshot writers can
+    build a CRC-framed record stream in memory (concatenated frames are
+    exactly what {!recover} reads back) and hand it to {!write_atomic}
+    in one piece — per-record CRCs turn any bit flip in a snapshot into
+    a loud truncation at recovery, never silently different bytes. *)
+
 type t
 (** An open journal, positioned for appending. *)
 

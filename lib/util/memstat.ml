@@ -1,0 +1,44 @@
+(* Resident-set sampling for memory-pressure-aware admission.
+
+   /proc/self/statm column 2 is the resident page count; multiplied by
+   the page size it is the same RSS the OOM killer scores. The parse is
+   a few microseconds — cheap enough to sample on the server's accept
+   tick, but callers still throttle (Server samples at most a few times
+   a second) because admission only needs a recent reading, not an
+   exact one. On platforms without procfs the reading is [None] and
+   every budget check degrades to "no pressure": the daemon behaves
+   exactly as before this module existed. *)
+
+let page_size =
+  (* getconf PAGE_SIZE without the subprocess: OCaml has no binding, but
+     statm is Linux-only anyway and 4 KiB is the only page size the
+     supported targets use; a wrong constant here skews budgets by a
+     power of two, so keep it overridable for exotic kernels. *)
+  match Sys.getenv_opt "HLP_PAGE_SIZE" with
+  | Some s -> ( try int_of_string s with Failure _ -> 4096)
+  | None -> 4096
+
+let proc_rss_bytes () =
+  match In_channel.with_open_text "/proc/self/statm" In_channel.input_line with
+  | Some line -> (
+      match String.split_on_char ' ' line with
+      | _size :: resident :: _ -> (
+          match int_of_string_opt resident with
+          | Some pages -> Some (pages * page_size)
+          | None -> None)
+      | _ -> None)
+  | None -> None
+  | exception Sys_error _ -> None
+
+(* The source indirection exists solely so tests can inject a
+   deterministic RSS curve (the memory-pressure admission tests ramp a
+   fake RSS through the soft and hard budgets); production code always
+   reads /proc through it. Same shape as Clock.source. *)
+let source : (unit -> int option) Atomic.t = Atomic.make proc_rss_bytes
+
+let rss_bytes () = (Atomic.get source) ()
+
+let with_source fake f =
+  let prev = Atomic.get source in
+  Atomic.set source fake;
+  Fun.protect ~finally:(fun () -> Atomic.set source prev) f

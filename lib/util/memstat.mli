@@ -1,0 +1,19 @@
+(** Resident-set sampling for memory-pressure-aware admission.
+
+    The estimation daemon's two-threshold memory policy (soft budget →
+    proportional cache eviction, hard budget → typed [Overloaded] sheds)
+    needs the same RSS number the OOM killer scores. This module reads
+    it from [/proc/self/statm]; where procfs is absent the reading is
+    [None] and pressure checks degrade to "no pressure" rather than
+    guessing. *)
+
+val rss_bytes : unit -> int option
+(** Current resident set size in bytes from the active source ([/proc]
+    unless a test injected one with {!with_source}). [None] when the
+    platform cannot say — treat as no pressure. *)
+
+val with_source : (unit -> int option) -> (unit -> 'a) -> 'a
+(** [with_source fake f] runs [f] with {!rss_bytes} reading [fake],
+    restoring the real source afterwards (also on exceptions). For
+    tests: drive a deterministic RSS ramp through the soft and hard
+    budgets. Process-global — do not use from concurrent domains. *)

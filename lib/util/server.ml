@@ -7,6 +7,9 @@ let tel_requests = Telemetry.counter "server.requests"
 let tel_sheds = Telemetry.counter "server.sheds"
 let tel_frame_errors = Telemetry.counter "server.frame_errors"
 let tel_slow = Telemetry.counter "server.slow_requests"
+let tel_mem_soft = Telemetry.counter "server.memory.soft_trims"
+let tel_mem_hard = Telemetry.counter "server.memory.hard_sheds"
+let tel_reloads = Telemetry.counter "server.knob_reloads"
 
 (* flight-recorder histograms; per-op ones are registered on first use *)
 let h_queue_wait = Telemetry.histogram "server.queue_wait_ns"
@@ -190,6 +193,66 @@ let fresh_rid ?(prefix = "s") () =
 
 let retry_after_hint_s = 0.1
 
+(* --- hot-reloadable knobs ---
+
+   The mutable operating parameters live in one immutable record behind
+   an Atomic, read at each use site (admission check, guard creation,
+   slow-threshold compare, memory sampler). Reload is then a single
+   Atomic.set of a fully validated record: no half-applied config, no
+   torn reads, no dropped connections. *)
+
+type knobs = {
+  queue_budget : int;
+  deadline_s : float option;
+  slow_s : float option;
+  mem_soft_bytes : int option;
+  mem_hard_bytes : int option;
+}
+
+let default_knobs =
+  {
+    queue_budget = 64;
+    deadline_s = None;
+    slow_s = None;
+    mem_soft_bytes = None;
+    mem_hard_bytes = None;
+  }
+
+let validate_knobs k =
+  if k.queue_budget < 1 then
+    raise (Err.invalid_input ~what:"Server knobs: queue_budget" "must be >= 1");
+  (match k.deadline_s with
+  | Some d when (not (Float.is_finite d)) || d < 0.0 ->
+      raise
+        (Err.invalid_input ~what:"Server knobs: deadline_s"
+           "must be finite and non-negative")
+  | _ -> ());
+  (match k.slow_s with
+  | Some s when (not (Float.is_finite s)) || s <= 0.0 ->
+      raise
+        (Err.invalid_input ~what:"Server knobs: slow_s"
+           "must be finite and positive")
+  | _ -> ());
+  let positive what v =
+    match v with
+    | Some b when b < 1 ->
+        raise (Err.invalid_input ~what:("Server knobs: " ^ what) "must be >= 1")
+    | _ -> ()
+  in
+  positive "mem_soft_bytes" k.mem_soft_bytes;
+  positive "mem_hard_bytes" k.mem_hard_bytes;
+  match (k.mem_soft_bytes, k.mem_hard_bytes) with
+  | Some s, Some h when s > h ->
+      raise
+        (Err.invalid_input ~what:"Server knobs: mem_soft_bytes"
+           "must be <= mem_hard_bytes")
+  | _ -> ()
+
+let set_knobs cell k =
+  validate_knobs k;
+  Atomic.set cell k;
+  Telemetry.incr tel_reloads
+
 let default_overload e =
   Json.to_string ~compact:true
     (Json.Obj
@@ -202,7 +265,8 @@ let default_overload e =
 
 let serve ?max_inflight ?(queue_budget = 64) ?deadline_s
     ?(overload = default_overload) ?token ?on_ready ?access_log
-    ?access_log_max_bytes ?slow_s ~path handler =
+    ?access_log_max_bytes ?slow_s ?knobs ?on_tick ?on_memory_soft
+    ?(mem_sample_every_s = 0.25) ~path handler =
   Lazy.force ignore_sigpipe;
   let max_inflight =
     match max_inflight with
@@ -211,20 +275,21 @@ let serve ?max_inflight ?(queue_budget = 64) ?deadline_s
     | Some _ ->
         raise (Err.invalid_input ~what:"Server.serve: max_inflight" "must be >= 1")
   in
-  if queue_budget < 1 then
-    raise (Err.invalid_input ~what:"Server.serve: queue_budget" "must be >= 1");
-  (match deadline_s with
-  | Some d when (not (Float.is_finite d)) || d < 0.0 ->
-      raise
-        (Err.invalid_input ~what:"Server.serve: deadline_s"
-           "must be finite and non-negative")
-  | _ -> ());
-  (match slow_s with
-  | Some s when (not (Float.is_finite s)) || s <= 0.0 ->
-      raise
-        (Err.invalid_input ~what:"Server.serve: slow_s"
-           "must be finite and positive")
-  | _ -> ());
+  (* scalar args seed the knob record when the caller did not supply a
+     shared cell; either way every use site below reads [kn] *)
+  let kn =
+    match knobs with
+    | Some cell -> cell
+    | None ->
+        Atomic.make
+          { default_knobs with queue_budget; deadline_s; slow_s }
+  in
+  validate_knobs (Atomic.get kn);
+  if (not (Float.is_finite mem_sample_every_s)) || mem_sample_every_s <= 0.0
+  then
+    raise
+      (Err.invalid_input ~what:"Server.serve: mem_sample_every_s"
+         "must be finite and positive");
   (match access_log_max_bytes with
   | Some b when b <= 0 ->
       raise
@@ -239,11 +304,15 @@ let serve ?max_inflight ?(queue_budget = 64) ?deadline_s
      raise
        (Err.invalid_input ~what:"Server.serve: path"
           (Printf.sprintf "cannot bind %s: %s" path (Unix.error_message e))));
-  Unix.listen listen_fd (queue_budget + max_inflight);
+  Unix.listen listen_fd ((Atomic.get kn).queue_budget + max_inflight);
   let queue = Queue.create () in
   let mu = Mutex.create () in
   let cond = Condition.create () in
   let stopping = Atomic.make false in
+  (* memory-pressure level, written by the accept-loop sampler, read by
+     every worker at request admission: 0 ok, 1 soft, 2 hard *)
+  let pressure = Atomic.make 0 in
+  let last_rss = Atomic.make 0 in
   (* the access log outlives every worker: opened before the pool spawns,
      closed in the drain path after the joins *)
   let log =
@@ -268,7 +337,7 @@ let serve ?max_inflight ?(queue_budget = 64) ?deadline_s
       Telemetry.record
         (Telemetry.histogram ("server.op." ^ op ^ ".bytes_out"))
         (float_of_int bytes_out);
-      (match slow_s with
+      (match (Atomic.get kn).slow_s with
       | Some s when service_s >= s ->
           Telemetry.incr tel_slow;
           Trace.instant "server.slow_request" ~args:(fun () ->
@@ -325,12 +394,33 @@ let serve ?max_inflight ?(queue_budget = 64) ?deadline_s
       match read_frame_poll fd with
       | `Eof -> close_quiet fd
       | `Timeout -> if Atomic.get stopping then close_quiet fd else conn_loop fd 0.0
+      | `Frame _req when Atomic.get pressure >= 2 ->
+          (* hard memory budget: shed the request with the same typed
+             overload envelope as queue pressure — a degraded answer the
+             resilient client sleeps on, instead of an OOM kill that
+             loses every cache. The connection stays open; the client
+             decides whether to wait or leave. *)
+          Telemetry.incr tel_requests;
+          Telemetry.incr tel_sheds;
+          Telemetry.incr tel_mem_hard;
+          let k = Atomic.get kn in
+          let e =
+            Err.Overloaded
+              {
+                queue = "server.memory";
+                budget =
+                  (match k.mem_hard_bytes with Some b -> b | None -> 0);
+                pending = Atomic.get last_rss;
+              }
+          in
+          (try write_frame fd (overload e) with _ -> ());
+          if Atomic.get stopping then close_quiet fd else conn_loop fd 0.0
       | `Frame req ->
           Telemetry.incr tel_requests;
           let t0 = Clock.now_s () in
           let ctx =
             {
-              guard = Guard.create ?deadline_s ();
+              guard = Guard.create ?deadline_s:(Atomic.get kn).deadline_s ();
               rid = fresh_rid ();
               op = "";
               key = "";
@@ -378,6 +468,7 @@ let serve ?max_inflight ?(queue_budget = 64) ?deadline_s
         (* the receive timeout is the drain poll tick: a worker blocked on
            an idle persistent connection re-checks [stopping] this often *)
         Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.05;
+        let queue_budget = (Atomic.get kn).queue_budget in
         Mutex.lock mu;
         let pending = Queue.length queue in
         if pending >= queue_budget then begin
@@ -396,8 +487,53 @@ let serve ?max_inflight ?(queue_budget = 64) ?deadline_s
           Mutex.unlock mu
         end
   in
+  (* RSS sampler, run on the accept tick and throttled to
+     [mem_sample_every_s]: classifies the current resident set against
+     the (hot-reloadable) budgets, publishes the level for workers, and
+     while at-or-above the soft budget invokes the relief callback —
+     proportional cache eviction wired in by the service layer — so
+     repeated samples shrink the working set geometrically instead of
+     dumping it. Level transitions emit trace instants; an unreadable
+     RSS (no procfs) reads as level 0, i.e. the pre-budget behaviour. *)
+  let last_sample = ref 0.0 in
+  let sample_memory () =
+    let k = Atomic.get kn in
+    if k.mem_soft_bytes <> None || k.mem_hard_bytes <> None then begin
+      let now = Clock.now_s () in
+      if now -. !last_sample >= mem_sample_every_s then begin
+        last_sample := now;
+        let rss = match Memstat.rss_bytes () with Some b -> b | None -> 0 in
+        Atomic.set last_rss rss;
+        let level =
+          match (k.mem_hard_bytes, k.mem_soft_bytes) with
+          | Some h, _ when rss > 0 && rss >= h -> 2
+          | _, Some s when rss > 0 && rss >= s -> 1
+          | _ -> 0
+        in
+        let prev = Atomic.exchange pressure level in
+        if level > prev then
+          Trace.instant
+            (if level >= 2 then "server.memory.hard" else "server.memory.soft")
+            ~args:(fun () ->
+              [ ("rss_bytes", Json.Int rss);
+                ( "soft_bytes",
+                  Json.Int (Option.value ~default:0 k.mem_soft_bytes) );
+                ( "hard_bytes",
+                  Json.Int (Option.value ~default:0 k.mem_hard_bytes) ) ]);
+        if level >= 1 then begin
+          Telemetry.incr tel_mem_soft;
+          match on_memory_soft with
+          | Some f -> ( try f () with _ -> ())
+          | None -> ()
+        end
+      end
+    end
+    else if Atomic.get pressure <> 0 then Atomic.set pressure 0
+  in
   let rec accept_loop () =
     if not (stop_requested ()) then begin
+      (match on_tick with Some f -> ( try f () with _ -> ()) | None -> ());
+      sample_memory ();
       (match Unix.select [ listen_fd ] [] [] 0.05 with
       | [], _, _ -> ()
       | _ -> accept_one ()
@@ -477,6 +613,16 @@ let request c payload =
         (Err.invalid_input ~what:"Server.request"
            "server closed the connection without responding")
 
+let request_within ~timeout_s c payload =
+  Unix.setsockopt_float c.fd Unix.SO_RCVTIMEO 0.05;
+  write_frame c.fd payload;
+  match read_frame_within ~timeout_s c.fd with
+  | Some resp -> resp
+  | None ->
+      raise
+        (Err.invalid_input ~what:"Server.request"
+           "server closed the connection without responding")
+
 let close c = close_quiet c.fd
 
 (* --- resilient client --- *)
@@ -486,6 +632,7 @@ module Client = struct
   let tel_reconnects = Telemetry.counter "client.reconnects"
   let tel_overload_waits = Telemetry.counter "client.overload_waits"
   let tel_exhausted = Telemetry.counter "client.exhausted"
+  let tel_restart_rides = Telemetry.counter "client.restart_rides"
 
   type t = {
     path : string;
@@ -541,11 +688,12 @@ module Client = struct
   let close = disconnect
   let counts t = (t.logical, t.wire)
 
-  let conn t =
+  let conn ?wait_s t =
     match t.conn with
     | Some c -> c
     | None ->
-        let c = connect ~wait_s:t.connect_wait_s t.path in
+        let wait_s = Option.value wait_s ~default:t.connect_wait_s in
+        let c = connect ~wait_s t.path in
         if t.ever_connected then Telemetry.incr tel_reconnects;
         t.ever_connected <- true;
         (* the receive timeout is the deadline poll tick of
@@ -588,6 +736,23 @@ module Client = struct
 
   let request ?(idempotent = true) t payload =
     t.logical <- t.logical + 1;
+    (* A supervised daemon restart shows up here as connect attempts
+       exhausting their wait (the socket is gone or refusing while the
+       watchdog re-execs). When the request carries a deadline, that
+       deadline — not max_retries — bounds how long we wait out the
+       restart window: connect exhaustion before it passes re-enters the
+       connect loop without charging a retry, so a restart shorter than
+       the deadline is invisible to the caller. *)
+    let ride_deadline =
+      Option.map (fun s -> Clock.now_s () +. s) t.request_timeout_s
+    in
+    let connect_budget () =
+      (* never exceed the per-attempt wait, never go negative *)
+      Option.map
+        (fun d ->
+          Float.max 0.01 (Float.min t.connect_wait_s (d -. Clock.now_s ())))
+        ride_deadline
+    in
     (* [sent]: whether the server may already have executed this request.
        Connect and write failures happen before the request could have
        been processed (a torn write is dropped by the server's CRC wall),
@@ -609,7 +774,18 @@ module Client = struct
         disconnect t;
         retry_or ~attempt:n ~sleep_s ~retryable e (fun s -> attempt (n + 1) s)
       in
-      match conn t with
+      match conn ?wait_s:(connect_budget ()) t with
+      | exception
+          Err.Error (Err.Invalid_input { what = "Server.connect"; _ } as e)
+        -> (
+          match ride_deadline with
+          | Some d when Clock.now_s () < d ->
+              (* still inside the request deadline: ride the restart
+                 window instead of burning a retry *)
+              Telemetry.incr tel_restart_rides;
+              disconnect t;
+              attempt n sleep_s
+          | _ -> retry ~retryable:true e)
       | exception Err.Error e -> retry ~retryable:true e
       | c -> (
           match

@@ -146,6 +146,39 @@ val fresh_rid : ?prefix:string -> unit -> string
 val retry_after_hint_s : float
 (** The [retry_after_s] value the default overload frame carries. *)
 
+(** {1 Hot-reloadable knobs}
+
+    The daemon's mutable operating parameters — admission budget,
+    request deadline, slow-request threshold, memory budgets — live in
+    one immutable record behind an [Atomic] that every use site reads
+    afresh. A SIGHUP reload is then a single {!set_knobs} of a fully
+    validated record: no half-applied config, no dropped connections. *)
+
+type knobs = {
+  queue_budget : int;  (** accept-queue admission budget (default 64) *)
+  deadline_s : float option;  (** per-request guard deadline *)
+  slow_s : float option;  (** slow-request threshold *)
+  mem_soft_bytes : int option;
+      (** RSS at-or-above this triggers the [on_memory_soft] relief
+          callback (proportional cache eviction) each sample *)
+  mem_hard_bytes : int option;
+      (** RSS at-or-above this sheds new requests with the typed
+          [Overloaded] envelope until pressure recedes *)
+}
+
+val default_knobs : knobs
+(** [queue_budget = 64], everything else off. *)
+
+val validate_knobs : knobs -> unit
+(** Raises the typed [Invalid_input] on a non-positive budget or
+    threshold, a negative/non-finite deadline, or a soft budget above
+    the hard one. *)
+
+val set_knobs : knobs Atomic.t -> knobs -> unit
+(** Validate and publish a new knob record (counted in
+    ["server.knob_reloads"]). The SIGHUP path: in-flight requests keep
+    the knobs they started with; every later read sees the new record. *)
+
 val default_overload : Err.t -> string
 (** Minimal JSON error envelope:
     [{"ok":false,"error":{"class":...,"message":...,"retry_after_s":...}}].
@@ -162,6 +195,10 @@ val serve :
   ?access_log:string ->
   ?access_log_max_bytes:int ->
   ?slow_s:float ->
+  ?knobs:knobs Atomic.t ->
+  ?on_tick:(unit -> unit) ->
+  ?on_memory_soft:(unit -> unit) ->
+  ?mem_sample_every_s:float ->
   path:string ->
   handler ->
   unit
@@ -184,10 +221,35 @@ val serve :
     slow-request threshold. The recorder only fires while {!Telemetry}
     is enabled.
 
+    [knobs], when given, is the shared hot-reload cell: the scalar
+    [queue_budget]/[deadline_s]/[slow_s] arguments are ignored in its
+    favour and every admission check, guard creation, and slow-threshold
+    compare reads the cell afresh, so a concurrent {!set_knobs} (the
+    SIGHUP handler) takes effect between requests without dropping
+    connections. Without [knobs] the scalars seed a private cell and
+    behave exactly as before.
+
+    [on_tick] runs on the accept loop roughly every 50 ms (exceptions
+    swallowed) — the hook for snapshot spills and reload-flag polls.
+
+    {b Memory pressure.} When the active knobs carry memory budgets, the
+    accept loop samples {!Memstat.rss_bytes} every [mem_sample_every_s]
+    (default 0.25 s). At-or-above [mem_soft_bytes] each sample counts
+    ["server.memory.soft_trims"] and invokes [on_memory_soft]
+    (proportional cache eviction, wired by the service layer); crossing
+    a level also emits a ["server.memory.soft"] / ["server.memory.hard"]
+    {!Trace} instant. At-or-above [mem_hard_bytes] new requests are
+    answered with the typed [Overloaded] envelope
+    ([queue = "server.memory"], counted in ["server.memory.hard_sheds"]
+    and ["server.sheds"]) without running the handler, until a later
+    sample sees the resident set back under budget — shedding instead of
+    dying to the OOM killer. An unreadable RSS (no procfs) reads as no
+    pressure.
+
     Raises [Err.Error (Invalid_input _)] on a non-positive
-    [max_inflight]/[queue_budget]/[access_log_max_bytes]/[slow_s], a
-    non-finite/negative [deadline_s], an unbindable [path], or a [path]
-    another live server owns. *)
+    [max_inflight]/[access_log_max_bytes]/[mem_sample_every_s], invalid
+    knob values (see {!validate_knobs}), an unbindable [path], or a
+    [path] another live server owns. *)
 
 (** {1 Client} *)
 
@@ -208,6 +270,12 @@ val request : conn -> string -> string
     frame. Raises [Err.Error (Invalid_input _)] if the server closed
     without responding (e.g. after an overload frame already consumed).
     No retries — see {!Client} for the resilient wrapper. *)
+
+val request_within : timeout_s:float -> conn -> string -> string
+(** {!request} bounded by [timeout_s] via {!read_frame_within} (sets the
+    socket's receive timeout as the poll tick) — the watchdog's health
+    probe, where an unbounded read would let a wedged daemon wedge its
+    supervisor too. Raises the typed [Deadline_exceeded] on timeout. *)
 
 val close : conn -> unit
 
@@ -254,7 +322,16 @@ module Client : sig
       [retry_after_s] hint, reconnect, and retry; when retries are
       exhausted on overload the shed frame itself is returned (it is a
       well-formed typed answer). On exhaustion of any other failure the
-      last typed error is re-raised. *)
+      last typed error is re-raised.
+
+      {b Restart rides.} When [request_timeout_s] is set, a connect
+      exhaustion (the daemon's socket gone or refusing — the signature
+      of a supervised restart in progress) inside the request deadline
+      re-enters the connect loop under the existing jittered backoff
+      {e without} charging a retry (counted in ["client.restart_rides"]),
+      so any restart shorter than the deadline is invisible to the
+      caller. Past the deadline — or without one — connect exhaustion
+      consumes retries as before. *)
 
   val counts : t -> int * int
   (** [(logical, wire)]: logical {!request} calls vs request frames

@@ -234,6 +234,212 @@ let run_jobs ?max_inflight ?queue_budget ?deadline_s ?token f jobs =
       shed_queue = n - admitted;
       shed_deadline = Atomic.get shed_deadline } )
 
+(* --- watchdog ---
+
+   Process supervision for the crash-only daemon: spawn the child
+   through a caller-supplied [start] (re-exec, never bare fork — OCaml 5
+   domains and fork don't mix), watch it with waitpid polls and an
+   optional liveness probe, restart on crash or wedge with decorrelated
+   jitter, and give up via a flap breaker when restarts cluster. The
+   module stays power-agnostic: what the child is, how to probe it, and
+   where lifecycle events go are all callbacks. *)
+
+let tel_wd_starts = Telemetry.counter "watchdog.starts"
+let tel_wd_restarts = Telemetry.counter "watchdog.restarts"
+let tel_wd_probe_misses = Telemetry.counter "watchdog.probe_misses"
+let tel_wd_gave_up = Telemetry.counter "watchdog.gave_up"
+
+type watchdog_event =
+  | Wd_started of int  (* child pid *)
+  | Wd_healthy of int  (* first successful probe after a start *)
+  | Wd_probe_timeout of int * int  (* pid, consecutive misses *)
+  | Wd_exited of int * string  (* pid, "exit N" / "signal NAME" *)
+  | Wd_restarting of float  (* backoff sleep before next start *)
+  | Wd_gave_up of int  (* restarts inside the flap window *)
+  | Wd_draining of int  (* pid being sent the propagated SIGTERM *)
+  | Wd_drained of int * string  (* pid, final status *)
+
+let signal_name s =
+  if s = Sys.sigkill then "SIGKILL"
+  else if s = Sys.sigterm then "SIGTERM"
+  else if s = Sys.sigint then "SIGINT"
+  else if s = Sys.sighup then "SIGHUP"
+  else if s = Sys.sigsegv then "SIGSEGV"
+  else if s = Sys.sigquit then "SIGQUIT"
+  else Printf.sprintf "signal#%d" s
+
+let status_string = function
+  | Unix.WEXITED n -> Printf.sprintf "exit %d" n
+  | Unix.WSIGNALED s -> "signal " ^ signal_name s
+  | Unix.WSTOPPED s -> "stopped " ^ signal_name s
+
+let watchdog_event_json ev =
+  let obj kind fields =
+    Json.Obj
+      (("ts", Json.Float (Unix.gettimeofday ()))
+      :: ("event", Json.Str kind)
+      :: fields)
+  in
+  match ev with
+  | Wd_started pid -> obj "started" [ ("pid", Json.Int pid) ]
+  | Wd_healthy pid -> obj "healthy" [ ("pid", Json.Int pid) ]
+  | Wd_probe_timeout (pid, misses) ->
+      obj "probe-timeout" [ ("pid", Json.Int pid); ("misses", Json.Int misses) ]
+  | Wd_exited (pid, st) ->
+      obj "exited" [ ("pid", Json.Int pid); ("status", Json.Str st) ]
+  | Wd_restarting sleep_s ->
+      obj "restarting" [ ("backoff_s", Json.Float sleep_s) ]
+  | Wd_gave_up n -> obj "gave-up" [ ("restarts_in_window", Json.Int n) ]
+  | Wd_draining pid -> obj "draining" [ ("pid", Json.Int pid) ]
+  | Wd_drained (pid, st) ->
+      obj "drained" [ ("pid", Json.Int pid); ("status", Json.Str st) ]
+
+(* decorrelated jitter, same discipline as the client reconnect path *)
+let wd_backoff rng ~base_s ~cap_s prev_s =
+  Float.min cap_s (base_s +. Prng.float rng (Float.max base_s (prev_s *. 3.0)))
+
+let watch ?probe ?(probe_every_s = 0.5) ?(probe_misses = 4)
+    ?(backoff_base_s = 0.1) ?(backoff_cap_s = 5.0) ?(flap_window_s = 30.0)
+    ?(flap_max = 5) ?(grace_s = 5.0) ?seed ?(on_event = fun _ -> ()) ?token
+    ~start () =
+  let positive what v =
+    if (not (Float.is_finite v)) || v <= 0.0 then
+      raise
+        (Err.invalid_input ~what:("Supervisor.watch: " ^ what)
+           "must be finite and positive")
+  in
+  positive "probe_every_s" probe_every_s;
+  positive "backoff_base_s" backoff_base_s;
+  positive "backoff_cap_s" backoff_cap_s;
+  positive "flap_window_s" flap_window_s;
+  positive "grace_s" grace_s;
+  if probe_misses < 1 then
+    raise
+      (Err.invalid_input ~what:"Supervisor.watch: probe_misses" "must be >= 1");
+  if flap_max < 1 then
+    raise (Err.invalid_input ~what:"Supervisor.watch: flap_max" "must be >= 1");
+  let rng =
+    Prng.create
+      (match seed with
+      | Some s -> s
+      | None ->
+          (Unix.getpid () * 0x9E3779B9)
+          lxor Int64.to_int (Int64.bits_of_float (Clock.now_s ())))
+  in
+  let emit ev = try on_event ev with _ -> () in
+  let stop_requested () =
+    match token with Some tk -> Guard.is_cancelled tk | None -> false
+  in
+  let kill_quiet pid s = try Unix.kill pid s with Unix.Unix_error _ -> () in
+  (* SIGTERM, then SIGKILL after the grace period; reaps and returns the
+     final status either way *)
+  let terminate pid =
+    kill_quiet pid Sys.sigterm;
+    let deadline = Clock.now_s () +. grace_s in
+    let rec wait () =
+      match Unix.waitpid [ Unix.WNOHANG ] pid with
+      | 0, _ ->
+          if Clock.now_s () >= deadline then begin
+            kill_quiet pid Sys.sigkill;
+            let _, st = Unix.waitpid [] pid in
+            status_string st
+          end
+          else begin
+            Unix.sleepf 0.02;
+            wait ()
+          end
+      | _, st -> status_string st
+      | exception Unix.Unix_error (Unix.ECHILD, _, _) -> "already reaped"
+    in
+    wait ()
+  in
+  (* restart timestamps inside the sliding flap window *)
+  let restarts = ref [] in
+  let flap_trips now =
+    restarts := now :: List.filter (fun t -> now -. t < flap_window_s) !restarts;
+    List.length !restarts > flap_max
+  in
+  let rec supervise sleep_s =
+    if stop_requested () then `Drained
+    else begin
+      let pid = start () in
+      Telemetry.incr tel_wd_starts;
+      emit (Wd_started pid);
+      let last_probe = ref (Clock.now_s ()) in
+      let misses = ref 0 in
+      let healthy = ref false in
+      (* watch one incarnation until it exits, wedges, or drain begins *)
+      let rec tick () =
+        if stop_requested () then begin
+          emit (Wd_draining pid);
+          let st = terminate pid in
+          emit (Wd_drained (pid, st));
+          `Drained
+        end
+        else
+          match Unix.waitpid [ Unix.WNOHANG ] pid with
+          | 0, _ -> (
+              match probe with
+              | Some p when Clock.now_s () -. !last_probe >= probe_every_s -> (
+                  last_probe := Clock.now_s ();
+                  match (try p () with _ -> false) with
+                  | true ->
+                      if not !healthy then begin
+                        healthy := true;
+                        emit (Wd_healthy pid)
+                      end;
+                      misses := 0;
+                      pause ()
+                  | false ->
+                      incr misses;
+                      Telemetry.incr tel_wd_probe_misses;
+                      if !misses >= probe_misses then begin
+                        emit (Wd_probe_timeout (pid, !misses));
+                        (* a wedged child is a crash we must induce *)
+                        let st = terminate pid in
+                        crash ("wedged, " ^ st)
+                      end
+                      else pause ())
+              | _ -> pause ())
+          | _, st -> crash (status_string st)
+          | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+              crash "already reaped"
+      and pause () =
+        Unix.sleepf 0.05;
+        tick ()
+      and crash status =
+        emit (Wd_exited (pid, status));
+        let now = Clock.now_s () in
+        if flap_trips now then begin
+          Telemetry.incr tel_wd_gave_up;
+          emit (Wd_gave_up (List.length !restarts));
+          `Gave_up (List.length !restarts)
+        end
+        else begin
+          let sleep_s = wd_backoff rng ~base_s:backoff_base_s ~cap_s:backoff_cap_s sleep_s in
+          Telemetry.incr tel_wd_restarts;
+          emit (Wd_restarting sleep_s);
+          (* the backoff sleep still honours drain *)
+          let deadline = now +. sleep_s in
+          let rec nap () =
+            if stop_requested () then ()
+            else if Clock.now_s () < deadline then begin
+              Unix.sleepf 0.02;
+              nap ()
+            end
+          in
+          nap ();
+          `Restart sleep_s
+        end
+      in
+      match tick () with
+      | `Drained -> `Drained
+      | `Gave_up n -> `Gave_up n
+      | `Restart sleep_s -> supervise sleep_s
+    end
+  in
+  supervise backoff_base_s
+
 (* --- signals --- *)
 
 let with_graceful_stop ?signals f =

@@ -104,6 +104,85 @@ val run_jobs :
     returns, even on cancellation. Raises [Invalid_input] on non-positive
     [max_inflight]/[queue_budget] or a non-finite/negative [deadline_s]. *)
 
+(** {1 Watchdog}
+
+    Process supervision for the crash-only daemon: start a child (via
+    re-exec — never bare fork under OCaml 5 domains), watch it with
+    [waitpid] polls and an optional liveness probe, restart it on crash
+    or wedge with decorrelated-jitter backoff, and give up through a
+    flap breaker when restarts cluster faster than the window allows.
+    Generic over the child: what to start, how to probe, and where
+    lifecycle events go are all callbacks, so this module stays
+    power-agnostic (the [hlpower supervise] CLI wires it to the serve
+    daemon and a {!Journal.Lines} supervision journal).
+
+    Telemetry: ["watchdog.starts"], ["watchdog.restarts"],
+    ["watchdog.probe_misses"], ["watchdog.gave_up"]. *)
+
+type watchdog_event =
+  | Wd_started of int  (** child started (pid) *)
+  | Wd_healthy of int  (** first successful probe of this incarnation *)
+  | Wd_probe_timeout of int * int
+      (** (pid, consecutive misses) — the child is wedged and about to
+          be terminated *)
+  | Wd_exited of int * string  (** (pid, status) — crash detected *)
+  | Wd_restarting of float  (** backoff sleep before the next start *)
+  | Wd_gave_up of int  (** flap breaker tripped (restarts in window) *)
+  | Wd_draining of int  (** propagating SIGTERM to the child (pid) *)
+  | Wd_drained of int * string  (** (pid, final status) — clean stop *)
+
+val watchdog_event_json : watchdog_event -> Json.t
+(** One supervision-journal line per event: [{ts, event, ...}] with
+    [event] one of [started], [healthy], [probe-timeout], [exited],
+    [restarting], [gave-up], [draining], [drained]. *)
+
+val status_string : Unix.process_status -> string
+(** ["exit N"] / ["signal SIGKILL"]-style rendering of a wait status. *)
+
+val watch :
+  ?probe:(unit -> bool) ->
+  ?probe_every_s:float ->
+  ?probe_misses:int ->
+  ?backoff_base_s:float ->
+  ?backoff_cap_s:float ->
+  ?flap_window_s:float ->
+  ?flap_max:int ->
+  ?grace_s:float ->
+  ?seed:int ->
+  ?on_event:(watchdog_event -> unit) ->
+  ?token:Guard.token ->
+  start:(unit -> int) ->
+  unit ->
+  [ `Drained | `Gave_up of int ]
+(** [watch ~start ()] runs the supervision loop in the calling domain
+    until drain or give-up. [start] spawns one child incarnation and
+    returns its pid (use [Unix.create_process] — re-exec, not fork).
+
+    {b Liveness.} Every [probe_every_s] (default 0.5 s) the optional
+    [probe] is called (exceptions count as failure); [probe_misses]
+    (default 4) consecutive failures declare the child wedged — it is
+    terminated (SIGTERM, then SIGKILL after [grace_s], default 5 s) and
+    the crash path runs. A successful probe resets the miss count and,
+    once per incarnation, emits [Wd_healthy].
+
+    {b Crash & backoff.} A child exit (or induced wedge-kill) schedules
+    a restart after a decorrelated-jitter sleep between [backoff_base_s]
+    (default 0.1 s) and [backoff_cap_s] (default 5 s); [seed] fixes the
+    jitter stream for tests. More than [flap_max] (default 5) restarts
+    inside the sliding [flap_window_s] (default 30 s) trip the flap
+    breaker: [`Gave_up n] — the caller turns this into a typed non-zero
+    exit rather than looping a crashing binary forever.
+
+    {b Drain.} Cancelling [token] (the {!with_graceful_stop} handler)
+    propagates SIGTERM to the child, waits up to [grace_s] for it to
+    drain, SIGKILLs a straggler, reaps it, and returns [`Drained]. The
+    backoff sleep also honours the token.
+
+    [on_event] receives every lifecycle transition (exceptions
+    swallowed); serialize with {!watchdog_event_json} into a
+    {!Journal.Lines} supervision journal. Raises the typed
+    [Invalid_input] on non-positive tuning parameters. *)
+
 (** {1 Signals} *)
 
 val with_graceful_stop :

@@ -28,4 +28,5 @@ let () =
       ("resilience", Test_resilience.suite);
       ("observability", Test_observability.suite);
       ("flight", Test_flight.suite);
+      ("lifecycle", Test_lifecycle.suite);
     ]
